@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Microbenchmarks: Ark frontend and dynamical-system compiler
+ * throughput (parse+sema of the paradigm DSLs; DG -> ODE compilation
+ * across line sizes).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/compiler.h"
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+
+namespace {
+
+using namespace ark;
+
+void
+BM_ParseAndBuildAllLanguages(benchmark::State &state)
+{
+    for (auto _ : state) {
+        lang::LanguageRegistry registry =
+            paradigms::makeStandardRegistry();
+        benchmark::DoNotOptimize(registry.findLanguage("intercon-obc"));
+    }
+}
+BENCHMARK(BM_ParseAndBuildAllLanguages);
+
+void
+BM_BuildLineGraph(benchmark::State &state)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &tln = registry.language("tln");
+    paradigms::tln::LineSpec spec;
+    spec.sections = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        dg::Graph graph = paradigms::tln::buildLine(tln, spec);
+        benchmark::DoNotOptimize(graph.numNodes());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildLineGraph)->Range(4, 256)->Complexity();
+
+void
+BM_CompileLine(benchmark::State &state)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &tln = registry.language("tln");
+    paradigms::tln::LineSpec spec;
+    spec.sections = static_cast<int>(state.range(0));
+    dg::Graph graph = paradigms::tln::buildLine(tln, spec);
+    for (auto _ : state) {
+        compiler::OdeSystem system = compiler::compile(graph, tln);
+        benchmark::DoNotOptimize(system.size());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CompileLine)->Range(4, 256)->Complexity();
+
+void
+BM_InvokeBrFunc(benchmark::State &state)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    for (auto _ : state) {
+        dg::Graph graph =
+            registry.invoke("br-func", {expr::Value::integer(1)});
+        benchmark::DoNotOptimize(graph.numEdges());
+    }
+}
+BENCHMARK(BM_InvokeBrFunc);
+
+} // namespace

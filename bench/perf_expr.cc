@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablation: compiled evaluation tapes versus the tree-walking
+ * interpreter on real ODE right-hand sides (the Kuramoto coupling
+ * expression and a full TLN system RHS).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/compiler.h"
+#include "expr/eval.h"
+#include "expr/fold.h"
+#include "expr/tape.h"
+#include "lang/parser.h"
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+
+namespace {
+
+using namespace ark;
+
+expr::ExprPtr
+kuramotoTerm()
+{
+    using expr::Expr;
+    // -1.6e9 * k * sin(q0 - q1) - 1e9 * sin(2 q0), resolved form.
+    auto q0 = Expr::stateVar(0);
+    auto q1 = Expr::stateVar(1);
+    auto coupling = Expr::binary(
+        expr::BinOp::Mul, Expr::real(-1.6e9),
+        Expr::call("sin",
+                   {Expr::binary(expr::BinOp::Sub, q0, q1)}));
+    auto shil = Expr::binary(
+        expr::BinOp::Mul, Expr::real(-1e9),
+        Expr::call("sin", {Expr::binary(expr::BinOp::Mul,
+                                        Expr::real(2.0), q0)}));
+    return expr::fold(
+        Expr::binary(expr::BinOp::Add, coupling, shil));
+}
+
+void
+BM_ExprInterpreted(benchmark::State &state)
+{
+    expr::ExprPtr term = kuramotoTerm();
+    std::vector<double> stateVec{0.3, 1.7};
+    expr::EvalContext ctx;
+    ctx.lookupState = [&](int i) {
+        return stateVec[static_cast<std::size_t>(i)];
+    };
+    for (auto _ : state) {
+        double v = expr::evalReal(term, ctx);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_ExprInterpreted);
+
+void
+BM_ExprTape(benchmark::State &state)
+{
+    expr::Tape tape = expr::Tape::compile(kuramotoTerm());
+    std::vector<double> stateVec{0.3, 1.7};
+    std::vector<double> regs;
+    for (auto _ : state) {
+        double v = tape.eval(stateVec.data(), 0.0, regs);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_ExprTape);
+
+void
+BM_SystemRhsInterpreted(benchmark::State &state)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &tln = registry.language("tln");
+    paradigms::tln::LineSpec spec;
+    spec.sections = 32;
+    compiler::OdeSystem system =
+        compiler::compile(paradigms::tln::buildLine(tln, spec), tln);
+    std::vector<double> x = system.initialState();
+    std::vector<double> dx(system.size());
+    for (auto _ : state) {
+        system.evalRhsInterpreted(x.data(), 1e-9, dx.data());
+        benchmark::DoNotOptimize(dx[0]);
+    }
+}
+BENCHMARK(BM_SystemRhsInterpreted);
+
+void
+BM_SystemRhsTape(benchmark::State &state)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &tln = registry.language("tln");
+    paradigms::tln::LineSpec spec;
+    spec.sections = 32;
+    compiler::OdeSystem system =
+        compiler::compile(paradigms::tln::buildLine(tln, spec), tln);
+    std::vector<double> x = system.initialState();
+    std::vector<double> dx(system.size());
+    std::vector<double> scratch;
+    for (auto _ : state) {
+        system.evalRhs(x.data(), 1e-9, dx.data(), scratch);
+        benchmark::DoNotOptimize(dx[0]);
+    }
+}
+BENCHMARK(BM_SystemRhsTape);
+
+} // namespace

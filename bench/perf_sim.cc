@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablation: fixed-step RK4 versus adaptive DOPRI5 on the paper's
+ * workloads (TLN pulse propagation; Kuramoto max-cut relaxation),
+ * and the SPICE MNA engine on the mapped equivalent.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/experiments.h"
+#include "compiler/compiler.h"
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+#include "sim/sim.h"
+#include "spice/map_tln.h"
+#include "spice/mna.h"
+
+namespace {
+
+using namespace ark;
+
+void
+BM_SimTlnRk4(benchmark::State &state)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &tln = registry.language("tln");
+    paradigms::tln::LineSpec spec;
+    spec.sections = 10;
+    compiler::OdeSystem system =
+        compiler::compile(paradigms::tln::buildLine(tln, spec), tln);
+    sim::SimOptions options;
+    options.method = sim::Method::Rk4;
+    options.dt = 2e-11;
+    options.recordDt = 1e-9;
+    for (auto _ : state) {
+        sim::SimResult result =
+            sim::simulate(system, 0.0, 8e-8, options);
+        benchmark::DoNotOptimize(result.steps);
+    }
+}
+BENCHMARK(BM_SimTlnRk4);
+
+void
+BM_SimTlnDopri5(benchmark::State &state)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &tln = registry.language("tln");
+    paradigms::tln::LineSpec spec;
+    spec.sections = 10;
+    compiler::OdeSystem system =
+        compiler::compile(paradigms::tln::buildLine(tln, spec), tln);
+    sim::SimOptions options;
+    options.method = sim::Method::Dopri5;
+    options.recordDt = 1e-9;
+    for (auto _ : state) {
+        sim::SimResult result =
+            sim::simulate(system, 0.0, 8e-8, options);
+        benchmark::DoNotOptimize(result.steps);
+    }
+}
+BENCHMARK(BM_SimTlnDopri5);
+
+void
+BM_SimMaxcutDopri5(benchmark::State &state)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &obc = registry.language("obc");
+    paradigms::obc::MaxcutInstance instance;
+    instance.numVertices = 4;
+    instance.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}};
+    paradigms::obc::MaxcutSpec spec;
+    spec.initPhases = {0.3, 2.0, 4.1, 5.5};
+    compiler::OdeSystem system = compiler::compile(
+        paradigms::obc::buildMaxcut(obc, instance, spec), obc);
+    sim::SimOptions options;
+    options.recordDt = 1e-9;
+    for (auto _ : state) {
+        sim::SimResult result =
+            sim::simulate(system, 0.0, 5e-8, options);
+        benchmark::DoNotOptimize(result.steps);
+    }
+}
+BENCHMARK(BM_SimMaxcutDopri5);
+
+void
+BM_SpiceMnaTransient(benchmark::State &state)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &tln = registry.language("tln");
+    paradigms::tln::LineSpec spec;
+    spec.sections = 10;
+    dg::Graph graph = paradigms::tln::buildLine(tln, spec);
+    spice::MappedTln mapped = spice::mapTlnToSpice(graph, tln);
+    spice::MnaSystem system(mapped.netlist);
+    for (auto _ : state) {
+        spice::TransientResult result =
+            spice::transient(system, 0.0, 8e-8, 2e-11);
+        benchmark::DoNotOptimize(result.times.size());
+    }
+}
+BENCHMARK(BM_SpiceMnaTransient);
+
+} // namespace

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: the validator's two exact decision procedures — the 0/1
+ * branch-and-bound ILP of Algorithm 2 versus the lower-bounded
+ * max-flow formulation — over the paradigm graphs with the richest
+ * constraint patterns (CNN grids, TLN lines).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/image.h"
+#include "paradigms/cnn.h"
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+#include "validator/validator.h"
+
+namespace {
+
+using namespace ark;
+
+dg::Graph
+makeCnnGraph(const lang::Language &cnn, int size)
+{
+    paradigms::cnn::CnnSpec spec;
+    spec.width = size;
+    spec.height = size;
+    apps::Image input = apps::Image::filledSquare(size, 2);
+    return paradigms::cnn::buildCnn(cnn, spec, input.pixels());
+}
+
+void
+BM_ValidateCnn(benchmark::State &state)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &cnn = registry.language("cnn");
+    dg::Graph graph = makeCnnGraph(cnn, static_cast<int>(state.range(0)));
+    auto engine = static_cast<validator::Engine>(state.range(1));
+    for (auto _ : state) {
+        validator::ValidationResult result =
+            validator::validate(graph, cnn, engine);
+        benchmark::DoNotOptimize(result.ok);
+    }
+}
+BENCHMARK(BM_ValidateCnn)
+    ->ArgsProduct({{4, 8, 16},
+                   {static_cast<long>(validator::Engine::Ilp),
+                    static_cast<long>(validator::Engine::Flow)}})
+    ->ArgNames({"grid", "engine(0=ilp,1=flow)"});
+
+void
+BM_ValidateTlnLine(benchmark::State &state)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &tln = registry.language("tln");
+    paradigms::tln::LineSpec spec;
+    spec.sections = static_cast<int>(state.range(0));
+    dg::Graph graph = paradigms::tln::buildLine(tln, spec);
+    auto engine = static_cast<validator::Engine>(state.range(1));
+    for (auto _ : state) {
+        validator::ValidationResult result =
+            validator::validate(graph, tln, engine);
+        benchmark::DoNotOptimize(result.ok);
+    }
+}
+BENCHMARK(BM_ValidateTlnLine)
+    ->ArgsProduct({{16, 64, 256},
+                   {static_cast<long>(validator::Engine::Ilp),
+                    static_cast<long>(validator::Engine::Flow)}})
+    ->ArgNames({"sections", "engine(0=ilp,1=flow)"});
+
+} // namespace

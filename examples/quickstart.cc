@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Quickstart: define an analog compute paradigm as an Ark DSL, write
+ * a computation in it, validate, compile to ODEs, and simulate.
+ *
+ * The paradigm here is a tiny leaky-integrator network — the "hello
+ * world" of dynamical-graph languages: nodes integrate weighted
+ * contributions from their neighbours and leak toward zero.
+ */
+
+#include <iostream>
+
+#include "compiler/compiler.h"
+#include "lang/registry.h"
+#include "sim/sim.h"
+#include "validator/validator.h"
+
+int
+main()
+{
+    using namespace ark;
+
+    // 1. Define the paradigm (a language) and a computation (a
+    //    function) in Ark source.
+    const std::string program = R"ARK(
+        lang leaky {
+            // One state variable per node; sum-aggregated dynamics.
+            ntyp(1,sum) N {attr leak=real[0,10]};
+            // Stateless input nodes carrying a waveform.
+            ntyp(0,sum) Src {attr fn=lambd(t)};
+            etyp W {attr w=real[-5,5]};
+
+            // Neighbour contributions and the leak term.
+            prod(e:W,s:N->t:N) t <= e.w*var(s);
+            prod(e:W,s:Src->t:N) t <= e.w*s.fn(time);
+            prod(e:W,s:N->s:N) s <= -s.leak*var(s);
+
+            // Every node needs exactly one self (leak) edge.
+            cstr N {acc[match(1,1,W,N),
+                        match(0,inf,W,[N,Src]->N),
+                        match(0,inf,W,N->[N])]}
+        }
+
+        // A two-stage filter: src -> a -> b.
+        func two-stage (gain:real[0,5]) uses leaky {
+            node src : Src;
+            node a : N; node b : N;
+            edge <src,a> in : W;
+            edge <a,b> mid : W;
+            edge <a,a> leak_a : W;
+            edge <b,b> leak_b : W;
+            set-attr src.fn = lambd(t): pulse(t, 0.2, 0.4);
+            set-attr a.leak = 4.0; set-attr b.leak = 4.0;
+            set-attr in.w = gain; set-attr mid.w = gain;
+            set-attr leak_a.w = 0.0; set-attr leak_b.w = 0.0;
+        }
+    )ARK";
+
+    lang::LanguageRegistry registry;
+    registry.addProgram(program);
+
+    // 2. Invoke the function to build a dynamical graph.
+    dg::Graph graph =
+        registry.invoke("two-stage", {expr::Value::real(2.0)});
+    std::cout << graph.str() << "\n";
+
+    // 3. Validate it against the language's rules.
+    const lang::Language &leaky = registry.language("leaky");
+    validator::validateOrThrow(graph, leaky);
+    std::cout << "graph validates\n\n";
+
+    // 4. Compile to differential equations.
+    compiler::OdeSystem system = compiler::compile(graph, leaky);
+    std::cout << "compiled equations:\n" << system.equationsStr()
+              << "\n";
+
+    // 5. Simulate the transient response.
+    sim::SimOptions options;
+    options.recordDt = 0.05;
+    options.maxDt = 0.1; // resolve the 0.4-wide input pulse
+    sim::SimResult result = sim::simulate(system, 0.0, 2.0, options);
+
+    int a = system.stateIndex("a", 0);
+    int b = system.stateIndex("b", 0);
+    std::cout << "t       a        b\n";
+    for (double t = 0.0; t <= 2.0; t += 0.2) {
+        std::printf("%-7.2f %-8.4f %-8.4f\n", t,
+                    result.trajectory.sampleAt(a, t),
+                    result.trajectory.sampleAt(b, t));
+    }
+    std::cout << "\nthe pulse excites a, which drives b with a lag — "
+                 "an analog two-stage filter.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Example: the transmission-line PUF case study (paper §2).
+ *
+ * Builds a challenge-configurable branched t-line in the gmc-tln
+ * design space, interrogates three simulated "fabricated chips" with
+ * the same challenges, and prints their responses — device-unique
+ * because each chip carries its own Gm mismatch.
+ */
+
+#include <iostream>
+
+#include "apps/puf.h"
+#include "paradigms/standard.h"
+
+namespace {
+
+std::string
+bitsToString(const std::vector<std::uint8_t> &bits)
+{
+    std::string out;
+    out.reserve(bits.size());
+    for (std::uint8_t b : bits)
+        out += b ? '1' : '0';
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ark;
+
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &gmc = registry.language("gmc-tln");
+
+    apps::PufDesign design;
+    design.mainSections = 16;
+    design.numBranches = 4;
+    design.stubSections = 4;
+    design.responseBits = 32;
+    apps::TlnPuf puf(gmc, design);
+
+    std::cout << "TLN PUF: " << design.mainSections
+              << "-section line, " << design.numBranches
+              << " switchable stubs, " << design.responseBits
+              << "-bit responses\n\n";
+
+    const std::uint32_t challenges[] = {0x0, 0x5, 0xF};
+    for (std::uint32_t challenge : challenges) {
+        std::cout << "challenge " << challenge << ":\n";
+        for (std::uint64_t chip = 1; chip <= 3; ++chip) {
+            auto response = puf.response(challenge, chip);
+            std::cout << "  chip " << chip << ": "
+                      << bitsToString(response) << "\n";
+        }
+    }
+
+    std::cout << "\ninter-chip distances (challenge 5):\n";
+    auto r1 = puf.response(5, 1);
+    auto r2 = puf.response(5, 2);
+    auto r3 = puf.response(5, 3);
+    std::cout << "  chip1 vs chip2: " << apps::hammingFraction(r1, r2)
+              << "\n  chip1 vs chip3: " << apps::hammingFraction(r1, r3)
+              << "\n  chip2 vs chip3: " << apps::hammingFraction(r2, r3)
+              << "\n";
+
+    std::cout << "\nre-measurement stability of chip 1 under 2mV "
+                 "noise:\n";
+    auto noisy = puf.response(5, 1, 0.002, 1234);
+    std::cout << "  intra-chip distance: "
+              << apps::hammingFraction(r1, noisy) << "\n";
+    std::cout << "\n(ideal PUF: inter-chip ~0.5, intra-chip ~0)\n";
+    return 0;
+}

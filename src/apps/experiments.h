@@ -1,0 +1,146 @@
+#ifndef ARK_APPS_EXPERIMENTS_H
+#define ARK_APPS_EXPERIMENTS_H
+
+/**
+ * @file
+ * Shared experiment runners regenerating the paper's evaluation
+ * artifacts (Figures 2, 4, 11; Table 1; the §4.5 SPICE
+ * cross-validation). Bench binaries and integration tests both call
+ * these, so the numbers in EXPERIMENTS.md come from exactly the code
+ * under test.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/image.h"
+#include "lang/language.h"
+#include "paradigms/cnn.h"
+#include "paradigms/obc.h"
+#include "paradigms/tln.h"
+
+namespace ark::apps::experiments {
+
+/** @name Figure 4: t-line transient dynamics */
+/// @{
+
+/** One OUT_V trace. */
+struct TlnTrace
+{
+    std::vector<double> times;
+    std::vector<double> volts;
+
+    double peak() const;
+    /** Maximum |v| inside [t0, t1]. */
+    double peakWithin(double t0, double t1) const;
+};
+
+/** Figure 4b: 26-section linear line. */
+TlnTrace fig4LinearTrace(const lang::Language &tln);
+
+/** Figure 4a: branched line (18 main + 8 stub sections). */
+TlnTrace fig4BranchedTrace(const lang::Language &tln);
+
+/**
+ * Figures 4c/4d: mismatched linear lines over `trials` fabricated
+ * instances. gmMismatch selects Em-edge (Gm) mismatch; otherwise
+ * Vm/Im (Cint) mismatch.
+ */
+std::vector<TlnTrace> fig4MismatchTraces(const lang::Language &gmcTln,
+                                         bool gmMismatch, int trials,
+                                         std::uint64_t seedBase = 1);
+
+/** Across-trial spread: mean and max range of v(t) over a window. */
+struct SpreadStats
+{
+    double meanRange;
+    double maxRange;
+};
+SpreadStats spreadWithinWindow(const std::vector<TlnTrace> &traces,
+                               double t0, double t1);
+
+/// @}
+
+/** @name Figure 11: CNN edge detection under nonidealities */
+/// @{
+
+/** One CNN run: frames over time plus convergence summary. */
+struct CnnRun
+{
+    std::vector<double> frameTimes;
+    std::vector<Image> frames;    ///< sat(x) rendered per frame.
+    Image finalOutput;            ///< Binarized last frame.
+    int outputErrors = 0;         ///< Sign mismatches vs. ground truth.
+    bool converged = false;       ///< All cells saturated by the end.
+    double convergeTime = -1.0;   ///< First frame time fully saturated.
+};
+
+/**
+ * Runs the edge detector over `input` with the given nonideality
+ * configuration (Figure 11 columns A-D).
+ */
+CnnRun runCnnEdgeDetect(const lang::Language &language,
+                        const paradigms::cnn::CnnSpec &spec,
+                        const Image &input,
+                        const std::vector<double> &frameTimes);
+
+/// @}
+
+/** @name Table 1: OBC max-cut */
+/// @{
+
+/** One solved instance: the graph and its final oscillator phases. */
+struct MaxcutOutcome
+{
+    paradigms::obc::MaxcutInstance instance;
+    std::vector<double> phases;
+};
+
+/**
+ * Simulates `trials` random 4-vertex max-cut instances (edge
+ * probability 0.5, random initial phases) on the ideal or
+ * offset-afflicted oscillator network.
+ */
+std::vector<MaxcutOutcome> runMaxcutSims(const lang::Language &language,
+                                         bool withOffset, int trials,
+                                         std::uint64_t seedBase = 1);
+
+/** Table-1 row: probabilities in percent. */
+struct ObcRow
+{
+    double syncProb;
+    double solvedProb;
+};
+
+/** Scores outcomes at phase tolerance d (radians). */
+ObcRow scoreMaxcut(const std::vector<MaxcutOutcome> &outcomes, double d);
+
+/// @}
+
+/** @name §4.5: SPICE cross-validation */
+/// @{
+
+struct SpiceValidation
+{
+    int total = 0;
+    int mapped = 0;       ///< DGs that produced a netlist.
+    int under1pct = 0;    ///< Trials with relative RMSE < 1%.
+    double meanRmse = 0;  ///< Mean relative RMSE.
+    double maxRmse = 0;
+};
+
+/**
+ * Generates `trials` random valid GmC-TLN DGs (random topology and
+ * attributes, both mismatch kinds enabled), maps each to a SPICE
+ * netlist, and compares MNA transient dynamics against the Ark
+ * compiler + ODE solver at OUT_V.
+ */
+SpiceValidation runSpiceValidation(const lang::Language &gmcTln,
+                                   int trials,
+                                   std::uint64_t seedBase = 1);
+
+/// @}
+
+} // namespace ark::apps::experiments
+
+#endif // ARK_APPS_EXPERIMENTS_H

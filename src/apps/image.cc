@@ -1,0 +1,230 @@
+#include "apps/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::apps {
+
+using support::cat;
+using support::IoError;
+using support::panicIf;
+
+Image::Image(int width, int height, double fill)
+    : width_(width), height_(height),
+      pixels_(static_cast<std::size_t>(width * height), fill)
+{
+    panicIf(width <= 0 || height <= 0, "Image dimensions must be positive");
+}
+
+std::size_t
+Image::index(int row, int col) const
+{
+    panicIf(row < 0 || row >= height_ || col < 0 || col >= width_,
+            "Image::at out of range");
+    return static_cast<std::size_t>(row * width_ + col);
+}
+
+double &
+Image::at(int row, int col)
+{
+    return pixels_[index(row, col)];
+}
+
+double
+Image::at(int row, int col) const
+{
+    return pixels_[index(row, col)];
+}
+
+Image
+Image::fromPixels(int width, int height, std::vector<double> pixels)
+{
+    panicIf(static_cast<std::size_t>(width * height) != pixels.size(),
+            "fromPixels: size mismatch");
+    Image img(width, height);
+    img.pixels_ = std::move(pixels);
+    return img;
+}
+
+Image
+Image::binarized() const
+{
+    Image out(width_, height_);
+    for (std::size_t i = 0; i < pixels_.size(); ++i)
+        out.pixels_[i] = pixels_[i] > 0.0 ? 1.0 : -1.0;
+    return out;
+}
+
+int
+Image::countSignMismatch(const Image &other) const
+{
+    panicIf(width_ != other.width_ || height_ != other.height_,
+            "countSignMismatch: dimension mismatch");
+    int count = 0;
+    for (std::size_t i = 0; i < pixels_.size(); ++i) {
+        bool a = pixels_[i] > 0.0;
+        bool b = other.pixels_[i] > 0.0;
+        count += a != b;
+    }
+    return count;
+}
+
+Image
+Image::filledSquare(int size, int margin)
+{
+    Image img(size, size, -1.0);
+    for (int r = margin; r < size - margin; ++r)
+        for (int c = margin; c < size - margin; ++c)
+            img.at(r, c) = 1.0;
+    return img;
+}
+
+Image
+Image::hollowSquare(int size, int margin, int thickness)
+{
+    Image img = filledSquare(size, margin);
+    for (int r = margin + thickness; r < size - margin - thickness; ++r)
+        for (int c = margin + thickness; c < size - margin - thickness;
+             ++c) {
+            img.at(r, c) = -1.0;
+        }
+    return img;
+}
+
+Image
+Image::cross(int size, int armWidth)
+{
+    Image img(size, size, -1.0);
+    int lo = (size - armWidth) / 2;
+    int hi = lo + armWidth;
+    for (int r = 0; r < size; ++r)
+        for (int c = 0; c < size; ++c)
+            if ((r >= lo && r < hi) || (c >= lo && c < hi))
+                img.at(r, c) = 1.0;
+    return img;
+}
+
+Image
+Image::letterT(int size)
+{
+    Image img(size, size, -1.0);
+    int bar = std::max(2, size / 5);
+    for (int r = 1; r < 1 + bar; ++r)
+        for (int c = 1; c < size - 1; ++c)
+            img.at(r, c) = 1.0;
+    int lo = (size - bar) / 2;
+    for (int r = 1 + bar; r < size - 1; ++r)
+        for (int c = lo; c < lo + bar; ++c)
+            img.at(r, c) = 1.0;
+    return img;
+}
+
+Image
+Image::edgeMap() const
+{
+    Image out(width_, height_, -1.0);
+    for (int r = 0; r < height_; ++r) {
+        for (int c = 0; c < width_; ++c) {
+            if (at(r, c) <= 0.0)
+                continue; // white pixels never become edges
+            bool hasWhiteNeighbour = false;
+            for (int dr = -1; dr <= 1 && !hasWhiteNeighbour; ++dr) {
+                for (int dc = -1; dc <= 1; ++dc) {
+                    if (dr == 0 && dc == 0)
+                        continue;
+                    int nr = r + dr;
+                    int nc = c + dc;
+                    bool white = nr < 0 || nr >= height_ || nc < 0 ||
+                                 nc >= width_ || at(nr, nc) <= 0.0;
+                    if (white) {
+                        hasWhiteNeighbour = true;
+                        break;
+                    }
+                }
+            }
+            if (hasWhiteNeighbour)
+                out.at(r, c) = 1.0;
+        }
+    }
+    return out;
+}
+
+std::string
+Image::ascii() const
+{
+    std::string out;
+    out.reserve(static_cast<std::size_t>((width_ + 1) * height_));
+    for (int r = 0; r < height_; ++r) {
+        for (int c = 0; c < width_; ++c) {
+            double v = at(r, c);
+            out += v > 0.33 ? '#' : (v < -0.33 ? '.' : '+');
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+Image::toPgm() const
+{
+    std::ostringstream oss;
+    oss << "P5\n" << width_ << " " << height_ << "\n255\n";
+    for (double v : pixels_) {
+        // +1 (black) -> 0, -1 (white) -> 255.
+        double clamped = std::clamp(v, -1.0, 1.0);
+        auto byte = static_cast<unsigned char>(
+            std::lround((1.0 - clamped) * 127.5));
+        oss.put(static_cast<char>(byte));
+    }
+    return oss.str();
+}
+
+Image
+Image::fromPgm(const std::string &data)
+{
+    std::istringstream iss(data);
+    std::string magic;
+    iss >> magic;
+    if (magic != "P5")
+        throw IoError("not a binary PGM (P5) image");
+    auto nextInt = [&iss]() -> int {
+        // Skip whitespace and '#' comment lines.
+        while (true) {
+            int ch = iss.peek();
+            if (ch == '#') {
+                std::string line;
+                std::getline(iss, line);
+            } else if (std::isspace(ch)) {
+                iss.get();
+            } else {
+                break;
+            }
+        }
+        int value;
+        if (!(iss >> value))
+            throw IoError("truncated PGM header");
+        return value;
+    };
+    int width = nextInt();
+    int height = nextInt();
+    int maxVal = nextInt();
+    if (width <= 0 || height <= 0 || maxVal <= 0 || maxVal > 255)
+        throw IoError("unsupported PGM geometry");
+    iss.get(); // single whitespace after maxval
+    Image img(width, height);
+    for (int i = 0; i < width * height; ++i) {
+        int byte = iss.get();
+        if (byte == EOF)
+            throw IoError("truncated PGM payload");
+        double gray = static_cast<double>(byte) /
+                      static_cast<double>(maxVal);
+        img.pixels_[static_cast<std::size_t>(i)] = 1.0 - 2.0 * gray;
+    }
+    return img;
+}
+
+} // namespace ark::apps

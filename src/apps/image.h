@@ -1,0 +1,82 @@
+#ifndef ARK_APPS_IMAGE_H
+#define ARK_APPS_IMAGE_H
+
+/**
+ * @file
+ * Grayscale image support for the CNN case study.
+ *
+ * CNN convention: +1 is black, -1 is white (bipolar pixels). Images
+ * load/store as binary PGM (P5) with 0=black..255=white, render as
+ * ASCII art for terminal output, and provide the procedural test
+ * patterns used by the Figure 11 experiment.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ark::apps {
+
+/** Row-major bipolar grayscale image. */
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Creates a width x height image filled with `fill`. */
+    Image(int width, int height, double fill = -1.0);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    double &at(int row, int col);
+    double at(int row, int col) const;
+
+    /** Raw row-major pixels (CNN builder input format). */
+    const std::vector<double> &pixels() const { return pixels_; }
+
+    /** Builds an image from raw pixel values. */
+    static Image fromPixels(int width, int height,
+                            std::vector<double> pixels);
+
+    /** Thresholds at 0: >0 becomes +1 (black), else -1 (white). */
+    Image binarized() const;
+
+    /** Pixels differing in sign from `other`. */
+    int countSignMismatch(const Image &other) const;
+
+    /** @name Test patterns (all bipolar, white background) */
+    /// @{
+    static Image filledSquare(int size, int margin);
+    static Image hollowSquare(int size, int margin, int thickness);
+    static Image cross(int size, int armWidth);
+    static Image letterT(int size);
+    /// @}
+
+    /**
+     * Ground-truth edge map: black pixels with at least one white
+     * 8-neighbour stay black; everything else is white. Out-of-range
+     * neighbours count as white.
+     */
+    Image edgeMap() const;
+
+    /** ASCII rendering ('#' black, '.' white, '+' intermediate). */
+    std::string ascii() const;
+
+    /** @name PGM (P5) round trip */
+    /// @{
+    std::string toPgm() const;
+    static Image fromPgm(const std::string &data);
+    /// @}
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<double> pixels_;
+
+    std::size_t index(int row, int col) const;
+};
+
+} // namespace ark::apps
+
+#endif // ARK_APPS_IMAGE_H

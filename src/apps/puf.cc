@@ -1,0 +1,243 @@
+#include "apps/puf.h"
+
+#include "compiler/compiler.h"
+#include "lang/func.h"
+#include "sim/sim.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/rng.h"
+#include "validator/validator.h"
+
+namespace ark::apps {
+
+using lang::GraphBuilder;
+using support::cat;
+using support::SemaError;
+
+TlnPuf::TlnPuf(const lang::Language &gmcTln, PufDesign design)
+    : lang_(gmcTln), design_(design)
+{
+    if (!gmcTln.types().hasEdgeType("Em"))
+        throw SemaError("TlnPuf needs the gmc-tln language");
+    if (design_.numBranches < 1 || design_.numBranches > 16)
+        throw SemaError("PUF challenge width must be 1..16");
+    if (design_.mainSections < design_.numBranches + 1)
+        throw SemaError("PUF main line too short for its branches");
+    nominalCache_.resize(1u << design_.numBranches);
+    nominalCached_.assign(1u << design_.numBranches, false);
+}
+
+dg::Graph
+TlnPuf::buildGraph(std::uint32_t challenge, std::uint64_t chipSeed) const
+{
+    if (challenge >= (1u << design_.numBranches))
+        throw SemaError(cat("challenge ", challenge, " exceeds ",
+                            design_.numBranches, " bits"));
+    // chipSeed 0 = the nominal device: ideal E edges, no sampling.
+    const bool mismatched = chipSeed != 0;
+    const std::string eType = mismatched ? "Em" : "E";
+    GraphBuilder builder(lang_, chipSeed);
+
+    auto addV = [&](const std::string &name, double g) {
+        builder.node(name, "V");
+        builder.edge("self_" + name, "E", name, name);
+        builder.attr(name, "c", 1e-9);
+        builder.attr(name, "g", g);
+    };
+    auto addI = [&](const std::string &name) {
+        builder.node(name, "I");
+        builder.edge("self_" + name, "E", name, name);
+        builder.attr(name, "l", 1e-9);
+        builder.attr(name, "r", 0.0);
+    };
+    auto couple = [&](const std::string &name, const std::string &src,
+                      const std::string &dst) {
+        builder.edge(name, eType, src, dst);
+        if (mismatched) {
+            builder.attr(name, "ws", 1.0);
+            builder.attr(name, "wt", 1.0);
+        }
+    };
+
+    // Main line.
+    addV("IN_V", 0.0);
+    for (int k = 1; k < design_.mainSections; ++k)
+        addV(cat("V_", k), 0.0);
+    addV("OUT_V", 1.0);
+    auto vName = [&](int k) -> std::string {
+        if (k == 0)
+            return "IN_V";
+        if (k == design_.mainSections)
+            return "OUT_V";
+        return cat("V_", k);
+    };
+    for (int k = 0; k < design_.mainSections; ++k) {
+        addI(cat("I_", k));
+        couple(cat("EV_", k), vName(k), cat("I_", k));
+        couple(cat("EI_", k), cat("I_", k), vName(k + 1));
+    }
+
+    // Switchable stubs at evenly spaced attachment points.
+    for (int b = 0; b < design_.numBranches; ++b) {
+        int attach = (b + 1) * design_.mainSections /
+                     (design_.numBranches + 1);
+        for (int k = 0; k < design_.stubSections; ++k) {
+            addI(cat("SB", b, "_I", k));
+            addV(cat("SB", b, "_V", k), 0.0);
+            std::string from =
+                k == 0 ? vName(attach) : cat("SB", b, "_V", k - 1);
+            couple(cat("SB", b, "_EV", k), from, cat("SB", b, "_I", k));
+            couple(cat("SB", b, "_EI", k), cat("SB", b, "_I", k),
+                   cat("SB", b, "_V", k));
+        }
+        // The switch lives on the stub's first edge.
+        builder.enable(cat("SB", b, "_EV0"),
+                       ((challenge >> b) & 1u) != 0);
+    }
+
+    // Pulsed Norton input.
+    builder.node("InpI_0", "InpI");
+    expr::Lambda pulse;
+    pulse.params = {"t0"};
+    pulse.body = expr::Expr::call(
+        "pulse", {expr::Expr::var("t0"), expr::Expr::real(0.0),
+                  expr::Expr::real(design_.pulseWidth)});
+    builder.attr("InpI_0", "fn", expr::Value::function(std::move(pulse)));
+    builder.attr("InpI_0", "g", 1.0);
+    couple("E_inp", "InpI_0", "IN_V");
+    return builder.take();
+}
+
+std::vector<double>
+TlnPuf::waveform(std::uint32_t challenge, std::uint64_t chipSeed) const
+{
+    dg::Graph graph = buildGraph(challenge, chipSeed);
+    validator::validateOrThrow(graph, lang_);
+    compiler::OdeSystem system = compiler::compile(graph, lang_);
+    sim::SimOptions options;
+    options.recordDt = design_.windowEnd / 4000.0;
+    sim::SimResult result =
+        sim::simulate(system, 0.0, design_.windowEnd, options);
+    int out = system.stateIndex("OUT_V", 0);
+    return result.trajectory.resample(
+        out, design_.windowStart, design_.windowEnd,
+        static_cast<std::size_t>(design_.responseBits));
+}
+
+const std::vector<double> &
+TlnPuf::nominalWaveform(std::uint32_t challenge) const
+{
+    if (!nominalCached_[challenge]) {
+        nominalCache_[challenge] = waveform(challenge, 0);
+        nominalCached_[challenge] = true;
+    }
+    return nominalCache_[challenge];
+}
+
+std::vector<std::uint8_t>
+TlnPuf::response(std::uint32_t challenge, std::uint64_t chipSeed,
+                 double noiseSigma, std::uint64_t noiseSeed) const
+{
+    const std::vector<double> &nominal = nominalWaveform(challenge);
+    std::vector<double> measured = waveform(challenge, chipSeed);
+    support::Rng noise(noiseSeed);
+    std::vector<std::uint8_t> bits;
+    bits.reserve(measured.size());
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        double sample = measured[i];
+        if (noiseSigma > 0)
+            sample += noise.gaussian(0.0, noiseSigma);
+        bits.push_back(sample > nominal[i] ? 1 : 0);
+    }
+    return bits;
+}
+
+double
+hammingFraction(const std::vector<std::uint8_t> &a,
+                const std::vector<std::uint8_t> &b)
+{
+    support::panicIf(a.size() != b.size() || a.empty(),
+                     "hammingFraction: size mismatch");
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        diff += a[i] != b[i];
+    return static_cast<double>(diff) / static_cast<double>(a.size());
+}
+
+PufMetrics
+evaluatePuf(const TlnPuf &puf, int numChips, int numChallenges,
+            double noiseSigma, std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    std::vector<std::uint32_t> challenges;
+    std::uint32_t challengeSpace =
+        1u << puf.design().numBranches;
+    for (int i = 0; i < numChallenges; ++i) {
+        challenges.push_back(static_cast<std::uint32_t>(
+            rng.uniformInt(0, challengeSpace - 1)));
+    }
+
+    // Responses per (challenge, chip); chip seeds start at 1 (0 is
+    // the nominal reference device).
+    std::vector<std::vector<std::vector<std::uint8_t>>> responses(
+        challenges.size());
+    for (std::size_t ci = 0; ci < challenges.size(); ++ci) {
+        for (int chip = 1; chip <= numChips; ++chip) {
+            responses[ci].push_back(
+                puf.response(challenges[ci],
+                             static_cast<std::uint64_t>(chip)));
+        }
+    }
+
+    double interSum = 0.0;
+    int interCount = 0;
+    for (std::size_t ci = 0; ci < challenges.size(); ++ci) {
+        for (int a = 0; a < numChips; ++a) {
+            for (int b = a + 1; b < numChips; ++b) {
+                interSum += hammingFraction(
+                    responses[ci][static_cast<std::size_t>(a)],
+                    responses[ci][static_cast<std::size_t>(b)]);
+                ++interCount;
+            }
+        }
+    }
+
+    double intraSum = 0.0;
+    int intraCount = 0;
+    for (std::size_t ci = 0; ci < challenges.size(); ++ci) {
+        for (int chip = 1; chip <= numChips; ++chip) {
+            auto remeasured =
+                puf.response(challenges[ci],
+                             static_cast<std::uint64_t>(chip),
+                             noiseSigma, rng.deriveSeed());
+            intraSum += hammingFraction(
+                responses[ci][static_cast<std::size_t>(chip - 1)],
+                remeasured);
+            ++intraCount;
+        }
+    }
+
+    double challengeSum = 0.0;
+    int challengeCount = 0;
+    for (int chip = 1; chip <= numChips; ++chip) {
+        for (std::size_t a = 0; a < challenges.size(); ++a) {
+            for (std::size_t b = a + 1; b < challenges.size(); ++b) {
+                if (challenges[a] == challenges[b])
+                    continue;
+                challengeSum += hammingFraction(
+                    responses[a][static_cast<std::size_t>(chip - 1)],
+                    responses[b][static_cast<std::size_t>(chip - 1)]);
+                ++challengeCount;
+            }
+        }
+    }
+
+    PufMetrics metrics;
+    metrics.uniqueness = interCount ? interSum / interCount : 0.0;
+    metrics.reliability = intraCount ? intraSum / intraCount : 0.0;
+    metrics.challengeSensitivity =
+        challengeCount ? challengeSum / challengeCount : 0.0;
+    return metrics;
+}
+
+} // namespace ark::apps

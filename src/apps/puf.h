@@ -1,0 +1,107 @@
+#ifndef ARK_APPS_PUF_H
+#define ARK_APPS_PUF_H
+
+/**
+ * @file
+ * Transmission-line PUF analysis (paper §2).
+ *
+ * The PUF is a t-line with switchable branch stubs: the challenge
+ * bitvector selects which stubs connect, reshaping the reflection
+ * pattern observed at OUT_V; per-chip GmC mismatch (Em edge weights,
+ * optionally Vm/Im capacitances) makes the waveform device-unique.
+ * The response encodes the chip's waveform against the nominal
+ * (mismatch-free) waveform, sampled across the observation window.
+ *
+ * Standard PUF quality metrics are provided: uniqueness (inter-chip
+ * Hamming distance, ideal 50%), reliability (intra-chip distance
+ * under measurement noise, ideal 0%), and challenge sensitivity.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "dg/graph.h"
+#include "lang/language.h"
+
+namespace ark::apps {
+
+/** PUF topology and measurement parameters. */
+struct PufDesign
+{
+    int mainSections = 20;   ///< LC sections on the main line.
+    int numBranches = 4;     ///< Challenge width (switchable stubs).
+    int stubSections = 4;    ///< Sections per stub.
+    double pulseWidth = 2e-8;
+    double windowStart = 1e-8; ///< Observation window (paper §2.2).
+    double windowEnd = 8e-8;
+    int responseBits = 64;   ///< Samples encoded into the response.
+};
+
+/**
+ * A reconfigurable TLN PUF design bound to the gmc-tln language.
+ * Thread-compatible; each call builds, validates and simulates a
+ * fresh dynamical graph.
+ */
+class TlnPuf
+{
+  public:
+    /** @param gmcTln The gmc-tln language (mismatch types needed). */
+    TlnPuf(const lang::Language &gmcTln, PufDesign design);
+
+    const PufDesign &design() const { return design_; }
+
+    /**
+     * Builds the PUF dynamical graph for one chip and challenge.
+     * @param challenge Bit b enables stub b (must fit numBranches).
+     * @param chipSeed  Mismatch seed; 0 disables mismatch entirely
+     *                  (the nominal reference device).
+     */
+    dg::Graph buildGraph(std::uint32_t challenge,
+                         std::uint64_t chipSeed) const;
+
+    /** OUT_V waveform across the observation window. */
+    std::vector<double> waveform(std::uint32_t challenge,
+                                 std::uint64_t chipSeed) const;
+
+    /**
+     * Challenge response: one bit per sample, set when the chip's
+     * waveform exceeds the nominal device's waveform at that sample.
+     * Additive Gaussian measurement noise models re-measurement.
+     */
+    std::vector<std::uint8_t> response(std::uint32_t challenge,
+                                       std::uint64_t chipSeed,
+                                       double noiseSigma = 0.0,
+                                       std::uint64_t noiseSeed = 0) const;
+
+  private:
+    const lang::Language &lang_;
+    PufDesign design_;
+    mutable std::vector<std::vector<double>> nominalCache_;
+    mutable std::vector<bool> nominalCached_;
+
+    const std::vector<double> &nominalWaveform(std::uint32_t challenge) const;
+};
+
+/** Fraction of differing bits (0..1). */
+double hammingFraction(const std::vector<std::uint8_t> &a,
+                       const std::vector<std::uint8_t> &b);
+
+/** PUF corpus metrics over a set of chips. */
+struct PufMetrics
+{
+    double uniqueness;  ///< Mean inter-chip response distance.
+    double reliability; ///< Mean intra-chip distance under noise.
+    double challengeSensitivity; ///< Mean distance across challenges.
+};
+
+/**
+ * Evaluates a PUF design over `numChips` simulated chips and
+ * `numChallenges` random challenges.
+ */
+PufMetrics evaluatePuf(const TlnPuf &puf, int numChips,
+                       int numChallenges, double noiseSigma,
+                       std::uint64_t seed);
+
+} // namespace ark::apps
+
+#endif // ARK_APPS_PUF_H

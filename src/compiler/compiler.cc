@@ -1,0 +1,264 @@
+#include "compiler/compiler.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "expr/fold.h"
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::compiler {
+
+using expr::Expr;
+using expr::ExprKind;
+using expr::ExprPtr;
+using lang::ProdRule;
+using support::cat;
+using support::CompileError;
+
+namespace {
+
+/**
+ * Recursively beta-reduces calls whose callee resolved to a lambda
+ * literal (attribute substitution turns `s.fn(times)` into one).
+ */
+ExprPtr
+inlineLambdaCalls(const ExprPtr &e)
+{
+    switch (e->kind()) {
+      case ExprKind::Literal:
+      case ExprKind::Var:
+      case ExprKind::Attr:
+      case ExprKind::Time:
+      case ExprKind::NodeVar:
+      case ExprKind::StateVar:
+        return e;
+      case ExprKind::Unary: {
+        ExprPtr a = inlineLambdaCalls(e->operand());
+        return a == e->operand() ? e : Expr::unary(e->unOp(), a);
+      }
+      case ExprKind::Binary: {
+        ExprPtr a = inlineLambdaCalls(e->lhs());
+        ExprPtr b = inlineLambdaCalls(e->rhs());
+        if (a == e->lhs() && b == e->rhs())
+            return e;
+        return Expr::binary(e->binOp(), a, b);
+      }
+      case ExprKind::If: {
+        ExprPtr c = inlineLambdaCalls(e->cond());
+        ExprPtr a = inlineLambdaCalls(e->thenBranch());
+        ExprPtr b = inlineLambdaCalls(e->elseBranch());
+        if (c == e->cond() && a == e->thenBranch() &&
+            b == e->elseBranch()) {
+            return e;
+        }
+        return Expr::ifThenElse(c, a, b);
+      }
+      case ExprKind::Call: {
+        std::vector<ExprPtr> args;
+        args.reserve(e->args().size());
+        for (const auto &arg : e->args())
+            args.push_back(inlineLambdaCalls(arg));
+        if (e->calleeExpr()) {
+            ExprPtr callee = inlineLambdaCalls(e->calleeExpr());
+            if (callee->kind() == ExprKind::Literal &&
+                callee->literalValue().isFunction()) {
+                ExprPtr body = expr::applyLambda(
+                    callee->literalValue().asFunction(), args);
+                return inlineLambdaCalls(body);
+            }
+            return Expr::callExpr(callee, std::move(args));
+        }
+        return Expr::call(e->callee(), std::move(args));
+    }
+    }
+    return e;
+}
+
+/** One compilation session over a (graph, language) pair. */
+class Compilation
+{
+  public:
+    Compilation(const dg::Graph &graph, const lang::Language &lang)
+        : graph_(graph), lang_(lang)
+    {
+        allocateState();
+    }
+
+    OdeSystem run()
+    {
+        std::vector<ExprPtr> rhs(vars_.size());
+        for (std::size_t idx = 0; idx < graph_.numNodes(); ++idx) {
+            dg::NodeId id{static_cast<std::int32_t>(idx)};
+            const dg::NodeTypeDef &type = graph_.nodeTypeOf(id);
+            if (type.order == 0)
+                continue;
+            const std::string &name = graph_.node(id).name;
+            // LowOrdEqs: dq_i/dt = q_{i+1} for i < p-1.
+            for (int d = 0; d + 1 < type.order; ++d) {
+                rhs[static_cast<std::size_t>(stateIndex(name, d))] =
+                    Expr::stateVar(stateIndex(name, d + 1));
+            }
+            rhs[static_cast<std::size_t>(stateIndex(name, type.order - 1))] =
+                expr::fold(nodeDynamics(id));
+        }
+        return OdeSystem(vars_, initial_, std::move(rhs));
+    }
+
+    /** var(node): state slot or inlined order-0 expression. */
+    ExprPtr valueOf(dg::NodeId id)
+    {
+        const dg::Node &node = graph_.node(id);
+        const dg::NodeTypeDef &type = graph_.nodeTypeOf(id);
+        if (type.order > 0)
+            return Expr::stateVar(stateIndex(node.name, 0));
+
+        auto it = order0Cache_.find(node.name);
+        if (it != order0Cache_.end())
+            return it->second;
+        if (!inProgress_.insert(node.name).second) {
+            throw CompileError(cat("order-0 node '", node.name,
+                                   "' participates in a pure-function "
+                                   "cycle"));
+        }
+        ExprPtr value = expr::fold(nodeDynamics(id));
+        inProgress_.erase(node.name);
+        order0Cache_.emplace(node.name, value);
+        return value;
+    }
+
+  private:
+    const dg::Graph &graph_;
+    const lang::Language &lang_;
+    std::vector<StateVar> vars_;
+    std::vector<double> initial_;
+    std::unordered_map<std::string, int> indexByKey_;
+    std::unordered_map<std::string, ExprPtr> order0Cache_;
+    std::unordered_set<std::string> inProgress_;
+
+    static std::string key(const std::string &node, int derivative)
+    {
+        return node + "#" + std::to_string(derivative);
+    }
+
+    void allocateState()
+    {
+        for (std::size_t idx = 0; idx < graph_.numNodes(); ++idx) {
+            dg::NodeId id{static_cast<std::int32_t>(idx)};
+            const dg::Node &node = graph_.node(id);
+            const dg::NodeTypeDef &type = graph_.nodeTypeOf(id);
+            for (int d = 0; d < type.order; ++d) {
+                indexByKey_[key(node.name, d)] =
+                    static_cast<int>(vars_.size());
+                vars_.push_back(StateVar{node.name, d});
+                initial_.push_back(graph_.initValue(id, d).asReal());
+            }
+        }
+    }
+
+    int stateIndex(const std::string &node, int derivative) const
+    {
+        auto it = indexByKey_.find(key(node, derivative));
+        support::panicIf(it == indexByKey_.end(),
+                         "compiler: missing state variable");
+        return it->second;
+    }
+
+    /**
+     * Aggregated production terms for a node (the pth derivative of
+     * order-p nodes; the value of order-0 nodes).
+     */
+    ExprPtr nodeDynamics(dg::NodeId id)
+    {
+        const dg::NodeTypeDef &type = graph_.nodeTypeOf(id);
+        std::vector<ExprPtr> terms;
+        for (dg::EdgeId edgeId : graph_.allEdgesOf(id)) {
+            const dg::Edge &edge = graph_.edge(edgeId);
+            bool off = !edge.enabled;
+            bool self = edge.isSelf();
+            ProdRule::Target target =
+                (self || edge.src == id) ? ProdRule::Target::Src
+                                         : ProdRule::Target::Dst;
+            const std::string &srcType = graph_.node(edge.src).type;
+            const std::string &dstType = graph_.node(edge.dst).type;
+            const ProdRule *rule = lang_.lookupRule(
+                edge.type, srcType, dstType, self, target, off);
+            if (!rule)
+                continue;
+            terms.push_back(instantiate(*rule, edgeId));
+        }
+        if (terms.empty()) {
+            return type.reduction == dg::Reduction::Sum
+                       ? Expr::real(0.0)
+                       : Expr::real(1.0);
+        }
+        ExprPtr acc = terms.front();
+        for (std::size_t i = 1; i < terms.size(); ++i) {
+            acc = Expr::binary(type.reduction == dg::Reduction::Sum
+                                   ? expr::BinOp::Add
+                                   : expr::BinOp::Mul,
+                               acc, terms[i]);
+        }
+        return acc;
+    }
+
+    /** The paper's Rewrite: rule expression onto concrete elements. */
+    ExprPtr instantiate(const ProdRule &rule, dg::EdgeId edgeId)
+    {
+        const dg::Edge &edge = graph_.edge(edgeId);
+
+        // Attribute references: e.x / s.x / t.x -> attribute values.
+        ExprPtr withAttrs = expr::substituteAttrs(
+            rule.expr,
+            [&](const std::string &base,
+                const std::string &attr) -> ExprPtr {
+                if (base == rule.edgeVar) {
+                    return Expr::literal(graph_.edgeAttr(edgeId, attr));
+                }
+                if (base == rule.srcVar) {
+                    return Expr::literal(graph_.nodeAttr(edge.src, attr));
+                }
+                if (base == rule.dstVar) {
+                    return Expr::literal(graph_.nodeAttr(edge.dst, attr));
+                }
+                throw CompileError(cat("production rule references "
+                                       "unbound name '", base, "'"));
+            });
+
+        // var(s) / var(t): state or inlined function value.
+        ExprPtr withVars = expr::substituteNodeVars(
+            withAttrs, [&](const std::string &name) -> ExprPtr {
+                if (name == rule.srcVar)
+                    return valueOf(edge.src);
+                if (name == rule.dstVar)
+                    return valueOf(edge.dst);
+                throw CompileError(cat("var(", name,
+                                       ") references an unbound rule "
+                                       "name"));
+            });
+
+        return inlineLambdaCalls(withVars);
+    }
+};
+
+} // namespace
+
+OdeSystem
+compile(const dg::Graph &graph, const lang::Language &lang)
+{
+    Compilation session(graph, lang);
+    return session.run();
+}
+
+expr::ExprPtr
+nodeValueExpr(const dg::Graph &graph, const lang::Language &lang,
+              const std::string &nodeName)
+{
+    auto id = graph.findNode(nodeName);
+    if (!id)
+        throw CompileError(cat("unknown node '", nodeName, "'"));
+    Compilation session(graph, lang);
+    return expr::fold(session.valueOf(*id));
+}
+
+} // namespace ark::compiler

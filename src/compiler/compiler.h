@@ -1,0 +1,44 @@
+#ifndef ARK_COMPILER_COMPILER_H
+#define ARK_COMPILER_COMPILER_H
+
+/**
+ * @file
+ * The Ark dynamical system compiler (paper §5, Algorithm 1).
+ *
+ * For every node the compiler looks up the most specific production
+ * rule for each incident edge (falling back along inheritance chains),
+ * rewrites the rule expression onto the concrete elements (attribute
+ * values substituted, var(.) references resolved), aggregates the
+ * terms with the node type's reduction operator, and emits the
+ * differential equations. Order-0 nodes lower to pure functions that
+ * are inlined into their consumers; switched-off edges contribute
+ * only through `off` production rules.
+ */
+
+#include "compiler/odesystem.h"
+#include "dg/graph.h"
+#include "lang/language.h"
+
+namespace ark::compiler {
+
+/**
+ * Compiles a dynamical graph into its ODE system.
+ *
+ * @throws ark::support::CompileError on ambiguous rules, var(.)
+ *         references to undefined values, or order-0 dependency
+ *         cycles.
+ */
+OdeSystem compile(const dg::Graph &graph, const lang::Language &lang);
+
+/**
+ * Returns the inlined defining expression of an order-0 node, or the
+ * state variable reference for order>0 nodes (exposed for tests and
+ * for observers that read function-node outputs).
+ */
+expr::ExprPtr nodeValueExpr(const dg::Graph &graph,
+                            const lang::Language &lang,
+                            const std::string &nodeName);
+
+} // namespace ark::compiler
+
+#endif // ARK_COMPILER_COMPILER_H

@@ -1,0 +1,78 @@
+#include "compiler/odesystem.h"
+
+#include <sstream>
+
+#include "expr/eval.h"
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::compiler {
+
+using support::cat;
+using support::CompileError;
+
+std::string
+StateVar::label() const
+{
+    std::string out = node;
+    for (int i = 0; i < derivative; ++i)
+        out += "'";
+    return out;
+}
+
+OdeSystem::OdeSystem(std::vector<StateVar> vars,
+                     std::vector<double> initial,
+                     std::vector<expr::ExprPtr> rhs)
+    : vars_(std::move(vars)), initial_(std::move(initial)),
+      rhs_(std::move(rhs))
+{
+    support::panicIf(vars_.size() != initial_.size() ||
+                     vars_.size() != rhs_.size(),
+                     "OdeSystem: inconsistent component sizes");
+    tapes_.reserve(rhs_.size());
+    for (const auto &e : rhs_)
+        tapes_.push_back(expr::Tape::compile(e));
+}
+
+int
+OdeSystem::stateIndex(const std::string &node, int derivative) const
+{
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+        if (vars_[i].node == node && vars_[i].derivative == derivative)
+            return static_cast<int>(i);
+    }
+    throw CompileError(cat("no state variable for node '", node,
+                           "' derivative ", derivative));
+}
+
+void
+OdeSystem::evalRhs(const double *state, double t, double *dstate,
+                   std::vector<double> &scratch) const
+{
+    for (std::size_t i = 0; i < tapes_.size(); ++i)
+        dstate[i] = tapes_[i].eval(state, t, scratch);
+}
+
+void
+OdeSystem::evalRhsInterpreted(const double *state, double t,
+                              double *dstate) const
+{
+    expr::EvalContext ctx;
+    ctx.time = t;
+    ctx.lookupState = [state](int index) { return state[index]; };
+    for (std::size_t i = 0; i < rhs_.size(); ++i)
+        dstate[i] = expr::evalReal(rhs_[i], ctx);
+}
+
+std::string
+OdeSystem::equationsStr() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+        oss << "d " << vars_[i].label() << "/dt = " << rhs_[i]->str()
+            << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace ark::compiler

@@ -1,0 +1,77 @@
+#ifndef ARK_COMPILER_ODESYSTEM_H
+#define ARK_COMPILER_ODESYSTEM_H
+
+/**
+ * @file
+ * The compiled dynamical system: state variables, initial values, and
+ * right-hand-side expressions (as both trees and evaluation tapes).
+ *
+ * A node of order p contributes p state variables q_0..q_{p-1}
+ * (LowOrdEqs chain dq_i/dt = q_{i+1}); order-0 nodes are inlined as
+ * pure functions and own no state.
+ */
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "expr/tape.h"
+
+namespace ark::compiler {
+
+/** Descriptor of one state variable. */
+struct StateVar
+{
+    std::string node; ///< Owning DG node name.
+    int derivative;   ///< Which derivative of the node (0-based).
+
+    /** "name" for derivative 0, "name'" etc. above. */
+    std::string label() const;
+};
+
+/**
+ * A system of first-order ODEs dq/dt = f(q, t) produced by the Ark
+ * compiler. Immutable after construction.
+ */
+class OdeSystem
+{
+  public:
+    OdeSystem(std::vector<StateVar> vars, std::vector<double> initial,
+              std::vector<expr::ExprPtr> rhs);
+
+    std::size_t size() const { return vars_.size(); }
+    const std::vector<StateVar> &vars() const { return vars_; }
+    const std::vector<double> &initialState() const { return initial_; }
+    const std::vector<expr::ExprPtr> &rhsExprs() const { return rhs_; }
+
+    /**
+     * State index of a node's derivative.
+     * @throws CompileError when the node has no such state variable.
+     */
+    int stateIndex(const std::string &node, int derivative = 0) const;
+
+    /**
+     * Evaluates the right-hand side into dstate using the compiled
+     * tapes. `scratch` is caller-owned to keep the hot loop
+     * allocation-free.
+     */
+    void evalRhs(const double *state, double t, double *dstate,
+                 std::vector<double> &scratch) const;
+
+    /** Reference tree-walking evaluation (tests, perf ablation). */
+    void evalRhsInterpreted(const double *state, double t,
+                            double *dstate) const;
+
+    /** Pretty-printed equations, one per line ("d name/dt = ..."). */
+    std::string equationsStr() const;
+
+  private:
+    std::vector<StateVar> vars_;
+    std::vector<double> initial_;
+    std::vector<expr::ExprPtr> rhs_;
+    std::vector<expr::Tape> tapes_;
+};
+
+} // namespace ark::compiler
+
+#endif // ARK_COMPILER_ODESYSTEM_H

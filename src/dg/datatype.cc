@@ -1,0 +1,144 @@
+#include "dg/datatype.h"
+
+#include <cmath>
+#include <limits>
+
+#include "support/strings.h"
+
+namespace ark::dg {
+
+DataType
+DataType::real(double lo, double hi)
+{
+    DataType t;
+    t.kind_ = TypeKind::Real;
+    t.realLo_ = lo;
+    t.realHi_ = hi;
+    return t;
+}
+
+DataType
+DataType::realMm(double lo, double hi, Mismatch mm)
+{
+    DataType t = real(lo, hi);
+    t.mismatch_ = mm;
+    return t;
+}
+
+DataType
+DataType::integer(std::int64_t lo, std::int64_t hi)
+{
+    DataType t;
+    t.kind_ = TypeKind::Int;
+    t.intLo_ = lo;
+    t.intHi_ = hi;
+    return t;
+}
+
+DataType
+DataType::function(std::vector<std::string> params)
+{
+    DataType t;
+    t.kind_ = TypeKind::Function;
+    t.params_ = std::move(params);
+    return t;
+}
+
+DataType
+DataType::asConst() const
+{
+    DataType t = *this;
+    t.const_ = true;
+    return t;
+}
+
+bool
+DataType::contains(const expr::Value &v) const
+{
+    switch (kind_) {
+      case TypeKind::Real: {
+        if (!v.isNumeric())
+            return false;
+        double x = v.asReal();
+        return x >= realLo_ && x <= realHi_;
+      }
+      case TypeKind::Int: {
+        if (!v.isInt())
+            return false;
+        std::int64_t x = v.asInt();
+        return x >= intLo_ && x <= intHi_;
+      }
+      case TypeKind::Function:
+        return v.isFunction() &&
+               static_cast<int>(v.asFunction().params.size()) == arity();
+    }
+    return false;
+}
+
+bool
+DataType::narrowerOrEqual(const DataType &parent) const
+{
+    if (kind_ != parent.kind_)
+        return false;
+    switch (kind_) {
+      case TypeKind::Real:
+        return realLo_ >= parent.realLo_ && realHi_ <= parent.realHi_;
+      case TypeKind::Int:
+        return intLo_ >= parent.intLo_ && intHi_ <= parent.intHi_;
+      case TypeKind::Function:
+        return arity() == parent.arity();
+    }
+    return false;
+}
+
+std::string
+DataType::str() const
+{
+    using support::formatDouble;
+    std::string out;
+    switch (kind_) {
+      case TypeKind::Real: {
+        auto bound = [](double x) -> std::string {
+            if (std::isinf(x))
+                return x > 0 ? "inf" : "-inf";
+            return formatDouble(x);
+        };
+        out = "real[" + bound(realLo_) + "," + bound(realHi_) + "]";
+        if (mismatch_) {
+            out += " mm(" + formatDouble(mismatch_->s0) + "," +
+                   formatDouble(mismatch_->s1) + ")";
+        }
+        break;
+      }
+      case TypeKind::Int:
+        out = "int[" + std::to_string(intLo_) + "," +
+              std::to_string(intHi_) + "]";
+        break;
+      case TypeKind::Function:
+        out = "lambd(" + support::join(params_, ",") + ")";
+        break;
+    }
+    if (const_)
+        out += " const";
+    return out;
+}
+
+bool
+DataType::operator==(const DataType &other) const
+{
+    if (kind_ != other.kind_ || const_ != other.const_ ||
+        mismatch_ != other.mismatch_) {
+        return false;
+    }
+    switch (kind_) {
+      case TypeKind::Real:
+        return realLo_ == other.realLo_ && realHi_ == other.realHi_;
+      case TypeKind::Int:
+        return intLo_ == other.intLo_ && intHi_ == other.intHi_;
+      case TypeKind::Function:
+        return params_ == other.params_;
+    }
+    return false;
+}
+
+} // namespace ark::dg

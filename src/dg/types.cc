@@ -1,0 +1,186 @@
+#include "dg/types.h"
+
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::dg {
+
+using support::cat;
+using support::SemaError;
+
+const char *
+reductionName(Reduction r)
+{
+    return r == Reduction::Sum ? "sum" : "mul";
+}
+
+const AttrDef *
+NodeTypeDef::findAttr(const std::string &attr) const
+{
+    for (const auto &a : attrs)
+        if (a.name == attr)
+            return &a;
+    return nullptr;
+}
+
+const InitDef *
+NodeTypeDef::findInit(int derivative) const
+{
+    for (const auto &init : inits)
+        if (init.derivative == derivative)
+            return &init;
+    return nullptr;
+}
+
+const AttrDef *
+EdgeTypeDef::findAttr(const std::string &attr) const
+{
+    for (const auto &a : attrs)
+        if (a.name == attr)
+            return &a;
+    return nullptr;
+}
+
+void
+TypeTable::addNodeType(NodeTypeDef def)
+{
+    if (hasNodeType(def.name) || hasEdgeType(def.name)) {
+        throw SemaError(cat("duplicate type name '", def.name, "'"));
+    }
+    if (!def.parent.empty() && !hasNodeType(def.parent)) {
+        throw SemaError(cat("node type '", def.name,
+                            "' inherits unknown type '", def.parent, "'"));
+    }
+    nodeTypes_.push_back(std::move(def));
+}
+
+void
+TypeTable::addEdgeType(EdgeTypeDef def)
+{
+    if (hasNodeType(def.name) || hasEdgeType(def.name)) {
+        throw SemaError(cat("duplicate type name '", def.name, "'"));
+    }
+    if (!def.parent.empty() && !hasEdgeType(def.parent)) {
+        throw SemaError(cat("edge type '", def.name,
+                            "' inherits unknown type '", def.parent, "'"));
+    }
+    edgeTypes_.push_back(std::move(def));
+}
+
+const NodeTypeDef *
+TypeTable::findNodeType(const std::string &name) const
+{
+    for (const auto &t : nodeTypes_)
+        if (t.name == name)
+            return &t;
+    return nullptr;
+}
+
+const EdgeTypeDef *
+TypeTable::findEdgeType(const std::string &name) const
+{
+    for (const auto &t : edgeTypes_)
+        if (t.name == name)
+            return &t;
+    return nullptr;
+}
+
+const NodeTypeDef &
+TypeTable::nodeType(const std::string &name) const
+{
+    const NodeTypeDef *t = findNodeType(name);
+    if (!t)
+        throw SemaError(cat("unknown node type '", name, "'"));
+    return *t;
+}
+
+const EdgeTypeDef &
+TypeTable::edgeType(const std::string &name) const
+{
+    const EdgeTypeDef *t = findEdgeType(name);
+    if (!t)
+        throw SemaError(cat("unknown edge type '", name, "'"));
+    return *t;
+}
+
+bool
+TypeTable::hasNodeType(const std::string &name) const
+{
+    return findNodeType(name) != nullptr;
+}
+
+bool
+TypeTable::hasEdgeType(const std::string &name) const
+{
+    return findEdgeType(name) != nullptr;
+}
+
+int
+TypeTable::nodeDistance(const std::string &derived,
+                        const std::string &ancestor) const
+{
+    int dist = 0;
+    std::string current = derived;
+    while (true) {
+        if (current == ancestor)
+            return dist;
+        const NodeTypeDef *t = findNodeType(current);
+        if (!t || t->parent.empty())
+            return -1;
+        current = t->parent;
+        ++dist;
+    }
+}
+
+int
+TypeTable::edgeDistance(const std::string &derived,
+                        const std::string &ancestor) const
+{
+    int dist = 0;
+    std::string current = derived;
+    while (true) {
+        if (current == ancestor)
+            return dist;
+        const EdgeTypeDef *t = findEdgeType(current);
+        if (!t || t->parent.empty())
+            return -1;
+        current = t->parent;
+        ++dist;
+    }
+}
+
+bool
+TypeTable::isNodeAncestor(const std::string &ancestor,
+                          const std::string &derived) const
+{
+    return nodeDistance(derived, ancestor) >= 0;
+}
+
+bool
+TypeTable::isEdgeAncestor(const std::string &ancestor,
+                          const std::string &derived) const
+{
+    return edgeDistance(derived, ancestor) >= 0;
+}
+
+std::vector<std::string>
+TypeTable::nodeTypeNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(nodeTypes_.size());
+    for (const auto &t : nodeTypes_)
+        names.push_back(t.name);
+    return names;
+}
+
+std::vector<std::string>
+TypeTable::edgeTypeNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(edgeTypes_.size());
+    for (const auto &t : edgeTypes_)
+        names.push_back(t.name);
+    return names;
+}
+
+} // namespace ark::dg

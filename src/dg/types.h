@@ -1,0 +1,133 @@
+#ifndef ARK_DG_TYPES_H
+#define ARK_DG_TYPES_H
+
+/**
+ * @file
+ * Node and edge type descriptors and the per-language type table.
+ *
+ * A node type carries a differential-equation order p, a reduction
+ * operator (sum or mul) used to aggregate production terms, named
+ * attributes, and initial-value declarations for derivatives
+ * 0..p-1. An edge type carries attributes and an optional `fixed`
+ * marker (non-switchable hardware connections). Types form single-
+ * inheritance chains; the language layer fills derived types with
+ * inherited members so every descriptor here is complete on its own.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dg/datatype.h"
+#include "expr/value.h"
+
+namespace ark::dg {
+
+/** Reduction operator aggregating production terms (paper's Λ). */
+enum class Reduction : std::uint8_t { Sum, Mul };
+
+/** "sum" or "mul". */
+const char *reductionName(Reduction r);
+
+/** One attribute declaration inside a node or edge type. */
+struct AttrDef
+{
+    std::string name;
+    DataType type;
+    /** Value pinned at declaration (const attributes may carry one). */
+    std::optional<expr::Value> fixedValue;
+};
+
+/** One init(i) declaration: initial value of the ith derivative. */
+struct InitDef
+{
+    int derivative = 0;
+    DataType type;
+    std::optional<expr::Value> fixedValue;
+};
+
+/** Node type descriptor (grammar: node-type(p, Reduc) v { Attr* }). */
+struct NodeTypeDef
+{
+    std::string name;
+    int order = 0;
+    Reduction reduction = Reduction::Sum;
+    std::vector<AttrDef> attrs;
+    std::vector<InitDef> inits;
+    std::string parent; ///< Empty when the type is a root.
+    std::string lang;   ///< Defining language (diagnostics).
+
+    const AttrDef *findAttr(const std::string &attr) const;
+    const InitDef *findInit(int derivative) const;
+};
+
+/** Edge type descriptor (grammar: edge-type [fixed] v { Attr* }). */
+struct EdgeTypeDef
+{
+    std::string name;
+    bool fixed = false;
+    std::vector<AttrDef> attrs;
+    std::string parent;
+    std::string lang;
+
+    const AttrDef *findAttr(const std::string &attr) const;
+};
+
+/**
+ * All node and edge types visible to one language (its own plus every
+ * inherited one), with ancestry queries used by production-rule
+ * lookup and validation.
+ */
+class TypeTable
+{
+  public:
+    /** @throws SemaError on duplicate names or missing parents. */
+    void addNodeType(NodeTypeDef def);
+    void addEdgeType(EdgeTypeDef def);
+
+    const NodeTypeDef *findNodeType(const std::string &name) const;
+    const EdgeTypeDef *findEdgeType(const std::string &name) const;
+
+    /** @throws SemaError when absent. */
+    const NodeTypeDef &nodeType(const std::string &name) const;
+    const EdgeTypeDef &edgeType(const std::string &name) const;
+
+    bool hasNodeType(const std::string &name) const;
+    bool hasEdgeType(const std::string &name) const;
+
+    /**
+     * Reflexive ancestry: true when `ancestor` equals `derived` or
+     * appears on its parent chain.
+     */
+    bool isNodeAncestor(const std::string &ancestor,
+                        const std::string &derived) const;
+    bool isEdgeAncestor(const std::string &ancestor,
+                        const std::string &derived) const;
+
+    /**
+     * Inheritance distance from derived up to ancestor (0 when equal),
+     * or -1 when `ancestor` is not on the chain. Production-rule
+     * lookup minimizes this to pick the most specific rule.
+     */
+    int nodeDistance(const std::string &derived,
+                     const std::string &ancestor) const;
+    int edgeDistance(const std::string &derived,
+                     const std::string &ancestor) const;
+
+    /** Declaration-ordered listings (stable output). */
+    const std::vector<NodeTypeDef> &nodeTypes() const { return nodeTypes_; }
+    const std::vector<EdgeTypeDef> &edgeTypes() const { return edgeTypes_; }
+
+    /** All node-type names; handy for diagnostics. */
+    std::vector<std::string> nodeTypeNames() const;
+    std::vector<std::string> edgeTypeNames() const;
+
+  private:
+    std::vector<NodeTypeDef> nodeTypes_;
+    std::vector<EdgeTypeDef> edgeTypes_;
+};
+
+} // namespace ark::dg
+
+#endif // ARK_DG_TYPES_H

@@ -1,0 +1,613 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace ark::expr {
+
+using support::cat;
+using support::panicIf;
+using support::TypeError;
+
+const char *
+binOpName(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: return "+";
+      case BinOp::Sub: return "-";
+      case BinOp::Mul: return "*";
+      case BinOp::Div: return "/";
+      case BinOp::Pow: return "^";
+      case BinOp::Lt: return "<";
+      case BinOp::Le: return "<=";
+      case BinOp::Gt: return ">";
+      case BinOp::Ge: return ">=";
+      case BinOp::Eq: return "==";
+      case BinOp::Ne: return "!=";
+      case BinOp::And: return "and";
+      case BinOp::Or: return "or";
+    }
+    return "?";
+}
+
+const char *
+unOpName(UnOp op)
+{
+    switch (op) {
+      case UnOp::Neg: return "-";
+      case UnOp::Not: return "not";
+    }
+    return "?";
+}
+
+bool
+isComparison(BinOp op)
+{
+    return op >= BinOp::Lt && op <= BinOp::Ne;
+}
+
+bool
+isLogical(BinOp op)
+{
+    return op == BinOp::And || op == BinOp::Or;
+}
+
+bool
+isArithmetic(BinOp op)
+{
+    return op >= BinOp::Add && op <= BinOp::Pow;
+}
+
+namespace {
+
+std::shared_ptr<Expr>
+makeNode()
+{
+    // Expr's constructor is private; this helper is a friend by way of
+    // being inside the class's own translation unit using a derived
+    // accessor trick kept simple: allocate via new.
+    struct Access : Expr {};
+    return std::make_shared<Access>();
+}
+
+} // namespace
+
+ExprPtr
+Expr::literal(Value v)
+{
+    auto n = makeNode();
+    n->kind_ = ExprKind::Literal;
+    n->value_ = std::move(v);
+    return n;
+}
+
+ExprPtr
+Expr::real(double v)
+{
+    return literal(Value::real(v));
+}
+
+ExprPtr
+Expr::integer(std::int64_t v)
+{
+    return literal(Value::integer(v));
+}
+
+ExprPtr
+Expr::boolean(bool v)
+{
+    return literal(Value::boolean(v));
+}
+
+ExprPtr
+Expr::var(std::string name)
+{
+    auto n = makeNode();
+    n->kind_ = ExprKind::Var;
+    n->name_ = std::move(name);
+    return n;
+}
+
+ExprPtr
+Expr::attr(std::string base, std::string name)
+{
+    auto n = makeNode();
+    n->kind_ = ExprKind::Attr;
+    n->name_ = std::move(base);
+    n->attr_ = std::move(name);
+    return n;
+}
+
+ExprPtr
+Expr::time()
+{
+    auto n = makeNode();
+    n->kind_ = ExprKind::Time;
+    return n;
+}
+
+ExprPtr
+Expr::unary(UnOp op, ExprPtr operand)
+{
+    panicIf(!operand, "unary with null operand");
+    auto n = makeNode();
+    n->kind_ = ExprKind::Unary;
+    n->unOp_ = op;
+    n->a_ = std::move(operand);
+    return n;
+}
+
+ExprPtr
+Expr::binary(BinOp op, ExprPtr lhs, ExprPtr rhs)
+{
+    panicIf(!lhs || !rhs, "binary with null operand");
+    auto n = makeNode();
+    n->kind_ = ExprKind::Binary;
+    n->binOp_ = op;
+    n->a_ = std::move(lhs);
+    n->b_ = std::move(rhs);
+    return n;
+}
+
+ExprPtr
+Expr::call(std::string callee, std::vector<ExprPtr> args)
+{
+    for (const auto &a : args)
+        panicIf(!a, "call with null argument");
+    auto n = makeNode();
+    n->kind_ = ExprKind::Call;
+    n->name_ = std::move(callee);
+    n->args_ = std::move(args);
+    return n;
+}
+
+ExprPtr
+Expr::callExpr(ExprPtr callee, std::vector<ExprPtr> args)
+{
+    panicIf(!callee, "callExpr with null callee");
+    for (const auto &a : args)
+        panicIf(!a, "callExpr with null argument");
+    auto n = makeNode();
+    n->kind_ = ExprKind::Call;
+    n->calleeExpr_ = std::move(callee);
+    n->args_ = std::move(args);
+    return n;
+}
+
+ExprPtr
+Expr::ifThenElse(ExprPtr cond, ExprPtr then, ExprPtr other)
+{
+    panicIf(!cond || !then || !other, "if with null operand");
+    auto n = makeNode();
+    n->kind_ = ExprKind::If;
+    n->c_ = std::move(cond);
+    n->a_ = std::move(then);
+    n->b_ = std::move(other);
+    return n;
+}
+
+ExprPtr
+Expr::nodeVar(std::string node)
+{
+    auto n = makeNode();
+    n->kind_ = ExprKind::NodeVar;
+    n->name_ = std::move(node);
+    return n;
+}
+
+ExprPtr
+Expr::stateVar(int index)
+{
+    panicIf(index < 0, "stateVar with negative index");
+    auto n = makeNode();
+    n->kind_ = ExprKind::StateVar;
+    n->stateIndex_ = index;
+    return n;
+}
+
+const Value &
+Expr::literalValue() const
+{
+    panicIf(kind_ != ExprKind::Literal, "literalValue on non-literal");
+    return value_;
+}
+
+const std::string &
+Expr::varName() const
+{
+    panicIf(kind_ != ExprKind::Var, "varName on non-var");
+    return name_;
+}
+
+const std::string &
+Expr::attrBase() const
+{
+    panicIf(kind_ != ExprKind::Attr, "attrBase on non-attr");
+    return name_;
+}
+
+const std::string &
+Expr::attrName() const
+{
+    panicIf(kind_ != ExprKind::Attr, "attrName on non-attr");
+    return attr_;
+}
+
+UnOp
+Expr::unOp() const
+{
+    panicIf(kind_ != ExprKind::Unary, "unOp on non-unary");
+    return unOp_;
+}
+
+BinOp
+Expr::binOp() const
+{
+    panicIf(kind_ != ExprKind::Binary, "binOp on non-binary");
+    return binOp_;
+}
+
+const ExprPtr &
+Expr::lhs() const
+{
+    panicIf(kind_ != ExprKind::Binary, "lhs on non-binary");
+    return a_;
+}
+
+const ExprPtr &
+Expr::rhs() const
+{
+    panicIf(kind_ != ExprKind::Binary, "rhs on non-binary");
+    return b_;
+}
+
+const ExprPtr &
+Expr::operand() const
+{
+    panicIf(kind_ != ExprKind::Unary, "operand on non-unary");
+    return a_;
+}
+
+const std::string &
+Expr::callee() const
+{
+    panicIf(kind_ != ExprKind::Call, "callee on non-call");
+    return name_;
+}
+
+const ExprPtr &
+Expr::calleeExpr() const
+{
+    panicIf(kind_ != ExprKind::Call, "calleeExpr on non-call");
+    return calleeExpr_;
+}
+
+const std::vector<ExprPtr> &
+Expr::args() const
+{
+    panicIf(kind_ != ExprKind::Call, "args on non-call");
+    return args_;
+}
+
+const ExprPtr &
+Expr::cond() const
+{
+    panicIf(kind_ != ExprKind::If, "cond on non-if");
+    return c_;
+}
+
+const ExprPtr &
+Expr::thenBranch() const
+{
+    panicIf(kind_ != ExprKind::If, "thenBranch on non-if");
+    return a_;
+}
+
+const ExprPtr &
+Expr::elseBranch() const
+{
+    panicIf(kind_ != ExprKind::If, "elseBranch on non-if");
+    return b_;
+}
+
+const std::string &
+Expr::nodeName() const
+{
+    panicIf(kind_ != ExprKind::NodeVar, "nodeName on non-nodevar");
+    return name_;
+}
+
+int
+Expr::stateIndex() const
+{
+    panicIf(kind_ != ExprKind::StateVar, "stateIndex on non-statevar");
+    return stateIndex_;
+}
+
+std::string
+Expr::str() const
+{
+    switch (kind_) {
+      case ExprKind::Literal:
+        return value_.str();
+      case ExprKind::Var:
+        return name_;
+      case ExprKind::Attr:
+        return name_ + "." + attr_;
+      case ExprKind::Time:
+        return "time";
+      case ExprKind::Unary:
+        if (unOp_ == UnOp::Not)
+            return cat("(not ", a_->str(), ")");
+        return cat("(-", a_->str(), ")");
+      case ExprKind::Binary:
+        return cat("(", a_->str(), " ", binOpName(binOp_), " ",
+                   b_->str(), ")");
+      case ExprKind::Call: {
+        std::string out =
+            calleeExpr_ ? cat("(", calleeExpr_->str(), ")") : name_;
+        out += "(";
+        for (std::size_t i = 0; i < args_.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            out += args_[i]->str();
+        }
+        out += ")";
+        return out;
+      }
+      case ExprKind::If:
+        return cat("(if ", c_->str(), " then ", a_->str(), " else ",
+                   b_->str(), ")");
+      case ExprKind::NodeVar:
+        return cat("var(", name_, ")");
+      case ExprKind::StateVar:
+        return cat("q[", stateIndex_, "]");
+    }
+    return "<?>";
+}
+
+bool
+Expr::equals(const Expr &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case ExprKind::Literal:
+        return value_ == other.value_;
+      case ExprKind::Var:
+      case ExprKind::NodeVar:
+        return name_ == other.name_;
+      case ExprKind::Attr:
+        return name_ == other.name_ && attr_ == other.attr_;
+      case ExprKind::Time:
+        return true;
+      case ExprKind::Unary:
+        return unOp_ == other.unOp_ && a_->equals(*other.a_);
+      case ExprKind::Binary:
+        return binOp_ == other.binOp_ && a_->equals(*other.a_) &&
+               b_->equals(*other.b_);
+      case ExprKind::Call: {
+        if (name_ != other.name_ || args_.size() != other.args_.size())
+            return false;
+        if (static_cast<bool>(calleeExpr_) !=
+            static_cast<bool>(other.calleeExpr_)) {
+            return false;
+        }
+        if (calleeExpr_ && !calleeExpr_->equals(*other.calleeExpr_))
+            return false;
+        for (std::size_t i = 0; i < args_.size(); ++i)
+            if (!args_[i]->equals(*other.args_[i]))
+                return false;
+        return true;
+      }
+      case ExprKind::If:
+        return c_->equals(*other.c_) && a_->equals(*other.a_) &&
+               b_->equals(*other.b_);
+      case ExprKind::StateVar:
+        return stateIndex_ == other.stateIndex_;
+    }
+    return false;
+}
+
+void
+Expr::visit(const std::function<void(const Expr &)> &fn) const
+{
+    fn(*this);
+    if (a_)
+        a_->visit(fn);
+    if (b_)
+        b_->visit(fn);
+    if (c_)
+        c_->visit(fn);
+    if (calleeExpr_)
+        calleeExpr_->visit(fn);
+    for (const auto &arg : args_)
+        arg->visit(fn);
+}
+
+std::vector<std::string>
+Expr::freeVars() const
+{
+    std::vector<std::string> out;
+    std::unordered_set<std::string> seen;
+    visit([&](const Expr &e) {
+        if (e.kind() == ExprKind::Var && seen.insert(e.varName()).second)
+            out.push_back(e.varName());
+    });
+    return out;
+}
+
+std::vector<std::string>
+Expr::nodeVars() const
+{
+    std::vector<std::string> out;
+    std::unordered_set<std::string> seen;
+    visit([&](const Expr &e) {
+        if (e.kind() == ExprKind::NodeVar &&
+            seen.insert(e.nodeName()).second) {
+            out.push_back(e.nodeName());
+        }
+    });
+    return out;
+}
+
+namespace {
+
+/**
+ * Generic bottom-up rewriter: `leaf` maps an expression node to its
+ * replacement (or nullptr to keep it); children are rewritten first.
+ */
+ExprPtr
+rewrite(const ExprPtr &e,
+        const std::function<ExprPtr(const ExprPtr &)> &leaf)
+{
+    switch (e->kind()) {
+      case ExprKind::Literal:
+      case ExprKind::Time:
+      case ExprKind::StateVar:
+        return e;
+      case ExprKind::Var:
+      case ExprKind::Attr:
+      case ExprKind::NodeVar: {
+        ExprPtr repl = leaf(e);
+        return repl ? repl : e;
+      }
+      case ExprKind::Unary: {
+        ExprPtr a = rewrite(e->operand(), leaf);
+        if (a == e->operand())
+            return e;
+        return Expr::unary(e->unOp(), a);
+      }
+      case ExprKind::Binary: {
+        ExprPtr a = rewrite(e->lhs(), leaf);
+        ExprPtr b = rewrite(e->rhs(), leaf);
+        if (a == e->lhs() && b == e->rhs())
+            return e;
+        return Expr::binary(e->binOp(), a, b);
+      }
+      case ExprKind::Call: {
+        bool changed = false;
+        ExprPtr callee = e->calleeExpr();
+        if (callee) {
+            ExprPtr nc = rewrite(callee, leaf);
+            changed |= (nc != callee);
+            callee = nc;
+        }
+        std::vector<ExprPtr> args;
+        args.reserve(e->args().size());
+        for (const auto &arg : e->args()) {
+            ExprPtr na = rewrite(arg, leaf);
+            changed |= (na != arg);
+            args.push_back(na);
+        }
+        if (!changed)
+            return e;
+        if (callee)
+            return Expr::callExpr(callee, std::move(args));
+        return Expr::call(e->callee(), std::move(args));
+      }
+      case ExprKind::If: {
+        ExprPtr c = rewrite(e->cond(), leaf);
+        ExprPtr a = rewrite(e->thenBranch(), leaf);
+        ExprPtr b = rewrite(e->elseBranch(), leaf);
+        if (c == e->cond() && a == e->thenBranch() &&
+            b == e->elseBranch()) {
+            return e;
+        }
+        return Expr::ifThenElse(c, a, b);
+      }
+    }
+    return e;
+}
+
+} // namespace
+
+ExprPtr
+substituteVars(const ExprPtr &e,
+               const std::function<ExprPtr(const std::string &)> &lookup)
+{
+    return rewrite(e, [&](const ExprPtr &leaf) -> ExprPtr {
+        if (leaf->kind() == ExprKind::Var)
+            return lookup(leaf->varName());
+        return nullptr;
+    });
+}
+
+ExprPtr
+substituteNodeVars(const ExprPtr &e,
+                   const std::function<ExprPtr(const std::string &)> &lookup)
+{
+    return rewrite(e, [&](const ExprPtr &leaf) -> ExprPtr {
+        if (leaf->kind() == ExprKind::NodeVar)
+            return lookup(leaf->nodeName());
+        return nullptr;
+    });
+}
+
+ExprPtr
+substituteAttrs(
+    const ExprPtr &e,
+    const std::function<ExprPtr(const std::string &, const std::string &)>
+        &lookup)
+{
+    return rewrite(e, [&](const ExprPtr &leaf) -> ExprPtr {
+        if (leaf->kind() == ExprKind::Attr)
+            return lookup(leaf->attrBase(), leaf->attrName());
+        return nullptr;
+    });
+}
+
+ExprPtr
+renameBindings(const ExprPtr &e,
+               const std::function<std::string(const std::string &)> &rename)
+{
+    return rewrite(e, [&](const ExprPtr &leaf) -> ExprPtr {
+        switch (leaf->kind()) {
+          case ExprKind::Var: {
+            std::string renamed = rename(leaf->varName());
+            if (renamed == leaf->varName())
+                return nullptr;
+            return Expr::var(renamed);
+          }
+          case ExprKind::Attr: {
+            std::string renamed = rename(leaf->attrBase());
+            if (renamed == leaf->attrBase())
+                return nullptr;
+            return Expr::attr(renamed, leaf->attrName());
+          }
+          case ExprKind::NodeVar: {
+            std::string renamed = rename(leaf->nodeName());
+            if (renamed == leaf->nodeName())
+                return nullptr;
+            return Expr::nodeVar(renamed);
+          }
+          default:
+            return nullptr;
+        }
+    });
+}
+
+ExprPtr
+applyLambda(const Lambda &lambda, const std::vector<ExprPtr> &args)
+{
+    if (lambda.params.size() != args.size()) {
+        throw TypeError(cat("lambda expects ", lambda.params.size(),
+                            " argument(s), got ", args.size()));
+    }
+    std::unordered_map<std::string, ExprPtr> binding;
+    for (std::size_t i = 0; i < args.size(); ++i)
+        binding[lambda.params[i]] = args[i];
+    return substituteVars(lambda.body,
+                          [&](const std::string &name) -> ExprPtr {
+                              auto it = binding.find(name);
+                              return it == binding.end() ? nullptr
+                                                         : it->second;
+                          });
+}
+
+} // namespace ark::expr

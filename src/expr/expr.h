@@ -1,0 +1,189 @@
+#ifndef ARK_EXPR_EXPR_H
+#define ARK_EXPR_EXPR_H
+
+/**
+ * @file
+ * Immutable expression AST for Ark math and boolean expressions.
+ *
+ * Expressions appear in production rules (node dynamics terms), in
+ * lambda attribute bodies, and in set-switch conditions. Nodes are
+ * immutable and shared; rewriting (variable substitution, node-variable
+ * resolution, lambda inlining) builds new trees.
+ *
+ * Grammar coverage (Figure 6): literals, variables v, simulation time,
+ * attribute references v.v', unary/binary math, comparisons, logical
+ * and/or/not, if-then-else, calls to builtin functions and to
+ * lambda-valued variables/attributes, and var(n) node-state references.
+ * StateVar is a post-compilation form: an index into the flattened
+ * simulation state vector.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/value.h"
+
+namespace ark::expr {
+
+/** Binary operators (math, comparison, logical). */
+enum class BinOp : std::uint8_t {
+    Add, Sub, Mul, Div, Pow,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    And, Or,
+};
+
+/** Unary operators. */
+enum class UnOp : std::uint8_t { Neg, Not };
+
+/** Operator spellings ("+", "<=", "and", ...). */
+const char *binOpName(BinOp op);
+const char *unOpName(UnOp op);
+
+/** True for Lt..Ne. */
+bool isComparison(BinOp op);
+/** True for And/Or. */
+bool isLogical(BinOp op);
+/** True for Add..Pow. */
+bool isArithmetic(BinOp op);
+
+/** Discriminates Expr alternatives. */
+enum class ExprKind : std::uint8_t {
+    Literal,  ///< A Value constant.
+    Var,      ///< Named variable (function arg or rule binding).
+    Attr,     ///< base.attr reference.
+    Time,     ///< Simulation time.
+    Unary,    ///< UnOp applied to one operand.
+    Binary,   ///< BinOp applied to two operands.
+    Call,     ///< Builtin or lambda call.
+    If,       ///< if b then e else e'.
+    NodeVar,  ///< var(n): state variable of a graph node, by name.
+    StateVar, ///< Resolved state-vector slot (post-compilation).
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/**
+ * One expression tree node. Construct through the static factories;
+ * fields not applicable to the node's kind are empty/zero.
+ */
+class Expr : public std::enable_shared_from_this<Expr>
+{
+  public:
+    static ExprPtr literal(Value v);
+    static ExprPtr real(double v);
+    static ExprPtr integer(std::int64_t v);
+    static ExprPtr boolean(bool v);
+    static ExprPtr var(std::string name);
+    static ExprPtr attr(std::string base, std::string name);
+    static ExprPtr time();
+    static ExprPtr unary(UnOp op, ExprPtr operand);
+    static ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+    /** Call of a builtin by name. */
+    static ExprPtr call(std::string callee, std::vector<ExprPtr> args);
+    /** Call of a lambda-valued expression (variable or attribute). */
+    static ExprPtr callExpr(ExprPtr callee, std::vector<ExprPtr> args);
+    static ExprPtr ifThenElse(ExprPtr cond, ExprPtr then, ExprPtr other);
+    static ExprPtr nodeVar(std::string node);
+    static ExprPtr stateVar(int index);
+
+    ExprKind kind() const { return kind_; }
+
+    /** @name Kind-specific accessors (panic on kind mismatch). */
+    /// @{
+    const Value &literalValue() const;
+    const std::string &varName() const;
+    const std::string &attrBase() const;
+    const std::string &attrName() const;
+    UnOp unOp() const;
+    BinOp binOp() const;
+    const ExprPtr &lhs() const;
+    const ExprPtr &rhs() const;
+    const ExprPtr &operand() const;
+    const std::string &callee() const;
+    const ExprPtr &calleeExpr() const;
+    const std::vector<ExprPtr> &args() const;
+    const ExprPtr &cond() const;
+    const ExprPtr &thenBranch() const;
+    const ExprPtr &elseBranch() const;
+    const std::string &nodeName() const;
+    int stateIndex() const;
+    /// @}
+
+    /** Parenthesized source-like rendering. */
+    std::string str() const;
+
+    /** Structural equality. */
+    bool equals(const Expr &other) const;
+
+    /** Applies fn to every node in the tree (preorder). */
+    void visit(const std::function<void(const Expr &)> &fn) const;
+
+    /** Lists free variable names (Var nodes), deduplicated. */
+    std::vector<std::string> freeVars() const;
+
+    /** Lists node names referenced via var(.), deduplicated. */
+    std::vector<std::string> nodeVars() const;
+
+  protected:
+    Expr() = default;
+
+  private:
+    ExprKind kind_ = ExprKind::Literal;
+    Value value_;
+    std::string name_;       // Var name, Attr base, Call builtin, NodeVar
+    std::string attr_;       // Attr attribute name
+    UnOp unOp_ = UnOp::Neg;
+    BinOp binOp_ = BinOp::Add;
+    ExprPtr a_, b_, c_;      // operands / cond-then-else
+    ExprPtr calleeExpr_;
+    std::vector<ExprPtr> args_;
+    int stateIndex_ = -1;
+};
+
+/** @name Rewriting
+ * Each returns a new tree sharing unmodified subtrees.
+ */
+/// @{
+
+/** Replaces Var nodes by name. Unmapped variables stay untouched. */
+ExprPtr substituteVars(
+    const ExprPtr &e,
+    const std::function<ExprPtr(const std::string &)> &lookup);
+
+/** Replaces NodeVar nodes by node name. */
+ExprPtr substituteNodeVars(
+    const ExprPtr &e,
+    const std::function<ExprPtr(const std::string &)> &lookup);
+
+/**
+ * Replaces Attr nodes via (base, attr) lookup. Returning nullptr keeps
+ * the reference unchanged.
+ */
+ExprPtr substituteAttrs(
+    const ExprPtr &e,
+    const std::function<ExprPtr(const std::string &, const std::string &)>
+        &lookup);
+
+/**
+ * Renames the base of attribute references and variables; used when
+ * instantiating a production rule for concrete graph elements.
+ */
+ExprPtr renameBindings(
+    const ExprPtr &e,
+    const std::function<std::string(const std::string &)> &rename);
+
+/**
+ * Beta-reduces a lambda applied to argument expressions.
+ * @throws ark::support::TypeError on arity mismatch.
+ */
+ExprPtr applyLambda(const Lambda &lambda, const std::vector<ExprPtr> &args);
+
+/// @}
+
+} // namespace ark::expr
+
+#endif // ARK_EXPR_EXPR_H

@@ -1,0 +1,182 @@
+#include "expr/fold.h"
+
+#include <cmath>
+
+#include "expr/builtins.h"
+#include "expr/eval.h"
+#include "support/error.h"
+
+namespace ark::expr {
+
+bool
+isRealLiteral(const ExprPtr &e, double v)
+{
+    return e->kind() == ExprKind::Literal &&
+           e->literalValue().isNumeric() &&
+           e->literalValue().asReal() == v;
+}
+
+namespace {
+
+bool
+isLiteral(const ExprPtr &e)
+{
+    return e->kind() == ExprKind::Literal;
+}
+
+/** Evaluates a closed expression (all children literal). */
+ExprPtr
+evalClosed(const ExprPtr &e)
+{
+    EvalContext ctx; // no name hooks: only closed expressions succeed
+    return Expr::literal(eval(e, ctx));
+}
+
+ExprPtr
+foldUnary(const ExprPtr &e)
+{
+    ExprPtr a = fold(e->operand());
+    if (isLiteral(a))
+        return evalClosed(Expr::unary(e->unOp(), a));
+    // -(-x) == x
+    if (e->unOp() == UnOp::Neg && a->kind() == ExprKind::Unary &&
+        a->unOp() == UnOp::Neg) {
+        return a->operand();
+    }
+    if (a == e->operand())
+        return e;
+    return Expr::unary(e->unOp(), a);
+}
+
+ExprPtr
+foldBinary(const ExprPtr &e)
+{
+    ExprPtr a = fold(e->lhs());
+    ExprPtr b = fold(e->rhs());
+    BinOp op = e->binOp();
+
+    if (isLiteral(a) && isLiteral(b))
+        return evalClosed(Expr::binary(op, a, b));
+
+    switch (op) {
+      case BinOp::Add:
+        if (isRealLiteral(a, 0.0))
+            return b;
+        if (isRealLiteral(b, 0.0))
+            return a;
+        break;
+      case BinOp::Sub:
+        if (isRealLiteral(b, 0.0))
+            return a;
+        if (isRealLiteral(a, 0.0))
+            return fold(Expr::unary(UnOp::Neg, b));
+        break;
+      case BinOp::Mul:
+        if (isRealLiteral(a, 0.0) || isRealLiteral(b, 0.0))
+            return Expr::real(0.0);
+        if (isRealLiteral(a, 1.0))
+            return b;
+        if (isRealLiteral(b, 1.0))
+            return a;
+        if (isRealLiteral(a, -1.0))
+            return fold(Expr::unary(UnOp::Neg, b));
+        if (isRealLiteral(b, -1.0))
+            return fold(Expr::unary(UnOp::Neg, a));
+        break;
+      case BinOp::Div:
+        if (isRealLiteral(a, 0.0))
+            return Expr::real(0.0);
+        if (isRealLiteral(b, 1.0))
+            return a;
+        break;
+      case BinOp::Pow:
+        if (isRealLiteral(b, 1.0))
+            return a;
+        if (isRealLiteral(b, 0.0))
+            return Expr::real(1.0);
+        break;
+      case BinOp::And:
+        if (isLiteral(a))
+            return a->literalValue().asBool() ? b : Expr::boolean(false);
+        if (isLiteral(b))
+            return b->literalValue().asBool() ? a : Expr::boolean(false);
+        break;
+      case BinOp::Or:
+        if (isLiteral(a))
+            return a->literalValue().asBool() ? Expr::boolean(true) : b;
+        if (isLiteral(b))
+            return b->literalValue().asBool() ? Expr::boolean(true) : a;
+        break;
+      default:
+        break;
+    }
+    if (a == e->lhs() && b == e->rhs())
+        return e;
+    return Expr::binary(op, a, b);
+}
+
+ExprPtr
+foldCall(const ExprPtr &e)
+{
+    bool changed = false;
+    bool allLit = true;
+    std::vector<ExprPtr> args;
+    args.reserve(e->args().size());
+    for (const auto &arg : e->args()) {
+        ExprPtr fa = fold(arg);
+        changed |= (fa != arg);
+        allLit &= isLiteral(fa);
+        args.push_back(fa);
+    }
+    // Only named builtins fold; lambda-callee calls are inlined earlier
+    // by the compiler, and unknown names must keep failing at eval time.
+    if (!e->calleeExpr() && allLit && findBuiltin(e->callee()))
+        return evalClosed(Expr::call(e->callee(), std::move(args)));
+    if (!changed)
+        return e;
+    if (e->calleeExpr())
+        return Expr::callExpr(e->calleeExpr(), std::move(args));
+    return Expr::call(e->callee(), std::move(args));
+}
+
+ExprPtr
+foldIf(const ExprPtr &e)
+{
+    ExprPtr c = fold(e->cond());
+    if (isLiteral(c)) {
+        return c->literalValue().asBool() ? fold(e->thenBranch())
+                                          : fold(e->elseBranch());
+    }
+    ExprPtr a = fold(e->thenBranch());
+    ExprPtr b = fold(e->elseBranch());
+    if (c == e->cond() && a == e->thenBranch() && b == e->elseBranch())
+        return e;
+    return Expr::ifThenElse(c, a, b);
+}
+
+} // namespace
+
+ExprPtr
+fold(const ExprPtr &e)
+{
+    switch (e->kind()) {
+      case ExprKind::Literal:
+      case ExprKind::Var:
+      case ExprKind::Attr:
+      case ExprKind::Time:
+      case ExprKind::NodeVar:
+      case ExprKind::StateVar:
+        return e;
+      case ExprKind::Unary:
+        return foldUnary(e);
+      case ExprKind::Binary:
+        return foldBinary(e);
+      case ExprKind::Call:
+        return foldCall(e);
+      case ExprKind::If:
+        return foldIf(e);
+    }
+    return e;
+}
+
+} // namespace ark::expr

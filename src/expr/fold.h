@@ -1,0 +1,30 @@
+#ifndef ARK_EXPR_FOLD_H
+#define ARK_EXPR_FOLD_H
+
+/**
+ * @file
+ * Constant folding and algebraic simplification.
+ *
+ * Run after production-rule rewriting substitutes attribute values, so
+ * the ODE right-hand sides handed to the simulator are as small as
+ * possible. Simplifications use field identities (x*0 == 0, x+0 == x);
+ * like most compilers we accept that this discards NaN propagation
+ * from eliminated subtrees.
+ */
+
+#include "expr/expr.h"
+
+namespace ark::expr {
+
+/**
+ * Returns an equivalent, simplified expression. Idempotent; shares
+ * unchanged subtrees with the input.
+ */
+ExprPtr fold(const ExprPtr &e);
+
+/** True if the expression is a literal with the given real value. */
+bool isRealLiteral(const ExprPtr &e, double v);
+
+} // namespace ark::expr
+
+#endif // ARK_EXPR_FOLD_H

@@ -1,0 +1,237 @@
+#include "expr/tape.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::expr {
+
+using support::cat;
+using support::CompileError;
+
+int
+Tape::newReg()
+{
+    return numRegs_++;
+}
+
+int
+Tape::addOp(TapeOp op)
+{
+    ops_.push_back(op);
+    return op.dst;
+}
+
+namespace {
+
+OpCode
+binOpCode(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: return OpCode::Add;
+      case BinOp::Sub: return OpCode::Sub;
+      case BinOp::Mul: return OpCode::Mul;
+      case BinOp::Div: return OpCode::Div;
+      case BinOp::Lt: return OpCode::Lt;
+      case BinOp::Le: return OpCode::Le;
+      case BinOp::Gt: return OpCode::Gt;
+      case BinOp::Ge: return OpCode::Ge;
+      case BinOp::Eq: return OpCode::EqOp;
+      case BinOp::Ne: return OpCode::NeOp;
+      case BinOp::And: return OpCode::AndOp;
+      case BinOp::Or: return OpCode::OrOp;
+      case BinOp::Pow:
+        break; // lowered to CallB(Pow)
+    }
+    support::panic("binOpCode: unhandled operator");
+}
+
+} // namespace
+
+int
+Tape::emit(const ExprPtr &e)
+{
+    switch (e->kind()) {
+      case ExprKind::Literal: {
+        const Value &v = e->literalValue();
+        double imm;
+        if (v.isBool())
+            imm = v.asBool() ? 1.0 : 0.0;
+        else
+            imm = v.asReal(); // throws TypeError for lambdas
+        int dst = newReg();
+        return addOp({OpCode::Const, Builtin::Sin, dst, -1, -1, -1, imm});
+      }
+      case ExprKind::Time: {
+        int dst = newReg();
+        return addOp({OpCode::LoadTime, Builtin::Sin, dst, -1, -1, -1,
+                      0.0});
+      }
+      case ExprKind::StateVar: {
+        int dst = newReg();
+        maxStateIndex_ = std::max(maxStateIndex_, e->stateIndex());
+        return addOp({OpCode::LoadState, Builtin::Sin, dst,
+                      e->stateIndex(), -1, -1, 0.0});
+      }
+      case ExprKind::Unary: {
+        int a = emit(e->operand());
+        int dst = newReg();
+        OpCode op = e->unOp() == UnOp::Neg ? OpCode::Neg : OpCode::NotOp;
+        return addOp({op, Builtin::Sin, dst, a, -1, -1, 0.0});
+      }
+      case ExprKind::Binary: {
+        int a = emit(e->lhs());
+        int b = emit(e->rhs());
+        int dst = newReg();
+        if (e->binOp() == BinOp::Pow) {
+            return addOp({OpCode::CallB, Builtin::Pow, dst, a, b, -1,
+                          0.0});
+        }
+        return addOp({binOpCode(e->binOp()), Builtin::Sin, dst, a, b, -1,
+                      0.0});
+      }
+      case ExprKind::Call: {
+        if (e->calleeExpr()) {
+            throw CompileError(
+                cat("cannot compile unresolved lambda call ", e->str(),
+                    " to a tape"));
+        }
+        const BuiltinInfo *info = findBuiltin(e->callee());
+        if (!info) {
+            throw CompileError(cat("cannot compile unknown function '",
+                                   e->callee(), "' to a tape"));
+        }
+        if (static_cast<int>(e->args().size()) != info->arity) {
+            throw CompileError(cat("function '", e->callee(),
+                                   "' arity mismatch in tape compile"));
+        }
+        int regs[3] = {-1, -1, -1};
+        for (std::size_t i = 0; i < e->args().size(); ++i)
+            regs[i] = emit(e->args()[i]);
+        int dst = newReg();
+        return addOp({OpCode::CallB, info->id, dst, regs[0], regs[1],
+                      regs[2], 0.0});
+      }
+      case ExprKind::If: {
+        int c = emit(e->cond());
+        int a = emit(e->thenBranch());
+        int b = emit(e->elseBranch());
+        int dst = newReg();
+        return addOp({OpCode::Select, Builtin::Sin, dst, a, b, c, 0.0});
+      }
+      case ExprKind::Var:
+        throw CompileError(cat("cannot compile free variable '",
+                               e->varName(), "' to a tape"));
+      case ExprKind::Attr:
+        throw CompileError(cat("cannot compile unresolved attribute '",
+                               e->attrBase(), ".", e->attrName(),
+                               "' to a tape"));
+      case ExprKind::NodeVar:
+        throw CompileError(cat("cannot compile unresolved var(",
+                               e->nodeName(), ") to a tape"));
+    }
+    throw CompileError("unreachable expression kind in tape compile");
+}
+
+Tape
+Tape::compile(const ExprPtr &e)
+{
+    Tape tape;
+    tape.emit(e);
+    return tape;
+}
+
+double
+Tape::eval(const double *state, double t, std::vector<double> &regs) const
+{
+    if (static_cast<int>(regs.size()) < numRegs_)
+        regs.resize(static_cast<std::size_t>(numRegs_));
+    double *r = regs.data();
+    double result = 0.0;
+    for (const TapeOp &op : ops_) {
+        double out;
+        switch (op.op) {
+          case OpCode::Const:
+            out = op.imm;
+            break;
+          case OpCode::LoadTime:
+            out = t;
+            break;
+          case OpCode::LoadState:
+            out = state[op.a];
+            break;
+          case OpCode::Neg:
+            out = -r[op.a];
+            break;
+          case OpCode::Add:
+            out = r[op.a] + r[op.b];
+            break;
+          case OpCode::Sub:
+            out = r[op.a] - r[op.b];
+            break;
+          case OpCode::Mul:
+            out = r[op.a] * r[op.b];
+            break;
+          case OpCode::Div:
+            out = r[op.a] / r[op.b];
+            break;
+          case OpCode::Lt:
+            out = r[op.a] < r[op.b] ? 1.0 : 0.0;
+            break;
+          case OpCode::Le:
+            out = r[op.a] <= r[op.b] ? 1.0 : 0.0;
+            break;
+          case OpCode::Gt:
+            out = r[op.a] > r[op.b] ? 1.0 : 0.0;
+            break;
+          case OpCode::Ge:
+            out = r[op.a] >= r[op.b] ? 1.0 : 0.0;
+            break;
+          case OpCode::EqOp:
+            out = r[op.a] == r[op.b] ? 1.0 : 0.0;
+            break;
+          case OpCode::NeOp:
+            out = r[op.a] != r[op.b] ? 1.0 : 0.0;
+            break;
+          case OpCode::AndOp:
+            out = (r[op.a] != 0.0 && r[op.b] != 0.0) ? 1.0 : 0.0;
+            break;
+          case OpCode::OrOp:
+            out = (r[op.a] != 0.0 || r[op.b] != 0.0) ? 1.0 : 0.0;
+            break;
+          case OpCode::NotOp:
+            out = r[op.a] == 0.0 ? 1.0 : 0.0;
+            break;
+          case OpCode::Select:
+            out = r[op.c] != 0.0 ? r[op.a] : r[op.b];
+            break;
+          case OpCode::CallB: {
+            double argv[3];
+            int n = 0;
+            if (op.a >= 0)
+                argv[n++] = r[op.a];
+            if (op.b >= 0)
+                argv[n++] = r[op.b];
+            if (op.c >= 0)
+                argv[n++] = r[op.c];
+            out = evalBuiltin(op.builtin, argv, n);
+            break;
+          }
+          default:
+            support::panic("tape eval: bad opcode");
+        }
+        r[op.dst] = out;
+        result = out;
+    }
+    return result;
+}
+
+double
+Tape::evalAlloc(const std::vector<double> &state, double t) const
+{
+    std::vector<double> regs;
+    return eval(state.data(), t, regs);
+}
+
+} // namespace ark::expr

@@ -1,0 +1,145 @@
+#include "expr/value.h"
+
+#include "expr/expr.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace ark::expr {
+
+using support::TypeError;
+
+const char *
+valueKindName(ValueKind kind)
+{
+    switch (kind) {
+      case ValueKind::Real: return "real";
+      case ValueKind::Int: return "int";
+      case ValueKind::Bool: return "bool";
+      case ValueKind::Function: return "lambd";
+    }
+    return "value";
+}
+
+Value::Value()
+    : kind_(ValueKind::Real)
+{
+}
+
+Value
+Value::real(double v)
+{
+    Value out;
+    out.kind_ = ValueKind::Real;
+    out.real_ = v;
+    return out;
+}
+
+Value
+Value::integer(std::int64_t v)
+{
+    Value out;
+    out.kind_ = ValueKind::Int;
+    out.int_ = v;
+    return out;
+}
+
+Value
+Value::boolean(bool v)
+{
+    Value out;
+    out.kind_ = ValueKind::Bool;
+    out.bool_ = v;
+    return out;
+}
+
+Value
+Value::function(Lambda lambda)
+{
+    Value out;
+    out.kind_ = ValueKind::Function;
+    out.fn_ = std::make_shared<const Lambda>(std::move(lambda));
+    return out;
+}
+
+double
+Value::asReal() const
+{
+    if (kind_ == ValueKind::Real)
+        return real_;
+    if (kind_ == ValueKind::Int)
+        return static_cast<double>(int_);
+    throw TypeError(support::cat("expected a numeric value, got ",
+                                 valueKindName(kind_)));
+}
+
+std::int64_t
+Value::asInt() const
+{
+    if (kind_ != ValueKind::Int) {
+        throw TypeError(support::cat("expected an int value, got ",
+                                     valueKindName(kind_)));
+    }
+    return int_;
+}
+
+bool
+Value::asBool() const
+{
+    if (kind_ != ValueKind::Bool) {
+        throw TypeError(support::cat("expected a bool value, got ",
+                                     valueKindName(kind_)));
+    }
+    return bool_;
+}
+
+const Lambda &
+Value::asFunction() const
+{
+    if (kind_ != ValueKind::Function) {
+        throw TypeError(support::cat("expected a lambd value, got ",
+                                     valueKindName(kind_)));
+    }
+    return *fn_;
+}
+
+std::string
+Value::str() const
+{
+    switch (kind_) {
+      case ValueKind::Real:
+        return support::formatDouble(real_);
+      case ValueKind::Int:
+        return std::to_string(int_);
+      case ValueKind::Bool:
+        return bool_ ? "true" : "false";
+      case ValueKind::Function: {
+        std::string out = "lambd(";
+        for (std::size_t i = 0; i < fn_->params.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            out += fn_->params[i];
+        }
+        out += "): ";
+        out += fn_->body ? fn_->body->str() : "<null>";
+        return out;
+      }
+    }
+    return "<?>";
+}
+
+bool
+Value::operator==(const Value &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case ValueKind::Real: return real_ == other.real_;
+      case ValueKind::Int: return int_ == other.int_;
+      case ValueKind::Bool: return bool_ == other.bool_;
+      case ValueKind::Function: return str() == other.str();
+    }
+    return false;
+}
+
+} // namespace ark::expr

@@ -1,0 +1,96 @@
+#ifndef ARK_EXPR_VALUE_H
+#define ARK_EXPR_VALUE_H
+
+/**
+ * @file
+ * Runtime values for the Ark expression language.
+ *
+ * A Value is a real, a (bounded) integer, a boolean, or a lambda
+ * (lambd(v*): e). Attributes, initial values, and function arguments
+ * all carry Values; production-rule rewriting substitutes them into
+ * dynamics expressions.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ark::expr {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/** A lambda literal: named parameters and a body expression. */
+struct Lambda
+{
+    std::vector<std::string> params;
+    ExprPtr body;
+};
+
+/** Discriminates Value alternatives. */
+enum class ValueKind : std::uint8_t { Real, Int, Bool, Function };
+
+/** Human-readable kind name ("real", "int", ...). */
+const char *valueKindName(ValueKind kind);
+
+/**
+ * Tagged union of the Ark runtime value alternatives.
+ *
+ * Accessors throw ark::support::TypeError on kind mismatch, except
+ * asReal(), which transparently widens Int to Real (the only implicit
+ * conversion the language performs).
+ */
+class Value
+{
+  public:
+    /** Default-constructs real 0.0. */
+    Value();
+
+    static Value real(double v);
+    static Value integer(std::int64_t v);
+    static Value boolean(bool v);
+    static Value function(Lambda lambda);
+
+    ValueKind kind() const { return kind_; }
+
+    bool isReal() const { return kind_ == ValueKind::Real; }
+    bool isInt() const { return kind_ == ValueKind::Int; }
+    bool isBool() const { return kind_ == ValueKind::Bool; }
+    bool isFunction() const { return kind_ == ValueKind::Function; }
+
+    /** True for Real or Int. */
+    bool isNumeric() const { return isReal() || isInt(); }
+
+    /** Real view; widens Int. @throws TypeError otherwise. */
+    double asReal() const;
+
+    /** Int view. @throws TypeError unless kind is Int. */
+    std::int64_t asInt() const;
+
+    /** Bool view. @throws TypeError unless kind is Bool. */
+    bool asBool() const;
+
+    /** Lambda view. @throws TypeError unless kind is Function. */
+    const Lambda &asFunction() const;
+
+    /** Renders literals like "3.5", "7", "true", "lambd(t): ...". */
+    std::string str() const;
+
+    /**
+     * Structural equality; lambdas compare by printed body (adequate
+     * for tests, not used in semantics).
+     */
+    bool operator==(const Value &other) const;
+
+  private:
+    ValueKind kind_;
+    double real_ = 0.0;
+    std::int64_t int_ = 0;
+    bool bool_ = false;
+    std::shared_ptr<const Lambda> fn_;
+};
+
+} // namespace ark::expr
+
+#endif // ARK_EXPR_VALUE_H

@@ -1,0 +1,196 @@
+#include "ilp/flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "support/logging.h"
+
+namespace ark::ilp {
+
+using support::panicIf;
+
+MaxFlow::MaxFlow(int numNodes)
+    : adj_(static_cast<std::size_t>(numNodes))
+{
+}
+
+int
+MaxFlow::addEdge(int from, int to, std::int64_t capacity)
+{
+    panicIf(from < 0 || from >= numNodes() || to < 0 || to >= numNodes(),
+            "MaxFlow::addEdge: bad endpoint");
+    panicIf(capacity < 0, "MaxFlow::addEdge: negative capacity");
+    auto f = static_cast<std::size_t>(from);
+    auto t = static_cast<std::size_t>(to);
+    adj_[f].push_back(Arc{to, capacity, static_cast<int>(adj_[t].size())});
+    adj_[t].push_back(Arc{from, 0, static_cast<int>(adj_[f].size()) - 1});
+    edgeRef_.emplace_back(from, static_cast<int>(adj_[f].size()) - 1);
+    return static_cast<int>(edgeRef_.size()) - 1;
+}
+
+bool
+MaxFlow::bfs(int source, int sink)
+{
+    level_.assign(adj_.size(), -1);
+    std::queue<int> queue;
+    level_[static_cast<std::size_t>(source)] = 0;
+    queue.push(source);
+    while (!queue.empty()) {
+        int node = queue.front();
+        queue.pop();
+        for (const Arc &arc : adj_[static_cast<std::size_t>(node)]) {
+            if (arc.cap > 0 &&
+                level_[static_cast<std::size_t>(arc.to)] < 0) {
+                level_[static_cast<std::size_t>(arc.to)] =
+                    level_[static_cast<std::size_t>(node)] + 1;
+                queue.push(arc.to);
+            }
+        }
+    }
+    return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+std::int64_t
+MaxFlow::dfs(int node, int sink, std::int64_t limit)
+{
+    if (node == sink)
+        return limit;
+    auto n = static_cast<std::size_t>(node);
+    for (int &i = iter_[n]; i < static_cast<int>(adj_[n].size()); ++i) {
+        Arc &arc = adj_[n][static_cast<std::size_t>(i)];
+        if (arc.cap <= 0 ||
+            level_[static_cast<std::size_t>(arc.to)] !=
+                level_[n] + 1) {
+            continue;
+        }
+        std::int64_t pushed =
+            dfs(arc.to, sink, std::min(limit, arc.cap));
+        if (pushed > 0) {
+            arc.cap -= pushed;
+            adj_[static_cast<std::size_t>(arc.to)]
+                [static_cast<std::size_t>(arc.rev)].cap += pushed;
+            return pushed;
+        }
+    }
+    return 0;
+}
+
+std::int64_t
+MaxFlow::run(int source, int sink)
+{
+    std::int64_t total = 0;
+    while (bfs(source, sink)) {
+        iter_.assign(adj_.size(), 0);
+        while (std::int64_t pushed =
+                   dfs(source, sink,
+                       std::numeric_limits<std::int64_t>::max())) {
+            total += pushed;
+        }
+    }
+    return total;
+}
+
+std::int64_t
+MaxFlow::flowOn(int edgeId) const
+{
+    const auto &[node, arcIdx] = edgeRef_.at(static_cast<std::size_t>(edgeId));
+    const Arc &arc = adj_[static_cast<std::size_t>(node)]
+                         [static_cast<std::size_t>(arcIdx)];
+    // Flow equals the reverse arc's accumulated capacity.
+    return adj_[static_cast<std::size_t>(arc.to)]
+               [static_cast<std::size_t>(arc.rev)].cap;
+}
+
+std::optional<std::vector<int>>
+solveAssignment(const std::vector<std::vector<bool>> &allowed,
+                const std::vector<int> &lo, const std::vector<int> &hi)
+{
+    const int numItems = static_cast<int>(allowed.size());
+    const int numBuckets = static_cast<int>(lo.size());
+    panicIf(hi.size() != lo.size(), "solveAssignment: lo/hi mismatch");
+
+    // Quick necessary condition: total lower bounds cannot exceed the
+    // number of items (each item fills at most one bucket slot).
+    std::int64_t loTotal = 0;
+    for (int b = 0; b < numBuckets; ++b) {
+        int capHi = hi[static_cast<std::size_t>(b)];
+        if (capHi >= 0 && lo[static_cast<std::size_t>(b)] > capHi)
+            return std::nullopt;
+        loTotal += lo[static_cast<std::size_t>(b)];
+    }
+    if (loTotal > numItems)
+        return std::nullopt;
+
+    // Node layout: 0 = source, 1..numItems = items,
+    // numItems+1..numItems+numBuckets = buckets, then sink, then the
+    // super source/sink of the lower-bound transformation.
+    const int source = 0;
+    const int firstItem = 1;
+    const int firstBucket = firstItem + numItems;
+    const int sink = firstBucket + numBuckets;
+    const int superSource = sink + 1;
+    const int superSink = superSource + 1;
+    MaxFlow flow(superSink + 1);
+
+    const std::int64_t infCap = numItems + 1;
+
+    for (int i = 0; i < numItems; ++i)
+        flow.addEdge(source, firstItem + i, 1);
+
+    std::vector<std::vector<int>> itemArc(
+        static_cast<std::size_t>(numItems),
+        std::vector<int>(static_cast<std::size_t>(numBuckets), -1));
+    for (int i = 0; i < numItems; ++i) {
+        for (int b = 0; b < numBuckets; ++b) {
+            if (allowed[static_cast<std::size_t>(i)]
+                       [static_cast<std::size_t>(b)]) {
+                itemArc[static_cast<std::size_t>(i)]
+                       [static_cast<std::size_t>(b)] =
+                    flow.addEdge(firstItem + i, firstBucket + b, 1);
+            }
+        }
+    }
+
+    // Bucket -> sink arcs carry [lo, hi]; lower bounds are rerouted
+    // through the super source/sink (standard transformation).
+    std::int64_t demand = 0;
+    for (int b = 0; b < numBuckets; ++b) {
+        std::int64_t lower = lo[static_cast<std::size_t>(b)];
+        std::int64_t upper = hi[static_cast<std::size_t>(b)] < 0
+                                 ? infCap
+                                 : hi[static_cast<std::size_t>(b)];
+        flow.addEdge(firstBucket + b, sink, upper - lower);
+        if (lower > 0) {
+            flow.addEdge(superSource, sink, lower);
+            flow.addEdge(firstBucket + b, superSink, lower);
+            demand += lower;
+        }
+    }
+    // Close the circulation: sink back to source with infinite cap.
+    flow.addEdge(sink, source, infCap);
+
+    if (flow.run(superSource, superSink) != demand)
+        return std::nullopt;
+
+    // With lower bounds satisfied, push the remaining items.
+    flow.run(source, sink);
+
+    // All items must be assigned.
+    std::vector<int> assignment(static_cast<std::size_t>(numItems), -1);
+    for (int i = 0; i < numItems; ++i) {
+        for (int b = 0; b < numBuckets; ++b) {
+            int arc = itemArc[static_cast<std::size_t>(i)]
+                             [static_cast<std::size_t>(b)];
+            if (arc >= 0 && flow.flowOn(arc) > 0) {
+                assignment[static_cast<std::size_t>(i)] = b;
+                break;
+            }
+        }
+        if (assignment[static_cast<std::size_t>(i)] < 0)
+            return std::nullopt;
+    }
+    return assignment;
+}
+
+} // namespace ark::ilp

@@ -1,0 +1,70 @@
+#ifndef ARK_ILP_FLOW_H
+#define ARK_ILP_FLOW_H
+
+/**
+ * @file
+ * Dinic max-flow and a lower-bounded assignment decision procedure.
+ *
+ * The validator's pattern-matching problem — assign each edge of a
+ * node to exactly one clause, with clause j receiving between lo_j
+ * and hi_j edges — is a bipartite b-matching feasibility question.
+ * This module answers it with max-flow over the standard
+ * lower-bound transformation, giving an independent exact oracle for
+ * cross-checking the ILP and a faster path for large patterns.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ark::ilp {
+
+/** Dinic's max-flow on a small directed graph. */
+class MaxFlow
+{
+  public:
+    explicit MaxFlow(int numNodes);
+
+    /** Adds a directed edge with the given capacity; returns its id. */
+    int addEdge(int from, int to, std::int64_t capacity);
+
+    /** Computes max flow from source to sink. */
+    std::int64_t run(int source, int sink);
+
+    /** Flow currently on an edge (after run()). */
+    std::int64_t flowOn(int edgeId) const;
+
+    int numNodes() const { return static_cast<int>(adj_.size()); }
+
+  private:
+    struct Arc
+    {
+        int to;
+        std::int64_t cap;
+        int rev; ///< Index of the reverse arc in adj_[to].
+    };
+
+    std::vector<std::vector<Arc>> adj_;
+    std::vector<std::pair<int, int>> edgeRef_; ///< (node, arc index)
+    std::vector<int> level_;
+    std::vector<int> iter_;
+
+    bool bfs(int source, int sink);
+    std::int64_t dfs(int node, int sink, std::int64_t limit);
+};
+
+/**
+ * Decides the validator's assignment problem directly.
+ *
+ * @param allowed allowed[i][j] is true when item i may go to bucket j.
+ * @param lo/hi   Per-bucket cardinality bounds (hi < 0 means inf).
+ * @return per-item bucket assignment, or nullopt when infeasible.
+ *         Every item must be assigned to exactly one bucket.
+ */
+std::optional<std::vector<int>> solveAssignment(
+    const std::vector<std::vector<bool>> &allowed,
+    const std::vector<int> &lo, const std::vector<int> &hi);
+
+} // namespace ark::ilp
+
+#endif // ARK_ILP_FLOW_H

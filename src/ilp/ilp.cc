@@ -1,0 +1,266 @@
+#include "ilp/ilp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.h"
+
+namespace ark::ilp {
+
+using support::panicIf;
+
+int
+Model::addVar()
+{
+    bounds_.emplace_back(0, 1);
+    return numVars_++;
+}
+
+int
+Model::addVars(int count)
+{
+    panicIf(count < 0, "addVars with negative count");
+    int first = numVars_;
+    for (int i = 0; i < count; ++i)
+        addVar();
+    return first;
+}
+
+void
+Model::fixVar(int var, int value)
+{
+    panicIf(var < 0 || var >= numVars_, "fixVar: bad variable index");
+    panicIf(value != 0 && value != 1, "fixVar: binary domain only");
+    bounds_[static_cast<std::size_t>(var)] = {value, value};
+}
+
+void
+Model::addConstraint(Constraint c)
+{
+    for (const auto &[var, coeff] : c.terms) {
+        panicIf(var < 0 || var >= numVars_,
+                "constraint references unknown variable");
+        (void)coeff;
+    }
+    constraints_.push_back(std::move(c));
+}
+
+void
+Model::addSumEquals(const std::vector<int> &vars, double value)
+{
+    addSumRange(vars, value, value);
+}
+
+void
+Model::addSumRange(const std::vector<int> &vars, double lo, double hi)
+{
+    Constraint c;
+    c.lo = lo;
+    c.hi = hi;
+    c.terms.reserve(vars.size());
+    for (int var : vars)
+        c.terms.emplace_back(var, 1.0);
+    addConstraint(std::move(c));
+}
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/** Mutable search state: per-variable domain [lo, hi] in {0,1}. */
+struct SearchState
+{
+    std::vector<int> lo;
+    std::vector<int> hi;
+
+    bool fixed(int var) const { return lo[static_cast<std::size_t>(var)] ==
+                                       hi[static_cast<std::size_t>(var)]; }
+};
+
+/**
+ * Interval propagation: narrows domains until fixpoint.
+ * @return false when some constraint becomes unsatisfiable.
+ */
+bool
+propagate(const Model &model, SearchState &state, SolveStats *stats)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const Constraint &c : model.constraints()) {
+            if (stats)
+                ++stats->propagations;
+            double minSum = 0.0;
+            double maxSum = 0.0;
+            for (const auto &[var, coeff] : c.terms) {
+                auto v = static_cast<std::size_t>(var);
+                if (coeff >= 0) {
+                    minSum += coeff * state.lo[v];
+                    maxSum += coeff * state.hi[v];
+                } else {
+                    minSum += coeff * state.hi[v];
+                    maxSum += coeff * state.lo[v];
+                }
+            }
+            if (minSum > c.hi + kEps || maxSum < c.lo - kEps)
+                return false;
+            // Try to force free variables whose value is implied.
+            for (const auto &[var, coeff] : c.terms) {
+                auto v = static_cast<std::size_t>(var);
+                if (state.fixed(var) || coeff == 0.0)
+                    continue;
+                // Contribution interval of this variable given others.
+                double minOthers = minSum -
+                    (coeff >= 0 ? coeff * state.lo[v] : coeff * state.hi[v]);
+                double maxOthers = maxSum -
+                    (coeff >= 0 ? coeff * state.hi[v] : coeff * state.lo[v]);
+                // Setting the variable to b adds coeff*b.
+                bool canBe0 = (minOthers <= c.hi + kEps) &&
+                              (maxOthers >= c.lo - kEps);
+                bool canBe1 = (minOthers + coeff <= c.hi + kEps) &&
+                              (maxOthers + coeff >= c.lo - kEps);
+                if (!canBe0 && !canBe1)
+                    return false;
+                if (!canBe0) {
+                    state.lo[v] = 1;
+                    changed = true;
+                } else if (!canBe1) {
+                    state.hi[v] = 0;
+                    changed = true;
+                }
+            }
+            if (changed)
+                break; // recompute sums with narrowed domains
+        }
+    }
+    return true;
+}
+
+/** Picks the free variable appearing in the most constraints. */
+int
+pickBranchVar(const Model &model, const SearchState &state)
+{
+    std::vector<int> score(static_cast<std::size_t>(model.numVars()), 0);
+    for (const Constraint &c : model.constraints())
+        for (const auto &[var, coeff] : c.terms)
+            if (coeff != 0.0)
+                ++score[static_cast<std::size_t>(var)];
+    int best = -1;
+    int bestScore = -1;
+    for (int v = 0; v < model.numVars(); ++v) {
+        if (!state.fixed(v) && score[static_cast<std::size_t>(v)] >
+                                   bestScore) {
+            bestScore = score[static_cast<std::size_t>(v)];
+            best = v;
+        }
+    }
+    return best;
+}
+
+bool
+searchFeasible(const Model &model, SearchState &state, SolveStats *stats)
+{
+    if (stats)
+        ++stats->nodesExplored;
+    if (!propagate(model, state, stats))
+        return false;
+    int branch = pickBranchVar(model, state);
+    if (branch < 0)
+        return true; // every variable fixed and constraints hold
+    for (int value : {0, 1}) {
+        SearchState child = state;
+        child.lo[static_cast<std::size_t>(branch)] = value;
+        child.hi[static_cast<std::size_t>(branch)] = value;
+        if (searchFeasible(model, child, stats)) {
+            state = std::move(child);
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+objectiveLowerBound(const std::vector<double> &obj,
+                    const SearchState &state)
+{
+    double bound = 0.0;
+    for (std::size_t v = 0; v < state.lo.size(); ++v) {
+        double c = v < obj.size() ? obj[v] : 0.0;
+        bound += c * (c >= 0 ? state.lo[v] : state.hi[v]);
+    }
+    return bound;
+}
+
+void
+searchMinimize(const Model &model, SearchState &state,
+               const std::vector<double> &obj, double &bestValue,
+               std::optional<std::vector<int>> &bestAssign,
+               SolveStats *stats)
+{
+    if (stats)
+        ++stats->nodesExplored;
+    if (!propagate(model, state, stats))
+        return;
+    if (bestAssign && objectiveLowerBound(obj, state) >= bestValue - kEps)
+        return;
+    int branch = pickBranchVar(model, state);
+    if (branch < 0) {
+        double value = objectiveLowerBound(obj, state);
+        if (!bestAssign || value < bestValue) {
+            bestValue = value;
+            bestAssign = state.lo;
+        }
+        return;
+    }
+    // Explore the cheaper branch first for better pruning.
+    double coeff = static_cast<std::size_t>(branch) < obj.size()
+                       ? obj[static_cast<std::size_t>(branch)]
+                       : 0.0;
+    int first = coeff >= 0 ? 0 : 1;
+    for (int value : {first, 1 - first}) {
+        SearchState child = state;
+        child.lo[static_cast<std::size_t>(branch)] = value;
+        child.hi[static_cast<std::size_t>(branch)] = value;
+        searchMinimize(model, child, obj, bestValue, bestAssign, stats);
+    }
+}
+
+SearchState
+initialState(const Model &model)
+{
+    SearchState state;
+    state.lo.reserve(static_cast<std::size_t>(model.numVars()));
+    state.hi.reserve(static_cast<std::size_t>(model.numVars()));
+    for (const auto &[lo, hi] : model.bounds()) {
+        state.lo.push_back(lo);
+        state.hi.push_back(hi);
+    }
+    return state;
+}
+
+} // namespace
+
+std::optional<std::vector<int>>
+solve(const Model &model, SolveStats *stats)
+{
+    SearchState state = initialState(model);
+    if (!searchFeasible(model, state, stats))
+        return std::nullopt;
+    return state.lo; // all fixed: lo == hi
+}
+
+std::optional<std::vector<int>>
+minimize(const Model &model, const std::vector<double> &obj,
+         double *objectiveValue, SolveStats *stats)
+{
+    SearchState state = initialState(model);
+    double bestValue = std::numeric_limits<double>::infinity();
+    std::optional<std::vector<int>> bestAssign;
+    searchMinimize(model, state, obj, bestValue, bestAssign, stats);
+    if (bestAssign && objectiveValue)
+        *objectiveValue = bestValue;
+    return bestAssign;
+}
+
+} // namespace ark::ilp

@@ -1,0 +1,102 @@
+#ifndef ARK_ILP_ILP_H
+#define ARK_ILP_ILP_H
+
+/**
+ * @file
+ * A small exact 0/1 integer-linear-program solver.
+ *
+ * The Ark validator (paper Algorithm 2) decides whether a node's
+ * edges can be assigned to a pattern's clauses subject to cardinality
+ * bounds — a 0/1 feasibility ILP with row-sum and ranged column-sum
+ * constraints. This solver is a general 0/1 branch-and-bound with
+ * bound propagation; instances are tiny (|edges| x |clauses|
+ * variables), so exactness is cheap. flow.h provides an independent
+ * max-flow decision procedure for the same assignment structure,
+ * used for cross-checking and as a performance ablation.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ark::ilp {
+
+/** A linear constraint: lo <= sum coeff_i * x_i <= hi. */
+struct Constraint
+{
+    std::vector<std::pair<int, double>> terms; ///< (variable, coefficient)
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** A 0/1 ILP: binary variables, ranged linear constraints. */
+class Model
+{
+  public:
+    /** Adds a binary variable; returns its index. */
+    int addVar();
+
+    /** Adds `count` binary variables; returns the first index. */
+    int addVars(int count);
+
+    /** Fixes a variable to a constant (0 or 1). */
+    void fixVar(int var, int value);
+
+    /** Adds lo <= expr <= hi. */
+    void addConstraint(Constraint c);
+
+    /** Convenience: sum of vars == value. */
+    void addSumEquals(const std::vector<int> &vars, double value);
+
+    /** Convenience: lo <= sum of vars <= hi. */
+    void addSumRange(const std::vector<int> &vars, double lo, double hi);
+
+    int numVars() const { return numVars_; }
+    const std::vector<Constraint> &constraints() const
+    {
+        return constraints_;
+    }
+    /** Per-variable domain: {lo, hi} each 0/1. */
+    const std::vector<std::pair<int, int>> &bounds() const
+    {
+        return bounds_;
+    }
+
+  private:
+    int numVars_ = 0;
+    std::vector<Constraint> constraints_;
+    std::vector<std::pair<int, int>> bounds_;
+};
+
+/** Solver statistics (exposed for the perf ablation bench). */
+struct SolveStats
+{
+    std::uint64_t nodesExplored = 0;
+    std::uint64_t propagations = 0;
+};
+
+/**
+ * Decides feasibility; returns a satisfying assignment or nullopt.
+ *
+ * Branch-and-bound over binary variables with interval propagation:
+ * at each node, every constraint's attainable [min, max] interval is
+ * intersected with its bounds; variables whose value is forced get
+ * fixed, and emptied intervals prune the subtree.
+ */
+std::optional<std::vector<int>> solve(const Model &model,
+                                      SolveStats *stats = nullptr);
+
+/**
+ * Minimizes a linear objective over the model's feasible set.
+ * @return assignment minimizing sum obj_i * x_i, or nullopt when
+ *         infeasible. `obj` may be shorter than numVars (zero-padded).
+ */
+std::optional<std::vector<int>> minimize(const Model &model,
+                                         const std::vector<double> &obj,
+                                         double *objectiveValue = nullptr,
+                                         SolveStats *stats = nullptr);
+
+} // namespace ark::ilp
+
+#endif // ARK_ILP_ILP_H

@@ -1,0 +1,197 @@
+#ifndef ARK_LANG_AST_H
+#define ARK_LANG_AST_H
+
+/**
+ * @file
+ * Parsed representation of Ark programs (Figure 6 of the paper).
+ *
+ * The AST stays close to the concrete syntax; semantic analysis
+ * (sema.h) lowers LangDecls into Language objects and checks
+ * FuncDecls. Datatypes and literal values are already in their
+ * semantic form (dg::DataType / expr::Value) because their syntax is
+ * closed and unambiguous.
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dg/datatype.h"
+#include "dg/types.h"
+#include "expr/expr.h"
+#include "support/error.h"
+
+namespace ark::lang {
+
+/** attr v = SigTProg, optionally pinned to a constant value. */
+struct AttrDecl
+{
+    std::string name;
+    dg::DataType type;
+    std::optional<expr::Value> constValue;
+    support::SourceLoc loc;
+};
+
+/** init(i) SigTProg. */
+struct InitDecl
+{
+    int derivative = 0;
+    dg::DataType type;
+    std::optional<expr::Value> constValue;
+    support::SourceLoc loc;
+};
+
+/** node-type(p, Reduc) v [inherit w] { Attr* }. */
+struct NodeTypeDecl
+{
+    std::string name;
+    int order = 0;
+    dg::Reduction reduction = dg::Reduction::Sum;
+    std::optional<std::string> inherits;
+    std::vector<AttrDecl> attrs;
+    std::vector<InitDecl> inits;
+    support::SourceLoc loc;
+};
+
+/** edge-type [fixed] v [inherit w] { Attr* }. */
+struct EdgeTypeDecl
+{
+    std::string name;
+    bool fixed = false;
+    std::optional<std::string> inherits;
+    std::vector<AttrDecl> attrs;
+    support::SourceLoc loc;
+};
+
+/**
+ * prod(e:ET, s:ST -> t:DT) v <= expr [off].
+ * Self rules repeat the source name in the destination slot.
+ */
+struct ProdRuleDecl
+{
+    std::string edgeVar, edgeType;
+    std::string srcVar, srcType;
+    std::string dstVar, dstType;
+    std::string targetVar; ///< The v in `v <= e`; srcVar or dstVar.
+    expr::ExprPtr expr;
+    bool off = false;
+    support::SourceLoc loc;
+};
+
+/** Direction of a match clause relative to the target node. */
+enum class MatchDir { In, Out, Self };
+
+/**
+ * match(lo, hi, EType, ...): between lo and hi edges of type EType in
+ * the given direction, whose far endpoint's type is (a descendant of)
+ * one of nodeTypes. Self clauses have no far endpoint.
+ */
+struct MatchClause
+{
+    MatchDir dir = MatchDir::Self;
+    int lo = 0;
+    int hi = -1; ///< -1 encodes inf.
+    std::string edgeType;
+    std::vector<std::string> nodeTypes; ///< Empty for Self.
+    std::string targetName; ///< The vn the clause names (sema-checked).
+    support::SourceLoc loc;
+};
+
+/** One acc[...] or rej[...] group: a pattern of clauses. */
+struct PatternDecl
+{
+    bool accept = true;
+    std::vector<MatchClause> clauses;
+    support::SourceLoc loc;
+};
+
+/** cstr [vn:]T { (acc|rej)[...]* }. */
+struct CstrDecl
+{
+    std::string targetVar; ///< Defaults to the type name.
+    std::string nodeType;
+    std::vector<PatternDecl> patterns;
+    support::SourceLoc loc;
+};
+
+/** extern-func v: binds a registered global validity callback. */
+struct ExternFuncDecl
+{
+    std::string name;
+    support::SourceLoc loc;
+};
+
+/** lang v [inherits w] { LangSt* }. */
+struct LangDecl
+{
+    std::string name;
+    std::optional<std::string> inherits;
+    std::vector<NodeTypeDecl> nodeTypes;
+    std::vector<EdgeTypeDecl> edgeTypes;
+    std::vector<ProdRuleDecl> prodRules;
+    std::vector<CstrDecl> cstrs;
+    std::vector<ExternFuncDecl> externFuncs;
+    support::SourceLoc loc;
+};
+
+/**
+ * Function argument: v : SigT, or the dotted form v0.v1 : SigT which
+ * binds the argument directly to attribute v1 of node v0.
+ */
+struct FuncArgDecl
+{
+    std::string name;           ///< v, or v0 for the dotted form.
+    std::string attrName;       ///< v1 for the dotted form; else empty.
+    dg::DataType type;
+    support::SourceLoc loc;
+
+    bool isDotted() const { return !attrName.empty(); }
+};
+
+/** Function body statement kinds. */
+enum class FuncStmtKind : std::uint8_t {
+    Node,      ///< node v0 : v1
+    Edge,      ///< edge<v0,v1> v2 : v3
+    SetAttr,   ///< set-attr v0.v1 = FuncVal
+    SetInit,   ///< set-init v(i) = FuncVal
+    SetSwitch, ///< set-switch v when b   (alias: set-edge)
+};
+
+/**
+ * One function-body statement. `value` holds FuncVal as an expression:
+ * a literal, a lambda literal, or a variable reference to a function
+ * argument.
+ */
+struct FuncStmt
+{
+    FuncStmtKind kind = FuncStmtKind::Node;
+    std::string name;     ///< node/edge/target element name.
+    std::string type;     ///< node/edge type name.
+    std::string src, dst; ///< edge endpoints.
+    std::string attr;     ///< set-attr attribute name.
+    int derivative = 0;   ///< set-init derivative index.
+    expr::ExprPtr value;  ///< set-attr/set-init right-hand side.
+    expr::ExprPtr when;   ///< set-switch condition.
+    support::SourceLoc loc;
+};
+
+/** func v0 (FuncArg*) uses v1 { FuncSt* }. */
+struct FuncDecl
+{
+    std::string name;
+    std::string usesLang;
+    std::vector<FuncArgDecl> args;
+    std::vector<FuncStmt> body;
+    support::SourceLoc loc;
+};
+
+/** A whole source file: interleaved language and function decls. */
+struct Program
+{
+    std::vector<LangDecl> langs;
+    std::vector<FuncDecl> funcs;
+};
+
+} // namespace ark::lang
+
+#endif // ARK_LANG_AST_H

@@ -1,0 +1,108 @@
+#include "lang/cast.h"
+
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::lang {
+
+using support::cat;
+using support::SemaError;
+
+namespace {
+
+/** Nearest ancestor of `type` declared in the target's type table. */
+std::string
+resolveNodeType(const dg::TypeTable &source, const dg::TypeTable &target,
+                const std::string &type)
+{
+    std::string current = type;
+    while (true) {
+        if (target.hasNodeType(current))
+            return current;
+        const dg::NodeTypeDef *def = source.findNodeType(current);
+        if (!def || def->parent.empty()) {
+            throw SemaError(cat("node type '", type,
+                                "' has no ancestor in the target "
+                                "language"));
+        }
+        current = def->parent;
+    }
+}
+
+std::string
+resolveEdgeType(const dg::TypeTable &source, const dg::TypeTable &target,
+                const std::string &type)
+{
+    std::string current = type;
+    while (true) {
+        if (target.hasEdgeType(current))
+            return current;
+        const dg::EdgeTypeDef *def = source.findEdgeType(current);
+        if (!def || def->parent.empty()) {
+            throw SemaError(cat("edge type '", type,
+                                "' has no ancestor in the target "
+                                "language"));
+        }
+        current = def->parent;
+    }
+}
+
+} // namespace
+
+dg::Graph
+castGraph(const dg::Graph &graph, const Language &target)
+{
+    const dg::TypeTable &source = graph.types();
+    const dg::TypeTable &types = target.types();
+    dg::Graph out(&types, target.name());
+
+    for (std::size_t i = 0; i < graph.numNodes(); ++i) {
+        dg::NodeId id{static_cast<std::int32_t>(i)};
+        const dg::Node &node = graph.node(id);
+        std::string castType = resolveNodeType(source, types, node.type);
+        dg::NodeId newId = out.addNode(node.name, castType);
+        const dg::NodeTypeDef &def = types.nodeType(castType);
+        // Nominal values for the attributes the target type declares;
+        // sampled (mismatched) values belong to the derived type.
+        for (const dg::AttrDef &attr : def.attrs) {
+            auto it = node.attrs.find(attr.name);
+            if (it != node.attrs.end())
+                out.setNodeAttr(newId, attr.name, it->second.nominal);
+        }
+        for (int d = 0; d < def.order &&
+                        d < static_cast<int>(node.inits.size());
+             ++d) {
+            const auto &slot = node.inits[static_cast<std::size_t>(d)];
+            if (slot)
+                out.setInit(newId, d, *slot);
+        }
+    }
+
+    for (std::size_t i = 0; i < graph.numEdges(); ++i) {
+        dg::EdgeId id{static_cast<std::int32_t>(i)};
+        const dg::Edge &edge = graph.edge(id);
+        std::string castType = resolveEdgeType(source, types, edge.type);
+        dg::EdgeId newId = out.addEdge(
+            edge.name, castType,
+            *out.findNode(graph.node(edge.src).name),
+            *out.findNode(graph.node(edge.dst).name));
+        const dg::EdgeTypeDef &def = types.edgeType(castType);
+        for (const dg::AttrDef &attr : def.attrs) {
+            auto it = edge.attrs.find(attr.name);
+            if (it != edge.attrs.end())
+                out.setEdgeAttr(newId, attr.name, it->second.nominal);
+        }
+        if (edge.switchable && !def.fixed)
+            out.setEnabled(newId, edge.enabled);
+        else if (!edge.enabled && def.fixed) {
+            throw SemaError(cat("edge '", edge.name,
+                                "' is switched off but casts to fixed "
+                                "type '", castType, "'"));
+        }
+    }
+
+    out.checkComplete();
+    return out;
+}
+
+} // namespace ark::lang

@@ -1,0 +1,41 @@
+#ifndef ARK_LANG_CAST_H
+#define ARK_LANG_CAST_H
+
+/**
+ * @file
+ * Casting dynamical graphs to ancestor languages (paper §4.1.1).
+ *
+ * The inheritance rules guarantee that "dynamic graphs comprised of
+ * derived types can be cast to the parent type": every derived node
+ * or edge type has an ancestor in the parent language, overridden
+ * attributes fit the parent's (wider) ranges, and parent production
+ * rules cover the resulting connections. castGraph performs that
+ * conversion — mapping each element to its nearest ancestor type
+ * available in the target language and carrying over the *nominal*
+ * attribute values (hardware mismatch is a property of derived types;
+ * the cast yields the idealized computation).
+ */
+
+#include "dg/graph.h"
+#include "lang/language.h"
+
+namespace ark::lang {
+
+/**
+ * Casts a graph written in a descendant of `target` into `target`.
+ *
+ * @param graph  Source graph (its language must descend from target,
+ *               which is not checkable from the graph alone; type
+ *               resolution failures throw).
+ * @param target Ancestor language to cast into.
+ * @return A graph over target's types: nearest-ancestor types,
+ *         nominal attribute values for attributes the target type
+ *         declares, initial values and switch states preserved.
+ * @throws ark::support::SemaError when an element's type has no
+ *         ancestor in the target language.
+ */
+dg::Graph castGraph(const dg::Graph &graph, const Language &target);
+
+} // namespace ark::lang
+
+#endif // ARK_LANG_CAST_H

@@ -1,0 +1,477 @@
+#include "lang/func.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "expr/eval.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace ark::lang {
+
+using support::cat;
+using support::SemaError;
+using support::TypeError;
+
+namespace {
+
+/** Static element tracking during function checking. */
+struct ElementInfo
+{
+    bool isNode = false;
+    std::string type;
+};
+
+expr::StaticType
+staticTypeOf(const dg::DataType &type)
+{
+    switch (type.kind()) {
+      case dg::TypeKind::Real:
+        return expr::StaticType::Real;
+      case dg::TypeKind::Int:
+        return expr::StaticType::Int;
+      case dg::TypeKind::Function:
+        return expr::StaticType::Function;
+    }
+    return expr::StaticType::Real;
+}
+
+/** Scope exposing function arguments to value expressions. */
+expr::TypeScope
+argScope(const FuncDecl &func)
+{
+    expr::TypeScope scope;
+    scope.varType = [&func](const std::string &name)
+        -> std::optional<expr::StaticType> {
+        for (const FuncArgDecl &arg : func.args)
+            if (!arg.isDotted() && arg.name == name)
+                return staticTypeOf(arg.type);
+        return std::nullopt;
+    };
+    scope.lambdaArity = [&func](const std::string &name,
+                                const std::string &attr)
+        -> std::optional<int> {
+        if (!attr.empty())
+            return std::nullopt;
+        for (const FuncArgDecl &arg : func.args) {
+            if (!arg.isDotted() && arg.name == name &&
+                arg.type.isFunction()) {
+                return arg.type.arity();
+            }
+        }
+        return std::nullopt;
+    };
+    return scope;
+}
+
+const dg::DataType *
+attrTypeOf(const Language &lang, const ElementInfo &element,
+           const std::string &attr)
+{
+    if (element.isNode) {
+        const auto *def = lang.types().nodeType(element.type).findAttr(attr);
+        return def ? &def->type : nullptr;
+    }
+    const auto *def = lang.types().edgeType(element.type).findAttr(attr);
+    return def ? &def->type : nullptr;
+}
+
+} // namespace
+
+void
+checkFunction(const FuncDecl &func, const Language &lang)
+{
+    if (func.usesLang != lang.name()) {
+        throw SemaError(cat("function '", func.name, "' uses language '",
+                            func.usesLang, "' but was checked against '",
+                            lang.name(), "'"),
+                        func.loc);
+    }
+
+    std::unordered_set<std::string> argNames;
+    for (const FuncArgDecl &arg : func.args) {
+        std::string key = arg.isDotted() ? arg.name + "." + arg.attrName
+                                         : arg.name;
+        if (!argNames.insert(key).second) {
+            throw SemaError(cat("duplicate argument '", key,
+                                "' in function '", func.name, "'"),
+                            arg.loc);
+        }
+    }
+
+    expr::TypeScope scope = argScope(func);
+    std::unordered_map<std::string, ElementInfo> elements;
+
+    auto checkValueAgainst = [&](const expr::ExprPtr &value,
+                                 const dg::DataType &target,
+                                 support::SourceLoc loc,
+                                 const std::string &what) {
+        // Const attributes must not depend on function arguments
+        // (paper §4.3 semantic check).
+        if (target.isConst() && !value->freeVars().empty()) {
+            throw SemaError(cat(what, " is const and cannot be assigned "
+                                "from a function argument"),
+                            loc);
+        }
+        expr::StaticType valueType;
+        try {
+            valueType = expr::checkType(value, scope);
+        } catch (const TypeError &err) {
+            throw SemaError(cat("in assignment to ", what, ": ",
+                                err.message()),
+                            loc);
+        }
+        expr::StaticType targetType = staticTypeOf(target);
+        bool ok;
+        switch (targetType) {
+          case expr::StaticType::Real:
+            ok = valueType == expr::StaticType::Real ||
+                 valueType == expr::StaticType::Int;
+            break;
+          default:
+            ok = valueType == targetType;
+            break;
+        }
+        if (!ok) {
+            throw SemaError(cat("cannot assign ",
+                                expr::staticTypeName(valueType),
+                                " value to ", what, " of type ",
+                                target.str()),
+                            loc);
+        }
+    };
+
+    for (const FuncStmt &stmt : func.body) {
+        switch (stmt.kind) {
+          case FuncStmtKind::Node: {
+            if (elements.count(stmt.name)) {
+                throw SemaError(cat("element '", stmt.name,
+                                    "' declared twice"),
+                                stmt.loc);
+            }
+            if (!lang.types().hasNodeType(stmt.type)) {
+                std::string hint = support::closestMatch(
+                    stmt.type, lang.types().nodeTypeNames());
+                throw SemaError(cat("unknown node type '", stmt.type, "'",
+                                    hint.empty()
+                                        ? ""
+                                        : cat(" (did you mean '", hint,
+                                              "'?)")),
+                                stmt.loc);
+            }
+            elements[stmt.name] = ElementInfo{true, stmt.type};
+            break;
+          }
+          case FuncStmtKind::Edge: {
+            if (elements.count(stmt.name)) {
+                throw SemaError(cat("element '", stmt.name,
+                                    "' declared twice"),
+                                stmt.loc);
+            }
+            if (!lang.types().hasEdgeType(stmt.type)) {
+                throw SemaError(cat("unknown edge type '", stmt.type,
+                                    "'"),
+                                stmt.loc);
+            }
+            for (const std::string &endpoint : {stmt.src, stmt.dst}) {
+                auto it = elements.find(endpoint);
+                if (it == elements.end() || !it->second.isNode) {
+                    throw SemaError(cat("edge '", stmt.name,
+                                        "' references undefined node '",
+                                        endpoint, "'"),
+                                    stmt.loc);
+                }
+            }
+            elements[stmt.name] = ElementInfo{false, stmt.type};
+            break;
+          }
+          case FuncStmtKind::SetAttr: {
+            auto it = elements.find(stmt.name);
+            if (it == elements.end()) {
+                throw SemaError(cat("set-attr references undefined "
+                                    "element '", stmt.name, "'"),
+                                stmt.loc);
+            }
+            const dg::DataType *attrType =
+                attrTypeOf(lang, it->second, stmt.attr);
+            if (!attrType) {
+                throw SemaError(cat("type '", it->second.type,
+                                    "' has no attribute '", stmt.attr,
+                                    "'"),
+                                stmt.loc);
+            }
+            checkValueAgainst(stmt.value, *attrType, stmt.loc,
+                              cat("attribute '", stmt.name, ".",
+                                  stmt.attr, "'"));
+            break;
+          }
+          case FuncStmtKind::SetInit: {
+            auto it = elements.find(stmt.name);
+            if (it == elements.end() || !it->second.isNode) {
+                throw SemaError(cat("set-init references undefined node '",
+                                    stmt.name, "'"),
+                                stmt.loc);
+            }
+            const dg::NodeTypeDef &def =
+                lang.types().nodeType(it->second.type);
+            const dg::InitDef *init = def.findInit(stmt.derivative);
+            if (!init) {
+                throw SemaError(cat("node type '", def.name,
+                                    "' has no init(", stmt.derivative,
+                                    ")"),
+                                stmt.loc);
+            }
+            checkValueAgainst(stmt.value, init->type, stmt.loc,
+                              cat("init(", stmt.derivative, ") of '",
+                                  stmt.name, "'"));
+            break;
+          }
+          case FuncStmtKind::SetSwitch: {
+            auto it = elements.find(stmt.name);
+            if (it == elements.end() || it->second.isNode) {
+                throw SemaError(cat("set-switch references undefined "
+                                    "edge '", stmt.name, "'"),
+                                stmt.loc);
+            }
+            if (lang.types().edgeType(it->second.type).fixed) {
+                throw SemaError(cat("edge '", stmt.name,
+                                    "' has fixed type '", it->second.type,
+                                    "' and cannot be switched"),
+                                stmt.loc);
+            }
+            expr::StaticType condType;
+            try {
+                condType = expr::checkType(stmt.when, scope);
+            } catch (const TypeError &err) {
+                throw SemaError(cat("in set-switch condition: ",
+                                    err.message()),
+                                stmt.loc);
+            }
+            if (condType == expr::StaticType::Function) {
+                throw SemaError("set-switch condition must be boolean or "
+                                "numeric",
+                                stmt.loc);
+            }
+            break;
+          }
+        }
+    }
+
+    // Dotted arguments bind to a node attribute; the node must exist.
+    for (const FuncArgDecl &arg : func.args) {
+        if (!arg.isDotted())
+            continue;
+        auto it = elements.find(arg.name);
+        if (it == elements.end()) {
+            throw SemaError(cat("argument '", arg.name, ".", arg.attrName,
+                                "' names a node the body never declares"),
+                            arg.loc);
+        }
+        const dg::DataType *attrType =
+            attrTypeOf(lang, it->second, arg.attrName);
+        if (!attrType) {
+            throw SemaError(cat("argument '", arg.name, ".", arg.attrName,
+                                "' names a missing attribute"),
+                            arg.loc);
+        }
+        if (attrType->isConst()) {
+            throw SemaError(cat("argument '", arg.name, ".", arg.attrName,
+                                "' would program a const attribute"),
+                            arg.loc);
+        }
+    }
+}
+
+dg::Graph
+invokeFunction(const FuncDecl &func, const Language &lang,
+               const std::vector<expr::Value> &args, std::uint64_t seed)
+{
+    if (args.size() != func.args.size()) {
+        throw TypeError(cat("function '", func.name, "' expects ",
+                            func.args.size(), " argument(s), got ",
+                            args.size()));
+    }
+    std::unordered_map<std::string, expr::Value> bound;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const FuncArgDecl &decl = func.args[i];
+        if (!decl.type.contains(args[i])) {
+            throw TypeError(cat("argument ", i + 1, " ('", decl.name,
+                                "') of function '", func.name,
+                                "': value ", args[i].str(),
+                                " does not fit ", decl.type.str()));
+        }
+        std::string key = decl.isDotted()
+                              ? decl.name + "." + decl.attrName
+                              : decl.name;
+        bound.emplace(std::move(key), args[i]);
+    }
+
+    expr::EvalContext ctx;
+    ctx.lookupVar = [&bound](const std::string &name)
+        -> std::optional<expr::Value> {
+        auto it = bound.find(name);
+        if (it == bound.end())
+            return std::nullopt;
+        return it->second;
+    };
+
+    support::Rng rng(seed);
+    dg::Graph graph(&lang.types(), lang.name());
+
+    for (const FuncStmt &stmt : func.body) {
+        switch (stmt.kind) {
+          case FuncStmtKind::Node:
+            graph.addNode(stmt.name, stmt.type);
+            break;
+          case FuncStmtKind::Edge: {
+            auto src = graph.findNode(stmt.src);
+            auto dst = graph.findNode(stmt.dst);
+            if (!src || !dst) {
+                throw SemaError(cat("edge '", stmt.name,
+                                    "' references undefined node"),
+                                stmt.loc);
+            }
+            graph.addEdge(stmt.name, stmt.type, *src, *dst);
+            break;
+          }
+          case FuncStmtKind::SetAttr: {
+            expr::Value value = expr::eval(stmt.value, ctx);
+            if (auto node = graph.findNode(stmt.name)) {
+                graph.setNodeAttr(*node, stmt.attr, value, &rng);
+            } else if (auto edge = graph.findEdge(stmt.name)) {
+                graph.setEdgeAttr(*edge, stmt.attr, value, &rng);
+            } else {
+                throw SemaError(cat("set-attr references undefined "
+                                    "element '", stmt.name, "'"),
+                                stmt.loc);
+            }
+            break;
+          }
+          case FuncStmtKind::SetInit: {
+            expr::Value value = expr::eval(stmt.value, ctx);
+            auto node = graph.findNode(stmt.name);
+            if (!node) {
+                throw SemaError(cat("set-init references undefined node '",
+                                    stmt.name, "'"),
+                                stmt.loc);
+            }
+            graph.setInit(*node, stmt.derivative, value, &rng);
+            break;
+          }
+          case FuncStmtKind::SetSwitch: {
+            expr::Value cond = expr::eval(stmt.when, ctx);
+            bool on = cond.isBool() ? cond.asBool()
+                                    : cond.asReal() != 0.0;
+            auto edge = graph.findEdge(stmt.name);
+            if (!edge) {
+                throw SemaError(cat("set-switch references undefined "
+                                    "edge '", stmt.name, "'"),
+                                stmt.loc);
+            }
+            graph.setEnabled(*edge, on);
+            break;
+          }
+        }
+    }
+
+    // Dotted arguments program their attribute after construction.
+    for (const FuncArgDecl &arg : func.args) {
+        if (!arg.isDotted())
+            continue;
+        const expr::Value &value = bound.at(arg.name + "." + arg.attrName);
+        if (auto node = graph.findNode(arg.name)) {
+            graph.setNodeAttr(*node, arg.attrName, value, &rng);
+        } else if (auto edge = graph.findEdge(arg.name)) {
+            graph.setEdgeAttr(*edge, arg.attrName, value, &rng);
+        } else {
+            throw SemaError(cat("dotted argument '", arg.name,
+                                "' names an element the body never "
+                                "declared"),
+                            arg.loc);
+        }
+    }
+
+    graph.checkComplete();
+    return graph;
+}
+
+GraphBuilder::GraphBuilder(const Language &lang, std::uint64_t seed)
+    : lang_(lang), graph_(&lang.types(), lang.name()), rng_(seed)
+{
+}
+
+dg::NodeId
+GraphBuilder::nodeId(const std::string &name) const
+{
+    auto id = graph_.findNode(name);
+    if (!id)
+        throw SemaError(cat("unknown node '", name, "'"));
+    return *id;
+}
+
+dg::EdgeId
+GraphBuilder::edgeId(const std::string &name) const
+{
+    auto id = graph_.findEdge(name);
+    if (!id)
+        throw SemaError(cat("unknown edge '", name, "'"));
+    return *id;
+}
+
+const std::string &
+GraphBuilder::node(const std::string &name, const std::string &type)
+{
+    dg::NodeId id = graph_.addNode(name, type);
+    return graph_.node(id).name;
+}
+
+const std::string &
+GraphBuilder::edge(const std::string &name, const std::string &type,
+                   const std::string &src, const std::string &dst)
+{
+    dg::EdgeId id = graph_.addEdge(name, type, nodeId(src), nodeId(dst));
+    return graph_.edge(id).name;
+}
+
+void
+GraphBuilder::attr(const std::string &element, const std::string &attr,
+                   const expr::Value &value)
+{
+    if (auto node = graph_.findNode(element)) {
+        graph_.setNodeAttr(*node, attr, value, &rng_);
+    } else if (auto edge = graph_.findEdge(element)) {
+        graph_.setEdgeAttr(*edge, attr, value, &rng_);
+    } else {
+        throw SemaError(cat("unknown element '", element, "'"));
+    }
+}
+
+void
+GraphBuilder::attr(const std::string &element, const std::string &attr,
+                   double value)
+{
+    this->attr(element, attr, expr::Value::real(value));
+}
+
+void
+GraphBuilder::init(const std::string &node, int derivative, double value)
+{
+    graph_.setInit(nodeId(node), derivative, expr::Value::real(value),
+                   &rng_);
+}
+
+void
+GraphBuilder::enable(const std::string &edge, bool enabled)
+{
+    graph_.setEnabled(edgeId(edge), enabled);
+}
+
+dg::Graph
+GraphBuilder::take()
+{
+    graph_.checkComplete();
+    return std::move(graph_);
+}
+
+} // namespace ark::lang

@@ -1,0 +1,511 @@
+#include "lang/language.h"
+
+#include <limits>
+#include <unordered_set>
+
+#include "expr/eval.h"
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::lang {
+
+using support::cat;
+using support::CompileError;
+using support::SemaError;
+using support::TypeError;
+
+std::string
+ProdRule::str() const
+{
+    std::string out = cat("prod(", edgeVar, ":", edgeType, ", ", srcVar,
+                          ":", srcType, "->", dstVar, ":", dstType, ") ",
+                          target == Target::Src ? srcVar : dstVar, " <= ",
+                          expr ? expr->str() : "<null>");
+    if (off)
+        out += " off";
+    return out;
+}
+
+const ProdRule *
+Language::lookupRule(const std::string &edgeType, const std::string &srcType,
+                     const std::string &dstType, bool self,
+                     ProdRule::Target target, bool off) const
+{
+    const ProdRule *best = nullptr;
+    int bestDist = std::numeric_limits<int>::max();
+    bool ambiguous = false;
+
+    for (const ProdRule &rule : prodRules_) {
+        if (rule.off != off || rule.self != self || rule.target != target)
+            continue;
+        int de = types_.edgeDistance(edgeType, rule.edgeType);
+        if (de < 0)
+            continue;
+        int ds = types_.nodeDistance(srcType, rule.srcType);
+        if (ds < 0)
+            continue;
+        int dd = types_.nodeDistance(dstType, rule.dstType);
+        if (dd < 0)
+            continue;
+        int dist = de + ds + dd;
+        if (dist < bestDist) {
+            bestDist = dist;
+            best = &rule;
+            ambiguous = false;
+        } else if (dist == bestDist && best) {
+            ambiguous = true;
+        }
+    }
+    if (ambiguous) {
+        throw CompileError(cat("ambiguous production rules for edge '",
+                               edgeType, "' connecting '", srcType,
+                               "' -> '", dstType, "' (two rules at equal "
+                               "specificity)"));
+    }
+    return best;
+}
+
+std::vector<const Cstr *>
+Language::cstrsFor(const std::string &nodeType) const
+{
+    std::vector<const Cstr *> out;
+    for (const Cstr &cstr : cstrs_)
+        if (types_.isNodeAncestor(cstr.nodeType, nodeType))
+            out.push_back(&cstr);
+    return out;
+}
+
+bool
+Language::isDescendantOf(const std::string &ancestor) const
+{
+    for (const Language *lang = this; lang; lang = lang->parent_)
+        if (lang->name_ == ancestor)
+            return true;
+    return false;
+}
+
+namespace {
+
+/** Maps a DataType to the static type of expressions reading it. */
+expr::StaticType
+staticTypeOf(const dg::DataType &type)
+{
+    switch (type.kind()) {
+      case dg::TypeKind::Real:
+        return expr::StaticType::Real;
+      case dg::TypeKind::Int:
+        return expr::StaticType::Int;
+      case dg::TypeKind::Function:
+        return expr::StaticType::Function;
+    }
+    return expr::StaticType::Real;
+}
+
+/**
+ * Merges declared attributes over the inherited ones: overrides must
+ * keep the datatype kind and narrow (or keep) the range; new names
+ * append in declaration order.
+ */
+std::vector<dg::AttrDef>
+mergeAttrs(const std::vector<dg::AttrDef> &inherited,
+           const std::vector<AttrDecl> &declared,
+           const std::string &typeName)
+{
+    std::vector<dg::AttrDef> out = inherited;
+    std::unordered_set<std::string> seen;
+    for (const AttrDecl &decl : declared) {
+        if (!seen.insert(decl.name).second) {
+            throw SemaError(cat("attribute '", decl.name,
+                                "' declared twice in type '", typeName,
+                                "'"),
+                            decl.loc);
+        }
+        bool overrode = false;
+        for (auto &attr : out) {
+            if (attr.name != decl.name)
+                continue;
+            if (!decl.type.narrowerOrEqual(attr.type)) {
+                throw SemaError(cat("attribute '", typeName, ".",
+                                    decl.name, "' of type ",
+                                    decl.type.str(),
+                                    " does not narrow the inherited ",
+                                    attr.type.str()),
+                                decl.loc);
+            }
+            attr.type = decl.type;
+            attr.fixedValue = decl.constValue;
+            overrode = true;
+            break;
+        }
+        if (!overrode)
+            out.push_back(dg::AttrDef{decl.name, decl.type,
+                                      decl.constValue});
+    }
+    return out;
+}
+
+std::vector<dg::InitDef>
+mergeInits(const std::vector<dg::InitDef> &inherited,
+           const std::vector<InitDecl> &declared, int order,
+           const std::string &typeName)
+{
+    std::vector<dg::InitDef> out = inherited;
+    std::unordered_set<int> seen;
+    for (const InitDecl &decl : declared) {
+        if (decl.derivative < 0 || decl.derivative >= order) {
+            throw SemaError(cat("init(", decl.derivative,
+                                ") is out of range for order-", order,
+                                " type '", typeName, "'"),
+                            decl.loc);
+        }
+        if (!seen.insert(decl.derivative).second) {
+            throw SemaError(cat("init(", decl.derivative,
+                                ") declared twice in type '", typeName,
+                                "'"),
+                            decl.loc);
+        }
+        bool overrode = false;
+        for (auto &init : out) {
+            if (init.derivative != decl.derivative)
+                continue;
+            if (!decl.type.narrowerOrEqual(init.type)) {
+                throw SemaError(cat("init(", decl.derivative, ") of '",
+                                    typeName,
+                                    "' does not narrow the inherited "
+                                    "datatype"),
+                                decl.loc);
+            }
+            init.type = decl.type;
+            init.fixedValue = decl.constValue;
+            overrode = true;
+            break;
+        }
+        if (!overrode) {
+            out.push_back(dg::InitDef{decl.derivative, decl.type,
+                                      decl.constValue});
+        }
+    }
+    // Implicit init(i) = 0.0 for derivatives without declarations; the
+    // paper's listings elide these (§4.1 requires them to exist).
+    for (int d = 0; d < order; ++d) {
+        bool found = false;
+        for (const auto &init : out)
+            found |= (init.derivative == d);
+        if (!found) {
+            constexpr double inf = std::numeric_limits<double>::infinity();
+            out.push_back(dg::InitDef{d, dg::DataType::real(-inf, inf),
+                                      expr::Value::real(0.0)});
+        }
+    }
+    return out;
+}
+
+/** Type-checking scope for a production rule's expression. */
+expr::TypeScope
+ruleScope(const dg::TypeTable &types, const ProdRuleDecl &decl)
+{
+    auto typeOfBinding =
+        [&types, &decl](const std::string &base,
+                        const std::string &attr)
+        -> const dg::DataType * {
+        if (base == decl.edgeVar) {
+            const auto *def = types.edgeType(decl.edgeType).findAttr(attr);
+            return def ? &def->type : nullptr;
+        }
+        if (base == decl.srcVar) {
+            const auto *def = types.nodeType(decl.srcType).findAttr(attr);
+            return def ? &def->type : nullptr;
+        }
+        if (base == decl.dstVar) {
+            const auto *def = types.nodeType(decl.dstType).findAttr(attr);
+            return def ? &def->type : nullptr;
+        }
+        return nullptr;
+    };
+
+    expr::TypeScope scope;
+    scope.varType = [](const std::string &)
+        -> std::optional<expr::StaticType> { return std::nullopt; };
+    scope.attrType = [typeOfBinding](const std::string &base,
+                                     const std::string &attr)
+        -> std::optional<expr::StaticType> {
+        const dg::DataType *type = typeOfBinding(base, attr);
+        if (!type)
+            return std::nullopt;
+        return staticTypeOf(*type);
+    };
+    scope.lambdaArity = [typeOfBinding](const std::string &base,
+                                        const std::string &attr)
+        -> std::optional<int> {
+        const dg::DataType *type = typeOfBinding(base, attr);
+        if (!type || !type->isFunction())
+            return std::nullopt;
+        return type->arity();
+    };
+    scope.nodeVarOk = [&decl](const std::string &name) {
+        return name == decl.srcVar || name == decl.dstVar;
+    };
+    return scope;
+}
+
+} // namespace
+
+std::unique_ptr<Language>
+buildLanguage(const LangDecl &decl, const Language *parent)
+{
+    auto lang = std::unique_ptr<Language>(new Language());
+    lang->name_ = decl.name;
+    lang->parent_ = parent;
+
+    if (decl.inherits && !parent) {
+        throw SemaError(cat("language '", decl.name,
+                            "' inherits unknown language '",
+                            *decl.inherits, "'"),
+                        decl.loc);
+    }
+    if (!decl.inherits && parent) {
+        throw SemaError(cat("language '", decl.name,
+                            "' given a parent it does not declare"),
+                        decl.loc);
+    }
+
+    // Start from the parent's complete state: inherited types and
+    // rules can be extended but never removed (§4.1.1).
+    std::unordered_set<std::string> ownTypes;
+    if (parent) {
+        lang->types_ = parent->types();
+        lang->prodRules_ = parent->prodRules();
+        lang->cstrs_ = parent->cstrs();
+        lang->externFuncs_ = parent->externFuncs();
+    }
+
+    auto isOwnType = [&ownTypes](const std::string &name) {
+        return ownTypes.count(name) > 0;
+    };
+
+    // --- Node types ----------------------------------------------------
+    for (const NodeTypeDecl &nd : decl.nodeTypes) {
+        dg::NodeTypeDef def;
+        def.name = nd.name;
+        def.order = nd.order;
+        def.reduction = nd.reduction;
+        def.lang = decl.name;
+        std::vector<dg::AttrDef> inheritedAttrs;
+        std::vector<dg::InitDef> inheritedInits;
+        if (nd.inherits) {
+            const dg::NodeTypeDef *parentDef =
+                lang->types_.findNodeType(*nd.inherits);
+            if (!parentDef) {
+                throw SemaError(cat("node type '", nd.name,
+                                    "' inherits unknown type '",
+                                    *nd.inherits, "'"),
+                                nd.loc);
+            }
+            if (parentDef->order != nd.order) {
+                throw SemaError(cat("node type '", nd.name,
+                                    "' must keep the inherited order ",
+                                    parentDef->order),
+                                nd.loc);
+            }
+            if (parentDef->reduction != nd.reduction) {
+                throw SemaError(cat("node type '", nd.name,
+                                    "' must keep the inherited '",
+                                    dg::reductionName(parentDef->reduction),
+                                    "' reduction"),
+                                nd.loc);
+            }
+            def.parent = *nd.inherits;
+            inheritedAttrs = parentDef->attrs;
+            inheritedInits = parentDef->inits;
+        }
+        def.attrs = mergeAttrs(inheritedAttrs, nd.attrs, nd.name);
+        def.inits = mergeInits(inheritedInits, nd.inits, nd.order,
+                               nd.name);
+        lang->types_.addNodeType(std::move(def));
+        ownTypes.insert(nd.name);
+    }
+
+    // --- Edge types ----------------------------------------------------
+    for (const EdgeTypeDecl &ed : decl.edgeTypes) {
+        dg::EdgeTypeDef def;
+        def.name = ed.name;
+        def.fixed = ed.fixed;
+        def.lang = decl.name;
+        std::vector<dg::AttrDef> inheritedAttrs;
+        if (ed.inherits) {
+            const dg::EdgeTypeDef *parentDef =
+                lang->types_.findEdgeType(*ed.inherits);
+            if (!parentDef) {
+                throw SemaError(cat("edge type '", ed.name,
+                                    "' inherits unknown type '",
+                                    *ed.inherits, "'"),
+                                ed.loc);
+            }
+            def.parent = *ed.inherits;
+            def.fixed = ed.fixed || parentDef->fixed;
+            inheritedAttrs = parentDef->attrs;
+        }
+        def.attrs = mergeAttrs(inheritedAttrs, ed.attrs, ed.name);
+        lang->types_.addEdgeType(std::move(def));
+        ownTypes.insert(ed.name);
+    }
+
+    // --- Production rules ----------------------------------------------
+    for (const ProdRuleDecl &pd : decl.prodRules) {
+        ProdRule rule;
+        rule.edgeType = pd.edgeType;
+        rule.srcType = pd.srcType;
+        rule.dstType = pd.dstType;
+        rule.edgeVar = pd.edgeVar;
+        rule.srcVar = pd.srcVar;
+        rule.dstVar = pd.dstVar;
+        rule.expr = pd.expr;
+        rule.off = pd.off;
+        rule.definedIn = decl.name;
+        rule.self = (pd.srcVar == pd.dstVar);
+
+        if (!lang->types_.hasEdgeType(pd.edgeType)) {
+            throw SemaError(cat("production rule references unknown edge "
+                                "type '", pd.edgeType, "'"),
+                            pd.loc);
+        }
+        if (!lang->types_.hasNodeType(pd.srcType)) {
+            throw SemaError(cat("production rule references unknown node "
+                                "type '", pd.srcType, "'"),
+                            pd.loc);
+        }
+        if (!lang->types_.hasNodeType(pd.dstType)) {
+            throw SemaError(cat("production rule references unknown node "
+                                "type '", pd.dstType, "'"),
+                            pd.loc);
+        }
+        if (rule.self && pd.srcType != pd.dstType) {
+            throw SemaError(cat("self rule binds '", pd.srcVar,
+                                "' to two different types"),
+                            pd.loc);
+        }
+        if (pd.targetVar == pd.srcVar) {
+            rule.target = ProdRule::Target::Src;
+        } else if (pd.targetVar == pd.dstVar) {
+            rule.target = ProdRule::Target::Dst;
+        } else {
+            throw SemaError(cat("production target '", pd.targetVar,
+                                "' is neither the source '", pd.srcVar,
+                                "' nor the destination '", pd.dstVar,
+                                "'"),
+                            pd.loc);
+        }
+
+        // Expression checks: only rule bindings may be referenced, and
+        // the term must be numeric.
+        for (const std::string &freeVar : pd.expr->freeVars()) {
+            throw SemaError(cat("production expression references "
+                                "variable '", freeVar,
+                                "' outside the prod(.) clause"),
+                            pd.loc);
+        }
+        expr::TypeScope scope = ruleScope(lang->types_, pd);
+        expr::StaticType resultType;
+        try {
+            resultType = expr::checkType(pd.expr, scope);
+        } catch (const TypeError &err) {
+            throw SemaError(cat("in production rule for edge '",
+                                pd.edgeType, "': ", err.message()),
+                            pd.loc);
+        }
+        if (resultType != expr::StaticType::Real &&
+            resultType != expr::StaticType::Int) {
+            throw SemaError("production expression must be numeric",
+                            pd.loc);
+        }
+
+        // §4.1.1: parent rules cannot be overridden; derived-language
+        // rules must mention at least one type of the derived language.
+        for (const ProdRule &existing : lang->prodRules_) {
+            if (existing.edgeType == rule.edgeType &&
+                existing.srcType == rule.srcType &&
+                existing.dstType == rule.dstType &&
+                existing.self == rule.self &&
+                existing.target == rule.target &&
+                existing.off == rule.off) {
+                throw SemaError(cat("production rule duplicates or "
+                                    "overrides '", existing.str(), "'"),
+                                pd.loc);
+            }
+        }
+        if (parent && !isOwnType(rule.edgeType) &&
+            !isOwnType(rule.srcType) && !isOwnType(rule.dstType)) {
+            throw SemaError(cat("new production rule in '", decl.name,
+                                "' must involve a type declared in '",
+                                decl.name, "'"),
+                            pd.loc);
+        }
+        lang->prodRules_.push_back(std::move(rule));
+    }
+
+    // --- Local validity rules -------------------------------------------
+    for (const CstrDecl &cd : decl.cstrs) {
+        Cstr cstr;
+        cstr.nodeType = cd.nodeType;
+        cstr.definedIn = decl.name;
+        if (!lang->types_.hasNodeType(cd.nodeType)) {
+            throw SemaError(cat("cstr references unknown node type '",
+                                cd.nodeType, "'"),
+                            cd.loc);
+        }
+        bool mentionsOwn = isOwnType(cd.nodeType);
+        for (const PatternDecl &pat : cd.patterns) {
+            Pattern pattern;
+            for (const MatchClause &clause : pat.clauses) {
+                if (!lang->types_.hasEdgeType(clause.edgeType)) {
+                    throw SemaError(cat("match clause references unknown "
+                                        "edge type '", clause.edgeType,
+                                        "'"),
+                                    clause.loc);
+                }
+                mentionsOwn |= isOwnType(clause.edgeType);
+                for (const std::string &nodeType : clause.nodeTypes) {
+                    if (!lang->types_.hasNodeType(nodeType)) {
+                        throw SemaError(cat("match clause references "
+                                            "unknown node type '",
+                                            nodeType, "'"),
+                                        clause.loc);
+                    }
+                    mentionsOwn |= isOwnType(nodeType);
+                }
+                if (!clause.targetName.empty() &&
+                    clause.targetName != cd.targetVar) {
+                    throw SemaError(cat("match clause names '",
+                                        clause.targetName,
+                                        "' instead of the cstr target '",
+                                        cd.targetVar, "'"),
+                                    clause.loc);
+                }
+                if (clause.hi >= 0 && clause.lo > clause.hi) {
+                    throw SemaError("match cardinality range is empty",
+                                    clause.loc);
+                }
+                pattern.clauses.push_back(clause);
+            }
+            if (pat.accept)
+                cstr.accepts.push_back(std::move(pattern));
+            else
+                cstr.rejects.push_back(std::move(pattern));
+        }
+        if (parent && !mentionsOwn) {
+            throw SemaError(cat("new validity rule in '", decl.name,
+                                "' must involve a type declared in '",
+                                decl.name, "'"),
+                            cd.loc);
+        }
+        lang->cstrs_.push_back(std::move(cstr));
+    }
+
+    // --- Global validity functions ---------------------------------------
+    for (const ExternFuncDecl &ext : decl.externFuncs)
+        lang->externFuncs_.push_back(ext.name);
+
+    return lang;
+}
+
+} // namespace ark::lang

@@ -1,0 +1,147 @@
+#ifndef ARK_LANG_LANGUAGE_H
+#define ARK_LANG_LANGUAGE_H
+
+/**
+ * @file
+ * Semantic model of an Ark language (an analog compute paradigm DSL).
+ *
+ * A Language owns the complete type table (its own types plus every
+ * inherited one), the production rules that lower graph connectivity
+ * into differential-equation terms, the local validity rules, and the
+ * names of global extern-func validators. Languages form single-
+ * inheritance chains obeying the paper's §4.1.1 restrictions, which
+ * sema.h enforces when lowering a parsed LangDecl into a Language.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dg/types.h"
+#include "lang/ast.h"
+
+namespace ark::lang {
+
+/**
+ * A lowered production rule. The side the term applies to is explicit
+ * (`target`), since the paper's rules write either `s <= e` or
+ * `t <= e` for the same connection pattern.
+ */
+struct ProdRule
+{
+    enum class Target : std::uint8_t { Src, Dst };
+
+    std::string edgeType;
+    std::string srcType;
+    std::string dstType;
+    bool self = false;   ///< Rule binds source and destination names equal.
+    Target target = Target::Src;
+    std::string edgeVar, srcVar, dstVar; ///< Binding names for rewrite.
+    expr::ExprPtr expr;
+    bool off = false;    ///< Applies to switched-off edges (nonideality).
+    std::string definedIn;
+
+    /** "prod(e:E, s:V->t:I) s <= ..."-style summary. */
+    std::string str() const;
+};
+
+/** One acc/rej pattern: a conjunction of match clauses. */
+struct Pattern
+{
+    std::vector<MatchClause> clauses;
+};
+
+/** A lowered local validity rule for one node type. */
+struct Cstr
+{
+    std::string nodeType;
+    std::vector<Pattern> accepts;
+    std::vector<Pattern> rejects;
+    std::string definedIn;
+};
+
+/**
+ * An immutable Ark language. Instances are built by sema (see
+ * buildLanguage) and owned by a LanguageRegistry; parent pointers
+ * reference registry-owned ancestors.
+ */
+class Language
+{
+  public:
+    const std::string &name() const { return name_; }
+    const Language *parent() const { return parent_; }
+    const dg::TypeTable &types() const { return types_; }
+    const std::vector<ProdRule> &prodRules() const { return prodRules_; }
+    const std::vector<Cstr> &cstrs() const { return cstrs_; }
+    const std::vector<std::string> &externFuncs() const
+    {
+        return externFuncs_;
+    }
+
+    /**
+     * Most-specific production rule for a concrete connection.
+     *
+     * Matching rules have the requested off/self/target markers and
+     * declare types that are ancestors of the queried concrete types.
+     * Specificity is the summed inheritance distance over (edge, src,
+     * dst); the unique minimum wins.
+     *
+     * @return nullptr when no rule matches (the connection simply
+     *         contributes nothing to that side's dynamics).
+     * @throws ark::support::CompileError when two distinct rules tie.
+     */
+    const ProdRule *lookupRule(const std::string &edgeType,
+                               const std::string &srcType,
+                               const std::string &dstType, bool self,
+                               ProdRule::Target target, bool off) const;
+
+    /**
+     * Local validity rules applicable to a node of the given type:
+     * every cstr whose target type is an ancestor of (or equals) it.
+     */
+    std::vector<const Cstr *> cstrsFor(const std::string &nodeType) const;
+
+    /** True when `ancestor` appears on this language's parent chain
+     *  (reflexive). */
+    bool isDescendantOf(const std::string &ancestor) const;
+
+  private:
+    friend std::unique_ptr<Language> buildLanguage(const LangDecl &,
+                                                   const Language *);
+
+    Language() = default;
+
+    std::string name_;
+    const Language *parent_ = nullptr;
+    dg::TypeTable types_;
+    std::vector<ProdRule> prodRules_;
+    std::vector<Cstr> cstrs_;
+    std::vector<std::string> externFuncs_;
+};
+
+/**
+ * Lowers a parsed language declaration, enforcing every §4.1 semantic
+ * check and the §4.1.1 inheritance restrictions:
+ *
+ *  - unique type names; known parent types; attribute redefinitions
+ *    keep the datatype kind and narrow (or keep) the value range;
+ *  - derived node types keep the parent's order and reduction;
+ *  - parent production/validation rules are copied and cannot be
+ *    overridden (same-signature redefinition is an error);
+ *  - new rules in a derived language must mention at least one type
+ *    the derived language itself declares;
+ *  - production expressions may reference only the rule's bindings
+ *    (attributes of e/s/t, var(s)/var(t), time) and must type-check
+ *    to a numeric value;
+ *  - match clauses name the cstr's target node and reference declared
+ *    types; node types implicitly receive init(i) declarations
+ *    (defaulting to 0.0) for derivatives without an explicit one.
+ *
+ * @throws ark::support::SemaError / TypeError on violations.
+ */
+std::unique_ptr<Language> buildLanguage(const LangDecl &decl,
+                                        const Language *parent);
+
+} // namespace ark::lang
+
+#endif // ARK_LANG_LANGUAGE_H

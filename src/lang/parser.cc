@@ -1,0 +1,911 @@
+#include "lang/parser.h"
+
+#include <limits>
+
+#include "expr/eval.h"
+#include "lang/token.h"
+#include "support/logging.h"
+
+namespace ark::lang {
+
+using expr::BinOp;
+using expr::Expr;
+using expr::ExprPtr;
+using expr::UnOp;
+using support::cat;
+using support::ParseError;
+using support::SourceLoc;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : tokens_(std::move(tokens))
+    {
+    }
+
+    Program parseProgram();
+    ExprPtr parseExpressionOnly();
+    dg::DataType parseDataTypeOnly();
+
+  private:
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+
+    /** @name Token-stream helpers */
+    /// @{
+    const Token &peek(std::size_t ahead = 0) const
+    {
+        std::size_t p = pos_ + ahead;
+        if (p >= tokens_.size())
+            p = tokens_.size() - 1; // EOF sentinel
+        return tokens_[p];
+    }
+    const Token &advance() { return tokens_[pos_++]; }
+    bool at(TokenKind kind) const { return peek().is(kind); }
+    bool atIdent(const std::string &word) const
+    {
+        return peek().isIdent(word);
+    }
+    bool accept(TokenKind kind)
+    {
+        if (!at(kind))
+            return false;
+        ++pos_;
+        return true;
+    }
+    bool acceptIdent(const std::string &word)
+    {
+        if (!atIdent(word))
+            return false;
+        ++pos_;
+        return true;
+    }
+    Token expect(TokenKind kind, const std::string &what)
+    {
+        if (!at(kind)) {
+            throw ParseError(cat("expected ", tokenKindName(kind), " ",
+                                 what, ", found ",
+                                 describe(peek())),
+                             peek().loc);
+        }
+        return advance();
+    }
+    void expectIdent(const std::string &word)
+    {
+        if (!acceptIdent(word)) {
+            throw ParseError(cat("expected '", word, "', found ",
+                                 describe(peek())),
+                             peek().loc);
+        }
+    }
+    static std::string describe(const Token &tok)
+    {
+        if (tok.kind == TokenKind::Ident)
+            return cat("'", tok.text, "'");
+        return tokenKindName(tok.kind);
+    }
+    /// @}
+
+    /** Ident ('-' Ident)*, joined with '-'; declaration positions. */
+    std::string parseName(const std::string &what);
+
+    /** @name Declarations */
+    /// @{
+    LangDecl parseLang();
+    FuncDecl parseFunc();
+    NodeTypeDecl parseNodeType(SourceLoc loc);
+    EdgeTypeDecl parseEdgeType(SourceLoc loc);
+    void parseAttrBlock(std::vector<AttrDecl> &attrs,
+                        std::vector<InitDecl> &inits, bool allowInits);
+    ProdRuleDecl parseProdRule(SourceLoc loc);
+    CstrDecl parseCstr(SourceLoc loc);
+    MatchClause parseMatchClause();
+    dg::DataType parseDataType();
+    std::optional<expr::Value> parseOptionalConstValue();
+    expr::Value parseValueLiteral();
+    /// @}
+
+    /** @name Functions */
+    /// @{
+    FuncArgDecl parseFuncArg();
+    FuncStmt parseFuncStmt();
+    /// @}
+
+    /** @name Expressions (precedence climbing) */
+    /// @{
+    ExprPtr parseExpr();
+    ExprPtr parseOr();
+    ExprPtr parseAnd();
+    ExprPtr parseNot();
+    ExprPtr parseCmp();
+    ExprPtr parseAdd();
+    ExprPtr parseMul();
+    ExprPtr parseUnary();
+    ExprPtr parsePow();
+    ExprPtr parsePrimary();
+    /// @}
+
+    int parseCardinality();
+};
+
+std::string
+Parser::parseName(const std::string &what)
+{
+    Token first = expect(TokenKind::Ident, what);
+    std::string name = first.text;
+    // Join hyphenated names: Ident '-' Ident ... (e.g. gmc-tln).
+    while (at(TokenKind::Minus) && peek(1).is(TokenKind::Ident)) {
+        advance(); // '-'
+        name += "-";
+        name += advance().text;
+    }
+    return name;
+}
+
+Program
+Parser::parseProgram()
+{
+    Program prog;
+    while (!at(TokenKind::EndOfFile)) {
+        if (atIdent("lang")) {
+            prog.langs.push_back(parseLang());
+        } else if (atIdent("func")) {
+            prog.funcs.push_back(parseFunc());
+        } else {
+            throw ParseError(cat("expected 'lang' or 'func' at top level,"
+                                 " found ", describe(peek())),
+                             peek().loc);
+        }
+    }
+    return prog;
+}
+
+LangDecl
+Parser::parseLang()
+{
+    LangDecl decl;
+    decl.loc = peek().loc;
+    expectIdent("lang");
+    decl.name = parseName("(language name)");
+    if (acceptIdent("inherits") || acceptIdent("inherit"))
+        decl.inherits = parseName("(parent language)");
+    expect(TokenKind::LBrace, "to open language body");
+    while (!accept(TokenKind::RBrace)) {
+        SourceLoc loc = peek().loc;
+        if (acceptIdent("node") || acceptIdent("ntyp")) {
+            // Accept both `node-type` (hyphen splits into node - type)
+            // and the `ntyp` abbreviation.
+            if (tokens_[pos_ - 1].text == "node") {
+                expect(TokenKind::Minus, "in 'node-type'");
+                expectIdent("type");
+            }
+            decl.nodeTypes.push_back(parseNodeType(loc));
+        } else if (acceptIdent("edge") || acceptIdent("etyp")) {
+            if (tokens_[pos_ - 1].text == "edge") {
+                expect(TokenKind::Minus, "in 'edge-type'");
+                expectIdent("type");
+            }
+            decl.edgeTypes.push_back(parseEdgeType(loc));
+        } else if (acceptIdent("prod")) {
+            decl.prodRules.push_back(parseProdRule(loc));
+        } else if (acceptIdent("cstr")) {
+            decl.cstrs.push_back(parseCstr(loc));
+        } else if (acceptIdent("extern")) {
+            expect(TokenKind::Minus, "in 'extern-func'");
+            expectIdent("func");
+            ExternFuncDecl ext;
+            ext.loc = loc;
+            ext.name = parseName("(extern function name)");
+            accept(TokenKind::Semi);
+            decl.externFuncs.push_back(std::move(ext));
+        } else if (accept(TokenKind::Semi)) {
+            // stray separator
+        } else {
+            throw ParseError(cat("unexpected ", describe(peek()),
+                                 " in language body"),
+                             peek().loc);
+        }
+    }
+    accept(TokenKind::Semi);
+    return decl;
+}
+
+NodeTypeDecl
+Parser::parseNodeType(SourceLoc loc)
+{
+    NodeTypeDecl decl;
+    decl.loc = loc;
+    expect(TokenKind::LParen, "after node-type");
+    Token order = expect(TokenKind::IntLit, "(node order)");
+    decl.order = static_cast<int>(order.intValue);
+    if (decl.order < 0)
+        throw ParseError("node order must be non-negative", order.loc);
+    expect(TokenKind::Comma, "in node-type header");
+    if (acceptIdent("sum")) {
+        decl.reduction = dg::Reduction::Sum;
+    } else if (acceptIdent("mul")) {
+        decl.reduction = dg::Reduction::Mul;
+    } else {
+        throw ParseError(cat("expected reduction 'sum' or 'mul', found ",
+                             describe(peek())),
+                         peek().loc);
+    }
+    expect(TokenKind::RParen, "to close node-type header");
+    decl.name = parseName("(node type name)");
+    if (acceptIdent("inherit") || acceptIdent("inherits"))
+        decl.inherits = parseName("(parent node type)");
+    expect(TokenKind::LBrace, "to open attribute block");
+    parseAttrBlock(decl.attrs, decl.inits, /*allowInits=*/true);
+    accept(TokenKind::Semi);
+    return decl;
+}
+
+EdgeTypeDecl
+Parser::parseEdgeType(SourceLoc loc)
+{
+    EdgeTypeDecl decl;
+    decl.loc = loc;
+    if (acceptIdent("fixed"))
+        decl.fixed = true;
+    decl.name = parseName("(edge type name)");
+    if (!decl.fixed && acceptIdent("fixed"))
+        decl.fixed = true; // allow either order
+    if (acceptIdent("inherit") || acceptIdent("inherits"))
+        decl.inherits = parseName("(parent edge type)");
+    expect(TokenKind::LBrace, "to open attribute block");
+    std::vector<InitDecl> inits;
+    parseAttrBlock(decl.attrs, inits, /*allowInits=*/false);
+    accept(TokenKind::Semi);
+    return decl;
+}
+
+void
+Parser::parseAttrBlock(std::vector<AttrDecl> &attrs,
+                       std::vector<InitDecl> &inits, bool allowInits)
+{
+    while (!accept(TokenKind::RBrace)) {
+        SourceLoc loc = peek().loc;
+        if (acceptIdent("attr")) {
+            AttrDecl attr;
+            attr.loc = loc;
+            attr.name = parseName("(attribute name)");
+            expect(TokenKind::Assign, "in attribute declaration");
+            attr.type = parseDataType();
+            attr.constValue = parseOptionalConstValue();
+            if (attr.constValue)
+                attr.type = attr.type.asConst();
+            attrs.push_back(std::move(attr));
+        } else if (atIdent("init")) {
+            if (!allowInits) {
+                throw ParseError("edge types contain only attribute "
+                                 "statements",
+                                 loc);
+            }
+            advance();
+            expect(TokenKind::LParen, "after init");
+            Token idx = expect(TokenKind::IntLit, "(derivative index)");
+            expect(TokenKind::RParen, "after init index");
+            InitDecl init;
+            init.loc = loc;
+            init.derivative = static_cast<int>(idx.intValue);
+            init.type = parseDataType();
+            init.constValue = parseOptionalConstValue();
+            if (init.constValue)
+                init.type = init.type.asConst();
+            inits.push_back(std::move(init));
+        } else if (accept(TokenKind::Comma) || accept(TokenKind::Semi)) {
+            // separators between attribute statements
+        } else {
+            throw ParseError(cat("expected 'attr' or 'init', found ",
+                                 describe(peek())),
+                             peek().loc);
+        }
+    }
+}
+
+std::optional<expr::Value>
+Parser::parseOptionalConstValue()
+{
+    if (!acceptIdent("const"))
+        return std::nullopt;
+    // `const` alone marks non-programmability; `const <literal>` pins
+    // the value at declaration.
+    if (at(TokenKind::IntLit) || at(TokenKind::RealLit) ||
+        at(TokenKind::Minus) || atIdent("lambd") || atIdent("fn") ||
+        atIdent("true") || atIdent("false")) {
+        return parseValueLiteral();
+    }
+    // Plain const: value must be supplied at instantiation with a
+    // constant; mark with no pinned value.
+    return std::nullopt;
+}
+
+expr::Value
+Parser::parseValueLiteral()
+{
+    SourceLoc loc = peek().loc;
+    ExprPtr e = parseExpr();
+    try {
+        expr::EvalContext ctx;
+        return expr::eval(e, ctx);
+    } catch (const support::ArkError &err) {
+        throw ParseError(cat("expected a constant value: ",
+                             err.message()),
+                         loc);
+    }
+}
+
+ProdRuleDecl
+Parser::parseProdRule(SourceLoc loc)
+{
+    ProdRuleDecl decl;
+    decl.loc = loc;
+    expect(TokenKind::LParen, "after prod");
+    decl.edgeVar = parseName("(edge binding)");
+    expect(TokenKind::Colon, "in prod edge binding");
+    decl.edgeType = parseName("(edge type)");
+    expect(TokenKind::Comma, "in prod clause");
+    decl.srcVar = parseName("(source binding)");
+    expect(TokenKind::Colon, "in prod source binding");
+    decl.srcType = parseName("(source type)");
+    expect(TokenKind::Arrow, "in prod clause");
+    decl.dstVar = parseName("(destination binding)");
+    expect(TokenKind::Colon, "in prod destination binding");
+    decl.dstType = parseName("(destination type)");
+    expect(TokenKind::RParen, "to close prod clause");
+    decl.targetVar = parseName("(production target)");
+    expect(TokenKind::ProdApply, "in production expression");
+    decl.expr = parseExpr();
+    if (acceptIdent("off"))
+        decl.off = true;
+    accept(TokenKind::Semi);
+    return decl;
+}
+
+CstrDecl
+Parser::parseCstr(SourceLoc loc)
+{
+    CstrDecl decl;
+    decl.loc = loc;
+    std::string first = parseName("(cstr target)");
+    if (accept(TokenKind::Colon)) {
+        decl.targetVar = first;
+        decl.nodeType = parseName("(cstr node type)");
+    } else {
+        decl.targetVar = first;
+        decl.nodeType = first;
+    }
+    expect(TokenKind::LBrace, "to open cstr body");
+    while (!accept(TokenKind::RBrace)) {
+        SourceLoc ploc = peek().loc;
+        bool isAcc;
+        if (acceptIdent("acc")) {
+            isAcc = true;
+        } else if (acceptIdent("rej")) {
+            isAcc = false;
+        } else if (accept(TokenKind::Comma) || accept(TokenKind::Semi)) {
+            continue;
+        } else {
+            throw ParseError(cat("expected 'acc' or 'rej', found ",
+                                 describe(peek())),
+                             peek().loc);
+        }
+        PatternDecl pattern;
+        pattern.accept = isAcc;
+        pattern.loc = ploc;
+        expect(TokenKind::LBracket, "to open pattern");
+        while (!accept(TokenKind::RBracket)) {
+            if (accept(TokenKind::Comma))
+                continue;
+            pattern.clauses.push_back(parseMatchClause());
+        }
+        decl.patterns.push_back(std::move(pattern));
+    }
+    accept(TokenKind::Semi);
+    return decl;
+}
+
+int
+Parser::parseCardinality()
+{
+    if (acceptIdent("inf"))
+        return -1;
+    Token tok = expect(TokenKind::IntLit, "(cardinality)");
+    if (tok.intValue < 0)
+        throw ParseError("cardinality must be non-negative", tok.loc);
+    return static_cast<int>(tok.intValue);
+}
+
+MatchClause
+Parser::parseMatchClause()
+{
+    MatchClause clause;
+    clause.loc = peek().loc;
+    expectIdent("match");
+    expect(TokenKind::LParen, "after match");
+    clause.lo = parseCardinality();
+    expect(TokenKind::Comma, "in match clause");
+    clause.hi = parseCardinality();
+    expect(TokenKind::Comma, "in match clause");
+    clause.edgeType = parseName("(edge type)");
+    if (accept(TokenKind::RParen)) {
+        // 3-argument self form: match(lo, hi, EType).
+        clause.dir = MatchDir::Self;
+        return clause;
+    }
+    expect(TokenKind::Comma, "in match clause");
+    if (accept(TokenKind::LBracket)) {
+        // match(lo, hi, ET, [T*] -> vn): incoming.
+        clause.dir = MatchDir::In;
+        while (!accept(TokenKind::RBracket)) {
+            if (accept(TokenKind::Comma))
+                continue;
+            clause.nodeTypes.push_back(parseName("(node type)"));
+        }
+        expect(TokenKind::Arrow, "in match clause");
+        clause.targetName = parseName("(match target)");
+    } else {
+        std::string target = parseName("(match target)");
+        clause.targetName = target;
+        if (accept(TokenKind::Arrow)) {
+            // match(lo, hi, ET, vn -> [T*]): outgoing.
+            clause.dir = MatchDir::Out;
+            expect(TokenKind::LBracket, "in match clause");
+            while (!accept(TokenKind::RBracket)) {
+                if (accept(TokenKind::Comma))
+                    continue;
+                clause.nodeTypes.push_back(parseName("(node type)"));
+            }
+        } else {
+            // match(lo, hi, ET, vn): self edges on the target.
+            clause.dir = MatchDir::Self;
+        }
+    }
+    expect(TokenKind::RParen, "to close match clause");
+    return clause;
+}
+
+dg::DataType
+Parser::parseDataType()
+{
+    SourceLoc loc = peek().loc;
+    auto parseRealBound = [&]() -> double {
+        bool neg = accept(TokenKind::Minus);
+        double v;
+        if (acceptIdent("inf")) {
+            v = kInf;
+        } else if (at(TokenKind::RealLit)) {
+            v = advance().realValue;
+        } else if (at(TokenKind::IntLit)) {
+            v = static_cast<double>(advance().intValue);
+        } else {
+            throw ParseError(cat("expected a numeric bound, found ",
+                                 describe(peek())),
+                             peek().loc);
+        }
+        return neg ? -v : v;
+    };
+
+    if (acceptIdent("real")) {
+        expect(TokenKind::LBracket, "after real");
+        double lo = parseRealBound();
+        expect(TokenKind::Comma, "in real bounds");
+        double hi = parseRealBound();
+        expect(TokenKind::RBracket, "to close real bounds");
+        if (lo > hi)
+            throw ParseError("real range is empty (lo > hi)", loc);
+        dg::DataType type = dg::DataType::real(lo, hi);
+        if (acceptIdent("mm")) {
+            expect(TokenKind::LParen, "after mm");
+            double s0 = parseRealBound();
+            expect(TokenKind::Comma, "in mm");
+            double s1 = parseRealBound();
+            expect(TokenKind::RParen, "to close mm");
+            if (s0 < 0 || s1 < 0)
+                throw ParseError("mm deviations must be non-negative",
+                                 loc);
+            type = dg::DataType::realMm(lo, hi, dg::Mismatch{s0, s1});
+        }
+        if (acceptIdent("const"))
+            type = type.asConst();
+        return type;
+    }
+    if (acceptIdent("int")) {
+        expect(TokenKind::LBracket, "after int");
+        bool negLo = accept(TokenKind::Minus);
+        Token lo = expect(TokenKind::IntLit, "(int bound)");
+        expect(TokenKind::Comma, "in int bounds");
+        bool negHi = accept(TokenKind::Minus);
+        Token hi = expect(TokenKind::IntLit, "(int bound)");
+        expect(TokenKind::RBracket, "to close int bounds");
+        std::int64_t loV = negLo ? -lo.intValue : lo.intValue;
+        std::int64_t hiV = negHi ? -hi.intValue : hi.intValue;
+        if (loV > hiV)
+            throw ParseError("int range is empty (lo > hi)", loc);
+        dg::DataType type = dg::DataType::integer(loV, hiV);
+        if (acceptIdent("const"))
+            type = type.asConst();
+        return type;
+    }
+    if (acceptIdent("lambd") || acceptIdent("fn")) {
+        expect(TokenKind::LParen, "after lambd");
+        std::vector<std::string> params;
+        while (!accept(TokenKind::RParen)) {
+            if (accept(TokenKind::Comma))
+                continue;
+            params.push_back(parseName("(lambda parameter)"));
+        }
+        dg::DataType type = dg::DataType::function(std::move(params));
+        if (acceptIdent("const"))
+            type = type.asConst();
+        return type;
+    }
+    throw ParseError(cat("expected a datatype (real/int/lambd), found ",
+                         describe(peek())),
+                     peek().loc);
+}
+
+FuncDecl
+Parser::parseFunc()
+{
+    FuncDecl decl;
+    decl.loc = peek().loc;
+    expectIdent("func");
+    decl.name = parseName("(function name)");
+    expect(TokenKind::LParen, "after function name");
+    while (!accept(TokenKind::RParen)) {
+        if (accept(TokenKind::Comma))
+            continue;
+        decl.args.push_back(parseFuncArg());
+    }
+    expectIdent("uses");
+    decl.usesLang = parseName("(language name)");
+    expect(TokenKind::LBrace, "to open function body");
+    while (!accept(TokenKind::RBrace)) {
+        if (accept(TokenKind::Semi))
+            continue;
+        decl.body.push_back(parseFuncStmt());
+    }
+    accept(TokenKind::Semi);
+    return decl;
+}
+
+FuncArgDecl
+Parser::parseFuncArg()
+{
+    FuncArgDecl arg;
+    arg.loc = peek().loc;
+    arg.name = parseName("(argument name)");
+    if (accept(TokenKind::Dot))
+        arg.attrName = parseName("(argument attribute)");
+    expect(TokenKind::Colon, "in function argument");
+    arg.type = parseDataType();
+    return arg;
+}
+
+FuncStmt
+Parser::parseFuncStmt()
+{
+    FuncStmt stmt;
+    stmt.loc = peek().loc;
+    if (acceptIdent("node")) {
+        stmt.kind = FuncStmtKind::Node;
+        stmt.name = parseName("(node name)");
+        expect(TokenKind::Colon, "in node statement");
+        stmt.type = parseName("(node type)");
+        return stmt;
+    }
+    if (acceptIdent("edge")) {
+        stmt.kind = FuncStmtKind::Edge;
+        expect(TokenKind::Lt, "after edge");
+        stmt.src = parseName("(edge source)");
+        expect(TokenKind::Comma, "in edge endpoints");
+        stmt.dst = parseName("(edge destination)");
+        expect(TokenKind::Gt, "to close edge endpoints");
+        stmt.name = parseName("(edge name)");
+        expect(TokenKind::Colon, "in edge statement");
+        stmt.type = parseName("(edge type)");
+        return stmt;
+    }
+    if (atIdent("set")) {
+        advance();
+        expect(TokenKind::Minus, "in set-* statement");
+        Token verb = expect(TokenKind::Ident, "(set-* verb)");
+        if (verb.text == "attr") {
+            stmt.kind = FuncStmtKind::SetAttr;
+            stmt.name = parseName("(element name)");
+            expect(TokenKind::Dot, "in set-attr");
+            stmt.attr = parseName("(attribute name)");
+            expect(TokenKind::Assign, "in set-attr");
+            stmt.value = parseExpr();
+            return stmt;
+        }
+        if (verb.text == "init") {
+            stmt.kind = FuncStmtKind::SetInit;
+            stmt.name = parseName("(node name)");
+            expect(TokenKind::LParen, "in set-init");
+            Token idx = expect(TokenKind::IntLit, "(derivative index)");
+            stmt.derivative = static_cast<int>(idx.intValue);
+            expect(TokenKind::RParen, "in set-init");
+            expect(TokenKind::Assign, "in set-init");
+            stmt.value = parseExpr();
+            return stmt;
+        }
+        if (verb.text == "switch" || verb.text == "edge") {
+            stmt.kind = FuncStmtKind::SetSwitch;
+            stmt.name = parseName("(edge name)");
+            expectIdent("when");
+            stmt.when = parseExpr();
+            return stmt;
+        }
+        throw ParseError(cat("unknown statement 'set-", verb.text, "'"),
+                         verb.loc);
+    }
+    throw ParseError(cat("expected a function statement, found ",
+                         describe(peek())),
+                     peek().loc);
+}
+
+ExprPtr
+Parser::parseExpr()
+{
+    return parseOr();
+}
+
+ExprPtr
+Parser::parseOr()
+{
+    ExprPtr lhs = parseAnd();
+    while (atIdent("or")) {
+        advance();
+        lhs = Expr::binary(BinOp::Or, lhs, parseAnd());
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseAnd()
+{
+    ExprPtr lhs = parseNot();
+    while (atIdent("and")) {
+        advance();
+        lhs = Expr::binary(BinOp::And, lhs, parseNot());
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseNot()
+{
+    if (acceptIdent("not"))
+        return Expr::unary(UnOp::Not, parseNot());
+    return parseCmp();
+}
+
+ExprPtr
+Parser::parseCmp()
+{
+    ExprPtr lhs = parseAdd();
+    BinOp op;
+    if (at(TokenKind::Lt))
+        op = BinOp::Lt;
+    else if (at(TokenKind::ProdApply))
+        op = BinOp::Le; // '<=' doubles as comparison inside expressions
+    else if (at(TokenKind::Gt))
+        op = BinOp::Gt;
+    else if (at(TokenKind::Ge))
+        op = BinOp::Ge;
+    else if (at(TokenKind::EqEq))
+        op = BinOp::Eq;
+    else if (at(TokenKind::NotEq))
+        op = BinOp::Ne;
+    else
+        return lhs;
+    advance();
+    return Expr::binary(op, lhs, parseAdd());
+}
+
+ExprPtr
+Parser::parseAdd()
+{
+    ExprPtr lhs = parseMul();
+    while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
+        BinOp op = at(TokenKind::Plus) ? BinOp::Add : BinOp::Sub;
+        advance();
+        lhs = Expr::binary(op, lhs, parseMul());
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseMul()
+{
+    ExprPtr lhs = parseUnary();
+    while (at(TokenKind::Star) || at(TokenKind::Slash)) {
+        BinOp op = at(TokenKind::Star) ? BinOp::Mul : BinOp::Div;
+        advance();
+        lhs = Expr::binary(op, lhs, parseUnary());
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseUnary()
+{
+    if (accept(TokenKind::Minus))
+        return Expr::unary(UnOp::Neg, parseUnary());
+    if (accept(TokenKind::Plus))
+        return parseUnary();
+    return parsePow();
+}
+
+ExprPtr
+Parser::parsePow()
+{
+    ExprPtr base = parsePrimary();
+    if (accept(TokenKind::Caret))
+        return Expr::binary(BinOp::Pow, base, parseUnary());
+    return base;
+}
+
+ExprPtr
+Parser::parsePrimary()
+{
+    const Token &tok = peek();
+    if (tok.is(TokenKind::RealLit)) {
+        advance();
+        return Expr::real(tok.realValue);
+    }
+    if (tok.is(TokenKind::IntLit)) {
+        advance();
+        return Expr::integer(tok.intValue);
+    }
+    if (accept(TokenKind::LParen)) {
+        ExprPtr inner = parseExpr();
+        expect(TokenKind::RParen, "to close parenthesized expression");
+        return inner;
+    }
+    if (!tok.is(TokenKind::Ident)) {
+        throw ParseError(cat("expected an expression, found ",
+                             describe(tok)),
+                         tok.loc);
+    }
+    // Contextual word forms.
+    if (tok.text == "if") {
+        advance();
+        ExprPtr cond = parseExpr();
+        expectIdent("then");
+        ExprPtr thenE = parseExpr();
+        expectIdent("else");
+        ExprPtr elseE = parseExpr();
+        return Expr::ifThenElse(cond, thenE, elseE);
+    }
+    if (tok.text == "lambd" || tok.text == "fn") {
+        // Lambda literal: lambd(params): body. Distinguish from a call
+        // to a variable named fn by requiring the ':' after ')'.
+        std::size_t save = pos_;
+        advance();
+        if (accept(TokenKind::LParen)) {
+            std::vector<std::string> params;
+            bool ok = true;
+            while (!accept(TokenKind::RParen)) {
+                if (accept(TokenKind::Comma))
+                    continue;
+                if (!at(TokenKind::Ident)) {
+                    ok = false;
+                    break;
+                }
+                params.push_back(advance().text);
+            }
+            if (ok && accept(TokenKind::Colon)) {
+                ExprPtr body = parseExpr();
+                return Expr::literal(expr::Value::function(
+                    expr::Lambda{std::move(params), body}));
+            }
+        }
+        pos_ = save; // fall through: treat as a normal name
+    }
+    if (tok.text == "true") {
+        advance();
+        return Expr::boolean(true);
+    }
+    if (tok.text == "false") {
+        advance();
+        return Expr::boolean(false);
+    }
+    if (tok.text == "inf") {
+        advance();
+        return Expr::real(kInf);
+    }
+    if (tok.text == "time" || tok.text == "times") {
+        advance();
+        return Expr::time();
+    }
+
+    advance(); // consume the identifier
+    std::string name = tok.text;
+
+    // var(x): reference to a node's state variable.
+    if (name == "var" && at(TokenKind::LParen)) {
+        advance();
+        std::string node = parseName("(node binding)");
+        expect(TokenKind::RParen, "to close var(.)");
+        return Expr::nodeVar(node);
+    }
+
+    // Attribute reference base.attr, optionally called: s.fn(times).
+    if (accept(TokenKind::Dot)) {
+        std::string attrName =
+            expect(TokenKind::Ident, "(attribute name)").text;
+        ExprPtr attrRef = Expr::attr(name, attrName);
+        if (accept(TokenKind::LParen)) {
+            std::vector<ExprPtr> args;
+            while (!accept(TokenKind::RParen)) {
+                if (accept(TokenKind::Comma))
+                    continue;
+                args.push_back(parseExpr());
+            }
+            return Expr::callExpr(attrRef, std::move(args));
+        }
+        return attrRef;
+    }
+
+    // Function call f(args): builtin or lambda-valued variable.
+    if (accept(TokenKind::LParen)) {
+        std::vector<ExprPtr> args;
+        while (!accept(TokenKind::RParen)) {
+            if (accept(TokenKind::Comma))
+                continue;
+            args.push_back(parseExpr());
+        }
+        return Expr::call(name, std::move(args));
+    }
+
+    return Expr::var(name);
+}
+
+ExprPtr
+Parser::parseExpressionOnly()
+{
+    ExprPtr e = parseExpr();
+    expect(TokenKind::EndOfFile, "after expression");
+    return e;
+}
+
+dg::DataType
+Parser::parseDataTypeOnly()
+{
+    dg::DataType t = parseDataType();
+    expect(TokenKind::EndOfFile, "after datatype");
+    return t;
+}
+
+} // namespace
+
+Program
+parseProgram(const std::string &source)
+{
+    Parser parser(tokenize(source));
+    return parser.parseProgram();
+}
+
+expr::ExprPtr
+parseExpression(const std::string &source)
+{
+    Parser parser(tokenize(source));
+    return parser.parseExpressionOnly();
+}
+
+dg::DataType
+parseDataType(const std::string &source)
+{
+    Parser parser(tokenize(source));
+    return parser.parseDataTypeOnly();
+}
+
+} // namespace ark::lang

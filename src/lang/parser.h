@@ -1,0 +1,43 @@
+#ifndef ARK_LANG_PARSER_H
+#define ARK_LANG_PARSER_H
+
+/**
+ * @file
+ * Recursive-descent parser for the Ark grammar (paper Figure 6).
+ *
+ * Accepted sugar beyond the paper's listings:
+ *  - `ntyp` / `etyp` abbreviate node-type / edge-type (used by the
+ *    paper's own figures);
+ *  - `inherit` and `inherits` are interchangeable;
+ *  - `set-edge` and `set-switch` are interchangeable (the grammar and
+ *    prose disagree; both are accepted);
+ *  - `fn(...)` abbreviates `lambd(...)` in types and literals;
+ *  - `time` and `times` both denote simulation time;
+ *  - attribute separators may be `,` or `;`.
+ *
+ * Declaration names may contain hyphens (`gmc-tln`, `br-func`); the
+ * parser joins Ident '-' Ident runs in name positions only, so `-`
+ * still parses as subtraction inside expressions.
+ */
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace ark::lang {
+
+/**
+ * Parses a whole Ark source buffer.
+ * @throws ark::support::LexError / ParseError with source locations.
+ */
+Program parseProgram(const std::string &source);
+
+/** Parses a single expression (tests, tools). */
+expr::ExprPtr parseExpression(const std::string &source);
+
+/** Parses a datatype like "real[0,inf] mm(0,0.1)" (tests, tools). */
+dg::DataType parseDataType(const std::string &source);
+
+} // namespace ark::lang
+
+#endif // ARK_LANG_PARSER_H

@@ -1,0 +1,127 @@
+#include "lang/registry.h"
+
+#include "lang/parser.h"
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::lang {
+
+using support::cat;
+using support::SemaError;
+
+void
+LanguageRegistry::addProgram(const std::string &source)
+{
+    Program program = parseProgram(source);
+    for (const LangDecl &lang : program.langs)
+        defineLanguage(lang);
+    for (FuncDecl &func : program.funcs)
+        defineFunction(std::move(func));
+}
+
+const Language &
+LanguageRegistry::defineLanguage(const LangDecl &decl)
+{
+    if (languageByName_.count(decl.name)) {
+        throw SemaError(cat("language '", decl.name,
+                            "' is already defined"),
+                        decl.loc);
+    }
+    const Language *parent = nullptr;
+    if (decl.inherits) {
+        parent = findLanguage(*decl.inherits);
+        if (!parent) {
+            throw SemaError(cat("language '", decl.name,
+                                "' inherits unknown language '",
+                                *decl.inherits, "'"),
+                            decl.loc);
+        }
+    }
+    languages_.push_back(buildLanguage(decl, parent));
+    const Language &lang = *languages_.back();
+    languageByName_.emplace(lang.name(), &lang);
+    return lang;
+}
+
+void
+LanguageRegistry::defineFunction(FuncDecl decl)
+{
+    if (functionByName_.count(decl.name)) {
+        throw SemaError(cat("function '", decl.name,
+                            "' is already defined"),
+                        decl.loc);
+    }
+    const Language *lang = findLanguage(decl.usesLang);
+    if (!lang) {
+        throw SemaError(cat("function '", decl.name,
+                            "' uses unknown language '", decl.usesLang,
+                            "'"),
+                        decl.loc);
+    }
+    checkFunction(decl, *lang);
+    functionByName_.emplace(decl.name, functions_.size());
+    functions_.push_back(std::move(decl));
+}
+
+const Language *
+LanguageRegistry::findLanguage(const std::string &name) const
+{
+    auto it = languageByName_.find(name);
+    return it == languageByName_.end() ? nullptr : it->second;
+}
+
+const Language &
+LanguageRegistry::language(const std::string &name) const
+{
+    const Language *lang = findLanguage(name);
+    if (!lang)
+        throw SemaError(cat("unknown language '", name, "'"));
+    return *lang;
+}
+
+const FuncDecl *
+LanguageRegistry::findFunction(const std::string &name) const
+{
+    auto it = functionByName_.find(name);
+    return it == functionByName_.end() ? nullptr : &functions_[it->second];
+}
+
+const FuncDecl &
+LanguageRegistry::function(const std::string &name) const
+{
+    const FuncDecl *func = findFunction(name);
+    if (!func)
+        throw SemaError(cat("unknown function '", name, "'"));
+    return *func;
+}
+
+dg::Graph
+LanguageRegistry::invoke(const std::string &funcName,
+                         const std::vector<expr::Value> &args,
+                         std::uint64_t seed) const
+{
+    const FuncDecl &func = function(funcName);
+    return invokeFunction(func, language(func.usesLang), args, seed);
+}
+
+std::vector<std::string>
+LanguageRegistry::languageNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(languages_.size());
+    for (const auto &lang : languages_)
+        names.push_back(lang->name());
+    return names;
+}
+
+std::vector<std::string>
+LanguageRegistry::functionNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(functions_.size());
+    for (const auto &func : functions_)
+        names.push_back(func.name);
+    return names;
+}
+
+} // namespace ark::lang

@@ -1,0 +1,89 @@
+#ifndef ARK_LANG_REGISTRY_H
+#define ARK_LANG_REGISTRY_H
+
+/**
+ * @file
+ * The Ark framework entry point (paper §4.6).
+ *
+ * A LanguageRegistry ingests Ark programs (language + function
+ * definitions), lowers languages with inheritance resolution in
+ * declaration order, checks functions, and invokes them to produce
+ * dynamical graphs. Validation and compilation (Sections 5-6) live in
+ * the validator/ and compiler/ modules and consume the Language and
+ * dg::Graph objects this registry manages.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dg/graph.h"
+#include "lang/ast.h"
+#include "lang/func.h"
+#include "lang/language.h"
+
+namespace ark::lang {
+
+/**
+ * Owns languages and functions defined by Ark programs.
+ *
+ * Languages are immortal once defined (graphs and compiled systems
+ * hold pointers into them), so the registry is move-only and
+ * definitions cannot be replaced.
+ */
+class LanguageRegistry
+{
+  public:
+    LanguageRegistry() = default;
+    LanguageRegistry(const LanguageRegistry &) = delete;
+    LanguageRegistry &operator=(const LanguageRegistry &) = delete;
+    LanguageRegistry(LanguageRegistry &&) = default;
+    LanguageRegistry &operator=(LanguageRegistry &&) = default;
+
+    /**
+     * Parses a source buffer and registers everything it defines.
+     * @throws ArkError subclasses on lex/parse/sema failures; on
+     *         failure the registry keeps the definitions that were
+     *         already registered before the error.
+     */
+    void addProgram(const std::string &source);
+
+    /** Registers a pre-parsed language declaration. */
+    const Language &defineLanguage(const LangDecl &decl);
+
+    /** Registers and checks a pre-parsed function. */
+    void defineFunction(FuncDecl decl);
+
+    const Language *findLanguage(const std::string &name) const;
+
+    /** @throws SemaError when the language is unknown. */
+    const Language &language(const std::string &name) const;
+
+    const FuncDecl *findFunction(const std::string &name) const;
+
+    /** @throws SemaError when the function is unknown. */
+    const FuncDecl &function(const std::string &name) const;
+
+    /**
+     * Invokes a registered function (paper §4.6: execute, then
+     * validate and compile downstream).
+     */
+    dg::Graph invoke(const std::string &funcName,
+                     const std::vector<expr::Value> &args,
+                     std::uint64_t seed = 0) const;
+
+    std::vector<std::string> languageNames() const;
+    std::vector<std::string> functionNames() const;
+
+  private:
+    std::vector<std::unique_ptr<Language>> languages_;
+    std::unordered_map<std::string, const Language *> languageByName_;
+    std::vector<FuncDecl> functions_;
+    std::unordered_map<std::string, std::size_t> functionByName_;
+};
+
+} // namespace ark::lang
+
+#endif // ARK_LANG_REGISTRY_H

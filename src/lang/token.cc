@@ -1,0 +1,246 @@
+#include "lang/token.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/logging.h"
+
+namespace ark::lang {
+
+using support::cat;
+using support::LexError;
+using support::SourceLoc;
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Ident: return "identifier";
+      case TokenKind::IntLit: return "integer literal";
+      case TokenKind::RealLit: return "real literal";
+      case TokenKind::LBrace: return "'{'";
+      case TokenKind::RBrace: return "'}'";
+      case TokenKind::LParen: return "'('";
+      case TokenKind::RParen: return "')'";
+      case TokenKind::LBracket: return "'['";
+      case TokenKind::RBracket: return "']'";
+      case TokenKind::Comma: return "','";
+      case TokenKind::Colon: return "':'";
+      case TokenKind::Semi: return "';'";
+      case TokenKind::Dot: return "'.'";
+      case TokenKind::Assign: return "'='";
+      case TokenKind::Arrow: return "'->'";
+      case TokenKind::ProdApply: return "'<='";
+      case TokenKind::Lt: return "'<'";
+      case TokenKind::Gt: return "'>'";
+      case TokenKind::Ge: return "'>='";
+      case TokenKind::EqEq: return "'=='";
+      case TokenKind::NotEq: return "'!='";
+      case TokenKind::Plus: return "'+'";
+      case TokenKind::Minus: return "'-'";
+      case TokenKind::Star: return "'*'";
+      case TokenKind::Slash: return "'/'";
+      case TokenKind::Caret: return "'^'";
+      case TokenKind::EndOfFile: return "end of input";
+    }
+    return "token";
+}
+
+namespace {
+
+/** Cursor over the source with line/column tracking. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &src) : src_(src) {}
+
+    bool done() const { return pos_ >= src_.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        std::size_t p = pos_ + ahead;
+        return p < src_.size() ? src_[p] : '\0';
+    }
+    char advance()
+    {
+        char ch = src_[pos_++];
+        if (ch == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return ch;
+    }
+    SourceLoc loc() const { return SourceLoc{line_, col_}; }
+
+  private:
+    const std::string &src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+bool
+isIdentStart(char ch)
+{
+    return std::isalpha(static_cast<unsigned char>(ch)) || ch == '_';
+}
+
+bool
+isIdentChar(char ch)
+{
+    return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_';
+}
+
+Token
+lexNumber(Cursor &cur)
+{
+    Token tok;
+    tok.loc = cur.loc();
+    std::string text;
+    bool isReal = false;
+    while (std::isdigit(static_cast<unsigned char>(cur.peek())))
+        text += cur.advance();
+    if (cur.peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(cur.peek(1)))) {
+        isReal = true;
+        text += cur.advance(); // '.'
+        while (std::isdigit(static_cast<unsigned char>(cur.peek())))
+            text += cur.advance();
+    }
+    if (cur.peek() == 'e' || cur.peek() == 'E') {
+        char after = cur.peek(1);
+        char after2 = cur.peek(2);
+        bool signedExp = (after == '+' || after == '-') &&
+                         std::isdigit(static_cast<unsigned char>(after2));
+        if (std::isdigit(static_cast<unsigned char>(after)) || signedExp) {
+            isReal = true;
+            text += cur.advance(); // e
+            if (signedExp)
+                text += cur.advance();
+            while (std::isdigit(static_cast<unsigned char>(cur.peek())))
+                text += cur.advance();
+        }
+    }
+    if (isReal) {
+        tok.kind = TokenKind::RealLit;
+        tok.realValue = std::strtod(text.c_str(), nullptr);
+    } else {
+        tok.kind = TokenKind::IntLit;
+        tok.intValue = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    return tok;
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> tokens;
+    Cursor cur(source);
+
+    auto push = [&](TokenKind kind, SourceLoc loc) {
+        Token tok;
+        tok.kind = kind;
+        tok.loc = loc;
+        tokens.push_back(std::move(tok));
+    };
+
+    while (!cur.done()) {
+        char ch = cur.peek();
+        SourceLoc loc = cur.loc();
+
+        if (std::isspace(static_cast<unsigned char>(ch))) {
+            cur.advance();
+            continue;
+        }
+        // Comments: // ... or # ... to end of line.
+        if (ch == '#' || (ch == '/' && cur.peek(1) == '/')) {
+            while (!cur.done() && cur.peek() != '\n')
+                cur.advance();
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(ch))) {
+            tokens.push_back(lexNumber(cur));
+            continue;
+        }
+        if (isIdentStart(ch)) {
+            Token tok;
+            tok.kind = TokenKind::Ident;
+            tok.loc = loc;
+            while (isIdentChar(cur.peek()))
+                tok.text += cur.advance();
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        cur.advance();
+        switch (ch) {
+          case '{': push(TokenKind::LBrace, loc); break;
+          case '}': push(TokenKind::RBrace, loc); break;
+          case '(': push(TokenKind::LParen, loc); break;
+          case ')': push(TokenKind::RParen, loc); break;
+          case '[': push(TokenKind::LBracket, loc); break;
+          case ']': push(TokenKind::RBracket, loc); break;
+          case ',': push(TokenKind::Comma, loc); break;
+          case ':': push(TokenKind::Colon, loc); break;
+          case ';': push(TokenKind::Semi, loc); break;
+          case '.': push(TokenKind::Dot, loc); break;
+          case '+': push(TokenKind::Plus, loc); break;
+          case '*': push(TokenKind::Star, loc); break;
+          case '/': push(TokenKind::Slash, loc); break;
+          case '^': push(TokenKind::Caret, loc); break;
+          case '=':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokenKind::EqEq, loc);
+            } else {
+                push(TokenKind::Assign, loc);
+            }
+            break;
+          case '!':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokenKind::NotEq, loc);
+            } else {
+                throw LexError("stray '!'", loc);
+            }
+            break;
+          case '<':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokenKind::ProdApply, loc);
+            } else {
+                push(TokenKind::Lt, loc);
+            }
+            break;
+          case '>':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokenKind::Ge, loc);
+            } else {
+                push(TokenKind::Gt, loc);
+            }
+            break;
+          case '-':
+            if (cur.peek() == '>') {
+                cur.advance();
+                push(TokenKind::Arrow, loc);
+            } else {
+                push(TokenKind::Minus, loc);
+            }
+            break;
+          default:
+            throw LexError(cat("unexpected character '", std::string(1, ch),
+                               "'"), loc);
+        }
+    }
+
+    Token eof;
+    eof.kind = TokenKind::EndOfFile;
+    eof.loc = cur.loc();
+    tokens.push_back(std::move(eof));
+    return tokens;
+}
+
+} // namespace ark::lang

@@ -1,0 +1,70 @@
+#ifndef ARK_LANG_TOKEN_H
+#define ARK_LANG_TOKEN_H
+
+/**
+ * @file
+ * Token definitions for the Ark lexer.
+ *
+ * Ark reserves no keywords at the lexer level: words like `lang`,
+ * `node`, or `func` arrive as Ident tokens and the parser matches them
+ * contextually. This lets programs reuse short names (`V`, `g`, `E`)
+ * and lets declaration names contain hyphens (`gmc-tln`, `br-func`)
+ * without ambiguity against subtraction, which the parser resolves by
+ * joining Ident '-' Ident sequences only in name positions.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace ark::lang {
+
+/** Lexical token categories. */
+enum class TokenKind : std::uint8_t {
+    Ident,      ///< Word: letters, digits, underscores (starts nondigit).
+    IntLit,     ///< Integer literal.
+    RealLit,    ///< Real literal (decimal point and/or exponent).
+    LBrace, RBrace,     // { }
+    LParen, RParen,     // ( )
+    LBracket, RBracket, // [ ]
+    Comma, Colon, Semi, Dot,
+    Assign,     ///< =
+    Arrow,      ///< ->
+    ProdApply,  ///< <=  (production "applies term" / less-equal)
+    Lt, Gt,     ///< < >  (edge<src,dst> delimiters / comparisons)
+    Ge,         ///< >=
+    EqEq, NotEq,
+    Plus, Minus, Star, Slash, Caret,
+    EndOfFile,
+};
+
+/** Token spelling for diagnostics. */
+const char *tokenKindName(TokenKind kind);
+
+/** One lexed token. */
+struct Token
+{
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;     ///< Ident spelling (empty otherwise).
+    double realValue = 0; ///< RealLit payload.
+    std::int64_t intValue = 0; ///< IntLit payload.
+    support::SourceLoc loc;
+
+    bool is(TokenKind k) const { return kind == k; }
+    bool isIdent(const std::string &word) const
+    {
+        return kind == TokenKind::Ident && text == word;
+    }
+};
+
+/**
+ * Tokenizes Ark source. Comments run from `//` or `#` to end of line.
+ * @throws ark::support::LexError on malformed input.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace ark::lang
+
+#endif // ARK_LANG_TOKEN_H

@@ -1,0 +1,76 @@
+#ifndef ARK_PARADIGMS_CNN_H
+#define ARK_PARADIGMS_CNN_H
+
+/**
+ * @file
+ * The cellular nonlinear network (CNN) compute paradigm (paper §7.1)
+ * and its hw-cnn hardware extension.
+ *
+ * Cells are V nodes with a self iE edge (-x + z dynamics), an Out
+ * node applying the saturation nonlinearity, full 3x3 programmable
+ * A-template connectivity (fE edges Out -> V) and B-template input
+ * connectivity (fE edges Inp -> V). The hw-cnn extension models
+ * integrator mismatch (Vm), template-weight mismatch (fEm), and a
+ * non-ideal MOS saturation (OutNL).
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dg/graph.h"
+#include "lang/registry.h"
+
+namespace ark::paradigms::cnn {
+
+/** Ark source of the `cnn` language. */
+const std::string &cnnSource();
+
+/** Ark source of the `hw-cnn` extension. */
+const std::string &hwCnnSource();
+
+/** Registers both languages into a registry. */
+void registerAll(lang::LanguageRegistry &registry);
+
+/** A 3x3 CNN template, row-major (offset (-1,-1) first). */
+using Template = std::array<double, 9>;
+
+/** The classic EDGE-detection template pair (A, B) and bias z. */
+Template edgeDetectA();
+Template edgeDetectB();
+double edgeDetectZ();
+
+/** Nonideality substitutions (columns B-D of Figure 11). */
+struct CnnSpec
+{
+    int width = 16;
+    int height = 16;
+    Template a = edgeDetectA();
+    Template b = edgeDetectB();
+    double z = edgeDetectZ();
+
+    bool mismatchZ = false;   ///< Substitute Vm (integrator mismatch).
+    bool mismatchG = false;   ///< Substitute fEm (template mismatch).
+    bool nonIdealSat = false; ///< Substitute OutNL (MOS saturation).
+    std::uint64_t seed = 0;
+
+    /** Cells start at the input value (x(0) = u) when true, else 0. */
+    bool initFromInput = false;
+};
+
+/**
+ * Builds a WxH CNN over the given input image (values in [-1, 1],
+ * row-major, +1 = black). Cell state nodes are named X_<r>_<c>.
+ *
+ * @param language `cnn`, or `hw-cnn` when a nonideality is selected.
+ */
+dg::Graph buildCnn(const lang::Language &language, const CnnSpec &spec,
+                   const std::vector<double> &input);
+
+/** State-node name of cell (row, col). */
+std::string cellName(int row, int col);
+
+} // namespace ark::paradigms::cnn
+
+#endif // ARK_PARADIGMS_CNN_H

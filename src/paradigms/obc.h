@@ -1,0 +1,119 @@
+#ifndef ARK_PARADIGMS_OBC_H
+#define ARK_PARADIGMS_OBC_H
+
+/**
+ * @file
+ * The oscillator-based computing (OBC) paradigm (paper §7.2) and its
+ * two hardware extensions: ofs-obc (integrator offset nonideality)
+ * and intercon-obc (local/global interconnect cost modeling).
+ *
+ * Oscillator phases follow the modified Kuramoto model (Eq. 6) with
+ * C1 = 1.6e9 and C2 = 1e9 baked into the production rules as in the
+ * paper's listing. Max-cut instances map graph vertices to Osc nodes
+ * and graph edges to anti-ferromagnetic couplings (k < 0); the
+ * sub-harmonic injection-locking self edge binarizes phases to
+ * {0, pi}.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dg/graph.h"
+#include "lang/registry.h"
+
+namespace ark::paradigms::obc {
+
+/** Ark source of the `obc` language. */
+const std::string &obcSource();
+
+/** Ark source of the `ofs-obc` extension. */
+const std::string &ofsObcSource();
+
+/** Ark source of the `intercon-obc` extension. */
+const std::string &interconObcSource();
+
+/** Registers all three languages into a registry. */
+void registerAll(lang::LanguageRegistry &registry);
+
+/** An undirected max-cut instance on vertices 0..n-1. */
+struct MaxcutInstance
+{
+    int numVertices = 0;
+    std::vector<std::pair<int, int>> edges;
+};
+
+/** Max-cut oscillator network parameters. */
+struct MaxcutSpec
+{
+    /** Coupling strength per graph edge (negative = anti-phase). */
+    double coupling = -1.0;
+    /** Use ofs-obc Cpl_ofs couplings (integrator offset mismatch). */
+    bool withOffset = false;
+    /** Mismatch sampling seed. */
+    std::uint64_t seed = 0;
+    /** Initial oscillator phases (size numVertices); empty = zeros. */
+    std::vector<double> initPhases;
+};
+
+/**
+ * Builds the coupled-oscillator network solving a max-cut instance.
+ * Oscillator nodes are named OSC_<v>.
+ *
+ * @param language `obc`, or `ofs-obc` when spec.withOffset is set.
+ */
+dg::Graph buildMaxcut(const lang::Language &language,
+                      const MaxcutInstance &instance,
+                      const MaxcutSpec &spec);
+
+/** Oscillator node name for vertex v. */
+std::string oscName(int v);
+
+/**
+ * Decodes oscillator phases into a partition: phases within `d`
+ * radians of 0 (mod 2pi) go to side 0, within `d` of pi to side 1.
+ * @return nullopt when any oscillator is outside both bands
+ *         ("unknown" in the paper; the graph failed to synchronize).
+ */
+std::optional<std::vector<int>> decodePartition(
+    const std::vector<double> &phases, double d);
+
+/** Cut size of a partition. */
+int cutSize(const MaxcutInstance &instance,
+            const std::vector<int> &partition);
+
+/** Exhaustive best cut (instances are tiny). */
+int bruteForceMaxCut(const MaxcutInstance &instance);
+
+/** Grouped-interconnect network (intercon-obc). */
+struct GroupedSpec
+{
+    /** Group (0 or 1) of each vertex. */
+    std::vector<int> groups;
+    double coupling = -1.0;
+    std::uint64_t seed = 0;
+    std::vector<double> initPhases;
+};
+
+/**
+ * Builds a two-group oscillator network in intercon-obc: in-group
+ * couplings use Cpl_l (cost 1), cross-group use Cpl_g (cost 10);
+ * every oscillator gets a Cpl_l SHIL self edge.
+ */
+dg::Graph buildGrouped(const lang::Language &language,
+                       const MaxcutInstance &instance,
+                       const GroupedSpec &spec);
+
+/**
+ * Builds an INVALID grouped network (one cross-group Cpl_l edge) to
+ * demonstrate the compile-time interconnect restriction.
+ */
+dg::Graph buildGroupedIllegal(const lang::Language &language);
+
+/** Sum of the `cost` attributes over all coupling edges. */
+std::int64_t interconnectCost(const dg::Graph &graph);
+
+} // namespace ark::paradigms::obc
+
+#endif // ARK_PARADIGMS_OBC_H

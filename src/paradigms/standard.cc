@@ -1,0 +1,19 @@
+#include "paradigms/standard.h"
+
+#include "paradigms/cnn.h"
+#include "paradigms/obc.h"
+#include "paradigms/tln.h"
+
+namespace ark::paradigms {
+
+lang::LanguageRegistry
+makeStandardRegistry()
+{
+    lang::LanguageRegistry registry;
+    tln::registerAll(registry);
+    cnn::registerAll(registry);
+    obc::registerAll(registry);
+    return registry;
+}
+
+} // namespace ark::paradigms

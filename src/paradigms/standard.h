@@ -1,0 +1,22 @@
+#ifndef ARK_PARADIGMS_STANDARD_H
+#define ARK_PARADIGMS_STANDARD_H
+
+/**
+ * @file
+ * One-call setup of every paradigm DSL the paper defines.
+ */
+
+#include "lang/registry.h"
+
+namespace ark::paradigms {
+
+/**
+ * Builds a registry containing tln, gmc-tln, cnn, hw-cnn, obc,
+ * ofs-obc, intercon-obc, and the br-func example function — all
+ * parsed from their embedded Ark sources.
+ */
+lang::LanguageRegistry makeStandardRegistry();
+
+} // namespace ark::paradigms
+
+#endif // ARK_PARADIGMS_STANDARD_H

@@ -1,0 +1,323 @@
+#include "paradigms/tln.h"
+
+#include "lang/func.h"
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::paradigms::tln {
+
+using lang::GraphBuilder;
+using support::cat;
+using support::SemaError;
+
+const std::string &
+tlnSource()
+{
+    // Figure 7 of the paper, with the elided rules reconstructed from
+    // Eq. 1 and the Figure 14 (mm-tln) listing with ws = wt = 1.
+    static const std::string source = R"ARK(
+lang tln {
+    ntyp(1,sum) V {attr c=real[1e-10,1e-08], attr g=real[0,inf]};
+    ntyp(1,sum) I {attr l=real[1e-10,1e-08], attr r=real[0,inf]};
+    ntyp(0,sum) InpV {attr fn=fn(a0), attr r=real[0,inf]};
+    ntyp(0,sum) InpI {attr fn=fn(a0), attr g=real[0,inf]};
+    etyp E {};
+
+    // V -> I: the V node sees -I/C, the I node sees +V/L.
+    prod(e:E,s:V->t:I) s <= -var(t)/s.c;
+    prod(e:E,s:V->t:I) t <= var(s)/t.l;
+    // I -> V: the I node sees -V/L, the V node sees +I/C.
+    prod(e:E,s:I->t:V) s <= -var(t)/s.l;
+    prod(e:E,s:I->t:V) t <= var(s)/t.c;
+    // Self edges carry the loss terms -G*V/C and -R*I/L.
+    prod(e:E,s:V->s:V) s <= -s.g*var(s)/s.c;
+    prod(e:E,s:I->s:I) s <= -s.r*var(s)/s.l;
+    // Norton/Thevenin input sources.
+    prod(e:E,s:InpV->t:V) t <= (-var(t)+s.fn(time))/(s.r*t.c);
+    prod(e:E,s:InpV->t:I) t <= (-s.r*var(t)+s.fn(time))/t.l;
+    prod(e:E,s:InpI->t:V) t <= (-s.g*var(t)+s.fn(time))/t.c;
+    prod(e:E,s:InpI->t:I) t <= (-var(t)+s.fn(time))/(s.g*t.l);
+
+    cstr V {acc[
+        match(0,inf,E,V->[I]), match(0,inf,E,[I]->V),
+        match(0,inf,E,[InpV]->V), match(0,inf,E,[InpI]->V),
+        match(1,1,E,V)]}
+    cstr I {acc[
+        match(0,1,E,I->[V]), match(0,1,E,[V,InpV,InpI]->I),
+        match(1,1,E,I)]}
+}
+)ARK";
+    return source;
+}
+
+const std::string &
+gmcTlnSource()
+{
+    // Figure 9 with the remaining Em rules reconstructed from the
+    // Figure 14 listing (modified Telegrapher's equations, §2.3).
+    static const std::string source = R"ARK(
+lang gmc-tln inherits tln {
+    ntyp(1,sum) Vm inherit V
+        {attr c=real[1e-10,1e-08] mm(0,0.1), attr g=real[0,inf]};
+    ntyp(1,sum) Im inherit I
+        {attr l=real[1e-10,1e-08] mm(0,0.1), attr r=real[0,inf]};
+    etyp Em inherit E {attr ws=real[0.5,2] mm(0,0.1),
+                       attr wt=real[0.5,2] mm(0,0.1)};
+
+    prod(e:Em,s:V->t:I) s <= -e.ws*var(t)/s.c;
+    prod(e:Em,s:V->t:I) t <= e.wt*var(s)/t.l;
+    prod(e:Em,s:I->t:V) s <= -e.ws*var(t)/s.l;
+    prod(e:Em,s:I->t:V) t <= e.wt*var(s)/t.c;
+    prod(e:Em,s:InpV->t:V) t <= e.wt*(-var(t)+s.fn(time))/(s.r*t.c);
+    prod(e:Em,s:InpV->t:I) t <= e.wt*(-s.r*var(t)+s.fn(time))/t.l;
+    prod(e:Em,s:InpI->t:V) t <= e.wt*(-s.g*var(t)+s.fn(time))/t.c;
+    prod(e:Em,s:InpI->t:I) t <= e.wt*(-var(t)+s.fn(time))/(s.g*t.l);
+}
+)ARK";
+    return source;
+}
+
+const std::string &
+brFuncSource()
+{
+    // Figure 8: a 3-section line with a switchable 2-section branch
+    // hanging off V_1. All attributes match the paper's parameters.
+    static const std::string source = R"ARK(
+func br-func (br:int[0,1]) uses tln {
+    node InpI_0 : InpI;
+    node IN_V : V;
+    node I_0 : I; node V_1 : V; node I_1 : I; node V_2 : V;
+    node I_2 : I; node OUT_V : V;
+    node IB_0 : I; node VB_0 : V; node IB_1 : I; node VB_1 : V;
+
+    edge <InpI_0, IN_V> E_in : E;
+    edge <IN_V, I_0> E_0 : E;
+    edge <I_0, V_1> E_1 : E;
+    edge <V_1, I_1> E_2 : E;
+    edge <I_1, V_2> E_3 : E;
+    edge <V_2, I_2> E_4 : E;
+    edge <I_2, OUT_V> E_5 : E;
+    edge <V_1, IB_0> E_6 : E;
+    edge <IB_0, VB_0> E_7 : E;
+    edge <VB_0, IB_1> E_8 : E;
+    edge <IB_1, VB_1> E_9 : E;
+    edge <IN_V, IN_V> E_10 : E;
+    edge <V_1, V_1> E_11 : E;
+    edge <V_2, V_2> E_12 : E;
+    edge <OUT_V, OUT_V> E_13 : E;
+    edge <VB_0, VB_0> E_14 : E;
+    edge <VB_1, VB_1> E_15 : E;
+    edge <I_0, I_0> E_16 : E;
+    edge <I_1, I_1> E_17 : E;
+    edge <I_2, I_2> E_18 : E;
+    edge <IB_0, IB_0> E_19 : E;
+    edge <IB_1, IB_1> E_20 : E;
+
+    set-switch E_6 when br;
+
+    set-attr InpI_0.fn = lambd(t0): pulse(t0, 0.0, 2e-8);
+    set-attr InpI_0.g = 1.0;
+    set-attr IN_V.c = 1e-09;  set-attr IN_V.g = 0.0;
+    set-attr V_1.c = 1e-09;   set-attr V_1.g = 0.0;
+    set-attr V_2.c = 1e-09;   set-attr V_2.g = 0.0;
+    set-attr OUT_V.c = 1e-09; set-attr OUT_V.g = 1.0;
+    set-attr VB_0.c = 1e-09;  set-attr VB_0.g = 0.0;
+    set-attr VB_1.c = 1e-09;  set-attr VB_1.g = 0.0;
+    set-attr I_0.l = 1e-09;   set-attr I_0.r = 0.0;
+    set-attr I_1.l = 1e-09;   set-attr I_1.r = 0.0;
+    set-attr I_2.l = 1e-09;   set-attr I_2.r = 0.0;
+    set-attr IB_0.l = 1e-09;  set-attr IB_0.r = 0.0;
+    set-attr IB_1.l = 1e-09;  set-attr IB_1.r = 0.0;
+}
+)ARK";
+    return source;
+}
+
+void
+registerAll(lang::LanguageRegistry &registry)
+{
+    registry.addProgram(tlnSource());
+    registry.addProgram(gmcTlnSource());
+    registry.addProgram(brFuncSource());
+}
+
+namespace {
+
+/** Per-spec type names: ideal vs mismatch-substituted. */
+struct TypeNames
+{
+    std::string v, i, e;
+};
+
+TypeNames
+typeNames(const lang::Language &language, const LineSpec &spec)
+{
+    TypeNames names{"V", "I", "E"};
+    if (spec.mismatchC) {
+        names.v = "Vm";
+        names.i = "Im";
+    }
+    if (spec.mismatchGm)
+        names.e = "Em";
+    if ((spec.mismatchC || spec.mismatchGm) &&
+        !language.types().hasNodeType("Vm") &&
+        !language.types().hasEdgeType("Em")) {
+        throw SemaError(cat("language '", language.name(),
+                            "' lacks the mismatch types; use gmc-tln"));
+    }
+    return names;
+}
+
+/** Emits one V node with its loss self-edge. */
+void
+addVNode(GraphBuilder &builder, const TypeNames &names,
+         const LineSpec &spec, const std::string &name, double g)
+{
+    builder.node(name, names.v);
+    builder.edge("self_" + name, "E", name, name);
+    builder.attr(name, "c", spec.capacitance);
+    builder.attr(name, "g", g);
+}
+
+/** Emits one I node with its loss self-edge. */
+void
+addINode(GraphBuilder &builder, const TypeNames &names,
+         const LineSpec &spec, const std::string &name)
+{
+    builder.node(name, names.i);
+    builder.edge("self_" + name, "E", name, name);
+    builder.attr(name, "l", spec.inductance);
+    builder.attr(name, "r", 0.0);
+}
+
+/** Emits a coupling edge, setting Em weights when applicable. */
+void
+addCoupling(GraphBuilder &builder, const TypeNames &names,
+            const std::string &name, const std::string &src,
+            const std::string &dst)
+{
+    builder.edge(name, names.e, src, dst);
+    if (names.e == "Em") {
+        builder.attr(name, "ws", 1.0);
+        builder.attr(name, "wt", 1.0);
+    }
+}
+
+/** Adds the pulsed Norton input source feeding `target`. */
+void
+addInput(GraphBuilder &builder, const TypeNames &names,
+         const LineSpec &spec, const std::string &target)
+{
+    builder.node(inputNode(), "InpI");
+    expr::Lambda pulse;
+    pulse.params = {"t0"};
+    pulse.body = expr::Expr::call(
+        "pulse", {expr::Expr::var("t0"), expr::Expr::real(spec.pulseStart),
+                  expr::Expr::real(spec.pulseWidth)});
+    builder.attr(inputNode(), "fn", expr::Value::function(std::move(pulse)));
+    builder.attr(inputNode(), "g", spec.sourceConductance);
+    addCoupling(builder, names, "E_inp", inputNode(), target);
+}
+
+} // namespace
+
+dg::Graph
+buildLine(const lang::Language &language, const LineSpec &spec)
+{
+    if (spec.sections < 1)
+        throw SemaError("a t-line needs at least one LC section");
+    TypeNames names = typeNames(language, spec);
+    GraphBuilder builder(language, spec.seed);
+
+    // V chain: IN_V, V_1 .. V_{n-1}, OUT_V; I chain: I_0 .. I_{n-1}.
+    addVNode(builder, names, spec, "IN_V", 0.0);
+    for (int k = 1; k < spec.sections; ++k)
+        addVNode(builder, names, spec, cat("V_", k), 0.0);
+    addVNode(builder, names, spec, outputNode(), spec.termConductance);
+    for (int k = 0; k < spec.sections; ++k)
+        addINode(builder, names, spec, cat("I_", k));
+
+    auto vName = [&](int k) -> std::string {
+        if (k == 0)
+            return "IN_V";
+        if (k == spec.sections)
+            return outputNode();
+        return cat("V_", k);
+    };
+    for (int k = 0; k < spec.sections; ++k) {
+        addCoupling(builder, names, cat("EV_", k), vName(k),
+                    cat("I_", k));
+        addCoupling(builder, names, cat("EI_", k), cat("I_", k),
+                    vName(k + 1));
+    }
+    addInput(builder, names, spec, "IN_V");
+    return builder.take();
+}
+
+dg::Graph
+buildBranched(const lang::Language &language, const BranchSpec &spec)
+{
+    if (spec.stubSections < 1)
+        throw SemaError("the branch stub needs at least one section");
+    if (spec.attachAt < 0 || spec.attachAt > spec.line.sections)
+        throw SemaError("branch attachment index out of range");
+    TypeNames names = typeNames(language, spec.line);
+    GraphBuilder builder(language, spec.line.seed);
+
+    addVNode(builder, names, spec.line, "IN_V", 0.0);
+    for (int k = 1; k < spec.line.sections; ++k)
+        addVNode(builder, names, spec.line, cat("V_", k), 0.0);
+    addVNode(builder, names, spec.line, outputNode(),
+             spec.line.termConductance);
+    for (int k = 0; k < spec.line.sections; ++k)
+        addINode(builder, names, spec.line, cat("I_", k));
+
+    auto vName = [&](int k) -> std::string {
+        if (k == 0)
+            return "IN_V";
+        if (k == spec.line.sections)
+            return outputNode();
+        return cat("V_", k);
+    };
+    for (int k = 0; k < spec.line.sections; ++k) {
+        addCoupling(builder, names, cat("EV_", k), vName(k),
+                    cat("I_", k));
+        addCoupling(builder, names, cat("EI_", k), cat("I_", k),
+                    vName(k + 1));
+    }
+
+    // Open-ended stub hanging off the attachment node. The final V
+    // node has no termination, so waves reflect back into the main
+    // line ("echo" in Figure 4a).
+    std::string attach = vName(spec.attachAt);
+    for (int k = 0; k < spec.stubSections; ++k) {
+        addINode(builder, names, spec.line, cat("IB_", k));
+        addVNode(builder, names, spec.line, cat("VB_", k), 0.0);
+        std::string from = k == 0 ? attach : cat("VB_", k - 1);
+        addCoupling(builder, names, cat("EBV_", k), from, cat("IB_", k));
+        addCoupling(builder, names, cat("EBI_", k), cat("IB_", k),
+                    cat("VB_", k));
+    }
+    addInput(builder, names, spec.line, "IN_V");
+    return builder.take();
+}
+
+dg::Graph
+buildMalformed(const lang::Language &language)
+{
+    LineSpec spec;
+    spec.sections = 1;
+    TypeNames names = typeNames(language, spec);
+    GraphBuilder builder(language, spec.seed);
+    addVNode(builder, names, spec, "IN_V", 0.0);
+    addVNode(builder, names, spec, outputNode(), 1.0);
+    addINode(builder, names, spec, "I_0");
+    addCoupling(builder, names, "EV_0", "IN_V", "I_0");
+    addCoupling(builder, names, "EI_0", "I_0", outputNode());
+    // The malformation: a direct V-V connection (Figure 2-(iii)).
+    addCoupling(builder, names, "E_bad", "IN_V", outputNode());
+    addInput(builder, names, spec, "IN_V");
+    return builder.take();
+}
+
+} // namespace ark::paradigms::tln

@@ -1,0 +1,103 @@
+#ifndef ARK_PARADIGMS_TLN_H
+#define ARK_PARADIGMS_TLN_H
+
+/**
+ * @file
+ * The transmission-line network (TLN) compute paradigm (paper §2, §4.4)
+ * and its GmC hardware extension (§4.5).
+ *
+ * The `tln` language implements the discretized Telegrapher's
+ * equations over alternating V/I nodes; `gmc-tln` extends it with
+ * mismatch-sensitive Vm/Im node types (Cint variation) and Em edge
+ * types (Gm variation, via the modified Telegrapher's equations of
+ * §2.3). Both languages ship as embedded Ark source so every use
+ * exercises the full frontend.
+ *
+ * Builders generate the paper's workloads: linear lines, branched
+ * lines (Figure 2), and the `br-func` programmable-branch function of
+ * Figure 8.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "dg/graph.h"
+#include "lang/registry.h"
+
+namespace ark::paradigms::tln {
+
+/** Ark source of the `tln` language. */
+const std::string &tlnSource();
+
+/** Ark source of the `gmc-tln` extension. */
+const std::string &gmcTlnSource();
+
+/** Ark source of the Figure-8 `br-func` example function. */
+const std::string &brFuncSource();
+
+/**
+ * Registers `tln`, `gmc-tln`, and `br-func` into a registry.
+ * Idempotent per registry? No — call once per registry.
+ */
+void registerAll(lang::LanguageRegistry &registry);
+
+/** Parameters shared by the line builders. */
+struct LineSpec
+{
+    /** Number of LC sections (V-I pairs) after the input node. */
+    int sections = 26;
+    double inductance = 1e-9;  ///< l attribute per I node.
+    double capacitance = 1e-9; ///< c attribute per V node.
+    /** Norton source conductance (InpI g attribute). */
+    double sourceConductance = 1.0;
+    /** Termination conductance at OUT_V (g attribute). */
+    double termConductance = 1.0;
+    double pulseStart = 0.0;
+    double pulseWidth = 2e-8;
+
+    /** Substitute Vm/Im node types (Cint mismatch, gmc-tln only). */
+    bool mismatchC = false;
+    /** Substitute Em edge types (Gm mismatch, gmc-tln only). */
+    bool mismatchGm = false;
+    /** Mismatch sampling seed ("fabricated instance" id). */
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Builds a linear t-line (Figure 2-(ii)):
+ * InpI_0 -> IN_V -> I_0 -> V_1 -> ... -> OUT_V.
+ *
+ * @param language `tln`, or `gmc-tln` when a mismatch flag is set.
+ */
+dg::Graph buildLine(const lang::Language &language, const LineSpec &spec);
+
+/** Branched line parameters (Figure 2-(i)). */
+struct BranchSpec
+{
+    LineSpec line;
+    /** Sections in the open-ended stub. */
+    int stubSections = 8;
+    /** Index of the main-line V node the stub attaches to (1-based
+     *  section index; 0 attaches at IN_V). */
+    int attachAt = 13;
+};
+
+/** Builds a branched t-line; the stub end is left open (reflective). */
+dg::Graph buildBranched(const lang::Language &language,
+                        const BranchSpec &spec);
+
+/**
+ * Builds a deliberately malformed line containing a V-V connection
+ * (Figure 2-(iii)); the TLN validator must reject it.
+ */
+dg::Graph buildMalformed(const lang::Language &language);
+
+/** Name of the observation node in all builders. */
+inline const char *outputNode() { return "OUT_V"; }
+
+/** Name of the injection node in all builders. */
+inline const char *inputNode() { return "InpI_0"; }
+
+} // namespace ark::paradigms::tln
+
+#endif // ARK_PARADIGMS_TLN_H

@@ -1,0 +1,341 @@
+#include "sim/sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::sim {
+
+using support::cat;
+using support::SimError;
+
+void
+Trajectory::addSample(double t, const std::vector<double> &state,
+                      const std::vector<double> *deriv)
+{
+    times_.push_back(t);
+    states_.push_back(state);
+    if (deriv && derivs_.size() + 1 == times_.size()) {
+        derivs_.push_back(*deriv);
+    } else if (!derivs_.empty()) {
+        // Mixed availability: drop derivatives entirely so sampleAt
+        // falls back to consistent linear interpolation.
+        derivs_.clear();
+    }
+}
+
+const std::vector<double> &
+Trajectory::state(std::size_t sample) const
+{
+    return states_.at(sample);
+}
+
+std::vector<double>
+Trajectory::series(int stateIndex) const
+{
+    std::vector<double> out;
+    out.reserve(states_.size());
+    for (const auto &state : states_)
+        out.push_back(state.at(static_cast<std::size_t>(stateIndex)));
+    return out;
+}
+
+double
+Trajectory::sampleAt(int stateIndex, double t) const
+{
+    if (times_.empty())
+        throw SimError("sampleAt on an empty trajectory");
+    auto idx = static_cast<std::size_t>(stateIndex);
+    if (t <= times_.front())
+        return states_.front().at(idx);
+    if (t >= times_.back())
+        return states_.back().at(idx);
+    auto it = std::lower_bound(times_.begin(), times_.end(), t);
+    std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+    std::size_t lo = hi - 1;
+    double span = times_[hi] - times_[lo];
+    if (span <= 0)
+        return states_[lo].at(idx);
+    double y0 = states_[lo].at(idx);
+    double y1 = states_[hi].at(idx);
+    if (derivs_.size() == times_.size()) {
+        // Cubic Hermite using the recorded slopes.
+        double s = (t - times_[lo]) / span;
+        double s2 = s * s;
+        double s3 = s2 * s;
+        double m0 = derivs_[lo].at(idx);
+        double m1 = derivs_[hi].at(idx);
+        return (2 * s3 - 3 * s2 + 1) * y0 +
+               (s3 - 2 * s2 + s) * span * m0 +
+               (-2 * s3 + 3 * s2) * y1 + (s3 - s2) * span * m1;
+    }
+    double alpha = (t - times_[lo]) / span;
+    return y0 + alpha * (y1 - y0);
+}
+
+std::vector<double>
+Trajectory::resample(int stateIndex, double t0, double t1,
+                     std::size_t n) const
+{
+    std::vector<double> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double t = n > 1 ? t0 + (t1 - t0) * static_cast<double>(i) /
+                               static_cast<double>(n - 1)
+                         : t0;
+        out.push_back(sampleAt(stateIndex, t));
+    }
+    return out;
+}
+
+namespace {
+
+/** Shared integration driver state. */
+struct Driver
+{
+    const compiler::OdeSystem &system;
+    const SimOptions &options;
+    SimResult result;
+    std::vector<double> scratch;
+    double lastRecord = -1.0;
+    double recordDt;
+
+    Driver(const compiler::OdeSystem &sys, const SimOptions &opts)
+        : system(sys), options(opts), recordDt(opts.recordDt)
+    {
+    }
+
+    void
+    record(double t, const std::vector<double> &state, bool force,
+           const std::vector<double> *deriv = nullptr)
+    {
+        if (force || recordDt <= 0.0 ||
+            t - lastRecord >= recordDt * (1.0 - 1e-12)) {
+            result.trajectory.addSample(t, state, deriv);
+            lastRecord = t;
+        }
+    }
+
+    void
+    checkFinite(double t, const std::vector<double> &state)
+    {
+        for (double v : state) {
+            if (!std::isfinite(v)) {
+                throw SimError(cat("state diverged (non-finite value at "
+                                   "t=", t, ")"));
+            }
+        }
+    }
+};
+
+/** Classical fixed-step fourth-order Runge-Kutta. */
+void
+runRk4(Driver &driver, std::vector<double> &state, double t0, double t1,
+       double dt)
+{
+    const std::size_t n = driver.system.size();
+    std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+    double t = t0;
+    // k1 doubles as the recorded slope at each sample point; the RK4
+    // stages recompute it per step anyway.
+    driver.system.evalRhs(state.data(), t, k1.data(), driver.scratch);
+    driver.record(t, state, true, &k1);
+    while (t < t1 - 1e-15 * std::max(1.0, std::fabs(t1))) {
+        double h = std::min(dt, t1 - t);
+        if (driver.result.steps >= driver.options.maxSteps)
+            throw SimError("step budget exhausted (RK4)");
+        driver.system.evalRhs(state.data(), t, k1.data(), driver.scratch);
+        for (std::size_t i = 0; i < n; ++i)
+            tmp[i] = state[i] + 0.5 * h * k1[i];
+        driver.system.evalRhs(tmp.data(), t + 0.5 * h, k2.data(),
+                              driver.scratch);
+        for (std::size_t i = 0; i < n; ++i)
+            tmp[i] = state[i] + 0.5 * h * k2[i];
+        driver.system.evalRhs(tmp.data(), t + 0.5 * h, k3.data(),
+                              driver.scratch);
+        for (std::size_t i = 0; i < n; ++i)
+            tmp[i] = state[i] + h * k3[i];
+        driver.system.evalRhs(tmp.data(), t + h, k4.data(),
+                              driver.scratch);
+        for (std::size_t i = 0; i < n; ++i) {
+            state[i] += h / 6.0 *
+                        (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        t += h;
+        ++driver.result.steps;
+        driver.checkFinite(t, state);
+        driver.system.evalRhs(state.data(), t, k1.data(),
+                              driver.scratch);
+        driver.record(t, state, false, &k1);
+    }
+    driver.record(t, state, true, &k1);
+}
+
+/** Dormand-Prince 5(4) adaptive integrator with PI step control. */
+void
+runDopri5(Driver &driver, std::vector<double> &state, double t0, double t1,
+          double h0, double hMax)
+{
+    // Butcher tableau (Dormand & Prince 1980).
+    static const double c2 = 1.0 / 5, c3 = 3.0 / 10, c4 = 4.0 / 5,
+                        c5 = 8.0 / 9;
+    static const double a21 = 1.0 / 5;
+    static const double a31 = 3.0 / 40, a32 = 9.0 / 40;
+    static const double a41 = 44.0 / 45, a42 = -56.0 / 15, a43 = 32.0 / 9;
+    static const double a51 = 19372.0 / 6561, a52 = -25360.0 / 2187,
+                        a53 = 64448.0 / 6561, a54 = -212.0 / 729;
+    static const double a61 = 9017.0 / 3168, a62 = -355.0 / 33,
+                        a63 = 46732.0 / 5247, a64 = 49.0 / 176,
+                        a65 = -5103.0 / 18656;
+    static const double b1 = 35.0 / 384, b3 = 500.0 / 1113,
+                        b4 = 125.0 / 192, b5 = -2187.0 / 6784,
+                        b6 = 11.0 / 84;
+    // Embedded 4th-order weights.
+    static const double e1 = 5179.0 / 57600, e3 = 7571.0 / 16695,
+                        e4 = 393.0 / 640, e5 = -92097.0 / 339200,
+                        e6 = 187.0 / 2100, e7 = 1.0 / 40;
+
+    const std::size_t n = driver.system.size();
+    std::vector<double> k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), k7(n);
+    std::vector<double> tmp(n), next(n);
+
+    double t = t0;
+    double h = h0;
+    double prevErr = 1.0;
+    driver.system.evalRhs(state.data(), t, k1.data(), driver.scratch);
+    driver.record(t, state, true, &k1);
+
+    while (t < t1 - 1e-15 * std::max(1.0, std::fabs(t1))) {
+        h = std::min(h, t1 - t);
+        h = std::min(h, hMax);
+        if (h < 1e-18 * std::max(1.0, std::fabs(t)))
+            throw SimError(cat("step size collapsed at t=", t));
+        if (driver.result.steps + driver.result.rejectedSteps >=
+            driver.options.maxSteps) {
+            throw SimError("step budget exhausted (DOPRI5)");
+        }
+
+        for (std::size_t i = 0; i < n; ++i)
+            tmp[i] = state[i] + h * a21 * k1[i];
+        driver.system.evalRhs(tmp.data(), t + c2 * h, k2.data(),
+                              driver.scratch);
+        for (std::size_t i = 0; i < n; ++i)
+            tmp[i] = state[i] + h * (a31 * k1[i] + a32 * k2[i]);
+        driver.system.evalRhs(tmp.data(), t + c3 * h, k3.data(),
+                              driver.scratch);
+        for (std::size_t i = 0; i < n; ++i) {
+            tmp[i] = state[i] +
+                     h * (a41 * k1[i] + a42 * k2[i] + a43 * k3[i]);
+        }
+        driver.system.evalRhs(tmp.data(), t + c4 * h, k4.data(),
+                              driver.scratch);
+        for (std::size_t i = 0; i < n; ++i) {
+            tmp[i] = state[i] + h * (a51 * k1[i] + a52 * k2[i] +
+                                     a53 * k3[i] + a54 * k4[i]);
+        }
+        driver.system.evalRhs(tmp.data(), t + c5 * h, k5.data(),
+                              driver.scratch);
+        for (std::size_t i = 0; i < n; ++i) {
+            tmp[i] = state[i] + h * (a61 * k1[i] + a62 * k2[i] +
+                                     a63 * k3[i] + a64 * k4[i] +
+                                     a65 * k5[i]);
+        }
+        driver.system.evalRhs(tmp.data(), t + h, k6.data(),
+                              driver.scratch);
+        for (std::size_t i = 0; i < n; ++i) {
+            next[i] = state[i] + h * (b1 * k1[i] + b3 * k3[i] +
+                                      b4 * k4[i] + b5 * k5[i] +
+                                      b6 * k6[i]);
+        }
+        driver.system.evalRhs(next.data(), t + h, k7.data(),
+                              driver.scratch);
+
+        // Error estimate: difference of 5th and embedded 4th order.
+        double errNorm = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double y4 = state[i] + h * (e1 * k1[i] + e3 * k3[i] +
+                                        e4 * k4[i] + e5 * k5[i] +
+                                        e6 * k6[i] + e7 * k7[i]);
+            double scale = driver.options.absTol +
+                           driver.options.relTol *
+                               std::max(std::fabs(state[i]),
+                                        std::fabs(next[i]));
+            double e = (next[i] - y4) / scale;
+            errNorm += e * e;
+        }
+        errNorm = std::sqrt(errNorm / static_cast<double>(n));
+
+        if (errNorm <= 1.0) {
+            t += h;
+            state = next;
+            std::swap(k1, k7); // FSAL: last stage is next first stage
+            ++driver.result.steps;
+            driver.checkFinite(t, state);
+            driver.record(t, state, false, &k1);
+            // PI controller (Gustafsson): smooth step adaptation.
+            double factor = 0.9 *
+                            std::pow(errNorm > 0 ? errNorm : 1e-10, -0.7 / 5.0) *
+                            std::pow(prevErr > 0 ? prevErr : 1e-10, 0.4 / 5.0);
+            factor = std::clamp(factor, 0.2, 5.0);
+            h *= factor;
+            prevErr = errNorm;
+        } else {
+            ++driver.result.rejectedSteps;
+            double factor = std::max(0.1, 0.9 * std::pow(errNorm, -0.2));
+            h *= factor;
+        }
+    }
+    driver.record(t, state, true, &k1);
+}
+
+} // namespace
+
+SimResult
+simulate(const compiler::OdeSystem &system, double t0, double t1,
+         const SimOptions &options)
+{
+    if (t1 <= t0)
+        throw SimError("simulate: t1 must exceed t0");
+    Driver driver(system, options);
+    std::vector<double> state = system.initialState();
+    driver.checkFinite(t0, state);
+
+    double dt = options.dt > 0 ? options.dt : (t1 - t0) / 1000.0;
+    double hMax = options.maxDt > 0 ? options.maxDt : (t1 - t0) / 10.0;
+
+    if (options.method == Method::Rk4)
+        runRk4(driver, state, t0, t1, dt);
+    else
+        runDopri5(driver, state, t0, t1, dt, hMax);
+    return std::move(driver.result);
+}
+
+SimResult
+simulateToSteadyState(const compiler::OdeSystem &system, double t0,
+                      double tMax, double derivTol,
+                      const SimOptions &options)
+{
+    SimOptions opts = options;
+    if (opts.recordDt <= 0)
+        opts.recordDt = (tMax - t0) / 2000.0;
+    SimResult run = simulate(system, t0, tMax, opts);
+
+    std::vector<double> deriv(system.size());
+    std::vector<double> scratch;
+    for (std::size_t s = 0; s < run.trajectory.size(); ++s) {
+        system.evalRhs(run.trajectory.state(s).data(),
+                       run.trajectory.time(s), deriv.data(), scratch);
+        double maxDeriv = 0.0;
+        for (double d : deriv)
+            maxDeriv = std::max(maxDeriv, std::fabs(d));
+        if (maxDeriv < derivTol) {
+            run.reachedSteadyState = true;
+            break;
+        }
+    }
+    return run;
+}
+
+} // namespace ark::sim

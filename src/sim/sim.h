@@ -1,0 +1,109 @@
+#ifndef ARK_SIM_SIM_H
+#define ARK_SIM_SIM_H
+
+/**
+ * @file
+ * Transient simulation of compiled Ark dynamical systems.
+ *
+ * Two integrators cover the paper's workloads: a fixed-step classical
+ * RK4 (predictable cost, used for SPICE cross-validation on matching
+ * time grids) and an adaptive Dormand-Prince 5(4) with PI step
+ * control (default; handles the nanosecond-scale TLN/OBC dynamics and
+ * the CNN's piecewise-linear saturations efficiently).
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "compiler/odesystem.h"
+
+namespace ark::sim {
+
+/** Integration method selection. */
+enum class Method { Rk4, Dopri5 };
+
+/** Simulation controls. */
+struct SimOptions
+{
+    Method method = Method::Dopri5;
+    double dt = 0.0;        ///< Fixed step (Rk4) / initial step (Dopri5);
+                            ///< 0 picks (t1-t0)/1000.
+    double absTol = 1e-9;   ///< Dopri5 absolute tolerance.
+    double relTol = 1e-6;   ///< Dopri5 relative tolerance.
+    /**
+     * Step ceiling; 0 = (t1-t0)/10. Adaptive steps grow without bound
+     * through quiescent dynamics, and a step larger than a narrow
+     * input pulse can clear it without any stage sampling inside it
+     * (error control never sees the event). Set maxDt below the
+     * narrowest input feature's width when driving with short pulses.
+     */
+    double maxDt = 0.0;
+    double recordDt = 0.0;  ///< Sampling interval; 0 records every step.
+    std::size_t maxSteps = 50'000'000; ///< Hard stop against stalls.
+};
+
+/** Recorded trajectory: times plus full state per sample. */
+class Trajectory
+{
+  public:
+    /**
+     * Appends a sample; `deriv` (dstate/dt at the sample, optional)
+     * enables cubic Hermite interpolation in sampleAt.
+     */
+    void addSample(double t, const std::vector<double> &state,
+                   const std::vector<double> *deriv = nullptr);
+
+    std::size_t size() const { return times_.size(); }
+    const std::vector<double> &times() const { return times_; }
+    const std::vector<double> &state(std::size_t sample) const;
+    double time(std::size_t sample) const { return times_.at(sample); }
+
+    /** Series of one state variable across all samples. */
+    std::vector<double> series(int stateIndex) const;
+
+    /**
+     * Value of one state variable at time t (clamped to the recorded
+     * range): cubic Hermite between samples when derivatives were
+     * recorded (O(h^4) — accurate across large adaptive steps),
+     * linear otherwise.
+     */
+    double sampleAt(int stateIndex, double t) const;
+
+    /** Resamples a variable onto a uniform grid of n points. */
+    std::vector<double> resample(int stateIndex, double t0, double t1,
+                                 std::size_t n) const;
+
+  private:
+    std::vector<double> times_;
+    std::vector<std::vector<double>> states_;
+    std::vector<std::vector<double>> derivs_; ///< Empty if unavailable.
+};
+
+/** Simulation outcome. */
+struct SimResult
+{
+    Trajectory trajectory;
+    std::size_t steps = 0;          ///< Accepted steps.
+    std::size_t rejectedSteps = 0;  ///< Dopri5 error-control rejects.
+    bool reachedSteadyState = false;
+};
+
+/**
+ * Integrates the system from t0 to t1.
+ * @throws ark::support::SimError on NaN/Inf state or step collapse.
+ */
+SimResult simulate(const compiler::OdeSystem &system, double t0, double t1,
+                   const SimOptions &options = SimOptions{});
+
+/**
+ * Integrates until max |dq/dt| falls below `derivTol` (checked every
+ * sample) or tMax is reached; `reachedSteadyState` reports which.
+ */
+SimResult simulateToSteadyState(const compiler::OdeSystem &system,
+                                double t0, double tMax, double derivTol,
+                                const SimOptions &options = SimOptions{});
+
+} // namespace ark::sim
+
+#endif // ARK_SIM_SIM_H

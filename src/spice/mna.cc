@@ -1,0 +1,268 @@
+#include "spice/mna.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::spice {
+
+using support::cat;
+using support::SemaError;
+
+MnaSystem::MnaSystem(const Netlist &netlist)
+    : numNodes_(static_cast<std::size_t>(netlist.numNodes()))
+{
+    // First pass: count dynamic branches (inductors, voltage sources).
+    std::size_t branches = 0;
+    for (const Element &elem : netlist.elements()) {
+        if (elem.kind == ElemKind::Inductor ||
+            elem.kind == ElemKind::VoltageSource) {
+            ++branches;
+        }
+    }
+    size_ = numNodes_ + branches;
+    m_ = support::Matrix(size_, size_);
+    k_ = support::Matrix(size_, size_);
+    dynamicRow_.assign(size_, false);
+
+    // Stamp helpers; ground contributions are dropped.
+    auto stampK = [&](int row, int col, double value) {
+        if (row != kGround && col != kGround)
+            k_(static_cast<std::size_t>(row),
+               static_cast<std::size_t>(col)) += value;
+    };
+    auto stampM = [&](int row, int col, double value) {
+        if (row != kGround && col != kGround) {
+            m_(static_cast<std::size_t>(row),
+               static_cast<std::size_t>(col)) += value;
+        }
+    };
+
+    std::size_t nextBranch = numNodes_;
+    for (const Element &elem : netlist.elements()) {
+        switch (elem.kind) {
+          case ElemKind::Resistor: {
+            double g = 1.0 / elem.value;
+            stampK(elem.pos, elem.pos, g);
+            stampK(elem.neg, elem.neg, g);
+            stampK(elem.pos, elem.neg, -g);
+            stampK(elem.neg, elem.pos, -g);
+            break;
+          }
+          case ElemKind::Capacitor: {
+            double c = elem.value;
+            stampM(elem.pos, elem.pos, c);
+            stampM(elem.neg, elem.neg, c);
+            stampM(elem.pos, elem.neg, -c);
+            stampM(elem.neg, elem.pos, -c);
+            break;
+          }
+          case ElemKind::Inductor: {
+            auto br = static_cast<int>(nextBranch++);
+            // Branch equation: L di/dt - v(pos) + v(neg) = 0.
+            stampM(br, br, elem.value);
+            stampK(br, elem.pos, -1.0);
+            stampK(br, elem.neg, 1.0);
+            // KCL: current i leaves pos, enters neg.
+            stampK(elem.pos, br, 1.0);
+            stampK(elem.neg, br, -1.0);
+            break;
+          }
+          case ElemKind::Vccs: {
+            // i(pos -> neg) = gm * (v(ctrlPos) - v(ctrlNeg)):
+            // leaves pos, enters neg.
+            stampK(elem.pos, elem.ctrlPos, elem.value);
+            stampK(elem.pos, elem.ctrlNeg, -elem.value);
+            stampK(elem.neg, elem.ctrlPos, -elem.value);
+            stampK(elem.neg, elem.ctrlNeg, elem.value);
+            break;
+          }
+          case ElemKind::CurrentSource: {
+            // Current flows pos -> neg through the source: KCL sees
+            // -i at pos (leaving) as a source term on the RHS.
+            if (elem.pos != kGround) {
+                sources_.push_back(
+                    SourceEntry{static_cast<std::size_t>(elem.pos), -1.0,
+                                elem.value, elem.waveform});
+            }
+            if (elem.neg != kGround) {
+                sources_.push_back(
+                    SourceEntry{static_cast<std::size_t>(elem.neg), 1.0,
+                                elem.value, elem.waveform});
+            }
+            break;
+          }
+          case ElemKind::VoltageSource: {
+            auto br = static_cast<int>(nextBranch++);
+            // Constraint row: v(pos) - v(neg) = E(t).
+            stampK(br, elem.pos, 1.0);
+            stampK(br, elem.neg, -1.0);
+            sources_.push_back(
+                SourceEntry{static_cast<std::size_t>(br), 1.0,
+                            elem.value, elem.waveform});
+            // KCL: branch current leaves pos, enters neg.
+            stampK(elem.pos, br, 1.0);
+            stampK(elem.neg, br, -1.0);
+            break;
+          }
+        }
+    }
+
+    for (std::size_t r = 0; r < size_; ++r) {
+        for (std::size_t c = 0; c < size_; ++c) {
+            if (m_(r, c) != 0.0) {
+                dynamicRow_[r] = true;
+                break;
+            }
+        }
+    }
+}
+
+std::vector<double>
+MnaSystem::sourceVector(double t) const
+{
+    std::vector<double> u(size_, 0.0);
+    for (const SourceEntry &src : sources_) {
+        double value = src.waveform ? src.waveform(t) : src.dc;
+        u[src.row] += src.sign * value;
+    }
+    return u;
+}
+
+std::vector<double>
+TransientResult::series(std::size_t unknown) const
+{
+    std::vector<double> out;
+    out.reserve(states.size());
+    for (const auto &state : states)
+        out.push_back(state.at(unknown));
+    return out;
+}
+
+TransientResult
+transient(const MnaSystem &system, double t0, double t1, double dt,
+          const std::vector<double> &x0)
+{
+    if (t1 <= t0 || dt <= 0)
+        throw SemaError("transient: bad time range or step");
+    const std::size_t n = system.size();
+    std::vector<double> x = x0.empty() ? std::vector<double>(n, 0.0) : x0;
+    if (x.size() != n)
+        throw SemaError("transient: initial state size mismatch");
+
+    const support::Matrix &m = system.massMatrix();
+    const support::Matrix &k = system.stiffnessMatrix();
+
+    // Consistent initialization: dynamic unknowns keep their given
+    // initial values, but algebraic rows (voltage-source constraints,
+    // resistive nodes) must hold at t0 as well — otherwise the first
+    // trapezoidal step sees sources half-off.
+    {
+        bool anyAlgebraic = false;
+        for (std::size_t r = 0; r < n; ++r)
+            anyAlgebraic |= !system.rowIsDynamic(r);
+        if (anyAlgebraic) {
+            support::Matrix init(n, n);
+            std::vector<double> rhs0(n, 0.0);
+            std::vector<double> uInit = system.sourceVector(t0);
+            for (std::size_t r = 0; r < n; ++r) {
+                if (system.rowIsDynamic(r)) {
+                    init(r, r) = 1.0;
+                    rhs0[r] = x[r];
+                } else {
+                    for (std::size_t c = 0; c < n; ++c)
+                        init(r, c) = k(r, c);
+                    rhs0[r] = uInit[r];
+                }
+            }
+            support::LuSolver initSolver(std::move(init));
+            x = initSolver.solve(rhs0);
+        }
+    }
+
+    // Companion matrices: A x1 = B x0 + (u0 + u1) on dynamic rows;
+    // algebraic rows enforce K x1 = u1 exactly.
+    support::Matrix a(n, n);
+    support::Matrix b(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        if (system.rowIsDynamic(r)) {
+            for (std::size_t c = 0; c < n; ++c) {
+                a(r, c) = 2.0 * m(r, c) / dt + k(r, c);
+                b(r, c) = 2.0 * m(r, c) / dt - k(r, c);
+            }
+        } else {
+            for (std::size_t c = 0; c < n; ++c) {
+                a(r, c) = k(r, c);
+                b(r, c) = 0.0;
+            }
+        }
+    }
+    support::LuSolver solver(std::move(a));
+
+    TransientResult result;
+    result.times.push_back(t0);
+    result.states.push_back(x);
+
+    double t = t0;
+    std::vector<double> u0 = system.sourceVector(t0);
+    while (t < t1 - 1e-15 * std::max(1.0, std::fabs(t1))) {
+        double h = std::min(dt, t1 - t);
+        // Fixed step assumed; a final short step reuses the factored
+        // matrix only when h == dt, otherwise refactor.
+        std::vector<double> u1 = system.sourceVector(t + h);
+        std::vector<double> rhs = b.apply(x);
+        for (std::size_t r = 0; r < n; ++r) {
+            if (system.rowIsDynamic(r))
+                rhs[r] += u0[r] + u1[r];
+            else
+                rhs[r] = u1[r];
+        }
+        if (h == dt) {
+            x = solver.solve(rhs);
+        } else {
+            support::Matrix aShort(n, n);
+            for (std::size_t r = 0; r < n; ++r) {
+                for (std::size_t c = 0; c < n; ++c) {
+                    if (system.rowIsDynamic(r)) {
+                        aShort(r, c) = 2.0 * m(r, c) / h + k(r, c);
+                    } else {
+                        aShort(r, c) = k(r, c);
+                    }
+                }
+            }
+            // Rebuild the RHS with the short-step mass scaling.
+            std::vector<double> rhsShort(n, 0.0);
+            for (std::size_t r = 0; r < n; ++r) {
+                if (system.rowIsDynamic(r)) {
+                    double acc = 0.0;
+                    for (std::size_t c = 0; c < n; ++c) {
+                        acc += (2.0 * m(r, c) / h - k(r, c)) * x[c];
+                    }
+                    rhsShort[r] = acc + u0[r] + u1[r];
+                } else {
+                    rhsShort[r] = u1[r];
+                }
+            }
+            support::LuSolver shortSolver(std::move(aShort));
+            x = shortSolver.solve(rhsShort);
+        }
+        t += h;
+        u0 = std::move(u1);
+        result.times.push_back(t);
+        result.states.push_back(x);
+    }
+    return result;
+}
+
+std::vector<double>
+transientNodeVoltage(const Netlist &netlist, int node, double t0,
+                     double t1, double dt)
+{
+    MnaSystem system(netlist);
+    TransientResult result = transient(system, t0, t1, dt);
+    return result.series(static_cast<std::size_t>(node));
+}
+
+} // namespace ark::spice

@@ -1,0 +1,88 @@
+#ifndef ARK_SPICE_MNA_H
+#define ARK_SPICE_MNA_H
+
+/**
+ * @file
+ * Modified nodal analysis and trapezoidal transient simulation.
+ *
+ * Unknowns are the node voltages plus one branch current per inductor
+ * and per voltage source. The assembled system is
+ * M dx/dt + K x = u(t); transient analysis integrates it with the
+ * trapezoidal rule (what SPICE uses for such circuits), factoring
+ * (2M/h + K) once per run. Rows with no dynamic term (voltage-source
+ * constraints) are enforced exactly at each step.
+ */
+
+#include <vector>
+
+#include "spice/netlist.h"
+#include "support/linalg.h"
+
+namespace ark::spice {
+
+/** Assembled MNA system. */
+class MnaSystem
+{
+  public:
+    /** @throws SemaError for malformed circuits. */
+    explicit MnaSystem(const Netlist &netlist);
+
+    /** Total unknowns (nodes + dynamic branches). */
+    std::size_t size() const { return size_; }
+
+    std::size_t numNodeUnknowns() const { return numNodes_; }
+
+    const support::Matrix &massMatrix() const { return m_; }
+    const support::Matrix &stiffnessMatrix() const { return k_; }
+
+    /** Source vector u(t). */
+    std::vector<double> sourceVector(double t) const;
+
+    /** True when row r has any dynamic (M) entry. */
+    bool rowIsDynamic(std::size_t r) const { return dynamicRow_[r]; }
+
+  private:
+    std::size_t numNodes_;
+    std::size_t size_;
+    support::Matrix m_;
+    support::Matrix k_;
+    std::vector<bool> dynamicRow_;
+    /** (row, sign, waveform/value) triples for u(t). */
+    struct SourceEntry
+    {
+        std::size_t row;
+        double sign;
+        double dc;
+        Waveform waveform;
+    };
+    std::vector<SourceEntry> sources_;
+};
+
+/** Transient result: times plus node voltages per sample. */
+struct TransientResult
+{
+    std::vector<double> times;
+    /** states[s][i]: unknown i at sample s. */
+    std::vector<std::vector<double>> states;
+
+    /** Series of one unknown (e.g.\ a node voltage). */
+    std::vector<double> series(std::size_t unknown) const;
+};
+
+/**
+ * Trapezoidal transient analysis from x(0) = x0 (zeros when empty).
+ * Samples every step.
+ * @throws SimError when the companion matrix is singular.
+ */
+TransientResult transient(const MnaSystem &system, double t0, double t1,
+                          double dt,
+                          const std::vector<double> &x0 = {});
+
+/** Convenience: assemble + simulate + return one node's voltage. */
+std::vector<double> transientNodeVoltage(const Netlist &netlist,
+                                         int node, double t0, double t1,
+                                         double dt);
+
+} // namespace ark::spice
+
+#endif // ARK_SPICE_MNA_H

@@ -1,0 +1,150 @@
+#include "spice/netlist.h"
+
+#include <sstream>
+
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace ark::spice {
+
+using support::cat;
+using support::SemaError;
+
+const char *
+elemKindName(ElemKind kind)
+{
+    switch (kind) {
+      case ElemKind::Resistor: return "R";
+      case ElemKind::Capacitor: return "C";
+      case ElemKind::Inductor: return "L";
+      case ElemKind::Vccs: return "G";
+      case ElemKind::CurrentSource: return "I";
+      case ElemKind::VoltageSource: return "V";
+    }
+    return "?";
+}
+
+int
+Netlist::addNode(const std::string &name)
+{
+    for (const auto &existing : nodeNames_) {
+        if (existing == name)
+            throw SemaError(cat("duplicate circuit node '", name, "'"));
+    }
+    nodeNames_.push_back(name);
+    return static_cast<int>(nodeNames_.size()) - 1;
+}
+
+int
+Netlist::node(const std::string &name) const
+{
+    for (std::size_t i = 0; i < nodeNames_.size(); ++i)
+        if (nodeNames_[i] == name)
+            return static_cast<int>(i);
+    throw SemaError(cat("unknown circuit node '", name, "'"));
+}
+
+void
+Netlist::checkNode(int node, const std::string &what) const
+{
+    if (node != kGround && (node < 0 || node >= numNodes()))
+        throw SemaError(cat("element '", what, "' references bad node ",
+                            node));
+}
+
+void
+Netlist::resistor(const std::string &name, int pos, int neg, double ohms)
+{
+    checkNode(pos, name);
+    checkNode(neg, name);
+    if (ohms <= 0.0)
+        throw SemaError(cat("resistor '", name, "' needs R > 0"));
+    elements_.push_back(
+        Element{ElemKind::Resistor, name, pos, neg, ohms, kGround,
+                kGround, nullptr});
+}
+
+void
+Netlist::capacitor(const std::string &name, int pos, int neg, double farads)
+{
+    checkNode(pos, name);
+    checkNode(neg, name);
+    if (farads <= 0.0)
+        throw SemaError(cat("capacitor '", name, "' needs C > 0"));
+    elements_.push_back(
+        Element{ElemKind::Capacitor, name, pos, neg, farads, kGround,
+                kGround, nullptr});
+}
+
+void
+Netlist::inductor(const std::string &name, int pos, int neg, double henries)
+{
+    checkNode(pos, name);
+    checkNode(neg, name);
+    if (henries <= 0.0)
+        throw SemaError(cat("inductor '", name, "' needs L > 0"));
+    elements_.push_back(
+        Element{ElemKind::Inductor, name, pos, neg, henries, kGround,
+                kGround, nullptr});
+}
+
+void
+Netlist::vccs(const std::string &name, int pos, int neg, int ctrlPos,
+              int ctrlNeg, double gm)
+{
+    checkNode(pos, name);
+    checkNode(neg, name);
+    checkNode(ctrlPos, name);
+    checkNode(ctrlNeg, name);
+    elements_.push_back(Element{ElemKind::Vccs, name, pos, neg, gm,
+                                ctrlPos, ctrlNeg, nullptr});
+}
+
+void
+Netlist::currentSource(const std::string &name, int pos, int neg,
+                       double amps, Waveform waveform)
+{
+    checkNode(pos, name);
+    checkNode(neg, name);
+    elements_.push_back(Element{ElemKind::CurrentSource, name, pos, neg,
+                                amps, kGround, kGround,
+                                std::move(waveform)});
+}
+
+void
+Netlist::voltageSource(const std::string &name, int pos, int neg,
+                       double volts, Waveform waveform)
+{
+    checkNode(pos, name);
+    checkNode(neg, name);
+    elements_.push_back(Element{ElemKind::VoltageSource, name, pos, neg,
+                                volts, kGround, kGround,
+                                std::move(waveform)});
+}
+
+std::string
+Netlist::spiceText() const
+{
+    std::ostringstream oss;
+    auto nodeStr = [&](int node) -> std::string {
+        return node == kGround ? "0" : cat("n", node);
+    };
+    for (const Element &elem : elements_) {
+        oss << elemKindName(elem.kind) << elem.name << " "
+            << nodeStr(elem.pos) << " " << nodeStr(elem.neg);
+        if (elem.kind == ElemKind::Vccs) {
+            oss << " " << nodeStr(elem.ctrlPos) << " "
+                << nodeStr(elem.ctrlNeg);
+        }
+        if (elem.waveform) {
+            oss << " BEHAVIORAL";
+        } else {
+            oss << " " << support::formatDouble(elem.value);
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace ark::spice

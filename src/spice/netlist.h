@@ -1,0 +1,99 @@
+#ifndef ARK_SPICE_NETLIST_H
+#define ARK_SPICE_NETLIST_H
+
+/**
+ * @file
+ * Circuit netlists for the SPICE-class simulation substrate.
+ *
+ * The paper's §4.5 empirical validation maps GmC-TLN dynamical graphs
+ * onto SPICE netlists and cross-checks transient dynamics. This
+ * module provides the netlist representation (R, C, L, VCCS, and
+ * independent sources with optional time-varying waveforms) plus
+ * SPICE-card text emission; mna.h simulates them.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ark::spice {
+
+/** Ground node id. */
+inline constexpr int kGround = -1;
+
+/** Circuit element categories. */
+enum class ElemKind : std::uint8_t {
+    Resistor,      ///< value = resistance (ohm).
+    Capacitor,     ///< value = capacitance (F).
+    Inductor,      ///< value = inductance (H).
+    Vccs,          ///< value = transconductance gm (S);
+                   ///< i(pos->neg) = gm * (v(ctrlPos) - v(ctrlNeg)).
+    CurrentSource, ///< value = DC amps; waveform overrides.
+    VoltageSource, ///< value = DC volts; waveform overrides.
+};
+
+const char *elemKindName(ElemKind kind);
+
+/** Time-varying source waveform. */
+using Waveform = std::function<double(double)>;
+
+/** One circuit element. */
+struct Element
+{
+    ElemKind kind = ElemKind::Resistor;
+    std::string name;
+    int pos = kGround;
+    int neg = kGround;
+    double value = 0.0;
+    int ctrlPos = kGround; ///< VCCS only.
+    int ctrlNeg = kGround; ///< VCCS only.
+    Waveform waveform;     ///< Sources only; null = DC.
+};
+
+/**
+ * A flat netlist over numbered nodes (0..numNodes-1) plus ground.
+ */
+class Netlist
+{
+  public:
+    /** Adds a named node; returns its id. */
+    int addNode(const std::string &name);
+
+    /** Id of a named node. @throws SemaError when unknown. */
+    int node(const std::string &name) const;
+
+    int numNodes() const { return static_cast<int>(nodeNames_.size()); }
+    const std::vector<std::string> &nodeNames() const { return nodeNames_; }
+
+    /** @name Element constructors (all validate node ids). */
+    /// @{
+    void resistor(const std::string &name, int pos, int neg, double ohms);
+    void capacitor(const std::string &name, int pos, int neg,
+                   double farads);
+    void inductor(const std::string &name, int pos, int neg,
+                  double henries);
+    void vccs(const std::string &name, int pos, int neg, int ctrlPos,
+              int ctrlNeg, double gm);
+    void currentSource(const std::string &name, int pos, int neg,
+                       double amps, Waveform waveform = nullptr);
+    void voltageSource(const std::string &name, int pos, int neg,
+                       double volts, Waveform waveform = nullptr);
+    /// @}
+
+    const std::vector<Element> &elements() const { return elements_; }
+
+    /** SPICE-deck text (.title/.tran cards omitted; elements only). */
+    std::string spiceText() const;
+
+  private:
+    std::vector<std::string> nodeNames_;
+    std::vector<Element> elements_;
+
+    void checkNode(int node, const std::string &what) const;
+};
+
+} // namespace ark::spice
+
+#endif // ARK_SPICE_NETLIST_H

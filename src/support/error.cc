@@ -1,0 +1,54 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace ark::support {
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Lex: return "lex error";
+      case ErrorKind::Parse: return "parse error";
+      case ErrorKind::Sema: return "semantic error";
+      case ErrorKind::Type: return "type error";
+      case ErrorKind::Validation: return "validation error";
+      case ErrorKind::Compile: return "compile error";
+      case ErrorKind::Sim: return "simulation error";
+      case ErrorKind::Io: return "io error";
+    }
+    return "error";
+}
+
+std::string
+SourceLoc::str() const
+{
+    if (!valid())
+        return "?";
+    std::ostringstream oss;
+    oss << line << ":" << column;
+    return oss.str();
+}
+
+namespace {
+
+std::string
+formatWhat(ErrorKind kind, const std::string &message, SourceLoc loc)
+{
+    std::ostringstream oss;
+    oss << errorKindName(kind);
+    if (loc.valid())
+        oss << " at " << loc.str();
+    oss << ": " << message;
+    return oss.str();
+}
+
+} // namespace
+
+ArkError::ArkError(ErrorKind kind, const std::string &message, SourceLoc loc)
+    : std::runtime_error(formatWhat(kind, message, loc)),
+      kind_(kind), loc_(loc), message_(message)
+{
+}
+
+} // namespace ark::support

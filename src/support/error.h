@@ -1,0 +1,133 @@
+#ifndef ARK_SUPPORT_ERROR_H
+#define ARK_SUPPORT_ERROR_H
+
+/**
+ * @file
+ * Error types shared by every Ark module.
+ *
+ * All user-facing failures (bad DSL source, invalid dynamical graphs,
+ * mis-parameterized simulations) raise an ArkError subclass carrying an
+ * ErrorKind and, where available, a source location. Internal invariant
+ * violations use panic() from logging.h instead.
+ */
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ark::support {
+
+/** Category of a user-facing Ark failure. */
+enum class ErrorKind : std::uint8_t {
+    Lex,        ///< Tokenization failure in Ark source.
+    Parse,      ///< Grammar violation in Ark source.
+    Sema,       ///< Semantic-check failure (names, arity, inheritance).
+    Type,       ///< Datatype or range violation.
+    Validation, ///< Dynamical graph rejected by a language's rules.
+    Compile,    ///< Dynamical-system compilation failure.
+    Sim,        ///< Simulation failure (step collapse, NaN state).
+    Io,         ///< File or format error.
+};
+
+/** Human-readable name for an ErrorKind (e.g.\ "parse error"). */
+const char *errorKindName(ErrorKind kind);
+
+/**
+ * Position in an Ark source buffer. Lines and columns are 1-based;
+ * a zero line means "no location available".
+ */
+struct SourceLoc
+{
+    int line = 0;
+    int column = 0;
+
+    bool valid() const { return line > 0; }
+
+    /** Formats as "line:column", or "?" when invalid. */
+    std::string str() const;
+};
+
+/**
+ * Base class for all user-facing Ark errors.
+ *
+ * what() returns "<kind>: <message>" or
+ * "<kind> at <line>:<col>: <message>" when a location is known.
+ */
+class ArkError : public std::runtime_error
+{
+  public:
+    ArkError(ErrorKind kind, const std::string &message,
+             SourceLoc loc = SourceLoc{});
+
+    ErrorKind kind() const { return kind_; }
+    SourceLoc loc() const { return loc_; }
+
+    /** The raw message without the kind/location prefix. */
+    const std::string &message() const { return message_; }
+
+  private:
+    ErrorKind kind_;
+    SourceLoc loc_;
+    std::string message_;
+};
+
+/** Convenience subclasses; each pins the ErrorKind. */
+class LexError : public ArkError
+{
+  public:
+    explicit LexError(const std::string &m, SourceLoc l = SourceLoc{})
+        : ArkError(ErrorKind::Lex, m, l) {}
+};
+
+class ParseError : public ArkError
+{
+  public:
+    explicit ParseError(const std::string &m, SourceLoc l = SourceLoc{})
+        : ArkError(ErrorKind::Parse, m, l) {}
+};
+
+class SemaError : public ArkError
+{
+  public:
+    explicit SemaError(const std::string &m, SourceLoc l = SourceLoc{})
+        : ArkError(ErrorKind::Sema, m, l) {}
+};
+
+class TypeError : public ArkError
+{
+  public:
+    explicit TypeError(const std::string &m, SourceLoc l = SourceLoc{})
+        : ArkError(ErrorKind::Type, m, l) {}
+};
+
+class ValidationError : public ArkError
+{
+  public:
+    explicit ValidationError(const std::string &m, SourceLoc l = SourceLoc{})
+        : ArkError(ErrorKind::Validation, m, l) {}
+};
+
+class CompileError : public ArkError
+{
+  public:
+    explicit CompileError(const std::string &m, SourceLoc l = SourceLoc{})
+        : ArkError(ErrorKind::Compile, m, l) {}
+};
+
+class SimError : public ArkError
+{
+  public:
+    explicit SimError(const std::string &m, SourceLoc l = SourceLoc{})
+        : ArkError(ErrorKind::Sim, m, l) {}
+};
+
+class IoError : public ArkError
+{
+  public:
+    explicit IoError(const std::string &m, SourceLoc l = SourceLoc{})
+        : ArkError(ErrorKind::Io, m, l) {}
+};
+
+} // namespace ark::support
+
+#endif // ARK_SUPPORT_ERROR_H

@@ -1,0 +1,176 @@
+#include "support/linalg.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::support {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    panicIf(r >= rows_ || c >= cols_, "Matrix::at out of range");
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    panicIf(r >= rows_ || c >= cols_, "Matrix::at out of range");
+    return data_[r * cols_ + c];
+}
+
+void
+Matrix::setZero()
+{
+    std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+std::vector<double>
+Matrix::apply(const std::vector<double> &x) const
+{
+    panicIf(x.size() != cols_, "Matrix::apply dimension mismatch");
+    std::vector<double> y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += (*this)(r, c) * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+Matrix
+Matrix::plus(const Matrix &other) const
+{
+    panicIf(rows_ != other.rows_ || cols_ != other.cols_,
+            "Matrix::plus dimension mismatch");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::scaled(double factor) const
+{
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] * factor;
+    return out;
+}
+
+LuSolver::LuSolver(Matrix a)
+    : n_(a.rows()), lu_(std::move(a)), perm_(n_)
+{
+    panicIf(lu_.rows() != lu_.cols(), "LuSolver requires a square matrix");
+    std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+    for (std::size_t k = 0; k < n_; ++k) {
+        // Partial pivot: largest magnitude in column k at or below row k.
+        std::size_t pivot = k;
+        double best = std::fabs(lu_(k, k));
+        for (std::size_t r = k + 1; r < n_; ++r) {
+            double mag = std::fabs(lu_(r, k));
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        if (best < 1e-300) {
+            throw ArkError(ErrorKind::Sim,
+                           cat("singular matrix in LU factorization "
+                               "(pivot column ", k, ")"));
+        }
+        if (pivot != k) {
+            for (std::size_t c = 0; c < n_; ++c)
+                std::swap(lu_(k, c), lu_(pivot, c));
+            std::swap(perm_[k], perm_[pivot]);
+        }
+        for (std::size_t r = k + 1; r < n_; ++r) {
+            double factor = lu_(r, k) / lu_(k, k);
+            lu_(r, k) = factor;
+            for (std::size_t c = k + 1; c < n_; ++c)
+                lu_(r, c) -= factor * lu_(k, c);
+        }
+    }
+}
+
+std::vector<double>
+LuSolver::solve(const std::vector<double> &b) const
+{
+    panicIf(b.size() != n_, "LuSolver::solve dimension mismatch");
+    std::vector<double> x(n_);
+    // Forward substitution on the permuted right-hand side.
+    for (std::size_t r = 0; r < n_; ++r) {
+        double acc = b[perm_[r]];
+        for (std::size_t c = 0; c < r; ++c)
+            acc -= lu_(r, c) * x[c];
+        x[r] = acc;
+    }
+    // Back substitution.
+    for (std::size_t ri = n_; ri-- > 0;) {
+        double acc = x[ri];
+        for (std::size_t c = ri + 1; c < n_; ++c)
+            acc -= lu_(ri, c) * x[c];
+        x[ri] = acc / lu_(ri, ri);
+    }
+    return x;
+}
+
+double
+norm2(const std::vector<double> &v)
+{
+    double acc = 0.0;
+    for (double x : v)
+        acc += x * x;
+    return std::sqrt(acc);
+}
+
+double
+rmse(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size()) {
+        throw ArkError(ErrorKind::Sim,
+                       cat("rmse length mismatch: ", a.size(), " vs ",
+                           b.size()));
+    }
+    if (a.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double
+relativeRmse(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double err = rmse(a, b);
+    if (a.empty())
+        return 0.0;
+    double ref = norm2(a) / std::sqrt(static_cast<double>(a.size()));
+    if (ref < 1e-300)
+        return err;
+    return err / ref;
+}
+
+} // namespace ark::support

@@ -1,0 +1,108 @@
+#ifndef ARK_SUPPORT_LINALG_H
+#define ARK_SUPPORT_LINALG_H
+
+/**
+ * @file
+ * Dense linear algebra for the MNA circuit simulator.
+ *
+ * The SPICE substrate assembles small dense systems (tens to a few
+ * hundred unknowns), so a partial-pivoting LU with factor reuse is the
+ * right tool; no sparse machinery is needed at this scale.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace ark::support {
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Creates a rows x cols matrix of zeros. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Sets every entry to zero without reallocating. */
+    void setZero();
+
+    /** Returns an n x n identity. */
+    static Matrix identity(std::size_t n);
+
+    /** Matrix-vector product; x.size() must equal cols(). */
+    std::vector<double> apply(const std::vector<double> &x) const;
+
+    /** this + other (dimensions must match). */
+    Matrix plus(const Matrix &other) const;
+
+    /** this scaled by a constant. */
+    Matrix scaled(double factor) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * LU factorization with partial pivoting.
+ *
+ * Factor once, then solve() against many right-hand sides — the
+ * transient MNA loop re-solves the same conductance matrix every step
+ * while the timestep stays fixed.
+ */
+class LuSolver
+{
+  public:
+    /**
+     * Factors a square matrix.
+     * @throws ark::support::ArkError (Sim) if the matrix is singular.
+     */
+    explicit LuSolver(Matrix a);
+
+    std::size_t size() const { return n_; }
+
+    /** Solves A x = b; b.size() must equal size(). */
+    std::vector<double> solve(const std::vector<double> &b) const;
+
+  private:
+    std::size_t n_;
+    Matrix lu_;
+    std::vector<std::size_t> perm_;
+};
+
+/** Euclidean norm of a vector. */
+double norm2(const std::vector<double> &v);
+
+/**
+ * Root-mean-square error between two equal-length sequences.
+ * @throws ark::support::ArkError (Sim) on length mismatch.
+ */
+double rmse(const std::vector<double> &a, const std::vector<double> &b);
+
+/**
+ * RMSE normalized by the RMS of the reference sequence `a`;
+ * returns plain RMSE when the reference is all-zero.
+ */
+double relativeRmse(const std::vector<double> &a,
+                    const std::vector<double> &b);
+
+} // namespace ark::support
+
+#endif // ARK_SUPPORT_LINALG_H

@@ -1,0 +1,53 @@
+#include "support/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace ark::support {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Normal;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+inform(const std::string &message)
+{
+    if (globalLevel >= LogLevel::Normal)
+        std::cerr << "info: " << message << "\n";
+}
+
+void
+warn(const std::string &message)
+{
+    std::cerr << "warn: " << message << "\n";
+}
+
+void
+debug(const std::string &message)
+{
+    if (globalLevel >= LogLevel::Debug)
+        std::cerr << "debug: " << message << "\n";
+}
+
+void
+panic(const std::string &message)
+{
+    std::cerr << "panic: " << message << "\n";
+    std::abort();
+}
+
+} // namespace ark::support

@@ -1,0 +1,70 @@
+#ifndef ARK_SUPPORT_LOGGING_H
+#define ARK_SUPPORT_LOGGING_H
+
+/**
+ * @file
+ * Status-message and invariant helpers.
+ *
+ * Following the gem5 convention: inform() reports normal operating
+ * status, warn() flags suspicious-but-survivable conditions, and
+ * panic() aborts on conditions that indicate a bug in Ark itself.
+ * User mistakes should raise ArkError subclasses instead of panicking.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace ark::support {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel : int {
+    Quiet = 0,  ///< Suppress inform(); warnings still print.
+    Normal = 1, ///< inform() and warn() print.
+    Debug = 2,  ///< Also print debug() messages.
+};
+
+/** Sets the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+/** Returns the process-wide log level. */
+LogLevel logLevel();
+
+/** Prints an informational status message to stderr. */
+void inform(const std::string &message);
+
+/** Prints a warning to stderr; never stops execution. */
+void warn(const std::string &message);
+
+/** Prints a debug message when the level is Debug. */
+void debug(const std::string &message);
+
+/**
+ * Aborts the process after printing a message; reserved for internal
+ * invariant violations (never for user errors).
+ */
+[[noreturn]] void panic(const std::string &message);
+
+/** panic() unless the given condition holds. */
+inline void
+panicIf(bool condition, const std::string &message)
+{
+    if (condition)
+        panic(message);
+}
+
+/**
+ * Builds a string from stream-insertable pieces:
+ * cat("x=", 3, " y=", 4.5) == "x=3 y=4.5".
+ */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace ark::support
+
+#endif // ARK_SUPPORT_LOGGING_H

@@ -1,0 +1,92 @@
+#include "support/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/logging.h"
+
+namespace ark::support {
+
+Rng::Rng(std::uint64_t seed)
+    : state_(seed)
+{
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    // splitmix64 (Steele, Lea, Flood 2014): passes BigCrush, tiny state.
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    panicIf(lo > hi, "uniformInt: lo > hi");
+    auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(nextU64());
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t limit = ~0ull - (~0ull % span);
+    std::uint64_t draw;
+    do {
+        draw = nextU64();
+    } while (draw > limit);
+    return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double
+Rng::gaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    // Box-Muller transform; u clamped away from zero for log().
+    double u = uniform();
+    if (u < 1e-300)
+        u = 1e-300;
+    double v = uniform();
+    double radius = std::sqrt(-2.0 * std::log(u));
+    double angle = 2.0 * std::numbers::pi * v;
+    spare_ = radius * std::sin(angle);
+    hasSpare_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::deriveSeed()
+{
+    return nextU64();
+}
+
+} // namespace ark::support

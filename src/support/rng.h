@@ -1,0 +1,79 @@
+#ifndef ARK_SUPPORT_RNG_H
+#define ARK_SUPPORT_RNG_H
+
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Ark's mismatch sampling must be bit-reproducible across platforms and
+ * standard-library versions (std::normal_distribution is implementation
+ * defined), so all randomness flows through this self-contained
+ * generator: a splitmix64 core with Box-Muller gaussians.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace ark::support {
+
+/**
+ * Deterministic pseudo-random generator (splitmix64 core).
+ *
+ * Streams seeded with the same value produce identical sequences on any
+ * platform. Mismatch sampling in the Ark function executor uses one Rng
+ * per invocation, seeded by the caller, matching the paper's
+ * "each function invocation sets the random seed" semantics.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t nextU64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive); requires lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal draw (Box-Muller; caches the second deviate). */
+    double gaussian();
+
+    /** Normal draw with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Bernoulli draw with probability p of true. */
+    bool bernoulli(double p);
+
+    /** Fisher-Yates shuffle of a vector (deterministic given the seed). */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            auto j = static_cast<std::size_t>(
+                uniformInt(0, static_cast<std::int64_t>(i) - 1));
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /**
+     * Derives an independent child seed; used to give each sampled
+     * attribute its own stream position without correlation.
+     */
+    std::uint64_t deriveSeed();
+
+  private:
+    std::uint64_t state_;
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace ark::support
+
+#endif // ARK_SUPPORT_RNG_H

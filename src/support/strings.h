@@ -1,0 +1,49 @@
+#ifndef ARK_SUPPORT_STRINGS_H
+#define ARK_SUPPORT_STRINGS_H
+
+/**
+ * @file
+ * Small string helpers used across the frontend and report writers.
+ */
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ark::support {
+
+/** Splits on a delimiter character; empty fields are preserved. */
+std::vector<std::string> split(std::string_view text, char delim);
+
+/** Joins pieces with a separator. */
+std::string join(const std::vector<std::string> &pieces,
+                 std::string_view sep);
+
+/** Strips ASCII whitespace from both ends. */
+std::string trim(std::string_view text);
+
+/** True if text begins with the given prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** True if text ends with the given suffix. */
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/** Formats a double compactly (shortest round-trippable form). */
+std::string formatDouble(double value);
+
+/**
+ * Levenshtein edit distance; used for "did you mean" suggestions in
+ * semantic errors.
+ */
+std::size_t editDistance(std::string_view a, std::string_view b);
+
+/**
+ * Picks the candidate closest to `name` within a small edit distance,
+ * or an empty string if nothing is close enough.
+ */
+std::string closestMatch(std::string_view name,
+                         const std::vector<std::string> &candidates);
+
+} // namespace ark::support
+
+#endif // ARK_SUPPORT_STRINGS_H

@@ -1,0 +1,121 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace ark::support {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    panicIf(row.size() != header_.size(),
+            cat("table row width ", row.size(), " != header width ",
+                header_.size()));
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addNumericRow(const std::vector<double> &row, int precision)
+{
+    std::vector<std::string> fields;
+    fields.reserve(row.size());
+    for (double v : row) {
+        std::ostringstream oss;
+        oss << std::setprecision(precision) << v;
+        fields.push_back(oss.str());
+    }
+    addRow(std::move(fields));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    emit_row(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w;
+    total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    CsvWriter writer(os);
+    writer.writeRow(header_);
+    for (const auto &row : rows_)
+        writer.writeRow(row);
+}
+
+CsvWriter::CsvWriter(std::ostream &os)
+    : os_(os)
+{
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += "\"\"";
+        else
+            out += ch;
+    }
+    out += "\"";
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            os_ << ",";
+        os_ << escape(fields[i]);
+    }
+    os_ << "\n";
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            os_ << ",";
+        os_ << fields[i];
+    }
+    os_ << "\n";
+}
+
+} // namespace ark::support

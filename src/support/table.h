@@ -1,0 +1,79 @@
+#ifndef ARK_SUPPORT_TABLE_H
+#define ARK_SUPPORT_TABLE_H
+
+/**
+ * @file
+ * Tabular report output for benchmarks and experiment harnesses.
+ *
+ * Every bench binary regenerating a paper table/figure emits its data
+ * through Table (aligned text for humans) and/or CsvWriter (for
+ * plotting), so outputs stay uniform across experiments.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ark::support {
+
+/**
+ * Builds an aligned text table with a header row.
+ *
+ * Usage:
+ * @code
+ *   Table t({"d", "sync %", "solved %"});
+ *   t.addRow({"0.01pi", "94.1", "94.1"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Appends a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: formats doubles with the given precision.
+     *  (Distinctly named: a braced list of string literals would
+     *  otherwise match vector<double>'s iterator-pair constructor.) */
+    void addNumericRow(const std::vector<double> &row, int precision = 4);
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return header_.size(); }
+
+    /** Renders with column alignment and a separator rule. */
+    void print(std::ostream &os) const;
+
+    /** Renders as CSV (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Streams rows of comma-separated values to any ostream; quotes fields
+ * containing commas or quotes.
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os);
+
+    /** Writes one row of raw string fields. */
+    void writeRow(const std::vector<std::string> &fields);
+
+    /** Writes one row of numeric fields. */
+    void writeRow(const std::vector<double> &fields);
+
+  private:
+    std::ostream &os_;
+
+    static std::string escape(const std::string &field);
+};
+
+} // namespace ark::support
+
+#endif // ARK_SUPPORT_TABLE_H

@@ -1,0 +1,242 @@
+#include "validator/validator.h"
+
+#include "ilp/flow.h"
+#include "ilp/ilp.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace ark::validator {
+
+using lang::MatchClause;
+using lang::MatchDir;
+using support::cat;
+using support::ValidationError;
+
+std::string
+ValidationResult::summary() const
+{
+    return support::join(problems, "; ");
+}
+
+GlobalRuleRegistry &
+GlobalRuleRegistry::instance()
+{
+    static GlobalRuleRegistry registry;
+    return registry;
+}
+
+void
+GlobalRuleRegistry::add(const std::string &name, Rule rule)
+{
+    for (auto &[existing, fn] : rules_) {
+        if (existing == name) {
+            fn = std::move(rule);
+            return;
+        }
+    }
+    rules_.emplace_back(name, std::move(rule));
+}
+
+const GlobalRuleRegistry::Rule *
+GlobalRuleRegistry::find(const std::string &name) const
+{
+    for (const auto &[existing, fn] : rules_)
+        if (existing == name)
+            return &fn;
+    return nullptr;
+}
+
+namespace {
+
+/**
+ * The paper's Matched(n, e, cls): the edge's direction relative to the
+ * target matches the clause, its type descends from the clause's edge
+ * type, and the far endpoint's type descends from one of the clause's
+ * node types.
+ */
+bool
+matched(const dg::Graph &graph, dg::NodeId node, dg::EdgeId edgeId,
+        const MatchClause &clause, const lang::Language &lang)
+{
+    const dg::Edge &edge = graph.edge(edgeId);
+    if (!lang.types().isEdgeAncestor(clause.edgeType, edge.type))
+        return false;
+
+    switch (clause.dir) {
+      case MatchDir::Self:
+        return edge.isSelf();
+      case MatchDir::Out: {
+        if (edge.isSelf() || edge.src != node)
+            return false;
+        const dg::Node &far = graph.node(edge.dst);
+        for (const std::string &type : clause.nodeTypes)
+            if (lang.types().isNodeAncestor(type, far.type))
+                return true;
+        return false;
+      }
+      case MatchDir::In: {
+        if (edge.isSelf() || edge.dst != node)
+            return false;
+        const dg::Node &far = graph.node(edge.src);
+        for (const std::string &type : clause.nodeTypes)
+            if (lang.types().isNodeAncestor(type, far.type))
+                return true;
+        return false;
+      }
+    }
+    return false;
+}
+
+/** Algorithm 2 with the branch-and-bound ILP. */
+bool
+describedIlp(const dg::Graph &graph, dg::NodeId node,
+             const lang::Pattern &pattern, const lang::Language &lang)
+{
+    std::vector<dg::EdgeId> edges = graph.edgesOf(node);
+    const std::size_t numEdges = edges.size();
+    const std::size_t numClauses = pattern.clauses.size();
+
+    ilp::Model model;
+    int first = model.addVars(static_cast<int>(numEdges * numClauses));
+    auto varOf = [&](std::size_t i, std::size_t j) {
+        return first + static_cast<int>(i * numClauses + j);
+    };
+
+    // vars[i][j] = 1 iff edge i is assigned to clause j; pairs that
+    // fail Matched are pinned to zero.
+    for (std::size_t i = 0; i < numEdges; ++i)
+        for (std::size_t j = 0; j < numClauses; ++j)
+            if (!matched(graph, node, edges[i], pattern.clauses[j], lang))
+                model.fixVar(varOf(i, j), 0);
+
+    // UnityRowSum: every edge is assigned to exactly one clause.
+    for (std::size_t i = 0; i < numEdges; ++i) {
+        std::vector<int> row;
+        row.reserve(numClauses);
+        for (std::size_t j = 0; j < numClauses; ++j)
+            row.push_back(varOf(i, j));
+        model.addSumEquals(row, 1.0);
+    }
+
+    // RangedColSum: clause cardinality bounds.
+    for (std::size_t j = 0; j < numClauses; ++j) {
+        std::vector<int> col;
+        col.reserve(numEdges);
+        for (std::size_t i = 0; i < numEdges; ++i)
+            col.push_back(varOf(i, j));
+        const MatchClause &clause = pattern.clauses[j];
+        double hi = clause.hi < 0 ? static_cast<double>(numEdges)
+                                  : clause.hi;
+        model.addSumRange(col, clause.lo, hi);
+    }
+
+    return ilp::solve(model).has_value();
+}
+
+/** Same decision through the max-flow formulation. */
+bool
+describedFlow(const dg::Graph &graph, dg::NodeId node,
+              const lang::Pattern &pattern, const lang::Language &lang)
+{
+    std::vector<dg::EdgeId> edges = graph.edgesOf(node);
+    std::vector<std::vector<bool>> allowed(
+        edges.size(),
+        std::vector<bool>(pattern.clauses.size(), false));
+    for (std::size_t i = 0; i < edges.size(); ++i)
+        for (std::size_t j = 0; j < pattern.clauses.size(); ++j)
+            allowed[i][j] =
+                matched(graph, node, edges[i], pattern.clauses[j], lang);
+    std::vector<int> lo, hi;
+    lo.reserve(pattern.clauses.size());
+    hi.reserve(pattern.clauses.size());
+    for (const MatchClause &clause : pattern.clauses) {
+        lo.push_back(clause.lo);
+        hi.push_back(clause.hi);
+    }
+    return ilp::solveAssignment(allowed, lo, hi).has_value();
+}
+
+} // namespace
+
+bool
+isDescribed(const dg::Graph &graph, dg::NodeId node,
+            const lang::Pattern &pattern, const lang::Language &lang,
+            Engine engine)
+{
+    if (engine == Engine::Flow)
+        return describedFlow(graph, node, pattern, lang);
+    return describedIlp(graph, node, pattern, lang);
+}
+
+ValidationResult
+validate(const dg::Graph &graph, const lang::Language &lang, Engine engine)
+{
+    ValidationResult result;
+
+    // Local validity rules (per-node cardinality patterns).
+    for (std::size_t idx = 0; idx < graph.numNodes(); ++idx) {
+        dg::NodeId id{static_cast<std::int32_t>(idx)};
+        const dg::Node &node = graph.node(id);
+        for (const lang::Cstr *cstr : lang.cstrsFor(node.type)) {
+            bool accepted = cstr->accepts.empty();
+            for (const lang::Pattern &pattern : cstr->accepts) {
+                if (isDescribed(graph, id, pattern, lang, engine)) {
+                    accepted = true;
+                    break;
+                }
+            }
+            if (!accepted) {
+                result.ok = false;
+                result.problems.push_back(
+                    cat("node '", node.name, "' of type '", node.type,
+                        "' matches no accepted pattern of cstr ",
+                        cstr->nodeType, " (from language '",
+                        cstr->definedIn, "')"));
+                continue;
+            }
+            for (const lang::Pattern &pattern : cstr->rejects) {
+                if (isDescribed(graph, id, pattern, lang, engine)) {
+                    result.ok = false;
+                    result.problems.push_back(
+                        cat("node '", node.name, "' of type '", node.type,
+                            "' matches a rejected pattern of cstr ",
+                            cstr->nodeType, " (from language '",
+                            cstr->definedIn, "')"));
+                    break;
+                }
+            }
+        }
+    }
+
+    // Global validity rules (extern-func bindings).
+    for (const std::string &name : lang.externFuncs()) {
+        const GlobalRuleRegistry::Rule *rule =
+            GlobalRuleRegistry::instance().find(name);
+        if (!rule) {
+            result.ok = false;
+            result.problems.push_back(
+                cat("global rule '", name,
+                    "' is not registered with the validator"));
+            continue;
+        }
+        if (!(*rule)(graph)) {
+            result.ok = false;
+            result.problems.push_back(
+                cat("global rule '", name, "' rejected the graph"));
+        }
+    }
+
+    return result;
+}
+
+void
+validateOrThrow(const dg::Graph &graph, const lang::Language &lang,
+                Engine engine)
+{
+    ValidationResult result = validate(graph, lang, engine);
+    if (!result.ok)
+        throw ValidationError(result.summary());
+}
+
+} // namespace ark::validator

@@ -1,0 +1,88 @@
+#ifndef ARK_VALIDATOR_VALIDATOR_H
+#define ARK_VALIDATOR_VALIDATOR_H
+
+/**
+ * @file
+ * The Ark dynamical graph validator (paper §6).
+ *
+ * Local validity: every node must be *described* by at least one
+ * accepted pattern of every applicable cstr (its type's and every
+ * ancestor type's) and by none of the rejected patterns. A pattern
+ * describes a node when its enabled edges can be assigned to the
+ * pattern's clauses, one clause per edge, respecting each clause's
+ * cardinality range — decided exactly with the 0/1 ILP of Algorithm 2
+ * or the equivalent max-flow formulation.
+ *
+ * Global validity: extern-func names bound in the language are looked
+ * up in the process-wide GlobalRuleRegistry and run over the whole
+ * graph.
+ */
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dg/graph.h"
+#include "lang/language.h"
+
+namespace ark::validator {
+
+/** Which decision procedure answers pattern queries. */
+enum class Engine { Ilp, Flow };
+
+/** Outcome of validating a graph. */
+struct ValidationResult
+{
+    bool ok = true;
+    std::vector<std::string> problems;
+
+    /** Joined problem list (empty string when ok). */
+    std::string summary() const;
+};
+
+/**
+ * Registry of global validity callbacks (`extern-func v`).
+ * Process-wide; paradigm libraries register their checkers once.
+ */
+class GlobalRuleRegistry
+{
+  public:
+    using Rule = std::function<bool(const dg::Graph &)>;
+
+    static GlobalRuleRegistry &instance();
+
+    /** Registers or replaces a rule. */
+    void add(const std::string &name, Rule rule);
+
+    /** nullptr when unknown. */
+    const Rule *find(const std::string &name) const;
+
+  private:
+    GlobalRuleRegistry() = default;
+    std::vector<std::pair<std::string, Rule>> rules_;
+};
+
+/**
+ * Decides whether `pattern` describes node `node` (Algorithm 2).
+ * Exposed for tests and the ILP-vs-flow ablation bench.
+ */
+bool isDescribed(const dg::Graph &graph, dg::NodeId node,
+                 const lang::Pattern &pattern, const lang::Language &lang,
+                 Engine engine = Engine::Ilp);
+
+/**
+ * Validates a dynamical graph against its language's local and global
+ * rules; never throws for rule violations (collects them instead).
+ */
+ValidationResult validate(const dg::Graph &graph,
+                          const lang::Language &lang,
+                          Engine engine = Engine::Ilp);
+
+/** validate() + throw ValidationError when not ok. */
+void validateOrThrow(const dg::Graph &graph, const lang::Language &lang,
+                     Engine engine = Engine::Ilp);
+
+} // namespace ark::validator
+
+#endif // ARK_VALIDATOR_VALIDATOR_H

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the application layer: images (patterns, PGM round trip,
+ * edge maps) and the TLN PUF (responses, uniqueness, reliability).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/image.h"
+#include "apps/puf.h"
+#include "paradigms/standard.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace ark;
+using apps::Image;
+
+// --- images -----------------------------------------------------------------
+
+TEST(ImageTest, ConstructionAndAccess)
+{
+    Image img(4, 3, -1.0);
+    EXPECT_EQ(img.width(), 4);
+    EXPECT_EQ(img.height(), 3);
+    EXPECT_DOUBLE_EQ(img.at(2, 3), -1.0);
+    img.at(1, 2) = 1.0;
+    EXPECT_DOUBLE_EQ(img.at(1, 2), 1.0);
+    EXPECT_EQ(img.pixels().size(), 12u);
+}
+
+TEST(ImageTest, Patterns)
+{
+    Image square = Image::filledSquare(8, 2);
+    EXPECT_DOUBLE_EQ(square.at(4, 4), 1.0);
+    EXPECT_DOUBLE_EQ(square.at(0, 0), -1.0);
+    Image hollow = Image::hollowSquare(10, 2, 2);
+    EXPECT_DOUBLE_EQ(hollow.at(2, 2), 1.0);
+    EXPECT_DOUBLE_EQ(hollow.at(5, 5), -1.0);
+    Image cross = Image::cross(9, 3);
+    EXPECT_DOUBLE_EQ(cross.at(4, 0), 1.0);
+    EXPECT_DOUBLE_EQ(cross.at(0, 0), -1.0);
+    Image tee = Image::letterT(10);
+    EXPECT_DOUBLE_EQ(tee.at(1, 5), 1.0);
+    EXPECT_DOUBLE_EQ(tee.at(9, 0), -1.0);
+}
+
+TEST(ImageTest, EdgeMapSemantics)
+{
+    // A solid 3x3 block inside a 5x5 frame: every black pixel touches
+    // white, so the edge map equals the block itself.
+    Image blocky(5, 5, -1.0);
+    for (int r = 1; r <= 3; ++r)
+        for (int c = 1; c <= 3; ++c)
+            blocky.at(r, c) = 1.0;
+    Image edges = blocky.edgeMap();
+    EXPECT_EQ(edges.countSignMismatch(blocky), 1); // center hollowed
+    EXPECT_DOUBLE_EQ(edges.at(2, 2), -1.0);
+    EXPECT_DOUBLE_EQ(edges.at(1, 1), 1.0);
+    // Image borders count as white: a full-black image keeps only its
+    // rim.
+    Image full(5, 5, 1.0);
+    Image rim = full.edgeMap();
+    EXPECT_DOUBLE_EQ(rim.at(2, 2), -1.0);
+    EXPECT_DOUBLE_EQ(rim.at(0, 2), 1.0);
+}
+
+TEST(ImageTest, BinarizeAndMismatch)
+{
+    Image soft(2, 2, 0.2);
+    soft.at(0, 0) = -0.3;
+    Image hard = soft.binarized();
+    EXPECT_DOUBLE_EQ(hard.at(0, 0), -1.0);
+    EXPECT_DOUBLE_EQ(hard.at(1, 1), 1.0);
+    EXPECT_EQ(hard.countSignMismatch(soft), 0); // signs preserved
+}
+
+TEST(ImageTest, PgmRoundTrip)
+{
+    Image original = Image::cross(11, 3);
+    std::string pgm = original.toPgm();
+    Image loaded = Image::fromPgm(pgm);
+    ASSERT_EQ(loaded.width(), 11);
+    ASSERT_EQ(loaded.height(), 11);
+    EXPECT_EQ(loaded.binarized().countSignMismatch(original), 0);
+}
+
+TEST(ImageTest, PgmErrors)
+{
+    EXPECT_THROW(Image::fromPgm("P2\n2 2\n255\n"), support::IoError);
+    EXPECT_THROW(Image::fromPgm("P5\n2 2\n255\nX"), support::IoError);
+    EXPECT_THROW(Image::fromPgm("P5\n-1 2\n255\n"), support::IoError);
+}
+
+TEST(ImageTest, AsciiRendering)
+{
+    Image img(3, 1, -1.0);
+    img.at(0, 1) = 1.0;
+    img.at(0, 2) = 0.0;
+    EXPECT_EQ(img.ascii(), ".#+\n");
+}
+
+// --- PUF ---------------------------------------------------------------------
+
+class PufTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        registry_ = new lang::LanguageRegistry(
+            paradigms::makeStandardRegistry());
+        apps::PufDesign design;
+        design.mainSections = 12;
+        design.numBranches = 3;
+        design.stubSections = 3;
+        design.responseBits = 48;
+        puf_ = new apps::TlnPuf(registry_->language("gmc-tln"), design);
+    }
+    static void TearDownTestSuite()
+    {
+        delete puf_;
+        delete registry_;
+        puf_ = nullptr;
+        registry_ = nullptr;
+    }
+    static lang::LanguageRegistry *registry_;
+    static apps::TlnPuf *puf_;
+};
+
+lang::LanguageRegistry *PufTest::registry_ = nullptr;
+apps::TlnPuf *PufTest::puf_ = nullptr;
+
+TEST_F(PufTest, ResponsesAreDeterministicPerChip)
+{
+    auto a = puf_->response(5, 1);
+    auto b = puf_->response(5, 1);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 48u);
+}
+
+TEST_F(PufTest, DifferentChipsDiffer)
+{
+    auto chip1 = puf_->response(3, 1);
+    auto chip2 = puf_->response(3, 2);
+    EXPECT_GT(apps::hammingFraction(chip1, chip2), 0.15);
+}
+
+TEST_F(PufTest, DifferentChallengesDiffer)
+{
+    auto c0 = puf_->response(0, 1);
+    auto c7 = puf_->response(7, 1);
+    EXPECT_GT(apps::hammingFraction(c0, c7), 0.05);
+}
+
+TEST_F(PufTest, ChallengeRangeEnforced)
+{
+    EXPECT_THROW(puf_->response(8, 1), support::SemaError); // 3 bits
+}
+
+TEST_F(PufTest, NoiseOnlyFlipsSomeBits)
+{
+    auto clean = puf_->response(2, 1);
+    auto noisy = puf_->response(2, 1, 0.005, 77);
+    double hd = apps::hammingFraction(clean, noisy);
+    EXPECT_LT(hd, 0.4); // mostly stable
+}
+
+TEST_F(PufTest, MetricsAreWellBehaved)
+{
+    apps::PufMetrics metrics = apps::evaluatePuf(*puf_, 4, 3, 0.002, 9);
+    EXPECT_GT(metrics.uniqueness, 0.25);
+    EXPECT_LT(metrics.uniqueness, 0.75);
+    EXPECT_LT(metrics.reliability, metrics.uniqueness);
+    EXPECT_GT(metrics.challengeSensitivity, 0.0);
+}
+
+TEST_F(PufTest, DesignValidation)
+{
+    apps::PufDesign bad;
+    bad.numBranches = 0;
+    EXPECT_THROW(apps::TlnPuf(registry_->language("gmc-tln"), bad),
+                 support::SemaError);
+    apps::PufDesign tooShort;
+    tooShort.mainSections = 2;
+    tooShort.numBranches = 4;
+    EXPECT_THROW(apps::TlnPuf(registry_->language("gmc-tln"), tooShort),
+                 support::SemaError);
+    EXPECT_THROW(apps::TlnPuf(registry_->language("tln"),
+                              apps::PufDesign{}),
+                 support::SemaError);
+}
+
+TEST(HammingTest, Basics)
+{
+    std::vector<std::uint8_t> a{1, 0, 1, 0};
+    std::vector<std::uint8_t> b{1, 1, 1, 1};
+    EXPECT_DOUBLE_EQ(apps::hammingFraction(a, b), 0.5);
+    EXPECT_DOUBLE_EQ(apps::hammingFraction(a, a), 0.0);
+}
+
+} // namespace

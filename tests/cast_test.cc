@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for graph casting (paper §4.1.1): graphs of derived types
+ * cast to ancestor languages, dropping hardware nonidealities while
+ * preserving topology, nominal parameters, and switch state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "lang/cast.h"
+#include "lang/func.h"
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+#include "sim/sim.h"
+#include "support/linalg.h"
+#include "validator/validator.h"
+
+namespace {
+
+using namespace ark;
+namespace ptln = paradigms::tln;
+
+class CastTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        registry_ = new lang::LanguageRegistry(
+            paradigms::makeStandardRegistry());
+    }
+    static void TearDownTestSuite()
+    {
+        delete registry_;
+        registry_ = nullptr;
+    }
+    static lang::LanguageRegistry *registry_;
+};
+
+lang::LanguageRegistry *CastTest::registry_ = nullptr;
+
+TEST_F(CastTest, MismatchedLineCastsToIdealTln)
+{
+    const lang::Language &tln = registry_->language("tln");
+    const lang::Language &gmc = registry_->language("gmc-tln");
+
+    ptln::LineSpec spec;
+    spec.sections = 6;
+    spec.mismatchC = true;
+    spec.mismatchGm = true;
+    spec.seed = 21;
+    dg::Graph mismatched = ptln::buildLine(gmc, spec);
+
+    dg::Graph cast = lang::castGraph(mismatched, tln);
+    EXPECT_EQ(cast.langName(), "tln");
+    EXPECT_EQ(cast.numNodes(), mismatched.numNodes());
+    EXPECT_EQ(cast.numEdges(), mismatched.numEdges());
+    // Derived types collapse onto their ancestors.
+    EXPECT_EQ(cast.node(*cast.findNode("V_1")).type, "V");
+    EXPECT_EQ(cast.edge(*cast.findEdge("EV_0")).type, "E");
+    // The cast graph is a valid TLN program.
+    EXPECT_TRUE(validator::validate(cast, tln).ok);
+}
+
+TEST_F(CastTest, CastDropsMismatchKeepsNominal)
+{
+    const lang::Language &tln = registry_->language("tln");
+    const lang::Language &gmc = registry_->language("gmc-tln");
+    ptln::LineSpec spec;
+    spec.sections = 4;
+    spec.mismatchC = true;
+    spec.seed = 5;
+    dg::Graph mismatched = ptln::buildLine(gmc, spec);
+    // Sampled value differs from nominal...
+    dg::NodeId vm = *mismatched.findNode("V_1");
+    ASSERT_NE(mismatched.nodeAttr(vm, "c").asReal(), 1e-9);
+    // ...but the cast restores the written (nominal) 1e-9.
+    dg::Graph cast = lang::castGraph(mismatched, tln);
+    EXPECT_DOUBLE_EQ(
+        cast.nodeAttr(*cast.findNode("V_1"), "c").asReal(), 1e-9);
+}
+
+TEST_F(CastTest, CastDynamicsMatchIdealBuild)
+{
+    // Casting a mismatched line and simulating equals building the
+    // ideal line directly — the §4.1.1 compatibility guarantee,
+    // observed through the compiler.
+    const lang::Language &tln = registry_->language("tln");
+    const lang::Language &gmc = registry_->language("gmc-tln");
+    ptln::LineSpec spec;
+    spec.sections = 6;
+    ptln::LineSpec mmSpec = spec;
+    mmSpec.mismatchC = true;
+    mmSpec.mismatchGm = true;
+    mmSpec.seed = 77;
+
+    dg::Graph ideal = ptln::buildLine(tln, spec);
+    dg::Graph cast =
+        lang::castGraph(ptln::buildLine(gmc, mmSpec), tln);
+
+    auto simulate = [&](const dg::Graph &graph) {
+        compiler::OdeSystem system = compiler::compile(graph, tln);
+        sim::SimOptions options;
+        options.recordDt = 1e-10;
+        sim::SimResult result =
+            sim::simulate(system, 0.0, 2e-8, options);
+        return result.trajectory.resample(
+            system.stateIndex(ptln::outputNode(), 0), 0.0, 2e-8, 200);
+    };
+    EXPECT_LT(support::relativeRmse(simulate(ideal), simulate(cast)),
+              1e-9);
+}
+
+TEST_F(CastTest, SwitchStatePreserved)
+{
+    const lang::Language &tln = registry_->language("tln");
+    dg::Graph branched =
+        registry_->invoke("br-func", {expr::Value::integer(0)});
+    dg::Graph cast = lang::castGraph(branched, tln);
+    EXPECT_FALSE(cast.edge(*cast.findEdge("E_6")).enabled);
+    dg::Graph branchedOn =
+        registry_->invoke("br-func", {expr::Value::integer(1)});
+    dg::Graph castOn = lang::castGraph(branchedOn, tln);
+    EXPECT_TRUE(castOn.edge(*castOn.findEdge("E_6")).enabled);
+}
+
+TEST_F(CastTest, ForeignTypesRejected)
+{
+    const lang::Language &obc = registry_->language("obc");
+    ptln::LineSpec spec;
+    spec.sections = 3;
+    dg::Graph line =
+        ptln::buildLine(registry_->language("tln"), spec);
+    EXPECT_THROW(lang::castGraph(line, obc), support::SemaError);
+}
+
+TEST_F(CastTest, IdentityCast)
+{
+    // Casting a graph to its own language is a nominal-value round
+    // trip.
+    const lang::Language &tln = registry_->language("tln");
+    ptln::LineSpec spec;
+    spec.sections = 3;
+    dg::Graph line = ptln::buildLine(tln, spec);
+    dg::Graph same = lang::castGraph(line, tln);
+    EXPECT_EQ(same.numNodes(), line.numNodes());
+    EXPECT_TRUE(validator::validate(same, tln).ok);
+}
+
+} // namespace

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * CNN paradigm tests: language structure, grid construction and
+ * validation cardinalities, steady-state edge detection across input
+ * patterns (parameterized), hw-cnn nonideality behavior, and other
+ * CNN templates (the paradigm is reconfigurable, not edge-only).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/experiments.h"
+#include "apps/image.h"
+#include "compiler/compiler.h"
+#include "paradigms/cnn.h"
+#include "paradigms/standard.h"
+#include "sim/sim.h"
+#include "validator/validator.h"
+
+namespace {
+
+using namespace ark;
+namespace pcnn = paradigms::cnn;
+namespace exp = apps::experiments;
+using apps::Image;
+
+class CnnTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        registry_ = new lang::LanguageRegistry(
+            paradigms::makeStandardRegistry());
+    }
+    static void TearDownTestSuite()
+    {
+        delete registry_;
+        registry_ = nullptr;
+    }
+    static const lang::Language &cnn()
+    {
+        return registry_->language("cnn");
+    }
+    static const lang::Language &hwCnn()
+    {
+        return registry_->language("hw-cnn");
+    }
+    static lang::LanguageRegistry *registry_;
+};
+
+lang::LanguageRegistry *CnnTest::registry_ = nullptr;
+
+TEST_F(CnnTest, LanguageStructure)
+{
+    EXPECT_EQ(cnn().types().nodeType("V").order, 1);
+    EXPECT_EQ(cnn().types().nodeType("Out").order, 0);
+    EXPECT_EQ(cnn().types().nodeType("Inp").order, 0);
+    EXPECT_NE(cnn().types().edgeType("fE").findAttr("g"), nullptr);
+    EXPECT_EQ(cnn().cstrs().size(), 3u);
+    // hw extension types inherit correctly.
+    EXPECT_TRUE(hwCnn().types().isNodeAncestor("Out", "OutNL"));
+    EXPECT_TRUE(hwCnn().types().isNodeAncestor("V", "Vm"));
+    EXPECT_TRUE(hwCnn().types().isEdgeAncestor("fE", "fEm"));
+}
+
+TEST_F(CnnTest, GridValidates)
+{
+    pcnn::CnnSpec spec;
+    spec.width = 5;
+    spec.height = 4;
+    Image input(5, 4, -1.0);
+    dg::Graph graph = pcnn::buildCnn(cnn(), spec, input.pixels());
+    // 20 cells x (V + Out + Inp) = 60 nodes.
+    EXPECT_EQ(graph.numNodes(), 60u);
+    EXPECT_TRUE(validator::validate(graph, cnn()).ok);
+}
+
+TEST_F(CnnTest, CornerCellsHaveFourNeighbourEdges)
+{
+    pcnn::CnnSpec spec;
+    spec.width = 4;
+    spec.height = 4;
+    Image input(4, 4, -1.0);
+    dg::Graph graph = pcnn::buildCnn(cnn(), spec, input.pixels());
+    dg::NodeId corner = *graph.findNode(pcnn::cellName(0, 0));
+    // Corner: 4 A-edges in (2x2 neighbourhood), 4 B-edges in,
+    // one iE out, one iE self.
+    EXPECT_EQ(graph.incomingEdges(corner).size(), 8u);
+    EXPECT_EQ(graph.selfEdges(corner).size(), 1u);
+    dg::NodeId center = *graph.findNode(pcnn::cellName(1, 1));
+    EXPECT_EQ(graph.incomingEdges(center).size(), 18u); // 9 + 9
+}
+
+TEST_F(CnnTest, ValidatorRejectsUndersizedNeighbourhoods)
+{
+    // A lone cell has 1 incoming A edge and 1 B edge: below the
+    // match(4,9,...) lower bound.
+    lang::GraphBuilder builder(cnn(), 0);
+    builder.node("x", "V");
+    builder.attr("x", "z", -1.0);
+    builder.node("out", "Out");
+    builder.node("in", "Inp");
+    builder.attr("in", "u", 1.0);
+    builder.edge("self", "iE", "x", "x");
+    builder.edge("io", "iE", "x", "out");
+    builder.edge("a", "fE", "out", "x");
+    builder.attr("a", "g", 1.0);
+    builder.edge("b", "fE", "in", "x");
+    builder.attr("b", "g", 1.0);
+    dg::Graph graph = builder.take();
+    EXPECT_FALSE(validator::validate(graph, cnn()).ok);
+}
+
+TEST_F(CnnTest, BuildRejectsBadSpecs)
+{
+    pcnn::CnnSpec spec;
+    spec.width = 2; // too small
+    spec.height = 4;
+    EXPECT_THROW(pcnn::buildCnn(cnn(), spec, std::vector<double>(8)),
+                 support::SemaError);
+    pcnn::CnnSpec sizeMismatch;
+    sizeMismatch.width = 4;
+    sizeMismatch.height = 4;
+    EXPECT_THROW(
+        pcnn::buildCnn(cnn(), sizeMismatch, std::vector<double>(3)),
+        support::SemaError);
+    pcnn::CnnSpec hwOnly;
+    hwOnly.width = 4;
+    hwOnly.height = 4;
+    hwOnly.nonIdealSat = true;
+    EXPECT_THROW(
+        pcnn::buildCnn(cnn(), hwOnly, std::vector<double>(16, -1.0)),
+        support::SemaError);
+}
+
+/** Edge detection across input patterns (paper Figure 11 workload). */
+class EdgeDetectPattern
+    : public CnnTest,
+      public ::testing::WithParamInterface<int>
+{
+  protected:
+    static Image
+    pattern(int which)
+    {
+        switch (which) {
+          case 0: return Image::filledSquare(12, 3);
+          case 1: return Image::hollowSquare(14, 3, 2);
+          case 2: return Image::cross(13, 3);
+          default: return Image::letterT(12);
+        }
+    }
+};
+
+TEST_P(EdgeDetectPattern, SteadyStateMatchesGroundTruth)
+{
+    Image input = pattern(GetParam());
+    pcnn::CnnSpec spec;
+    spec.width = input.width();
+    spec.height = input.height();
+    exp::CnnRun run = exp::runCnnEdgeDetect(cnn(), spec, input,
+                                            {0.0, 1.0, 2.0, 4.0});
+    EXPECT_EQ(run.outputErrors, 0)
+        << "input:\n" << input.ascii() << "got:\n"
+        << run.finalOutput.ascii() << "expected:\n"
+        << input.edgeMap().ascii();
+    EXPECT_TRUE(run.converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, EdgeDetectPattern,
+                         ::testing::Range(0, 4));
+
+TEST_F(CnnTest, IntegratorMismatchSlowsButStaysCorrect)
+{
+    Image input = Image::hollowSquare(12, 3, 2);
+    pcnn::CnnSpec ideal;
+    ideal.width = 12;
+    ideal.height = 12;
+    pcnn::CnnSpec mm = ideal;
+    mm.mismatchZ = true;
+    mm.seed = 3;
+    std::vector<double> frames{0.0, 0.25, 0.5, 0.75, 1.0, 2.0, 4.0};
+    exp::CnnRun idealRun =
+        exp::runCnnEdgeDetect(cnn(), ideal, input, frames);
+    exp::CnnRun mmRun = exp::runCnnEdgeDetect(hwCnn(), mm, input,
+                                              frames);
+    EXPECT_EQ(mmRun.outputErrors, 0);
+    ASSERT_TRUE(idealRun.converged);
+    ASSERT_TRUE(mmRun.converged);
+    EXPECT_GE(mmRun.convergeTime, idealRun.convergeTime);
+}
+
+TEST_F(CnnTest, TemplateMismatchCorruptsOutput)
+{
+    // Paper Figure 11 column C: 10% g mismatch yields an incorrect
+    // image (for at least one seed; mismatch is random).
+    Image input = Image::hollowSquare(16, 3, 3);
+    pcnn::CnnSpec spec;
+    spec.width = 16;
+    spec.height = 16;
+    spec.mismatchG = true;
+    int corrupted = 0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        spec.seed = seed;
+        exp::CnnRun run = exp::runCnnEdgeDetect(hwCnn(), spec, input,
+                                                {0.0, 2.0, 4.0});
+        corrupted += run.outputErrors > 0;
+    }
+    EXPECT_GT(corrupted, 0);
+}
+
+TEST_F(CnnTest, NonIdealSaturationStaysCorrect)
+{
+    Image input = Image::filledSquare(12, 3);
+    pcnn::CnnSpec spec;
+    spec.width = 12;
+    spec.height = 12;
+    spec.nonIdealSat = true;
+    exp::CnnRun run = exp::runCnnEdgeDetect(hwCnn(), spec, input,
+                                            {0.0, 1.0, 2.0, 4.0});
+    EXPECT_EQ(run.outputErrors, 0);
+}
+
+TEST_F(CnnTest, AveragingTemplateDiffuses)
+{
+    // A different CNN program on the same fabric: a diffusion
+    // template (A = neighbour average, B = 0 except center, z = 0)
+    // smears a point; the center pixel's neighbours rise.
+    pcnn::CnnSpec spec;
+    spec.width = 7;
+    spec.height = 7;
+    spec.a = {0.05, 0.1, 0.05, 0.1, 1.0, 0.1, 0.05, 0.1, 0.05};
+    spec.b = {0, 0, 0, 0, 1.0, 0, 0, 0, 0};
+    spec.z = 0.0;
+    Image input(7, 7, -1.0);
+    input.at(3, 3) = 1.0;
+    dg::Graph graph = pcnn::buildCnn(cnn(), spec, input.pixels());
+    validator::validateOrThrow(graph, cnn());
+    compiler::OdeSystem system = compiler::compile(graph, cnn());
+    sim::SimResult result = sim::simulate(system, 0.0, 1.0);
+    // Compare same-degree interior cells mid-transient: activity
+    // spreads outward from the bright center pixel, so the adjacent
+    // cell must sit above an equally-interior but distant cell.
+    double center = result.trajectory.sampleAt(
+        system.stateIndex(pcnn::cellName(3, 3), 0), 1.0);
+    double neighbour = result.trajectory.sampleAt(
+        system.stateIndex(pcnn::cellName(3, 4), 0), 1.0);
+    double distant = result.trajectory.sampleAt(
+        system.stateIndex(pcnn::cellName(1, 1), 0), 1.0);
+    EXPECT_GT(center, neighbour);
+    EXPECT_GT(neighbour, distant);
+}
+
+TEST_F(CnnTest, InitFromInputSupported)
+{
+    Image input = Image::filledSquare(8, 2);
+    pcnn::CnnSpec spec;
+    spec.width = 8;
+    spec.height = 8;
+    spec.initFromInput = true;
+    dg::Graph graph = pcnn::buildCnn(cnn(), spec, input.pixels());
+    dg::NodeId inside = *graph.findNode(pcnn::cellName(4, 4));
+    EXPECT_DOUBLE_EQ(graph.initValue(inside, 0).asReal(), 1.0);
+    dg::NodeId border = *graph.findNode(pcnn::cellName(0, 0));
+    EXPECT_DOUBLE_EQ(graph.initValue(border, 0).asReal(), -1.0);
+}
+
+} // namespace

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Tests for the dynamical-system compiler: production-rule rewriting,
+ * reduction aggregation, LowOrdEqs chains for higher-order nodes,
+ * order-0 inlining, off-rules, inheritance fallback, and attribute
+ * substitution with sampled values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compiler/compiler.h"
+#include "lang/func.h"
+#include "lang/registry.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace ark;
+using compiler::OdeSystem;
+using lang::GraphBuilder;
+using support::CompileError;
+
+/** RHS at a given state/time via the tape path. */
+std::vector<double>
+rhsAt(const OdeSystem &system, const std::vector<double> &state, double t)
+{
+    std::vector<double> out(system.size());
+    std::vector<double> scratch;
+    system.evalRhs(state.data(), t, out.data(), scratch);
+    return out;
+}
+
+TEST(CompilerTest, SimpleCoupling)
+{
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang c {
+            ntyp(1,sum) N {attr k=real[-10,10]};
+            etyp E {};
+            prod(e:E,s:N->t:N) t <= s.k*var(s);
+            prod(e:E,s:N->s:N) s <= -var(s);
+        }
+    )");
+    const lang::Language &c = registry.language("c");
+    GraphBuilder builder(c, 0);
+    builder.node("a", "N");
+    builder.node("b", "N");
+    builder.attr("a", "k", 3.0);
+    builder.attr("b", "k", 0.0);
+    builder.edge("ab", "E", "a", "b");
+    builder.edge("aa", "E", "a", "a");
+    builder.init("a", 0, 2.0);
+    builder.init("b", 0, 5.0);
+    dg::Graph graph = builder.take();
+
+    OdeSystem system = compiler::compile(graph, c);
+    ASSERT_EQ(system.size(), 2u);
+    EXPECT_DOUBLE_EQ(system.initialState()[0], 2.0);
+    EXPECT_DOUBLE_EQ(system.initialState()[1], 5.0);
+
+    // da/dt = -a (self); db/dt = k_a * a = 3a.
+    auto rhs = rhsAt(system, {2.0, 5.0}, 0.0);
+    EXPECT_DOUBLE_EQ(rhs[static_cast<std::size_t>(
+                         system.stateIndex("a", 0))], -2.0);
+    EXPECT_DOUBLE_EQ(rhs[static_cast<std::size_t>(
+                         system.stateIndex("b", 0))], 6.0);
+}
+
+TEST(CompilerTest, SourceAndDestinationRulesBothApply)
+{
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang c2 {
+            ntyp(1,sum) N {};
+            etyp E {attr k=real[-10,10]};
+            prod(e:E,s:N->t:N) s <= -e.k*var(t);
+            prod(e:E,s:N->t:N) t <= e.k*var(s);
+        }
+    )");
+    const lang::Language &c2 = registry.language("c2");
+    GraphBuilder builder(c2, 0);
+    builder.node("a", "N");
+    builder.node("b", "N");
+    builder.edge("ab", "E", "a", "b");
+    builder.attr("ab", "k", 2.0);
+    dg::Graph graph = builder.take();
+    OdeSystem system = compiler::compile(graph, c2);
+    auto rhs = rhsAt(system, {3.0, 4.0}, 0.0);
+    EXPECT_DOUBLE_EQ(rhs[0], -8.0); // -k*b
+    EXPECT_DOUBLE_EQ(rhs[1], 6.0);  // +k*a
+}
+
+TEST(CompilerTest, MulReductionAggregates)
+{
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang m {
+            ntyp(1,mul) P {};
+            ntyp(1,sum) Q {};
+            etyp E {};
+            prod(e:E,s:Q->t:P) t <= var(s);
+        }
+    )");
+    const lang::Language &m = registry.language("m");
+    GraphBuilder builder(m, 0);
+    builder.node("p", "P");
+    builder.node("q1", "Q");
+    builder.node("q2", "Q");
+    builder.edge("e1", "E", "q1", "p");
+    builder.edge("e2", "E", "q2", "p");
+    dg::Graph graph = builder.take();
+    OdeSystem system = compiler::compile(graph, m);
+    // dp/dt = q1 * q2 under the mul reduction.
+    auto rhs = rhsAt(system, {0.0, 3.0, 5.0}, 0.0);
+    EXPECT_DOUBLE_EQ(rhs[static_cast<std::size_t>(
+                         system.stateIndex("p", 0))], 15.0);
+    // Empty mul aggregation defaults to 1.
+    auto rhsQ = rhs[static_cast<std::size_t>(system.stateIndex("q1", 0))];
+    EXPECT_DOUBLE_EQ(rhsQ, 0.0); // sum reduction, no terms
+}
+
+TEST(CompilerTest, HigherOrderNodeChainsDerivatives)
+{
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang ho {
+            ntyp(2,sum) X {attr w2=real[0,100], init(0) real[-10,10],
+                           init(1) real[-10,10]};
+            etyp E {};
+            prod(e:E,s:X->s:X) s <= -s.w2*var(s);
+        }
+    )");
+    const lang::Language &ho = registry.language("ho");
+    GraphBuilder builder(ho, 0);
+    builder.node("x", "X");
+    builder.attr("x", "w2", 9.0);
+    builder.edge("self", "E", "x", "x");
+    builder.init("x", 0, 1.0);
+    builder.init("x", 1, 0.0);
+    dg::Graph graph = builder.take();
+    OdeSystem system = compiler::compile(graph, ho);
+    // Two state variables: x and x'.
+    ASSERT_EQ(system.size(), 2u);
+    int x0 = system.stateIndex("x", 0);
+    int x1 = system.stateIndex("x", 1);
+    EXPECT_DOUBLE_EQ(system.initialState()[static_cast<std::size_t>(x0)],
+                     1.0);
+    // LowOrdEqs: dx/dt = x'; dx'/dt = -9x (harmonic oscillator).
+    auto rhs = rhsAt(system, {0.5, 2.0}, 0.0);
+    EXPECT_DOUBLE_EQ(rhs[static_cast<std::size_t>(x0)], 2.0);
+    EXPECT_DOUBLE_EQ(rhs[static_cast<std::size_t>(x1)], -4.5);
+}
+
+TEST(CompilerTest, OrderZeroNodesInline)
+{
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang oz {
+            ntyp(1,sum) V {};
+            ntyp(0,sum) F {};
+            etyp E {attr g=real[-10,10]};
+            prod(e:E,s:V->t:F) t <= sat(var(s));
+            prod(e:E,s:F->t:V) t <= e.g*var(s);
+        }
+    )");
+    const lang::Language &oz = registry.language("oz");
+    GraphBuilder builder(oz, 0);
+    builder.node("v1", "V");
+    builder.node("f", "F");
+    builder.node("v2", "V");
+    builder.edge("in", "E", "v1", "f");
+    builder.attr("in", "g", 0.0);
+    builder.edge("out", "E", "f", "v2");
+    builder.attr("out", "g", 2.0);
+    dg::Graph graph = builder.take();
+    OdeSystem system = compiler::compile(graph, oz);
+    // Only v1 and v2 own state; dv2/dt = 2*sat(v1).
+    ASSERT_EQ(system.size(), 2u);
+    auto rhs = rhsAt(system, {0.25, 0.0}, 0.0);
+    EXPECT_DOUBLE_EQ(rhs[static_cast<std::size_t>(
+                         system.stateIndex("v2", 0))], 0.5);
+    auto rhsSat = rhsAt(system, {5.0, 0.0}, 0.0);
+    EXPECT_DOUBLE_EQ(rhsSat[static_cast<std::size_t>(
+                         system.stateIndex("v2", 0))], 2.0);
+    // var() of an order-0 node is exposed via nodeValueExpr.
+    expr::ExprPtr value = compiler::nodeValueExpr(graph, oz, "f");
+    EXPECT_NE(value->str().find("sat"), std::string::npos);
+}
+
+TEST(CompilerTest, OrderZeroCycleDetected)
+{
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang cyc {
+            ntyp(0,sum) F {};
+            etyp E {};
+            prod(e:E,s:F->t:F) t <= var(s);
+        }
+    )");
+    const lang::Language &cyc = registry.language("cyc");
+    GraphBuilder builder(cyc, 0);
+    builder.node("f1", "F");
+    builder.node("f2", "F");
+    builder.edge("a", "E", "f1", "f2");
+    builder.edge("b", "E", "f2", "f1");
+    dg::Graph graph = builder.take();
+    EXPECT_THROW(compiler::nodeValueExpr(graph, cyc, "f1"),
+                 CompileError);
+}
+
+TEST(CompilerTest, OffRulesModelSwitchLeakage)
+{
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang sw {
+            ntyp(1,sum) N {};
+            etyp E {attr k=real[0,10]};
+            prod(e:E,s:N->t:N) t <= e.k*var(s);
+            prod(e:E,s:N->t:N) t <= 0.01*e.k*var(s) off;
+        }
+    )");
+    const lang::Language &sw = registry.language("sw");
+    auto build = [&](bool enabled) {
+        GraphBuilder builder(sw, 0);
+        builder.node("a", "N");
+        builder.node("b", "N");
+        builder.edge("ab", "E", "a", "b");
+        builder.attr("ab", "k", 2.0);
+        builder.enable("ab", enabled);
+        return builder.take();
+    };
+    OdeSystem on = compiler::compile(build(true), sw);
+    OdeSystem off = compiler::compile(build(false), sw);
+    auto rhsOn = rhsAt(on, {1.0, 0.0}, 0.0);
+    auto rhsOff = rhsAt(off, {1.0, 0.0}, 0.0);
+    EXPECT_DOUBLE_EQ(rhsOn[1], 2.0);
+    EXPECT_DOUBLE_EQ(rhsOff[1], 0.02); // leakage term
+}
+
+TEST(CompilerTest, OffEdgeWithoutOffRuleContributesNothing)
+{
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang sw2 {
+            ntyp(1,sum) N {};
+            etyp E {};
+            prod(e:E,s:N->t:N) t <= var(s);
+        }
+    )");
+    const lang::Language &sw2 = registry.language("sw2");
+    GraphBuilder builder(sw2, 0);
+    builder.node("a", "N");
+    builder.node("b", "N");
+    builder.edge("ab", "E", "a", "b");
+    builder.enable("ab", false);
+    OdeSystem system = compiler::compile(builder.take(), sw2);
+    auto rhs = rhsAt(system, {1.0, 0.0}, 0.0);
+    EXPECT_DOUBLE_EQ(rhs[1], 0.0);
+}
+
+TEST(CompilerTest, InheritanceFallbackUsesSampledAttrs)
+{
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang base2 {
+            ntyp(1,sum) N {};
+            etyp E {attr k=real[0,10]};
+            prod(e:E,s:N->t:N) t <= e.k*var(s);
+        }
+        lang derived2 inherits base2 {
+            etyp Em inherit E {attr k=real[0,10] mm(0,0.5)};
+        }
+    )");
+    const lang::Language &derived = registry.language("derived2");
+    GraphBuilder builder(derived, 11);
+    builder.node("a", "N");
+    builder.node("b", "N");
+    builder.edge("ab", "Em", "a", "b");
+    builder.attr("ab", "k", 2.0);
+    dg::Graph graph = builder.take();
+    double sampled = graph.edgeAttr(*graph.findEdge("ab"), "k").asReal();
+    ASSERT_NE(sampled, 2.0);
+    // The base rule applies to the derived edge with the SAMPLED k.
+    OdeSystem system = compiler::compile(graph, derived);
+    auto rhs = rhsAt(system, {1.0, 0.0}, 0.0);
+    EXPECT_DOUBLE_EQ(rhs[1], sampled);
+}
+
+TEST(CompilerTest, TimeVaryingInputsViaLambdaAttrs)
+{
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang tv {
+            ntyp(1,sum) N {};
+            ntyp(0,sum) Src {attr fn=lambd(a0)};
+            etyp E {};
+            prod(e:E,s:Src->t:N) t <= s.fn(time);
+        }
+    )");
+    const lang::Language &tv = registry.language("tv");
+    GraphBuilder builder(tv, 0);
+    builder.node("src", "Src");
+    builder.node("n", "N");
+    expr::Lambda ramp{{"a0"},
+                      expr::Expr::binary(expr::BinOp::Mul,
+                                         expr::Expr::var("a0"),
+                                         expr::Expr::real(3.0))};
+    builder.attr("src", "fn", expr::Value::function(ramp));
+    builder.edge("e", "E", "src", "n");
+    OdeSystem system = compiler::compile(builder.take(), tv);
+    auto rhs = rhsAt(system, {0.0}, 2.0);
+    EXPECT_DOUBLE_EQ(rhs[0], 6.0); // fn(t) = 3t at t=2
+}
+
+TEST(CompilerTest, EquationsPrinting)
+{
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang pr { ntyp(1,sum) N {}; etyp E {};
+                  prod(e:E,s:N->s:N) s <= -var(s); }
+    )");
+    const lang::Language &pr = registry.language("pr");
+    GraphBuilder builder(pr, 0);
+    builder.node("a", "N");
+    builder.edge("self", "E", "a", "a");
+    OdeSystem system = compiler::compile(builder.take(), pr);
+    std::string eqs = system.equationsStr();
+    EXPECT_NE(eqs.find("d a/dt"), std::string::npos);
+    EXPECT_THROW(system.stateIndex("nope", 0), CompileError);
+}
+
+TEST(CompilerTest, InterpretedAndTapedRhsAgree)
+{
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang agree {
+            ntyp(1,sum) O {};
+            etyp C {attr k=real[-8,8]};
+            prod(e:C,s:O->t:O) s <= -1.6e9*e.k*sin(var(s)-var(t));
+            prod(e:C,s:O->t:O) t <= -1.6e9*e.k*sin(-var(s)+var(t));
+            prod(e:C,s:O->s:O) s <= -1e9*sin(2*var(s));
+        }
+    )");
+    const lang::Language &agree = registry.language("agree");
+    GraphBuilder builder(agree, 0);
+    for (int i = 0; i < 3; ++i) {
+        builder.node("o" + std::to_string(i), "O");
+        builder.edge("s" + std::to_string(i), "C",
+                     "o" + std::to_string(i), "o" + std::to_string(i));
+        builder.attr("s" + std::to_string(i), "k", 1.0);
+    }
+    builder.edge("c01", "C", "o0", "o1");
+    builder.attr("c01", "k", -1.0);
+    builder.edge("c12", "C", "o1", "o2");
+    builder.attr("c12", "k", -1.0);
+    OdeSystem system = compiler::compile(builder.take(), agree);
+
+    std::vector<double> state{0.3, 1.1, 2.9};
+    std::vector<double> viaTape(3), viaTree(3);
+    std::vector<double> scratch;
+    system.evalRhs(state.data(), 0.0, viaTape.data(), scratch);
+    system.evalRhsInterpreted(state.data(), 0.0, viaTree.data());
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(viaTape[i], viaTree[i],
+                    1e-6 * std::fabs(viaTree[i]) + 1e-9);
+}
+
+} // namespace

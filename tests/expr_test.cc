@@ -1,0 +1,518 @@
+/**
+ * @file
+ * Unit tests for the expression library: AST construction, printing,
+ * rewriting, evaluation, static typing, and constant folding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/builtins.h"
+#include "expr/eval.h"
+#include "expr/expr.h"
+#include "expr/fold.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace ark;
+using expr::BinOp;
+using expr::EvalContext;
+using expr::Expr;
+using expr::ExprKind;
+using expr::ExprPtr;
+using expr::StaticType;
+using expr::UnOp;
+using expr::Value;
+using support::TypeError;
+
+// --- values ------------------------------------------------------------
+
+TEST(ValueTest, KindsAndAccessors)
+{
+    EXPECT_DOUBLE_EQ(Value::real(2.5).asReal(), 2.5);
+    EXPECT_EQ(Value::integer(7).asInt(), 7);
+    EXPECT_DOUBLE_EQ(Value::integer(7).asReal(), 7.0); // widening
+    EXPECT_TRUE(Value::boolean(true).asBool());
+    EXPECT_THROW(Value::real(1).asInt(), TypeError);
+    EXPECT_THROW(Value::real(1).asBool(), TypeError);
+    EXPECT_THROW(Value::boolean(true).asReal(), TypeError);
+}
+
+TEST(ValueTest, LambdaValue)
+{
+    expr::Lambda fn{{"t"}, Expr::var("t")};
+    Value v = Value::function(fn);
+    EXPECT_TRUE(v.isFunction());
+    EXPECT_EQ(v.asFunction().params.size(), 1u);
+    EXPECT_NE(v.str().find("lambd(t)"), std::string::npos);
+}
+
+TEST(ValueTest, Equality)
+{
+    EXPECT_EQ(Value::real(1.0), Value::real(1.0));
+    EXPECT_FALSE(Value::real(1.0) == Value::integer(1));
+    EXPECT_EQ(Value::boolean(false), Value::boolean(false));
+}
+
+// --- AST ---------------------------------------------------------------
+
+TEST(ExprTest, FactoryAndAccessors)
+{
+    ExprPtr e = Expr::binary(BinOp::Add, Expr::real(1), Expr::var("x"));
+    EXPECT_EQ(e->kind(), ExprKind::Binary);
+    EXPECT_EQ(e->binOp(), BinOp::Add);
+    EXPECT_EQ(e->lhs()->literalValue().asReal(), 1.0);
+    EXPECT_EQ(e->rhs()->varName(), "x");
+}
+
+TEST(ExprTest, Printing)
+{
+    ExprPtr e = Expr::binary(
+        BinOp::Mul, Expr::unary(UnOp::Neg, Expr::attr("e", "k")),
+        Expr::call("sin", {Expr::binary(BinOp::Sub, Expr::nodeVar("s"),
+                                        Expr::nodeVar("t"))}));
+    EXPECT_EQ(e->str(), "((-e.k) * sin((var(s) - var(t))))");
+}
+
+TEST(ExprTest, StructuralEquality)
+{
+    ExprPtr a = Expr::binary(BinOp::Add, Expr::real(1), Expr::time());
+    ExprPtr b = Expr::binary(BinOp::Add, Expr::real(1), Expr::time());
+    ExprPtr c = Expr::binary(BinOp::Sub, Expr::real(1), Expr::time());
+    EXPECT_TRUE(a->equals(*b));
+    EXPECT_FALSE(a->equals(*c));
+}
+
+TEST(ExprTest, FreeVarsAndNodeVars)
+{
+    ExprPtr e = Expr::binary(
+        BinOp::Add,
+        Expr::binary(BinOp::Mul, Expr::var("a"), Expr::nodeVar("s")),
+        Expr::binary(BinOp::Mul, Expr::var("b"), Expr::var("a")));
+    auto vars = e->freeVars();
+    EXPECT_EQ(vars.size(), 2u);
+    auto nodes = e->nodeVars();
+    ASSERT_EQ(nodes.size(), 1u);
+    EXPECT_EQ(nodes[0], "s");
+}
+
+TEST(ExprTest, SubstituteVars)
+{
+    ExprPtr e = Expr::binary(BinOp::Add, Expr::var("x"), Expr::var("y"));
+    ExprPtr out = expr::substituteVars(e, [](const std::string &name) {
+        return name == "x" ? Expr::real(3) : nullptr;
+    });
+    EXPECT_EQ(out->str(), "(3 + y)");
+}
+
+TEST(ExprTest, SubstituteNodeVarsAndAttrs)
+{
+    ExprPtr e = Expr::binary(BinOp::Div, Expr::nodeVar("s"),
+                             Expr::attr("s", "c"));
+    ExprPtr out = expr::substituteNodeVars(
+        e, [](const std::string &) { return Expr::stateVar(4); });
+    out = expr::substituteAttrs(
+        out, [](const std::string &, const std::string &) {
+            return Expr::real(1e-9);
+        });
+    EXPECT_EQ(out->str(), "(q[4] / 1e-09)");
+}
+
+TEST(ExprTest, RenameBindings)
+{
+    ExprPtr e = Expr::binary(BinOp::Mul, Expr::attr("s", "g"),
+                             Expr::nodeVar("s"));
+    ExprPtr out = expr::renameBindings(e, [](const std::string &name) {
+        return name == "s" ? "V_3" : name;
+    });
+    EXPECT_EQ(out->str(), "(V_3.g * var(V_3))");
+}
+
+TEST(ExprTest, ApplyLambda)
+{
+    expr::Lambda fn{{"a", "b"},
+                    Expr::binary(BinOp::Sub, Expr::var("a"),
+                                 Expr::var("b"))};
+    ExprPtr out = expr::applyLambda(fn, {Expr::real(5), Expr::real(2)});
+    EvalContext ctx;
+    EXPECT_DOUBLE_EQ(expr::evalReal(out, ctx), 3.0);
+    EXPECT_THROW(expr::applyLambda(fn, {Expr::real(1)}), TypeError);
+}
+
+TEST(ExprTest, SharedSubtreesPreservedWhenUnchanged)
+{
+    ExprPtr inner = Expr::binary(BinOp::Add, Expr::real(1),
+                                 Expr::real(2));
+    ExprPtr e = Expr::binary(BinOp::Mul, inner, Expr::var("x"));
+    ExprPtr out = expr::substituteVars(
+        e, [](const std::string &) -> ExprPtr { return nullptr; });
+    EXPECT_EQ(out.get(), e.get()); // no change -> same tree
+}
+
+// --- builtins ----------------------------------------------------------
+
+TEST(BuiltinTest, Lookup)
+{
+    ASSERT_NE(expr::findBuiltin("sin"), nullptr);
+    EXPECT_EQ(expr::findBuiltin("sin")->arity, 1);
+    EXPECT_EQ(expr::findBuiltin("pulse")->arity, 3);
+    EXPECT_EQ(expr::findBuiltin("nope"), nullptr);
+    EXPECT_GE(expr::allBuiltins().size(), 14u);
+}
+
+TEST(BuiltinTest, SatIsPiecewiseLinear)
+{
+    EXPECT_DOUBLE_EQ(expr::satFn(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(expr::satFn(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(expr::satFn(-2.0), -1.0);
+    EXPECT_DOUBLE_EQ(expr::satFn(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(expr::satFn(0.0), 0.0);
+}
+
+TEST(BuiltinTest, SatNiIsSmoothAndSteeper)
+{
+    EXPECT_NEAR(expr::satNiFn(1.0), 1.0, 1e-12);
+    EXPECT_NEAR(expr::satNiFn(-1.0), -1.0, 1e-12);
+    EXPECT_EQ(expr::satNiFn(0.0), 0.0);
+    // Steeper small-signal slope than sat (the paper's orange curve).
+    double slope = (expr::satNiFn(0.01) - expr::satNiFn(-0.01)) / 0.02;
+    EXPECT_GT(slope, 1.1);
+    // Smooth: no corner at the knee.
+    double left = expr::satNiFn(0.999);
+    double right = expr::satNiFn(1.001);
+    EXPECT_NEAR(left, right, 1e-3);
+}
+
+TEST(BuiltinTest, PulseShape)
+{
+    // Trapezoid over [0, 2e-8], 5% ramps.
+    EXPECT_EQ(expr::pulseFn(-1e-9, 0, 2e-8), 0.0);
+    EXPECT_EQ(expr::pulseFn(3e-8, 0, 2e-8), 0.0);
+    EXPECT_DOUBLE_EQ(expr::pulseFn(1e-8, 0, 2e-8), 1.0);
+    EXPECT_NEAR(expr::pulseFn(0.5e-9, 0, 2e-8), 0.5, 1e-9);
+    EXPECT_EQ(expr::pulseFn(1.0, 0, 0.0), 0.0); // degenerate width
+}
+
+TEST(BuiltinTest, ScalarMath)
+{
+    double arg2[2] = {3.0, 4.0};
+    EXPECT_DOUBLE_EQ(expr::evalBuiltin(expr::Builtin::Min, arg2, 2), 3.0);
+    EXPECT_DOUBLE_EQ(expr::evalBuiltin(expr::Builtin::Max, arg2, 2), 4.0);
+    EXPECT_DOUBLE_EQ(expr::evalBuiltin(expr::Builtin::Pow, arg2, 2),
+                     81.0);
+    double neg = -2.5;
+    EXPECT_DOUBLE_EQ(expr::evalBuiltin(expr::Builtin::Abs, &neg, 1), 2.5);
+    EXPECT_DOUBLE_EQ(expr::evalBuiltin(expr::Builtin::Sgn, &neg, 1),
+                     -1.0);
+}
+
+// --- evaluation --------------------------------------------------------
+
+TEST(EvalTest, Arithmetic)
+{
+    EvalContext ctx;
+    EXPECT_DOUBLE_EQ(
+        expr::evalReal(Expr::binary(BinOp::Add, Expr::real(2),
+                                    Expr::real(3)), ctx), 5.0);
+    EXPECT_DOUBLE_EQ(
+        expr::evalReal(Expr::binary(BinOp::Pow, Expr::real(2),
+                                    Expr::real(10)), ctx), 1024.0);
+    // Int arithmetic stays integral except division.
+    Value v = expr::eval(Expr::binary(BinOp::Mul, Expr::integer(3),
+                                      Expr::integer(4)), ctx);
+    EXPECT_TRUE(v.isInt());
+    EXPECT_EQ(v.asInt(), 12);
+    Value d = expr::eval(Expr::binary(BinOp::Div, Expr::integer(3),
+                                      Expr::integer(2)), ctx);
+    EXPECT_TRUE(d.isReal());
+    EXPECT_DOUBLE_EQ(d.asReal(), 1.5);
+}
+
+TEST(EvalTest, ComparisonAndLogic)
+{
+    EvalContext ctx;
+    EXPECT_TRUE(expr::evalBool(Expr::binary(BinOp::Lt, Expr::real(1),
+                                            Expr::real(2)), ctx));
+    EXPECT_FALSE(expr::evalBool(
+        Expr::binary(BinOp::And, Expr::boolean(true),
+                     Expr::boolean(false)), ctx));
+    EXPECT_TRUE(expr::evalBool(
+        Expr::unary(UnOp::Not, Expr::boolean(false)), ctx));
+    EXPECT_TRUE(expr::evalBool(
+        Expr::binary(BinOp::Or, Expr::boolean(false),
+                     Expr::boolean(true)), ctx));
+}
+
+TEST(EvalTest, TimeAndVariables)
+{
+    EvalContext ctx;
+    ctx.time = 2.5;
+    ctx.lookupVar = [](const std::string &name)
+        -> std::optional<Value> {
+        if (name == "x")
+            return Value::real(4.0);
+        return std::nullopt;
+    };
+    ExprPtr e = Expr::binary(BinOp::Mul, Expr::time(), Expr::var("x"));
+    EXPECT_DOUBLE_EQ(expr::evalReal(e, ctx), 10.0);
+    EXPECT_THROW(expr::evalReal(Expr::var("missing"), ctx), TypeError);
+}
+
+TEST(EvalTest, AttrAndNodeVar)
+{
+    EvalContext ctx;
+    ctx.lookupAttr = [](const std::string &base, const std::string &attr)
+        -> std::optional<Value> {
+        if (base == "s" && attr == "c")
+            return Value::real(2.0);
+        return std::nullopt;
+    };
+    ctx.lookupNodeVar = [](const std::string &node)
+        -> std::optional<double> {
+        return node == "s" ? std::optional<double>(6.0) : std::nullopt;
+    };
+    ExprPtr e = Expr::binary(BinOp::Div, Expr::nodeVar("s"),
+                             Expr::attr("s", "c"));
+    EXPECT_DOUBLE_EQ(expr::evalReal(e, ctx), 3.0);
+}
+
+TEST(EvalTest, IfThenElse)
+{
+    EvalContext ctx;
+    ExprPtr e = Expr::ifThenElse(
+        Expr::binary(BinOp::Gt, Expr::time(), Expr::real(1.0)),
+        Expr::real(10), Expr::real(20));
+    ctx.time = 0.5;
+    EXPECT_DOUBLE_EQ(expr::evalReal(e, ctx), 20.0);
+    ctx.time = 1.5;
+    EXPECT_DOUBLE_EQ(expr::evalReal(e, ctx), 10.0);
+}
+
+TEST(EvalTest, LambdaCallThroughVariable)
+{
+    EvalContext ctx;
+    expr::Lambda fn{{"t"},
+                    Expr::binary(BinOp::Mul, Expr::var("t"),
+                                 Expr::real(2))};
+    ctx.lookupVar = [&fn](const std::string &name)
+        -> std::optional<Value> {
+        if (name == "f")
+            return Value::function(fn);
+        return std::nullopt;
+    };
+    ExprPtr call = Expr::call("f", {Expr::real(21)});
+    EXPECT_DOUBLE_EQ(expr::evalReal(call, ctx), 42.0);
+}
+
+TEST(EvalTest, LambdaCallThroughAttr)
+{
+    EvalContext ctx;
+    expr::Lambda fn{{"a0"}, Expr::call("sin", {Expr::var("a0")})};
+    ctx.lookupAttr = [&fn](const std::string &, const std::string &)
+        -> std::optional<Value> { return Value::function(fn); };
+    ctx.time = 0.0;
+    ExprPtr call = Expr::callExpr(Expr::attr("s", "fn"), {Expr::time()});
+    EXPECT_DOUBLE_EQ(expr::evalReal(call, ctx), 0.0);
+}
+
+TEST(EvalTest, BuiltinArityChecked)
+{
+    EvalContext ctx;
+    EXPECT_THROW(
+        expr::evalReal(Expr::call("sin", {Expr::real(1), Expr::real(2)}),
+                       ctx),
+        TypeError);
+    EXPECT_THROW(expr::evalReal(Expr::call("unknown_fn", {}), ctx),
+                 TypeError);
+}
+
+// --- static typing -----------------------------------------------------
+
+expr::TypeScope
+emptyScope()
+{
+    return expr::TypeScope{};
+}
+
+TEST(TypeCheckTest, LiteralTypes)
+{
+    auto scope = emptyScope();
+    EXPECT_EQ(expr::checkType(Expr::real(1), scope), StaticType::Real);
+    EXPECT_EQ(expr::checkType(Expr::integer(1), scope), StaticType::Int);
+    EXPECT_EQ(expr::checkType(Expr::boolean(true), scope),
+              StaticType::Bool);
+    EXPECT_EQ(expr::checkType(Expr::time(), scope), StaticType::Real);
+}
+
+TEST(TypeCheckTest, ArithmeticPromotion)
+{
+    auto scope = emptyScope();
+    EXPECT_EQ(expr::checkType(Expr::binary(BinOp::Add, Expr::integer(1),
+                                           Expr::integer(2)), scope),
+              StaticType::Int);
+    EXPECT_EQ(expr::checkType(Expr::binary(BinOp::Add, Expr::integer(1),
+                                           Expr::real(2)), scope),
+              StaticType::Real);
+    EXPECT_EQ(expr::checkType(Expr::binary(BinOp::Div, Expr::integer(1),
+                                           Expr::integer(2)), scope),
+              StaticType::Real);
+}
+
+TEST(TypeCheckTest, RejectsBadOperands)
+{
+    auto scope = emptyScope();
+    EXPECT_THROW(expr::checkType(
+                     Expr::binary(BinOp::Add, Expr::boolean(true),
+                                  Expr::real(1)), scope),
+                 TypeError);
+    EXPECT_THROW(expr::checkType(
+                     Expr::binary(BinOp::And, Expr::real(1),
+                                  Expr::boolean(true)), scope),
+                 TypeError);
+    EXPECT_THROW(expr::checkType(
+                     Expr::unary(UnOp::Not, Expr::real(1)), scope),
+                 TypeError);
+    EXPECT_THROW(expr::checkType(
+                     Expr::ifThenElse(Expr::real(1), Expr::real(1),
+                                      Expr::real(2)), scope),
+                 TypeError);
+}
+
+TEST(TypeCheckTest, IfBranchUnification)
+{
+    auto scope = emptyScope();
+    EXPECT_EQ(expr::checkType(
+                  Expr::ifThenElse(Expr::boolean(true), Expr::integer(1),
+                                   Expr::real(2.0)), scope),
+              StaticType::Real);
+    EXPECT_THROW(expr::checkType(
+                     Expr::ifThenElse(Expr::boolean(true),
+                                      Expr::boolean(true),
+                                      Expr::real(2.0)), scope),
+                 TypeError);
+}
+
+TEST(TypeCheckTest, ScopedVariablesAndAttrs)
+{
+    expr::TypeScope scope;
+    scope.varType = [](const std::string &name)
+        -> std::optional<StaticType> {
+        if (name == "br")
+            return StaticType::Int;
+        return std::nullopt;
+    };
+    scope.attrType = [](const std::string &base, const std::string &attr)
+        -> std::optional<StaticType> {
+        if (base == "s" && attr == "c")
+            return StaticType::Real;
+        return std::nullopt;
+    };
+    EXPECT_EQ(expr::checkType(Expr::var("br"), scope), StaticType::Int);
+    EXPECT_EQ(expr::checkType(Expr::attr("s", "c"), scope),
+              StaticType::Real);
+    EXPECT_THROW(expr::checkType(Expr::var("zz"), scope), TypeError);
+    EXPECT_THROW(expr::checkType(Expr::attr("s", "zz"), scope),
+                 TypeError);
+}
+
+TEST(TypeCheckTest, NodeVarScope)
+{
+    expr::TypeScope scope;
+    scope.nodeVarOk = [](const std::string &name) { return name == "s"; };
+    EXPECT_EQ(expr::checkType(Expr::nodeVar("s"), scope),
+              StaticType::Real);
+    EXPECT_THROW(expr::checkType(Expr::nodeVar("t"), scope), TypeError);
+}
+
+TEST(TypeCheckTest, LambdaArity)
+{
+    expr::TypeScope scope;
+    scope.lambdaArity = [](const std::string &base, const std::string &)
+        -> std::optional<int> {
+        return base == "s" ? std::optional<int>(1) : std::nullopt;
+    };
+    ExprPtr good = Expr::callExpr(Expr::attr("s", "fn"), {Expr::time()});
+    EXPECT_EQ(expr::checkType(good, scope), StaticType::Real);
+    ExprPtr bad = Expr::callExpr(Expr::attr("s", "fn"),
+                                 {Expr::time(), Expr::real(1)});
+    EXPECT_THROW(expr::checkType(bad, scope), TypeError);
+}
+
+// --- folding -----------------------------------------------------------
+
+TEST(FoldTest, ConstantFolding)
+{
+    ExprPtr e = Expr::binary(
+        BinOp::Add, Expr::binary(BinOp::Mul, Expr::real(2),
+                                 Expr::real(3)),
+        Expr::call("sin", {Expr::real(0)}));
+    EXPECT_EQ(expr::fold(e)->str(), "6");
+}
+
+TEST(FoldTest, AlgebraicIdentities)
+{
+    ExprPtr x = Expr::var("x");
+    EXPECT_EQ(expr::fold(Expr::binary(BinOp::Add, x, Expr::real(0)))
+                  ->str(), "x");
+    EXPECT_EQ(expr::fold(Expr::binary(BinOp::Mul, Expr::real(1), x))
+                  ->str(), "x");
+    EXPECT_EQ(expr::fold(Expr::binary(BinOp::Mul, Expr::real(0), x))
+                  ->str(), "0");
+    EXPECT_EQ(expr::fold(Expr::binary(BinOp::Sub, x, Expr::real(0)))
+                  ->str(), "x");
+    EXPECT_EQ(expr::fold(Expr::binary(BinOp::Div, x, Expr::real(1)))
+                  ->str(), "x");
+    EXPECT_EQ(expr::fold(Expr::binary(BinOp::Pow, x, Expr::real(1)))
+                  ->str(), "x");
+    EXPECT_EQ(expr::fold(Expr::unary(UnOp::Neg,
+                                     Expr::unary(UnOp::Neg, x)))
+                  ->str(), "x");
+}
+
+TEST(FoldTest, NegOneMultiplication)
+{
+    ExprPtr x = Expr::var("x");
+    EXPECT_EQ(expr::fold(Expr::binary(BinOp::Mul, Expr::real(-1), x))
+                  ->str(), "(-x)");
+}
+
+TEST(FoldTest, ShortCircuitLogic)
+{
+    ExprPtr b = Expr::var("b"); // untyped but unused
+    ExprPtr e = Expr::binary(BinOp::And, Expr::boolean(false), b);
+    EXPECT_EQ(expr::fold(e)->str(), "false");
+    e = Expr::binary(BinOp::Or, Expr::boolean(true), b);
+    EXPECT_EQ(expr::fold(e)->str(), "true");
+    e = Expr::binary(BinOp::And, Expr::boolean(true), b);
+    EXPECT_EQ(expr::fold(e)->str(), "b");
+}
+
+TEST(FoldTest, IfWithConstantCondition)
+{
+    ExprPtr e = Expr::ifThenElse(Expr::boolean(true), Expr::var("a"),
+                                 Expr::var("b"));
+    EXPECT_EQ(expr::fold(e)->str(), "a");
+}
+
+TEST(FoldTest, Idempotent)
+{
+    ExprPtr e = Expr::binary(
+        BinOp::Mul, Expr::binary(BinOp::Add, Expr::var("x"),
+                                 Expr::real(0)),
+        Expr::real(1));
+    ExprPtr once = expr::fold(e);
+    ExprPtr twice = expr::fold(once);
+    EXPECT_TRUE(once->equals(*twice));
+}
+
+TEST(FoldTest, DoesNotFoldUnknownCalls)
+{
+    // Unknown function names must keep failing at eval time, not be
+    // folded away.
+    ExprPtr e = Expr::call("mystery", {Expr::real(1)});
+    EXPECT_EQ(expr::fold(e)->kind(), ExprKind::Call);
+}
+
+} // namespace

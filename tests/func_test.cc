@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for Ark function checking and execution: static checks, graph
+ * construction semantics, switches, mismatch seeding, dotted args,
+ * and the GraphBuilder C++ path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lang/func.h"
+#include "lang/parser.h"
+#include "lang/registry.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace ark;
+using namespace ark::lang;
+using expr::Value;
+using support::SemaError;
+using support::TypeError;
+
+constexpr const char *kLang = R"(
+    lang l {
+        ntyp(1,sum) V {attr c=real[0,10], attr fixed=real[0,1] const};
+        ntyp(0,sum) Inp {attr fn=lambd(a0)};
+        etyp E {attr k=real[-8,8] mm(0,0.1)};
+        etyp F fixed {};
+        prod(e:E,s:V->t:V) t <= e.k*var(s);
+    }
+)";
+
+class FuncTest : public ::testing::Test
+{
+  protected:
+    FuncTest() { registry_.addProgram(kLang); }
+
+    const Language &language() { return registry_.language("l"); }
+
+    LanguageRegistry registry_;
+};
+
+TEST_F(FuncTest, BasicExecution)
+{
+    registry_.addProgram(R"(
+        func f (cap:real[0,10]) uses l {
+            node a : V; node b : V;
+            edge <a,b> e0 : E;
+            set-attr a.c = cap; set-attr b.c = 2.0;
+            set-attr a.fixed = 0.5; set-attr b.fixed = 0.5;
+            set-attr e0.k = 1.0;
+        }
+    )");
+    dg::Graph graph = registry_.invoke("f", {Value::real(3.0)});
+    EXPECT_EQ(graph.numNodes(), 2u);
+    EXPECT_EQ(graph.numEdges(), 1u);
+    EXPECT_DOUBLE_EQ(
+        graph.nodeAttr(*graph.findNode("a"), "c").asReal(), 3.0);
+}
+
+TEST_F(FuncTest, ArgumentTypeAndArityChecked)
+{
+    registry_.addProgram(R"(
+        func g (cap:real[0,10]) uses l {
+            node a : V; set-attr a.c = cap; set-attr a.fixed = 0.1;
+        }
+    )");
+    EXPECT_THROW(registry_.invoke("g", {}), TypeError);
+    EXPECT_THROW(registry_.invoke("g", {Value::real(99.0)}), TypeError);
+    EXPECT_THROW(registry_.invoke("g", {Value::boolean(true)}),
+                 TypeError);
+    EXPECT_NO_THROW(registry_.invoke("g", {Value::integer(4)}));
+}
+
+TEST_F(FuncTest, SwitchEvaluation)
+{
+    registry_.addProgram(R"(
+        func s (br:int[0,1]) uses l {
+            node a : V; node b : V;
+            edge <a,b> e0 : E;
+            set-attr a.c = 1.0; set-attr b.c = 1.0;
+            set-attr a.fixed = 0.0; set-attr b.fixed = 0.0;
+            set-attr e0.k = 1.0;
+            set-switch e0 when br;
+        }
+    )");
+    dg::Graph on = registry_.invoke("s", {Value::integer(1)});
+    dg::Graph off = registry_.invoke("s", {Value::integer(0)});
+    EXPECT_TRUE(on.edge(*on.findEdge("e0")).enabled);
+    EXPECT_FALSE(off.edge(*off.findEdge("e0")).enabled);
+}
+
+TEST_F(FuncTest, SwitchConditionCanBeBooleanExpr)
+{
+    registry_.addProgram(R"(
+        func sb (n:int[0,5]) uses l {
+            node a : V; node b : V;
+            edge <a,b> e0 : E;
+            set-attr a.c = 1.0; set-attr b.c = 1.0;
+            set-attr a.fixed = 0.0; set-attr b.fixed = 0.0;
+            set-attr e0.k = 1.0;
+            set-switch e0 when n > 2 and n < 5;
+        }
+    )");
+    EXPECT_TRUE(registry_.invoke("sb", {Value::integer(3)})
+                    .edge(dg::EdgeId{0}).enabled);
+    EXPECT_FALSE(registry_.invoke("sb", {Value::integer(5)})
+                     .edge(dg::EdgeId{0}).enabled);
+}
+
+TEST_F(FuncTest, StaticChecksRejectBadBodies)
+{
+    // Unknown node type.
+    EXPECT_THROW(registry_.addProgram(
+                     "func b1 () uses l { node a : Zz; }"),
+                 SemaError);
+    // Edge endpoint never declared.
+    EXPECT_THROW(registry_.addProgram(
+                     "func b2 () uses l { node a : V; "
+                     "edge <a,zz> e0 : E; }"),
+                 SemaError);
+    // set-attr on an undefined element.
+    EXPECT_THROW(registry_.addProgram(
+                     "func b3 () uses l { set-attr a.c = 1.0; }"),
+                 SemaError);
+    // Unknown attribute.
+    EXPECT_THROW(registry_.addProgram(
+                     "func b4 () uses l { node a : V; "
+                     "set-attr a.zz = 1.0; }"),
+                 SemaError);
+    // Duplicate element names.
+    EXPECT_THROW(registry_.addProgram(
+                     "func b5 () uses l { node a : V; node a : V; }"),
+                 SemaError);
+    // Value expression referencing an unknown argument.
+    EXPECT_THROW(registry_.addProgram(
+                     "func b6 () uses l { node a : V; "
+                     "set-attr a.c = ghost; }"),
+                 SemaError);
+    // Lambda assigned to a real attribute.
+    EXPECT_THROW(registry_.addProgram(
+                     "func b7 () uses l { node a : V; "
+                     "set-attr a.c = lambd(t): t; }"),
+                 SemaError);
+}
+
+TEST_F(FuncTest, ConstAttrCannotComeFromArgs)
+{
+    // Paper §4.3: const attributes must not be programmed by function
+    // arguments.
+    EXPECT_THROW(registry_.addProgram(R"(
+        func c1 (x:real[0,1]) uses l {
+            node a : V; set-attr a.fixed = x;
+        }
+    )"),
+                 SemaError);
+    // Constant expressions are fine.
+    EXPECT_NO_THROW(registry_.addProgram(R"(
+        func c2 () uses l {
+            node a : V; set-attr a.c = 1.0; set-attr a.fixed = 0.25;
+        }
+    )"));
+}
+
+TEST_F(FuncTest, FixedEdgesCannotBeSwitched)
+{
+    EXPECT_THROW(registry_.addProgram(R"(
+        func d1 (br:int[0,1]) uses l {
+            node a : V; node b : V;
+            edge <a,b> e0 : F;
+            set-switch e0 when br;
+        }
+    )"),
+                 SemaError);
+}
+
+TEST_F(FuncTest, IncompleteGraphRejectedAtInvoke)
+{
+    registry_.addProgram(R"(
+        func inc () uses l { node a : V; }
+    )");
+    EXPECT_THROW(registry_.invoke("inc", {}), SemaError);
+}
+
+TEST_F(FuncTest, MismatchSeedingIsDeterministic)
+{
+    registry_.addProgram(R"(
+        func m () uses l {
+            node a : V; node b : V;
+            edge <a,b> e0 : E;
+            set-attr a.c = 1.0; set-attr b.c = 1.0;
+            set-attr a.fixed = 0.0; set-attr b.fixed = 0.0;
+            set-attr e0.k = 1.0;
+        }
+    )");
+    auto kOf = [&](std::uint64_t seed) {
+        dg::Graph graph = registry_.invoke("m", {}, seed);
+        return graph.edgeAttr(*graph.findEdge("e0"), "k").asReal();
+    };
+    EXPECT_EQ(kOf(5), kOf(5));      // same seed, same device
+    EXPECT_NE(kOf(5), kOf(6));      // different fabricated instance
+    EXPECT_NE(kOf(5), 1.0);         // mismatch applied
+}
+
+TEST_F(FuncTest, DottedArgumentProgramsAttr)
+{
+    registry_.addProgram(R"(
+        func dot (a.c:real[0,10]) uses l {
+            node a : V; set-attr a.fixed = 0.0;
+        }
+    )");
+    dg::Graph graph = registry_.invoke("dot", {Value::real(7.5)});
+    EXPECT_DOUBLE_EQ(
+        graph.nodeAttr(*graph.findNode("a"), "c").asReal(), 7.5);
+}
+
+TEST_F(FuncTest, DottedArgumentChecks)
+{
+    // Node never declared.
+    EXPECT_THROW(registry_.addProgram(
+                     "func e1 (zz.c:real[0,1]) uses l { node a : V; }"),
+                 SemaError);
+    // Const attribute cannot be argument-programmed.
+    EXPECT_THROW(registry_.addProgram(
+                     "func e2 (a.fixed:real[0,1]) uses l "
+                     "{ node a : V; }"),
+                 SemaError);
+}
+
+TEST_F(FuncTest, LambdaArgumentsFlowThrough)
+{
+    registry_.addProgram(R"(
+        func lam (wave:lambd(t)) uses l {
+            node i0 : Inp; set-attr i0.fn = wave;
+        }
+    )");
+    expr::Lambda fn{{"t"}, expr::Expr::var("t")};
+    dg::Graph graph = registry_.invoke("lam", {Value::function(fn)});
+    EXPECT_TRUE(graph.nodeAttr(*graph.findNode("i0"), "fn")
+                    .isFunction());
+    // Wrong arity rejected by the datatype check.
+    expr::Lambda fn2{{"a", "b"}, expr::Expr::var("a")};
+    EXPECT_THROW(registry_.invoke("lam", {Value::function(fn2)}),
+                 TypeError);
+}
+
+// --- GraphBuilder ------------------------------------------------------------
+
+TEST_F(FuncTest, GraphBuilderMirrorsExecutor)
+{
+    GraphBuilder builder(language(), 5);
+    builder.node("a", "V");
+    builder.node("b", "V");
+    builder.edge("e0", "E", "a", "b");
+    builder.attr("a", "c", 1.0);
+    builder.attr("b", "c", 1.0);
+    builder.attr("a", "fixed", 0.0);
+    builder.attr("b", "fixed", 0.0);
+    builder.attr("e0", "k", 1.0);
+    dg::Graph graph = builder.take();
+    EXPECT_EQ(graph.numNodes(), 2u);
+    // Mismatch sampled through the same path as the executor.
+    EXPECT_NE(graph.edgeAttr(*graph.findEdge("e0"), "k").asReal(), 1.0);
+}
+
+TEST_F(FuncTest, GraphBuilderErrors)
+{
+    GraphBuilder builder(language(), 0);
+    builder.node("a", "V");
+    EXPECT_THROW(builder.edge("e0", "E", "a", "nope"), SemaError);
+    EXPECT_THROW(builder.attr("ghost", "c", 1.0), SemaError);
+    EXPECT_THROW(builder.enable("ghost", false), SemaError);
+    EXPECT_THROW(builder.take(), SemaError); // incomplete attrs
+}
+
+} // namespace

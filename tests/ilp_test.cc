@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests for the 0/1 ILP solver and the max-flow assignment engine,
+ * including the randomized cross-check property between them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ilp/flow.h"
+#include "ilp/ilp.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace ark::ilp;
+
+// --- ILP ---------------------------------------------------------------------
+
+TEST(IlpTest, TrivialFeasible)
+{
+    Model model;
+    int x = model.addVar();
+    model.addSumEquals({x}, 1.0);
+    auto solution = solve(model);
+    ASSERT_TRUE(solution.has_value());
+    EXPECT_EQ((*solution)[static_cast<std::size_t>(x)], 1);
+}
+
+TEST(IlpTest, TrivialInfeasible)
+{
+    Model model;
+    int x = model.addVar();
+    model.addSumEquals({x}, 2.0); // binary var cannot reach 2
+    EXPECT_FALSE(solve(model).has_value());
+}
+
+TEST(IlpTest, FixedVariablesRespected)
+{
+    Model model;
+    int x = model.addVar();
+    int y = model.addVar();
+    model.fixVar(x, 0);
+    model.addSumEquals({x, y}, 1.0);
+    auto solution = solve(model);
+    ASSERT_TRUE(solution.has_value());
+    EXPECT_EQ((*solution)[0], 0);
+    EXPECT_EQ((*solution)[1], 1);
+    model.fixVar(y, 0);
+    EXPECT_FALSE(solve(model).has_value());
+}
+
+TEST(IlpTest, RangeConstraints)
+{
+    Model model;
+    int first = model.addVars(5);
+    std::vector<int> all;
+    for (int i = 0; i < 5; ++i)
+        all.push_back(first + i);
+    model.addSumRange(all, 2.0, 3.0);
+    auto solution = solve(model);
+    ASSERT_TRUE(solution.has_value());
+    int sum = 0;
+    for (int v : *solution)
+        sum += v;
+    EXPECT_GE(sum, 2);
+    EXPECT_LE(sum, 3);
+}
+
+TEST(IlpTest, NegativeCoefficients)
+{
+    // x - y == 1 forces x=1, y=0.
+    Model model;
+    int x = model.addVar();
+    int y = model.addVar();
+    Constraint c;
+    c.terms = {{x, 1.0}, {y, -1.0}};
+    c.lo = 1.0;
+    c.hi = 1.0;
+    model.addConstraint(c);
+    auto solution = solve(model);
+    ASSERT_TRUE(solution.has_value());
+    EXPECT_EQ((*solution)[0], 1);
+    EXPECT_EQ((*solution)[1], 0);
+}
+
+TEST(IlpTest, PropagationPrunes)
+{
+    // A chain of implications solvable without branching: x0 = 1, and
+    // x_{i} + x_{i+1} == 1 alternates the rest.
+    Model model;
+    int first = model.addVars(10);
+    model.fixVar(first, 1);
+    for (int i = 0; i + 1 < 10; ++i)
+        model.addSumEquals({first + i, first + i + 1}, 1.0);
+    SolveStats stats;
+    auto solution = solve(model, &stats);
+    ASSERT_TRUE(solution.has_value());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ((*solution)[static_cast<std::size_t>(i)], i % 2 == 0);
+    EXPECT_LE(stats.nodesExplored, 2u); // pure propagation
+}
+
+TEST(IlpTest, MinimizeObjective)
+{
+    // Cover constraint with different costs: pick the cheap one.
+    Model model;
+    int x = model.addVar();
+    int y = model.addVar();
+    model.addSumRange({x, y}, 1.0, 2.0);
+    double value = 0.0;
+    auto solution = minimize(model, {5.0, 1.0}, &value);
+    ASSERT_TRUE(solution.has_value());
+    EXPECT_EQ((*solution)[0], 0);
+    EXPECT_EQ((*solution)[1], 1);
+    EXPECT_DOUBLE_EQ(value, 1.0);
+}
+
+TEST(IlpTest, MinimizeInfeasible)
+{
+    Model model;
+    int x = model.addVar();
+    model.addSumEquals({x}, 3.0);
+    EXPECT_FALSE(minimize(model, {1.0}).has_value());
+}
+
+TEST(IlpTest, MinimizeWithNegativeCosts)
+{
+    Model model;
+    model.addVars(3);
+    double value = 0.0;
+    auto solution = minimize(model, {-1.0, 2.0, -3.0}, &value);
+    ASSERT_TRUE(solution.has_value());
+    EXPECT_DOUBLE_EQ(value, -4.0); // take both negatives
+}
+
+// --- max flow -------------------------------------------------------------------
+
+TEST(FlowTest, SimpleMaxFlow)
+{
+    //  0 -> 1 -> 3
+    //   \-> 2 -/
+    MaxFlow flow(4);
+    flow.addEdge(0, 1, 3);
+    flow.addEdge(0, 2, 2);
+    flow.addEdge(1, 3, 2);
+    flow.addEdge(2, 3, 3);
+    EXPECT_EQ(flow.run(0, 3), 4);
+}
+
+TEST(FlowTest, FlowOnReportsPerEdge)
+{
+    MaxFlow flow(3);
+    int a = flow.addEdge(0, 1, 5);
+    int b = flow.addEdge(1, 2, 3);
+    EXPECT_EQ(flow.run(0, 2), 3);
+    EXPECT_EQ(flow.flowOn(a), 3);
+    EXPECT_EQ(flow.flowOn(b), 3);
+}
+
+TEST(FlowTest, DisconnectedIsZero)
+{
+    MaxFlow flow(4);
+    flow.addEdge(0, 1, 5);
+    flow.addEdge(2, 3, 5);
+    EXPECT_EQ(flow.run(0, 3), 0);
+}
+
+// --- assignment ------------------------------------------------------------------
+
+TEST(AssignTest, ExactCover)
+{
+    // 2 items, 2 buckets, each bucket needs exactly one item.
+    std::vector<std::vector<bool>> allowed{{true, true}, {true, true}};
+    auto assignment = solveAssignment(allowed, {1, 1}, {1, 1});
+    ASSERT_TRUE(assignment.has_value());
+    EXPECT_NE((*assignment)[0], (*assignment)[1]);
+}
+
+TEST(AssignTest, InfeasibleLowerBound)
+{
+    std::vector<std::vector<bool>> allowed{{true, false}};
+    // Bucket 1 demands an item nothing can supply.
+    EXPECT_FALSE(solveAssignment(allowed, {0, 1}, {1, 1}).has_value());
+}
+
+TEST(AssignTest, ItemWithNoBucketFails)
+{
+    std::vector<std::vector<bool>> allowed{{false, false}};
+    EXPECT_FALSE(solveAssignment(allowed, {0, 0}, {5, 5}).has_value());
+}
+
+TEST(AssignTest, InfUpperBounds)
+{
+    std::vector<std::vector<bool>> allowed{
+        {true, false}, {true, false}, {true, true}};
+    auto assignment = solveAssignment(allowed, {0, 0}, {-1, -1});
+    ASSERT_TRUE(assignment.has_value());
+}
+
+TEST(AssignTest, EmptyItemsSatisfyZeroLowerBounds)
+{
+    std::vector<std::vector<bool>> allowed;
+    EXPECT_TRUE(solveAssignment(allowed, {0}, {3}).has_value());
+    EXPECT_FALSE(solveAssignment(allowed, {1}, {3}).has_value());
+}
+
+TEST(AssignTest, ReversedBoundsInfeasible)
+{
+    std::vector<std::vector<bool>> allowed{{true}};
+    EXPECT_FALSE(solveAssignment(allowed, {2}, {1}).has_value());
+}
+
+/**
+ * Property: the ILP formulation of Algorithm 2 and the max-flow
+ * formulation agree on random assignment instances, and returned
+ * assignments are well-formed.
+ */
+class AssignEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AssignEquivalence, IlpMatchesFlow)
+{
+    ark::support::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    for (int trial = 0; trial < 60; ++trial) {
+        int items = static_cast<int>(rng.uniformInt(0, 8));
+        int buckets = static_cast<int>(rng.uniformInt(1, 5));
+        std::vector<std::vector<bool>> allowed(
+            static_cast<std::size_t>(items),
+            std::vector<bool>(static_cast<std::size_t>(buckets)));
+        for (auto &row : allowed)
+            for (std::size_t b = 0; b < row.size(); ++b)
+                row[b] = rng.bernoulli(0.5);
+        std::vector<int> lo(static_cast<std::size_t>(buckets));
+        std::vector<int> hi(static_cast<std::size_t>(buckets));
+        for (int b = 0; b < buckets; ++b) {
+            lo[static_cast<std::size_t>(b)] =
+                static_cast<int>(rng.uniformInt(0, 2));
+            hi[static_cast<std::size_t>(b)] =
+                rng.bernoulli(0.3)
+                    ? -1
+                    : static_cast<int>(rng.uniformInt(
+                          lo[static_cast<std::size_t>(b)], 4));
+        }
+
+        // Flow answer.
+        auto flowAssign = solveAssignment(allowed, lo, hi);
+
+        // Equivalent ILP.
+        Model model;
+        int first = model.addVars(items * buckets);
+        auto varOf = [&](int i, int b) { return first + i * buckets + b; };
+        for (int i = 0; i < items; ++i)
+            for (int b = 0; b < buckets; ++b)
+                if (!allowed[static_cast<std::size_t>(i)]
+                            [static_cast<std::size_t>(b)])
+                    model.fixVar(varOf(i, b), 0);
+        for (int i = 0; i < items; ++i) {
+            std::vector<int> row;
+            for (int b = 0; b < buckets; ++b)
+                row.push_back(varOf(i, b));
+            model.addSumEquals(row, 1.0);
+        }
+        for (int b = 0; b < buckets; ++b) {
+            std::vector<int> col;
+            for (int i = 0; i < items; ++i)
+                col.push_back(varOf(i, b));
+            double upper = hi[static_cast<std::size_t>(b)] < 0
+                               ? items
+                               : hi[static_cast<std::size_t>(b)];
+            model.addSumRange(col, lo[static_cast<std::size_t>(b)],
+                              upper);
+        }
+        auto ilpAssign = solve(model);
+
+        EXPECT_EQ(flowAssign.has_value(), ilpAssign.has_value())
+            << "items=" << items << " buckets=" << buckets
+            << " trial=" << trial;
+
+        if (flowAssign) {
+            // The flow assignment must satisfy all constraints.
+            std::vector<int> counts(static_cast<std::size_t>(buckets),
+                                    0);
+            for (int i = 0; i < items; ++i) {
+                int b = (*flowAssign)[static_cast<std::size_t>(i)];
+                ASSERT_GE(b, 0);
+                ASSERT_LT(b, buckets);
+                EXPECT_TRUE(allowed[static_cast<std::size_t>(i)]
+                                   [static_cast<std::size_t>(b)]);
+                ++counts[static_cast<std::size_t>(b)];
+            }
+            for (int b = 0; b < buckets; ++b) {
+                EXPECT_GE(counts[static_cast<std::size_t>(b)],
+                          lo[static_cast<std::size_t>(b)]);
+                if (hi[static_cast<std::size_t>(b)] >= 0) {
+                    EXPECT_LE(counts[static_cast<std::size_t>(b)],
+                              hi[static_cast<std::size_t>(b)]);
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignEquivalence,
+                         ::testing::Range(1, 11));
+
+} // namespace

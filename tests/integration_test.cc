@@ -1,0 +1,164 @@
+/**
+ * @file
+ * End-to-end tests: Ark source -> language -> graph -> validation ->
+ * compilation -> simulation, across all three paradigms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "apps/experiments.h"
+#include "compiler/compiler.h"
+#include "paradigms/standard.h"
+#include "sim/sim.h"
+#include "validator/validator.h"
+
+namespace {
+
+using namespace ark;
+namespace exp = apps::experiments;
+
+class StandardRegistryTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        registry_ = new lang::LanguageRegistry(
+            paradigms::makeStandardRegistry());
+    }
+    static void TearDownTestSuite()
+    {
+        delete registry_;
+        registry_ = nullptr;
+    }
+
+    static lang::LanguageRegistry *registry_;
+};
+
+lang::LanguageRegistry *StandardRegistryTest::registry_ = nullptr;
+
+TEST_F(StandardRegistryTest, AllLanguagesRegistered)
+{
+    for (const char *name :
+         {"tln", "gmc-tln", "cnn", "hw-cnn", "obc", "ofs-obc",
+          "intercon-obc"}) {
+        EXPECT_NE(registry_->findLanguage(name), nullptr)
+            << "missing language " << name;
+    }
+    EXPECT_NE(registry_->findFunction("br-func"), nullptr);
+}
+
+TEST_F(StandardRegistryTest, LinearLineValidatesAndSimulates)
+{
+    const lang::Language &tln = registry_->language("tln");
+    exp::TlnTrace trace = exp::fig4LinearTrace(tln);
+    ASSERT_GT(trace.times.size(), 100u);
+    // Amplitude: 1A pulse into matched source+line splits to ~0.5 V.
+    double peak = trace.peak();
+    EXPECT_GT(peak, 0.35);
+    EXPECT_LT(peak, 0.65);
+    // Before the wave front arrives (10 sections x 1ns), OUT_V is
+    // quiet; the rising edge begins near 1e-8.
+    EXPECT_LT(trace.peakWithin(0.0, 0.7e-8), 0.02);
+}
+
+TEST_F(StandardRegistryTest, BranchedLineShowsEchoAndAttenuation)
+{
+    const lang::Language &tln = registry_->language("tln");
+    exp::TlnTrace linear = exp::fig4LinearTrace(tln);
+    exp::TlnTrace branched = exp::fig4BranchedTrace(tln);
+    // The branch splits the pulse: weaker initial peak (paper: ~0.3
+    // vs ~0.5).
+    EXPECT_LT(branched.peak(), 0.85 * linear.peak());
+    // Echo: after the linear line's pulse has passed (>4e-8), the
+    // branched line still carries the stub reflection.
+    double branchedLate = branched.peakWithin(4e-8, 8e-8);
+    double linearLate = linear.peakWithin(4e-8, 8e-8);
+    EXPECT_GT(branchedLate, 1.5 * linearLate);
+    EXPECT_GT(branchedLate, 0.05);
+}
+
+TEST_F(StandardRegistryTest, MalformedLineIsRejected)
+{
+    const lang::Language &tln = registry_->language("tln");
+    dg::Graph bad = paradigms::tln::buildMalformed(tln);
+    validator::ValidationResult result = validator::validate(bad, tln);
+    EXPECT_FALSE(result.ok);
+}
+
+TEST_F(StandardRegistryTest, BrFuncSwitchesBranch)
+{
+    using expr::Value;
+    // br=0: linear; br=1: branched. Same function, different configs.
+    dg::Graph linear = registry_->invoke("br-func", {Value::integer(0)});
+    dg::Graph branched = registry_->invoke("br-func", {Value::integer(1)});
+    const lang::Language &tln = registry_->language("tln");
+    validator::validateOrThrow(linear, tln);
+    validator::validateOrThrow(branched, tln);
+
+    auto simulateOut = [&](const dg::Graph &graph) {
+        compiler::OdeSystem system = compiler::compile(graph, tln);
+        sim::SimOptions options;
+        options.recordDt = 1e-10;
+        sim::SimResult result = sim::simulate(system, 0.0, 4e-8, options);
+        return result.trajectory.series(system.stateIndex("OUT_V", 0));
+    };
+    auto linSeries = simulateOut(linear);
+    auto brSeries = simulateOut(branched);
+    // The branch must change the waveform.
+    double maxDiff = 0.0;
+    std::size_t n = std::min(linSeries.size(), brSeries.size());
+    for (std::size_t i = 0; i < n; ++i)
+        maxDiff = std::max(maxDiff,
+                           std::fabs(linSeries[i] - brSeries[i]));
+    EXPECT_GT(maxDiff, 0.02);
+}
+
+TEST_F(StandardRegistryTest, GmMismatchSpreadsMoreThanCintMismatch)
+{
+    const lang::Language &gmc = registry_->language("gmc-tln");
+    auto cint = exp::fig4MismatchTraces(gmc, /*gmMismatch=*/false, 10);
+    auto gm = exp::fig4MismatchTraces(gmc, /*gmMismatch=*/true, 10);
+    exp::SpreadStats cintSpread =
+        exp::spreadWithinWindow(cint, 1e-8, 3e-8);
+    exp::SpreadStats gmSpread = exp::spreadWithinWindow(gm, 1e-8, 3e-8);
+    // Paper Figure 4c/4d: Gm mismatch dominates.
+    EXPECT_GT(gmSpread.meanRange, cintSpread.meanRange);
+}
+
+TEST_F(StandardRegistryTest, CnnEdgeDetectorIdeal)
+{
+    const lang::Language &cnn = registry_->language("cnn");
+    apps::Image input = apps::Image::filledSquare(12, 3);
+    paradigms::cnn::CnnSpec spec;
+    spec.width = 12;
+    spec.height = 12;
+    exp::CnnRun run = exp::runCnnEdgeDetect(
+        cnn, spec, input, {0.0, 0.25, 0.5, 0.75, 1.0, 2.0, 4.0});
+    EXPECT_EQ(run.outputErrors, 0)
+        << "final output:\n" << run.finalOutput.ascii()
+        << "expected:\n" << input.edgeMap().ascii();
+}
+
+TEST_F(StandardRegistryTest, ObcMaxcutIdealSolvesMost)
+{
+    const lang::Language &obc = registry_->language("obc");
+    auto outcomes = exp::runMaxcutSims(obc, /*withOffset=*/false, 25);
+    exp::ObcRow row =
+        exp::scoreMaxcut(outcomes, 0.01 * std::numbers::pi);
+    EXPECT_GT(row.syncProb, 70.0);
+    EXPECT_GT(row.solvedProb, 70.0);
+}
+
+TEST_F(StandardRegistryTest, SpiceValidationSmoke)
+{
+    const lang::Language &gmc = registry_->language("gmc-tln");
+    exp::SpiceValidation report = exp::runSpiceValidation(gmc, 5);
+    EXPECT_EQ(report.mapped, report.total);
+    EXPECT_LT(report.maxRmse, 0.01)
+        << "mean rmse " << report.meanRmse;
+}
+
+} // namespace

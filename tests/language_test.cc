@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Tests for language lowering and the §4.1.1 inheritance rules:
+ * attribute narrowing, order/reduction preservation, rule override
+ * rejection, new-type requirements, and most-specific rule lookup.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lang/language.h"
+#include "lang/parser.h"
+#include "lang/registry.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace ark;
+using namespace ark::lang;
+using support::SemaError;
+
+const Language &
+makeLang(LanguageRegistry &registry, const std::string &source)
+{
+    registry.addProgram(source);
+    Program prog = parseProgram(source);
+    return registry.language(prog.langs.back().name);
+}
+
+constexpr const char *kBase = R"(
+    lang base {
+        ntyp(1,sum) V {attr c=real[0,10]};
+        ntyp(0,sum) Inp {attr u=real[-1,1]};
+        etyp E {attr k=real[-8,8]};
+        prod(e:E,s:V->t:V) t <= e.k*var(s);
+        prod(e:E,s:V->s:V) s <= -var(s);
+        cstr V {acc[match(0,inf,E,[V,Inp]->V),
+                    match(0,inf,E,V->[V]), match(0,1,E,V)]}
+    }
+)";
+
+TEST(LanguageTest, BasicLoweringExposesRulesAndTypes)
+{
+    LanguageRegistry registry;
+    const Language &base = makeLang(registry, kBase);
+    EXPECT_EQ(base.name(), "base");
+    EXPECT_EQ(base.parent(), nullptr);
+    EXPECT_TRUE(base.types().hasNodeType("V"));
+    EXPECT_TRUE(base.types().hasEdgeType("E"));
+    EXPECT_EQ(base.prodRules().size(), 2u);
+    EXPECT_EQ(base.cstrs().size(), 1u);
+}
+
+TEST(LanguageTest, ImplicitInitsSynthesized)
+{
+    LanguageRegistry registry;
+    const Language &base = makeLang(registry, kBase);
+    const dg::NodeTypeDef &v = base.types().nodeType("V");
+    ASSERT_NE(v.findInit(0), nullptr);
+    EXPECT_TRUE(v.findInit(0)->fixedValue.has_value());
+}
+
+TEST(LanguageTest, DerivedInheritsEverything)
+{
+    LanguageRegistry registry;
+    makeLang(registry, kBase);
+    const Language &derived = makeLang(registry, R"(
+        lang derived inherits base {
+            ntyp(1,sum) Vm inherit V {attr c=real[1,5] mm(0,0.1)};
+        }
+    )");
+    EXPECT_EQ(derived.parent()->name(), "base");
+    EXPECT_TRUE(derived.types().hasNodeType("V"));
+    EXPECT_TRUE(derived.types().hasNodeType("Vm"));
+    EXPECT_EQ(derived.prodRules().size(), 2u); // inherited
+    EXPECT_EQ(derived.cstrs().size(), 1u);
+    // Overridden attribute narrows and gains mismatch.
+    const dg::NodeTypeDef &vm = derived.types().nodeType("Vm");
+    const dg::AttrDef *c = vm.findAttr("c");
+    ASSERT_NE(c, nullptr);
+    EXPECT_DOUBLE_EQ(c->type.realLo(), 1.0);
+    EXPECT_TRUE(c->type.hasMismatch());
+    EXPECT_TRUE(derived.isDescendantOf("base"));
+    EXPECT_FALSE(derived.isDescendantOf("other"));
+}
+
+TEST(LanguageTest, AttrOverrideMustNarrow)
+{
+    LanguageRegistry registry;
+    makeLang(registry, kBase);
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad inherits base {
+            ntyp(1,sum) Vm inherit V {attr c=real[0,20]};
+        }
+    )"),
+                 SemaError);
+}
+
+TEST(LanguageTest, AttrOverrideMustKeepKind)
+{
+    LanguageRegistry registry;
+    makeLang(registry, kBase);
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad inherits base {
+            ntyp(1,sum) Vm inherit V {attr c=int[0,5]};
+        }
+    )"),
+                 SemaError);
+}
+
+TEST(LanguageTest, OrderAndReductionMustMatchParent)
+{
+    LanguageRegistry registry;
+    makeLang(registry, kBase);
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad inherits base { ntyp(2,sum) Vm inherit V {}; }
+    )"),
+                 SemaError);
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad2 inherits base { ntyp(1,mul) Vm inherit V {}; }
+    )"),
+                 SemaError);
+}
+
+TEST(LanguageTest, ParentRulesCannotBeOverridden)
+{
+    LanguageRegistry registry;
+    makeLang(registry, kBase);
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad inherits base {
+            prod(e:E,s:V->t:V) t <= 2*e.k*var(s);
+        }
+    )"),
+                 SemaError);
+}
+
+TEST(LanguageTest, NewRulesNeedNewTypes)
+{
+    LanguageRegistry registry;
+    makeLang(registry, kBase);
+    // A different-target rule over only parent types is rejected.
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad inherits base {
+            ntyp(1,sum) Vm inherit V {};
+            prod(e:E,s:V->t:V) s <= var(t);
+        }
+    )"),
+                 SemaError);
+    // Mentioning the derived type makes it legal.
+    EXPECT_NO_THROW(makeLang(registry, R"(
+        lang ok inherits base {
+            ntyp(1,sum) Vm inherit V {};
+            prod(e:E,s:V->t:Vm) s <= var(t);
+        }
+    )"));
+}
+
+TEST(LanguageTest, NewCstrsNeedNewTypes)
+{
+    LanguageRegistry registry;
+    makeLang(registry, kBase);
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad inherits base {
+            ntyp(1,sum) Vm inherit V {};
+            cstr V {acc[match(0,1,E,V)]}
+        }
+    )"),
+                 SemaError);
+    EXPECT_NO_THROW(makeLang(registry, R"(
+        lang ok inherits base {
+            ntyp(1,sum) Vm inherit V {};
+            cstr Vm {acc[match(0,1,E,Vm)]}
+        }
+    )"));
+}
+
+TEST(LanguageTest, RuleExpressionScopeChecked)
+{
+    LanguageRegistry registry;
+    // Unknown attribute on a bound type.
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad {
+            ntyp(1,sum) V {}; etyp E {};
+            prod(e:E,s:V->t:V) t <= e.zz*var(s);
+        }
+    )"),
+                 SemaError);
+    // var(.) of a name outside the clause.
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad2 {
+            ntyp(1,sum) V {}; etyp E {};
+            prod(e:E,s:V->t:V) t <= var(q);
+        }
+    )"),
+                 SemaError);
+    // Free variables are not allowed in rule expressions.
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad3 {
+            ntyp(1,sum) V {}; etyp E {};
+            prod(e:E,s:V->t:V) t <= alpha*var(s);
+        }
+    )"),
+                 SemaError);
+    // Target must be one of the bound element names.
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad4 {
+            ntyp(1,sum) V {}; etyp E {};
+            prod(e:E,s:V->t:V) q <= var(s);
+        }
+    )"),
+                 SemaError);
+}
+
+TEST(LanguageTest, BooleanRuleExpressionRejected)
+{
+    LanguageRegistry registry;
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad {
+            ntyp(1,sum) V {}; etyp E {};
+            prod(e:E,s:V->t:V) t <= var(s) > 0;
+        }
+    )"),
+                 SemaError);
+}
+
+TEST(LanguageTest, CstrTargetNameChecked)
+{
+    LanguageRegistry registry;
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad {
+            ntyp(1,sum) V {}; ntyp(1,sum) W {}; etyp E {};
+            cstr V {acc[match(0,1,E,W->[V])]}
+        }
+    )"),
+                 SemaError);
+}
+
+TEST(LanguageTest, UnknownTypesInRulesRejected)
+{
+    LanguageRegistry registry;
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad { ntyp(1,sum) V {}; etyp E {};
+                   prod(e:E,s:V->t:Zz) t <= var(s); }
+    )"),
+                 SemaError);
+    EXPECT_THROW(makeLang(registry, R"(
+        lang bad2 { ntyp(1,sum) V {}; etyp E {};
+                    cstr V {acc[match(0,1,Zz,V)]} }
+    )"),
+                 SemaError);
+}
+
+// --- rule lookup -----------------------------------------------------------
+
+TEST(RuleLookupTest, ExactAndFallback)
+{
+    LanguageRegistry registry;
+    makeLang(registry, kBase);
+    const Language &derived = makeLang(registry, R"(
+        lang derived inherits base {
+            ntyp(1,sum) Vm inherit V {attr c=real[0,10]};
+            etyp Em inherit E {attr k=real[-8,8]};
+            prod(e:Em,s:V->t:Vm) t <= 2*e.k*var(s);
+        }
+    )");
+    // Exact: Em edge into Vm uses the derived rule.
+    const ProdRule *rule = derived.lookupRule(
+        "Em", "Vm", "Vm", false, ProdRule::Target::Dst, false);
+    ASSERT_NE(rule, nullptr);
+    EXPECT_EQ(rule->definedIn, "derived");
+    // Fallback: plain E edge into Vm falls back to the base rule.
+    rule = derived.lookupRule("E", "Vm", "Vm", false,
+                              ProdRule::Target::Dst, false);
+    ASSERT_NE(rule, nullptr);
+    EXPECT_EQ(rule->definedIn, "base");
+    // No rule at all: source-side term for non-self edges.
+    EXPECT_EQ(derived.lookupRule("E", "V", "V", false,
+                                 ProdRule::Target::Src, false),
+              nullptr);
+    // Self rules only match self queries.
+    EXPECT_NE(derived.lookupRule("E", "V", "V", true,
+                                 ProdRule::Target::Src, false),
+              nullptr);
+    EXPECT_EQ(derived.lookupRule("E", "V", "V", true,
+                                 ProdRule::Target::Dst, false),
+              nullptr);
+}
+
+TEST(RuleLookupTest, AmbiguityDetected)
+{
+    LanguageRegistry registry;
+    // Two independent subtype chains create an ambiguous middle case:
+    // rules (Em, V->V) and (E, Vm->V) both at distance 1 from a query
+    // (Em, Vm->V).
+    registry.addProgram(R"(
+        lang amb {
+            ntyp(1,sum) V {};
+            ntyp(1,sum) Vm inherit V {};
+            etyp E {};
+            etyp Em inherit E {};
+            prod(e:Em,s:V->t:V) t <= var(s);
+            prod(e:E,s:Vm->t:V) t <= 2*var(s);
+        }
+    )");
+    const Language &amb = registry.language("amb");
+    EXPECT_THROW(amb.lookupRule("Em", "Vm", "V", false,
+                                ProdRule::Target::Dst, false),
+                 support::CompileError);
+    // Unambiguous queries still resolve.
+    EXPECT_NE(amb.lookupRule("Em", "V", "V", false,
+                             ProdRule::Target::Dst, false),
+              nullptr);
+}
+
+TEST(RuleLookupTest, OffRulesSeparate)
+{
+    LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang sw {
+            ntyp(1,sum) V {}; etyp E {attr leak=real[0,1]};
+            prod(e:E,s:V->t:V) t <= var(s);
+            prod(e:E,s:V->t:V) t <= e.leak*var(s) off;
+        }
+    )");
+    const Language &sw = registry.language("sw");
+    const ProdRule *on = sw.lookupRule("E", "V", "V", false,
+                                       ProdRule::Target::Dst, false);
+    const ProdRule *off = sw.lookupRule("E", "V", "V", false,
+                                        ProdRule::Target::Dst, true);
+    ASSERT_NE(on, nullptr);
+    ASSERT_NE(off, nullptr);
+    EXPECT_FALSE(on->off);
+    EXPECT_TRUE(off->off);
+}
+
+TEST(RuleLookupTest, CstrsForCollectsAncestors)
+{
+    LanguageRegistry registry;
+    makeLang(registry, kBase);
+    const Language &derived = makeLang(registry, R"(
+        lang derived inherits base {
+            ntyp(1,sum) Vm inherit V {};
+            cstr Vm {acc[match(0,1,E,Vm)]}
+        }
+    )");
+    EXPECT_EQ(derived.cstrsFor("V").size(), 1u);
+    EXPECT_EQ(derived.cstrsFor("Vm").size(), 2u); // V's and Vm's
+    EXPECT_TRUE(derived.cstrsFor("Inp").empty());
+}
+
+// --- registry -----------------------------------------------------------------
+
+TEST(RegistryTest, DuplicateDefinitionsRejected)
+{
+    LanguageRegistry registry;
+    registry.addProgram("lang a { ntyp(1,sum) V {}; }");
+    EXPECT_THROW(registry.addProgram("lang a { ntyp(1,sum) W {}; }"),
+                 SemaError);
+    registry.addProgram("func f () uses a { node n : V; }");
+    EXPECT_THROW(
+        registry.addProgram("func f () uses a { node m : V; }"),
+        SemaError);
+}
+
+TEST(RegistryTest, UnknownParentLanguage)
+{
+    LanguageRegistry registry;
+    EXPECT_THROW(
+        registry.addProgram("lang d inherits missing { ntyp(1,sum) V {}; }"),
+        SemaError);
+}
+
+TEST(RegistryTest, FunctionNeedsKnownLanguage)
+{
+    LanguageRegistry registry;
+    EXPECT_THROW(registry.addProgram("func f () uses nope {}"),
+                 SemaError);
+}
+
+TEST(RegistryTest, NameListings)
+{
+    LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang a { ntyp(1,sum) V {}; }
+        lang b inherits a { ntyp(1,sum) W inherit V {}; }
+        func f () uses a { node n : V; }
+    )");
+    EXPECT_EQ(registry.languageNames().size(), 2u);
+    EXPECT_EQ(registry.functionNames().size(), 1u);
+    EXPECT_THROW(registry.language("zzz"), SemaError);
+    EXPECT_THROW(registry.function("zzz"), SemaError);
+}
+
+} // namespace

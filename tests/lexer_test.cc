@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the Ark lexer: token categories, numeric literal forms,
+ * comments, source locations, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lang/token.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace ark::lang;
+using ark::support::LexError;
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    return tokenize(src);
+}
+
+TEST(LexerTest, EmptyInputYieldsEof)
+{
+    auto tokens = lex("");
+    ASSERT_EQ(tokens.size(), 1u);
+    EXPECT_TRUE(tokens[0].is(TokenKind::EndOfFile));
+}
+
+TEST(LexerTest, Identifiers)
+{
+    auto tokens = lex("lang V IN_V _x a1");
+    ASSERT_EQ(tokens.size(), 6u);
+    EXPECT_EQ(tokens[0].text, "lang");
+    EXPECT_EQ(tokens[2].text, "IN_V");
+    EXPECT_EQ(tokens[3].text, "_x");
+    EXPECT_EQ(tokens[4].text, "a1");
+}
+
+TEST(LexerTest, IntegerLiterals)
+{
+    auto tokens = lex("0 42 1000000");
+    EXPECT_TRUE(tokens[0].is(TokenKind::IntLit));
+    EXPECT_EQ(tokens[1].intValue, 42);
+    EXPECT_EQ(tokens[2].intValue, 1000000);
+}
+
+TEST(LexerTest, RealLiterals)
+{
+    auto tokens = lex("1.5 1e-09 2e-8 1E6 0.5 1e+3");
+    for (int i = 0; i < 6; ++i)
+        EXPECT_TRUE(tokens[static_cast<std::size_t>(i)].is(
+            TokenKind::RealLit)) << i;
+    EXPECT_DOUBLE_EQ(tokens[0].realValue, 1.5);
+    EXPECT_DOUBLE_EQ(tokens[1].realValue, 1e-9);
+    EXPECT_DOUBLE_EQ(tokens[2].realValue, 2e-8);
+    EXPECT_DOUBLE_EQ(tokens[3].realValue, 1e6);
+    EXPECT_DOUBLE_EQ(tokens[5].realValue, 1e3);
+}
+
+TEST(LexerTest, ExponentRequiresDigits)
+{
+    // "2e" then identifier continuation is not a float exponent; the
+    // 'e' belongs to a following identifier-ish token stream.
+    auto tokens = lex("2e");
+    EXPECT_TRUE(tokens[0].is(TokenKind::IntLit));
+    EXPECT_EQ(tokens[0].intValue, 2);
+    EXPECT_EQ(tokens[1].text, "e");
+}
+
+TEST(LexerTest, MinusBindsSeparately)
+{
+    // 'a-b' lexes as three tokens; name joining happens in the parser.
+    auto tokens = lex("a-b");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_TRUE(tokens[1].is(TokenKind::Minus));
+}
+
+TEST(LexerTest, OperatorsAndPunctuation)
+{
+    auto tokens = lex("{ } ( ) [ ] , : ; . = -> <= < > >= == != + - * / ^");
+    std::vector<TokenKind> expected{
+        TokenKind::LBrace, TokenKind::RBrace, TokenKind::LParen,
+        TokenKind::RParen, TokenKind::LBracket, TokenKind::RBracket,
+        TokenKind::Comma, TokenKind::Colon, TokenKind::Semi,
+        TokenKind::Dot, TokenKind::Assign, TokenKind::Arrow,
+        TokenKind::ProdApply, TokenKind::Lt, TokenKind::Gt,
+        TokenKind::Ge, TokenKind::EqEq, TokenKind::NotEq,
+        TokenKind::Plus, TokenKind::Minus, TokenKind::Star,
+        TokenKind::Slash, TokenKind::Caret, TokenKind::EndOfFile};
+    ASSERT_EQ(tokens.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(tokens[i].kind, expected[i]) << i;
+}
+
+TEST(LexerTest, ProdApplyVsComparison)
+{
+    auto tokens = lex("s<=e t<e");
+    EXPECT_TRUE(tokens[1].is(TokenKind::ProdApply));
+    EXPECT_TRUE(tokens[4].is(TokenKind::Lt));
+}
+
+TEST(LexerTest, ArrowVsMinus)
+{
+    auto tokens = lex("a->b a-b a- b");
+    EXPECT_TRUE(tokens[1].is(TokenKind::Arrow));
+    EXPECT_TRUE(tokens[4].is(TokenKind::Minus));
+    EXPECT_TRUE(tokens[7].is(TokenKind::Minus));
+}
+
+TEST(LexerTest, Comments)
+{
+    auto tokens = lex("a // comment -> ignored\nb # hash comment\nc");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[0].text, "a");
+    EXPECT_EQ(tokens[1].text, "b");
+    EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(LexerTest, SourceLocations)
+{
+    auto tokens = lex("ab\n  cd");
+    EXPECT_EQ(tokens[0].loc.line, 1);
+    EXPECT_EQ(tokens[0].loc.column, 1);
+    EXPECT_EQ(tokens[1].loc.line, 2);
+    EXPECT_EQ(tokens[1].loc.column, 3);
+}
+
+TEST(LexerTest, RejectsStrayCharacters)
+{
+    EXPECT_THROW(lex("a @ b"), LexError);
+    EXPECT_THROW(lex("!x"), LexError); // '!' only valid in '!='
+}
+
+TEST(LexerTest, PaperSnippetLexes)
+{
+    // A line straight from Figure 9.
+    auto tokens = lex("prod(e:Em,s:V->t:I) s<=-e.ws *var(t)/s.c;");
+    EXPECT_GT(tokens.size(), 20u);
+    EXPECT_EQ(tokens[0].text, "prod");
+    EXPECT_TRUE(tokens.back().is(TokenKind::EndOfFile));
+}
+
+TEST(LexerTest, DecimalWithoutFractionIsMemberAccess)
+{
+    // "s.c" must not lex as a malformed number.
+    auto tokens = lex("s.c");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[0].text, "s");
+    EXPECT_TRUE(tokens[1].is(TokenKind::Dot));
+    EXPECT_EQ(tokens[2].text, "c");
+}
+
+} // namespace

@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Tests for the Ark parser: every Figure-6 construct, the paper's own
+ * listings, sugar forms, and error diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "expr/eval.h"
+#include "lang/parser.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace ark;
+using namespace ark::lang;
+using support::ParseError;
+
+// --- expressions ---------------------------------------------------------
+
+TEST(ParseExprTest, Precedence)
+{
+    EXPECT_EQ(parseExpression("1+2*3")->str(), "(1 + (2 * 3))");
+    EXPECT_EQ(parseExpression("(1+2)*3")->str(), "((1 + 2) * 3)");
+    EXPECT_EQ(parseExpression("-a*b")->str(), "((-a) * b)");
+    EXPECT_EQ(parseExpression("a-b-c")->str(), "((a - b) - c)");
+    EXPECT_EQ(parseExpression("2^3^2")->str(), "(2 ^ (3 ^ 2))");
+    EXPECT_EQ(parseExpression("a/b/c")->str(), "((a / b) / c)");
+}
+
+TEST(ParseExprTest, ComparisonAndLogic)
+{
+    EXPECT_EQ(parseExpression("a < b and c >= d or not e")->str(),
+              "(((a < b) and (c >= d)) or (not e))");
+    EXPECT_EQ(parseExpression("a <= b")->str(), "(a <= b)");
+    EXPECT_EQ(parseExpression("a == b")->str(), "(a == b)");
+    EXPECT_EQ(parseExpression("a != b")->str(), "(a != b)");
+    // Comparisons are non-associative; chaining needs parentheses.
+    EXPECT_THROW(parseExpression("a == b != c"), ParseError);
+    EXPECT_EQ(parseExpression("(a == b) != (c < d)")->str(),
+              "((a == b) != (c < d))");
+}
+
+TEST(ParseExprTest, IfThenElse)
+{
+    EXPECT_EQ(parseExpression("if a > 0 then 1 else 2")->str(),
+              "(if (a > 0) then 1 else 2)");
+    // Nested in an arithmetic context.
+    EXPECT_EQ(parseExpression("1 + (if b then 2 else 3)")->str(),
+              "(1 + (if b then 2 else 3))");
+}
+
+TEST(ParseExprTest, VarOfNode)
+{
+    EXPECT_EQ(parseExpression("var(s)")->kind(), expr::ExprKind::NodeVar);
+    EXPECT_EQ(parseExpression("-var(t)/s.c")->str(),
+              "((-var(t)) / s.c)");
+}
+
+TEST(ParseExprTest, AttrRefsAndCalls)
+{
+    EXPECT_EQ(parseExpression("e.k")->str(), "e.k");
+    EXPECT_EQ(parseExpression("s.fn(times)")->str(), "(s.fn)(time)");
+    EXPECT_EQ(parseExpression("sin(x)")->str(), "sin(x)");
+    EXPECT_EQ(parseExpression("pulse(t,0,2e-8)")->str(),
+              "pulse(t,0,2e-08)");
+}
+
+TEST(ParseExprTest, TimeKeywords)
+{
+    EXPECT_EQ(parseExpression("time")->kind(), expr::ExprKind::Time);
+    EXPECT_EQ(parseExpression("times")->kind(), expr::ExprKind::Time);
+}
+
+TEST(ParseExprTest, Literals)
+{
+    EXPECT_DOUBLE_EQ(parseExpression("1e-09")->literalValue().asReal(),
+                     1e-9);
+    EXPECT_EQ(parseExpression("true")->literalValue().asBool(), true);
+    EXPECT_EQ(parseExpression("inf")->literalValue().asReal(),
+              std::numeric_limits<double>::infinity());
+}
+
+TEST(ParseExprTest, LambdaLiteral)
+{
+    expr::ExprPtr e = parseExpression("lambd(t0): pulse(t0, 0.0, 2e-8)");
+    ASSERT_EQ(e->kind(), expr::ExprKind::Literal);
+    ASSERT_TRUE(e->literalValue().isFunction());
+    const expr::Lambda &fn = e->literalValue().asFunction();
+    ASSERT_EQ(fn.params.size(), 1u);
+    EXPECT_EQ(fn.params[0], "t0");
+}
+
+TEST(ParseExprTest, FnAbbreviationForLambda)
+{
+    expr::ExprPtr e = parseExpression("fn(a, b): a + b");
+    ASSERT_TRUE(e->literalValue().isFunction());
+    EXPECT_EQ(e->literalValue().asFunction().params.size(), 2u);
+}
+
+TEST(ParseExprTest, PaperProductionExpressions)
+{
+    // Expressions lifted from Figures 7, 9, 10, 12 verbatim.
+    for (const char *src : {
+             "-var(t)/s.c",
+             "e.wt*var(s)/t.l",
+             "e.g*t.mm*var(s)",
+             "s.z-var(s)",
+             "sat(var(s))",
+             "sat_ni(var(s))",
+             "-1.6e9*e.k*sin(var(s)-var(t))",
+             "-1e9*sin(2*var(s))",
+             "-1.6e9*e.k*(e.offset+sin(-var(s)+var(t)))",
+             "e.wt*(-s.g*var(t)+s.fn(times))/t.c",
+         }) {
+        EXPECT_NO_THROW(parseExpression(src)) << src;
+    }
+}
+
+TEST(ParseExprTest, Errors)
+{
+    EXPECT_THROW(parseExpression(""), ParseError);
+    EXPECT_THROW(parseExpression("1 +"), ParseError);
+    EXPECT_THROW(parseExpression("(1"), ParseError);
+    EXPECT_THROW(parseExpression("1 2"), ParseError); // trailing junk
+    EXPECT_THROW(parseExpression("if a then b"), ParseError); // no else
+}
+
+// --- datatypes -----------------------------------------------------------
+
+TEST(ParseTypeTest, RealBounds)
+{
+    dg::DataType t = parseDataType("real[1e-10,1e-08]");
+    EXPECT_TRUE(t.isReal());
+    EXPECT_DOUBLE_EQ(t.realLo(), 1e-10);
+    EXPECT_DOUBLE_EQ(t.realHi(), 1e-8);
+    EXPECT_FALSE(t.hasMismatch());
+}
+
+TEST(ParseTypeTest, InfinityAndNegatives)
+{
+    dg::DataType t = parseDataType("real[-inf,inf]");
+    EXPECT_EQ(t.realLo(), -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(t.realHi(), std::numeric_limits<double>::infinity());
+    dg::DataType n = parseDataType("real[-10,10]");
+    EXPECT_DOUBLE_EQ(n.realLo(), -10.0);
+}
+
+TEST(ParseTypeTest, Mismatch)
+{
+    dg::DataType t = parseDataType("real[0.5,2] mm(0,0.1)");
+    ASSERT_TRUE(t.hasMismatch());
+    EXPECT_DOUBLE_EQ(t.mismatch()->s0, 0.0);
+    EXPECT_DOUBLE_EQ(t.mismatch()->s1, 0.1);
+    dg::DataType u = parseDataType("real[0,0] mm(0.02,0)");
+    EXPECT_DOUBLE_EQ(u.mismatch()->s0, 0.02);
+}
+
+TEST(ParseTypeTest, IntAndLambda)
+{
+    dg::DataType t = parseDataType("int[0,1]");
+    EXPECT_TRUE(t.isInt());
+    EXPECT_EQ(t.intLo(), 0);
+    EXPECT_EQ(t.intHi(), 1);
+    dg::DataType f = parseDataType("lambd(a0)");
+    EXPECT_TRUE(f.isFunction());
+    EXPECT_EQ(f.arity(), 1);
+    dg::DataType g = parseDataType("fn(a0)"); // paper's abbreviation
+    EXPECT_EQ(g.arity(), 1);
+}
+
+TEST(ParseTypeTest, ConstMarker)
+{
+    EXPECT_TRUE(parseDataType("real[0,1] const").isConst());
+    EXPECT_TRUE(parseDataType("int[1,1] const").isConst());
+    EXPECT_FALSE(parseDataType("real[0,1]").isConst());
+}
+
+TEST(ParseTypeTest, Errors)
+{
+    EXPECT_THROW(parseDataType("real[2,1]"), ParseError); // empty range
+    EXPECT_THROW(parseDataType("real[1]"), ParseError);
+    EXPECT_THROW(parseDataType("float[0,1]"), ParseError);
+    EXPECT_THROW(parseDataType("real[0,1] mm(-1,0)"), ParseError);
+}
+
+// --- language declarations ------------------------------------------------
+
+TEST(ParseLangTest, MinimalLanguage)
+{
+    Program prog = parseProgram("lang tiny { ntyp(1,sum) N {}; }");
+    ASSERT_EQ(prog.langs.size(), 1u);
+    EXPECT_EQ(prog.langs[0].name, "tiny");
+    ASSERT_EQ(prog.langs[0].nodeTypes.size(), 1u);
+    EXPECT_EQ(prog.langs[0].nodeTypes[0].order, 1);
+    EXPECT_EQ(prog.langs[0].nodeTypes[0].reduction, dg::Reduction::Sum);
+}
+
+TEST(ParseLangTest, NodeTypeLongForm)
+{
+    Program prog =
+        parseProgram("lang x { node-type(2,mul) N {}; }");
+    ASSERT_EQ(prog.langs[0].nodeTypes.size(), 1u);
+    EXPECT_EQ(prog.langs[0].nodeTypes[0].order, 2);
+    EXPECT_EQ(prog.langs[0].nodeTypes[0].reduction, dg::Reduction::Mul);
+}
+
+TEST(ParseLangTest, AttributesAndInits)
+{
+    Program prog = parseProgram(R"(
+        lang x {
+            ntyp(1,sum) V {attr c=real[1e-10,1e-08], attr g=real[0,inf],
+                           init(0) real[-1,1]};
+        }
+    )");
+    const NodeTypeDecl &decl = prog.langs[0].nodeTypes[0];
+    ASSERT_EQ(decl.attrs.size(), 2u);
+    EXPECT_EQ(decl.attrs[0].name, "c");
+    EXPECT_EQ(decl.attrs[1].name, "g");
+    ASSERT_EQ(decl.inits.size(), 1u);
+    EXPECT_EQ(decl.inits[0].derivative, 0);
+}
+
+TEST(ParseLangTest, EdgeTypesAndFixed)
+{
+    Program prog = parseProgram(R"(
+        lang x {
+            etyp E {};
+            edge-type fixed F {attr w=real[0,1]};
+        }
+    )");
+    ASSERT_EQ(prog.langs[0].edgeTypes.size(), 2u);
+    EXPECT_FALSE(prog.langs[0].edgeTypes[0].fixed);
+    EXPECT_TRUE(prog.langs[0].edgeTypes[1].fixed);
+    EXPECT_EQ(prog.langs[0].edgeTypes[1].attrs.size(), 1u);
+}
+
+TEST(ParseLangTest, EdgeTypesRejectInits)
+{
+    EXPECT_THROW(
+        parseProgram("lang x { etyp E {init(0) real[0,1]}; }"),
+        ParseError);
+}
+
+TEST(ParseLangTest, ProductionRules)
+{
+    Program prog = parseProgram(R"(
+        lang x {
+            ntyp(1,sum) V {}; ntyp(1,sum) I {}; etyp E {};
+            prod(e:E,s:V->t:I) s <= -var(t);
+            prod(e:E,s:V->s:V) s <= var(s) off;
+        }
+    )");
+    ASSERT_EQ(prog.langs[0].prodRules.size(), 2u);
+    const ProdRuleDecl &r0 = prog.langs[0].prodRules[0];
+    EXPECT_EQ(r0.edgeType, "E");
+    EXPECT_EQ(r0.srcType, "V");
+    EXPECT_EQ(r0.dstType, "I");
+    EXPECT_EQ(r0.targetVar, "s");
+    EXPECT_FALSE(r0.off);
+    const ProdRuleDecl &r1 = prog.langs[0].prodRules[1];
+    EXPECT_EQ(r1.srcVar, r1.dstVar); // self rule
+    EXPECT_TRUE(r1.off);
+}
+
+TEST(ParseLangTest, CstrPatterns)
+{
+    Program prog = parseProgram(R"(
+        lang x {
+            ntyp(1,sum) V {}; ntyp(1,sum) I {}; etyp E {};
+            cstr V {acc[match(0,inf,E,V->[I]), match(1,1,E,V)]
+                    rej[match(2,inf,E,[I]->V)]}
+        }
+    )");
+    const CstrDecl &cstr = prog.langs[0].cstrs[0];
+    EXPECT_EQ(cstr.nodeType, "V");
+    ASSERT_EQ(cstr.patterns.size(), 2u);
+    EXPECT_TRUE(cstr.patterns[0].accept);
+    ASSERT_EQ(cstr.patterns[0].clauses.size(), 2u);
+    EXPECT_EQ(cstr.patterns[0].clauses[0].dir, MatchDir::Out);
+    EXPECT_EQ(cstr.patterns[0].clauses[0].hi, -1); // inf
+    EXPECT_EQ(cstr.patterns[0].clauses[1].dir, MatchDir::Self);
+    EXPECT_FALSE(cstr.patterns[1].accept);
+    EXPECT_EQ(cstr.patterns[1].clauses[0].dir, MatchDir::In);
+    EXPECT_EQ(cstr.patterns[1].clauses[0].lo, 2);
+}
+
+TEST(ParseLangTest, ThreeArgSelfMatch)
+{
+    Program prog = parseProgram(R"(
+        lang x { ntyp(1,sum) V {}; etyp E {};
+                 cstr V {acc[match(1,1,E)]} }
+    )");
+    EXPECT_EQ(prog.langs[0].cstrs[0].patterns[0].clauses[0].dir,
+              MatchDir::Self);
+}
+
+TEST(ParseLangTest, ExternFunc)
+{
+    Program prog = parseProgram(R"(
+        lang x { ntyp(1,sum) V {}; extern-func grid-check; }
+    )");
+    ASSERT_EQ(prog.langs[0].externFuncs.size(), 1u);
+    EXPECT_EQ(prog.langs[0].externFuncs[0].name, "grid-check");
+}
+
+TEST(ParseLangTest, InheritanceClause)
+{
+    Program prog = parseProgram(R"(
+        lang base { ntyp(1,sum) V {}; }
+        lang derived inherits base {
+            ntyp(1,sum) Vm inherit V {};
+        }
+    )");
+    ASSERT_EQ(prog.langs.size(), 2u);
+    EXPECT_EQ(*prog.langs[1].inherits, "base");
+    EXPECT_EQ(*prog.langs[1].nodeTypes[0].inherits, "V");
+}
+
+TEST(ParseLangTest, HyphenatedNames)
+{
+    Program prog = parseProgram(R"(
+        lang gmc-tln { ntyp(1,sum) V {}; }
+        func br-func (br:int[0,1]) uses gmc-tln { node a : V; }
+    )");
+    EXPECT_EQ(prog.langs[0].name, "gmc-tln");
+    EXPECT_EQ(prog.funcs[0].name, "br-func");
+    EXPECT_EQ(prog.funcs[0].usesLang, "gmc-tln");
+}
+
+// --- function declarations -------------------------------------------------
+
+TEST(ParseFuncTest, FullFunction)
+{
+    Program prog = parseProgram(R"(
+        func f (br:int[0,1], g0:real[0,2]) uses tln {
+            node IN_V : V;
+            node I_0 : I;
+            edge <IN_V, I_0> E_0 : E;
+            set-attr IN_V.c = 1e-09;
+            set-attr IN_V.g = g0;
+            set-init IN_V(0) = 0.5;
+            set-switch E_0 when br;
+        }
+    )");
+    const FuncDecl &func = prog.funcs[0];
+    EXPECT_EQ(func.name, "f");
+    ASSERT_EQ(func.args.size(), 2u);
+    EXPECT_EQ(func.args[0].name, "br");
+    EXPECT_TRUE(func.args[0].type.isInt());
+    ASSERT_EQ(func.body.size(), 7u);
+    EXPECT_EQ(func.body[0].kind, FuncStmtKind::Node);
+    EXPECT_EQ(func.body[2].kind, FuncStmtKind::Edge);
+    EXPECT_EQ(func.body[2].src, "IN_V");
+    EXPECT_EQ(func.body[2].dst, "I_0");
+    EXPECT_EQ(func.body[3].kind, FuncStmtKind::SetAttr);
+    EXPECT_EQ(func.body[5].kind, FuncStmtKind::SetInit);
+    EXPECT_EQ(func.body[5].derivative, 0);
+    EXPECT_EQ(func.body[6].kind, FuncStmtKind::SetSwitch);
+}
+
+TEST(ParseFuncTest, SetEdgeAliasForSetSwitch)
+{
+    Program prog = parseProgram(R"(
+        func f () uses x { node a : V; node b : V;
+            edge <a,b> e0 : E; set-edge e0 when true; }
+    )");
+    EXPECT_EQ(prog.funcs[0].body[3].kind, FuncStmtKind::SetSwitch);
+}
+
+TEST(ParseFuncTest, DottedArgument)
+{
+    Program prog = parseProgram(R"(
+        func f (n0.c:real[0,1]) uses x { node n0 : V; }
+    )");
+    const FuncArgDecl &arg = prog.funcs[0].args[0];
+    EXPECT_TRUE(arg.isDotted());
+    EXPECT_EQ(arg.name, "n0");
+    EXPECT_EQ(arg.attrName, "c");
+}
+
+TEST(ParseFuncTest, Errors)
+{
+    EXPECT_THROW(parseProgram("func f () uses x { banana a : V; }"),
+                 ParseError);
+    EXPECT_THROW(parseProgram("func f () { node a : V; }"), ParseError);
+    EXPECT_THROW(parseProgram("func f () uses x { set-frob a.b = 1; }"),
+                 ParseError);
+    EXPECT_THROW(parseProgram("lang x { prod(e:E) s <= 1; }"),
+                 ParseError);
+    EXPECT_THROW(parseProgram("nonsense"), ParseError);
+}
+
+TEST(ParseFuncTest, ErrorCarriesLocation)
+{
+    try {
+        parseProgram("lang x {\n  wibble\n}");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &err) {
+        EXPECT_EQ(err.loc().line, 2);
+    }
+}
+
+// --- whole-paper listings ---------------------------------------------------
+
+TEST(ParsePaperTest, Figure7TlnSkeleton)
+{
+    EXPECT_NO_THROW(parseProgram(R"(
+        lang tln {
+            ntyp(1,sum) V {attr c=real[1e-10,1e-08],
+                           attr g=real[0,inf]};
+            ntyp(1,sum) I {attr l=real[1e-10,1e-08],
+                           attr r=real[0,inf]};
+            ntyp(0,sum) InpV {attr fn=fn(a0),attr r=real[0,inf]};
+            ntyp(0,sum) InpI {attr fn=fn(a0),attr g=real[0,inf]};
+            etyp E {};
+            prod(e:E,s:V->t:I) s<=-var(t)/s.c;
+            prod(e:E,s:V->t:I) t<=var(s)/t.l;
+            cstr V {acc[
+                match(0,inf,E,V->[I]),match(0,inf,E,[I]->V),
+                match(0,inf,E,[InpV]->V),
+                match(0,inf,E,[InpI]->V),
+                match(1,1,E,V)]}
+            cstr I {acc[match(0,1,E,I->[V]),
+                match(0,1,E,[V,InpV,InpI]->I),
+                match(1,1,E,I)]}
+        }
+    )"));
+}
+
+TEST(ParsePaperTest, Figure12Obc)
+{
+    Program prog = parseProgram(R"(
+        lang obc {
+            ntyp(1,sum) Osc {};
+            etyp Cpl {attr k=real[-8,8]};
+            prod(e:Cpl,s:Osc->t:Osc) s<=-1.6e9*e.k*sin(var(s)-var(t));
+            prod(e:Cpl,s:Osc->t:Osc) t<=-1.6e9*e.k*sin(-var(s)+var(t));
+            prod(e:Cpl,s:Osc->s:Osc) s<=-1e9*sin(2*var(s));
+        }
+    )");
+    EXPECT_EQ(prog.langs[0].prodRules.size(), 3u);
+}
+
+} // namespace

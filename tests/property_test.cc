@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Cross-cutting randomized properties:
+ *  - randomly generated valid TLN graphs always validate, compile,
+ *    simulate, and map to SPICE within tolerance;
+ *  - validator engines (ILP vs max-flow) agree on randomized graphs,
+ *    including invalid ones;
+ *  - mismatch sampling is invariant across builder runs with the same
+ *    seed and differs across seeds;
+ *  - the gmc-tln cast property holds across random line topologies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compiler/compiler.h"
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+#include "sim/sim.h"
+#include "spice/map_tln.h"
+#include "spice/mna.h"
+#include "support/linalg.h"
+#include "support/rng.h"
+#include "validator/validator.h"
+
+namespace {
+
+using namespace ark;
+namespace ptln = paradigms::tln;
+
+class PipelineProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        registry_ = new lang::LanguageRegistry(
+            paradigms::makeStandardRegistry());
+    }
+    static void TearDownTestSuite()
+    {
+        delete registry_;
+        registry_ = nullptr;
+    }
+    static lang::LanguageRegistry *registry_;
+};
+
+lang::LanguageRegistry *PipelineProperty::registry_ = nullptr;
+
+TEST_P(PipelineProperty, RandomValidTlnGraphsRunEndToEnd)
+{
+    support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+    const lang::Language &gmc = registry_->language("gmc-tln");
+    for (int trial = 0; trial < 4; ++trial) {
+        ptln::LineSpec spec;
+        spec.sections = static_cast<int>(rng.uniformInt(2, 14));
+        spec.inductance = rng.uniform(2e-10, 5e-9);
+        spec.capacitance = rng.uniform(2e-10, 5e-9);
+        spec.sourceConductance = rng.uniform(0.3, 3.0);
+        spec.termConductance = rng.uniform(0.3, 3.0);
+        spec.pulseWidth = rng.uniform(0.5e-8, 2e-8);
+        spec.mismatchC = rng.bernoulli(0.5);
+        spec.mismatchGm = rng.bernoulli(0.5);
+        spec.seed = rng.deriveSeed();
+
+        dg::Graph graph =
+            rng.bernoulli(0.5)
+                ? ptln::buildLine(gmc, spec)
+                : [&] {
+                      ptln::BranchSpec branch;
+                      branch.line = spec;
+                      branch.stubSections =
+                          static_cast<int>(rng.uniformInt(1, 5));
+                      branch.attachAt = static_cast<int>(
+                          rng.uniformInt(0, spec.sections));
+                      return ptln::buildBranched(gmc, branch);
+                  }();
+
+        // Valid by construction.
+        validator::ValidationResult ilp =
+            validator::validate(graph, gmc, validator::Engine::Ilp);
+        validator::ValidationResult flow =
+            validator::validate(graph, gmc, validator::Engine::Flow);
+        EXPECT_TRUE(ilp.ok) << ilp.summary();
+        EXPECT_EQ(ilp.ok, flow.ok);
+
+        // Compiles and simulates without error; the waveform stays
+        // bounded (passive network, bounded input).
+        compiler::OdeSystem system = compiler::compile(graph, gmc);
+        sim::SimOptions options;
+        options.recordDt = 1e-9;
+        sim::SimResult result =
+            sim::simulate(system, 0.0, 4e-8, options);
+        int out = system.stateIndex(ptln::outputNode(), 0);
+        for (double v : result.trajectory.series(out)) {
+            EXPECT_LT(std::fabs(v), 10.0);
+        }
+    }
+}
+
+TEST_P(PipelineProperty, CorruptedGraphsRejectedByBothEngines)
+{
+    support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+    const lang::Language &tln = registry_->language("tln");
+    for (int trial = 0; trial < 4; ++trial) {
+        ptln::LineSpec spec;
+        spec.sections = static_cast<int>(rng.uniformInt(2, 8));
+        dg::Graph graph = ptln::buildLine(tln, spec);
+
+        // Corrupt: add an illegal V->V edge between random distinct
+        // V nodes (the malformation of Figure 2-(iii)).
+        std::vector<dg::NodeId> vNodes;
+        for (std::size_t i = 0; i < graph.numNodes(); ++i) {
+            dg::NodeId id{static_cast<std::int32_t>(i)};
+            if (graph.node(id).type == "V")
+                vNodes.push_back(id);
+        }
+        auto a = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(vNodes.size()) - 1));
+        auto b = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(vNodes.size()) - 1));
+        if (a == b)
+            b = (b + 1) % vNodes.size();
+        graph.addEdge("corrupt", "E", vNodes[a], vNodes[b]);
+
+        validator::ValidationResult ilp =
+            validator::validate(graph, tln, validator::Engine::Ilp);
+        validator::ValidationResult flow =
+            validator::validate(graph, tln, validator::Engine::Flow);
+        EXPECT_FALSE(ilp.ok);
+        EXPECT_EQ(ilp.ok, flow.ok);
+    }
+}
+
+TEST_P(PipelineProperty, SpiceMappingTracksOdeOnRandomLines)
+{
+    support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+    const lang::Language &gmc = registry_->language("gmc-tln");
+    ptln::LineSpec spec;
+    spec.sections = static_cast<int>(rng.uniformInt(2, 8));
+    spec.mismatchC = true;
+    spec.mismatchGm = true;
+    spec.seed = rng.deriveSeed();
+    dg::Graph graph = ptln::buildLine(gmc, spec);
+
+    compiler::OdeSystem system = compiler::compile(graph, gmc);
+    sim::SimOptions options;
+    options.relTol = 1e-8;
+    options.absTol = 1e-12;
+    options.recordDt = 2e-11;
+    sim::SimResult ode = sim::simulate(system, 0.0, 2e-8, options);
+
+    spice::MappedTln mapped = spice::mapTlnToSpice(graph, gmc);
+    spice::MnaSystem mna(mapped.netlist);
+    spice::TransientResult tran =
+        spice::transient(mna, 0.0, 2e-8, 1e-11);
+
+    int out = system.stateIndex(ptln::outputNode(), 0);
+    auto circuit = static_cast<std::size_t>(
+        mapped.circuitNodeOf.at(ptln::outputNode()));
+    std::vector<double> a, b;
+    for (int g = 0; g < 150; ++g) {
+        double t = 2e-8 * g / 149.0;
+        a.push_back(ode.trajectory.sampleAt(out, t));
+        std::size_t step = std::min(
+            static_cast<std::size_t>(t / 1e-11), tran.times.size() - 1);
+        b.push_back(tran.states[step][circuit]);
+    }
+    EXPECT_LT(support::relativeRmse(a, b), 0.01);
+}
+
+TEST_P(PipelineProperty, MismatchSamplingStableAcrossRebuilds)
+{
+    const lang::Language &gmc = registry_->language("gmc-tln");
+    auto seed = static_cast<std::uint64_t>(GetParam());
+    ptln::LineSpec spec;
+    spec.sections = 5;
+    spec.mismatchGm = true;
+    spec.seed = seed;
+    dg::Graph a = ptln::buildLine(gmc, spec);
+    dg::Graph b = ptln::buildLine(gmc, spec);
+    spec.seed = seed + 1000;
+    dg::Graph c = ptln::buildLine(gmc, spec);
+    bool anyDiffer = false;
+    for (std::size_t i = 0; i < a.numEdges(); ++i) {
+        dg::EdgeId id{static_cast<std::int32_t>(i)};
+        if (!a.edgeTypeOf(id).findAttr("ws"))
+            continue;
+        EXPECT_DOUBLE_EQ(a.edgeAttr(id, "ws").asReal(),
+                         b.edgeAttr(id, "ws").asReal());
+        anyDiffer |= a.edgeAttr(id, "ws").asReal() !=
+                     c.edgeAttr(id, "ws").asReal();
+    }
+    EXPECT_TRUE(anyDiffer);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Range(1, 7));
+
+} // namespace

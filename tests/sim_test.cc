@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the ODE simulation engine against closed-form solutions:
+ * exponential decay, harmonic oscillation (order-2 nodes), driven
+ * systems, method agreement, steady-state detection, trajectory
+ * sampling, and failure modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "compiler/compiler.h"
+#include "lang/func.h"
+#include "lang/registry.h"
+#include "sim/sim.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace ark;
+using compiler::OdeSystem;
+using lang::GraphBuilder;
+using sim::Method;
+using sim::SimOptions;
+using sim::SimResult;
+using support::SimError;
+
+/** dx/dt = -k x built through the full Ark pipeline. */
+OdeSystem
+decaySystem(lang::LanguageRegistry &registry, double k, double x0)
+{
+    if (!registry.findLanguage("decay")) {
+        registry.addProgram(R"(
+            lang decay {
+                ntyp(1,sum) X {attr k=real[0,100]};
+                etyp E {};
+                prod(e:E,s:X->s:X) s <= -s.k*var(s);
+            }
+        )");
+    }
+    GraphBuilder builder(registry.language("decay"), 0);
+    builder.node("x", "X");
+    builder.attr("x", "k", k);
+    builder.edge("self", "E", "x", "x");
+    builder.init("x", 0, x0);
+    return compiler::compile(builder.take(),
+                             registry.language("decay"));
+}
+
+/** x'' = -w^2 x (order-2 node) — exact solution cos(w t). */
+OdeSystem
+oscillatorSystem(lang::LanguageRegistry &registry, double w)
+{
+    if (!registry.findLanguage("osc2")) {
+        registry.addProgram(R"(
+            lang osc2 {
+                ntyp(2,sum) X {attr w2=real[0,1000],
+                               init(0) real[-10,10],
+                               init(1) real[-10,10]};
+                etyp E {};
+                prod(e:E,s:X->s:X) s <= -s.w2*var(s);
+            }
+        )");
+    }
+    GraphBuilder builder(registry.language("osc2"), 0);
+    builder.node("x", "X");
+    builder.attr("x", "w2", w * w);
+    builder.edge("self", "E", "x", "x");
+    builder.init("x", 0, 1.0);
+    builder.init("x", 1, 0.0);
+    return compiler::compile(builder.take(), registry.language("osc2"));
+}
+
+class SimMethodTest : public ::testing::TestWithParam<Method>
+{
+};
+
+TEST_P(SimMethodTest, ExponentialDecayMatchesAnalytic)
+{
+    lang::LanguageRegistry registry;
+    OdeSystem system = decaySystem(registry, 2.0, 5.0);
+    SimOptions options;
+    options.method = GetParam();
+    options.dt = 1e-3;
+    SimResult result = sim::simulate(system, 0.0, 3.0, options);
+    for (double t : {0.5, 1.0, 2.0, 3.0}) {
+        EXPECT_NEAR(result.trajectory.sampleAt(0, t),
+                    5.0 * std::exp(-2.0 * t), 1e-4)
+            << "t=" << t;
+    }
+}
+
+TEST_P(SimMethodTest, HarmonicOscillatorPreservesAmplitude)
+{
+    lang::LanguageRegistry registry;
+    OdeSystem system = oscillatorSystem(registry, 2.0 * std::numbers::pi);
+    SimOptions options;
+    options.method = GetParam();
+    options.dt = 1e-4;
+    options.relTol = 1e-9;
+    options.absTol = 1e-12;
+    SimResult result = sim::simulate(system, 0.0, 3.0, options);
+    // x(t) = cos(2 pi t): period 1, amplitude 1.
+    EXPECT_NEAR(result.trajectory.sampleAt(0, 1.0), 1.0, 1e-3);
+    EXPECT_NEAR(result.trajectory.sampleAt(0, 1.5), -1.0, 1e-3);
+    EXPECT_NEAR(result.trajectory.sampleAt(0, 2.25), 0.0, 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, SimMethodTest,
+                         ::testing::Values(Method::Rk4, Method::Dopri5),
+                         [](const auto &info) {
+                             return info.param == Method::Rk4
+                                        ? "Rk4"
+                                        : "Dopri5";
+                         });
+
+TEST(SimTest, MethodsAgreeOnSmoothSystem)
+{
+    lang::LanguageRegistry registry;
+    OdeSystem system = decaySystem(registry, 1.0, 1.0);
+    SimOptions rk4;
+    rk4.method = Method::Rk4;
+    rk4.dt = 1e-3;
+    SimOptions dp;
+    dp.method = Method::Dopri5;
+    dp.relTol = 1e-9;
+    dp.absTol = 1e-12;
+    SimResult a = sim::simulate(system, 0.0, 2.0, rk4);
+    SimResult b = sim::simulate(system, 0.0, 2.0, dp);
+    for (double t : {0.25, 0.5, 1.0, 1.75}) {
+        EXPECT_NEAR(a.trajectory.sampleAt(0, t),
+                    b.trajectory.sampleAt(0, t), 1e-6);
+    }
+    // The adaptive method should use far fewer steps.
+    EXPECT_LT(b.steps, a.steps / 5);
+}
+
+TEST(SimTest, AdaptiveStepsConcentrateAtTransients)
+{
+    // A stiff-ish pulse-driven node: steps shrink during the pulse.
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang drv {
+            ntyp(1,sum) X {};
+            ntyp(0,sum) S {attr fn=lambd(a0)};
+            etyp E {};
+            prod(e:E,s:S->t:X) t <= s.fn(time) - var(t);
+        }
+    )");
+    GraphBuilder builder(registry.language("drv"), 0);
+    builder.node("s", "S");
+    builder.node("x", "X");
+    expr::Lambda pulse{{"a0"},
+                       expr::Expr::call("pulse",
+                                        {expr::Expr::var("a0"),
+                                         expr::Expr::real(1.0),
+                                         expr::Expr::real(0.1)})};
+    builder.attr("s", "fn", expr::Value::function(pulse));
+    builder.edge("e", "E", "s", "x");
+    OdeSystem system =
+        compiler::compile(builder.take(), registry.language("drv"));
+    // maxDt must bound steps below the pulse width, otherwise the
+    // stepper can clear the pulse without sampling it (see SimOptions).
+    SimOptions options;
+    options.maxDt = 0.05;
+    SimResult result = sim::simulate(system, 0.0, 3.0, options);
+    // The response must show the pulse: x rises after t=1 then decays.
+    EXPECT_LT(result.trajectory.sampleAt(0, 0.9), 0.01);
+    EXPECT_GT(result.trajectory.sampleAt(0, 1.1), 0.05);
+    EXPECT_LT(result.trajectory.sampleAt(0, 3.0),
+              result.trajectory.sampleAt(0, 1.11));
+    // Step density: more accepted steps land inside [1.0, 1.2] than in
+    // the equally-long quiet window [0.5, 0.7].
+    int busy = 0, quiet = 0;
+    for (double t : result.trajectory.times()) {
+        busy += t >= 1.0 && t < 1.2;
+        quiet += t >= 0.5 && t < 0.7;
+    }
+    EXPECT_GT(busy, quiet);
+}
+
+TEST(SimTest, RecordStrideLimitsSamples)
+{
+    lang::LanguageRegistry registry;
+    OdeSystem system = decaySystem(registry, 1.0, 1.0);
+    SimOptions options;
+    options.method = Method::Rk4;
+    options.dt = 1e-3;
+    options.recordDt = 0.1;
+    SimResult result = sim::simulate(system, 0.0, 1.0, options);
+    EXPECT_LE(result.trajectory.size(), 13u);
+    EXPECT_GE(result.trajectory.size(), 10u);
+}
+
+TEST(SimTest, TrajectoryInterpolation)
+{
+    sim::Trajectory traj;
+    traj.addSample(0.0, {0.0});
+    traj.addSample(1.0, {10.0});
+    traj.addSample(2.0, {30.0});
+    EXPECT_DOUBLE_EQ(traj.sampleAt(0, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(traj.sampleAt(0, 1.5), 20.0);
+    EXPECT_DOUBLE_EQ(traj.sampleAt(0, -1.0), 0.0);  // clamped
+    EXPECT_DOUBLE_EQ(traj.sampleAt(0, 99.0), 30.0); // clamped
+    auto grid = traj.resample(0, 0.0, 2.0, 5);
+    ASSERT_EQ(grid.size(), 5u);
+    EXPECT_DOUBLE_EQ(grid[2], 10.0);
+    auto series = traj.series(0);
+    EXPECT_EQ(series.size(), 3u);
+}
+
+TEST(SimTest, SteadyStateDetection)
+{
+    lang::LanguageRegistry registry;
+    OdeSystem system = decaySystem(registry, 5.0, 1.0);
+    SimResult result =
+        sim::simulateToSteadyState(system, 0.0, 10.0, 1e-6);
+    EXPECT_TRUE(result.reachedSteadyState);
+    // An undamped oscillator never settles.
+    OdeSystem osc = oscillatorSystem(registry, 2.0);
+    SimResult never = sim::simulateToSteadyState(osc, 0.0, 5.0, 1e-6);
+    EXPECT_FALSE(never.reachedSteadyState);
+}
+
+TEST(SimTest, DivergenceRaisesSimError)
+{
+    // dx/dt = +x^3 blows up in finite time from x0=2
+    // (explosion at t = 1/(2 x0^2) = 0.125).
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang boom {
+            ntyp(1,sum) X {};
+            etyp E {};
+            prod(e:E,s:X->s:X) s <= var(s)*var(s)*var(s);
+        }
+    )");
+    GraphBuilder builder(registry.language("boom"), 0);
+    builder.node("x", "X");
+    builder.edge("self", "E", "x", "x");
+    builder.init("x", 0, 2.0);
+    OdeSystem system =
+        compiler::compile(builder.take(), registry.language("boom"));
+    SimOptions options;
+    options.method = Method::Rk4;
+    options.dt = 1e-3;
+    EXPECT_THROW(sim::simulate(system, 0.0, 1.0, options), SimError);
+}
+
+TEST(SimTest, BadTimeRangeRejected)
+{
+    lang::LanguageRegistry registry;
+    OdeSystem system = decaySystem(registry, 1.0, 1.0);
+    EXPECT_THROW(sim::simulate(system, 1.0, 1.0, SimOptions{}),
+                 SimError);
+    EXPECT_THROW(sim::simulate(system, 2.0, 1.0, SimOptions{}),
+                 SimError);
+}
+
+TEST(SimTest, StepBudgetGuards)
+{
+    lang::LanguageRegistry registry;
+    OdeSystem system = decaySystem(registry, 1.0, 1.0);
+    SimOptions options;
+    options.method = Method::Rk4;
+    options.dt = 1e-9; // would need 1e9 steps
+    options.maxSteps = 1000;
+    EXPECT_THROW(sim::simulate(system, 0.0, 1.0, options), SimError);
+}
+
+TEST(SimTest, FinalTimeRecorded)
+{
+    lang::LanguageRegistry registry;
+    OdeSystem system = decaySystem(registry, 1.0, 1.0);
+    SimOptions options;
+    options.recordDt = 0.3;
+    SimResult result = sim::simulate(system, 0.0, 1.0, options);
+    EXPECT_NEAR(result.trajectory.times().back(), 1.0, 1e-9);
+}
+
+} // namespace

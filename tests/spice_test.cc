@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the SPICE substrate: netlist construction, MNA stamps
+ * against closed-form circuit responses (RC, RL, RLC, dividers,
+ * VCCS), behavioral sources, and the GmC-TLN mapping equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "paradigms/cnn.h"
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+#include "compiler/compiler.h"
+#include "sim/sim.h"
+#include "spice/map_tln.h"
+#include "spice/mna.h"
+#include "spice/netlist.h"
+#include "support/error.h"
+#include "support/linalg.h"
+
+namespace {
+
+using namespace ark;
+using namespace ark::spice;
+using support::SemaError;
+
+TEST(NetlistTest, NodesAndElements)
+{
+    Netlist net;
+    int a = net.addNode("a");
+    int b = net.addNode("b");
+    net.resistor("R1", a, b, 100.0);
+    net.capacitor("C1", b, kGround, 1e-6);
+    EXPECT_EQ(net.numNodes(), 2);
+    EXPECT_EQ(net.node("b"), b);
+    EXPECT_EQ(net.elements().size(), 2u);
+    EXPECT_THROW(net.node("zz"), SemaError);
+    EXPECT_THROW(net.addNode("a"), SemaError);
+    EXPECT_THROW(net.resistor("R2", a, 99, 1.0), SemaError);
+    EXPECT_THROW(net.resistor("R3", a, b, -5.0), SemaError);
+}
+
+TEST(NetlistTest, SpiceTextEmission)
+{
+    Netlist net;
+    int a = net.addNode("a");
+    net.resistor("load", a, kGround, 50.0);
+    net.currentSource("in", kGround, a, 1.0);
+    std::string text = net.spiceText();
+    EXPECT_NE(text.find("Rload n0 0 50"), std::string::npos);
+    EXPECT_NE(text.find("Iin 0 n0 1"), std::string::npos);
+}
+
+TEST(MnaTest, ResistiveDividerDc)
+{
+    // 1A into two series 1-ohm resistors to ground: v = 2V, 1V.
+    Netlist net;
+    int top = net.addNode("top");
+    int mid = net.addNode("mid");
+    net.currentSource("in", kGround, top, 1.0);
+    net.resistor("R1", top, mid, 1.0);
+    net.resistor("R2", mid, kGround, 1.0);
+    MnaSystem system(net);
+    TransientResult result = transient(system, 0.0, 1e-3, 1e-4);
+    EXPECT_NEAR(result.states.back()[0], 2.0, 1e-9);
+    EXPECT_NEAR(result.states.back()[1], 1.0, 1e-9);
+}
+
+TEST(MnaTest, RcChargeMatchesAnalytic)
+{
+    // Series R from a 1V source charging C: v_c = 1 - exp(-t/RC).
+    Netlist net;
+    int src = net.addNode("src");
+    int cap = net.addNode("cap");
+    net.voltageSource("E", src, kGround, 1.0);
+    net.resistor("R", src, cap, 1000.0);
+    net.capacitor("C", cap, kGround, 1e-6);
+    MnaSystem system(net);
+    double tau = 1e-3;
+    TransientResult result = transient(system, 0.0, 5e-3, 1e-6);
+    for (std::size_t s = 0; s < result.times.size(); s += 500) {
+        double t = result.times[s];
+        EXPECT_NEAR(result.states[s][1], 1.0 - std::exp(-t / tau),
+                    2e-4)
+            << "t=" << t;
+    }
+}
+
+TEST(MnaTest, RlDecayMatchesAnalytic)
+{
+    // Inductor with initial current decaying into a resistor:
+    // i(t) = i0 exp(-R t / L).
+    Netlist net;
+    int n = net.addNode("n");
+    net.inductor("L", n, kGround, 1e-3);
+    net.resistor("R", n, kGround, 10.0);
+    MnaSystem system(net);
+    // One unknown node voltage + one branch current; set i(0) = 1.
+    std::vector<double> x0(system.size(), 0.0);
+    x0[1] = 1.0;
+    TransientResult result = transient(system, 0.0, 5e-4, 1e-7, x0);
+    double tau = 1e-4; // L/R
+    for (std::size_t s = 0; s < result.times.size(); s += 1000) {
+        double t = result.times[s];
+        EXPECT_NEAR(result.states[s][1], std::exp(-t / tau), 5e-3)
+            << "t=" << t;
+    }
+}
+
+TEST(MnaTest, LcOscillationFrequency)
+{
+    // Parallel LC with initial cap voltage: v = cos(t/sqrt(LC)).
+    Netlist net;
+    int n = net.addNode("n");
+    net.capacitor("C", n, kGround, 1e-9);
+    net.inductor("L", n, kGround, 1e-9);
+    MnaSystem system(net);
+    std::vector<double> x0(system.size(), 0.0);
+    x0[0] = 1.0;
+    double omega = 1.0 / std::sqrt(1e-9 * 1e-9); // 1e9 rad/s
+    double period = 2.0 * std::numbers::pi / omega;
+    TransientResult result =
+        transient(system, 0.0, 2.0 * period, period / 2000.0, x0);
+    // After one full period the voltage returns to ~1.
+    std::size_t idx = result.times.size() / 2;
+    EXPECT_NEAR(result.times[idx], period, period / 100.0);
+    EXPECT_NEAR(result.states[idx][0], 1.0, 0.01);
+    // Trapezoidal integration conserves the LC amplitude.
+    double maxLate = 0.0;
+    for (std::size_t s = idx; s < result.times.size(); ++s)
+        maxLate = std::max(maxLate, std::fabs(result.states[s][0]));
+    EXPECT_NEAR(maxLate, 1.0, 0.02);
+}
+
+TEST(MnaTest, VccsGain)
+{
+    // VCCS driving a load resistor: v_out = -gm * R * v_in.
+    Netlist net;
+    int in = net.addNode("in");
+    int out = net.addNode("out");
+    net.voltageSource("E", in, kGround, 0.5);
+    net.vccs("G", out, kGround, in, kGround, 0.01); // 10mS
+    net.resistor("RL", out, kGround, 1000.0);
+    MnaSystem system(net);
+    TransientResult result = transient(system, 0.0, 1e-3, 1e-4);
+    EXPECT_NEAR(result.states.back()[1], -5.0, 1e-9);
+}
+
+TEST(MnaTest, BehavioralSourceWaveform)
+{
+    // Current source i(t) = t into a 1-ohm resistor: v = t.
+    Netlist net;
+    int n = net.addNode("n");
+    net.currentSource("in", kGround, n, 0.0,
+                      [](double t) { return t; });
+    net.resistor("R", n, kGround, 1.0);
+    MnaSystem system(net);
+    TransientResult result = transient(system, 0.0, 1.0, 1e-3);
+    EXPECT_NEAR(result.states.back()[0], 1.0, 1e-9);
+    EXPECT_NEAR(result.series(0)[500], result.times[500], 1e-9);
+}
+
+TEST(MnaTest, BadArgumentsRejected)
+{
+    Netlist net;
+    net.addNode("n");
+    MnaSystem system(net);
+    EXPECT_THROW(transient(system, 0.0, 0.0, 1e-3), SemaError);
+    EXPECT_THROW(transient(system, 0.0, 1.0, -1e-3), SemaError);
+    EXPECT_THROW(transient(system, 0.0, 1.0, 1e-3, {1.0, 2.0}),
+                 SemaError);
+}
+
+// --- GmC-TLN mapping -----------------------------------------------------------
+
+class MapTlnTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        registry_ = new lang::LanguageRegistry(
+            paradigms::makeStandardRegistry());
+    }
+    static void TearDownTestSuite()
+    {
+        delete registry_;
+        registry_ = nullptr;
+    }
+    static lang::LanguageRegistry *registry_;
+};
+
+lang::LanguageRegistry *MapTlnTest::registry_ = nullptr;
+
+TEST_F(MapTlnTest, StructuralMapping)
+{
+    const lang::Language &tln = registry_->language("tln");
+    paradigms::tln::LineSpec spec;
+    spec.sections = 3;
+    dg::Graph graph = paradigms::tln::buildLine(tln, spec);
+    MappedTln mapped = mapTlnToSpice(graph, tln);
+    // 4 V nodes + 3 I nodes = 7 circuit nodes, one cap each.
+    EXPECT_EQ(mapped.netlist.numNodes(), 7);
+    int caps = 0, vccs = 0, sources = 0, resistors = 0;
+    for (const Element &elem : mapped.netlist.elements()) {
+        caps += elem.kind == ElemKind::Capacitor;
+        vccs += elem.kind == ElemKind::Vccs;
+        sources += elem.kind == ElemKind::CurrentSource;
+        resistors += elem.kind == ElemKind::Resistor;
+    }
+    EXPECT_EQ(caps, 7);
+    EXPECT_EQ(vccs, 12);     // 6 couplings x 2
+    EXPECT_EQ(sources, 1);   // the pulse input
+    EXPECT_EQ(resistors, 2); // OUT_V termination + input conductance
+}
+
+TEST_F(MapTlnTest, DynamicsMatchOdeCompiler)
+{
+    const lang::Language &gmc = registry_->language("gmc-tln");
+    paradigms::tln::LineSpec spec;
+    spec.sections = 4;
+    spec.mismatchC = true;
+    spec.mismatchGm = true;
+    spec.seed = 3;
+    dg::Graph graph = paradigms::tln::buildLine(gmc, spec);
+
+    compiler::OdeSystem system = compiler::compile(graph, gmc);
+    sim::SimOptions options;
+    options.relTol = 1e-9;
+    options.absTol = 1e-13;
+    options.recordDt = 1e-10;
+    sim::SimResult ode = sim::simulate(system, 0.0, 2e-8, options);
+
+    MappedTln mapped = mapTlnToSpice(graph, gmc);
+    MnaSystem mna(mapped.netlist);
+    TransientResult tran = transient(mna, 0.0, 2e-8, 1e-11);
+
+    int odeIdx = system.stateIndex("OUT_V", 0);
+    auto circuitIdx = static_cast<std::size_t>(
+        mapped.circuitNodeOf.at("OUT_V"));
+    std::vector<double> odeSeries, spiceSeries;
+    for (int g = 0; g < 100; ++g) {
+        double t = 2e-8 * g / 99.0;
+        odeSeries.push_back(ode.trajectory.sampleAt(odeIdx, t));
+        std::size_t step = static_cast<std::size_t>(t / 1e-11);
+        step = std::min(step, tran.times.size() - 1);
+        spiceSeries.push_back(tran.states[step][circuitIdx]);
+    }
+    EXPECT_LT(support::relativeRmse(odeSeries, spiceSeries), 0.01);
+}
+
+TEST_F(MapTlnTest, RejectsForeignLanguages)
+{
+    const lang::Language &cnn = registry_->language("cnn");
+    paradigms::cnn::CnnSpec spec;
+    spec.width = 4;
+    spec.height = 4;
+    std::vector<double> pixels(16, -1.0);
+    dg::Graph graph = paradigms::cnn::buildCnn(cnn, spec, pixels);
+    EXPECT_THROW(mapTlnToSpice(graph, cnn), SemaError);
+}
+
+TEST_F(MapTlnTest, DisabledEdgesOmitted)
+{
+    const lang::Language &gmc = registry_->language("gmc-tln");
+    dg::Graph on = registry_->invoke("br-func",
+                                     {expr::Value::integer(1)});
+    dg::Graph off = registry_->invoke("br-func",
+                                      {expr::Value::integer(0)});
+    const lang::Language &tln = registry_->language("tln");
+    MappedTln mappedOn = mapTlnToSpice(on, tln);
+    MappedTln mappedOff = mapTlnToSpice(off, tln);
+    EXPECT_GT(mappedOn.netlist.elements().size(),
+              mappedOff.netlist.elements().size());
+    (void)gmc;
+}
+
+} // namespace

