@@ -2,7 +2,8 @@
  * @file
  * Ablation: compiled evaluation tapes versus the tree-walking
  * interpreter on real ODE right-hand sides (the Kuramoto coupling
- * expression and a full TLN system RHS).
+ * expression and a full TLN system RHS), and the fused whole-system
+ * tape versus the per-variable tape loop.
  */
 
 #include <benchmark/benchmark.h>
@@ -10,6 +11,7 @@
 #include "compiler/compiler.h"
 #include "expr/eval.h"
 #include "expr/fold.h"
+#include "expr/fusedtape.h"
 #include "expr/tape.h"
 #include "lang/parser.h"
 #include "paradigms/standard.h"
@@ -85,23 +87,47 @@ BM_SystemRhsInterpreted(benchmark::State &state)
 }
 BENCHMARK(BM_SystemRhsInterpreted);
 
-void
-BM_SystemRhsTape(benchmark::State &state)
+/** The paper's 32-section TLN system (the ISSUE-1 reference target). */
+compiler::OdeSystem
+tln32System()
 {
     lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
     const lang::Language &tln = registry.language("tln");
     paradigms::tln::LineSpec spec;
     spec.sections = 32;
-    compiler::OdeSystem system =
-        compiler::compile(paradigms::tln::buildLine(tln, spec), tln);
+    return compiler::compile(paradigms::tln::buildLine(tln, spec), tln);
+}
+
+void
+BM_SystemRhsTape(benchmark::State &state)
+{
+    compiler::OdeSystem system = tln32System();
     std::vector<double> x = system.initialState();
     std::vector<double> dx(system.size());
-    std::vector<double> scratch;
+    std::vector<double> scratch = system.makeScratch();
     for (auto _ : state) {
-        system.evalRhs(x.data(), 1e-9, dx.data(), scratch);
+        system.evalRhsPerTape(x.data(), 1e-9, dx.data(), scratch);
         benchmark::DoNotOptimize(dx[0]);
     }
 }
 BENCHMARK(BM_SystemRhsTape);
+
+void
+BM_SystemRhsFused(benchmark::State &state)
+{
+    compiler::OdeSystem system = tln32System();
+    std::vector<double> x = system.initialState();
+    std::vector<double> dx(system.size());
+    std::vector<double> scratch = system.makeScratch();
+    for (auto _ : state) {
+        system.evalRhs(x.data(), 1e-9, dx.data(), scratch);
+        benchmark::DoNotOptimize(dx[0]);
+    }
+    state.counters["instructions"] = static_cast<double>(
+        system.fusedTape().size());
+    state.counters["registers"] = static_cast<double>(
+        system.fusedTape().numRegs());
+}
+BENCHMARK(BM_SystemRhsFused);
 
 } // namespace

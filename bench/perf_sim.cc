@@ -2,7 +2,8 @@
  * @file
  * Ablation: fixed-step RK4 versus adaptive DOPRI5 on the paper's
  * workloads (TLN pulse propagation; Kuramoto max-cut relaxation),
- * and the SPICE MNA engine on the mapped equivalent.
+ * the SPICE MNA engine on the mapped equivalent, and the thread-pooled
+ * ensemble driver versus a serial restart loop.
  */
 
 #include <benchmark/benchmark.h>
@@ -14,6 +15,7 @@
 #include "sim/sim.h"
 #include "spice/map_tln.h"
 #include "spice/mna.h"
+#include "support/rng.h"
 
 namespace {
 
@@ -81,6 +83,68 @@ BM_SimMaxcutDopri5(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SimMaxcutDopri5);
+
+/** 8 Kuramoto max-cut restarts with random initial phases. */
+std::pair<compiler::OdeSystem, std::vector<std::vector<double>>>
+maxcutRestartBattery()
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &obc = registry.language("obc");
+    paradigms::obc::MaxcutInstance instance;
+    instance.numVertices = 4;
+    instance.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}};
+    paradigms::obc::MaxcutSpec spec;
+    spec.initPhases = {0.3, 2.0, 4.1, 5.5};
+    compiler::OdeSystem system = compiler::compile(
+        paradigms::obc::buildMaxcut(obc, instance, spec), obc);
+    support::Rng rng(7);
+    std::vector<std::vector<double>> initials;
+    for (int restart = 0; restart < 8; ++restart) {
+        std::vector<double> phases;
+        for (std::size_t v = 0; v < system.size(); ++v)
+            phases.push_back(rng.uniform(0.0, 6.28));
+        initials.push_back(std::move(phases));
+    }
+    return {std::move(system), std::move(initials)};
+}
+
+void
+BM_SimEnsembleSerial(benchmark::State &state)
+{
+    auto [system, initials] = maxcutRestartBattery();
+    sim::SimOptions options;
+    options.recordDt = 1e-9;
+    for (auto _ : state) {
+        std::size_t steps = 0;
+        for (const auto &initial : initials) {
+            sim::SimResult result =
+                sim::simulate(system, initial, 0.0, 5e-8, options);
+            steps += result.steps;
+        }
+        benchmark::DoNotOptimize(steps);
+    }
+}
+BENCHMARK(BM_SimEnsembleSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimEnsembleThreaded(benchmark::State &state)
+{
+    auto [system, initials] = maxcutRestartBattery();
+    sim::EnsembleOptions options;
+    options.sim.recordDt = 1e-9;
+    options.numThreads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        std::vector<sim::SimResult> results = sim::simulateEnsemble(
+            system, initials, 0.0, 5e-8, options);
+        benchmark::DoNotOptimize(results.size());
+    }
+}
+BENCHMARK(BM_SimEnsembleThreaded)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void
 BM_SpiceMnaTransient(benchmark::State &state)

@@ -225,8 +225,15 @@ runMaxcutSims(const lang::Language &language, bool withOffset, int trials,
               std::uint64_t seedBase)
 {
     const double pi = std::numbers::pi;
+    // Random restarts: build and compile every trial's oscillator
+    // network first, then integrate the whole batch concurrently
+    // through the ensemble engine. Per-trial results are identical to
+    // the serial loop (the RNG draws happen in build order, and each
+    // instance integrates independently).
     std::vector<MaxcutOutcome> outcomes;
+    std::vector<compiler::OdeSystem> systems;
     outcomes.reserve(static_cast<std::size_t>(trials));
+    systems.reserve(static_cast<std::size_t>(trials));
     for (int trial = 0; trial < trials; ++trial) {
         support::Rng rng(seedBase + static_cast<std::uint64_t>(trial));
         MaxcutOutcome outcome;
@@ -245,18 +252,27 @@ runMaxcutSims(const lang::Language &language, bool withOffset, int trials,
         dg::Graph graph =
             pobc::buildMaxcut(language, outcome.instance, spec);
         validator::validateOrThrow(graph, language);
-        compiler::OdeSystem system = compiler::compile(graph, language);
-        sim::SimOptions options;
-        options.recordDt = 1e-9;
-        sim::SimResult result =
-            sim::simulate(system, 0.0, 5e-8, options);
-        const auto &final = result.trajectory.state(
-            result.trajectory.size() - 1);
-        for (int v = 0; v < 4; ++v) {
-            outcome.phases.push_back(final[static_cast<std::size_t>(
-                system.stateIndex(pobc::oscName(v), 0))]);
-        }
+        systems.push_back(compiler::compile(graph, language));
         outcomes.push_back(std::move(outcome));
+    }
+
+    std::vector<const compiler::OdeSystem *> pointers;
+    pointers.reserve(systems.size());
+    for (const compiler::OdeSystem &system : systems)
+        pointers.push_back(&system);
+    sim::EnsembleOptions options;
+    options.sim.recordDt = 1e-9;
+    std::vector<sim::SimResult> results =
+        sim::simulateEnsemble(pointers, 0.0, 5e-8, options);
+
+    for (std::size_t trial = 0; trial < results.size(); ++trial) {
+        const auto &trajectory = results[trial].trajectory;
+        auto final = trajectory.state(trajectory.size() - 1);
+        for (int v = 0; v < 4; ++v) {
+            outcomes[trial].phases.push_back(
+                final[static_cast<std::size_t>(
+                    systems[trial].stateIndex(pobc::oscName(v), 0))]);
+        }
     }
     return outcomes;
 }

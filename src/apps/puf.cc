@@ -111,17 +111,44 @@ TlnPuf::buildGraph(std::uint32_t challenge, std::uint64_t chipSeed) const
 std::vector<double>
 TlnPuf::waveform(std::uint32_t challenge, std::uint64_t chipSeed) const
 {
-    dg::Graph graph = buildGraph(challenge, chipSeed);
-    validator::validateOrThrow(graph, lang_);
-    compiler::OdeSystem system = compiler::compile(graph, lang_);
-    sim::SimOptions options;
-    options.recordDt = design_.windowEnd / 4000.0;
-    sim::SimResult result =
-        sim::simulate(system, 0.0, design_.windowEnd, options);
-    int out = system.stateIndex("OUT_V", 0);
-    return result.trajectory.resample(
-        out, design_.windowStart, design_.windowEnd,
-        static_cast<std::size_t>(design_.responseBits));
+    return std::move(waveformBatch(challenge, {chipSeed}, 1).front());
+}
+
+std::vector<std::vector<double>>
+TlnPuf::waveformBatch(std::uint32_t challenge,
+                      const std::vector<std::uint64_t> &chipSeeds,
+                      unsigned numThreads) const
+{
+    // Build + validate + compile every chip's graph up front (cheap
+    // relative to integration), then hand the whole battery to the
+    // ensemble engine.
+    std::vector<compiler::OdeSystem> systems;
+    systems.reserve(chipSeeds.size());
+    for (std::uint64_t chipSeed : chipSeeds) {
+        dg::Graph graph = buildGraph(challenge, chipSeed);
+        validator::validateOrThrow(graph, lang_);
+        systems.push_back(compiler::compile(graph, lang_));
+    }
+    std::vector<const compiler::OdeSystem *> pointers;
+    pointers.reserve(systems.size());
+    for (const compiler::OdeSystem &system : systems)
+        pointers.push_back(&system);
+
+    sim::EnsembleOptions options;
+    options.sim.recordDt = design_.windowEnd / 4000.0;
+    options.numThreads = numThreads;
+    std::vector<sim::SimResult> results =
+        sim::simulateEnsemble(pointers, 0.0, design_.windowEnd, options);
+
+    std::vector<std::vector<double>> waveforms;
+    waveforms.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        int out = systems[i].stateIndex("OUT_V", 0);
+        waveforms.push_back(results[i].trajectory.resample(
+            out, design_.windowStart, design_.windowEnd,
+            static_cast<std::size_t>(design_.responseBits)));
+    }
+    return waveforms;
 }
 
 const std::vector<double> &
@@ -138,18 +165,44 @@ std::vector<std::uint8_t>
 TlnPuf::response(std::uint32_t challenge, std::uint64_t chipSeed,
                  double noiseSigma, std::uint64_t noiseSeed) const
 {
+    return std::move(responseBatch(challenge, {chipSeed}, noiseSigma,
+                                   {noiseSeed}, 1)
+                         .front());
+}
+
+std::vector<std::vector<std::uint8_t>>
+TlnPuf::responseBatch(std::uint32_t challenge,
+                      const std::vector<std::uint64_t> &chipSeeds,
+                      double noiseSigma,
+                      const std::vector<std::uint64_t> &noiseSeeds,
+                      unsigned numThreads) const
+{
+    support::panicIf(!noiseSeeds.empty() &&
+                         noiseSeeds.size() != chipSeeds.size(),
+                     "responseBatch: need one noise seed per chip");
+    // Per the contract, empty noiseSeeds means no noise: sharing one
+    // implicit seed across chips would correlate every chip's noise
+    // and bias any uniqueness metric computed from the batch.
+    const bool applyNoise = noiseSigma > 0 && !noiseSeeds.empty();
     const std::vector<double> &nominal = nominalWaveform(challenge);
-    std::vector<double> measured = waveform(challenge, chipSeed);
-    support::Rng noise(noiseSeed);
-    std::vector<std::uint8_t> bits;
-    bits.reserve(measured.size());
-    for (std::size_t i = 0; i < measured.size(); ++i) {
-        double sample = measured[i];
-        if (noiseSigma > 0)
-            sample += noise.gaussian(0.0, noiseSigma);
-        bits.push_back(sample > nominal[i] ? 1 : 0);
+    std::vector<std::vector<double>> measured =
+        waveformBatch(challenge, chipSeeds, numThreads);
+
+    std::vector<std::vector<std::uint8_t>> responses;
+    responses.reserve(measured.size());
+    for (std::size_t chip = 0; chip < measured.size(); ++chip) {
+        support::Rng noise(applyNoise ? noiseSeeds[chip] : 0);
+        std::vector<std::uint8_t> bits;
+        bits.reserve(measured[chip].size());
+        for (std::size_t i = 0; i < measured[chip].size(); ++i) {
+            double sample = measured[chip][i];
+            if (applyNoise)
+                sample += noise.gaussian(0.0, noiseSigma);
+            bits.push_back(sample > nominal[i] ? 1 : 0);
+        }
+        responses.push_back(std::move(bits));
     }
-    return bits;
+    return responses;
 }
 
 double
@@ -178,16 +231,15 @@ evaluatePuf(const TlnPuf &puf, int numChips, int numChallenges,
     }
 
     // Responses per (challenge, chip); chip seeds start at 1 (0 is
-    // the nominal reference device).
+    // the nominal reference device). Each challenge's chip battery
+    // integrates concurrently through the ensemble engine.
+    std::vector<std::uint64_t> chipSeeds;
+    for (int chip = 1; chip <= numChips; ++chip)
+        chipSeeds.push_back(static_cast<std::uint64_t>(chip));
     std::vector<std::vector<std::vector<std::uint8_t>>> responses(
         challenges.size());
-    for (std::size_t ci = 0; ci < challenges.size(); ++ci) {
-        for (int chip = 1; chip <= numChips; ++chip) {
-            responses[ci].push_back(
-                puf.response(challenges[ci],
-                             static_cast<std::uint64_t>(chip)));
-        }
-    }
+    for (std::size_t ci = 0; ci < challenges.size(); ++ci)
+        responses[ci] = puf.responseBatch(challenges[ci], chipSeeds);
 
     double interSum = 0.0;
     int interCount = 0;
@@ -205,14 +257,18 @@ evaluatePuf(const TlnPuf &puf, int numChips, int numChallenges,
     double intraSum = 0.0;
     int intraCount = 0;
     for (std::size_t ci = 0; ci < challenges.size(); ++ci) {
+        // Seeds drawn per (challenge, chip) in the serial order, so
+        // metrics are unchanged by the batched evaluation.
+        std::vector<std::uint64_t> noiseSeeds;
+        noiseSeeds.reserve(chipSeeds.size());
+        for (int chip = 1; chip <= numChips; ++chip)
+            noiseSeeds.push_back(rng.deriveSeed());
+        auto remeasured = puf.responseBatch(challenges[ci], chipSeeds,
+                                            noiseSigma, noiseSeeds);
         for (int chip = 1; chip <= numChips; ++chip) {
-            auto remeasured =
-                puf.response(challenges[ci],
-                             static_cast<std::uint64_t>(chip),
-                             noiseSigma, rng.deriveSeed());
             intraSum += hammingFraction(
                 responses[ci][static_cast<std::size_t>(chip - 1)],
-                remeasured);
+                remeasured[static_cast<std::size_t>(chip - 1)]);
             ++intraCount;
         }
     }

@@ -64,6 +64,32 @@ class TlnPuf
                                  std::uint64_t chipSeed) const;
 
     /**
+     * OUT_V waveforms of many chips under one challenge. Each chip's
+     * dynamical graph is built and compiled up front, then all
+     * instances integrate concurrently through sim::simulateEnsemble;
+     * results match per-chip waveform() calls exactly.
+     * @param numThreads 0 picks the hardware concurrency.
+     */
+    std::vector<std::vector<double>> waveformBatch(
+        std::uint32_t challenge,
+        const std::vector<std::uint64_t> &chipSeeds,
+        unsigned numThreads = 0) const;
+
+    /**
+     * Challenge responses of many chips under one challenge, batched
+     * through the ensemble engine. `noiseSeeds` must be empty or hold
+     * one seed per chip; noise is applied only when `noiseSigma` is
+     * positive AND per-chip seeds are given (a shared implicit seed
+     * would correlate the chips' noise).
+     */
+    std::vector<std::vector<std::uint8_t>> responseBatch(
+        std::uint32_t challenge,
+        const std::vector<std::uint64_t> &chipSeeds,
+        double noiseSigma = 0.0,
+        const std::vector<std::uint64_t> &noiseSeeds = {},
+        unsigned numThreads = 0) const;
+
+    /**
      * Challenge response: one bit per sample, set when the chip's
      * waveform exceeds the nominal device's waveform at that sample.
      * Additive Gaussian measurement noise models re-measurement.

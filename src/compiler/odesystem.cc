@@ -32,6 +32,14 @@ OdeSystem::OdeSystem(std::vector<StateVar> vars,
     tapes_.reserve(rhs_.size());
     for (const auto &e : rhs_)
         tapes_.push_back(expr::Tape::compile(e));
+    fused_ = expr::FusedTape::compile(rhs_);
+
+    // One scratch block serves both evaluation paths.
+    scratchSize_ = static_cast<std::size_t>(fused_.numRegs());
+    for (const auto &tape : tapes_) {
+        scratchSize_ = std::max(
+            scratchSize_, static_cast<std::size_t>(tape.numRegs()));
+    }
 }
 
 int
@@ -49,8 +57,20 @@ void
 OdeSystem::evalRhs(const double *state, double t, double *dstate,
                    std::vector<double> &scratch) const
 {
+    if (scratch.size() < scratchSize_)
+        scratch.resize(scratchSize_);
+    fused_.evalInto(state, t, dstate, scratch.data());
+}
+
+void
+OdeSystem::evalRhsPerTape(const double *state, double t, double *dstate,
+                          std::vector<double> &scratch) const
+{
+    if (scratch.size() < scratchSize_)
+        scratch.resize(scratchSize_);
+    double *regs = scratch.data();
     for (std::size_t i = 0; i < tapes_.size(); ++i)
-        dstate[i] = tapes_[i].eval(state, t, scratch);
+        dstate[i] = tapes_[i].eval(state, t, regs);
 }
 
 void

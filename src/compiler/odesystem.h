@@ -4,17 +4,26 @@
 /**
  * @file
  * The compiled dynamical system: state variables, initial values, and
- * right-hand-side expressions (as both trees and evaluation tapes).
+ * right-hand-side expressions (as trees and evaluation tapes).
  *
  * A node of order p contributes p state variables q_0..q_{p-1}
  * (LowOrdEqs chain dq_i/dt = q_{i+1}); order-0 nodes are inlined as
  * pure functions and own no state.
+ *
+ * The RHS is compiled twice: into one expr::FusedTape covering the
+ * whole system (the hot path — cross-equation common subexpressions
+ * are computed once and one pass fills all of dstate) and into
+ * per-variable expr::Tapes (reference path for ablation benchmarks
+ * and equivalence tests). Scratch is sized once per system
+ * (scratchSize()); evalRhs* only grow an undersized caller buffer on
+ * the first call, keeping resizes out of the integration loop.
  */
 
 #include <string>
 #include <vector>
 
 #include "expr/expr.h"
+#include "expr/fusedtape.h"
 #include "expr/tape.h"
 
 namespace ark::compiler {
@@ -51,16 +60,39 @@ class OdeSystem
     int stateIndex(const std::string &node, int derivative = 0) const;
 
     /**
-     * Evaluates the right-hand side into dstate using the compiled
-     * tapes. `scratch` is caller-owned to keep the hot loop
-     * allocation-free.
+     * Evaluates the right-hand side into dstate using the fused
+     * whole-system tape. `scratch` is caller-owned to keep the hot
+     * loop allocation-free; it is grown to scratchSize() on first use
+     * and never resized again.
      */
     void evalRhs(const double *state, double t, double *dstate,
                  std::vector<double> &scratch) const;
 
+    /**
+     * Per-variable tape evaluation (the pre-fusion hot path); kept
+     * for ablation benchmarks and equivalence tests.
+     */
+    void evalRhsPerTape(const double *state, double t, double *dstate,
+                        std::vector<double> &scratch) const;
+
     /** Reference tree-walking evaluation (tests, perf ablation). */
     void evalRhsInterpreted(const double *state, double t,
                             double *dstate) const;
+
+    /** Scratch doubles evalRhs/evalRhsPerTape require. */
+    std::size_t scratchSize() const { return scratchSize_; }
+
+    /** A correctly sized scratch buffer for evalRhs*. */
+    std::vector<double> makeScratch() const
+    {
+        return std::vector<double>(scratchSize_);
+    }
+
+    /** The fused whole-system tape (introspection, benchmarks). */
+    const expr::FusedTape &fusedTape() const { return fused_; }
+
+    /** The per-variable tapes (introspection, benchmarks). */
+    const std::vector<expr::Tape> &tapes() const { return tapes_; }
 
     /** Pretty-printed equations, one per line ("d name/dt = ..."). */
     std::string equationsStr() const;
@@ -70,6 +102,8 @@ class OdeSystem
     std::vector<double> initial_;
     std::vector<expr::ExprPtr> rhs_;
     std::vector<expr::Tape> tapes_;
+    expr::FusedTape fused_;
+    std::size_t scratchSize_ = 0;
 };
 
 } // namespace ark::compiler

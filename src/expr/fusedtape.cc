@@ -1,0 +1,468 @@
+#include "expr/fusedtape.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+
+#include "expr/tape_exec.h"
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::expr {
+
+using support::cat;
+using support::CompileError;
+
+namespace {
+
+/** Structural identity of an SSA value (operands are value ids). */
+struct ValKey
+{
+    OpCode op;
+    Builtin builtin;
+    int a, b, c;
+    std::uint64_t immBits; ///< Const payload, bit-exact (-0.0 != 0.0).
+
+    bool operator==(const ValKey &) const = default;
+};
+
+struct ValKeyHash
+{
+    std::size_t
+    operator()(const ValKey &k) const
+    {
+        std::uint64_t h = 1469598103934665603ull;
+        auto mix = [&h](std::uint64_t v) {
+            h ^= v;
+            h *= 1099511628211ull;
+        };
+        mix(static_cast<std::uint64_t>(k.op));
+        mix(static_cast<std::uint64_t>(k.builtin));
+        mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(k.a)));
+        mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(k.b)));
+        mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(k.c)));
+        mix(k.immBits);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+OpCode
+binOpCode(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: return OpCode::Add;
+      case BinOp::Sub: return OpCode::Sub;
+      case BinOp::Mul: return OpCode::Mul;
+      case BinOp::Div: return OpCode::Div;
+      case BinOp::Lt: return OpCode::Lt;
+      case BinOp::Le: return OpCode::Le;
+      case BinOp::Gt: return OpCode::Gt;
+      case BinOp::Ge: return OpCode::Ge;
+      case BinOp::Eq: return OpCode::EqOp;
+      case BinOp::Ne: return OpCode::NeOp;
+      case BinOp::And: return OpCode::AndOp;
+      case BinOp::Or: return OpCode::OrOp;
+      case BinOp::Pow:
+        break; // lowered to CallB(Pow)
+    }
+    support::panic("binOpCode: unhandled operator");
+}
+
+bool
+isCommutative(OpCode op)
+{
+    return op == OpCode::Add || op == OpCode::Mul ||
+           op == OpCode::EqOp || op == OpCode::NeOp ||
+           op == OpCode::AndOp || op == OpCode::OrOp;
+}
+
+/**
+ * Builds the value-numbered SSA graph for all outputs, then schedules
+ * it into a register program with liveness-based register reuse.
+ */
+class Fuser
+{
+  public:
+    /** One SSA value; a/b/c reference earlier value ids. */
+    struct Val
+    {
+        OpCode op;
+        Builtin builtin;
+        int a, b, c;   ///< Value-id operands (LoadState: a = state slot).
+        double imm;
+    };
+
+    std::vector<Val> vals;
+    std::vector<int> outputVals; ///< Value id producing each output.
+    std::size_t hits = 0;        ///< CSE hits + folds + identities.
+    int maxStateIndex = -1;
+
+    int
+    lower(const ExprPtr &e)
+    {
+        auto memoIt = memo_.find(e.get());
+        if (memoIt != memo_.end()) {
+            ++hits;
+            return memoIt->second;
+        }
+        int id = lowerUncached(e);
+        memo_.emplace(e.get(), id);
+        return id;
+    }
+
+  private:
+    std::unordered_map<const Expr *, int> memo_;
+    std::unordered_map<ValKey, int, ValKeyHash> interned_;
+
+    bool
+    isConst(int id, double *value = nullptr) const
+    {
+        const Val &v = vals[static_cast<std::size_t>(id)];
+        if (v.op != OpCode::Const)
+            return false;
+        if (value)
+            *value = v.imm;
+        return true;
+    }
+
+    /** Interns a value, folding constants and exact identities. */
+    int
+    intern(OpCode op, Builtin builtin, int a, int b, int c, double imm)
+    {
+        if (isCommutative(op) && a > b)
+            std::swap(a, b);
+
+        if (int folded = tryFold(op, builtin, a, b, c); folded >= 0) {
+            ++hits;
+            return folded;
+        }
+
+        ValKey key{op, builtin, a, b, c,
+                   op == OpCode::Const ? std::bit_cast<std::uint64_t>(imm)
+                                       : 0};
+        auto it = interned_.find(key);
+        if (it != interned_.end()) {
+            ++hits;
+            return it->second;
+        }
+        int id = static_cast<int>(vals.size());
+        vals.push_back(Val{op, builtin, a, b, c, imm});
+        interned_.emplace(key, id);
+        return id;
+    }
+
+    /**
+     * Returns the id of a replacement value when the operation folds
+     * to a constant or an existing operand, -1 otherwise. Only exact
+     * rewrites are applied; x*0 is kept because it differs on
+     * non-finite x, and x+0 only rewrites when x's sign of zero
+     * cannot be observed (the operand is a non-Const value the
+     * interpreter would compute identically).
+     */
+    int
+    tryFold(OpCode op, Builtin builtin, int a, int b, int c)
+    {
+        switch (op) {
+          case OpCode::Const:
+          case OpCode::LoadTime:
+          case OpCode::LoadState:
+          case OpCode::WriteOutput:
+            return -1;
+          default:
+            break;
+        }
+
+        // Identity rewrites on one constant operand.
+        double cv;
+        if (op == OpCode::Add && isConst(b, &cv) && cv == 0.0)
+            return a; // x + 0 (or x + -0): exact except -0.0 + 0.0
+        if (op == OpCode::Add && isConst(a, &cv) && cv == 0.0)
+            return b;
+        if (op == OpCode::Sub && isConst(b, &cv) && cv == 0.0 &&
+            std::bit_cast<std::uint64_t>(cv) == 0)
+            return a; // x - (+0) is exact for every x
+        if (op == OpCode::Mul && isConst(b, &cv) && cv == 1.0)
+            return a;
+        if (op == OpCode::Mul && isConst(a, &cv) && cv == 1.0)
+            return b;
+        if (op == OpCode::Div && isConst(b, &cv) && cv == 1.0)
+            return a;
+
+        // Full constant folding: every operand is a literal.
+        double operands[3];
+        TapeOp probe{op, builtin, 0, -1, -1, -1, 0.0};
+        int n = 0;
+        for (int src : {a, b, c}) {
+            if (src < 0)
+                continue;
+            if (!isConst(src, &operands[n]))
+                return -1;
+            ++n;
+        }
+        if (n > 0)
+            probe.a = 0;
+        if (n > 1)
+            probe.b = 1;
+        if (n > 2)
+            probe.c = 2;
+        // Select reads (a, b, c) positionally rather than packed.
+        if (op == OpCode::Select)
+            probe = TapeOp{op, builtin, 0, 0, 1, 2, 0.0};
+        double value = detail::execCompute(probe, nullptr, 0.0, operands);
+        return intern(OpCode::Const, Builtin::Sin, -1, -1, -1, value);
+    }
+
+    int
+    lowerUncached(const ExprPtr &e)
+    {
+        switch (e->kind()) {
+          case ExprKind::Literal: {
+            const Value &v = e->literalValue();
+            double imm;
+            if (v.isBool())
+                imm = v.asBool() ? 1.0 : 0.0;
+            else
+                imm = v.asReal(); // throws TypeError for lambdas
+            return intern(OpCode::Const, Builtin::Sin, -1, -1, -1, imm);
+          }
+          case ExprKind::Time:
+            return intern(OpCode::LoadTime, Builtin::Sin, -1, -1, -1,
+                          0.0);
+          case ExprKind::StateVar:
+            maxStateIndex = std::max(maxStateIndex, e->stateIndex());
+            return intern(OpCode::LoadState, Builtin::Sin,
+                          e->stateIndex(), -1, -1, 0.0);
+          case ExprKind::Unary: {
+            int a = lower(e->operand());
+            OpCode op = e->unOp() == UnOp::Neg ? OpCode::Neg
+                                               : OpCode::NotOp;
+            return intern(op, Builtin::Sin, a, -1, -1, 0.0);
+          }
+          case ExprKind::Binary: {
+            int a = lower(e->lhs());
+            int b = lower(e->rhs());
+            if (e->binOp() == BinOp::Pow)
+                return intern(OpCode::CallB, Builtin::Pow, a, b, -1,
+                              0.0);
+            return intern(binOpCode(e->binOp()), Builtin::Sin, a, b, -1,
+                          0.0);
+          }
+          case ExprKind::Call: {
+            if (e->calleeExpr()) {
+                throw CompileError(
+                    cat("cannot compile unresolved lambda call ",
+                        e->str(), " to a tape"));
+            }
+            const BuiltinInfo *info = findBuiltin(e->callee());
+            if (!info) {
+                throw CompileError(
+                    cat("cannot compile unknown function '", e->callee(),
+                        "' to a tape"));
+            }
+            if (static_cast<int>(e->args().size()) != info->arity) {
+                throw CompileError(
+                    cat("function '", e->callee(),
+                        "' arity mismatch in tape compile"));
+            }
+            int ids[3] = {-1, -1, -1};
+            for (std::size_t i = 0; i < e->args().size(); ++i)
+                ids[i] = lower(e->args()[i]);
+            return intern(OpCode::CallB, info->id, ids[0], ids[1],
+                          ids[2], 0.0);
+          }
+          case ExprKind::If: {
+            int c = lower(e->cond());
+            int a = lower(e->thenBranch());
+            int b = lower(e->elseBranch());
+            return intern(OpCode::Select, Builtin::Sin, a, b, c, 0.0);
+          }
+          case ExprKind::Var:
+            throw CompileError(cat("cannot compile free variable '",
+                                   e->varName(), "' to a tape"));
+          case ExprKind::Attr:
+            throw CompileError(cat("cannot compile unresolved attribute '",
+                                   e->attrBase(), ".", e->attrName(),
+                                   "' to a tape"));
+          case ExprKind::NodeVar:
+            throw CompileError(cat("cannot compile unresolved var(",
+                                   e->nodeName(), ") to a tape"));
+        }
+        throw CompileError("unreachable expression kind in tape compile");
+    }
+};
+
+} // namespace
+
+FusedTape
+FusedTape::compile(const std::vector<ExprPtr> &outputs)
+{
+    Fuser fuser;
+    fuser.outputVals.reserve(outputs.size());
+    for (const ExprPtr &e : outputs)
+        fuser.outputVals.push_back(fuser.lower(e));
+
+    const auto numVals = fuser.vals.size();
+
+    // Reachability: folding can orphan already-interned operand values;
+    // only live values get scheduled.
+    std::vector<char> live(numVals, 0);
+    {
+        std::vector<int> stack(fuser.outputVals.begin(),
+                               fuser.outputVals.end());
+        while (!stack.empty()) {
+            int id = stack.back();
+            stack.pop_back();
+            auto idx = static_cast<std::size_t>(id);
+            if (live[idx])
+                continue;
+            live[idx] = 1;
+            const Fuser::Val &v = fuser.vals[idx];
+            if (v.op == OpCode::Const || v.op == OpCode::LoadTime ||
+                v.op == OpCode::LoadState)
+                continue;
+            for (int operand : {v.a, v.b, v.c})
+                if (operand >= 0)
+                    stack.push_back(operand);
+        }
+    }
+
+    // Schedule: values in dependency (id) order; each output is
+    // written as soon as its value is computed, so its register can be
+    // retired immediately when nothing else reads it.
+    std::vector<std::vector<int>> outputsOfVal(numVals);
+    for (std::size_t k = 0; k < fuser.outputVals.size(); ++k) {
+        outputsOfVal[static_cast<std::size_t>(fuser.outputVals[k])]
+            .push_back(static_cast<int>(k));
+    }
+
+    // Scheduled program with value ids still in the operand slots.
+    std::vector<TapeOp> scheduled;
+    scheduled.reserve(numVals + fuser.outputVals.size());
+    for (std::size_t id = 0; id < numVals; ++id) {
+        if (!live[id])
+            continue;
+        const Fuser::Val &v = fuser.vals[id];
+        scheduled.push_back(TapeOp{v.op, v.builtin,
+                                   static_cast<std::int32_t>(id), v.a,
+                                   v.b, v.c, v.imm});
+        for (int slot : outputsOfVal[id]) {
+            scheduled.push_back(TapeOp{OpCode::WriteOutput, Builtin::Sin,
+                                       slot, static_cast<std::int32_t>(id),
+                                       -1, -1, 0.0});
+        }
+    }
+
+    // Liveness: last instruction index reading each value.
+    std::vector<std::ptrdiff_t> lastUse(numVals, -1);
+    for (std::size_t i = 0; i < scheduled.size(); ++i) {
+        const TapeOp &op = scheduled[i];
+        bool loads = op.op == OpCode::Const || op.op == OpCode::LoadTime ||
+                     op.op == OpCode::LoadState;
+        if (op.op == OpCode::WriteOutput) {
+            lastUse[static_cast<std::size_t>(op.a)] =
+                static_cast<std::ptrdiff_t>(i);
+        } else if (!loads) {
+            for (std::int32_t operand : {op.a, op.b, op.c})
+                if (operand >= 0)
+                    lastUse[static_cast<std::size_t>(operand)] =
+                        static_cast<std::ptrdiff_t>(i);
+        }
+    }
+
+    // Linear-scan register allocation over the schedule.
+    FusedTape fused;
+    fused.numOutputs_ = outputs.size();
+    fused.maxStateIndex_ = fuser.maxStateIndex;
+    fused.ops_.reserve(scheduled.size());
+    std::vector<int> regOfVal(numVals, -1);
+    // FIFO recycling: freed registers go to the back of the queue and
+    // the oldest free register is reused first. LIFO reuse puts the
+    // same few registers back-to-back in consecutive instructions,
+    // manufacturing false dependencies that serialize the evaluation
+    // loop on out-of-order cores; FIFO maximizes reuse distance at
+    // identical register count.
+    std::vector<int> freeRegs;
+    std::size_t freeHead = 0;
+    int nextReg = 0;
+
+    auto release = [&](std::int32_t valId, std::size_t pos) {
+        if (valId >= 0 &&
+            lastUse[static_cast<std::size_t>(valId)] ==
+                static_cast<std::ptrdiff_t>(pos))
+            freeRegs.push_back(regOfVal[static_cast<std::size_t>(valId)]);
+    };
+
+    for (std::size_t i = 0; i < scheduled.size(); ++i) {
+        TapeOp op = scheduled[i];
+        if (op.op == OpCode::WriteOutput) {
+            std::int32_t srcVal = op.a;
+            op.a = regOfVal[static_cast<std::size_t>(srcVal)];
+            release(srcVal, i);
+            fused.ops_.push_back(op);
+            continue;
+        }
+        std::int32_t dstVal = op.dst;
+        bool loads = op.op == OpCode::Const || op.op == OpCode::LoadTime ||
+                     op.op == OpCode::LoadState;
+        if (!loads) {
+            std::int32_t va = op.a, vb = op.b, vc = op.c;
+            if (va >= 0)
+                op.a = regOfVal[static_cast<std::size_t>(va)];
+            if (vb >= 0)
+                op.b = regOfVal[static_cast<std::size_t>(vb)];
+            if (vc >= 0)
+                op.c = regOfVal[static_cast<std::size_t>(vc)];
+            // Free operand registers first so the destination can
+            // reuse one in place (execCompute reads before the write).
+            release(va, i);
+            if (vb != va)
+                release(vb, i);
+            if (vc != va && vc != vb)
+                release(vc, i);
+        }
+        int reg;
+        if (freeHead < freeRegs.size()) {
+            reg = freeRegs[freeHead++];
+        } else {
+            reg = nextReg++;
+        }
+        regOfVal[static_cast<std::size_t>(dstVal)] = reg;
+        op.dst = reg;
+        // A value nothing reads (an output written and retired by the
+        // WriteOutput that follows) keeps its register until then.
+        fused.ops_.push_back(op);
+        if (lastUse[static_cast<std::size_t>(dstVal)] < 0)
+            freeRegs.push_back(reg);
+    }
+    fused.numRegs_ = nextReg;
+    fused.fusionSavings_ = fuser.hits;
+    return fused;
+}
+
+void
+FusedTape::evalInto(const double *state, double t, double *out,
+                    double *regs) const
+{
+    assert(out != nullptr || numOutputs_ == 0);
+    assert(regs != nullptr || numRegs_ == 0);
+    for (const TapeOp &op : ops_) {
+        if (op.op == OpCode::WriteOutput) {
+            out[op.dst] = regs[op.a];
+            continue;
+        }
+        regs[op.dst] = detail::execCompute(op, state, t, regs);
+    }
+}
+
+std::vector<double>
+FusedTape::evalAlloc(const std::vector<double> &state, double t) const
+{
+    std::vector<double> out(numOutputs_);
+    std::vector<double> regs(static_cast<std::size_t>(numRegs_));
+    evalInto(state.data(), t, out.data(), regs.data());
+    return out;
+}
+
+} // namespace ark::expr

@@ -1,7 +1,9 @@
 #include "expr/tape.h"
 
 #include <algorithm>
+#include <cassert>
 
+#include "expr/tape_exec.h"
 #include "support/error.h"
 #include "support/logging.h"
 
@@ -147,81 +149,17 @@ Tape::eval(const double *state, double t, std::vector<double> &regs) const
 {
     if (static_cast<int>(regs.size()) < numRegs_)
         regs.resize(static_cast<std::size_t>(numRegs_));
-    double *r = regs.data();
+    return eval(state, t, regs.data());
+}
+
+double
+Tape::eval(const double *state, double t, double *regs) const
+{
+    assert(regs != nullptr || numRegs_ == 0);
     double result = 0.0;
     for (const TapeOp &op : ops_) {
-        double out;
-        switch (op.op) {
-          case OpCode::Const:
-            out = op.imm;
-            break;
-          case OpCode::LoadTime:
-            out = t;
-            break;
-          case OpCode::LoadState:
-            out = state[op.a];
-            break;
-          case OpCode::Neg:
-            out = -r[op.a];
-            break;
-          case OpCode::Add:
-            out = r[op.a] + r[op.b];
-            break;
-          case OpCode::Sub:
-            out = r[op.a] - r[op.b];
-            break;
-          case OpCode::Mul:
-            out = r[op.a] * r[op.b];
-            break;
-          case OpCode::Div:
-            out = r[op.a] / r[op.b];
-            break;
-          case OpCode::Lt:
-            out = r[op.a] < r[op.b] ? 1.0 : 0.0;
-            break;
-          case OpCode::Le:
-            out = r[op.a] <= r[op.b] ? 1.0 : 0.0;
-            break;
-          case OpCode::Gt:
-            out = r[op.a] > r[op.b] ? 1.0 : 0.0;
-            break;
-          case OpCode::Ge:
-            out = r[op.a] >= r[op.b] ? 1.0 : 0.0;
-            break;
-          case OpCode::EqOp:
-            out = r[op.a] == r[op.b] ? 1.0 : 0.0;
-            break;
-          case OpCode::NeOp:
-            out = r[op.a] != r[op.b] ? 1.0 : 0.0;
-            break;
-          case OpCode::AndOp:
-            out = (r[op.a] != 0.0 && r[op.b] != 0.0) ? 1.0 : 0.0;
-            break;
-          case OpCode::OrOp:
-            out = (r[op.a] != 0.0 || r[op.b] != 0.0) ? 1.0 : 0.0;
-            break;
-          case OpCode::NotOp:
-            out = r[op.a] == 0.0 ? 1.0 : 0.0;
-            break;
-          case OpCode::Select:
-            out = r[op.c] != 0.0 ? r[op.a] : r[op.b];
-            break;
-          case OpCode::CallB: {
-            double argv[3];
-            int n = 0;
-            if (op.a >= 0)
-                argv[n++] = r[op.a];
-            if (op.b >= 0)
-                argv[n++] = r[op.b];
-            if (op.c >= 0)
-                argv[n++] = r[op.c];
-            out = evalBuiltin(op.builtin, argv, n);
-            break;
-          }
-          default:
-            support::panic("tape eval: bad opcode");
-        }
-        r[op.dst] = out;
+        double out = detail::execCompute(op, state, t, regs);
+        regs[op.dst] = out;
         result = out;
     }
     return result;

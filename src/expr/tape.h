@@ -10,6 +10,12 @@
  * into a postorder register program. The simulator evaluates tapes with
  * zero allocation per step; benchmarks show an order-of-magnitude win
  * over tree walking (see bench/perf_expr).
+ *
+ * Tape compiles one expression into one program; the hot simulation
+ * path uses expr::FusedTape (fusedtape.h), which lowers a whole
+ * system's RHS vector into a single program with cross-equation CSE
+ * and fills every dstate slot in one pass. Both engines share this
+ * instruction set (TapeOp/OpCode) and the executor in tape_exec.h.
  */
 
 #include <cstdint>
@@ -32,6 +38,7 @@ enum class OpCode : std::uint8_t {
     NotOp,     ///< dst = r[a] == 0 ? 1 : 0
     Select,    ///< dst = r[c] != 0 ? r[a] : r[b]
     CallB,     ///< dst = builtin(r[a], r[b], r[c])
+    WriteOutput, ///< out[dst] = r[a] (FusedTape only)
 };
 
 /** One tape instruction; unused operand slots hold -1. */
@@ -72,6 +79,14 @@ class Tape
      */
     double eval(const double *state, double t,
                 std::vector<double> &regs) const;
+
+    /**
+     * Hot-path evaluation against caller scratch of at least
+     * numRegs() doubles; no size check beyond a debug assertion.
+     * OdeSystem sizes one scratch block per system and reuses it for
+     * every call, keeping the resize branch out of the inner loop.
+     */
+    double eval(const double *state, double t, double *regs) const;
 
     /** Convenience wrapper that owns its scratch (slower; tests). */
     double evalAlloc(const std::vector<double> &state, double t) const;

@@ -1,0 +1,85 @@
+#ifndef ARK_EXPR_TAPE_EXEC_H
+#define ARK_EXPR_TAPE_EXEC_H
+
+/**
+ * @file
+ * Shared instruction executor for the tape interpreters.
+ *
+ * Tape (single-expression) and FusedTape (whole-system) run the same
+ * instruction set; keeping the dispatch in one inline function
+ * guarantees the two engines agree operation-for-operation, which the
+ * fused-vs-interpreted equivalence property tests rely on.
+ */
+
+#include "expr/builtins.h"
+#include "expr/tape.h"
+#include "support/logging.h"
+
+namespace ark::expr::detail {
+
+/**
+ * Executes one compute instruction against registers `r`, returning
+ * the produced value. `WriteOutput` is not a compute instruction and
+ * must be handled by the caller's loop.
+ */
+inline double
+execCompute(const TapeOp &op, const double *state, double t,
+            const double *r)
+{
+    switch (op.op) {
+      case OpCode::Const:
+        return op.imm;
+      case OpCode::LoadTime:
+        return t;
+      case OpCode::LoadState:
+        return state[op.a];
+      case OpCode::Neg:
+        return -r[op.a];
+      case OpCode::Add:
+        return r[op.a] + r[op.b];
+      case OpCode::Sub:
+        return r[op.a] - r[op.b];
+      case OpCode::Mul:
+        return r[op.a] * r[op.b];
+      case OpCode::Div:
+        return r[op.a] / r[op.b];
+      case OpCode::Lt:
+        return r[op.a] < r[op.b] ? 1.0 : 0.0;
+      case OpCode::Le:
+        return r[op.a] <= r[op.b] ? 1.0 : 0.0;
+      case OpCode::Gt:
+        return r[op.a] > r[op.b] ? 1.0 : 0.0;
+      case OpCode::Ge:
+        return r[op.a] >= r[op.b] ? 1.0 : 0.0;
+      case OpCode::EqOp:
+        return r[op.a] == r[op.b] ? 1.0 : 0.0;
+      case OpCode::NeOp:
+        return r[op.a] != r[op.b] ? 1.0 : 0.0;
+      case OpCode::AndOp:
+        return (r[op.a] != 0.0 && r[op.b] != 0.0) ? 1.0 : 0.0;
+      case OpCode::OrOp:
+        return (r[op.a] != 0.0 || r[op.b] != 0.0) ? 1.0 : 0.0;
+      case OpCode::NotOp:
+        return r[op.a] == 0.0 ? 1.0 : 0.0;
+      case OpCode::Select:
+        return r[op.c] != 0.0 ? r[op.a] : r[op.b];
+      case OpCode::CallB: {
+        double argv[3];
+        int n = 0;
+        if (op.a >= 0)
+            argv[n++] = r[op.a];
+        if (op.b >= 0)
+            argv[n++] = r[op.b];
+        if (op.c >= 0)
+            argv[n++] = r[op.c];
+        return evalBuiltin(op.builtin, argv, n);
+      }
+      case OpCode::WriteOutput:
+        break;
+    }
+    support::panic("tape exec: bad opcode");
+}
+
+} // namespace ark::expr::detail
+
+#endif // ARK_EXPR_TAPE_EXEC_H

@@ -1,7 +1,10 @@
 #include "sim/sim.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
+#include <thread>
 
 #include "support/error.h"
 #include "support/logging.h"
@@ -15,30 +18,55 @@ void
 Trajectory::addSample(double t, const std::vector<double> &state,
                       const std::vector<double> *deriv)
 {
+    if (times_.empty())
+        stateDim_ = state.size();
+    support::panicIf(state.size() != stateDim_,
+                     "Trajectory::addSample: state dimension changed");
+    support::panicIf(deriv && deriv->size() != stateDim_,
+                     "Trajectory::addSample: deriv dimension mismatch");
     times_.push_back(t);
-    states_.push_back(state);
-    if (deriv && derivs_.size() + 1 == times_.size()) {
-        derivs_.push_back(*deriv);
-    } else if (!derivs_.empty()) {
-        // Mixed availability: drop derivatives entirely so sampleAt
-        // falls back to consistent linear interpolation.
+    states_.insert(states_.end(), state.begin(), state.end());
+    // Invariant: derivs_ mirrors states_ only while every sample has
+    // carried a derivative; the first omission drops slopes for good
+    // (misaligned Hermite data must never survive silently).
+    if (derivsDropped_)
+        return;
+    if (deriv) {
+        derivs_.insert(derivs_.end(), deriv->begin(), deriv->end());
+    } else {
         derivs_.clear();
+        derivs_.shrink_to_fit();
+        derivsDropped_ = true;
     }
 }
 
-const std::vector<double> &
+void
+Trajectory::reserve(std::size_t samples, std::size_t stateDim)
+{
+    times_.reserve(samples);
+    states_.reserve(samples * stateDim);
+    if (!derivsDropped_)
+        derivs_.reserve(samples * stateDim);
+}
+
+std::span<const double>
 Trajectory::state(std::size_t sample) const
 {
-    return states_.at(sample);
+    support::panicIf(sample >= times_.size(),
+                     "Trajectory::state: sample out of range");
+    return {states_.data() + sample * stateDim_, stateDim_};
 }
 
 std::vector<double>
 Trajectory::series(int stateIndex) const
 {
+    auto idx = static_cast<std::size_t>(stateIndex);
+    support::panicIf(idx >= stateDim_ && !times_.empty(),
+                     "Trajectory::series: state index out of range");
     std::vector<double> out;
-    out.reserve(states_.size());
-    for (const auto &state : states_)
-        out.push_back(state.at(static_cast<std::size_t>(stateIndex)));
+    out.reserve(times_.size());
+    for (std::size_t s = 0; s < times_.size(); ++s)
+        out.push_back(states_[s * stateDim_ + idx]);
     return out;
 }
 
@@ -48,25 +76,27 @@ Trajectory::sampleAt(int stateIndex, double t) const
     if (times_.empty())
         throw SimError("sampleAt on an empty trajectory");
     auto idx = static_cast<std::size_t>(stateIndex);
+    support::panicIf(idx >= stateDim_,
+                     "Trajectory::sampleAt: state index out of range");
     if (t <= times_.front())
-        return states_.front().at(idx);
+        return states_[idx];
     if (t >= times_.back())
-        return states_.back().at(idx);
+        return states_[(times_.size() - 1) * stateDim_ + idx];
     auto it = std::lower_bound(times_.begin(), times_.end(), t);
     std::size_t hi = static_cast<std::size_t>(it - times_.begin());
     std::size_t lo = hi - 1;
     double span = times_[hi] - times_[lo];
     if (span <= 0)
-        return states_[lo].at(idx);
-    double y0 = states_[lo].at(idx);
-    double y1 = states_[hi].at(idx);
-    if (derivs_.size() == times_.size()) {
+        return states_[lo * stateDim_ + idx];
+    double y0 = states_[lo * stateDim_ + idx];
+    double y1 = states_[hi * stateDim_ + idx];
+    if (hasDerivs()) {
         // Cubic Hermite using the recorded slopes.
         double s = (t - times_[lo]) / span;
         double s2 = s * s;
         double s3 = s2 * s;
-        double m0 = derivs_[lo].at(idx);
-        double m1 = derivs_[hi].at(idx);
+        double m0 = derivs_[lo * stateDim_ + idx];
+        double m1 = derivs_[hi * stateDim_ + idx];
         return (2 * s3 - 3 * s2 + 1) * y0 +
                (s3 - 2 * s2 + s) * span * m0 +
                (-2 * s3 + 3 * s2) * y1 + (s3 - s2) * span * m1;
@@ -296,20 +326,129 @@ SimResult
 simulate(const compiler::OdeSystem &system, double t0, double t1,
          const SimOptions &options)
 {
+    return simulate(system, system.initialState(), t0, t1, options);
+}
+
+SimResult
+simulate(const compiler::OdeSystem &system,
+         const std::vector<double> &initial, double t0, double t1,
+         const SimOptions &options)
+{
     if (t1 <= t0)
         throw SimError("simulate: t1 must exceed t0");
+    if (initial.size() != system.size()) {
+        throw SimError(cat("simulate: initial state has ",
+                           initial.size(), " entries, system has ",
+                           system.size()));
+    }
     Driver driver(system, options);
-    std::vector<double> state = system.initialState();
+    std::vector<double> state = initial;
     driver.checkFinite(t0, state);
 
     double dt = options.dt > 0 ? options.dt : (t1 - t0) / 1000.0;
     double hMax = options.maxDt > 0 ? options.maxDt : (t1 - t0) / 10.0;
+
+    // Pre-size the trajectory from the recording stride (or the fixed
+    // step count) so the hot loop never reallocates mid-integration.
+    std::size_t estimate =
+        options.recordDt > 0
+            ? static_cast<std::size_t>((t1 - t0) / options.recordDt) + 4
+        : options.method == Method::Rk4
+            ? static_cast<std::size_t>((t1 - t0) / dt) + 4
+            : 256;
+    driver.result.trajectory.reserve(
+        std::min<std::size_t>(estimate, std::size_t{1} << 20),
+        system.size());
 
     if (options.method == Method::Rk4)
         runRk4(driver, state, t0, t1, dt);
     else
         runDopri5(driver, state, t0, t1, dt, hMax);
     return std::move(driver.result);
+}
+
+namespace {
+
+/**
+ * Runs `count` independent jobs on a pool of `numThreads` workers
+ * (atomic work stealing). Per-job exceptions are captured; the
+ * lowest-indexed one is rethrown after every job has finished, so a
+ * failure cannot abandon in-flight instances.
+ */
+void
+runJobPool(std::size_t count, unsigned numThreads,
+           const std::function<void(std::size_t)> &job)
+{
+    if (count == 0)
+        return;
+    if (numThreads == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        numThreads = hw ? hw : 1;
+    }
+    numThreads = static_cast<unsigned>(
+        std::min<std::size_t>(numThreads, count));
+
+    std::vector<std::exception_ptr> errors(count);
+    auto runOne = [&](std::size_t i) {
+        try {
+            job(i);
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    };
+
+    if (numThreads <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            runOne(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> workers;
+        workers.reserve(numThreads);
+        for (unsigned w = 0; w < numThreads; ++w) {
+            workers.emplace_back([&] {
+                for (std::size_t i = next.fetch_add(1); i < count;
+                     i = next.fetch_add(1))
+                    runOne(i);
+            });
+        }
+        for (std::thread &worker : workers)
+            worker.join();
+    }
+
+    for (std::exception_ptr &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+}
+
+} // namespace
+
+std::vector<SimResult>
+simulateEnsemble(const compiler::OdeSystem &system,
+                 const std::vector<std::vector<double>> &initialStates,
+                 double t0, double t1, const EnsembleOptions &options)
+{
+    std::vector<SimResult> results(initialStates.size());
+    runJobPool(initialStates.size(), options.numThreads,
+               [&](std::size_t i) {
+                   results[i] = simulate(system, initialStates[i], t0,
+                                         t1, options.sim);
+               });
+    return results;
+}
+
+std::vector<SimResult>
+simulateEnsemble(const std::vector<const compiler::OdeSystem *> &systems,
+                 double t0, double t1, const EnsembleOptions &options)
+{
+    for (const compiler::OdeSystem *system : systems)
+        support::panicIf(system == nullptr,
+                         "simulateEnsemble: null system");
+    std::vector<SimResult> results(systems.size());
+    runJobPool(systems.size(), options.numThreads, [&](std::size_t i) {
+        results[i] = simulate(*systems[i], systems[i]->initialState(),
+                              t0, t1, options.sim);
+    });
+    return results;
 }
 
 SimResult

@@ -9,10 +9,20 @@
  * RK4 (predictable cost, used for SPICE cross-validation on matching
  * time grids) and an adaptive Dormand-Prince 5(4) with PI step
  * control (default; handles the nanosecond-scale TLN/OBC dynamics and
- * the CNN's piecewise-linear saturations efficiently).
+ * the CNN's piecewise-linear saturations efficiently). Both drive the
+ * system's fused whole-system tape (one pass per RHS evaluation) with
+ * scratch sized once up front.
+ *
+ * Ensemble workloads — PUF challenge batteries, max-cut random
+ * restarts, Monte-Carlo mismatch sweeps — go through
+ * simulateEnsemble: a thread-pooled batch driver that integrates N
+ * instances concurrently. Each instance owns its scratch and RNG-free
+ * integration, so results are bit-identical to running simulate()
+ * serially per instance, independent of thread count or scheduling.
  */
 
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,21 +53,46 @@ struct SimOptions
     std::size_t maxSteps = 50'000'000; ///< Hard stop against stalls.
 };
 
-/** Recorded trajectory: times plus full state per sample. */
+/**
+ * Recorded trajectory: times plus full state per sample.
+ *
+ * Storage is flat: one contiguous buffer of size() * stateDim()
+ * doubles (sample-major), so recording a sample is a bulk append with
+ * no per-sample vector allocation, and state(s) is a view into the
+ * buffer. reserve() pre-sizes the buffers; the simulation driver
+ * reserves from the recording stride before integrating.
+ *
+ * Derivative invariant: cubic-Hermite slopes are kept only while
+ * *every* recorded sample has provided one. The first sample recorded
+ * without a derivative drops the slope buffer permanently — later
+ * derivatives cannot resurrect it, because a partially-populated
+ * slope buffer cannot be aligned to the samples. sampleAt then falls
+ * back to linear interpolation for the whole trajectory.
+ */
 class Trajectory
 {
   public:
     /**
      * Appends a sample; `deriv` (dstate/dt at the sample, optional)
-     * enables cubic Hermite interpolation in sampleAt.
+     * enables cubic Hermite interpolation in sampleAt. All samples
+     * must share the first sample's dimension.
      */
     void addSample(double t, const std::vector<double> &state,
                    const std::vector<double> *deriv = nullptr);
 
+    /** Pre-sizes the buffers for `samples` samples of `stateDim`. */
+    void reserve(std::size_t samples, std::size_t stateDim);
+
     std::size_t size() const { return times_.size(); }
+    /** State-vector length; 0 until the first sample lands. */
+    std::size_t stateDim() const { return stateDim_; }
     const std::vector<double> &times() const { return times_; }
-    const std::vector<double> &state(std::size_t sample) const;
+    /** One recorded state vector (a view into the flat buffer). */
+    std::span<const double> state(std::size_t sample) const;
     double time(std::size_t sample) const { return times_.at(sample); }
+
+    /** True while every sample has carried a derivative. */
+    bool hasDerivs() const { return !times_.empty() && !derivsDropped_; }
 
     /** Series of one state variable across all samples. */
     std::vector<double> series(int stateIndex) const;
@@ -75,9 +110,11 @@ class Trajectory
                                  std::size_t n) const;
 
   private:
+    std::size_t stateDim_ = 0;
     std::vector<double> times_;
-    std::vector<std::vector<double>> states_;
-    std::vector<std::vector<double>> derivs_; ///< Empty if unavailable.
+    std::vector<double> states_; ///< Flat, size() * stateDim_.
+    std::vector<double> derivs_; ///< Flat; empty once dropped.
+    bool derivsDropped_ = false;
 };
 
 /** Simulation outcome. */
@@ -95,6 +132,53 @@ struct SimResult
  */
 SimResult simulate(const compiler::OdeSystem &system, double t0, double t1,
                    const SimOptions &options = SimOptions{});
+
+/**
+ * Integrates from a caller-supplied initial state (ensemble restarts,
+ * warm starts) instead of the system's compiled initial values.
+ * @throws ark::support::SimError also when `initial` has the wrong
+ *         dimension.
+ */
+SimResult simulate(const compiler::OdeSystem &system,
+                   const std::vector<double> &initial, double t0,
+                   double t1, const SimOptions &options = SimOptions{});
+
+/** Controls for batched ensemble integration. */
+struct EnsembleOptions
+{
+    SimOptions sim; ///< Per-instance integration controls.
+
+    /**
+     * Worker threads; 0 picks the hardware concurrency. The pool is
+     * capped at the instance count; 1 degenerates to a serial loop on
+     * the calling thread.
+     */
+    unsigned numThreads = 0;
+};
+
+/**
+ * Integrates N instances of one system concurrently, instance i
+ * starting from initialStates[i]. Results are positionally ordered
+ * and bit-identical to calling simulate(system, initialStates[i],
+ * t0, t1, options.sim) serially, for every thread count.
+ *
+ * If any instance throws, the remaining instances still run to
+ * completion and the lowest-indexed failure is rethrown.
+ */
+std::vector<SimResult> simulateEnsemble(
+    const compiler::OdeSystem &system,
+    const std::vector<std::vector<double>> &initialStates, double t0,
+    double t1, const EnsembleOptions &options = EnsembleOptions{});
+
+/**
+ * Heterogeneous ensemble: integrates N distinct systems (e.g. one per
+ * fabricated chip or per random max-cut instance) concurrently, each
+ * from its own compiled initial state. Same ordering, determinism,
+ * and failure semantics as the homogeneous overload.
+ */
+std::vector<SimResult> simulateEnsemble(
+    const std::vector<const compiler::OdeSystem *> &systems, double t0,
+    double t1, const EnsembleOptions &options = EnsembleOptions{});
 
 /**
  * Integrates until max |dq/dt| falls below `derivTol` (checked every

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the fused whole-system tape: multi-output correctness,
+ * cross-equation CSE, constant folding, register reuse, error
+ * handling, and a randomized equivalence property against the
+ * tree-walking interpreter and the per-variable tapes across real
+ * TLN/OBC/CNN systems.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "compiler/compiler.h"
+#include "expr/fusedtape.h"
+#include "expr/tape.h"
+#include "paradigms/cnn.h"
+#include "paradigms/obc.h"
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "validator/validator.h"
+
+namespace {
+
+using namespace ark;
+using expr::BinOp;
+using expr::Expr;
+using expr::ExprPtr;
+using expr::FusedTape;
+using expr::Tape;
+
+TEST(FusedTapeTest, MultiOutputMatchesPerExpressionTapes)
+{
+    // dq0 = sin(q0 - q1), dq1 = sin(q0 - q1) * q1, dq2 = t + 2.
+    ExprPtr shared = Expr::call(
+        "sin", {Expr::binary(BinOp::Sub, Expr::stateVar(0),
+                             Expr::stateVar(1))});
+    std::vector<ExprPtr> outputs{
+        shared,
+        Expr::binary(BinOp::Mul, shared, Expr::stateVar(1)),
+        Expr::binary(BinOp::Add, Expr::time(), Expr::real(2.0)),
+    };
+    FusedTape fused = FusedTape::compile(outputs);
+    ASSERT_EQ(fused.numOutputs(), 3u);
+    EXPECT_EQ(fused.maxStateIndex(), 1);
+
+    std::vector<double> state{0.7, -0.3};
+    std::vector<double> got = fused.evalAlloc(state, 1.5);
+    ASSERT_EQ(got.size(), 3u);
+    for (std::size_t k = 0; k < outputs.size(); ++k) {
+        EXPECT_DOUBLE_EQ(got[k],
+                         Tape::compile(outputs[k]).evalAlloc(state, 1.5))
+            << "output " << k;
+    }
+}
+
+TEST(FusedTapeTest, SharedSubexpressionsCompiledOnce)
+{
+    // Both outputs use the same expensive coupling term; the fused
+    // program must be smaller than the per-expression programs.
+    ExprPtr coupling = Expr::binary(
+        BinOp::Mul, Expr::real(-1.6e9),
+        Expr::call("sin", {Expr::binary(BinOp::Sub, Expr::stateVar(0),
+                                        Expr::stateVar(1))}));
+    std::vector<ExprPtr> outputs{
+        Expr::binary(BinOp::Add, coupling, Expr::stateVar(0)),
+        Expr::binary(BinOp::Add, coupling, Expr::stateVar(1)),
+    };
+    FusedTape fused = FusedTape::compile(outputs);
+    std::size_t perTape = Tape::compile(outputs[0]).size() +
+                          Tape::compile(outputs[1]).size();
+    EXPECT_LT(fused.size(), perTape);
+    EXPECT_GT(fused.fusionSavings(), 0u);
+}
+
+TEST(FusedTapeTest, ConstantExpressionsFold)
+{
+    // (2 + 3) * 4 collapses to a single Const plus a WriteOutput.
+    std::vector<ExprPtr> outputs{Expr::binary(
+        BinOp::Mul,
+        Expr::binary(BinOp::Add, Expr::real(2.0), Expr::real(3.0)),
+        Expr::real(4.0))};
+    FusedTape fused = FusedTape::compile(outputs);
+    EXPECT_EQ(fused.size(), 2u);
+    EXPECT_DOUBLE_EQ(fused.evalAlloc({}, 0.0)[0], 20.0);
+}
+
+TEST(FusedTapeTest, IdentityRewritesAreExact)
+{
+    // x*1, x+0, x/1 fold to x itself.
+    ExprPtr x = Expr::stateVar(0);
+    std::vector<ExprPtr> outputs{
+        Expr::binary(BinOp::Mul, x, Expr::real(1.0)),
+        Expr::binary(BinOp::Add, x, Expr::real(0.0)),
+        Expr::binary(BinOp::Div, x, Expr::real(1.0)),
+    };
+    FusedTape fused = FusedTape::compile(outputs);
+    // One LoadState + three WriteOutput.
+    EXPECT_EQ(fused.size(), 4u);
+    std::vector<double> state{3.25};
+    std::vector<double> got = fused.evalAlloc(state, 0.0);
+    for (double v : got)
+        EXPECT_DOUBLE_EQ(v, 3.25);
+}
+
+TEST(FusedTapeTest, RegisterReuseKeepsFileSmall)
+{
+    // A deep chain of independent additions: liveness-based reuse
+    // must keep the register file well below the instruction count.
+    std::vector<ExprPtr> outputs;
+    for (int k = 0; k < 8; ++k) {
+        ExprPtr sum = Expr::stateVar(k);
+        for (int i = 0; i < 8; ++i) {
+            sum = Expr::binary(
+                BinOp::Add, sum,
+                Expr::binary(BinOp::Mul, Expr::stateVar(i),
+                             Expr::real(1.0 + k + i)));
+        }
+        outputs.push_back(sum);
+    }
+    FusedTape fused = FusedTape::compile(outputs);
+    EXPECT_LT(static_cast<std::size_t>(fused.numRegs()), fused.size());
+
+    std::vector<double> state{0.1, -0.2, 0.3, -0.4, 0.5, -0.6, 0.7, 1.8};
+    std::vector<double> got = fused.evalAlloc(state, 0.0);
+    for (std::size_t k = 0; k < outputs.size(); ++k) {
+        EXPECT_NEAR(got[k],
+                    Tape::compile(outputs[k]).evalAlloc(state, 0.0),
+                    1e-12)
+            << "output " << k;
+    }
+}
+
+TEST(FusedTapeTest, EmptySystemIsValid)
+{
+    FusedTape fused = FusedTape::compile({});
+    EXPECT_EQ(fused.numOutputs(), 0u);
+    EXPECT_EQ(fused.size(), 0u);
+    EXPECT_TRUE(fused.evalAlloc({}, 0.0).empty());
+}
+
+TEST(FusedTapeTest, UnresolvedNodesRejected)
+{
+    EXPECT_THROW(FusedTape::compile({Expr::var("free")}),
+                 support::CompileError);
+    EXPECT_THROW(FusedTape::compile({Expr::nodeVar("n")}),
+                 support::CompileError);
+    EXPECT_THROW(FusedTape::compile({Expr::attr("a", "b")}),
+                 support::CompileError);
+    EXPECT_THROW(FusedTape::compile({Expr::call("whoami", {})}),
+                 support::CompileError);
+}
+
+/**
+ * Property: on real compiled systems (TLN lines, OBC max-cut
+ * networks, CNN grids) with randomized parameters and random states,
+ * the fused tape, the per-variable tapes, and the tree-walking
+ * interpreter agree within floating-point tolerance.
+ */
+class FusedEquivalence : public ::testing::TestWithParam<int>
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        registry_ = new lang::LanguageRegistry(
+            paradigms::makeStandardRegistry());
+    }
+    static void TearDownTestSuite()
+    {
+        delete registry_;
+        registry_ = nullptr;
+    }
+
+    static lang::LanguageRegistry *registry_;
+};
+
+lang::LanguageRegistry *FusedEquivalence::registry_ = nullptr;
+
+void
+expectRhsAgreement(const compiler::OdeSystem &system, support::Rng &rng)
+{
+    const std::size_t n = system.size();
+    std::vector<double> state(n), fused(n), perTape(n), interpreted(n);
+    std::vector<double> scratch = system.makeScratch();
+    for (int trial = 0; trial < 8; ++trial) {
+        for (std::size_t i = 0; i < n; ++i)
+            state[i] = rng.uniform(-2.0, 2.0);
+        double t = rng.uniform(0.0, 1e-7);
+        system.evalRhs(state.data(), t, fused.data(), scratch);
+        system.evalRhsPerTape(state.data(), t, perTape.data(), scratch);
+        system.evalRhsInterpreted(state.data(), t, interpreted.data());
+        for (std::size_t i = 0; i < n; ++i) {
+            double scale = 1.0 + std::fabs(interpreted[i]);
+            EXPECT_NEAR(fused[i], interpreted[i], 1e-9 * scale)
+                << "fused vs interpreted, eq " << i;
+            EXPECT_NEAR(fused[i], perTape[i], 1e-9 * scale)
+                << "fused vs per-tape, eq " << i;
+        }
+    }
+}
+
+TEST_P(FusedEquivalence, RandomTlnSystem)
+{
+    support::Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+    paradigms::tln::LineSpec spec;
+    spec.sections = static_cast<int>(rng.uniformInt(3, 24));
+    spec.inductance = rng.uniform(0.5e-9, 2e-9);
+    spec.capacitance = rng.uniform(0.5e-9, 2e-9);
+    const lang::Language &tln = registry_->language("tln");
+    compiler::OdeSystem system =
+        compiler::compile(paradigms::tln::buildLine(tln, spec), tln);
+    expectRhsAgreement(system, rng);
+}
+
+TEST_P(FusedEquivalence, RandomObcSystem)
+{
+    support::Rng rng(2000 + static_cast<std::uint64_t>(GetParam()));
+    paradigms::obc::MaxcutInstance instance;
+    instance.numVertices = static_cast<int>(rng.uniformInt(3, 6));
+    for (int a = 0; a < instance.numVertices; ++a)
+        for (int b = a + 1; b < instance.numVertices; ++b)
+            if (rng.bernoulli(0.6))
+                instance.edges.emplace_back(a, b);
+    paradigms::obc::MaxcutSpec spec;
+    for (int v = 0; v < instance.numVertices; ++v)
+        spec.initPhases.push_back(
+            rng.uniform(0.0, 2.0 * std::numbers::pi));
+    const lang::Language &obc = registry_->language("obc");
+    compiler::OdeSystem system = compiler::compile(
+        paradigms::obc::buildMaxcut(obc, instance, spec), obc);
+    expectRhsAgreement(system, rng);
+}
+
+TEST_P(FusedEquivalence, RandomCnnSystem)
+{
+    support::Rng rng(3000 + static_cast<std::uint64_t>(GetParam()));
+    paradigms::cnn::CnnSpec spec;
+    spec.width = static_cast<int>(rng.uniformInt(3, 6));
+    spec.height = static_cast<int>(rng.uniformInt(3, 6));
+    std::vector<double> input;
+    for (int i = 0; i < spec.width * spec.height; ++i)
+        input.push_back(rng.bernoulli(0.5) ? 1.0 : -1.0);
+    const lang::Language &cnn = registry_->language("cnn");
+    compiler::OdeSystem system = compiler::compile(
+        paradigms::cnn::buildCnn(cnn, spec, input), cnn);
+    expectRhsAgreement(system, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedEquivalence,
+                         ::testing::Range(0, 6));
+
+} // namespace

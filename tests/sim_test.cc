@@ -211,6 +211,58 @@ TEST(SimTest, TrajectoryInterpolation)
     EXPECT_EQ(series.size(), 3u);
 }
 
+TEST(SimTest, TrajectoryDerivInvariantSurvivesMixedSamples)
+{
+    // y = t^2 has slope 2t; with recorded derivatives sampleAt is
+    // cubic-Hermite-exact for a quadratic.
+    sim::Trajectory traj;
+    std::vector<double> d0{0.0}, d1{2.0}, d2{4.0};
+    traj.addSample(0.0, {0.0}, &d0);
+    traj.addSample(1.0, {1.0}, &d1);
+    EXPECT_TRUE(traj.hasDerivs());
+    EXPECT_DOUBLE_EQ(traj.sampleAt(0, 0.5), 0.25);
+
+    // A deriv-less sample must drop Hermite data for the whole
+    // trajectory: stale slopes on the earlier span would otherwise
+    // keep masquerading as valid.
+    traj.addSample(2.0, {4.0});
+    EXPECT_FALSE(traj.hasDerivs());
+    EXPECT_DOUBLE_EQ(traj.sampleAt(0, 0.5), 0.5); // linear now
+
+    // Later derivatives cannot resurrect a misaligned slope buffer.
+    traj.addSample(3.0, {9.0}, &d2);
+    EXPECT_FALSE(traj.hasDerivs());
+    EXPECT_DOUBLE_EQ(traj.sampleAt(0, 2.5), 6.5); // still linear
+}
+
+TEST(SimTest, TrajectoryLeadingDerivlessSampleStaysLinear)
+{
+    sim::Trajectory traj;
+    std::vector<double> d1{2.0};
+    traj.addSample(0.0, {0.0});
+    traj.addSample(1.0, {1.0}, &d1);
+    EXPECT_FALSE(traj.hasDerivs());
+    EXPECT_DOUBLE_EQ(traj.sampleAt(0, 0.5), 0.5);
+}
+
+TEST(SimTest, TrajectoryFlatStorageAccessors)
+{
+    sim::Trajectory traj;
+    traj.reserve(3, 2);
+    traj.addSample(0.0, {1.0, 10.0});
+    traj.addSample(1.0, {2.0, 20.0});
+    traj.addSample(2.0, {3.0, 30.0});
+    EXPECT_EQ(traj.stateDim(), 2u);
+    ASSERT_EQ(traj.size(), 3u);
+    auto middle = traj.state(1);
+    ASSERT_EQ(middle.size(), 2u);
+    EXPECT_DOUBLE_EQ(middle[0], 2.0);
+    EXPECT_DOUBLE_EQ(middle[1], 20.0);
+    auto series = traj.series(1);
+    ASSERT_EQ(series.size(), 3u);
+    EXPECT_DOUBLE_EQ(series[2], 30.0);
+}
+
 TEST(SimTest, SteadyStateDetection)
 {
     lang::LanguageRegistry registry;

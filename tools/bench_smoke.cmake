@@ -1,0 +1,58 @@
+# Runs every benchmark binary with a tiny min-time and merges the JSON
+# reports into one BENCH_perf.json. Non-gating by design: a failing or
+# missing benchmark is recorded in the report but never fails the
+# script, so tier-1 ctest runs stay green while the perf trajectory is
+# still captured per PR.
+#
+# Usage:
+#   cmake -DBENCH_BINARIES="bin1;bin2" -DOUTPUT_JSON=out.json \
+#         -P bench_smoke.cmake
+
+if(NOT DEFINED BENCH_BINARIES OR NOT DEFINED OUTPUT_JSON)
+  message(STATUS "bench_smoke: BENCH_BINARIES/OUTPUT_JSON not set; no-op")
+  return()
+endif()
+
+string(REPLACE "|" ";" BENCH_BINARIES "${BENCH_BINARIES}")
+
+set(entries "")
+foreach(bench_bin ${BENCH_BINARIES})
+  get_filename_component(bench_name ${bench_bin} NAME)
+  set(report ${OUTPUT_JSON}.${bench_name}.part.json)
+  # Newer Google Benchmark (>= 1.8) wants an iteration/seconds suffix
+  # ("0.01x"); 1.7 rejects it and wants a plain double. Try both.
+  execute_process(
+    COMMAND ${bench_bin}
+            --benchmark_min_time=0.01x
+            --benchmark_format=json
+            --benchmark_out=${report}
+            --benchmark_out_format=json
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    execute_process(
+      COMMAND ${bench_bin}
+              --benchmark_min_time=0.01
+              --benchmark_format=json
+              --benchmark_out=${report}
+              --benchmark_out_format=json
+      RESULT_VARIABLE rc
+      OUTPUT_QUIET ERROR_VARIABLE err)
+  endif()
+  if(rc EQUAL 0 AND EXISTS ${report})
+    file(READ ${report} content)
+    string(APPEND entries
+           "    {\"binary\": \"${bench_name}\", \"ok\": true,\n"
+           "     \"report\": ${content}}")
+  else()
+    message(STATUS "bench_smoke: ${bench_name} failed (rc=${rc})")
+    string(APPEND entries
+           "    {\"binary\": \"${bench_name}\", \"ok\": false}")
+  endif()
+  string(APPEND entries ",\n")
+  file(REMOVE ${report})
+endforeach()
+
+string(REGEX REPLACE ",\n$" "\n" entries "${entries}")
+file(WRITE ${OUTPUT_JSON} "{\n  \"benchmarks\": [\n${entries}  ]\n}\n")
+message(STATUS "bench_smoke: wrote ${OUTPUT_JSON}")
