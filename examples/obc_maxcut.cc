@@ -43,6 +43,11 @@ main()
     sim::SimOptions options;
     options.recordDt = 5e-10;
     sim::SimResult result = sim::simulate(system, 0.0, 5e-8, options);
+    if (!result.ok()) {
+        std::cerr << "simulation failed: " << result.failure->message
+                  << "\n";
+        return 1;
+    }
 
     std::cout << "oscillator phases (in units of pi) over time:\n";
     std::printf("%-10s", "t (ns)");

@@ -79,6 +79,11 @@ main()
     options.recordDt = 0.05;
     options.maxDt = 0.1; // resolve the 0.4-wide input pulse
     sim::SimResult result = sim::simulate(system, 0.0, 2.0, options);
+    if (!result.ok()) {
+        std::cerr << "simulation failed: " << result.failure->message
+                  << "\n";
+        return 1;
+    }
 
     int a = system.stateIndex("a", 0);
     int b = system.stateIndex("b", 0);

@@ -52,6 +52,10 @@ traceOutV(const dg::Graph &graph, const lang::Language &language)
     sim::SimOptions options;
     options.recordDt = 8e-8 / 800.0;
     sim::SimResult result = sim::simulate(system, 0.0, 8e-8, options);
+    if (!result.ok()) {
+        throw support::SimError(
+            cat("t-line trace failed: ", result.failure->message));
+    }
     TlnTrace trace;
     int out = system.stateIndex(ptln::outputNode(), 0);
     trace.times = result.trajectory.times();
@@ -167,6 +171,10 @@ runCnnEdgeDetect(const lang::Language &language,
     sim::SimOptions options;
     options.recordDt = tEnd / 400.0;
     sim::SimResult result = sim::simulate(system, 0.0, tEnd, options);
+    if (!result.ok()) {
+        throw support::SimError(
+            cat("CNN run failed: ", result.failure->message));
+    }
 
     // Pre-resolve each cell's state index.
     const int w = spec.width;
@@ -266,6 +274,11 @@ runMaxcutSims(const lang::Language &language, bool withOffset, int trials,
         sim::simulateEnsemble(pointers, 0.0, 5e-8, options);
 
     for (std::size_t trial = 0; trial < results.size(); ++trial) {
+        if (!results[trial].ok()) {
+            throw support::SimError(
+                cat("max-cut trial ", trial, " failed: ",
+                    results[trial].failure->message));
+        }
         const auto &trajectory = results[trial].trajectory;
         auto final = trajectory.state(trajectory.size() - 1);
         for (int v = 0; v < 4; ++v) {
@@ -339,6 +352,11 @@ runSpiceValidation(const lang::Language &gmcTln, int trials,
         options.recordDt = tEnd / 2000.0;
         sim::SimResult dgResult =
             sim::simulate(system, 0.0, tEnd, options);
+        if (!dgResult.ok()) {
+            throw support::SimError(cat("SPICE validation trial ",
+                                        trial, " diverged: ",
+                                        dgResult.failure->message));
+        }
         std::vector<double> dgSeries = dgResult.trajectory.resample(
             system.stateIndex(ptln::outputNode(), 0), 0.0, tEnd,
             compareGrid);

@@ -135,6 +135,9 @@ TlnPuf::waveformBatch(std::uint32_t challenge,
         pointers.push_back(&system);
 
     sim::EnsembleOptions options;
+    options.sim.method = design_.simMethod;
+    options.sim.dt = design_.simDt > 0 ? design_.simDt
+                                       : design_.windowEnd / 4000.0;
     options.sim.recordDt = design_.windowEnd / 4000.0;
     options.numThreads = numThreads;
     std::vector<sim::SimResult> results =
@@ -143,6 +146,11 @@ TlnPuf::waveformBatch(std::uint32_t challenge,
     std::vector<std::vector<double>> waveforms;
     waveforms.reserve(results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok()) {
+            throw support::SimError(cat("PUF chip ", chipSeeds[i],
+                                        " simulation failed: ",
+                                        results[i].failure->message));
+        }
         int out = systems[i].stateIndex("OUT_V", 0);
         waveforms.push_back(results[i].trajectory.resample(
             out, design_.windowStart, design_.windowEnd,

@@ -22,6 +22,7 @@
 
 #include "dg/graph.h"
 #include "lang/language.h"
+#include "sim/sim.h"
 
 namespace ark::apps {
 
@@ -35,6 +36,23 @@ struct PufDesign
     double windowStart = 1e-8; ///< Observation window (paper §2.2).
     double windowEnd = 8e-8;
     int responseBits = 64;   ///< Samples encoded into the response.
+
+    /**
+     * Integration method for the waveform simulations. Rk4 (default)
+     * runs every chip on one homogeneous time grid, which lets a
+     * challenge battery lane-batch across chips (the per-chip mismatch
+     * weights land in LaneTape's per-lane constant tables while the
+     * instruction stream is shared); Dopri5 falls back to the scalar
+     * adaptive path per chip.
+     */
+    sim::Method simMethod = sim::Method::Rk4;
+
+    /**
+     * Fixed step for Rk4 / initial step for Dopri5; 0 picks
+     * windowEnd/4000, the grid density the §4.5 SPICE
+     * cross-validation runs at (<1% RMSE on these lines).
+     */
+    double simDt = 0.0;
 };
 
 /**
@@ -65,10 +83,14 @@ class TlnPuf
 
     /**
      * OUT_V waveforms of many chips under one challenge. Each chip's
-     * dynamical graph is built and compiled up front, then all
-     * instances integrate concurrently through sim::simulateEnsemble;
-     * results match per-chip waveform() calls exactly.
+     * dynamical graph is built and compiled up front, then the whole
+     * battery integrates through sim::simulateEnsemble — with the
+     * default fixed-step design, chips lane-batch into shared
+     * instruction streams (same circuit structure, per-chip mismatch
+     * constants). Results match per-chip waveform() calls exactly.
      * @param numThreads 0 picks the hardware concurrency.
+     * @throws ark::support::SimError if any chip's simulation fails
+     *         (the structured per-instance failure is surfaced).
      */
     std::vector<std::vector<double>> waveformBatch(
         std::uint32_t challenge,

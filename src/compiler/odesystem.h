@@ -17,6 +17,13 @@
  * and equivalence tests). Scratch is sized once per system
  * (scratchSize()); evalRhs* only grow an undersized caller buffer on
  * the first call, keeping resizes out of the integration loop.
+ *
+ * The fused program is also the unit of ensemble batching: fusedTape()
+ * exposes the compiled layout so sim::BatchRunner can merge
+ * structurally identical systems (same stream, different constants —
+ * e.g. per-chip mismatch) into one expr::LaneTape and integrate many
+ * instances per instruction dispatch. See sim/sim.h for the full
+ * four-tier execution ladder.
  */
 
 #include <string>

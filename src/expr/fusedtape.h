@@ -26,6 +26,16 @@
  * shared with expr::Tape (see tape_exec.h), so fused evaluation is
  * numerically identical to running the per-variable tapes (up to the
  * sign of zero under the x+0 identity).
+ *
+ * FusedTape is the third of four execution tiers (see sim/sim.h for
+ * the full ladder): tree interpreter -> per-variable Tape -> fused
+ * whole-system tape -> lane-parallel LaneTape. The compiled program
+ * (ops()) is the exchange format between the last two tiers:
+ * expr::LaneTape re-executes the exact instruction stream over a
+ * structure-of-arrays block of instance states, with Const immediates
+ * lifted into per-lane constant tables so ensembles that share the
+ * program but not its parameters (e.g. per-chip mismatch weights)
+ * still batch into one stream.
  */
 
 #include <cstddef>
@@ -69,6 +79,14 @@ class FusedTape
 
     /** Largest state index referenced, or -1 when stateless. */
     int maxStateIndex() const { return maxStateIndex_; }
+
+    /**
+     * The compiled program. Register indices are final (post
+     * allocation); Const instructions carry their value in `imm`.
+     * LaneTape consumes this layout to batch the stream across
+     * ensemble lanes.
+     */
+    const std::vector<TapeOp> &ops() const { return ops_; }
 
     /**
      * Evaluates the whole system: fills out[0..numOutputs). `regs`

@@ -1,0 +1,296 @@
+#include "expr/lanetape.h"
+
+#include <cassert>
+
+#include "expr/builtins.h"
+#include "expr/fusedtape.h"
+#include "support/logging.h"
+
+namespace ark::expr {
+
+namespace {
+
+std::size_t
+widthFor(std::size_t lanes)
+{
+    support::panicIf(lanes == 0 || lanes > LaneTape::kMaxLanes,
+                     "LaneTape: lane count out of range");
+    if (lanes <= 1)
+        return 1;
+    if (lanes <= 2)
+        return 2;
+    if (lanes <= 4)
+        return 4;
+    return 8;
+}
+
+/** Structural equality of two instructions, ignoring Const payloads. */
+bool
+sameShape(const TapeOp &x, const TapeOp &y)
+{
+    if (x.op != y.op || x.dst != y.dst)
+        return false;
+    if (x.op == OpCode::Const)
+        return true; // imm is the per-lane payload
+    if (x.a != y.a || x.b != y.b || x.c != y.c)
+        return false;
+    if (x.op == OpCode::CallB && x.builtin != y.builtin)
+        return false;
+    return true;
+}
+
+} // namespace
+
+bool
+LaneTape::compatible(const FusedTape &a, const FusedTape &b)
+{
+    if (a.numOutputs() != b.numOutputs() || a.numRegs() != b.numRegs() ||
+        a.size() != b.size())
+        return false;
+    const std::vector<TapeOp> &opsA = a.ops();
+    const std::vector<TapeOp> &opsB = b.ops();
+    for (std::size_t i = 0; i < opsA.size(); ++i)
+        if (!sameShape(opsA[i], opsB[i]))
+            return false;
+    return true;
+}
+
+std::optional<LaneTape>
+LaneTape::merge(const std::vector<const FusedTape *> &tapes)
+{
+    support::panicIf(tapes.empty() || tapes.size() > kMaxLanes,
+                     "LaneTape::merge: lane count out of range");
+    const FusedTape &leader = *tapes.front();
+    for (const FusedTape *tape : tapes) {
+        support::panicIf(tape == nullptr, "LaneTape::merge: null tape");
+        if (!compatible(leader, *tape))
+            return std::nullopt;
+    }
+
+    LaneTape lane;
+    lane.lanes_ = tapes.size();
+    lane.width_ = widthFor(tapes.size());
+    lane.numRegs_ = leader.numRegs();
+    lane.numOutputs_ = leader.numOutputs();
+    lane.ops_ = leader.ops();
+
+    // Lift Const immediates into the per-lane table; padding lanes
+    // replicate lane 0 so their arithmetic stays finite.
+    std::size_t slots = 0;
+    for (const TapeOp &op : lane.ops_)
+        if (op.op == OpCode::Const)
+            ++slots;
+    lane.constants_.resize(slots * lane.width_);
+    std::size_t slot = 0;
+    for (std::size_t i = 0; i < lane.ops_.size(); ++i) {
+        if (lane.ops_[i].op != OpCode::Const)
+            continue;
+        double *row = lane.constants_.data() + slot * lane.width_;
+        for (std::size_t l = 0; l < lane.width_; ++l) {
+            const FusedTape &src =
+                *tapes[l < lane.lanes_ ? l : 0];
+            row[l] = src.ops()[i].imm;
+        }
+        lane.ops_[i].a = static_cast<std::int32_t>(slot);
+        ++slot;
+    }
+    return lane;
+}
+
+LaneTape
+LaneTape::broadcast(const FusedTape &tape, std::size_t lanes)
+{
+    std::vector<const FusedTape *> same(lanes, &tape);
+    std::optional<LaneTape> merged = merge(same);
+    // A tape is always structurally compatible with itself.
+    support::panicIf(!merged.has_value(),
+                     "LaneTape::broadcast: self-merge failed");
+    return *std::move(merged);
+}
+
+template <int W>
+void
+LaneTape::evalIntoT(const double *state, double t, double *out,
+                    double *regs) const
+{
+    const double *ctab = constants_.data();
+    for (const TapeOp &op : ops_) {
+        if (op.op == OpCode::WriteOutput) {
+            double *o = out + static_cast<std::size_t>(op.dst) * W;
+            const double *s = regs + static_cast<std::size_t>(op.a) * W;
+            for (int l = 0; l < W; ++l)
+                o[l] = s[l];
+            continue;
+        }
+        double *d = regs + static_cast<std::size_t>(op.dst) * W;
+        switch (op.op) {
+          case OpCode::Const: {
+            const double *s = ctab + static_cast<std::size_t>(op.a) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = s[l];
+            break;
+          }
+          case OpCode::LoadTime:
+            for (int l = 0; l < W; ++l)
+                d[l] = t;
+            break;
+          case OpCode::LoadState: {
+            const double *s = state + static_cast<std::size_t>(op.a) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = s[l];
+            break;
+          }
+          case OpCode::Neg: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = -a[l];
+            break;
+          }
+          case OpCode::Add: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            const double *b = regs + static_cast<std::size_t>(op.b) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = a[l] + b[l];
+            break;
+          }
+          case OpCode::Sub: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            const double *b = regs + static_cast<std::size_t>(op.b) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = a[l] - b[l];
+            break;
+          }
+          case OpCode::Mul: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            const double *b = regs + static_cast<std::size_t>(op.b) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = a[l] * b[l];
+            break;
+          }
+          case OpCode::Div: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            const double *b = regs + static_cast<std::size_t>(op.b) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = a[l] / b[l];
+            break;
+          }
+          case OpCode::Lt: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            const double *b = regs + static_cast<std::size_t>(op.b) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = a[l] < b[l] ? 1.0 : 0.0;
+            break;
+          }
+          case OpCode::Le: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            const double *b = regs + static_cast<std::size_t>(op.b) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = a[l] <= b[l] ? 1.0 : 0.0;
+            break;
+          }
+          case OpCode::Gt: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            const double *b = regs + static_cast<std::size_t>(op.b) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = a[l] > b[l] ? 1.0 : 0.0;
+            break;
+          }
+          case OpCode::Ge: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            const double *b = regs + static_cast<std::size_t>(op.b) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = a[l] >= b[l] ? 1.0 : 0.0;
+            break;
+          }
+          case OpCode::EqOp: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            const double *b = regs + static_cast<std::size_t>(op.b) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = a[l] == b[l] ? 1.0 : 0.0;
+            break;
+          }
+          case OpCode::NeOp: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            const double *b = regs + static_cast<std::size_t>(op.b) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = a[l] != b[l] ? 1.0 : 0.0;
+            break;
+          }
+          case OpCode::AndOp: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            const double *b = regs + static_cast<std::size_t>(op.b) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = (a[l] != 0.0 && b[l] != 0.0) ? 1.0 : 0.0;
+            break;
+          }
+          case OpCode::OrOp: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            const double *b = regs + static_cast<std::size_t>(op.b) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = (a[l] != 0.0 || b[l] != 0.0) ? 1.0 : 0.0;
+            break;
+          }
+          case OpCode::NotOp: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = a[l] == 0.0 ? 1.0 : 0.0;
+            break;
+          }
+          case OpCode::Select: {
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            const double *b = regs + static_cast<std::size_t>(op.b) * W;
+            const double *c = regs + static_cast<std::size_t>(op.c) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = c[l] != 0.0 ? a[l] : b[l];
+            break;
+          }
+          case OpCode::CallB: {
+            // Builtins stay scalar per lane (libm calls); the lane win
+            // here is only the amortized dispatch.
+            for (int l = 0; l < W; ++l) {
+                double argv[3];
+                int n = 0;
+                if (op.a >= 0)
+                    argv[n++] = regs[static_cast<std::size_t>(op.a) * W +
+                                     static_cast<std::size_t>(l)];
+                if (op.b >= 0)
+                    argv[n++] = regs[static_cast<std::size_t>(op.b) * W +
+                                     static_cast<std::size_t>(l)];
+                if (op.c >= 0)
+                    argv[n++] = regs[static_cast<std::size_t>(op.c) * W +
+                                     static_cast<std::size_t>(l)];
+                d[l] = evalBuiltin(op.builtin, argv, n);
+            }
+            break;
+          }
+          case OpCode::WriteOutput:
+            break; // handled above
+        }
+    }
+}
+
+void
+LaneTape::evalInto(const double *state, double t, double *out,
+                   double *regs) const
+{
+    assert(out != nullptr || numOutputs_ == 0);
+    assert(regs != nullptr || numRegs_ == 0);
+    switch (width_) {
+      case 1:
+        evalIntoT<1>(state, t, out, regs);
+        return;
+      case 2:
+        evalIntoT<2>(state, t, out, regs);
+        return;
+      case 4:
+        evalIntoT<4>(state, t, out, regs);
+        return;
+      case 8:
+        evalIntoT<8>(state, t, out, regs);
+        return;
+      default:
+        support::panic("LaneTape: bad width");
+    }
+}
+
+} // namespace ark::expr

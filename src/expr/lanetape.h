@@ -1,0 +1,135 @@
+#ifndef ARK_EXPR_LANETAPE_H
+#define ARK_EXPR_LANETAPE_H
+
+/**
+ * @file
+ * Lane-parallel batch execution of fused whole-system tapes.
+ *
+ * LaneTape is the fourth execution tier (interpreter -> per-variable
+ * Tape -> FusedTape -> LaneTape): it re-executes a compiled FusedTape
+ * program over a structure-of-arrays block of N instance states — one
+ * instruction stream, W lanes wide. Each instruction's inner loop runs
+ * lanewise over a compile-time width W in {1, 2, 4, 8} (runtime
+ * dispatch picks the instantiation), so the per-instruction dispatch
+ * cost is amortized W-fold and the lane loops autovectorize into SIMD
+ * on targets that have it.
+ *
+ * Constants are lifted out of the instruction stream into a per-lane
+ * constant table. This is what lets *heterogeneous-parameter,
+ * homogeneous-structure* ensembles — e.g. a PUF battery where every
+ * chip shares the circuit topology but carries its own mismatch
+ * weights — share one program: merge() takes N structurally identical
+ * FusedTapes that differ only in Const immediates and builds one
+ * LaneTape whose Const instructions load lane-varying values.
+ *
+ * Memory layout (SoA, lane-minor): a block value v of variable or
+ * register i in lane l lives at `buf[i * width() + l]`. Lanes never
+ * interact — a NaN in one lane cannot contaminate another — which the
+ * batch integrator's divergence masking relies on.
+ *
+ * Numerics: every lane executes the exact instruction sequence of the
+ * source FusedTape with the same IEEE operations in the same order, so
+ * lane results are bit-identical to scalar FusedTape::evalInto on the
+ * same state (builtin calls included; they evaluate per lane).
+ */
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "expr/tape.h"
+
+namespace ark::expr {
+
+class FusedTape;
+
+/**
+ * A fused program batched across ensemble lanes. Immutable after
+ * construction; evalInto is const and takes caller scratch, so one
+ * LaneTape may be shared across threads.
+ */
+class LaneTape
+{
+  public:
+    /** Widest supported lane block. */
+    static constexpr std::size_t kMaxLanes = 8;
+
+    /**
+     * Batches one program over `lanes` identical-parameter lanes
+     * (homogeneous ensembles: one system, many initial states).
+     * `lanes` must be in [1, kMaxLanes].
+     */
+    static LaneTape broadcast(const FusedTape &tape, std::size_t lanes);
+
+    /**
+     * Merges N structurally identical programs (same instruction
+     * stream, registers, and outputs; only Const immediates may
+     * differ) into one lane-batched program with per-lane constant
+     * tables. Returns nullopt when any stream diverges structurally —
+     * the caller falls back to scalar execution. N must be in
+     * [1, kMaxLanes].
+     */
+    static std::optional<LaneTape>
+    merge(const std::vector<const FusedTape *> &tapes);
+
+    /** Logical lanes (ensemble instances) in the block. */
+    std::size_t lanes() const { return lanes_; }
+
+    /**
+     * Physical lane width: the smallest of {1, 2, 4, 8} holding
+     * lanes(). Lanes beyond lanes() are padding; callers must fill
+     * their state columns with finite values (the batch integrator
+     * replicates lane 0) and ignore their outputs.
+     */
+    std::size_t width() const { return width_; }
+
+    /** State variables / output slots per lane. */
+    std::size_t numOutputs() const { return numOutputs_; }
+
+    /** Scratch doubles evalInto requires (numRegs x width). */
+    std::size_t scratchSize() const
+    {
+        return static_cast<std::size_t>(numRegs_) * width_;
+    }
+
+    /** Instruction count, including WriteOutput ops. */
+    std::size_t size() const { return ops_.size(); }
+
+    /**
+     * Evaluates the whole block: `state` and `out` are SoA blocks of
+     * numOutputs() x width() doubles, `regs` holds scratchSize()
+     * doubles. One shared time t drives every lane (the batch
+     * integrator runs a homogeneous time grid). `out` must not alias
+     * `state` or `regs`.
+     */
+    void evalInto(const double *state, double t, double *out,
+                  double *regs) const;
+
+    /**
+     * True when two fused programs would merge: identical instruction
+     * streams up to Const immediates. Cheap (one pass over the ops);
+     * used to group ensemble instances into lane blocks before paying
+     * for merge().
+     */
+    static bool compatible(const FusedTape &a, const FusedTape &b);
+
+  private:
+    LaneTape() = default;
+
+    template <int W>
+    void evalIntoT(const double *state, double t, double *out,
+                   double *regs) const;
+
+    /** Program; Const ops hold a constant-table slot in `a`. */
+    std::vector<TapeOp> ops_;
+    /** Per-lane constants, slot-major: constants_[slot * width_ + l]. */
+    std::vector<double> constants_;
+    int numRegs_ = 0;
+    std::size_t numOutputs_ = 0;
+    std::size_t lanes_ = 0;
+    std::size_t width_ = 0;
+};
+
+} // namespace ark::expr
+
+#endif // ARK_EXPR_LANETAPE_H

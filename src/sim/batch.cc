@@ -1,0 +1,495 @@
+#include "sim/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "expr/lanetape.h"
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::sim {
+
+using support::cat;
+using support::SimError;
+
+namespace {
+
+/** Lazily-grown pool cap; parked workers are cheap but not free. */
+constexpr unsigned kMaxPoolThreads = 64;
+
+SimResult
+cancelledResult(double t)
+{
+    SimResult result;
+    result.failure = detail::cancelledFailure(t, 0);
+    return result;
+}
+
+/**
+ * Lane-batched fixed-step RK4 over one block. Mirrors the scalar RK4
+ * driver in sim.cc operation-for-operation — same stage expressions,
+ * same time accumulation, same record gating — so every lane's
+ * trajectory is bit-identical to a serial simulate() of that instance.
+ * A lane whose state goes nonfinite is masked out with a structured
+ * failure (recording stops, its columns keep computing ignored
+ * garbage; lanes never mix, so the rest of the block is unaffected).
+ */
+std::vector<SimResult>
+runLaneRk4(const expr::LaneTape &tape,
+           const std::vector<const std::vector<double> *> &initials,
+           const std::vector<const compiler::OdeSystem *> &systems,
+           double t0, double t1, const SimOptions &options,
+           const std::stop_token &stop)
+{
+    const std::size_t lanes = tape.lanes();
+    const std::size_t width = tape.width();
+    const std::size_t n = tape.numOutputs();
+    const std::size_t m = n * width;
+    std::vector<SimResult> results(lanes);
+
+    auto failDiverged = [&](std::size_t lane, int var, double t,
+                            std::size_t steps) {
+        results[lane].steps = steps;
+        results[lane].failure =
+            detail::divergedFailure(*systems[lane], var, t, steps);
+    };
+
+    // SoA blocks, lane-minor; padding lanes replicate lane 0 so their
+    // (discarded) arithmetic stays finite.
+    std::vector<double> state(m), k1(m), k2(m), k3(m), k4(m), tmp(m);
+    std::vector<double> regs(tape.scratchSize());
+    for (std::size_t l = 0; l < width; ++l) {
+        const std::vector<double> &src = *initials[l < lanes ? l : 0];
+        for (std::size_t i = 0; i < n; ++i)
+            state[i * width + l] = src[i];
+    }
+
+    std::vector<char> alive(lanes, 1);
+    std::size_t aliveCount = lanes;
+    for (std::size_t l = 0; l < lanes; ++l) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!std::isfinite(state[i * width + l])) {
+                failDiverged(l, static_cast<int>(i), t0, 0);
+                alive[l] = 0;
+                --aliveCount;
+                break;
+            }
+        }
+    }
+    if (aliveCount == 0)
+        return results;
+
+    const double dt = options.dt > 0 ? options.dt : (t1 - t0) / 1000.0;
+    std::size_t estimate =
+        options.recordDt > 0
+            ? static_cast<std::size_t>((t1 - t0) / options.recordDt) + 4
+            : static_cast<std::size_t>((t1 - t0) / dt) + 4;
+    estimate = std::min<std::size_t>(estimate, std::size_t{1} << 20);
+    for (std::size_t l = 0; l < lanes; ++l)
+        if (alive[l])
+            results[l].trajectory.reserve(estimate, n);
+
+    const double recordDt = options.recordDt;
+    double lastRecord = -1.0;
+    std::vector<double> sample(n), slope(n);
+    // All lanes share the time grid, so one record gate serves the
+    // whole block; dead lanes are simply skipped.
+    auto record = [&](double t, bool force) {
+        if (!(force || recordDt <= 0.0 ||
+              t - lastRecord >= recordDt * (1.0 - 1e-12)))
+            return;
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (!alive[l])
+                continue;
+            for (std::size_t i = 0; i < n; ++i) {
+                sample[i] = state[i * width + l];
+                slope[i] = k1[i * width + l];
+            }
+            results[l].trajectory.addSample(t, sample, &slope);
+        }
+        lastRecord = t;
+    };
+
+    double t = t0;
+    std::size_t steps = 0;
+    // As in the scalar driver, k1 is both the recorded slope and the
+    // next step's first stage — four block evaluations per step.
+    tape.evalInto(state.data(), t, k1.data(), regs.data());
+    record(t, true);
+
+    while (t < t1 - 1e-15 * std::max(1.0, std::fabs(t1))) {
+        double h = std::min(dt, t1 - t);
+        if (steps >= options.maxSteps)
+            throw SimError("step budget exhausted (RK4)");
+        if (stop.stop_requested()) {
+            for (std::size_t l = 0; l < lanes; ++l) {
+                if (!alive[l])
+                    continue;
+                results[l].steps = steps;
+                results[l].failure = detail::cancelledFailure(t, steps);
+            }
+            return results;
+        }
+        for (std::size_t j = 0; j < m; ++j)
+            tmp[j] = state[j] + 0.5 * h * k1[j];
+        tape.evalInto(tmp.data(), t + 0.5 * h, k2.data(), regs.data());
+        for (std::size_t j = 0; j < m; ++j)
+            tmp[j] = state[j] + 0.5 * h * k2[j];
+        tape.evalInto(tmp.data(), t + 0.5 * h, k3.data(), regs.data());
+        for (std::size_t j = 0; j < m; ++j)
+            tmp[j] = state[j] + h * k3[j];
+        tape.evalInto(tmp.data(), t + h, k4.data(), regs.data());
+        for (std::size_t j = 0; j < m; ++j) {
+            state[j] += h / 6.0 *
+                        (k1[j] + 2.0 * k2[j] + 2.0 * k3[j] + k4[j]);
+        }
+        t += h;
+        ++steps;
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (!alive[l])
+                continue;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!std::isfinite(state[i * width + l])) {
+                    failDiverged(l, static_cast<int>(i), t, steps);
+                    alive[l] = 0;
+                    --aliveCount;
+                    break;
+                }
+            }
+        }
+        if (aliveCount == 0)
+            return results;
+        tape.evalInto(state.data(), t, k1.data(), regs.data());
+        record(t, false);
+    }
+    record(t, true);
+    for (std::size_t l = 0; l < lanes; ++l)
+        if (alive[l])
+            results[l].steps = steps;
+    return results;
+}
+
+/** One pool job: a lane block (2+ members) or a scalar instance. */
+struct Job
+{
+    std::vector<std::size_t> members;
+    bool lane = false;
+};
+
+} // namespace
+
+/**
+ * Persistent worker pool. Workers are std::jthread, parked on a
+ * condition variable between batches and woken per run() generation;
+ * job indices are claimed with an atomic counter (work stealing), and
+ * the calling thread drains alongside the workers. run() returns only
+ * after every claimed job has finished AND every worker has left its
+ * drain loop, so the job closure can safely live on the caller's
+ * stack.
+ */
+class BatchRunner::Pool
+{
+  public:
+    ~Pool()
+    {
+        // jthread destructors request stop; wake the parked workers so
+        // they observe it.
+        for (std::jthread &worker : workers_)
+            worker.request_stop();
+        cv_.notify_all();
+    }
+
+    unsigned
+    size() const
+    {
+        std::lock_guard lock(m_);
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Grows the pool to `target` workers (capped). */
+    void
+    ensure(unsigned target)
+    {
+        target = std::min(target, kMaxPoolThreads);
+        std::lock_guard lock(m_);
+        while (workers_.size() < target) {
+            unsigned index = static_cast<unsigned>(workers_.size());
+            workers_.emplace_back([this, index](std::stop_token st) {
+                workerLoop(st, index);
+            });
+        }
+    }
+
+    /**
+     * Runs job(0..count) using the calling thread plus up to
+     * `activeWorkers` pool workers. The job must capture its own
+     * exceptions (a throw would terminate a worker).
+     */
+    void
+    run(std::size_t count, unsigned activeWorkers,
+        const std::function<void(std::size_t)> &job)
+    {
+        if (count == 0)
+            return;
+        // One batch at a time: a second caller resetting next_/count_
+        // mid-generation would re-issue indices and let run() return
+        // while workers still hold the first batch's job closure.
+        std::lock_guard runLock(runMutex_);
+        {
+            std::lock_guard lock(m_);
+            ++generation_;
+            count_ = count;
+            job_ = &job;
+            active_ = activeWorkers;
+            finished_ = 0;
+            next_.store(0, std::memory_order_relaxed);
+        }
+        cv_.notify_all();
+        drain(&job, count);
+        std::unique_lock lock(m_);
+        doneCv_.wait(lock, [&] {
+            return finished_ == count_ && draining_ == 0;
+        });
+        job_ = nullptr;
+    }
+
+  private:
+    void
+    drain(const std::function<void(std::size_t)> *job, std::size_t count)
+    {
+        for (std::size_t i = next_.fetch_add(1); i < count;
+             i = next_.fetch_add(1)) {
+            (*job)(i);
+            std::lock_guard lock(m_);
+            if (++finished_ == count_)
+                doneCv_.notify_all();
+        }
+    }
+
+    void
+    workerLoop(std::stop_token st, unsigned index)
+    {
+        std::uint64_t seen = 0;
+        while (true) {
+            const std::function<void(std::size_t)> *job;
+            std::size_t count;
+            {
+                std::unique_lock lock(m_);
+                bool live = cv_.wait(lock, st, [&] {
+                    return job_ != nullptr && generation_ != seen &&
+                           index < active_;
+                });
+                if (!live)
+                    return; // stop requested (pool teardown)
+                seen = generation_;
+                job = job_;
+                count = count_;
+                ++draining_;
+            }
+            drain(job, count);
+            std::lock_guard lock(m_);
+            if (--draining_ == 0 && finished_ == count_)
+                doneCv_.notify_all();
+        }
+    }
+
+    std::mutex runMutex_; ///< Serializes whole run() calls.
+    mutable std::mutex m_;
+    std::condition_variable_any cv_; ///< Workers park here.
+    std::condition_variable doneCv_; ///< run() completion.
+    std::uint64_t generation_ = 0;
+    std::size_t count_ = 0;
+    unsigned active_ = 0;
+    const std::function<void(std::size_t)> *job_ = nullptr;
+    std::atomic<std::size_t> next_{0};
+    std::size_t finished_ = 0;  ///< Jobs completed this generation.
+    unsigned draining_ = 0;     ///< Workers inside their drain loop.
+    std::vector<std::jthread> workers_;
+};
+
+BatchRunner::BatchRunner() : pool_(std::make_unique<Pool>()) {}
+
+BatchRunner::~BatchRunner() = default;
+
+unsigned
+BatchRunner::poolThreads() const
+{
+    return pool_->size();
+}
+
+BatchRunner &
+BatchRunner::shared()
+{
+    static BatchRunner runner;
+    return runner;
+}
+
+std::vector<SimResult>
+BatchRunner::run(const compiler::OdeSystem &system,
+                 const std::vector<std::vector<double>> &initialStates,
+                 double t0, double t1, const EnsembleOptions &options)
+{
+    return runImpl(&system, &initialStates, nullptr, t0, t1, options);
+}
+
+std::vector<SimResult>
+BatchRunner::run(const std::vector<const compiler::OdeSystem *> &systems,
+                 double t0, double t1, const EnsembleOptions &options)
+{
+    for (const compiler::OdeSystem *system : systems)
+        support::panicIf(system == nullptr,
+                         "simulateEnsemble: null system");
+    return runImpl(nullptr, nullptr, &systems, t0, t1, options);
+}
+
+std::vector<SimResult>
+BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
+                     const std::vector<std::vector<double>> *initialStates,
+                     const std::vector<const compiler::OdeSystem *> *systems,
+                     double t0, double t1, const EnsembleOptions &options)
+{
+    const std::size_t count =
+        homogeneous ? initialStates->size() : systems->size();
+    if (count == 0)
+        return {};
+    if (t1 <= t0)
+        throw SimError("simulate: t1 must exceed t0");
+
+    auto systemOf = [&](std::size_t i) -> const compiler::OdeSystem & {
+        return homogeneous ? *homogeneous : *(*systems)[i];
+    };
+    auto initialOf = [&](std::size_t i) -> const std::vector<double> & {
+        return homogeneous ? (*initialStates)[i]
+                           : (*systems)[i]->initialState();
+    };
+    for (std::size_t i = 0; i < count; ++i) {
+        if (initialOf(i).size() != systemOf(i).size()) {
+            throw SimError(cat("simulate: initial state has ",
+                               initialOf(i).size(),
+                               " entries, system has ",
+                               systemOf(i).size()));
+        }
+    }
+
+    // Partition into jobs: a stable group-by-structure pass collects
+    // every instance sharing one fused program (interleaved batches
+    // like [A, B, A, B, ...] still lane-batch per structure), then
+    // each class splits into blocks of up to kMaxLanes. Partitioning
+    // depends only on the batch, never on thread count, and results
+    // are written by original index, so ordering is preserved.
+    const bool laneEligible =
+        options.laneBatching && options.sim.method == Method::Rk4;
+    std::vector<std::vector<std::size_t>> classes;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (laneEligible) {
+            bool placed = false;
+            for (std::vector<std::size_t> &cls : classes) {
+                const compiler::OdeSystem &leader =
+                    systemOf(cls.front());
+                if (&systemOf(i) == &leader ||
+                    expr::LaneTape::compatible(
+                        leader.fusedTape(), systemOf(i).fusedTape())) {
+                    cls.push_back(i);
+                    placed = true;
+                    break;
+                }
+            }
+            if (placed)
+                continue;
+        }
+        classes.push_back({i});
+    }
+    std::vector<Job> jobs;
+    for (const std::vector<std::size_t> &cls : classes) {
+        for (std::size_t base = 0; base < cls.size();
+             base += expr::LaneTape::kMaxLanes) {
+            std::size_t blockSize = std::min(
+                expr::LaneTape::kMaxLanes, cls.size() - base);
+            Job job;
+            job.lane = blockSize >= 2;
+            for (std::size_t k = 0; k < blockSize; ++k)
+                job.members.push_back(cls[base + k]);
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    std::vector<SimResult> results(count);
+    std::vector<std::exception_ptr> errors(count);
+    std::mutex progressMutex;
+    std::size_t completed = 0;
+
+    auto runJob = [&](std::size_t jobIndex) {
+        const Job &job = jobs[jobIndex];
+        try {
+            if (options.stop.stop_requested()) {
+                // Skipped before starting: no samples at all.
+                for (std::size_t member : job.members)
+                    results[member] = cancelledResult(t0);
+            } else if (job.lane) {
+                std::vector<const expr::FusedTape *> tapes;
+                std::vector<const std::vector<double> *> inits;
+                std::vector<const compiler::OdeSystem *> blockSystems;
+                tapes.reserve(job.members.size());
+                inits.reserve(job.members.size());
+                blockSystems.reserve(job.members.size());
+                for (std::size_t member : job.members) {
+                    tapes.push_back(&systemOf(member).fusedTape());
+                    inits.push_back(&initialOf(member));
+                    blockSystems.push_back(&systemOf(member));
+                }
+                std::optional<expr::LaneTape> tape =
+                    expr::LaneTape::merge(tapes);
+                // Partitioning already verified compatibility.
+                support::panicIf(!tape.has_value(),
+                                 "BatchRunner: lane merge failed");
+                std::vector<SimResult> block =
+                    runLaneRk4(*tape, inits, blockSystems, t0, t1,
+                               options.sim, options.stop);
+                for (std::size_t k = 0; k < job.members.size(); ++k)
+                    results[job.members[k]] = std::move(block[k]);
+            } else {
+                std::size_t member = job.members.front();
+                results[member] = detail::simulateWithStop(
+                    systemOf(member), initialOf(member), t0, t1,
+                    options.sim, options.stop);
+            }
+        } catch (...) {
+            for (std::size_t member : job.members)
+                errors[member] = std::current_exception();
+        }
+        if (options.progress) {
+            std::lock_guard lock(progressMutex);
+            completed += job.members.size();
+            options.progress(completed, count);
+        }
+    };
+
+    unsigned requested = options.numThreads;
+    if (requested == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        requested = hw ? hw : 1;
+    }
+    unsigned effective = static_cast<unsigned>(
+        std::min<std::size_t>(requested, jobs.size()));
+    if (effective <= 1) {
+        for (std::size_t jobIndex = 0; jobIndex < jobs.size(); ++jobIndex)
+            runJob(jobIndex);
+    } else {
+        pool_->ensure(effective - 1);
+        pool_->run(jobs.size(), effective - 1, runJob);
+    }
+
+    for (std::exception_ptr &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+    return results;
+}
+
+} // namespace ark::sim

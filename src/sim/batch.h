@@ -1,0 +1,100 @@
+#ifndef ARK_SIM_BATCH_H
+#define ARK_SIM_BATCH_H
+
+/**
+ * @file
+ * Lane-parallel batch execution engine for ensemble simulation.
+ *
+ * BatchRunner is the ensemble tier of the execution stack (tier 4 in
+ * sim.h's ladder): it partitions an N-instance batch into lane blocks
+ * of up to expr::LaneTape::kMaxLanes instances that share one fused
+ * program structure, integrates each block with a lane-batched
+ * fixed-step RK4 (one instruction stream driving a structure-of-arrays
+ * state block), and falls back to the scalar fused path per instance
+ * whenever lane batching does not apply:
+ *
+ *  - adaptive integration (Dopri5): per-instance step control makes
+ *    the time grids diverge, so instances run scalar;
+ *  - structurally heterogeneous batches: instances whose fused
+ *    programs differ beyond Const immediates cannot share a stream
+ *    (per-lane constant tables absorb parameter differences only);
+ *  - singleton blocks: one lane would just add SoA overhead.
+ *
+ * Both paths run on a persistent std::jthread worker pool owned by the
+ * runner and reused across calls — no per-call thread spawn/join. The
+ * pool parks on a condition variable between batches and grows lazily
+ * to the requested concurrency.
+ *
+ * Determinism: block partitioning depends only on the batch, never on
+ * thread count or scheduling, and every lane executes the exact
+ * scalar instruction sequence, so results are bit-identical to serial
+ * simulate() per instance on both paths at any thread count.
+ * Divergence is masked per lane: a NaN instance aborts early with a
+ * structured SimResult failure while the rest of its block keeps
+ * integrating.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "sim/sim.h"
+
+namespace ark::sim {
+
+/**
+ * Persistent-pool ensemble runner. One instance may be shared across
+ * threads (calls are serialized internally); most callers want the
+ * process-wide shared() runner, which sim::simulateEnsemble routes
+ * through.
+ */
+class BatchRunner
+{
+  public:
+    BatchRunner();
+    ~BatchRunner();
+
+    BatchRunner(const BatchRunner &) = delete;
+    BatchRunner &operator=(const BatchRunner &) = delete;
+
+    /**
+     * Homogeneous batch: one system, N initial states. Same contract
+     * as sim::simulateEnsemble (ordering, determinism, structured
+     * failures, throw semantics).
+     */
+    std::vector<SimResult>
+    run(const compiler::OdeSystem &system,
+        const std::vector<std::vector<double>> &initialStates, double t0,
+        double t1, const EnsembleOptions &options = EnsembleOptions{});
+
+    /**
+     * Heterogeneous batch: N distinct systems, each from its compiled
+     * initial state. Instances whose fused programs are structurally
+     * identical (e.g. per-chip mismatch variants of one circuit) are
+     * lane-batched together; the rest run scalar.
+     */
+    std::vector<SimResult>
+    run(const std::vector<const compiler::OdeSystem *> &systems,
+        double t0, double t1,
+        const EnsembleOptions &options = EnsembleOptions{});
+
+    /** Worker threads currently parked in the pool. */
+    unsigned poolThreads() const;
+
+    /** Process-wide runner backing sim::simulateEnsemble. */
+    static BatchRunner &shared();
+
+  private:
+    class Pool;
+
+    std::vector<SimResult>
+    runImpl(const compiler::OdeSystem *homogeneous,
+            const std::vector<std::vector<double>> *initialStates,
+            const std::vector<const compiler::OdeSystem *> *systems,
+            double t0, double t1, const EnsembleOptions &options);
+
+    std::unique_ptr<Pool> pool_;
+};
+
+} // namespace ark::sim
+
+#endif // ARK_SIM_BATCH_H

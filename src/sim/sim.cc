@@ -1,11 +1,9 @@
 #include "sim/sim.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <exception>
-#include <thread>
 
+#include "sim/batch.h"
 #include "support/error.h"
 #include "support/logging.h"
 
@@ -122,18 +120,31 @@ Trajectory::resample(int stateIndex, double t0, double t1,
 
 namespace {
 
+/** Index of the first nonfinite entry, or -1 when all are finite. */
+int
+firstNonfinite(const std::vector<double> &state)
+{
+    for (std::size_t i = 0; i < state.size(); ++i)
+        if (!std::isfinite(state[i]))
+            return static_cast<int>(i);
+    return -1;
+}
+
 /** Shared integration driver state. */
 struct Driver
 {
     const compiler::OdeSystem &system;
     const SimOptions &options;
+    const std::stop_token &stop;
     SimResult result;
     std::vector<double> scratch;
     double lastRecord = -1.0;
     double recordDt;
 
-    Driver(const compiler::OdeSystem &sys, const SimOptions &opts)
-        : system(sys), options(opts), recordDt(opts.recordDt)
+    Driver(const compiler::OdeSystem &sys, const SimOptions &opts,
+           const std::stop_token &stopToken)
+        : system(sys), options(opts), stop(stopToken),
+          recordDt(opts.recordDt)
     {
     }
 
@@ -148,15 +159,22 @@ struct Driver
         }
     }
 
+    /** Records a divergence abort; the integrator must return. */
     void
-    checkFinite(double t, const std::vector<double> &state)
+    failDiverged(int var, double t)
     {
-        for (double v : state) {
-            if (!std::isfinite(v)) {
-                throw SimError(cat("state diverged (non-finite value at "
-                                   "t=", t, ")"));
-            }
-        }
+        result.failure =
+            detail::divergedFailure(system, var, t, result.steps);
+    }
+
+    /** True when the stop token fired; records the cancellation. */
+    bool
+    cancelled(double t)
+    {
+        if (!stop.stop_requested())
+            return false;
+        result.failure = detail::cancelledFailure(t, result.steps);
+        return true;
     }
 };
 
@@ -168,15 +186,18 @@ runRk4(Driver &driver, std::vector<double> &state, double t0, double t1,
     const std::size_t n = driver.system.size();
     std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
     double t = t0;
-    // k1 doubles as the recorded slope at each sample point; the RK4
-    // stages recompute it per step anyway.
+    // k1 doubles as the recorded slope at each sample point AND the
+    // first stage of the next step: (state, t) is unchanged between
+    // the end-of-step recording eval and the loop top, so each step
+    // costs four RHS evaluations, not five.
     driver.system.evalRhs(state.data(), t, k1.data(), driver.scratch);
     driver.record(t, state, true, &k1);
     while (t < t1 - 1e-15 * std::max(1.0, std::fabs(t1))) {
         double h = std::min(dt, t1 - t);
         if (driver.result.steps >= driver.options.maxSteps)
             throw SimError("step budget exhausted (RK4)");
-        driver.system.evalRhs(state.data(), t, k1.data(), driver.scratch);
+        if (driver.cancelled(t))
+            return;
         for (std::size_t i = 0; i < n; ++i)
             tmp[i] = state[i] + 0.5 * h * k1[i];
         driver.system.evalRhs(tmp.data(), t + 0.5 * h, k2.data(),
@@ -195,7 +216,10 @@ runRk4(Driver &driver, std::vector<double> &state, double t0, double t1,
         }
         t += h;
         ++driver.result.steps;
-        driver.checkFinite(t, state);
+        if (int bad = firstNonfinite(state); bad >= 0) {
+            driver.failDiverged(bad, t);
+            return;
+        }
         driver.system.evalRhs(state.data(), t, k1.data(),
                               driver.scratch);
         driver.record(t, state, false, &k1);
@@ -246,6 +270,8 @@ runDopri5(Driver &driver, std::vector<double> &state, double t0, double t1,
             driver.options.maxSteps) {
             throw SimError("step budget exhausted (DOPRI5)");
         }
+        if (driver.cancelled(t))
+            return;
 
         for (std::size_t i = 0; i < n; ++i)
             tmp[i] = state[i] + h * a21 * k1[i];
@@ -297,12 +323,27 @@ runDopri5(Driver &driver, std::vector<double> &state, double t0, double t1,
         }
         errNorm = std::sqrt(errNorm / static_cast<double>(n));
 
+        // A nonfinite error estimate means a stage or the candidate
+        // state blew up: error control can never accept again, and the
+        // reject branch would grind the step down toward collapse
+        // while integrating NaNs. Abort structurally instead.
+        if (!std::isfinite(errNorm)) {
+            int bad = firstNonfinite(next);
+            if (bad < 0)
+                bad = firstNonfinite(k7);
+            driver.failDiverged(bad, t);
+            return;
+        }
+
         if (errNorm <= 1.0) {
             t += h;
             state = next;
             std::swap(k1, k7); // FSAL: last stage is next first stage
             ++driver.result.steps;
-            driver.checkFinite(t, state);
+            if (int bad = firstNonfinite(state); bad >= 0) {
+                driver.failDiverged(bad, t);
+                return;
+            }
             driver.record(t, state, false, &k1);
             // PI controller (Gustafsson): smooth step adaptation.
             double factor = 0.9 *
@@ -334,6 +375,45 @@ simulate(const compiler::OdeSystem &system,
          const std::vector<double> &initial, double t0, double t1,
          const SimOptions &options)
 {
+    return detail::simulateWithStop(system, initial, t0, t1, options,
+                                    std::stop_token{});
+}
+
+SimFailure
+detail::divergedFailure(const compiler::OdeSystem &system, int var,
+                        double t, std::size_t steps)
+{
+    SimFailure failure;
+    failure.reason = AbortReason::Diverged;
+    failure.step = steps;
+    failure.stateIndex = var;
+    failure.time = t;
+    const char *label =
+        var >= 0
+            ? system.vars()[static_cast<std::size_t>(var)].node.c_str()
+            : "<error estimate>";
+    failure.message = cat("state diverged (non-finite ", label,
+                          " after step ", steps, " at t=", t, ")");
+    return failure;
+}
+
+SimFailure
+detail::cancelledFailure(double t, std::size_t steps)
+{
+    SimFailure failure;
+    failure.reason = AbortReason::Cancelled;
+    failure.step = steps;
+    failure.time = t;
+    failure.message = cat("cancelled at t=", t);
+    return failure;
+}
+
+SimResult
+detail::simulateWithStop(const compiler::OdeSystem &system,
+                         const std::vector<double> &initial, double t0,
+                         double t1, const SimOptions &options,
+                         const std::stop_token &stop)
+{
     if (t1 <= t0)
         throw SimError("simulate: t1 must exceed t0");
     if (initial.size() != system.size()) {
@@ -341,9 +421,12 @@ simulate(const compiler::OdeSystem &system,
                            initial.size(), " entries, system has ",
                            system.size()));
     }
-    Driver driver(system, options);
+    Driver driver(system, options, stop);
     std::vector<double> state = initial;
-    driver.checkFinite(t0, state);
+    if (int bad = firstNonfinite(state); bad >= 0) {
+        driver.failDiverged(bad, t0);
+        return std::move(driver.result);
+    }
 
     double dt = options.dt > 0 ? options.dt : (t1 - t0) / 1000.0;
     double hMax = options.maxDt > 0 ? options.maxDt : (t1 - t0) / 10.0;
@@ -367,88 +450,20 @@ simulate(const compiler::OdeSystem &system,
     return std::move(driver.result);
 }
 
-namespace {
-
-/**
- * Runs `count` independent jobs on a pool of `numThreads` workers
- * (atomic work stealing). Per-job exceptions are captured; the
- * lowest-indexed one is rethrown after every job has finished, so a
- * failure cannot abandon in-flight instances.
- */
-void
-runJobPool(std::size_t count, unsigned numThreads,
-           const std::function<void(std::size_t)> &job)
-{
-    if (count == 0)
-        return;
-    if (numThreads == 0) {
-        unsigned hw = std::thread::hardware_concurrency();
-        numThreads = hw ? hw : 1;
-    }
-    numThreads = static_cast<unsigned>(
-        std::min<std::size_t>(numThreads, count));
-
-    std::vector<std::exception_ptr> errors(count);
-    auto runOne = [&](std::size_t i) {
-        try {
-            job(i);
-        } catch (...) {
-            errors[i] = std::current_exception();
-        }
-    };
-
-    if (numThreads <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
-            runOne(i);
-    } else {
-        std::atomic<std::size_t> next{0};
-        std::vector<std::thread> workers;
-        workers.reserve(numThreads);
-        for (unsigned w = 0; w < numThreads; ++w) {
-            workers.emplace_back([&] {
-                for (std::size_t i = next.fetch_add(1); i < count;
-                     i = next.fetch_add(1))
-                    runOne(i);
-            });
-        }
-        for (std::thread &worker : workers)
-            worker.join();
-    }
-
-    for (std::exception_ptr &error : errors)
-        if (error)
-            std::rethrow_exception(error);
-}
-
-} // namespace
-
 std::vector<SimResult>
 simulateEnsemble(const compiler::OdeSystem &system,
                  const std::vector<std::vector<double>> &initialStates,
                  double t0, double t1, const EnsembleOptions &options)
 {
-    std::vector<SimResult> results(initialStates.size());
-    runJobPool(initialStates.size(), options.numThreads,
-               [&](std::size_t i) {
-                   results[i] = simulate(system, initialStates[i], t0,
-                                         t1, options.sim);
-               });
-    return results;
+    return BatchRunner::shared().run(system, initialStates, t0, t1,
+                                     options);
 }
 
 std::vector<SimResult>
 simulateEnsemble(const std::vector<const compiler::OdeSystem *> &systems,
                  double t0, double t1, const EnsembleOptions &options)
 {
-    for (const compiler::OdeSystem *system : systems)
-        support::panicIf(system == nullptr,
-                         "simulateEnsemble: null system");
-    std::vector<SimResult> results(systems.size());
-    runJobPool(systems.size(), options.numThreads, [&](std::size_t i) {
-        results[i] = simulate(*systems[i], systems[i]->initialState(),
-                              t0, t1, options.sim);
-    });
-    return results;
+    return BatchRunner::shared().run(systems, t0, t1, options);
 }
 
 SimResult
@@ -460,6 +475,10 @@ simulateToSteadyState(const compiler::OdeSystem &system, double t0,
     if (opts.recordDt <= 0)
         opts.recordDt = (tMax - t0) / 2000.0;
     SimResult run = simulate(system, t0, tMax, opts);
+    // A diverged run never settled: don't let a quiet early sample of
+    // the partial trajectory masquerade as steady state.
+    if (!run.ok())
+        return run;
 
     std::vector<double> deriv(system.size());
     std::vector<double> scratch;

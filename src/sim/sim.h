@@ -9,20 +9,40 @@
  * RK4 (predictable cost, used for SPICE cross-validation on matching
  * time grids) and an adaptive Dormand-Prince 5(4) with PI step
  * control (default; handles the nanosecond-scale TLN/OBC dynamics and
- * the CNN's piecewise-linear saturations efficiently). Both drive the
- * system's fused whole-system tape (one pass per RHS evaluation) with
- * scratch sized once up front.
+ * the CNN's piecewise-linear saturations efficiently).
  *
- * Ensemble workloads — PUF challenge batteries, max-cut random
- * restarts, Monte-Carlo mismatch sweeps — go through
- * simulateEnsemble: a thread-pooled batch driver that integrates N
- * instances concurrently. Each instance owns its scratch and RNG-free
- * integration, so results are bit-identical to running simulate()
- * serially per instance, independent of thread count or scheduling.
+ * RHS evaluation has four execution tiers, each a strict speedup over
+ * the previous at identical semantics:
+ *
+ *  1. tree interpreter (OdeSystem::evalRhsInterpreted) — ground truth
+ *     for equivalence tests;
+ *  2. per-variable tapes (evalRhsPerTape) — one register program per
+ *     equation, kept as the ablation path;
+ *  3. fused whole-system tape (evalRhs / expr::FusedTape) — one
+ *     program with cross-equation CSE fills all of dstate per pass;
+ *     what simulate() drives;
+ *  4. lane-parallel batch tape (expr::LaneTape + sim::BatchRunner,
+ *     sim/batch.h) — the fused program executed over a
+ *     structure-of-arrays block of up to 8 ensemble instances at
+ *     once, amortizing instruction dispatch and autovectorizing the
+ *     lane loops.
+ *
+ * Tier 4 is selected automatically by simulateEnsemble for fixed-step
+ * (Rk4) ensembles whose instances share one program structure — one
+ * system with many initial states, or distinct systems that differ
+ * only in constants (per-chip mismatch). Adaptive (Dopri5) or
+ * structurally heterogeneous batches fall back to tier 3 per
+ * instance. Both batch paths run on BatchRunner's persistent worker
+ * pool, honor EnsembleOptions::progress/stop, and produce results
+ * bit-identical to serial simulate() per instance at any thread
+ * count.
  */
 
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
+#include <stop_token>
 #include <string>
 #include <vector>
 
@@ -117,6 +137,29 @@ class Trajectory
     bool derivsDropped_ = false;
 };
 
+/** Why an instance stopped before reaching t1. */
+enum class AbortReason : std::uint8_t {
+    Diverged,  ///< A state variable went NaN/Inf.
+    Cancelled, ///< The ensemble's stop token was triggered.
+};
+
+/**
+ * Structured early-stop report. Divergence is detected the moment a
+ * nonfinite value appears (accepted state or Dopri5 error estimate)
+ * and aborts the instance right there — it is never integrated onward
+ * toward maxSteps — recording which step and which state variable
+ * went bad. The trajectory keeps every sample recorded before the
+ * failure.
+ */
+struct SimFailure
+{
+    AbortReason reason = AbortReason::Diverged;
+    std::size_t step = 0;  ///< Executed steps when detected (0 = initial state).
+    int stateIndex = -1;   ///< First nonfinite variable; -1 if not variable-specific.
+    double time = 0.0;     ///< Integration time reached.
+    std::string message;   ///< Human-readable summary.
+};
+
 /** Simulation outcome. */
 struct SimResult
 {
@@ -124,11 +167,20 @@ struct SimResult
     std::size_t steps = 0;          ///< Accepted steps.
     std::size_t rejectedSteps = 0;  ///< Dopri5 error-control rejects.
     bool reachedSteadyState = false;
+    /** Set when the run stopped early (divergence, cancellation). */
+    std::optional<SimFailure> failure;
+
+    /** True when the run integrated all the way to t1. */
+    bool ok() const { return !failure.has_value(); }
 };
 
 /**
- * Integrates the system from t0 to t1.
- * @throws ark::support::SimError on NaN/Inf state or step collapse.
+ * Integrates the system from t0 to t1. A diverging state (NaN/Inf)
+ * stops the run early and reports a structured SimResult::failure;
+ * configuration errors (bad time range, step collapse, exhausted step
+ * budget) still throw.
+ * @throws ark::support::SimError on step collapse or step budget
+ *         exhaustion.
  */
 SimResult simulate(const compiler::OdeSystem &system, double t0, double t1,
                    const SimOptions &options = SimOptions{});
@@ -154,16 +206,46 @@ struct EnsembleOptions
      * the calling thread.
      */
     unsigned numThreads = 0;
+
+    /**
+     * Lane-batch eligible instances through expr::LaneTape (fixed-step
+     * Rk4 + shared program structure). Off forces the scalar
+     * per-instance path — ablation benchmarks and differential tests;
+     * results are bit-identical either way.
+     */
+    bool laneBatching = true;
+
+    /**
+     * Optional completion callback: invoked with (completed, total)
+     * after each instance (scalar path) or lane block (batch path)
+     * finishes. Serialized internally — the callback never runs
+     * concurrently with itself — but it may be invoked from worker
+     * threads; keep it cheap and do not call back into the ensemble
+     * API from inside it.
+     */
+    std::function<void(std::size_t completed, std::size_t total)> progress;
+
+    /**
+     * Cooperative cancellation. When the token's stop is requested,
+     * instances not yet started are skipped and running instances
+     * abort at the next integration step; all affected results carry
+     * an AbortReason::Cancelled failure. A default-constructed token
+     * never requests stop.
+     */
+    std::stop_token stop;
 };
 
 /**
  * Integrates N instances of one system concurrently, instance i
  * starting from initialStates[i]. Results are positionally ordered
  * and bit-identical to calling simulate(system, initialStates[i],
- * t0, t1, options.sim) serially, for every thread count.
+ * t0, t1, options.sim) serially, for every thread count and for both
+ * the lane-batched and scalar paths.
  *
- * If any instance throws, the remaining instances still run to
- * completion and the lowest-indexed failure is rethrown.
+ * Divergence no longer throws — the affected instance's result
+ * carries a structured failure. If any instance throws (step budget,
+ * step collapse), the remaining instances still run to completion and
+ * the lowest-indexed error is rethrown.
  */
 std::vector<SimResult> simulateEnsemble(
     const compiler::OdeSystem &system,
@@ -187,6 +269,30 @@ std::vector<SimResult> simulateEnsemble(
 SimResult simulateToSteadyState(const compiler::OdeSystem &system,
                                 double t0, double tMax, double derivTol,
                                 const SimOptions &options = SimOptions{});
+
+namespace detail {
+
+/**
+ * simulate() with a cooperative stop token checked once per step —
+ * the scalar-path workhorse behind BatchRunner. Not part of the
+ * public API.
+ */
+SimResult simulateWithStop(const compiler::OdeSystem &system,
+                           const std::vector<double> &initial, double t0,
+                           double t1, const SimOptions &options,
+                           const std::stop_token &stop);
+
+/**
+ * Shared failure constructors: the scalar and lane integrators must
+ * report byte-identical failures for the same event, so both build
+ * them here. `var` -1 means "not variable-specific" (e.g. a nonfinite
+ * Dopri5 error estimate with every state entry still finite).
+ */
+SimFailure divergedFailure(const compiler::OdeSystem &system, int var,
+                           double t, std::size_t steps);
+SimFailure cancelledFailure(double t, std::size_t steps);
+
+} // namespace detail
 
 } // namespace ark::sim
 

@@ -143,10 +143,11 @@ TEST(EnsembleTest, WrongDimensionRejected)
         SimError);
 }
 
-TEST(EnsembleTest, InstanceFailurePropagates)
+TEST(EnsembleTest, DivergingInstanceReportsStructuredFailure)
 {
     // dx/dt = x^3 diverges from |x0| >= 2 but is tame from small x0;
-    // the diverging instance must not take down the healthy ones.
+    // the diverging instance gets a structured failure and must not
+    // take down the healthy ones — on either execution path.
     lang::LanguageRegistry registry;
     registry.addProgram(R"(
         lang boom {
@@ -165,10 +166,31 @@ TEST(EnsembleTest, InstanceFailurePropagates)
     options.numThreads = 4;
     options.sim.method = sim::Method::Rk4;
     options.sim.dt = 1e-3;
-    EXPECT_THROW(sim::simulateEnsemble(
-                     system, {{0.1}, {2.5}, {0.2}, {0.0}}, 0.0, 1.0,
-                     options),
-                 SimError);
+    std::vector<std::vector<double>> initials{
+        {0.1}, {2.5}, {0.2}, {0.0}};
+    for (bool lanes : {true, false}) {
+        options.laneBatching = lanes;
+        std::vector<SimResult> batch = sim::simulateEnsemble(
+            system, initials, 0.0, 1.0, options);
+        ASSERT_EQ(batch.size(), 4u);
+        for (std::size_t i : {0u, 2u, 3u})
+            EXPECT_TRUE(batch[i].ok()) << "instance " << i;
+        ASSERT_FALSE(batch[1].ok());
+        EXPECT_EQ(batch[1].failure->reason,
+                  sim::AbortReason::Diverged);
+        EXPECT_EQ(batch[1].failure->stateIndex, 0);
+        EXPECT_GT(batch[1].failure->step, 0u);
+        // From x0=2.5 the blowup lands at 1/(2 x0^2) = 0.08.
+        EXPECT_LT(batch[1].failure->time, 0.5);
+        // The masked lane matches the scalar run exactly, failure
+        // point included.
+        SimResult serial =
+            sim::simulate(system, initials[1], 0.0, 1.0, options.sim);
+        ASSERT_FALSE(serial.ok());
+        EXPECT_EQ(batch[1].failure->step, serial.failure->step);
+        EXPECT_EQ(batch[1].failure->time, serial.failure->time);
+        expectIdenticalResults(batch[1], serial);
+    }
 }
 
 TEST(EnsembleTest, PufBatchedResponsesMatchSerial)

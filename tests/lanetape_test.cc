@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for lane-parallel tape execution: broadcast and merged
+ * construction, per-lane constant tables, structural-compatibility
+ * gating, and the lane-vs-scalar equivalence property across random
+ * TLN/OBC/CNN systems at every supported width.
+ *
+ * Tolerance note: a LaneTape lane executes the source FusedTape's
+ * instruction stream with the same IEEE operations in the same order,
+ * so lane outputs are asserted bit-identical to the scalar fused
+ * path (tolerance zero), not merely close. (An FMA-contracting build
+ * of the *integrator* loops can relax trajectory-level identity — see
+ * ARK_ENABLE_NATIVE — but the RHS programs compared here contain one
+ * rounding per instruction on every path.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numbers>
+
+#include "apps/puf.h"
+#include "compiler/compiler.h"
+#include "expr/fusedtape.h"
+#include "expr/lanetape.h"
+#include "paradigms/cnn.h"
+#include "paradigms/obc.h"
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+#include "support/rng.h"
+#include "validator/validator.h"
+
+namespace {
+
+using namespace ark;
+using expr::BinOp;
+using expr::Expr;
+using expr::ExprPtr;
+using expr::FusedTape;
+using expr::LaneTape;
+
+/** Evaluates one lane block and checks every lane against scalar. */
+void
+expectLanesMatchScalar(const LaneTape &lane,
+                       const std::vector<const FusedTape *> &tapes,
+                       const std::vector<std::vector<double>> &states,
+                       double t)
+{
+    const std::size_t n = lane.numOutputs();
+    const std::size_t width = lane.width();
+    std::vector<double> soaState(n * width, 0.0);
+    for (std::size_t l = 0; l < lane.lanes(); ++l)
+        for (std::size_t i = 0; i < n; ++i)
+            soaState[i * width + l] = states[l][i];
+    // Padding lanes replicate lane 0, as the batch integrator does.
+    for (std::size_t l = lane.lanes(); l < width; ++l)
+        for (std::size_t i = 0; i < n; ++i)
+            soaState[i * width + l] = states[0][i];
+
+    std::vector<double> soaOut(n * width);
+    std::vector<double> regs(lane.scratchSize());
+    lane.evalInto(soaState.data(), t, soaOut.data(), regs.data());
+
+    for (std::size_t l = 0; l < lane.lanes(); ++l) {
+        std::vector<double> scalar = tapes[l]->evalAlloc(states[l], t);
+        ASSERT_EQ(scalar.size(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(soaOut[i * width + l], scalar[i])
+                << "lane " << l << " output " << i;
+        }
+    }
+}
+
+TEST(LaneTapeTest, BroadcastMatchesScalarAtEveryWidth)
+{
+    // dq0 = sin(q0 - q1) * q1, dq1 = q0 / (q1 + 3) + t.
+    std::vector<ExprPtr> outputs{
+        Expr::binary(BinOp::Mul,
+                     Expr::call("sin",
+                                {Expr::binary(BinOp::Sub,
+                                              Expr::stateVar(0),
+                                              Expr::stateVar(1))}),
+                     Expr::stateVar(1)),
+        Expr::binary(BinOp::Add,
+                     Expr::binary(BinOp::Div, Expr::stateVar(0),
+                                  Expr::binary(BinOp::Add,
+                                               Expr::stateVar(1),
+                                               Expr::real(3.0))),
+                     Expr::time()),
+    };
+    FusedTape fused = FusedTape::compile(outputs);
+    support::Rng rng(42);
+    for (std::size_t lanes : {1u, 2u, 3u, 4u, 6u, 8u}) {
+        LaneTape lane = LaneTape::broadcast(fused, lanes);
+        EXPECT_EQ(lane.lanes(), lanes);
+        EXPECT_GE(lane.width(), lanes);
+        std::vector<const FusedTape *> tapes(lanes, &fused);
+        std::vector<std::vector<double>> states;
+        for (std::size_t l = 0; l < lanes; ++l)
+            states.push_back(
+                {rng.uniform(-2.0, 2.0), rng.uniform(-1.0, 1.0)});
+        expectLanesMatchScalar(lane, tapes, states, 0.75);
+    }
+}
+
+TEST(LaneTapeTest, WidthIsSmallestCoveringPowerOfTwo)
+{
+    FusedTape fused = FusedTape::compile({Expr::stateVar(0)});
+    EXPECT_EQ(LaneTape::broadcast(fused, 1).width(), 1u);
+    EXPECT_EQ(LaneTape::broadcast(fused, 2).width(), 2u);
+    EXPECT_EQ(LaneTape::broadcast(fused, 3).width(), 4u);
+    EXPECT_EQ(LaneTape::broadcast(fused, 5).width(), 8u);
+    EXPECT_EQ(LaneTape::broadcast(fused, 8).width(), 8u);
+}
+
+TEST(LaneTapeTest, MergeCarriesPerLaneConstants)
+{
+    // Same structure, different parameters: dq = -k*q + c with
+    // (k, c) varying per lane — the PUF-mismatch shape in miniature.
+    auto makeTape = [](double k, double c) {
+        return FusedTape::compile({Expr::binary(
+            BinOp::Add,
+            Expr::binary(BinOp::Mul, Expr::real(-k), Expr::stateVar(0)),
+            Expr::real(c))});
+    };
+    FusedTape a = makeTape(2.0, 0.5);
+    FusedTape b = makeTape(3.5, -1.25);
+    FusedTape c = makeTape(0.125, 7.0);
+    ASSERT_TRUE(LaneTape::compatible(a, b));
+    std::vector<const FusedTape *> tapes{&a, &b, &c};
+    std::optional<LaneTape> lane = LaneTape::merge(tapes);
+    ASSERT_TRUE(lane.has_value());
+    EXPECT_EQ(lane->lanes(), 3u);
+    EXPECT_EQ(lane->width(), 4u);
+    std::vector<std::vector<double>> states{{1.5}, {-0.75}, {4.0}};
+    expectLanesMatchScalar(*lane, tapes, states, 0.0);
+}
+
+TEST(LaneTapeTest, MergeRejectsStructuralDivergence)
+{
+    // Different operator: same instruction count, different stream.
+    FusedTape add = FusedTape::compile({Expr::binary(
+        BinOp::Add, Expr::stateVar(0), Expr::real(2.0))});
+    FusedTape mul = FusedTape::compile({Expr::binary(
+        BinOp::Mul, Expr::stateVar(0), Expr::real(2.0))});
+    EXPECT_FALSE(LaneTape::compatible(add, mul));
+    EXPECT_FALSE(LaneTape::merge({&add, &mul}).has_value());
+
+    // Constant-folding divergence: x*1 folds away, x*1.5 does not, so
+    // the "same" expression with different constants can still split
+    // structurally — merge must detect it, not mis-batch.
+    FusedTape identity = FusedTape::compile({Expr::binary(
+        BinOp::Mul, Expr::stateVar(0), Expr::real(1.0))});
+    FusedTape scaled = FusedTape::compile({Expr::binary(
+        BinOp::Mul, Expr::stateVar(0), Expr::real(1.5))});
+    EXPECT_FALSE(LaneTape::compatible(identity, scaled));
+    EXPECT_FALSE(LaneTape::merge({&identity, &scaled}).has_value());
+}
+
+TEST(LaneTapeTest, PufChipsShareOneProgram)
+{
+    // Two fabricated chips of one PUF design differ only in their
+    // sampled mismatch constants: their fused programs must merge.
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &gmcTln = registry.language("gmc-tln");
+    apps::PufDesign design;
+    design.mainSections = 8;
+    design.numBranches = 2;
+    design.stubSections = 2;
+    apps::TlnPuf puf(gmcTln, design);
+
+    std::vector<compiler::OdeSystem> chips;
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        dg::Graph graph = puf.buildGraph(1, seed);
+        validator::validateOrThrow(graph, gmcTln);
+        chips.push_back(compiler::compile(graph, gmcTln));
+    }
+    ASSERT_TRUE(LaneTape::compatible(chips[0].fusedTape(),
+                                     chips[1].fusedTape()));
+    std::vector<const FusedTape *> tapes{&chips[0].fusedTape(),
+                                         &chips[1].fusedTape(),
+                                         &chips[2].fusedTape()};
+    std::optional<LaneTape> lane = LaneTape::merge(tapes);
+    ASSERT_TRUE(lane.has_value());
+
+    support::Rng rng(7);
+    std::vector<std::vector<double>> states;
+    for (int l = 0; l < 3; ++l) {
+        std::vector<double> state;
+        for (std::size_t i = 0; i < chips[0].size(); ++i)
+            state.push_back(rng.uniform(-1.0, 1.0));
+        states.push_back(std::move(state));
+    }
+    expectLanesMatchScalar(*lane, tapes, states, 1e-8);
+}
+
+/**
+ * Property: on real compiled systems, every lane of a broadcast
+ * LaneTape at widths 1/2/4/8 reproduces the scalar fused path
+ * bit-for-bit on random states.
+ */
+class LaneEquivalence : public ::testing::TestWithParam<int>
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        registry_ = new lang::LanguageRegistry(
+            paradigms::makeStandardRegistry());
+    }
+    static void TearDownTestSuite()
+    {
+        delete registry_;
+        registry_ = nullptr;
+    }
+
+    static lang::LanguageRegistry *registry_;
+};
+
+lang::LanguageRegistry *LaneEquivalence::registry_ = nullptr;
+
+void
+expectLaneAgreement(const compiler::OdeSystem &system, support::Rng &rng)
+{
+    const FusedTape &fused = system.fusedTape();
+    for (std::size_t lanes : {1u, 2u, 4u, 8u}) {
+        LaneTape lane = LaneTape::broadcast(fused, lanes);
+        std::vector<const FusedTape *> tapes(lanes, &fused);
+        std::vector<std::vector<double>> states;
+        for (std::size_t l = 0; l < lanes; ++l) {
+            std::vector<double> state;
+            for (std::size_t i = 0; i < system.size(); ++i)
+                state.push_back(rng.uniform(-2.0, 2.0));
+            states.push_back(std::move(state));
+        }
+        expectLanesMatchScalar(lane, tapes, states,
+                               rng.uniform(0.0, 1e-7));
+    }
+}
+
+TEST_P(LaneEquivalence, RandomTlnSystem)
+{
+    support::Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+    paradigms::tln::LineSpec spec;
+    spec.sections = static_cast<int>(rng.uniformInt(3, 24));
+    spec.inductance = rng.uniform(0.5e-9, 2e-9);
+    spec.capacitance = rng.uniform(0.5e-9, 2e-9);
+    const lang::Language &tln = registry_->language("tln");
+    compiler::OdeSystem system =
+        compiler::compile(paradigms::tln::buildLine(tln, spec), tln);
+    expectLaneAgreement(system, rng);
+}
+
+TEST_P(LaneEquivalence, RandomObcSystem)
+{
+    support::Rng rng(2000 + static_cast<std::uint64_t>(GetParam()));
+    paradigms::obc::MaxcutInstance instance;
+    instance.numVertices = static_cast<int>(rng.uniformInt(3, 6));
+    for (int a = 0; a < instance.numVertices; ++a)
+        for (int b = a + 1; b < instance.numVertices; ++b)
+            if (rng.bernoulli(0.6))
+                instance.edges.emplace_back(a, b);
+    paradigms::obc::MaxcutSpec spec;
+    for (int v = 0; v < instance.numVertices; ++v)
+        spec.initPhases.push_back(
+            rng.uniform(0.0, 2.0 * std::numbers::pi));
+    const lang::Language &obc = registry_->language("obc");
+    compiler::OdeSystem system = compiler::compile(
+        paradigms::obc::buildMaxcut(obc, instance, spec), obc);
+    expectLaneAgreement(system, rng);
+}
+
+TEST_P(LaneEquivalence, RandomCnnSystem)
+{
+    support::Rng rng(3000 + static_cast<std::uint64_t>(GetParam()));
+    paradigms::cnn::CnnSpec spec;
+    spec.width = static_cast<int>(rng.uniformInt(3, 6));
+    spec.height = static_cast<int>(rng.uniformInt(3, 6));
+    std::vector<double> input;
+    for (int i = 0; i < spec.width * spec.height; ++i)
+        input.push_back(rng.bernoulli(0.5) ? 1.0 : -1.0);
+    const lang::Language &cnn = registry_->language("cnn");
+    compiler::OdeSystem system = compiler::compile(
+        paradigms::cnn::buildCnn(cnn, spec, input), cnn);
+    expectLaneAgreement(system, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LaneEquivalence, ::testing::Range(0, 4));
+
+} // namespace

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "compiler/compiler.h"
@@ -245,6 +246,45 @@ TEST(SimTest, TrajectoryLeadingDerivlessSampleStaysLinear)
     EXPECT_DOUBLE_EQ(traj.sampleAt(0, 0.5), 0.5);
 }
 
+TEST(SimTest, TrajectoryReserveBeforeAndAfterSamples)
+{
+    // reserve() may land before the first sample (dimension supplied
+    // by the caller) or between samples; neither disturbs contents.
+    sim::Trajectory traj;
+    traj.reserve(64, 2);
+    std::vector<double> d{1.0, -1.0};
+    traj.addSample(0.0, {1.0, 2.0}, &d);
+    traj.reserve(128, 2);
+    traj.addSample(1.0, {3.0, 4.0}, &d);
+    ASSERT_EQ(traj.size(), 2u);
+    EXPECT_TRUE(traj.hasDerivs());
+    EXPECT_DOUBLE_EQ(traj.state(1)[1], 4.0);
+}
+
+TEST(SimTest, TrajectoryReserveAfterDerivDropStaysDropped)
+{
+    // Once the slope buffer is dropped, a later reserve() must not
+    // resurrect it (a fresh partially-aligned buffer would be worse
+    // than none).
+    sim::Trajectory traj;
+    std::vector<double> d{2.0};
+    traj.addSample(0.0, {0.0}, &d);
+    traj.addSample(1.0, {2.0});
+    ASSERT_FALSE(traj.hasDerivs());
+    traj.reserve(32, 1);
+    traj.addSample(2.0, {4.0}, &d);
+    EXPECT_FALSE(traj.hasDerivs());
+    EXPECT_DOUBLE_EQ(traj.sampleAt(0, 0.5), 1.0); // linear
+}
+
+TEST(SimTest, TrajectoryEmptySampleAtThrows)
+{
+    sim::Trajectory traj;
+    EXPECT_THROW(traj.sampleAt(0, 0.0), SimError);
+    EXPECT_FALSE(traj.hasDerivs());
+    EXPECT_EQ(traj.stateDim(), 0u);
+}
+
 TEST(SimTest, TrajectoryFlatStorageAccessors)
 {
     sim::Trajectory traj;
@@ -276,28 +316,100 @@ TEST(SimTest, SteadyStateDetection)
     EXPECT_FALSE(never.reachedSteadyState);
 }
 
-TEST(SimTest, DivergenceRaisesSimError)
+/** dx/dt = +x^3: finite-time blowup at t = 1/(2 x0^2). */
+OdeSystem
+boomSystem(lang::LanguageRegistry &registry, double x0)
 {
-    // dx/dt = +x^3 blows up in finite time from x0=2
-    // (explosion at t = 1/(2 x0^2) = 0.125).
-    lang::LanguageRegistry registry;
-    registry.addProgram(R"(
-        lang boom {
-            ntyp(1,sum) X {};
-            etyp E {};
-            prod(e:E,s:X->s:X) s <= var(s)*var(s)*var(s);
-        }
-    )");
+    if (!registry.findLanguage("boom")) {
+        registry.addProgram(R"(
+            lang boom {
+                ntyp(1,sum) X {};
+                etyp E {};
+                prod(e:E,s:X->s:X) s <= var(s)*var(s)*var(s);
+            }
+        )");
+    }
     GraphBuilder builder(registry.language("boom"), 0);
     builder.node("x", "X");
     builder.edge("self", "E", "x", "x");
-    builder.init("x", 0, 2.0);
-    OdeSystem system =
-        compiler::compile(builder.take(), registry.language("boom"));
+    builder.init("x", 0, x0);
+    return compiler::compile(builder.take(),
+                             registry.language("boom"));
+}
+
+TEST(SimTest, DivergenceReportsStructuredFailure)
+{
+    // From x0=2 the explosion lands at t = 0.125; the run must stop
+    // right there with a structured report instead of throwing or
+    // integrating NaNs onward.
+    lang::LanguageRegistry registry;
+    OdeSystem system = boomSystem(registry, 2.0);
     SimOptions options;
     options.method = Method::Rk4;
     options.dt = 1e-3;
-    EXPECT_THROW(sim::simulate(system, 0.0, 1.0, options), SimError);
+    SimResult result = sim::simulate(system, 0.0, 1.0, options);
+    EXPECT_FALSE(result.ok());
+    ASSERT_TRUE(result.failure.has_value());
+    EXPECT_EQ(result.failure->reason, sim::AbortReason::Diverged);
+    EXPECT_EQ(result.failure->stateIndex, 0);
+    EXPECT_EQ(result.failure->step, result.steps);
+    EXPECT_GT(result.steps, 0u);
+    // Aborted near the blowup, far short of t1.
+    EXPECT_LT(result.failure->time, 0.5);
+    EXPECT_NE(result.failure->message.find("diverged"),
+              std::string::npos);
+    // The trajectory keeps the pre-failure samples, all finite.
+    ASSERT_GT(result.trajectory.size(), 0u);
+    for (std::size_t s = 0; s < result.trajectory.size(); ++s)
+        EXPECT_TRUE(std::isfinite(result.trajectory.state(s)[0]));
+}
+
+TEST(SimTest, DivergenceAbortsAdaptiveRunEarly)
+{
+    // x' = -sqrt(x) from x0=1 reaches 0 at t=2 and then dips negative,
+    // so the RHS (and with it Dopri5's error estimate) goes NaN while
+    // the state is still finite. That must abort structurally instead
+    // of rejecting NaN steps toward the budget or step collapse.
+    lang::LanguageRegistry registry;
+    registry.addProgram(R"(
+        lang drain {
+            ntyp(1,sum) X {};
+            etyp E {};
+            prod(e:E,s:X->s:X) s <= 0-sqrt(var(s));
+        }
+    )");
+    GraphBuilder builder(registry.language("drain"), 0);
+    builder.node("x", "X");
+    builder.edge("self", "E", "x", "x");
+    builder.init("x", 0, 1.0);
+    OdeSystem system =
+        compiler::compile(builder.take(), registry.language("drain"));
+    SimOptions options;
+    options.maxSteps = 100'000;
+    SimResult result = sim::simulate(system, 0.0, 3.0, options);
+    EXPECT_FALSE(result.ok());
+    ASSERT_TRUE(result.failure.has_value());
+    EXPECT_EQ(result.failure->reason, sim::AbortReason::Diverged);
+    // Aborted around the t=2 zero crossing, well before t1.
+    EXPECT_GT(result.failure->time, 1.0);
+    EXPECT_LT(result.failure->time, 3.0);
+    // Detection is prompt: nowhere near the step budget.
+    EXPECT_LT(result.steps + result.rejectedSteps, 10'000u);
+}
+
+TEST(SimTest, NonfiniteInitialStateFailsAtStepZero)
+{
+    lang::LanguageRegistry registry;
+    OdeSystem system = decaySystem(registry, 1.0, 1.0);
+    std::vector<double> initial{
+        std::numeric_limits<double>::quiet_NaN()};
+    SimResult result =
+        sim::simulate(system, initial, 0.0, 1.0, SimOptions{});
+    ASSERT_TRUE(result.failure.has_value());
+    EXPECT_EQ(result.failure->reason, sim::AbortReason::Diverged);
+    EXPECT_EQ(result.failure->step, 0u);
+    EXPECT_EQ(result.failure->stateIndex, 0);
+    EXPECT_EQ(result.trajectory.size(), 0u);
 }
 
 TEST(SimTest, BadTimeRangeRejected)

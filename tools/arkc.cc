@@ -206,6 +206,10 @@ cmdRun(int argc, char **argv)
                               : options.tEnd / 500.0;
     sim::SimResult result =
         sim::simulate(system, 0.0, options.tEnd, simOptions);
+    if (!result.ok()) {
+        std::cerr << "warning: " << result.failure->message
+                  << " (emitting the partial trajectory)\n";
+    }
 
     // Default: observe every state variable.
     std::vector<int> indices;
