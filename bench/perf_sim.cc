@@ -159,7 +159,7 @@ BM_SpiceMnaTransient(benchmark::State &state)
     for (auto _ : state) {
         spice::TransientResult result =
             spice::transient(system, 0.0, 8e-8, 2e-11);
-        benchmark::DoNotOptimize(result.times.size());
+        benchmark::DoNotOptimize(result.size());
     }
 }
 BENCHMARK(BM_SpiceMnaTransient);

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Batched SPICE transient benchmarks on the §4.5-style validation
+ * workload: a sweep of mismatch-sampled 32-section GmC-TLN netlists
+ * that share one topology.
+ *
+ * BM_SpiceSweepDense is the historical baseline — serial dense MNA
+ * per netlist, each paying a fresh O(n^3) factorization and O(n^2)
+ * back-substitutions. BM_SpiceSweepSparseBatch runs the same sweep
+ * through spice::TransientBatch at one thread, so the netlists/s
+ * ratio isolates the sparse shared-structure win (CSR stamps, one
+ * symbolic analysis for the whole sweep, numeric refactorization per
+ * instance) from pool parallelism. The acceptance criterion is >= 3x
+ * netlists/s on this sweep on the single-core container.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+#include "spice/batch.h"
+#include "spice/map_tln.h"
+#include "spice/mna.h"
+#include "validator/validator.h"
+
+namespace {
+
+using namespace ark;
+
+constexpr int kNetlists = 8;
+constexpr double kEnd = 1e-8;
+constexpr double kDt = 2e-11;
+
+/** Mismatch-sampled 32-section sweep, mapped once per process. */
+const std::vector<spice::MappedTln> &
+sweepNetlists()
+{
+    static const std::vector<spice::MappedTln> mapped = [] {
+        lang::LanguageRegistry registry =
+            paradigms::makeStandardRegistry();
+        const lang::Language &gmc = registry.language("gmc-tln");
+        std::vector<spice::MappedTln> out;
+        for (std::uint64_t seed = 1; seed <= kNetlists; ++seed) {
+            paradigms::tln::LineSpec spec;
+            spec.sections = 32;
+            spec.mismatchC = true;
+            spec.mismatchGm = true;
+            spec.seed = seed;
+            dg::Graph graph = paradigms::tln::buildLine(gmc, spec);
+            validator::validateOrThrow(graph, gmc);
+            out.push_back(spice::mapTlnToSpice(graph, gmc));
+        }
+        return out;
+    }();
+    return mapped;
+}
+
+void
+BM_SpiceSweepDense(benchmark::State &state)
+{
+    const std::vector<spice::MappedTln> &mapped = sweepNetlists();
+    for (auto _ : state) {
+        for (const spice::MappedTln &map : mapped) {
+            spice::MnaSystem system(map.netlist);
+            spice::TransientResult result =
+                spice::transient(system, 0.0, kEnd, kDt);
+            benchmark::DoNotOptimize(result.size());
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kNetlists);
+}
+BENCHMARK(BM_SpiceSweepDense)->Unit(benchmark::kMillisecond);
+
+void
+BM_SpiceSweepSparseBatch(benchmark::State &state)
+{
+    const std::vector<spice::MappedTln> &mapped = sweepNetlists();
+    std::vector<const spice::Netlist *> netlists;
+    for (const spice::MappedTln &map : mapped)
+        netlists.push_back(&map.netlist);
+    spice::TransientBatchOptions options;
+    options.numThreads = 1; // isolate the sparse win from the pool
+    spice::TransientBatch batch(options);
+    for (auto _ : state) {
+        std::vector<spice::TransientResult> results =
+            batch.run(netlists, 0.0, kEnd, kDt);
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kNetlists);
+}
+BENCHMARK(BM_SpiceSweepSparseBatch)->Unit(benchmark::kMillisecond);
+
+} // namespace

@@ -1,12 +1,19 @@
 /**
  * @file
  * §4.5 empirical validation: 1000 randomly generated valid GmC-TLN
- * dynamical graphs are mapped to SPICE netlists; the netlist's MNA
+ * dynamical graphs are mapped to SPICE netlists; the netlist's
  * transient must match the Ark-compiled ODE dynamics within 1% RMSE.
  *
  * Paper: (1) all valid DGs map to a netlist; (2) RMSE < 1%.
+ *
+ * Both sides run batched — the compiled systems as one ODE ensemble,
+ * the netlists through the sparse shared-structure TransientBatch —
+ * so the sweep doubles as a scaling benchmark: the wall-clock for the
+ * sparse batch vs the serial dense path is printed alongside the
+ * statistics (which match between the two paths to rounding).
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "apps/experiments.h"
@@ -21,6 +28,7 @@ main()
 {
     using namespace ark;
     namespace exp = apps::experiments;
+    using Clock = std::chrono::steady_clock;
 
     lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
     const lang::Language &gmc = registry.language("gmc-tln");
@@ -29,8 +37,13 @@ main()
     std::cout << "== Sec 4.5: DG vs SPICE cross-validation ("
               << trials << " random GmC-TLN graphs) ==\n\n";
 
+    exp::SpiceValidationOptions sparseOptions;
+    sparseOptions.sparse = true;
+    Clock::time_point start = Clock::now();
     exp::SpiceValidation report =
-        exp::runSpiceValidation(gmc, trials);
+        exp::runSpiceValidation(gmc, trials, 1, sparseOptions);
+    double sparseSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
 
     support::Table table({"metric", "value"});
     table.addRow({"graphs generated", std::to_string(report.total)});
@@ -39,7 +52,42 @@ main()
     table.addRow({"mean relative RMSE",
                   std::to_string(report.meanRmse)});
     table.addRow({"max relative RMSE", std::to_string(report.maxRmse)});
+    table.addRow({"distinct netlist structures",
+                  std::to_string(report.spiceGroups)});
     table.print(std::cout);
+
+    // Scaling check on a slice: the whole pipeline (generation + Ark
+    // ensemble + SPICE side) with the SPICE half on the batched
+    // sparse path vs the serial-equivalent dense path. The DG side
+    // dominates this end-to-end time; bench_perf_spice isolates the
+    // SPICE engine itself (BM_SpiceSweepDense vs
+    // BM_SpiceSweepSparseBatch, >= 3x netlists/s).
+    const int sliceTrials = 100;
+    exp::SpiceValidationOptions denseOptions;
+    denseOptions.sparse = false;
+    denseOptions.numThreads = 1;
+    exp::SpiceValidationOptions sparseSlice;
+    sparseSlice.sparse = true;
+    sparseSlice.numThreads = 1;
+    start = Clock::now();
+    exp::SpiceValidation denseReport =
+        exp::runSpiceValidation(gmc, sliceTrials, 1, denseOptions);
+    double denseSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    start = Clock::now();
+    exp::SpiceValidation sparseReport =
+        exp::runSpiceValidation(gmc, sliceTrials, 1, sparseSlice);
+    double sparseSliceSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    std::cout << "\n-- end-to-end pipeline, SPICE half sparse-batched "
+                 "vs serial dense ("
+              << sliceTrials << "-trial slice, 1 thread) --\n"
+              << "dense:  " << denseSeconds << " s (mean RMSE "
+              << denseReport.meanRmse << ")\n"
+              << "sparse: " << sparseSliceSeconds << " s (mean RMSE "
+              << sparseReport.meanRmse << ")\n"
+              << "full sparse sweep: " << sparseSeconds << " s\n";
 
     // Show one generated netlist as evidence of the mapping.
     paradigms::tln::LineSpec spec;

@@ -6,6 +6,7 @@
 
 #include "compiler/compiler.h"
 #include "sim/sim.h"
+#include "spice/batch.h"
 #include "spice/map_tln.h"
 #include "spice/mna.h"
 #include "support/error.h"
@@ -310,13 +311,23 @@ scoreMaxcut(const std::vector<MaxcutOutcome> &outcomes, double d)
 
 SpiceValidation
 runSpiceValidation(const lang::Language &gmcTln, int trials,
-                   std::uint64_t seedBase)
+                   std::uint64_t seedBase,
+                   const SpiceValidationOptions &options)
 {
     SpiceValidation report;
     report.total = trials;
     const double tEnd = 4e-8;
+    const double spiceDt = 2e-11;
     const std::size_t compareGrid = 400;
 
+    // Phase 1 (serial, deterministic): generate each trial's random
+    // graph, compile the ODE system, and map the netlist. Per-trial
+    // RNGs make the draw order identical to the historical serial
+    // loop, so the sweep's statistics are reproducible bit-for-bit.
+    std::vector<compiler::OdeSystem> systems;
+    std::vector<spice::MappedTln> mapped;
+    systems.reserve(static_cast<std::size_t>(trials));
+    mapped.reserve(static_cast<std::size_t>(trials));
     for (int trial = 0; trial < trials; ++trial) {
         support::Rng rng(seedBase + static_cast<std::uint64_t>(trial));
         ptln::LineSpec spec;
@@ -343,53 +354,95 @@ runSpiceValidation(const lang::Language &gmcTln, int trials,
             return ptln::buildLine(gmcTln, spec);
         }();
         validator::validateOrThrow(graph, gmcTln);
-
-        // DG path: Ark compiler + adaptive ODE solver.
-        compiler::OdeSystem system = compiler::compile(graph, gmcTln);
-        sim::SimOptions options;
-        options.relTol = 1e-8;
-        options.absTol = 1e-12;
-        options.recordDt = tEnd / 2000.0;
-        sim::SimResult dgResult =
-            sim::simulate(system, 0.0, tEnd, options);
-        if (!dgResult.ok()) {
-            throw support::SimError(cat("SPICE validation trial ",
-                                        trial, " diverged: ",
-                                        dgResult.failure->message));
-        }
-        std::vector<double> dgSeries = dgResult.trajectory.resample(
-            system.stateIndex(ptln::outputNode(), 0), 0.0, tEnd,
-            compareGrid);
-
-        // SPICE path: netlist + MNA trapezoidal transient.
-        spice::MappedTln mapped = spice::mapTlnToSpice(graph, gmcTln);
+        systems.push_back(compiler::compile(graph, gmcTln));
+        mapped.push_back(spice::mapTlnToSpice(graph, gmcTln));
         ++report.mapped;
-        spice::MnaSystem mna(mapped.netlist);
-        spice::TransientResult tran =
-            spice::transient(mna, 0.0, tEnd, 2e-11);
-        std::vector<double> spiceAll = tran.series(
-            static_cast<std::size_t>(
-                mapped.circuitNodeOf.at(ptln::outputNode())));
-        // Resample the (uniform-grid) SPICE series onto compareGrid.
-        std::vector<double> spiceSeries;
-        spiceSeries.reserve(compareGrid);
-        for (std::size_t g = 0; g < compareGrid; ++g) {
-            double t = tEnd * static_cast<double>(g) /
-                       static_cast<double>(compareGrid - 1);
-            double pos = t / 2e-11;
-            auto lo = static_cast<std::size_t>(pos);
-            lo = std::min(lo, spiceAll.size() - 1);
-            std::size_t hi = std::min(lo + 1, spiceAll.size() - 1);
-            double alpha = pos - static_cast<double>(lo);
-            spiceSeries.push_back(spiceAll[lo] +
-                                  alpha * (spiceAll[hi] - spiceAll[lo]));
-        }
+    }
 
-        double rmse = support::relativeRmse(dgSeries, spiceSeries);
-        report.meanRmse += rmse;
-        report.maxRmse = std::max(report.maxRmse, rmse);
-        if (rmse < 0.01)
-            ++report.under1pct;
+    std::vector<const spice::Netlist *> netlists;
+    netlists.reserve(mapped.size());
+    for (const spice::MappedTln &map : mapped)
+        netlists.push_back(&map.netlist);
+    report.spiceGroups =
+        static_cast<int>(spice::countStructureGroups(netlists));
+
+    sim::EnsembleOptions odeOptions;
+    odeOptions.sim.relTol = 1e-8;
+    odeOptions.sim.absTol = 1e-12;
+    odeOptions.sim.recordDt = tEnd / 2000.0;
+    odeOptions.numThreads = options.numThreads;
+    spice::TransientBatchOptions batchOptions;
+    batchOptions.sparse = options.sparse;
+    batchOptions.numThreads = options.numThreads;
+    spice::TransientBatch batch(batchOptions);
+
+    // Phases 2-4, chunked: each block runs the DG side as one
+    // adaptive-ODE ensemble and the SPICE side as one transient batch
+    // on the shared worker pool, then is scored and dropped — full
+    // batch parallelism within a block, peak memory bounded by the
+    // block size instead of the sweep size. Per-trial results (and so
+    // the statistics) are independent of the chunking.
+    const int chunk = 128;
+    for (int base = 0; base < trials; base += chunk) {
+        const int end = std::min(trials, base + chunk);
+        std::vector<const compiler::OdeSystem *> odeSlice;
+        std::vector<const spice::Netlist *> netSlice;
+        odeSlice.reserve(static_cast<std::size_t>(end - base));
+        netSlice.reserve(static_cast<std::size_t>(end - base));
+        for (int trial = base; trial < end; ++trial) {
+            odeSlice.push_back(&systems[static_cast<std::size_t>(trial)]);
+            netSlice.push_back(netlists[static_cast<std::size_t>(trial)]);
+        }
+        std::vector<sim::SimResult> dgResults =
+            sim::simulateEnsemble(odeSlice, 0.0, tEnd, odeOptions);
+        std::vector<spice::TransientResult> spiceResults =
+            batch.run(netSlice, 0.0, tEnd, spiceDt);
+
+        // Paired per-trial RMSE statistics at OUT_V.
+        for (int trial = base; trial < end; ++trial) {
+            auto idx = static_cast<std::size_t>(trial);
+            auto local = static_cast<std::size_t>(trial - base);
+            if (!dgResults[local].ok()) {
+                throw support::SimError(
+                    cat("SPICE validation trial ", trial, " diverged: ",
+                        dgResults[local].failure->message));
+            }
+            if (!spiceResults[local].ok()) {
+                throw support::SimError(
+                    cat("SPICE validation trial ", trial,
+                        " transient failed: ",
+                        spiceResults[local].failure->message));
+            }
+            std::vector<double> dgSeries =
+                dgResults[local].trajectory.resample(
+                    systems[idx].stateIndex(ptln::outputNode(), 0), 0.0,
+                    tEnd, compareGrid);
+            std::vector<double> spiceAll = spiceResults[local].series(
+                static_cast<std::size_t>(
+                    mapped[idx].circuitNodeOf.at(ptln::outputNode())));
+            // Resample the (uniform-grid) SPICE series onto
+            // compareGrid.
+            std::vector<double> spiceSeries;
+            spiceSeries.reserve(compareGrid);
+            for (std::size_t g = 0; g < compareGrid; ++g) {
+                double t = tEnd * static_cast<double>(g) /
+                           static_cast<double>(compareGrid - 1);
+                double pos = t / spiceDt;
+                auto lo = static_cast<std::size_t>(pos);
+                lo = std::min(lo, spiceAll.size() - 1);
+                std::size_t hi = std::min(lo + 1, spiceAll.size() - 1);
+                double alpha = pos - static_cast<double>(lo);
+                spiceSeries.push_back(
+                    spiceAll[lo] +
+                    alpha * (spiceAll[hi] - spiceAll[lo]));
+            }
+
+            double rmse = support::relativeRmse(dgSeries, spiceSeries);
+            report.meanRmse += rmse;
+            report.maxRmse = std::max(report.maxRmse, rmse);
+            if (rmse < 0.01)
+                ++report.under1pct;
+        }
     }
     if (report.total > 0)
         report.meanRmse /= report.total;

@@ -127,17 +127,41 @@ struct SpiceValidation
     int under1pct = 0;    ///< Trials with relative RMSE < 1%.
     double meanRmse = 0;  ///< Mean relative RMSE.
     double maxRmse = 0;
+    /** Distinct netlist structures in the sweep (each costs the
+     *  sparse batch one symbolic factorization). */
+    int spiceGroups = 0;
+};
+
+/** Execution controls for the cross-validation sweep. */
+struct SpiceValidationOptions
+{
+    /**
+     * SPICE side: sparse batched transient with shared-structure
+     * factorization reuse (spice::TransientBatch). Off runs the
+     * serial dense MNA path per netlist — the ablation baseline; the
+     * reported statistics match to rounding either way.
+     */
+    bool sparse = true;
+
+    /**
+     * Worker threads for both the Ark ensemble and the SPICE batch
+     * (0 = hardware concurrency). Statistics are independent of the
+     * thread count.
+     */
+    unsigned numThreads = 0;
 };
 
 /**
  * Generates `trials` random valid GmC-TLN DGs (random topology and
  * attributes, both mismatch kinds enabled), maps each to a SPICE
- * netlist, and compares MNA transient dynamics against the Ark
- * compiler + ODE solver at OUT_V.
+ * netlist, and compares transient dynamics against the Ark compiler +
+ * ODE solver at OUT_V. Both sides run batched: the compiled systems
+ * go through sim::simulateEnsemble, the netlists through
+ * spice::TransientBatch, and the paired series are scored per trial.
  */
-SpiceValidation runSpiceValidation(const lang::Language &gmcTln,
-                                   int trials,
-                                   std::uint64_t seedBase = 1);
+SpiceValidation runSpiceValidation(
+    const lang::Language &gmcTln, int trials, std::uint64_t seedBase = 1,
+    const SpiceValidationOptions &options = SpiceValidationOptions{});
 
 /// @}
 

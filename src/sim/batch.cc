@@ -324,6 +324,27 @@ BatchRunner::poolThreads() const
     return pool_->size();
 }
 
+void
+BatchRunner::parallelFor(std::size_t count, unsigned numThreads,
+                         const std::function<void(std::size_t)> &job)
+{
+    if (count == 0)
+        return;
+    if (numThreads == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        numThreads = hw ? hw : 1;
+    }
+    unsigned effective = static_cast<unsigned>(
+        std::min<std::size_t>(numThreads, count));
+    if (effective <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            job(i);
+        return;
+    }
+    pool_->ensure(effective - 1);
+    pool_->run(count, effective - 1, job);
+}
+
 BatchRunner &
 BatchRunner::shared()
 {

@@ -77,6 +77,18 @@ class BatchRunner
         double t0, double t1,
         const EnsembleOptions &options = EnsembleOptions{});
 
+    /**
+     * Generic batch primitive on the same persistent pool: runs
+     * job(0..count-1) with the calling thread participating alongside
+     * up to numThreads-1 workers (0 picks the hardware concurrency;
+     * the pool is capped at count). Non-ODE batch workloads — the
+     * sparse SPICE transient engine (spice::TransientBatch) — ride
+     * this instead of spawning their own threads. The job MUST NOT
+     * throw: capture exceptions per index and rethrow after the call.
+     */
+    void parallelFor(std::size_t count, unsigned numThreads,
+                     const std::function<void(std::size_t)> &job);
+
     /** Worker threads currently parked in the pool. */
     unsigned poolThreads() const;
 

@@ -1,0 +1,221 @@
+#include "spice/batch.h"
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "sim/batch.h"
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace ark::spice {
+
+using support::cat;
+using support::SimError;
+
+namespace {
+
+/** Maps an assembly/factorization exception to a structured failure. */
+TransientFailure
+errorFailure(const support::ArkError &error, double t0)
+{
+    TransientAbort reason = error.kind() == support::ErrorKind::Sim
+                                ? TransientAbort::SingularMatrix
+                                : TransientAbort::BadInput;
+    return TransientFailure{reason, 0, t0, error.message()};
+}
+
+void
+rethrowFirst(std::vector<std::exception_ptr> &errors)
+{
+    for (std::exception_ptr &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+}
+
+/**
+ * Groups assembled systems by shared structure. leaderOf[i] is the
+ * group leader's index (or systems.size() for null slots); `leaders`
+ * lists one index per group. The scan is quadratic in the number of
+ * distinct structures only.
+ */
+void
+groupByStructure(
+    const std::vector<std::unique_ptr<SparseMnaSystem>> &systems,
+    std::vector<std::size_t> &leaderOf, std::vector<std::size_t> &leaders)
+{
+    const std::size_t count = systems.size();
+    leaderOf.assign(count, count);
+    leaders.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!systems[i])
+            continue;
+        for (std::size_t leader : leaders) {
+            if (systems[leader]->sharesStructure(*systems[i])) {
+                leaderOf[i] = leader;
+                break;
+            }
+        }
+        if (leaderOf[i] == count) {
+            leaders.push_back(i);
+            leaderOf[i] = i;
+        }
+    }
+}
+
+} // namespace
+
+std::size_t
+countStructureGroups(const std::vector<const Netlist *> &netlists)
+{
+    std::vector<std::unique_ptr<SparseMnaSystem>> systems;
+    systems.reserve(netlists.size());
+    for (const Netlist *netlist : netlists) {
+        support::panicIf(netlist == nullptr,
+                         "countStructureGroups: null netlist");
+        try {
+            systems.push_back(std::make_unique<SparseMnaSystem>(*netlist));
+        } catch (const support::ArkError &) {
+            systems.push_back(nullptr); // unassemblable: no group
+        }
+    }
+    std::vector<std::size_t> leaderOf, leaders;
+    groupByStructure(systems, leaderOf, leaders);
+    return leaders.size();
+}
+
+std::vector<TransientResult>
+TransientBatch::run(const std::vector<const Netlist *> &netlists,
+                    double t0, double t1, double dt,
+                    TransientBatchStats *stats) const
+{
+    if (stats)
+        *stats = TransientBatchStats{};
+    if (dt <= 0.0) {
+        throw SimError(
+            cat("TransientBatch: dt must be positive, got ", dt));
+    }
+    if (t1 < t0) {
+        throw SimError(cat("TransientBatch: t1 (", t1, ") precedes t0 (",
+                           t0, ")"));
+    }
+    const std::size_t count = netlists.size();
+    std::vector<TransientResult> results(count);
+    if (count == 0)
+        return results;
+    for (const Netlist *netlist : netlists)
+        support::panicIf(netlist == nullptr,
+                         "TransientBatch: null netlist");
+
+    std::vector<std::exception_ptr> errors(count);
+
+    if (!options_.sparse) {
+        // Dense ablation path: independent assembly + transient per
+        // instance, parallelized but with no factor sharing.
+        sim::BatchRunner::shared().parallelFor(
+            count, options_.numThreads, [&](std::size_t i) {
+                try {
+                    MnaSystem system(*netlists[i]);
+                    results[i] = transient(system, t0, t1, dt);
+                } catch (const support::ArkError &error) {
+                    results[i].failure = errorFailure(error, t0);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        rethrowFirst(errors);
+        return results;
+    }
+
+    // Phase 1: assemble every netlist (cheap, value-independent
+    // structure). Assembly rejects land as BadInput failures.
+    std::vector<std::unique_ptr<SparseMnaSystem>> systems(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        try {
+            systems[i] = std::make_unique<SparseMnaSystem>(*netlists[i]);
+        } catch (const support::ArkError &error) {
+            results[i].failure = TransientFailure{
+                TransientAbort::BadInput, 0, t0, error.message()};
+        }
+    }
+
+    // Phase 2: group instances by shared structure.
+    std::vector<std::size_t> leaderOf, leaders;
+    groupByStructure(systems, leaderOf, leaders);
+    if (stats)
+        stats->structureGroups = leaders.size();
+
+    // Phase 3: each group leader's companion matrix is factored
+    // exactly once — the symbolic analysis (and, for value-identical
+    // members, the numeric factorization) the whole group reuses.
+    // Factorization happens lazily inside the worker jobs under a
+    // per-leader once-flag, so heterogeneous sweeps (many singleton
+    // groups) factor concurrently instead of serializing up front. A
+    // leader whose own values are singular leaves no shared stepper;
+    // members then factor individually.
+    std::vector<std::optional<TransientStepper>> leaderStepper(count);
+    std::vector<std::unique_ptr<std::once_flag>> leaderOnce(count);
+    for (std::size_t leader : leaders)
+        leaderOnce[leader] = std::make_unique<std::once_flag>();
+
+    // Phase 4: per-instance transient on the shared worker pool.
+    sim::BatchRunner::shared().parallelFor(
+        count, options_.numThreads, [&](std::size_t i) {
+            if (results[i].failure.has_value())
+                return; // assembly already failed
+            const SparseMnaSystem &system = *systems[i];
+            const std::size_t leader = leaderOf[i];
+            try {
+                std::call_once(*leaderOnce[leader], [&] {
+                    try {
+                        leaderStepper[leader].emplace(*systems[leader],
+                                                      dt);
+                    } catch (...) {
+                        // Leader factorization failed (singular, out
+                        // of memory, ...): leave no shared stepper;
+                        // each member factors on its own and reports
+                        // whatever recurs through its own handler.
+                    }
+                });
+                std::optional<TransientStepper> own;
+                const TransientStepper *stepper = nullptr;
+                if (leaderStepper[leader].has_value() &&
+                    system.sharesMatrixValues(*systems[leader])) {
+                    // Bit-identical matrices: share the leader's
+                    // factors outright (solve is const/thread-safe).
+                    stepper = &*leaderStepper[leader];
+                } else if (leaderStepper[leader].has_value()) {
+                    // Same structure, different values: copy the
+                    // symbolic skeleton and refactor numerically.
+                    own.emplace(*leaderStepper[leader]);
+                    own->rebind(system);
+                    stepper = &*own;
+                } else {
+                    own.emplace(system, dt);
+                    stepper = &*own;
+                }
+                results[i] = stepper->run(system, t0, t1);
+            } catch (const support::ArkError &error) {
+                results[i].failure = errorFailure(error, t0);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    rethrowFirst(errors);
+    return results;
+}
+
+std::vector<TransientResult>
+TransientBatch::run(const std::vector<Netlist> &netlists, double t0,
+                    double t1, double dt,
+                    TransientBatchStats *stats) const
+{
+    std::vector<const Netlist *> pointers;
+    pointers.reserve(netlists.size());
+    for (const Netlist &netlist : netlists)
+        pointers.push_back(&netlist);
+    return run(pointers, t0, t1, dt, stats);
+}
+
+} // namespace ark::spice

@@ -1,0 +1,124 @@
+#ifndef ARK_SPICE_BATCH_H
+#define ARK_SPICE_BATCH_H
+
+/**
+ * @file
+ * Batched SPICE transient execution — the circuit-side twin of the
+ * ODE ensemble engine (sim/batch.h).
+ *
+ * A validation sweep runs hundreds of netlists that are mostly the
+ * same circuit with different parameter values (mismatch-sampled
+ * instances of one topology). TransientBatch exploits that:
+ *
+ *  1. every netlist is assembled into a SparseMnaSystem (CSR stamps);
+ *  2. instances are grouped by structure (same unknowns, sparsity
+ *     patterns, dynamic-row mask, and source placement — see
+ *     SparseMnaSystem::sharesStructure);
+ *  3. each group's leader factors the trapezoidal companion matrix
+ *     (2M/h + K) once — symbolic analysis, pivot order, and fill
+ *     pattern; members rebind it with a numeric-only refactorization
+ *     (or share the factors outright when their matrix values are
+ *     bit-identical), then back-substitute per step;
+ *  4. instances execute in parallel on sim::BatchRunner::shared()'s
+ *     persistent worker pool via parallelFor — no per-call thread
+ *     spawn.
+ *
+ * Failures are per-instance and structured (TransientResult::failure
+ * with TransientAbort::BadInput / SingularMatrix / NonfiniteState),
+ * never exceptions: one singular or diverging netlist does not take
+ * down the sweep. Batch-level misconfiguration (dt <= 0, t1 < t0)
+ * still throws support::SimError, since it invalidates every
+ * instance alike.
+ *
+ * Results are positionally ordered and independent of the thread
+ * count; the sparse path matches the serial dense transient to
+ * rounding (<= 1e-12 relative, property-tested).
+ */
+
+#include <vector>
+
+#include "spice/mna.h"
+#include "spice/netlist.h"
+
+namespace ark::spice {
+
+/** Controls for a batched transient sweep. */
+struct TransientBatchOptions
+{
+    /**
+     * CSR assembly + shared-structure factorization reuse (the fast
+     * path). Off runs the dense MnaSystem path per instance —
+     * ablation benchmarks and differential tests.
+     */
+    bool sparse = true;
+
+    /**
+     * Worker threads; 0 picks the hardware concurrency. Rides the
+     * process-wide sim::BatchRunner pool, so SPICE sweeps and ODE
+     * ensembles share one set of parked workers.
+     */
+    unsigned numThreads = 0;
+};
+
+/** What a batch run did, beyond the per-instance results. */
+struct TransientBatchStats
+{
+    /**
+     * Distinct netlist structures the sweep grouped into (each costs
+     * one symbolic factorization). 0 on the dense ablation path,
+     * which does not group.
+     */
+    std::size_t structureGroups = 0;
+};
+
+/**
+ * Batched trapezoidal transient runner. Stateless apart from its
+ * options; run() may be called concurrently from different
+ * TransientBatch instances (the shared pool serializes internally).
+ */
+class TransientBatch
+{
+  public:
+    explicit TransientBatch(
+        TransientBatchOptions options = TransientBatchOptions{})
+        : options_(options)
+    {
+    }
+
+    const TransientBatchOptions &options() const { return options_; }
+
+    /**
+     * Runs every netlist over [t0, t1] with step dt from a zero
+     * initial state, sampling every step. Outcomes are positionally
+     * ordered; per-instance problems land in the corresponding
+     * result's structured failure. `stats`, when given, receives a
+     * summary of the run.
+     * @throws support::SimError for dt <= 0 or t1 < t0 (batch-level
+     *         misconfiguration).
+     */
+    std::vector<TransientResult>
+    run(const std::vector<const Netlist *> &netlists, double t0,
+        double t1, double dt, TransientBatchStats *stats = nullptr) const;
+
+    /** Convenience overload for owned netlists. */
+    std::vector<TransientResult>
+    run(const std::vector<Netlist> &netlists, double t0, double t1,
+        double dt, TransientBatchStats *stats = nullptr) const;
+
+  private:
+    TransientBatchOptions options_;
+};
+
+/**
+ * Distinct structure groups a sweep of these netlists factors (the
+ * same grouping TransientBatch::run applies internally). Assembly
+ * only — no factorization; unassemblable netlists count no group.
+ * Lets chunked sweeps report the global structure count without
+ * running anything.
+ */
+std::size_t
+countStructureGroups(const std::vector<const Netlist *> &netlists);
+
+} // namespace ark::spice
+
+#endif // ARK_SPICE_BATCH_H

@@ -11,16 +11,69 @@
  * trapezoidal rule (what SPICE uses for such circuits), factoring
  * (2M/h + K) once per run. Rows with no dynamic term (voltage-source
  * constraints) are enforced exactly at each step.
+ *
+ * Two assembly paths share one stamping pass:
+ *
+ *  - MnaSystem: dense M/K (support::Matrix + LuSolver). Right for
+ *    one-off circuits of a few dozen unknowns; every transient pays a
+ *    fresh O(n^3) factorization and O(n^2) per step.
+ *  - SparseMnaSystem: CSR M/K (support::SparseMatrix + SparseLu).
+ *    Cost scales with the stamp count, and — the batch engine's whole
+ *    point — the companion factorization's pivot order and fill
+ *    pattern depend only on the sparsity structure, so a sweep of
+ *    same-topology netlists analyzes symbolically once, refactors
+ *    numerically per instance (or shares the factors outright when
+ *    the matrix values match bit-for-bit), and back-substitutes per
+ *    step. spice::TransientBatch (batch.h) automates that grouping;
+ *    results match the dense path to rounding (property-tested at
+ *    <= 1e-12).
+ *
+ * Configuration errors (nonpositive dt, reversed time range, wrong
+ * initial-state size) throw a structured support::SimError; a state
+ * that goes nonfinite mid-run stops early with a structured
+ * TransientResult::failure instead, keeping the samples recorded
+ * before the failure.
  */
 
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "spice/netlist.h"
 #include "support/linalg.h"
+#include "support/sparse.h"
 
 namespace ark::spice {
 
-/** Assembled MNA system. */
+namespace detail {
+
+/** One u(t) contribution: (row, sign, waveform/value). */
+struct SourceEntry
+{
+    std::size_t row;
+    double sign;
+    double dc;
+    Waveform waveform;
+};
+
+/** Stamping pass output shared by the dense and sparse assemblers. */
+struct MnaStamps
+{
+    std::size_t numNodes = 0;
+    std::size_t size = 0;
+    std::vector<support::Triplet> m;
+    std::vector<support::Triplet> k;
+    std::vector<SourceEntry> sources;
+};
+
+/** @throws SemaError for malformed circuits. */
+MnaStamps assembleStamps(const Netlist &netlist);
+
+} // namespace detail
+
+/** Assembled MNA system (dense storage). */
 class MnaSystem
 {
   public:
@@ -47,35 +100,198 @@ class MnaSystem
     support::Matrix m_;
     support::Matrix k_;
     std::vector<bool> dynamicRow_;
-    /** (row, sign, waveform/value) triples for u(t). */
-    struct SourceEntry
-    {
-        std::size_t row;
-        double sign;
-        double dc;
-        Waveform waveform;
-    };
-    std::vector<SourceEntry> sources_;
+    std::vector<detail::SourceEntry> sources_;
 };
 
-/** Transient result: times plus node voltages per sample. */
-struct TransientResult
+/**
+ * Assembled MNA system (CSR storage). Same stamps, same semantics as
+ * MnaSystem; feeds the sparse transient path and the batch engine.
+ */
+class SparseMnaSystem
 {
-    std::vector<double> times;
-    /** states[s][i]: unknown i at sample s. */
-    std::vector<std::vector<double>> states;
+  public:
+    /** @throws SemaError for malformed circuits. */
+    explicit SparseMnaSystem(const Netlist &netlist);
 
-    /** Series of one unknown (e.g.\ a node voltage). */
+    std::size_t size() const { return size_; }
+    std::size_t numNodeUnknowns() const { return numNodes_; }
+
+    const support::SparseMatrix &massMatrix() const { return m_; }
+    const support::SparseMatrix &stiffnessMatrix() const { return k_; }
+
+    std::vector<double> sourceVector(double t) const;
+    /** Allocation-free u(t); `u` must hold size() entries. */
+    void sourceVectorInto(double t, double *u) const;
+
+    bool rowIsDynamic(std::size_t r) const { return dynamicRow_[r]; }
+    bool anyAlgebraicRow() const { return anyAlgebraic_; }
+
+    /**
+     * Trapezoidal companion matrices for step h: on dynamic rows
+     * A = 2M/h + K and B = 2M/h - K; algebraic rows carry K in A and
+     * nothing in B (the constraint is enforced exactly each step).
+     * The pattern depends only on the stamp positions, never the
+     * values, so same-structure systems produce samePattern matrices.
+     */
+    support::SparseMatrix companionA(double h) const;
+    support::SparseMatrix companionB(double h) const;
+
+    /**
+     * True when `other` assembles the same structure: same unknowns,
+     * same M/K sparsity patterns, same dynamic-row mask, and same
+     * source placement (rows/signs; waveforms are RHS-only and do not
+     * affect factorization). Such systems share one symbolic
+     * factorization in TransientBatch.
+     */
+    bool sharesStructure(const SparseMnaSystem &other) const;
+
+    /** sharesStructure plus bit-identical M/K values: the companion
+     *  factors themselves can be shared (no per-instance refactor). */
+    bool sharesMatrixValues(const SparseMnaSystem &other) const;
+
+  private:
+    std::size_t numNodes_;
+    std::size_t size_;
+    support::SparseMatrix m_;
+    support::SparseMatrix k_;
+    std::vector<bool> dynamicRow_;
+    bool anyAlgebraic_ = false;
+    std::vector<detail::SourceEntry> sources_;
+};
+
+/** Why a transient run stopped before t1. */
+enum class TransientAbort : std::uint8_t {
+    BadInput,        ///< Rejected configuration (batch path only).
+    SingularMatrix,  ///< Companion factorization failed (batch path only).
+    NonfiniteState,  ///< An unknown went NaN/Inf mid-run.
+};
+
+/** Structured early-stop report for a transient run. */
+struct TransientFailure
+{
+    TransientAbort reason = TransientAbort::NonfiniteState;
+    std::size_t step = 0; ///< Completed steps when detected.
+    double time = 0.0;    ///< Integration time reached.
+    std::string message;  ///< Human-readable summary.
+};
+
+/**
+ * Transient result: times plus all unknowns per sample in one flat
+ * reserve-backed buffer (sample-major), mirroring sim::Trajectory —
+ * recording a sample is a bulk append with no per-sample allocation,
+ * and state(s) is a view into the buffer.
+ */
+class TransientResult
+{
+  public:
+    /** Pre-sizes the buffers for `samples` samples of `dim` unknowns. */
+    void reserve(std::size_t samples, std::size_t dim);
+
+    /** Appends one sample; all samples must share the first's dim. */
+    void addSample(double t, const double *state, std::size_t dim);
+
+    std::size_t size() const { return times_.size(); }
+    /** Unknown-vector length; 0 until the first sample lands. */
+    std::size_t dim() const { return dim_; }
+
+    const std::vector<double> &times() const { return times_; }
+    double time(std::size_t sample) const { return times_.at(sample); }
+
+    /** One recorded state vector (a view into the flat buffer). */
+    std::span<const double> state(std::size_t sample) const;
+
+    /** Compatibility accessor: series of one unknown over all samples. */
     std::vector<double> series(std::size_t unknown) const;
+
+    /**
+     * Set when the run stopped early (nonfinite state; the batch
+     * engine also reports bad inputs and singular matrices here
+     * instead of throwing). Samples recorded before the failure are
+     * kept.
+     */
+    std::optional<TransientFailure> failure;
+
+    /** True when the run integrated all the way to t1. */
+    bool ok() const { return !failure.has_value(); }
+
+  private:
+    std::size_t dim_ = 0;
+    std::vector<double> times_;
+    std::vector<double> states_; ///< Flat, size() * dim_.
+};
+
+/**
+ * Reusable sparse transient operator bound to one (structure, dt):
+ * the companion matrices and their factorization. This is the unit
+ * TransientBatch shares across a same-structure sweep — construct
+ * once from the group leader, then per instance either run() directly
+ * (bit-identical matrix values) or copy + rebind() (numeric-only
+ * refactorization replaying the leader's pivot order).
+ */
+class TransientStepper
+{
+  public:
+    /**
+     * Builds and factors the companion matrices.
+     * @throws support::SimError for dt <= 0; ArkError (Sim) when the
+     *         companion matrix is singular.
+     */
+    TransientStepper(const SparseMnaSystem &system, double dt);
+
+    double dt() const { return dt_; }
+
+    /**
+     * Rebinds the factors to `system`'s matrix values (which must
+     * share the bound structure): numeric refactorization only. Falls
+     * back to a fresh pivot search when the reused pivot order
+     * collapses on the new values.
+     * @throws ArkError (Sim) when the instance matrix is singular; on
+     *         throw the stepper holds no valid factors — discard it
+     *         or rebind successfully before calling run().
+     */
+    void rebind(const SparseMnaSystem &system);
+
+    /**
+     * Integrates `system` (whose companion matrices must match the
+     * currently bound values) from x0 (zeros when empty) over
+     * [t0, t1], sampling every step. Thread-safe: run() is const and
+     * touches no shared mutable state, so one stepper may serve
+     * concurrent value-identical instances.
+     * @throws support::SimError for invalid t0/t1/x0.
+     */
+    TransientResult run(const SparseMnaSystem &system, double t0,
+                        double t1,
+                        const std::vector<double> &x0 = {}) const;
+
+  private:
+    double dt_;
+    support::SparseMatrix a_;
+    support::SparseMatrix b_;
+    support::SparseLu lu_;
+    /** Consistent-initialization operator (identity on dynamic rows,
+     *  K elsewhere); factored once here and rebound with the
+     *  companion factors. Absent when every row is dynamic. */
+    support::SparseMatrix initA_;
+    std::optional<support::SparseLu> initLu_;
 };
 
 /**
  * Trapezoidal transient analysis from x(0) = x0 (zeros when empty).
  * Samples every step.
- * @throws SimError when the companion matrix is singular.
+ * @throws support::SimError for dt <= 0, t1 < t0, or wrong-sized x0;
+ *         ArkError (Sim) when the companion matrix is singular at
+ *         setup. Mid-run events — a nonfinite state, or a singular
+ *         short-final-step companion — return early with a
+ *         structured TransientResult::failure instead, keeping the
+ *         samples recorded before the event.
  */
 TransientResult transient(const MnaSystem &system, double t0, double t1,
                           double dt,
+                          const std::vector<double> &x0 = {});
+
+/** Sparse-path transient; same contract and (to rounding) results. */
+TransientResult transient(const SparseMnaSystem &system, double t0,
+                          double t1, double dt,
                           const std::vector<double> &x0 = {});
 
 /** Convenience: assemble + simulate + return one node's voltage. */

@@ -1,0 +1,164 @@
+#ifndef ARK_SUPPORT_SPARSE_H
+#define ARK_SUPPORT_SPARSE_H
+
+/**
+ * @file
+ * Sparse linear algebra for the batched SPICE transient engine.
+ *
+ * MNA matrices from mapped dynamical graphs are extremely sparse (a
+ * handful of entries per row: a grounded capacitor plus the incident
+ * couplings), so the dense O(n^3) factorization in linalg.h wastes
+ * almost all of its work once lines grow past a few sections. This
+ * module provides a CSR matrix and a left-looking (Gilbert-Peierls)
+ * sparse LU with partial pivoting whose pivot order and fill pattern
+ * are recorded at first factorization: refactor() then redoes only
+ * the numeric phase for any matrix with the same sparsity pattern.
+ * That replay is what lets a sweep of same-topology netlists share
+ * one symbolic analysis (spice::TransientBatch).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "support/linalg.h"
+
+namespace ark::support {
+
+/** One (row, col, value) contribution; duplicates are summed. */
+struct Triplet
+{
+    std::size_t row = 0;
+    std::size_t col = 0;
+    double value = 0.0;
+};
+
+/**
+ * Compressed-sparse-row matrix of doubles.
+ *
+ * The stored pattern is value-independent: entries assembled with a
+ * zero value stay stored, so matrices built from the same stamp
+ * positions compare samePattern() regardless of their parameters —
+ * the property the shared-structure factorization reuse relies on.
+ */
+class SparseMatrix
+{
+  public:
+    SparseMatrix() = default;
+
+    /** rows x cols with no stored entries. */
+    SparseMatrix(std::size_t rows, std::size_t cols);
+
+    /**
+     * Builds from triplets (duplicate positions summed, zeros kept).
+     * Column indices end up sorted within each row.
+     */
+    static SparseMatrix fromTriplets(std::size_t rows, std::size_t cols,
+                                     std::vector<Triplet> triplets);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t nonZeros() const { return col_.size(); }
+
+    /** Stored value at (r, c); 0.0 when the position is not stored. */
+    double at(std::size_t r, std::size_t c) const;
+
+    /** y = A x (y must hold rows() entries, x cols() entries). */
+    void applyInto(const double *x, double *y) const;
+    std::vector<double> apply(const std::vector<double> &x) const;
+
+    /** Same shape and same stored positions (values ignored). */
+    bool samePattern(const SparseMatrix &other) const;
+
+    /** samePattern plus bit-identical stored values. */
+    bool sameValues(const SparseMatrix &other) const;
+
+    /** @name Raw CSR access (kernels, factorization). */
+    /// @{
+    const std::vector<std::size_t> &rowPtr() const { return rowPtr_; }
+    const std::vector<std::size_t> &colIndex() const { return col_; }
+    const std::vector<double> &values() const { return values_; }
+    /// @}
+
+    /** Dense copy (tests, fallbacks). */
+    Matrix toDense() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<std::size_t> rowPtr_; ///< rows()+1 offsets into col_/values_.
+    std::vector<std::size_t> col_;
+    std::vector<double> values_;
+};
+
+/**
+ * Sparse LU factorization with partial pivoting.
+ *
+ * Construction runs the full left-looking factorization: a structural
+ * reach (DFS over the growing L graph) per column, magnitude pivot
+ * selection, and fill recording. The resulting pivot order and L/U
+ * patterns are kept, so refactor() can rebind the factorization to a
+ * new matrix with the SAME pattern by replaying only the numeric
+ * updates — no graph traversal, no pivot search. A batch of
+ * same-topology MNA systems factors symbolically once and numerically
+ * per instance; instances whose values match bit-for-bit skip even
+ * that and share the factors outright (solve() is const and
+ * thread-safe).
+ */
+class SparseLu
+{
+  public:
+    /**
+     * Factors a square sparse matrix.
+     * @throws ArkError (Sim) when the matrix is singular.
+     */
+    explicit SparseLu(const SparseMatrix &a);
+
+    std::size_t size() const { return n_; }
+
+    /**
+     * Numeric-only refactorization for a matrix with the same pattern
+     * as the one factored at construction, reusing the recorded pivot
+     * order. @throws ArkError (Sim) when a reused pivot collapses —
+     * zero, or small relative to its column (the order that was
+     * stable for the original values need not be for the new ones);
+     * callers then fall back to a fresh SparseLu with its own pivot
+     * search. On throw the factors are invalid; discard the object.
+     */
+    void refactor(const SparseMatrix &a);
+
+    /** Solves A x = b. */
+    std::vector<double> solve(const std::vector<double> &b) const;
+
+    /** Allocation-free solve; b and x must not alias. */
+    void solveInto(const double *b, double *x) const;
+
+  private:
+    std::size_t n_ = 0;
+
+    /** Pattern of the factored matrix (for refactor verification). */
+    std::vector<std::size_t> aRowPtr_;
+    std::vector<std::size_t> aCol_;
+
+    /** Per column j: (pivot-space row, index into a CSR values). */
+    std::vector<std::size_t> aEntryPtr_;
+    std::vector<std::size_t> aEntryRow_;
+    std::vector<std::size_t> aEntryCsr_;
+
+    /** rowOfPivot_[k] = original row pivoted at step k. */
+    std::vector<std::size_t> rowOfPivot_;
+
+    /** L (unit diagonal implicit), CSC, rows in pivot space. */
+    std::vector<std::size_t> lColPtr_;
+    std::vector<std::size_t> lRow_;
+    std::vector<double> lVal_;
+
+    /** U strictly above the diagonal, CSC, rows in pivot space. */
+    std::vector<std::size_t> uColPtr_;
+    std::vector<std::size_t> uRow_;
+    std::vector<double> uVal_;
+    std::vector<double> uDiag_;
+};
+
+} // namespace ark::support
+
+#endif // ARK_SUPPORT_SPARSE_H

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <stop_token>
@@ -345,6 +346,27 @@ TEST(BatchTest, MixedStructureBatterySplitsIntoBlocks)
             options.sim);
         expectIdenticalResults(batch[i], serial);
     }
+}
+
+TEST(BatchTest, ParallelForRunsEveryIndexExactlyOnce)
+{
+    BatchRunner runner;
+    for (unsigned threads : {1u, 3u}) {
+        for (std::size_t count : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}, std::size_t{64}}) {
+            std::vector<std::atomic<int>> hits(count);
+            runner.parallelFor(count, threads, [&](std::size_t i) {
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+            });
+            for (std::size_t i = 0; i < count; ++i)
+                EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+        }
+    }
+    // threads > count degenerates gracefully; pool stays capped.
+    std::atomic<int> total{0};
+    runner.parallelFor(2, 16, [&](std::size_t) { ++total; });
+    EXPECT_EQ(total.load(), 2);
+    EXPECT_LE(runner.poolThreads(), 15u);
 }
 
 } // namespace

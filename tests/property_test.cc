@@ -163,8 +163,8 @@ TEST_P(PipelineProperty, SpiceMappingTracksOdeOnRandomLines)
         double t = 2e-8 * g / 149.0;
         a.push_back(ode.trajectory.sampleAt(out, t));
         std::size_t step = std::min(
-            static_cast<std::size_t>(t / 1e-11), tran.times.size() - 1);
-        b.push_back(tran.states[step][circuit]);
+            static_cast<std::size_t>(t / 1e-11), tran.size() - 1);
+        b.push_back(tran.state(step)[circuit]);
     }
     EXPECT_LT(support::relativeRmse(a, b), 0.01);
 }

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the sparse linear algebra substrate: CSR assembly from
+ * triplets, matrix-vector products against the dense path, and the
+ * Gilbert-Peierls sparse LU — solutions vs the dense LuSolver,
+ * pivoting on zero diagonals, singularity detection, and the
+ * numeric-only refactorization that the shared-structure SPICE batch
+ * engine reuses across same-topology instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.h"
+#include "support/linalg.h"
+#include "support/rng.h"
+#include "support/sparse.h"
+
+namespace {
+
+using namespace ark;
+using support::ArkError;
+using support::LuSolver;
+using support::Matrix;
+using support::Rng;
+using support::SparseLu;
+using support::SparseMatrix;
+using support::Triplet;
+
+/** Random sparse nonsingular matrix: full diagonal + ~density fill. */
+SparseMatrix
+randomSystem(std::size_t n, double density, std::uint64_t seed,
+             bool dominant)
+{
+    Rng rng(seed);
+    std::vector<Triplet> triplets;
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            if (r != c && rng.uniform() < density)
+                triplets.push_back(Triplet{r, c, rng.uniform(-1.0, 1.0)});
+        }
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+        // A dominant diagonal guarantees nonsingularity; a weak one
+        // (still nonzero) forces the factorization to actually pivot.
+        double d = dominant ? rng.uniform(1.0, 2.0) * (1.0 + density * n)
+                            : rng.uniform(0.01, 0.1);
+        triplets.push_back(Triplet{r, r, d});
+    }
+    return SparseMatrix::fromTriplets(n, n, triplets);
+}
+
+std::vector<double>
+randomVector(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> v(n);
+    for (double &x : v)
+        x = rng.uniform(-2.0, 2.0);
+    return v;
+}
+
+TEST(SparseMatrixTest, FromTripletsSumsDuplicatesAndKeepsZeros)
+{
+    std::vector<Triplet> triplets{
+        {0, 1, 2.0}, {1, 0, 3.0}, {0, 1, 0.5}, {2, 2, 0.0}};
+    SparseMatrix m = SparseMatrix::fromTriplets(3, 3, triplets);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.nonZeros(), 3u); // (0,1) merged; (2,2) zero kept
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 2.5);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+    EXPECT_DOUBLE_EQ(m.at(2, 2), 0.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0); // unstored position
+
+    // The pattern is value-independent: same positions, different
+    // values still compare samePattern (but not sameValues).
+    std::vector<Triplet> other{
+        {0, 1, -7.0}, {1, 0, 0.0}, {2, 2, 9.0}};
+    SparseMatrix m2 = SparseMatrix::fromTriplets(3, 3, other);
+    EXPECT_TRUE(m.samePattern(m2));
+    EXPECT_FALSE(m.sameValues(m2));
+    EXPECT_TRUE(m.sameValues(m));
+}
+
+TEST(SparseMatrixTest, ApplyMatchesDense)
+{
+    SparseMatrix m = randomSystem(17, 0.2, 11, true);
+    Matrix dense = m.toDense();
+    std::vector<double> x = randomVector(17, 5);
+    std::vector<double> sparseY = m.apply(x);
+    std::vector<double> denseY = dense.apply(x);
+    for (std::size_t i = 0; i < sparseY.size(); ++i)
+        EXPECT_DOUBLE_EQ(sparseY[i], denseY[i]);
+}
+
+TEST(SparseLuTest, SolveMatchesDenseLu)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const std::size_t n = 24;
+        // Half the seeds use weak diagonals so partial pivoting is
+        // exercised, not just the no-pivot fast path.
+        SparseMatrix a = randomSystem(n, 0.15, seed, seed % 2 == 0);
+        std::vector<double> b = randomVector(n, seed + 100);
+        SparseLu sparse(a);
+        LuSolver dense(a.toDense());
+        std::vector<double> xs = sparse.solve(b);
+        std::vector<double> xd = dense.solve(b);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(xs[i], xd[i], 1e-9) << "seed " << seed;
+        // Residual check keeps the comparison honest even if both
+        // paths drifted together.
+        std::vector<double> back = a.apply(xs);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(back[i], b[i], 1e-8);
+    }
+}
+
+TEST(SparseLuTest, PivotsThroughZeroDiagonal)
+{
+    // [[0, 1], [1, 0]]: no factorization without row exchange.
+    SparseMatrix a = SparseMatrix::fromTriplets(
+        2, 2, {{0, 1, 1.0}, {1, 0, 1.0}});
+    SparseLu lu(a);
+    std::vector<double> x = lu.solve({3.0, 4.0});
+    EXPECT_DOUBLE_EQ(x[0], 4.0);
+    EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(SparseLuTest, SingularMatrixThrows)
+{
+    // Structurally singular: empty column 1.
+    SparseMatrix structural = SparseMatrix::fromTriplets(
+        2, 2, {{0, 0, 1.0}, {1, 0, 2.0}});
+    EXPECT_THROW(SparseLu{structural}, ArkError);
+
+    // Numerically singular: two proportional rows.
+    SparseMatrix numerical = SparseMatrix::fromTriplets(
+        2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 2.0}, {1, 1, 4.0}});
+    EXPECT_THROW(SparseLu{numerical}, ArkError);
+}
+
+TEST(SparseLuTest, RefactorMatchesFreshFactorization)
+{
+    const std::size_t n = 20;
+    SparseMatrix a = randomSystem(n, 0.2, 3, true);
+    SparseLu lu(a);
+
+    // New values, same pattern: scale every entry differently.
+    std::vector<Triplet> perturbed;
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t i = a.rowPtr()[r]; i < a.rowPtr()[r + 1]; ++i) {
+            double scale = 1.0 + 0.01 * static_cast<double>(i % 7);
+            perturbed.push_back(
+                Triplet{r, a.colIndex()[i], a.values()[i] * scale});
+        }
+    }
+    SparseMatrix a2 = SparseMatrix::fromTriplets(n, n, perturbed);
+    ASSERT_TRUE(a.samePattern(a2));
+
+    lu.refactor(a2);
+    std::vector<double> b = randomVector(n, 77);
+    std::vector<double> viaRefactor = lu.solve(b);
+    std::vector<double> viaFresh = SparseLu(a2).solve(b);
+    std::vector<double> viaDense = LuSolver(a2.toDense()).solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(viaRefactor[i], viaDense[i], 1e-9);
+        EXPECT_NEAR(viaFresh[i], viaDense[i], 1e-9);
+    }
+}
+
+TEST(SparseLuTest, RefactorRejectsDifferentPattern)
+{
+    SparseMatrix a = SparseMatrix::fromTriplets(
+        2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+    SparseLu lu(a);
+    SparseMatrix wider = SparseMatrix::fromTriplets(
+        2, 2, {{0, 0, 1.0}, {0, 1, 0.5}, {1, 1, 1.0}});
+    EXPECT_THROW(lu.refactor(wider), ArkError);
+}
+
+TEST(SparseLuTest, RefactorDetectsCollapsedPivot)
+{
+    // The dominant diagonal pins the recorded pivot order to the
+    // natural one; zeroing entry (0,0) then collapses the reused
+    // pivot, which refactor must report rather than divide through.
+    SparseMatrix a = SparseMatrix::fromTriplets(
+        2, 2, {{0, 0, 10.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 5.0}});
+    SparseLu lu(a);
+    SparseMatrix bad = SparseMatrix::fromTriplets(
+        2, 2, {{0, 0, 0.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 5.0}});
+    EXPECT_THROW(lu.refactor(bad), ArkError);
+    // A fresh factorization with its own pivot search still works:
+    // [[0,1],[1,5]] x = [1,3]  =>  x1 = 1, x0 = 3 - 5 = -2.
+    std::vector<double> x = SparseLu(bad).solve({1.0, 3.0});
+    EXPECT_NEAR(x[0], -2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SparseLuTest, RefactorDetectsDegradedPivot)
+{
+    // A reused pivot that is merely SMALL relative to its column (not
+    // zero) must also be rejected: accepting it would amplify
+    // rounding by the column ratio and silently corrupt the factors.
+    SparseMatrix a = SparseMatrix::fromTriplets(
+        2, 2, {{0, 0, 10.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 5.0}});
+    SparseLu lu(a);
+    SparseMatrix degraded = SparseMatrix::fromTriplets(
+        2, 2, {{0, 0, 1e-9}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 5.0}});
+    EXPECT_THROW(lu.refactor(degraded), ArkError);
+    // The fallback path (fresh pivoting) solves it fine:
+    // [[1e-9,1],[1,5]] x = [1,6]  =>  x0 ~= 1, x1 ~= 1.
+    std::vector<double> x = SparseLu(degraded).solve({1.0, 6.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-6);
+    EXPECT_NEAR(x[1], 1.0, 1e-6);
+}
+
+} // namespace

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Tests for the batched SPICE transient engine: sparse-vs-dense
+ * equivalence on random generated TLN netlists (the tentpole property
+ * test), shared-structure factorization reuse, per-instance
+ * structured failures (singular matrix, nonfinite state), batch-level
+ * input validation, and thread-count invariance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "apps/experiments.h"
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+#include "spice/batch.h"
+#include "spice/map_tln.h"
+#include "spice/mna.h"
+#include "spice/netlist.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "validator/validator.h"
+
+namespace {
+
+using namespace ark;
+using namespace ark::spice;
+using support::SimError;
+
+namespace ptln = paradigms::tln;
+
+class SpiceBatchTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        registry_ = new lang::LanguageRegistry(
+            paradigms::makeStandardRegistry());
+    }
+    static void TearDownTestSuite()
+    {
+        delete registry_;
+        registry_ = nullptr;
+    }
+
+    /** Random mismatched GmC line mapped to a netlist. */
+    static MappedTln
+    randomLine(std::uint64_t seed, int minSections = 2,
+               int maxSections = 6)
+    {
+        const lang::Language &gmc = registry_->language("gmc-tln");
+        support::Rng rng(seed * 7919 + 13);
+        ptln::LineSpec spec;
+        spec.sections = static_cast<int>(
+            rng.uniformInt(minSections, maxSections));
+        spec.inductance = rng.uniform(0.5e-9, 2e-9);
+        spec.capacitance = rng.uniform(0.5e-9, 2e-9);
+        spec.sourceConductance = rng.uniform(0.5, 2.0);
+        spec.termConductance = rng.uniform(0.5, 2.0);
+        spec.mismatchC = true;
+        spec.mismatchGm = true;
+        spec.seed = rng.deriveSeed();
+        dg::Graph graph = ptln::buildLine(gmc, spec);
+        validator::validateOrThrow(graph, gmc);
+        return mapTlnToSpice(graph, gmc);
+    }
+
+    /** Same topology for every seed: only the mismatch values vary. */
+    static MappedTln
+    sharedStructureLine(std::uint64_t seed, int sections = 5)
+    {
+        const lang::Language &gmc = registry_->language("gmc-tln");
+        ptln::LineSpec spec;
+        spec.sections = sections;
+        spec.mismatchC = true;
+        spec.mismatchGm = true;
+        spec.seed = seed;
+        dg::Graph graph = ptln::buildLine(gmc, spec);
+        validator::validateOrThrow(graph, gmc);
+        return mapTlnToSpice(graph, gmc);
+    }
+
+    static lang::LanguageRegistry *registry_;
+};
+
+lang::LanguageRegistry *SpiceBatchTest::registry_ = nullptr;
+
+/** Max |a-b| over all samples/unknowns, relative to the peak |a|. */
+double
+maxRelDeviation(const TransientResult &a, const TransientResult &b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.dim(), b.dim());
+    double peak = 0.0;
+    for (std::size_t s = 0; s < a.size(); ++s)
+        for (double v : a.state(s))
+            peak = std::max(peak, std::fabs(v));
+    double worst = 0.0;
+    for (std::size_t s = 0; s < a.size() && s < b.size(); ++s) {
+        auto sa = a.state(s);
+        auto sb = b.state(s);
+        for (std::size_t i = 0; i < sa.size(); ++i)
+            worst = std::max(worst, std::fabs(sa[i] - sb[i]));
+    }
+    return peak > 0.0 ? worst / peak : worst;
+}
+
+void
+expectBitIdentical(const TransientResult &a, const TransientResult &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.dim(), b.dim());
+    for (std::size_t s = 0; s < a.size(); ++s) {
+        ASSERT_EQ(a.time(s), b.time(s));
+        auto sa = a.state(s);
+        auto sb = b.state(s);
+        for (std::size_t i = 0; i < sa.size(); ++i)
+            ASSERT_EQ(sa[i], sb[i]) << "sample " << s << " unknown " << i;
+    }
+}
+
+TEST_F(SpiceBatchTest, SparseTransientMatchesDenseOnRandomTln)
+{
+    // The tentpole equivalence property: on random generated TLN
+    // netlists the sparse MNA transient tracks the dense path to
+    // rounding (<= 1e-12 relative to the waveform peak).
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        MappedTln mapped = randomLine(seed);
+        MnaSystem dense(mapped.netlist);
+        SparseMnaSystem sparse(mapped.netlist);
+        ASSERT_EQ(dense.size(), sparse.size());
+        TransientResult viaDense = transient(dense, 0.0, 2e-8, 1e-11);
+        TransientResult viaSparse = transient(sparse, 0.0, 2e-8, 1e-11);
+        ASSERT_TRUE(viaDense.ok());
+        ASSERT_TRUE(viaSparse.ok());
+        EXPECT_LE(maxRelDeviation(viaDense, viaSparse), 1e-12)
+            << "seed " << seed;
+    }
+}
+
+TEST_F(SpiceBatchTest, SparseSystemMirrorsDenseAssembly)
+{
+    MappedTln mapped = randomLine(9);
+    MnaSystem dense(mapped.netlist);
+    SparseMnaSystem sparse(mapped.netlist);
+    ASSERT_EQ(dense.size(), sparse.size());
+    ASSERT_EQ(dense.numNodeUnknowns(), sparse.numNodeUnknowns());
+    for (std::size_t r = 0; r < dense.size(); ++r) {
+        EXPECT_EQ(dense.rowIsDynamic(r), sparse.rowIsDynamic(r));
+        for (std::size_t c = 0; c < dense.size(); ++c) {
+            EXPECT_DOUBLE_EQ(sparse.massMatrix().at(r, c),
+                             dense.massMatrix()(r, c));
+            EXPECT_DOUBLE_EQ(sparse.stiffnessMatrix().at(r, c),
+                             dense.stiffnessMatrix()(r, c));
+        }
+    }
+    std::vector<double> ud = dense.sourceVector(3e-9);
+    std::vector<double> us = sparse.sourceVector(3e-9);
+    for (std::size_t r = 0; r < ud.size(); ++r)
+        EXPECT_DOUBLE_EQ(us[r], ud[r]);
+}
+
+TEST_F(SpiceBatchTest, SharedStructureInstancesGroup)
+{
+    SparseMnaSystem a(sharedStructureLine(1).netlist);
+    SparseMnaSystem b(sharedStructureLine(2).netlist);
+    SparseMnaSystem c(randomLine(3, 7, 7).netlist); // different topology
+    EXPECT_TRUE(a.sharesStructure(b));
+    EXPECT_FALSE(a.sharesMatrixValues(b)); // mismatch values differ
+    EXPECT_TRUE(a.sharesMatrixValues(a));
+    EXPECT_FALSE(a.sharesStructure(c));
+}
+
+TEST_F(SpiceBatchTest, BatchMatchesSerialOnMixedTopologies)
+{
+    // Mixed sweep: several shared-structure groups plus singletons.
+    std::vector<MappedTln> mapped;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        mapped.push_back(sharedStructureLine(seed));
+    for (std::uint64_t seed = 5; seed <= 8; ++seed)
+        mapped.push_back(randomLine(seed));
+    std::vector<const Netlist *> netlists;
+    for (const MappedTln &map : mapped)
+        netlists.push_back(&map.netlist);
+
+    const double t1 = 1e-8, dt = 1e-11;
+    TransientBatch sparseBatch;
+    TransientBatchStats stats;
+    std::vector<TransientResult> batched =
+        sparseBatch.run(netlists, 0.0, t1, dt, &stats);
+    ASSERT_EQ(batched.size(), netlists.size());
+    // The four shared-structure instances collapse into one group;
+    // the random topologies add at most one group each.
+    EXPECT_GE(stats.structureGroups, 1u);
+    EXPECT_LE(stats.structureGroups, 5u);
+    for (std::size_t i = 0; i < netlists.size(); ++i) {
+        ASSERT_TRUE(batched[i].ok()) << "instance " << i;
+        MnaSystem dense(*netlists[i]);
+        TransientResult serial = transient(dense, 0.0, t1, dt);
+        EXPECT_LE(maxRelDeviation(serial, batched[i]), 1e-12)
+            << "instance " << i;
+    }
+
+    // The dense ablation path is the serial loop, parallelized:
+    // results must be bit-identical to serial dense.
+    TransientBatchOptions denseOptions;
+    denseOptions.sparse = false;
+    std::vector<TransientResult> denseBatch =
+        TransientBatch(denseOptions).run(netlists, 0.0, t1, dt);
+    for (std::size_t i = 0; i < netlists.size(); ++i) {
+        MnaSystem dense(*netlists[i]);
+        expectBitIdentical(transient(dense, 0.0, t1, dt),
+                           denseBatch[i]);
+    }
+}
+
+TEST_F(SpiceBatchTest, IdenticalInstancesShareFactorsExactly)
+{
+    // Bit-identical netlists share the leader's factors outright, so
+    // every instance must reproduce the serial sparse run exactly.
+    MappedTln mapped = sharedStructureLine(42);
+    std::vector<const Netlist *> netlists(5, &mapped.netlist);
+    SparseMnaSystem system(mapped.netlist);
+    TransientResult serial = transient(system, 0.0, 1e-8, 1e-11);
+    TransientBatchStats stats;
+    std::vector<TransientResult> batched =
+        TransientBatch().run(netlists, 0.0, 1e-8, 1e-11, &stats);
+    EXPECT_EQ(stats.structureGroups, 1u);
+    for (const TransientResult &result : batched)
+        expectBitIdentical(serial, result);
+}
+
+TEST_F(SpiceBatchTest, ResultsIndependentOfThreadCount)
+{
+    std::vector<MappedTln> mapped;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed)
+        mapped.push_back(sharedStructureLine(seed));
+    std::vector<const Netlist *> netlists;
+    for (const MappedTln &map : mapped)
+        netlists.push_back(&map.netlist);
+
+    TransientBatchOptions one;
+    one.numThreads = 1;
+    TransientBatchOptions four;
+    four.numThreads = 4;
+    std::vector<TransientResult> serial =
+        TransientBatch(one).run(netlists, 0.0, 1e-8, 1e-11);
+    std::vector<TransientResult> threaded =
+        TransientBatch(four).run(netlists, 0.0, 1e-8, 1e-11);
+    for (std::size_t i = 0; i < netlists.size(); ++i)
+        expectBitIdentical(serial[i], threaded[i]);
+}
+
+TEST_F(SpiceBatchTest, SingularInstanceFailsAloneStructurally)
+{
+    // A floating resistor pair has a singular conductance matrix; it
+    // must fail with a structured SingularMatrix report while the
+    // healthy instances in the same batch complete.
+    Netlist singular;
+    int a = singular.addNode("a");
+    int b = singular.addNode("b");
+    singular.resistor("R", a, b, 1.0);
+
+    MappedTln good = sharedStructureLine(7);
+    std::vector<const Netlist *> netlists{&good.netlist, &singular,
+                                          &good.netlist};
+    std::vector<TransientResult> results =
+        TransientBatch().run(netlists, 0.0, 1e-8, 1e-11);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok());
+    EXPECT_TRUE(results[2].ok());
+    ASSERT_FALSE(results[1].ok());
+    EXPECT_EQ(results[1].failure->reason,
+              TransientAbort::SingularMatrix);
+    EXPECT_FALSE(results[1].failure->message.empty());
+
+    // Same structured outcome through the dense ablation path.
+    TransientBatchOptions denseOptions;
+    denseOptions.sparse = false;
+    std::vector<TransientResult> dense =
+        TransientBatch(denseOptions).run(netlists, 0.0, 1e-8, 1e-11);
+    EXPECT_TRUE(dense[0].ok());
+    ASSERT_FALSE(dense[1].ok());
+    EXPECT_EQ(dense[1].failure->reason, TransientAbort::SingularMatrix);
+}
+
+TEST_F(SpiceBatchTest, UnstableInstanceReportsNonfiniteState)
+{
+    // Negative-conductance VCCS on a capacitor: v grows by ~3999x per
+    // trapezoidal step and overflows to inf mid-run. The failure must
+    // be structured (reason, step, time) and the samples recorded
+    // before the blowup kept.
+    Netlist unstable;
+    int n = unstable.addNode("n");
+    unstable.capacitor("C", n, kGround, 1.0);
+    unstable.vccs("G", kGround, n, n, kGround, 1999.0);
+    unstable.currentSource("I", kGround, n, 1.0);
+
+    MappedTln good = sharedStructureLine(11);
+    std::vector<const Netlist *> netlists{&unstable, &good.netlist};
+    std::vector<TransientResult> results =
+        TransientBatch().run(netlists, 0.0, 0.2, 1e-3);
+    ASSERT_FALSE(results[0].ok());
+    EXPECT_EQ(results[0].failure->reason,
+              TransientAbort::NonfiniteState);
+    EXPECT_GT(results[0].failure->step, 0u);
+    EXPECT_GT(results[0].failure->time, 0.0);
+    EXPECT_GE(results[0].size(), 1u);
+    EXPECT_TRUE(results[1].ok());
+
+    // The serial paths report the same structured failure.
+    SparseMnaSystem sparse(unstable);
+    TransientResult serial = transient(sparse, 0.0, 0.2, 1e-3);
+    ASSERT_FALSE(serial.ok());
+    EXPECT_EQ(serial.failure->reason, TransientAbort::NonfiniteState);
+    EXPECT_EQ(serial.failure->step, results[0].failure->step);
+    MnaSystem denseSys(unstable);
+    TransientResult serialDense = transient(denseSys, 0.0, 0.2, 1e-3);
+    ASSERT_FALSE(serialDense.ok());
+    EXPECT_EQ(serialDense.failure->reason,
+              TransientAbort::NonfiniteState);
+    EXPECT_EQ(serialDense.failure->step, results[0].failure->step);
+}
+
+TEST_F(SpiceBatchTest, ShortFinalStepMatchesDense)
+{
+    // A window that is not an integer multiple of dt exercises the
+    // fractional-final-step path (one-off companion at h < dt) on
+    // both engines; they must still agree to rounding and land the
+    // final sample on t1.
+    MappedTln mapped = sharedStructureLine(3);
+    const double dt = 1e-11;
+    const double t1 = 10.5 * dt;
+    MnaSystem dense(mapped.netlist);
+    SparseMnaSystem sparse(mapped.netlist);
+    TransientResult viaDense = transient(dense, 0.0, t1, dt);
+    TransientResult viaSparse = transient(sparse, 0.0, t1, dt);
+    ASSERT_TRUE(viaDense.ok());
+    ASSERT_TRUE(viaSparse.ok());
+    ASSERT_EQ(viaDense.size(), 12u); // initial + 10 full + 1 half step
+    ASSERT_EQ(viaSparse.size(), viaDense.size());
+    EXPECT_DOUBLE_EQ(viaDense.time(viaDense.size() - 1), t1);
+    EXPECT_LE(maxRelDeviation(viaDense, viaSparse), 1e-12);
+
+    // And through the batch engine.
+    std::vector<const Netlist *> netlists{&mapped.netlist};
+    std::vector<TransientResult> batched =
+        TransientBatch().run(netlists, 0.0, t1, dt);
+    ASSERT_TRUE(batched[0].ok());
+    EXPECT_LE(maxRelDeviation(viaDense, batched[0]), 1e-12);
+}
+
+TEST_F(SpiceBatchTest, BatchLevelBadArgumentsThrow)
+{
+    MappedTln mapped = sharedStructureLine(1);
+    std::vector<const Netlist *> netlists{&mapped.netlist};
+    TransientBatch batch;
+    EXPECT_THROW(batch.run(netlists, 0.0, 1e-8, 0.0), SimError);
+    EXPECT_THROW(batch.run(netlists, 0.0, 1e-8, -1e-11), SimError);
+    EXPECT_THROW(batch.run(netlists, 1e-8, 0.0, 1e-11), SimError);
+    // Zero-length window: valid, one initial sample per instance.
+    std::vector<TransientResult> point =
+        batch.run(netlists, 0.0, 0.0, 1e-11);
+    ASSERT_TRUE(point[0].ok());
+    EXPECT_EQ(point[0].size(), 1u);
+    // Empty batches are a no-op.
+    EXPECT_TRUE(batch.run(std::vector<const Netlist *>{}, 0.0, 1e-8,
+                          1e-11)
+                    .empty());
+}
+
+TEST_F(SpiceBatchTest, ValidationSweepParitySparseVsDense)
+{
+    // Acceptance criterion at regression scale: the batched sparse
+    // §4.5 sweep reports the same mapped/RMSE statistics as the
+    // serial-equivalent dense path.
+    const lang::Language &gmc = registry_->language("gmc-tln");
+    apps::experiments::SpiceValidationOptions sparse;
+    sparse.sparse = true;
+    apps::experiments::SpiceValidationOptions dense;
+    dense.sparse = false;
+    apps::experiments::SpiceValidation viaSparse =
+        apps::experiments::runSpiceValidation(gmc, 12, 1, sparse);
+    apps::experiments::SpiceValidation viaDense =
+        apps::experiments::runSpiceValidation(gmc, 12, 1, dense);
+    EXPECT_EQ(viaSparse.total, viaDense.total);
+    EXPECT_EQ(viaSparse.mapped, viaDense.mapped);
+    EXPECT_EQ(viaSparse.mapped, viaSparse.total);
+    EXPECT_EQ(viaSparse.under1pct, viaDense.under1pct);
+    EXPECT_NEAR(viaSparse.meanRmse, viaDense.meanRmse, 1e-9);
+    EXPECT_NEAR(viaSparse.maxRmse, viaDense.maxRmse, 1e-9);
+    EXPECT_GT(viaSparse.spiceGroups, 0);
+    EXPECT_LE(viaSparse.spiceGroups, viaSparse.total);
+    // The structure count is a property of the sweep, not the path.
+    EXPECT_EQ(viaSparse.spiceGroups, viaDense.spiceGroups);
+    EXPECT_LT(viaSparse.maxRmse, 0.01);
+}
+
+} // namespace

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 
 #include "paradigms/cnn.h"
 #include "paradigms/standard.h"
@@ -25,6 +26,7 @@ namespace {
 using namespace ark;
 using namespace ark::spice;
 using support::SemaError;
+using support::SimError;
 
 TEST(NetlistTest, NodesAndElements)
 {
@@ -64,8 +66,9 @@ TEST(MnaTest, ResistiveDividerDc)
     net.resistor("R2", mid, kGround, 1.0);
     MnaSystem system(net);
     TransientResult result = transient(system, 0.0, 1e-3, 1e-4);
-    EXPECT_NEAR(result.states.back()[0], 2.0, 1e-9);
-    EXPECT_NEAR(result.states.back()[1], 1.0, 1e-9);
+    std::span<const double> last = result.state(result.size() - 1);
+    EXPECT_NEAR(last[0], 2.0, 1e-9);
+    EXPECT_NEAR(last[1], 1.0, 1e-9);
 }
 
 TEST(MnaTest, RcChargeMatchesAnalytic)
@@ -80,9 +83,9 @@ TEST(MnaTest, RcChargeMatchesAnalytic)
     MnaSystem system(net);
     double tau = 1e-3;
     TransientResult result = transient(system, 0.0, 5e-3, 1e-6);
-    for (std::size_t s = 0; s < result.times.size(); s += 500) {
-        double t = result.times[s];
-        EXPECT_NEAR(result.states[s][1], 1.0 - std::exp(-t / tau),
+    for (std::size_t s = 0; s < result.size(); s += 500) {
+        double t = result.time(s);
+        EXPECT_NEAR(result.state(s)[1], 1.0 - std::exp(-t / tau),
                     2e-4)
             << "t=" << t;
     }
@@ -102,9 +105,9 @@ TEST(MnaTest, RlDecayMatchesAnalytic)
     x0[1] = 1.0;
     TransientResult result = transient(system, 0.0, 5e-4, 1e-7, x0);
     double tau = 1e-4; // L/R
-    for (std::size_t s = 0; s < result.times.size(); s += 1000) {
-        double t = result.times[s];
-        EXPECT_NEAR(result.states[s][1], std::exp(-t / tau), 5e-3)
+    for (std::size_t s = 0; s < result.size(); s += 1000) {
+        double t = result.time(s);
+        EXPECT_NEAR(result.state(s)[1], std::exp(-t / tau), 5e-3)
             << "t=" << t;
     }
 }
@@ -124,13 +127,13 @@ TEST(MnaTest, LcOscillationFrequency)
     TransientResult result =
         transient(system, 0.0, 2.0 * period, period / 2000.0, x0);
     // After one full period the voltage returns to ~1.
-    std::size_t idx = result.times.size() / 2;
-    EXPECT_NEAR(result.times[idx], period, period / 100.0);
-    EXPECT_NEAR(result.states[idx][0], 1.0, 0.01);
+    std::size_t idx = result.size() / 2;
+    EXPECT_NEAR(result.time(idx), period, period / 100.0);
+    EXPECT_NEAR(result.state(idx)[0], 1.0, 0.01);
     // Trapezoidal integration conserves the LC amplitude.
     double maxLate = 0.0;
-    for (std::size_t s = idx; s < result.times.size(); ++s)
-        maxLate = std::max(maxLate, std::fabs(result.states[s][0]));
+    for (std::size_t s = idx; s < result.size(); ++s)
+        maxLate = std::max(maxLate, std::fabs(result.state(s)[0]));
     EXPECT_NEAR(maxLate, 1.0, 0.02);
 }
 
@@ -145,7 +148,7 @@ TEST(MnaTest, VccsGain)
     net.resistor("RL", out, kGround, 1000.0);
     MnaSystem system(net);
     TransientResult result = transient(system, 0.0, 1e-3, 1e-4);
-    EXPECT_NEAR(result.states.back()[1], -5.0, 1e-9);
+    EXPECT_NEAR(result.state(result.size() - 1)[1], -5.0, 1e-9);
 }
 
 TEST(MnaTest, BehavioralSourceWaveform)
@@ -158,19 +161,74 @@ TEST(MnaTest, BehavioralSourceWaveform)
     net.resistor("R", n, kGround, 1.0);
     MnaSystem system(net);
     TransientResult result = transient(system, 0.0, 1.0, 1e-3);
-    EXPECT_NEAR(result.states.back()[0], 1.0, 1e-9);
-    EXPECT_NEAR(result.series(0)[500], result.times[500], 1e-9);
+    EXPECT_NEAR(result.state(result.size() - 1)[0], 1.0, 1e-9);
+    EXPECT_NEAR(result.series(0)[500], result.time(500), 1e-9);
 }
 
 TEST(MnaTest, BadArgumentsRejected)
 {
     Netlist net;
-    net.addNode("n");
+    int n = net.addNode("n");
+    net.resistor("R", n, kGround, 1.0);
     MnaSystem system(net);
-    EXPECT_THROW(transient(system, 0.0, 0.0, 1e-3), SemaError);
-    EXPECT_THROW(transient(system, 0.0, 1.0, -1e-3), SemaError);
+    EXPECT_THROW(transient(system, 1.0, 0.0, 1e-3), SimError);
+    EXPECT_THROW(transient(system, 0.0, 1.0, -1e-3), SimError);
+    EXPECT_THROW(transient(system, 0.0, 1.0, 0.0), SimError);
     EXPECT_THROW(transient(system, 0.0, 1.0, 1e-3, {1.0, 2.0}),
-                 SemaError);
+                 SimError);
+    // A zero-length window is valid and yields the initial sample.
+    TransientResult point = transient(system, 0.0, 0.0, 1e-3);
+    EXPECT_TRUE(point.ok());
+    EXPECT_EQ(point.size(), 1u);
+}
+
+TEST(MnaTest, SparseBadArgumentsRejected)
+{
+    Netlist net;
+    int n = net.addNode("n");
+    net.resistor("R", n, kGround, 1.0);
+    SparseMnaSystem system(net);
+    EXPECT_THROW(transient(system, 1.0, 0.0, 1e-3), SimError);
+    EXPECT_THROW(transient(system, 0.0, 1.0, -1e-3), SimError);
+    EXPECT_THROW(transient(system, 0.0, 1.0, 0.0), SimError);
+    EXPECT_THROW(transient(system, 0.0, 1.0, 1e-3, {1.0, 2.0}),
+                 SimError);
+}
+
+TEST(MnaTest, RlcStepResponseMatchesAnalytic)
+{
+    // Series step -> R -> L -> C to ground (underdamped). The cap
+    // voltage follows 1 - e^{-at}(cos wd t + (a/wd) sin wd t).
+    const double r = 1.0, l = 1e-6, c = 1e-6;
+    Netlist net;
+    int src = net.addNode("src");
+    int mid = net.addNode("mid");
+    int out = net.addNode("out");
+    net.voltageSource("E", src, kGround, 1.0);
+    net.resistor("R", src, mid, r);
+    net.inductor("L", mid, out, l);
+    net.capacitor("C", out, kGround, c);
+    MnaSystem system(net);
+    double alpha = r / (2.0 * l);
+    double omega0 = 1.0 / std::sqrt(l * c);
+    double omegaD = std::sqrt(omega0 * omega0 - alpha * alpha);
+    double tEnd = 2e-5;
+    TransientResult result = transient(system, 0.0, tEnd, 1e-9);
+    for (std::size_t s = 0; s < result.size(); s += 2000) {
+        double t = result.time(s);
+        double expected =
+            1.0 - std::exp(-alpha * t) *
+                      (std::cos(omegaD * t) +
+                       alpha / omegaD * std::sin(omegaD * t));
+        EXPECT_NEAR(result.state(s)[2], expected, 2e-3) << "t=" << t;
+    }
+    // The sparse path reproduces the same response.
+    SparseMnaSystem sparse(net);
+    TransientResult viaSparse = transient(sparse, 0.0, tEnd, 1e-9);
+    ASSERT_EQ(viaSparse.size(), result.size());
+    for (std::size_t s = 0; s < result.size(); s += 500) {
+        EXPECT_NEAR(viaSparse.state(s)[2], result.state(s)[2], 1e-9);
+    }
 }
 
 // --- GmC-TLN mapping -----------------------------------------------------------
@@ -244,8 +302,8 @@ TEST_F(MapTlnTest, DynamicsMatchOdeCompiler)
         double t = 2e-8 * g / 99.0;
         odeSeries.push_back(ode.trajectory.sampleAt(odeIdx, t));
         std::size_t step = static_cast<std::size_t>(t / 1e-11);
-        step = std::min(step, tran.times.size() - 1);
-        spiceSeries.push_back(tran.states[step][circuitIdx]);
+        step = std::min(step, tran.size() - 1);
+        spiceSeries.push_back(tran.state(step)[circuitIdx]);
     }
     EXPECT_LT(support::relativeRmse(odeSeries, spiceSeries), 0.01);
 }
