@@ -10,7 +10,15 @@
  * BM_PufBatteryEnsembleRk4 pair measures the end-to-end fixed-step
  * battery through BatchRunner with lane batching on vs off
  * (single-thread, so the ratio isolates the lane win from pool
- * parallelism).
+ * parallelism). The BM_EnsembleDopri5{Scalar,Lanes} pair does the
+ * same for the adaptive default: the scalar per-instance Dopri5 path
+ * vs the lane-synchronized step-voting driver on one voted grid.
+ * BM_MaxcutRhsFma measures the FusedMulAdd tape ISA on a
+ * sum-of-products Kuramoto RHS, FMA off vs on, scalar and 8-lane —
+ * on baseline ISAs std::fma routes through libm soft-fma (expected
+ * slower; the opcode pays off under ARK_ENABLE_NATIVE on FMA hosts),
+ * which is exactly why the contraction is opt-in and this benchmark
+ * records both sides.
  */
 
 #include <benchmark/benchmark.h>
@@ -21,6 +29,7 @@
 #include "apps/puf.h"
 #include "compiler/compiler.h"
 #include "expr/lanetape.h"
+#include "paradigms/obc.h"
 #include "paradigms/standard.h"
 #include "sim/sim.h"
 #include "support/rng.h"
@@ -157,5 +166,133 @@ BENCHMARK(BM_PufBatteryEnsembleRk4)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+/**
+ * Adaptive battery, scalar per-instance Dopri5 (laneBatching off):
+ * the pre-voting baseline every chip used to take. Default
+ * tolerances, single-thread; items/sec == instances integrated per
+ * second.
+ */
+void
+BM_EnsembleDopri5Scalar(benchmark::State &state)
+{
+    const std::vector<compiler::OdeSystem> &systems = batterySystems();
+    std::vector<const compiler::OdeSystem *> pointers;
+    for (const compiler::OdeSystem &system : systems)
+        pointers.push_back(&system);
+    const apps::PufDesign design = batteryDesign();
+    sim::EnsembleOptions options; // Dopri5 default tolerances
+    options.numThreads = 1;
+    options.laneBatching = false;
+    for (auto _ : state) {
+        std::vector<sim::SimResult> results = sim::simulateEnsemble(
+            pointers, 0.0, design.windowEnd, options);
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kChips);
+}
+BENCHMARK(BM_EnsembleDopri5Scalar)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
+ * Adaptive battery through the lane-synchronized step-voting driver:
+ * all 8 chips advance on one voted step in an 8-lane block. The
+ * ratio to BM_EnsembleDopri5Scalar is the adaptive-batch acceptance
+ * metric (single-thread, so it isolates the lane win).
+ */
+void
+BM_EnsembleDopri5Lanes(benchmark::State &state)
+{
+    const std::vector<compiler::OdeSystem> &systems = batterySystems();
+    std::vector<const compiler::OdeSystem *> pointers;
+    for (const compiler::OdeSystem &system : systems)
+        pointers.push_back(&system);
+    const apps::PufDesign design = batteryDesign();
+    sim::EnsembleOptions options; // Dopri5 default tolerances
+    options.numThreads = 1;
+    options.laneBatching = true;
+    for (auto _ : state) {
+        std::vector<sim::SimResult> results = sim::simulateEnsemble(
+            pointers, 0.0, design.windowEnd, options);
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kChips);
+}
+BENCHMARK(BM_EnsembleDopri5Lanes)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/** Compiles one dense Kuramoto max-cut system (sum-of-products RHS). */
+const compiler::OdeSystem &
+maxcutSystem()
+{
+    static const compiler::OdeSystem system = [] {
+        lang::LanguageRegistry registry =
+            paradigms::makeStandardRegistry();
+        paradigms::obc::MaxcutInstance instance;
+        instance.numVertices = 12;
+        for (int a = 0; a < instance.numVertices; ++a)
+            for (int b = a + 1; b < instance.numVertices; ++b)
+                instance.edges.emplace_back(a, b);
+        paradigms::obc::MaxcutSpec spec;
+        for (int v = 0; v < instance.numVertices; ++v)
+            spec.initPhases.push_back(0.37 * v);
+        const lang::Language &obc = registry.language("obc");
+        return compiler::compile(
+            paradigms::obc::buildMaxcut(obc, instance, spec), obc);
+    }();
+    return system;
+}
+
+/**
+ * FMA-on/off RHS microbench on a Kuramoto sum-of-products program:
+ * range(0) selects the tape (0 plain, 1 FMA-contracted), range(1)
+ * the lane width (1 scalar, 8 lane-batched). items/sec ==
+ * instance-RHS-evaluations per second.
+ */
+void
+BM_MaxcutRhsFma(benchmark::State &state)
+{
+    const bool fma = state.range(0) != 0;
+    const auto width = static_cast<std::size_t>(state.range(1));
+    const compiler::OdeSystem &system = maxcutSystem();
+    const expr::FusedTape &tape = system.rhsTape(fma);
+    const std::size_t n = system.size();
+
+    support::Rng rng(31);
+    if (width == 1) {
+        std::vector<double> input(n), out(n);
+        for (double &v : input)
+            v = rng.uniform(-2.0, 2.0);
+        std::vector<double> regs(
+            static_cast<std::size_t>(tape.numRegs()));
+        for (auto _ : state) {
+            tape.evalInto(input.data(), 1e-9, out.data(), regs.data());
+            benchmark::DoNotOptimize(out.data());
+        }
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations()));
+    } else {
+        expr::LaneTape lanes = expr::LaneTape::broadcast(tape, width);
+        std::vector<double> input(n * width), out(n * width);
+        for (double &v : input)
+            v = rng.uniform(-2.0, 2.0);
+        std::vector<double> regs(lanes.scratchSize());
+        for (auto _ : state) {
+            lanes.evalInto(input.data(), 1e-9, out.data(), regs.data());
+            benchmark::DoNotOptimize(out.data());
+        }
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations() * width));
+    }
+}
+BENCHMARK(BM_MaxcutRhsFma)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 8})
+    ->Args({1, 8});
 
 } // namespace

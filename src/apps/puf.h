@@ -42,8 +42,12 @@ struct PufDesign
      * runs every chip on one homogeneous time grid, which lets a
      * challenge battery lane-batch across chips (the per-chip mismatch
      * weights land in LaneTape's per-lane constant tables while the
-     * instruction stream is shared); Dopri5 falls back to the scalar
-     * adaptive path per chip.
+     * instruction stream is shared) with results bit-identical to
+     * per-chip simulate() calls. Dopri5 batteries lane-batch too,
+     * through the step-voting adaptive driver (sim/batch.h) — all
+     * chips advance on one voted step sequence, so waveforms are
+     * tolerance-level equivalent to per-chip adaptive runs rather
+     * than bit-identical.
      */
     sim::Method simMethod = sim::Method::Rk4;
 
@@ -84,10 +88,12 @@ class TlnPuf
     /**
      * OUT_V waveforms of many chips under one challenge. Each chip's
      * dynamical graph is built and compiled up front, then the whole
-     * battery integrates through sim::simulateEnsemble — with the
-     * default fixed-step design, chips lane-batch into shared
-     * instruction streams (same circuit structure, per-chip mismatch
-     * constants). Results match per-chip waveform() calls exactly.
+     * battery integrates through sim::simulateEnsemble — chips
+     * lane-batch into shared instruction streams (same circuit
+     * structure, per-chip mismatch constants). With the default
+     * fixed-step design, results match per-chip waveform() calls
+     * exactly; a Dopri5 design lane-batches through the step-voting
+     * driver and matches at tolerance level instead.
      * @param numThreads 0 picks the hardware concurrency.
      * @throws ark::support::SimError if any chip's simulation fails
      *         (the structured per-instance failure is surfaced).

@@ -98,6 +98,21 @@ class OdeSystem
     /** The fused whole-system tape (introspection, benchmarks). */
     const expr::FusedTape &fusedTape() const { return fused_; }
 
+    /**
+     * The FMA-contracted variant of the fused tape (single-use
+     * Mul+Add pairs folded into FusedMulAdd, one std::fma rounding
+     * per pair). Same outputs and register file; agrees with
+     * fusedTape() to rounding, not bitwise. Selected on the
+     * simulation hot paths by sim::SimOptions::tapeFma.
+     */
+    const expr::FusedTape &fusedTapeFma() const { return fusedFma_; }
+
+    /** The RHS tape a simulation driver should execute. */
+    const expr::FusedTape &rhsTape(bool fma) const
+    {
+        return fma ? fusedFma_ : fused_;
+    }
+
     /** The per-variable tapes (introspection, benchmarks). */
     const std::vector<expr::Tape> &tapes() const { return tapes_; }
 
@@ -110,6 +125,7 @@ class OdeSystem
     std::vector<expr::ExprPtr> rhs_;
     std::vector<expr::Tape> tapes_;
     expr::FusedTape fused_;
+    expr::FusedTape fusedFma_;
     std::size_t scratchSize_ = 0;
 };
 

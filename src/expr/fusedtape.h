@@ -27,6 +27,20 @@
  * numerically identical to running the per-variable tapes (up to the
  * sign of zero under the x+0 identity).
  *
+ * compile(outputs, fuseMulAdd = true) derives an FMA variant of
+ * the program: a value-graph pass contracts each single-use Mul
+ * feeding an Add into one FusedMulAdd instruction (executed with
+ * std::fma — exactly one rounding for a*b+c, deterministic across
+ * hosts). The pass runs before register allocation so the product's
+ * operands stay live to the fused site. It is a guarded opt-in,
+ * never applied by default: the default program keeps
+ * one-IEEE-rounding-per-arithmetic-step semantics and therefore
+ * stays bit-identical to the per-variable tapes and the interpreter;
+ * the FMA variant agrees with them only to rounding (~1 ulp per
+ * contracted pair) but shortens the stream by one instruction per
+ * contraction. SimOptions::tapeFma selects the variant on the
+ * simulation hot paths.
+ *
  * FusedTape is the third of four execution tiers (see sim/sim.h for
  * the full ladder): tree interpreter -> per-variable Tape -> fused
  * whole-system tape -> lane-parallel LaneTape. The compiled program
@@ -55,11 +69,14 @@ class FusedTape
   public:
     /**
      * Compiles the resolved expressions `outputs[k]` into one fused
-     * program writing `out[k]` for every k.
+     * program writing `out[k]` for every k. With `fuseMulAdd` set,
+     * single-use Mul+Add value pairs contract into FusedMulAdd
+     * instructions (see the file header for the rounding contract).
      * @throws ark::support::CompileError if any tree still contains
      *         Var, Attr, NodeVar, or lambda-callee nodes.
      */
-    static FusedTape compile(const std::vector<ExprPtr> &outputs);
+    static FusedTape compile(const std::vector<ExprPtr> &outputs,
+                             bool fuseMulAdd = false);
 
     /** Number of scratch registers evaluation requires. */
     int numRegs() const { return numRegs_; }
@@ -76,6 +93,17 @@ class FusedTape
      * instrumentation for tests and benchmarks.
      */
     std::size_t fusionSavings() const { return fusionSavings_; }
+
+    /**
+     * Mul+Add pairs contracted into FusedMulAdd instructions; 0
+     * unless the program was compiled with fuseMulAdd. Every
+     * contraction is a Mul whose value fed exactly one Add and
+     * nothing else (not even a WriteOutput); the contracted program
+     * is shorter by this many instructions and agrees with the plain
+     * compile to rounding (the product is no longer rounded before
+     * the add).
+     */
+    std::size_t fmaContractions() const { return fmaContractions_; }
 
     /** Largest state index referenced, or -1 when stateless. */
     int maxStateIndex() const { return maxStateIndex_; }
@@ -105,6 +133,7 @@ class FusedTape
     int numRegs_ = 0;
     std::size_t numOutputs_ = 0;
     std::size_t fusionSavings_ = 0;
+    std::size_t fmaContractions_ = 0;
     int maxStateIndex_ = -1;
 };
 

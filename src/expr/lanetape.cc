@@ -1,6 +1,7 @@
 #include "expr/lanetape.h"
 
 #include <cassert>
+#include <cmath>
 
 #include "expr/builtins.h"
 #include "expr/fusedtape.h"
@@ -242,6 +243,18 @@ LaneTape::evalIntoT(const double *state, double t, double *out,
             const double *c = regs + static_cast<std::size_t>(op.c) * W;
             for (int l = 0; l < W; ++l)
                 d[l] = c[l] != 0.0 ? a[l] : b[l];
+            break;
+          }
+          case OpCode::FusedMulAdd: {
+            // Same std::fma the scalar executor uses: one rounding per
+            // lane, bit-identical to scalar FusedTape evaluation. On
+            // FMA hosts (ARK_ENABLE_NATIVE) this lowers to the fused
+            // instruction; baseline ISAs call libm's soft-fma.
+            const double *a = regs + static_cast<std::size_t>(op.a) * W;
+            const double *b = regs + static_cast<std::size_t>(op.b) * W;
+            const double *c = regs + static_cast<std::size_t>(op.c) * W;
+            for (int l = 0; l < W; ++l)
+                d[l] = std::fma(a[l], b[l], c[l]);
             break;
           }
           case OpCode::CallB: {

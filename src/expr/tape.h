@@ -39,6 +39,16 @@ enum class OpCode : std::uint8_t {
     Select,    ///< dst = r[c] != 0 ? r[a] : r[b]
     CallB,     ///< dst = builtin(r[a], r[b], r[c])
     WriteOutput, ///< out[dst] = r[a] (FusedTape only)
+    /**
+     * dst = fma(r[a], r[b], r[c]) — the product is not rounded before
+     * the add (one rounding for the whole instruction, via std::fma,
+     * so the result is deterministic across hosts and compilers).
+     * Never emitted by the base compilers; produced only by the
+     * guarded Mul+Add contraction in FusedTape::compile(outputs,
+     * fuseMulAdd=true), so default-compiled tape streams never
+     * contain it.
+     */
+    FusedMulAdd,
 };
 
 /** One tape instruction; unused operand slots hold -1. */

@@ -11,6 +11,8 @@
  * fused-vs-interpreted equivalence property tests rely on.
  */
 
+#include <cmath>
+
 #include "expr/builtins.h"
 #include "expr/tape.h"
 #include "support/logging.h"
@@ -63,6 +65,11 @@ execCompute(const TapeOp &op, const double *state, double t,
         return r[op.a] == 0.0 ? 1.0 : 0.0;
       case OpCode::Select:
         return r[op.c] != 0.0 ? r[op.a] : r[op.b];
+      case OpCode::FusedMulAdd:
+        // Exactly one rounding for a*b+c. std::fma, not a*b+c: the
+        // latter would round twice on hosts without FMA contraction
+        // and once on hosts with it, breaking cross-host determinism.
+        return std::fma(r[op.a], r[op.b], r[op.c]);
       case OpCode::CallB: {
         double argv[3];
         int n = 0;

@@ -8,9 +8,11 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "expr/lanetape.h"
+#include "sim/dopri5.h"
 #include "support/error.h"
 #include "support/logging.h"
 
@@ -46,7 +48,8 @@ runLaneRk4(const expr::LaneTape &tape,
            const std::vector<const std::vector<double> *> &initials,
            const std::vector<const compiler::OdeSystem *> &systems,
            double t0, double t1, const SimOptions &options,
-           const std::stop_token &stop)
+           const std::stop_token &stop,
+           const std::function<void(std::size_t)> &laneDone)
 {
     const std::size_t lanes = tape.lanes();
     const std::size_t width = tape.width();
@@ -59,6 +62,7 @@ runLaneRk4(const expr::LaneTape &tape,
         results[lane].steps = steps;
         results[lane].failure =
             detail::divergedFailure(*systems[lane], var, t, steps);
+        laneDone(1);
     };
 
     // SoA blocks, lane-minor; padding lanes replicate lane 0 so their
@@ -135,6 +139,7 @@ runLaneRk4(const expr::LaneTape &tape,
                 results[l].steps = steps;
                 results[l].failure = detail::cancelledFailure(t, steps);
             }
+            laneDone(aliveCount);
             return results;
         }
         for (std::size_t j = 0; j < m; ++j)
@@ -173,8 +178,589 @@ runLaneRk4(const expr::LaneTape &tape,
     for (std::size_t l = 0; l < lanes; ++l)
         if (alive[l])
             results[l].steps = steps;
+    laneDone(aliveCount);
     return results;
 }
+
+/**
+ * Lane-synchronized adaptive Dopri5 over one block ("step voting").
+ *
+ * Every lane advances on ONE shared step size: per step the block
+ * evaluates the six Dormand-Prince stages plus the FSAL stage for all
+ * lanes at once, computes a per-lane error norm, and
+ *
+ *  - accepts the step only when every active lane's error test
+ *    passes, advancing all of them on the shared grid; the next step
+ *    size is the minimum of the per-lane PI controller outputs (the
+ *    most cautious lane wins the vote);
+ *  - otherwise rejects the step for the whole block, charging a
+ *    rejection only to the lanes whose error actually exceeded 1
+ *    (per-lane rejection masking) and shrinking by the controller
+ *    factor of the worst lane.
+ *
+ * A lane whose error estimate or accepted state goes nonfinite is
+ * retired on the spot with a structured divergence failure and stops
+ * voting; the rest of the block integrates on. When enough lanes
+ * retire that a narrower SoA width would hold the survivors, the
+ * block compacts (state/slope columns are re-merged into a fresh
+ * LaneTape of the smaller width); a single surviving lane spills to a
+ * scalar continuation that reuses the exact sim.cc recurrence, so a
+ * degenerate block costs no lane overhead.
+ *
+ * Numerics: the shared grid makes trajectories tolerance-level
+ * equivalent to scalar Dopri5 (every accepted step satisfied every
+ * lane's error test), not bitwise; the voting sequence depends only
+ * on the block membership, so results are bit-identical across
+ * thread counts. Step collapse or budget exhaustion on the shared
+ * step throws for the block as a unit, mirroring the scalar throw
+ * semantics per instance.
+ */
+class LaneDopri5
+{
+  public:
+    LaneDopri5(const std::vector<const expr::FusedTape *> &tapes,
+               const std::vector<const std::vector<double> *> &initials,
+               const std::vector<const compiler::OdeSystem *> &systems,
+               double t0, double t1, const SimOptions &options,
+               const std::stop_token &stop,
+               const std::function<void(std::size_t)> &laneDone)
+        : tapes_(tapes), systems_(systems), options_(options),
+          stop_(stop), laneDone_(laneDone),
+          n_(tapes.front()->numOutputs()), t1_(t1),
+          end_(t1 - 1e-15 * std::max(1.0, std::fabs(t1))),
+          hMax_(options.maxDt > 0 ? options.maxDt : (t1 - t0) / 10.0),
+          t_(t0), h_(options.dt > 0 ? options.dt : (t1 - t0) / 1000.0),
+          recordDt_(options.recordDt), results_(tapes.size())
+    {
+        for (std::size_t member = 0; member < initials.size(); ++member) {
+            const std::vector<double> &init = *initials[member];
+            int bad = firstNonfinite(init.data(), init.size());
+            if (bad >= 0) {
+                results_[member].failure = detail::divergedFailure(
+                    *systems_[member], bad, t0, 0);
+                laneDone_(1);
+                continue;
+            }
+            Lane lane;
+            lane.member = member;
+            lane.state = init;
+            active_.push_back(std::move(lane));
+        }
+        std::size_t estimate =
+            recordDt_ > 0
+                ? static_cast<std::size_t>((t1 - t0) / recordDt_) + 4
+                : 256;
+        estimate = std::min<std::size_t>(estimate, std::size_t{1} << 20);
+        for (const Lane &lane : active_)
+            results_[lane.member].trajectory.reserve(estimate, n_);
+    }
+
+    std::vector<SimResult>
+    run()
+    {
+        // The first block evaluation also produces the k1 slope for
+        // the initial record; after a compaction the slopes carry
+        // over and nothing is re-recorded.
+        bool initial = true;
+        while (!active_.empty() && t_ < end_) {
+            if (active_.size() == 1) {
+                spill(initial);
+                return results_;
+            }
+            if (runBlock(initial) == Status::Done)
+                return results_;
+            initial = false;
+        }
+        // Degenerate ranges (t0 ~ t1): record the initial sample only.
+        if (!active_.empty()) {
+            finishActive(initial);
+        }
+        return results_;
+    }
+
+  private:
+    enum class Status { Done, Compact };
+
+    /** Per-lane state that survives block compaction. */
+    struct Lane
+    {
+        std::size_t member = 0;    ///< Index into the job's results.
+        std::vector<double> state; ///< Current state (n_).
+        std::vector<double> k1;    ///< FSAL slope at (t_, state).
+        double prevErr = 1.0;      ///< Last accepted error norm.
+        std::size_t rejected = 0;  ///< Steps this lane voted down.
+    };
+
+    static int
+    firstNonfinite(const double *x, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            if (!std::isfinite(x[i]))
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    bool
+    recordGateOpen(double t, bool force) const
+    {
+        return force || recordDt_ <= 0.0 ||
+               t - lastRecord_ >= recordDt_ * (1.0 - 1e-12);
+    }
+
+    /** Integrates the current active set as one lane block. */
+    Status
+    runBlock(bool initial)
+    {
+        std::vector<const expr::FusedTape *> blockTapes;
+        blockTapes.reserve(active_.size());
+        for (const Lane &lane : active_)
+            blockTapes.push_back(tapes_[lane.member]);
+        std::optional<expr::LaneTape> merged =
+            expr::LaneTape::merge(blockTapes);
+        // The batch partition already verified compatibility.
+        support::panicIf(!merged.has_value(),
+                         "LaneDopri5: block merge failed");
+        const expr::LaneTape &tape = *merged;
+        const std::size_t L = active_.size();
+        const std::size_t W = tape.width();
+        const std::size_t m = n_ * W;
+
+        std::vector<double> state(m), next(m), tmp(m);
+        std::vector<double> k1(m), k2(m), k3(m), k4(m), k5(m), k6(m),
+            k7(m);
+        std::vector<double> regs(tape.scratchSize());
+        std::vector<double> err(L, 0.0);
+        std::vector<char> alive(L, 1);
+        std::size_t aliveCount = L;
+        // SoA columns, lane-minor; padding lanes replicate slot 0 so
+        // their (discarded) arithmetic stays finite.
+        for (std::size_t s = 0; s < W; ++s) {
+            const Lane &src = active_[s < L ? s : 0];
+            for (std::size_t i = 0; i < n_; ++i)
+                state[i * W + s] = src.state[i];
+            if (!initial) {
+                for (std::size_t i = 0; i < n_; ++i)
+                    k1[i * W + s] = src.k1[i];
+            }
+        }
+
+        std::vector<double> sample(n_), slope(n_);
+        auto record = [&](double t, bool force) {
+            if (!recordGateOpen(t, force))
+                return;
+            for (std::size_t s = 0; s < L; ++s) {
+                if (!alive[s])
+                    continue;
+                for (std::size_t i = 0; i < n_; ++i) {
+                    sample[i] = state[i * W + s];
+                    slope[i] = k1[i * W + s];
+                }
+                results_[active_[s].member].trajectory.addSample(
+                    t, sample, &slope);
+            }
+            lastRecord_ = t;
+        };
+
+        auto retireDiverged = [&](std::size_t s, int var) {
+            SimResult &r = results_[active_[s].member];
+            r.steps = steps_;
+            r.rejectedSteps = active_[s].rejected;
+            r.failure = detail::divergedFailure(*systems_[active_[s].member],
+                                                var, t_, steps_);
+            alive[s] = 0;
+            --aliveCount;
+            laneDone_(1);
+        };
+
+        if (initial) {
+            tape.evalInto(state.data(), t_, k1.data(), regs.data());
+            record(t_, true);
+        }
+
+        using detail::Dopri5;
+        while (t_ < end_) {
+            h_ = std::min(h_, t1_ - t_);
+            h_ = std::min(h_, hMax_);
+            if (h_ < 1e-18 * std::max(1.0, std::fabs(t_)))
+                throw SimError(cat("step size collapsed at t=", t_));
+            if (steps_ + rejectedShared_ >= options_.maxSteps)
+                throw SimError("step budget exhausted (DOPRI5)");
+            if (stop_.stop_requested()) {
+                for (std::size_t s = 0; s < L; ++s) {
+                    if (!alive[s])
+                        continue;
+                    SimResult &r = results_[active_[s].member];
+                    r.steps = steps_;
+                    r.rejectedSteps = active_[s].rejected;
+                    r.failure = detail::cancelledFailure(t_, steps_);
+                }
+                laneDone_(aliveCount);
+                return Status::Done;
+            }
+
+            const double h = h_;
+            for (std::size_t j = 0; j < m; ++j)
+                tmp[j] = state[j] + h * Dopri5::a21 * k1[j];
+            tape.evalInto(tmp.data(), t_ + Dopri5::c2 * h, k2.data(),
+                          regs.data());
+            for (std::size_t j = 0; j < m; ++j) {
+                tmp[j] = state[j] +
+                         h * (Dopri5::a31 * k1[j] + Dopri5::a32 * k2[j]);
+            }
+            tape.evalInto(tmp.data(), t_ + Dopri5::c3 * h, k3.data(),
+                          regs.data());
+            for (std::size_t j = 0; j < m; ++j) {
+                tmp[j] = state[j] +
+                         h * (Dopri5::a41 * k1[j] + Dopri5::a42 * k2[j] +
+                              Dopri5::a43 * k3[j]);
+            }
+            tape.evalInto(tmp.data(), t_ + Dopri5::c4 * h, k4.data(),
+                          regs.data());
+            for (std::size_t j = 0; j < m; ++j) {
+                tmp[j] = state[j] +
+                         h * (Dopri5::a51 * k1[j] + Dopri5::a52 * k2[j] +
+                              Dopri5::a53 * k3[j] + Dopri5::a54 * k4[j]);
+            }
+            tape.evalInto(tmp.data(), t_ + Dopri5::c5 * h, k5.data(),
+                          regs.data());
+            for (std::size_t j = 0; j < m; ++j) {
+                tmp[j] = state[j] +
+                         h * (Dopri5::a61 * k1[j] + Dopri5::a62 * k2[j] +
+                              Dopri5::a63 * k3[j] + Dopri5::a64 * k4[j] +
+                              Dopri5::a65 * k5[j]);
+            }
+            tape.evalInto(tmp.data(), t_ + h, k6.data(), regs.data());
+            for (std::size_t j = 0; j < m; ++j) {
+                next[j] = state[j] +
+                          h * (Dopri5::b1 * k1[j] + Dopri5::b3 * k3[j] +
+                               Dopri5::b4 * k4[j] + Dopri5::b5 * k5[j] +
+                               Dopri5::b6 * k6[j]);
+            }
+            tape.evalInto(next.data(), t_ + h, k7.data(), regs.data());
+
+            // Per-lane scaled error norms (5th vs embedded 4th).
+            for (std::size_t s = 0; s < L; ++s) {
+                if (!alive[s])
+                    continue;
+                double norm = 0.0;
+                for (std::size_t i = 0; i < n_; ++i) {
+                    const std::size_t j = i * W + s;
+                    double y4 =
+                        state[j] +
+                        h * (Dopri5::e1 * k1[j] + Dopri5::e3 * k3[j] +
+                             Dopri5::e4 * k4[j] + Dopri5::e5 * k5[j] +
+                             Dopri5::e6 * k6[j] + Dopri5::e7 * k7[j]);
+                    double scale = options_.absTol +
+                                   options_.relTol *
+                                       std::max(std::fabs(state[j]),
+                                                std::fabs(next[j]));
+                    double e = (next[j] - y4) / scale;
+                    norm += e * e;
+                }
+                err[s] = std::sqrt(norm / static_cast<double>(n_));
+            }
+
+            // A nonfinite error estimate retires the lane right here,
+            // exactly like the scalar driver aborts: error control
+            // can never accept it again. The survivors keep voting.
+            for (std::size_t s = 0; s < L; ++s) {
+                if (!alive[s] || std::isfinite(err[s]))
+                    continue;
+                int bad = firstNonfinite(next.data() + s, n_, W);
+                if (bad < 0)
+                    bad = firstNonfinite(k7.data() + s, n_, W);
+                retireDiverged(s, bad);
+            }
+            if (aliveCount == 0)
+                return Status::Done;
+
+            double worst = 0.0;
+            for (std::size_t s = 0; s < L; ++s)
+                if (alive[s])
+                    worst = std::max(worst, err[s]);
+
+            if (worst <= 1.0) {
+                t_ += h;
+                ++steps_;
+                state.swap(next);
+                k1.swap(k7); // FSAL: last stage is next first stage
+                for (std::size_t s = 0; s < L; ++s) {
+                    if (!alive[s])
+                        continue;
+                    int bad = firstNonfinite(state.data() + s, n_, W);
+                    if (bad >= 0)
+                        retireDiverged(s, bad);
+                }
+                record(t_, false);
+                if (aliveCount == 0)
+                    return Status::Done;
+                // Step voting: the most cautious lane sets the pace.
+                double factor = Dopri5::acceptFactor(err[0], 1.0);
+                bool haveFactor = false;
+                for (std::size_t s = 0; s < L; ++s) {
+                    if (!alive[s])
+                        continue;
+                    double f = Dopri5::acceptFactor(err[s],
+                                                    active_[s].prevErr);
+                    factor = haveFactor ? std::min(factor, f) : f;
+                    haveFactor = true;
+                    active_[s].prevErr = err[s];
+                }
+                h_ *= factor;
+            } else {
+                ++rejectedShared_;
+                for (std::size_t s = 0; s < L; ++s)
+                    if (alive[s] && err[s] > 1.0)
+                        ++active_[s].rejected;
+                h_ *= Dopri5::rejectFactor(worst);
+            }
+
+            // Too few survivors to pay for this width: extract the
+            // live columns and let the caller rebuild (or spill) —
+            // but only while integration work remains. Compacting on
+            // the very step that reached t1 would skip the forced
+            // final record below and end the surviving trajectories
+            // on the last gated sample instead of t1.
+            if (aliveCount < L && t_ < end_ &&
+                (aliveCount == 1 || aliveCount <= W / 2)) {
+                compactInto(state, k1, alive, W);
+                return Status::Compact;
+            }
+        }
+
+        record(t_, true);
+        for (std::size_t s = 0; s < L; ++s) {
+            if (!alive[s])
+                continue;
+            SimResult &r = results_[active_[s].member];
+            r.steps = steps_;
+            r.rejectedSteps = active_[s].rejected;
+        }
+        laneDone_(aliveCount);
+        return Status::Done;
+    }
+
+    /** First nonfinite of a lane's strided column, or -1. */
+    static int
+    firstNonfinite(const double *column, std::size_t n, std::size_t stride)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            if (!std::isfinite(column[i * stride]))
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    /** Saves surviving columns into active_ and drops retired lanes. */
+    void
+    compactInto(const std::vector<double> &state,
+                const std::vector<double> &k1,
+                const std::vector<char> &alive, std::size_t W)
+    {
+        std::vector<Lane> survivors;
+        survivors.reserve(active_.size());
+        for (std::size_t s = 0; s < active_.size(); ++s) {
+            if (!alive[s])
+                continue;
+            Lane lane = std::move(active_[s]);
+            lane.state.resize(n_);
+            lane.k1.resize(n_);
+            for (std::size_t i = 0; i < n_; ++i) {
+                lane.state[i] = state[i * W + s];
+                lane.k1[i] = k1[i * W + s];
+            }
+            survivors.push_back(std::move(lane));
+        }
+        active_ = std::move(survivors);
+    }
+
+    /**
+     * Scalar continuation of the last surviving lane: the sim.cc
+     * Dopri5 recurrence (same tableau, same controller, same
+     * divergence handling) resumed from the block's shared (t, h)
+     * with the lane's own FSAL slope and PI history.
+     */
+    void
+    spill(bool initial)
+    {
+        using detail::Dopri5;
+        Lane lane = std::move(active_.front());
+        active_.clear();
+        const expr::FusedTape &tape = *tapes_[lane.member];
+        SimResult &r = results_[lane.member];
+        const std::size_t n = n_;
+
+        std::vector<double> state = std::move(lane.state);
+        std::vector<double> k1 = std::move(lane.k1);
+        k1.resize(n);
+        std::vector<double> k2(n), k3(n), k4(n), k5(n), k6(n), k7(n);
+        std::vector<double> tmp(n), next(n);
+        std::vector<double> regs(
+            static_cast<std::size_t>(tape.numRegs()));
+        double prevErr = lane.prevErr;
+
+        auto record = [&](double t, bool force) {
+            if (!recordGateOpen(t, force))
+                return;
+            r.trajectory.addSample(t, state, &k1);
+            lastRecord_ = t;
+        };
+
+        if (initial) {
+            tape.evalInto(state.data(), t_, k1.data(), regs.data());
+            record(t_, true);
+        }
+
+        while (t_ < end_) {
+            h_ = std::min(h_, t1_ - t_);
+            h_ = std::min(h_, hMax_);
+            if (h_ < 1e-18 * std::max(1.0, std::fabs(t_)))
+                throw SimError(cat("step size collapsed at t=", t_));
+            if (steps_ + rejectedShared_ >= options_.maxSteps)
+                throw SimError("step budget exhausted (DOPRI5)");
+            if (stop_.stop_requested()) {
+                r.steps = steps_;
+                r.rejectedSteps = lane.rejected;
+                r.failure = detail::cancelledFailure(t_, steps_);
+                laneDone_(1);
+                return;
+            }
+
+            const double h = h_;
+            for (std::size_t i = 0; i < n; ++i)
+                tmp[i] = state[i] + h * Dopri5::a21 * k1[i];
+            tape.evalInto(tmp.data(), t_ + Dopri5::c2 * h, k2.data(),
+                          regs.data());
+            for (std::size_t i = 0; i < n; ++i) {
+                tmp[i] = state[i] +
+                         h * (Dopri5::a31 * k1[i] + Dopri5::a32 * k2[i]);
+            }
+            tape.evalInto(tmp.data(), t_ + Dopri5::c3 * h, k3.data(),
+                          regs.data());
+            for (std::size_t i = 0; i < n; ++i) {
+                tmp[i] = state[i] +
+                         h * (Dopri5::a41 * k1[i] + Dopri5::a42 * k2[i] +
+                              Dopri5::a43 * k3[i]);
+            }
+            tape.evalInto(tmp.data(), t_ + Dopri5::c4 * h, k4.data(),
+                          regs.data());
+            for (std::size_t i = 0; i < n; ++i) {
+                tmp[i] = state[i] +
+                         h * (Dopri5::a51 * k1[i] + Dopri5::a52 * k2[i] +
+                              Dopri5::a53 * k3[i] + Dopri5::a54 * k4[i]);
+            }
+            tape.evalInto(tmp.data(), t_ + Dopri5::c5 * h, k5.data(),
+                          regs.data());
+            for (std::size_t i = 0; i < n; ++i) {
+                tmp[i] = state[i] +
+                         h * (Dopri5::a61 * k1[i] + Dopri5::a62 * k2[i] +
+                              Dopri5::a63 * k3[i] + Dopri5::a64 * k4[i] +
+                              Dopri5::a65 * k5[i]);
+            }
+            tape.evalInto(tmp.data(), t_ + h, k6.data(), regs.data());
+            for (std::size_t i = 0; i < n; ++i) {
+                next[i] = state[i] +
+                          h * (Dopri5::b1 * k1[i] + Dopri5::b3 * k3[i] +
+                               Dopri5::b4 * k4[i] + Dopri5::b5 * k5[i] +
+                               Dopri5::b6 * k6[i]);
+            }
+            tape.evalInto(next.data(), t_ + h, k7.data(), regs.data());
+
+            double errNorm = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                double y4 = state[i] +
+                            h * (Dopri5::e1 * k1[i] + Dopri5::e3 * k3[i] +
+                                 Dopri5::e4 * k4[i] + Dopri5::e5 * k5[i] +
+                                 Dopri5::e6 * k6[i] + Dopri5::e7 * k7[i]);
+                double scale = options_.absTol +
+                               options_.relTol *
+                                   std::max(std::fabs(state[i]),
+                                            std::fabs(next[i]));
+                double e = (next[i] - y4) / scale;
+                errNorm += e * e;
+            }
+            errNorm = std::sqrt(errNorm / static_cast<double>(n));
+
+            if (!std::isfinite(errNorm)) {
+                int bad = firstNonfinite(next.data(), n);
+                if (bad < 0)
+                    bad = firstNonfinite(k7.data(), n);
+                r.steps = steps_;
+                r.rejectedSteps = lane.rejected;
+                r.failure = detail::divergedFailure(*systems_[lane.member],
+                                                    bad, t_, steps_);
+                laneDone_(1);
+                return;
+            }
+
+            if (errNorm <= 1.0) {
+                t_ += h;
+                ++steps_;
+                state.swap(next);
+                std::swap(k1, k7);
+                if (int bad = firstNonfinite(state.data(), n); bad >= 0) {
+                    r.steps = steps_;
+                    r.rejectedSteps = lane.rejected;
+                    r.failure = detail::divergedFailure(
+                        *systems_[lane.member], bad, t_, steps_);
+                    laneDone_(1);
+                    return;
+                }
+                record(t_, false);
+                h_ *= Dopri5::acceptFactor(errNorm, prevErr);
+                prevErr = errNorm;
+            } else {
+                ++rejectedShared_;
+                ++lane.rejected;
+                h_ *= Dopri5::rejectFactor(errNorm);
+            }
+        }
+        record(t_, true);
+        r.steps = steps_;
+        r.rejectedSteps = lane.rejected;
+        laneDone_(1);
+    }
+
+    /** Degenerate (t0 ~ t1) finish: record the initial state only. */
+    void
+    finishActive(bool initial)
+    {
+        for (Lane &lane : active_) {
+            SimResult &r = results_[lane.member];
+            if (initial) {
+                lane.k1.resize(n_);
+                std::vector<double> regs(static_cast<std::size_t>(
+                    tapes_[lane.member]->numRegs()));
+                tapes_[lane.member]->evalInto(lane.state.data(), t_,
+                                              lane.k1.data(), regs.data());
+                r.trajectory.addSample(t_, lane.state, &lane.k1);
+            }
+            r.steps = steps_;
+            r.rejectedSteps = lane.rejected;
+        }
+        laneDone_(active_.size());
+        active_.clear();
+    }
+
+    const std::vector<const expr::FusedTape *> &tapes_;
+    const std::vector<const compiler::OdeSystem *> &systems_;
+    const SimOptions &options_;
+    const std::stop_token &stop_;
+    const std::function<void(std::size_t)> &laneDone_;
+
+    const std::size_t n_;  ///< State variables per instance.
+    const double t1_;
+    const double end_;     ///< t1 minus the loop-exit epsilon.
+    const double hMax_;
+
+    double t_;             ///< Shared integration time.
+    double h_;             ///< Shared (voted) step size.
+    double lastRecord_ = -1.0;
+    double recordDt_;
+    std::size_t steps_ = 0;          ///< Shared accepted steps.
+    std::size_t rejectedShared_ = 0; ///< Shared rejected block steps.
+    std::vector<Lane> active_;
+    std::vector<SimResult> results_;
+};
 
 /** One pool job: a lane block (2+ members) or a scalar instance. */
 struct Job
@@ -404,9 +990,11 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
     // like [A, B, A, B, ...] still lane-batch per structure), then
     // each class splits into blocks of up to kMaxLanes. Partitioning
     // depends only on the batch, never on thread count, and results
-    // are written by original index, so ordering is preserved.
-    const bool laneEligible =
-        options.laneBatching && options.sim.method == Method::Rk4;
+    // are written by original index, so ordering is preserved. Both
+    // integrators lane-batch; Rk4 blocks run the fixed-step driver,
+    // Dopri5 blocks the step-voting adaptive driver.
+    const bool laneEligible = options.laneBatching;
+    const bool fma = options.sim.tapeFma;
     std::vector<std::vector<std::size_t>> classes;
     for (std::size_t i = 0; i < count; ++i) {
         if (laneEligible) {
@@ -416,7 +1004,7 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
                     systemOf(cls.front());
                 if (&systemOf(i) == &leader ||
                     expr::LaneTape::compatible(
-                        leader.fusedTape(), systemOf(i).fusedTape())) {
+                        leader.rhsTape(fma), systemOf(i).rhsTape(fma))) {
                     cls.push_back(i);
                     placed = true;
                     break;
@@ -446,13 +1034,33 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
     std::mutex progressMutex;
     std::size_t completed = 0;
 
+    // Per-instance progress: both lane drivers report each instance
+    // the moment it completes (finish, divergence retirement, or
+    // cancellation), so `completed` ticks consistently across the
+    // scalar and batched paths and stays strictly increasing under
+    // lane retirement.
+    auto instanceDone = [&](std::size_t done) {
+        if (done == 0 || !options.progress)
+            return;
+        std::lock_guard lock(progressMutex);
+        completed += done;
+        options.progress(completed, count);
+    };
+
     auto runJob = [&](std::size_t jobIndex) {
         const Job &job = jobs[jobIndex];
+        std::size_t reported = 0;
+        std::function<void(std::size_t)> laneDone =
+            [&](std::size_t done) {
+                reported += done;
+                instanceDone(done);
+            };
         try {
             if (options.stop.stop_requested()) {
                 // Skipped before starting: no samples at all.
                 for (std::size_t member : job.members)
                     results[member] = cancelledResult(t0);
+                laneDone(job.members.size());
             } else if (job.lane) {
                 std::vector<const expr::FusedTape *> tapes;
                 std::vector<const std::vector<double> *> inits;
@@ -461,18 +1069,27 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
                 inits.reserve(job.members.size());
                 blockSystems.reserve(job.members.size());
                 for (std::size_t member : job.members) {
-                    tapes.push_back(&systemOf(member).fusedTape());
+                    tapes.push_back(
+                        &systemOf(member).rhsTape(options.sim.tapeFma));
                     inits.push_back(&initialOf(member));
                     blockSystems.push_back(&systemOf(member));
                 }
-                std::optional<expr::LaneTape> tape =
-                    expr::LaneTape::merge(tapes);
-                // Partitioning already verified compatibility.
-                support::panicIf(!tape.has_value(),
-                                 "BatchRunner: lane merge failed");
-                std::vector<SimResult> block =
-                    runLaneRk4(*tape, inits, blockSystems, t0, t1,
-                               options.sim, options.stop);
+                std::vector<SimResult> block;
+                if (options.sim.method == Method::Rk4) {
+                    std::optional<expr::LaneTape> tape =
+                        expr::LaneTape::merge(tapes);
+                    // Partitioning already verified compatibility.
+                    support::panicIf(!tape.has_value(),
+                                     "BatchRunner: lane merge failed");
+                    block = runLaneRk4(*tape, inits, blockSystems, t0,
+                                       t1, options.sim, options.stop,
+                                       laneDone);
+                } else {
+                    block = LaneDopri5(tapes, inits, blockSystems, t0,
+                                       t1, options.sim, options.stop,
+                                       laneDone)
+                                .run();
+                }
                 for (std::size_t k = 0; k < job.members.size(); ++k)
                     results[job.members[k]] = std::move(block[k]);
             } else {
@@ -480,16 +1097,16 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
                 results[member] = detail::simulateWithStop(
                     systemOf(member), initialOf(member), t0, t1,
                     options.sim, options.stop);
+                laneDone(1);
             }
         } catch (...) {
             for (std::size_t member : job.members)
                 errors[member] = std::current_exception();
         }
-        if (options.progress) {
-            std::lock_guard lock(progressMutex);
-            completed += job.members.size();
-            options.progress(completed, count);
-        }
+        // A thrown block (step collapse, budget) still accounts for
+        // every member so `completed` reaches `total` exactly once.
+        if (reported < job.members.size())
+            instanceDone(job.members.size() - reported);
     };
 
     unsigned requested = options.numThreads;

@@ -8,17 +8,38 @@
  * BatchRunner is the ensemble tier of the execution stack (tier 4 in
  * sim.h's ladder): it partitions an N-instance batch into lane blocks
  * of up to expr::LaneTape::kMaxLanes instances that share one fused
- * program structure, integrates each block with a lane-batched
- * fixed-step RK4 (one instruction stream driving a structure-of-arrays
- * state block), and falls back to the scalar fused path per instance
- * whenever lane batching does not apply:
+ * program structure and integrates each block over a
+ * structure-of-arrays state block — one instruction stream, all
+ * lanes per dispatch:
  *
- *  - adaptive integration (Dopri5): per-instance step control makes
- *    the time grids diverge, so instances run scalar;
- *  - structurally heterogeneous batches: instances whose fused
- *    programs differ beyond Const immediates cannot share a stream
- *    (per-lane constant tables absorb parameter differences only);
- *  - singleton blocks: one lane would just add SoA overhead.
+ *  - Rk4 blocks run the lane-batched fixed-step driver on the shared
+ *    grid; every lane's trajectory is bit-identical to serial
+ *    simulate() of that instance.
+ *  - Dopri5 blocks run the lane-synchronized adaptive driver ("step
+ *    voting"): per step, every lane gets its own embedded error
+ *    estimate, the block accepts only when every active lane's error
+ *    test passes, and the next shared step size is the minimum of
+ *    the per-lane PI controller outputs. Rejections are charged only
+ *    to the lanes whose error exceeded 1 (per-lane rejection
+ *    masking). A diverging lane (nonfinite error estimate or
+ *    accepted state) retires on the spot with a structured failure
+ *    while the rest keep integrating; when survivors fit a narrower
+ *    SoA width the block compacts, and a single survivor spills to a
+ *    scalar continuation of the exact sim.cc recurrence. The shared
+ *    voted grid makes batched adaptive trajectories tolerance-level
+ *    equivalent to serial Dopri5 (every accepted step satisfied
+ *    every lane's error test; empirically the voted grid, being the
+ *    min over lanes, tracks a tight reference closer than the scalar
+ *    runs do), NOT bitwise — and still bit-identical across thread
+ *    counts, because the voting sequence depends only on the block
+ *    assignment.
+ *
+ * The scalar fused path remains for instances lane batching cannot
+ * take: structurally heterogeneous batches (fused programs differing
+ * beyond Const immediates — per-lane constant tables absorb
+ * parameter differences only), singleton blocks, and
+ * laneBatching=false ablation runs; those results are bit-identical
+ * to serial simulate() for both integrators.
  *
  * Both paths run on a persistent std::jthread worker pool owned by the
  * runner and reused across calls — no per-call thread spawn/join. The
@@ -26,12 +47,13 @@
  * to the requested concurrency.
  *
  * Determinism: block partitioning depends only on the batch, never on
- * thread count or scheduling, and every lane executes the exact
- * scalar instruction sequence, so results are bit-identical to serial
- * simulate() per instance on both paths at any thread count.
- * Divergence is masked per lane: a NaN instance aborts early with a
- * structured SimResult failure while the rest of its block keeps
- * integrating.
+ * thread count or scheduling; each block integrates independently, so
+ * results at any thread count equal the single-thread results on
+ * every path. EnsembleOptions::progress ticks per completed instance
+ * — including lanes that retire mid-block — strictly increasing to
+ * the total. SimOptions::tapeFma routes every driver (scalar and
+ * lane) through the FMA-contracted tape variant uniformly, so the
+ * lane-vs-scalar identity contracts above hold for either setting.
  */
 
 #include <memory>

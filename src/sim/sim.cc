@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/batch.h"
+#include "sim/dopri5.h"
 #include "support/error.h"
 #include "support/logging.h"
 
@@ -136,6 +137,9 @@ struct Driver
     const compiler::OdeSystem &system;
     const SimOptions &options;
     const std::stop_token &stop;
+    /** The RHS program: the plain fused tape, or its FMA-contracted
+     *  variant when options.tapeFma is set. */
+    const expr::FusedTape &tape;
     SimResult result;
     std::vector<double> scratch;
     double lastRecord = -1.0;
@@ -144,8 +148,15 @@ struct Driver
     Driver(const compiler::OdeSystem &sys, const SimOptions &opts,
            const std::stop_token &stopToken)
         : system(sys), options(opts), stop(stopToken),
+          tape(sys.rhsTape(opts.tapeFma)), scratch(sys.scratchSize()),
           recordDt(opts.recordDt)
     {
+    }
+
+    void
+    evalRhs(const double *state, double t, double *dstate)
+    {
+        tape.evalInto(state, t, dstate, scratch.data());
     }
 
     void
@@ -190,7 +201,7 @@ runRk4(Driver &driver, std::vector<double> &state, double t0, double t1,
     // first stage of the next step: (state, t) is unchanged between
     // the end-of-step recording eval and the loop top, so each step
     // costs four RHS evaluations, not five.
-    driver.system.evalRhs(state.data(), t, k1.data(), driver.scratch);
+    driver.evalRhs(state.data(), t, k1.data());
     driver.record(t, state, true, &k1);
     while (t < t1 - 1e-15 * std::max(1.0, std::fabs(t1))) {
         double h = std::min(dt, t1 - t);
@@ -200,16 +211,13 @@ runRk4(Driver &driver, std::vector<double> &state, double t0, double t1,
             return;
         for (std::size_t i = 0; i < n; ++i)
             tmp[i] = state[i] + 0.5 * h * k1[i];
-        driver.system.evalRhs(tmp.data(), t + 0.5 * h, k2.data(),
-                              driver.scratch);
+        driver.evalRhs(tmp.data(), t + 0.5 * h, k2.data());
         for (std::size_t i = 0; i < n; ++i)
             tmp[i] = state[i] + 0.5 * h * k2[i];
-        driver.system.evalRhs(tmp.data(), t + 0.5 * h, k3.data(),
-                              driver.scratch);
+        driver.evalRhs(tmp.data(), t + 0.5 * h, k3.data());
         for (std::size_t i = 0; i < n; ++i)
             tmp[i] = state[i] + h * k3[i];
-        driver.system.evalRhs(tmp.data(), t + h, k4.data(),
-                              driver.scratch);
+        driver.evalRhs(tmp.data(), t + h, k4.data());
         for (std::size_t i = 0; i < n; ++i) {
             state[i] += h / 6.0 *
                         (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
@@ -220,8 +228,7 @@ runRk4(Driver &driver, std::vector<double> &state, double t0, double t1,
             driver.failDiverged(bad, t);
             return;
         }
-        driver.system.evalRhs(state.data(), t, k1.data(),
-                              driver.scratch);
+        driver.evalRhs(state.data(), t, k1.data());
         driver.record(t, state, false, &k1);
     }
     driver.record(t, state, true, &k1);
@@ -232,24 +239,26 @@ void
 runDopri5(Driver &driver, std::vector<double> &state, double t0, double t1,
           double h0, double hMax)
 {
-    // Butcher tableau (Dormand & Prince 1980).
-    static const double c2 = 1.0 / 5, c3 = 3.0 / 10, c4 = 4.0 / 5,
-                        c5 = 8.0 / 9;
-    static const double a21 = 1.0 / 5;
-    static const double a31 = 3.0 / 40, a32 = 9.0 / 40;
-    static const double a41 = 44.0 / 45, a42 = -56.0 / 15, a43 = 32.0 / 9;
-    static const double a51 = 19372.0 / 6561, a52 = -25360.0 / 2187,
-                        a53 = 64448.0 / 6561, a54 = -212.0 / 729;
-    static const double a61 = 9017.0 / 3168, a62 = -355.0 / 33,
-                        a63 = 46732.0 / 5247, a64 = 49.0 / 176,
-                        a65 = -5103.0 / 18656;
-    static const double b1 = 35.0 / 384, b3 = 500.0 / 1113,
-                        b4 = 125.0 / 192, b5 = -2187.0 / 6784,
-                        b6 = 11.0 / 84;
-    // Embedded 4th-order weights.
-    static const double e1 = 5179.0 / 57600, e3 = 7571.0 / 16695,
-                        e4 = 393.0 / 640, e5 = -92097.0 / 339200,
-                        e6 = 187.0 / 2100, e7 = 1.0 / 40;
+    // Tableau and controller shared with the lane-batched adaptive
+    // driver (sim/dopri5.h): the voting driver's spill path only
+    // continues a lane exactly like this loop because both use the
+    // identical coefficient expressions.
+    using detail::Dopri5;
+    constexpr double c2 = Dopri5::c2, c3 = Dopri5::c3, c4 = Dopri5::c4,
+                     c5 = Dopri5::c5;
+    constexpr double a21 = Dopri5::a21;
+    constexpr double a31 = Dopri5::a31, a32 = Dopri5::a32;
+    constexpr double a41 = Dopri5::a41, a42 = Dopri5::a42,
+                     a43 = Dopri5::a43;
+    constexpr double a51 = Dopri5::a51, a52 = Dopri5::a52,
+                     a53 = Dopri5::a53, a54 = Dopri5::a54;
+    constexpr double a61 = Dopri5::a61, a62 = Dopri5::a62,
+                     a63 = Dopri5::a63, a64 = Dopri5::a64,
+                     a65 = Dopri5::a65;
+    constexpr double b1 = Dopri5::b1, b3 = Dopri5::b3, b4 = Dopri5::b4,
+                     b5 = Dopri5::b5, b6 = Dopri5::b6;
+    constexpr double e1 = Dopri5::e1, e3 = Dopri5::e3, e4 = Dopri5::e4,
+                     e5 = Dopri5::e5, e6 = Dopri5::e6, e7 = Dopri5::e7;
 
     const std::size_t n = driver.system.size();
     std::vector<double> k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), k7(n);
@@ -258,7 +267,7 @@ runDopri5(Driver &driver, std::vector<double> &state, double t0, double t1,
     double t = t0;
     double h = h0;
     double prevErr = 1.0;
-    driver.system.evalRhs(state.data(), t, k1.data(), driver.scratch);
+    driver.evalRhs(state.data(), t, k1.data());
     driver.record(t, state, true, &k1);
 
     while (t < t1 - 1e-15 * std::max(1.0, std::fabs(t1))) {
@@ -275,38 +284,32 @@ runDopri5(Driver &driver, std::vector<double> &state, double t0, double t1,
 
         for (std::size_t i = 0; i < n; ++i)
             tmp[i] = state[i] + h * a21 * k1[i];
-        driver.system.evalRhs(tmp.data(), t + c2 * h, k2.data(),
-                              driver.scratch);
+        driver.evalRhs(tmp.data(), t + c2 * h, k2.data());
         for (std::size_t i = 0; i < n; ++i)
             tmp[i] = state[i] + h * (a31 * k1[i] + a32 * k2[i]);
-        driver.system.evalRhs(tmp.data(), t + c3 * h, k3.data(),
-                              driver.scratch);
+        driver.evalRhs(tmp.data(), t + c3 * h, k3.data());
         for (std::size_t i = 0; i < n; ++i) {
             tmp[i] = state[i] +
                      h * (a41 * k1[i] + a42 * k2[i] + a43 * k3[i]);
         }
-        driver.system.evalRhs(tmp.data(), t + c4 * h, k4.data(),
-                              driver.scratch);
+        driver.evalRhs(tmp.data(), t + c4 * h, k4.data());
         for (std::size_t i = 0; i < n; ++i) {
             tmp[i] = state[i] + h * (a51 * k1[i] + a52 * k2[i] +
                                      a53 * k3[i] + a54 * k4[i]);
         }
-        driver.system.evalRhs(tmp.data(), t + c5 * h, k5.data(),
-                              driver.scratch);
+        driver.evalRhs(tmp.data(), t + c5 * h, k5.data());
         for (std::size_t i = 0; i < n; ++i) {
             tmp[i] = state[i] + h * (a61 * k1[i] + a62 * k2[i] +
                                      a63 * k3[i] + a64 * k4[i] +
                                      a65 * k5[i]);
         }
-        driver.system.evalRhs(tmp.data(), t + h, k6.data(),
-                              driver.scratch);
+        driver.evalRhs(tmp.data(), t + h, k6.data());
         for (std::size_t i = 0; i < n; ++i) {
             next[i] = state[i] + h * (b1 * k1[i] + b3 * k3[i] +
                                       b4 * k4[i] + b5 * k5[i] +
                                       b6 * k6[i]);
         }
-        driver.system.evalRhs(next.data(), t + h, k7.data(),
-                              driver.scratch);
+        driver.evalRhs(next.data(), t + h, k7.data());
 
         // Error estimate: difference of 5th and embedded 4th order.
         double errNorm = 0.0;
@@ -346,16 +349,11 @@ runDopri5(Driver &driver, std::vector<double> &state, double t0, double t1,
             }
             driver.record(t, state, false, &k1);
             // PI controller (Gustafsson): smooth step adaptation.
-            double factor = 0.9 *
-                            std::pow(errNorm > 0 ? errNorm : 1e-10, -0.7 / 5.0) *
-                            std::pow(prevErr > 0 ? prevErr : 1e-10, 0.4 / 5.0);
-            factor = std::clamp(factor, 0.2, 5.0);
-            h *= factor;
+            h *= Dopri5::acceptFactor(errNorm, prevErr);
             prevErr = errNorm;
         } else {
             ++driver.result.rejectedSteps;
-            double factor = std::max(0.1, 0.9 * std::pow(errNorm, -0.2));
-            h *= factor;
+            h *= Dopri5::rejectFactor(errNorm);
         }
     }
     driver.record(t, state, true, &k1);

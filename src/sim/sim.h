@@ -27,15 +27,29 @@
  *     once, amortizing instruction dispatch and autovectorizing the
  *     lane loops.
  *
- * Tier 4 is selected automatically by simulateEnsemble for fixed-step
- * (Rk4) ensembles whose instances share one program structure — one
- * system with many initial states, or distinct systems that differ
- * only in constants (per-chip mismatch). Adaptive (Dopri5) or
- * structurally heterogeneous batches fall back to tier 3 per
- * instance. Both batch paths run on BatchRunner's persistent worker
- * pool, honor EnsembleOptions::progress/stop, and produce results
- * bit-identical to serial simulate() per instance at any thread
- * count.
+ * Tier 4 is selected automatically by simulateEnsemble for ensembles
+ * whose instances share one program structure — one system with many
+ * initial states, or distinct systems that differ only in constants
+ * (per-chip mismatch) — under BOTH integrators:
+ *
+ *  - Rk4 blocks run the lane-batched fixed-step driver on the shared
+ *    time grid; every lane's trajectory is bit-identical to serial
+ *    simulate() of that instance.
+ *  - Dopri5 blocks run the lane-synchronized adaptive driver
+ *    (sim/batch.h): all lanes advance on ONE shared step size chosen
+ *    by min-over-active-lanes of the PI controller ("step voting"),
+ *    with per-lane error estimates and rejection masking. The shared
+ *    grid means the step sequence differs from a per-instance scalar
+ *    Dopri5 run, so batched adaptive results agree with serial
+ *    simulate() at tolerance level (each accepted step satisfies
+ *    every lane's error test), NOT bitwise. They ARE bit-identical
+ *    across thread counts, and EnsembleOptions::laneBatching = false
+ *    restores the exact scalar path.
+ *
+ * Structurally heterogeneous instances and singleton blocks fall back
+ * to tier 3 per instance (bit-identical to serial simulate() for both
+ * integrators). Both batch paths run on BatchRunner's persistent
+ * worker pool and honor EnsembleOptions::progress/stop.
  */
 
 #include <cstdint>
@@ -71,6 +85,23 @@ struct SimOptions
     double maxDt = 0.0;
     double recordDt = 0.0;  ///< Sampling interval; 0 records every step.
     std::size_t maxSteps = 50'000'000; ///< Hard stop against stalls.
+
+    /**
+     * Evaluate the RHS through the FMA-contracted tape variant
+     * (expr::FusedTape::compile with fuseMulAdd): single-use Mul+Add pairs
+     * execute as one FusedMulAdd instruction via std::fma — exactly
+     * one rounding for a*b+c, deterministic across hosts. Off by
+     * default: the contracted program agrees with the plain tape only
+     * to rounding (~1 ulp per pair), so the default build keeps the
+     * tier-equivalence bit contract. Lane and scalar paths honor the
+     * flag identically, so lane-vs-scalar bit identity holds for
+     * either setting. Perf note: the contraction removes one
+     * instruction per pair but only pays off where std::fma is a
+     * hardware instruction (ARK_ENABLE_NATIVE on FMA hosts);
+     * baseline-ISA builds route through libm's soft fma, which is
+     * slower than Mul+Add.
+     */
+    bool tapeFma = false;
 };
 
 /**
@@ -208,17 +239,24 @@ struct EnsembleOptions
     unsigned numThreads = 0;
 
     /**
-     * Lane-batch eligible instances through expr::LaneTape (fixed-step
-     * Rk4 + shared program structure). Off forces the scalar
-     * per-instance path — ablation benchmarks and differential tests;
-     * results are bit-identical either way.
+     * Lane-batch structurally compatible instances through
+     * expr::LaneTape — fixed-step Rk4 on the shared grid, adaptive
+     * Dopri5 through the lane-synchronized step-voting driver. Off
+     * forces the scalar per-instance path (ablation benchmarks and
+     * differential tests). Rk4 results are bit-identical either way;
+     * Dopri5 results are tolerance-level equivalent (the voting
+     * driver integrates on a shared step sequence) and become
+     * bit-identical to serial simulate() only with laneBatching off.
      */
     bool laneBatching = true;
 
     /**
      * Optional completion callback: invoked with (completed, total)
-     * after each instance (scalar path) or lane block (batch path)
-     * finishes. Serialized internally — the callback never runs
+     * as each instance completes, on the scalar and lane paths alike
+     * (a lane that retires mid-block — divergence, cancellation —
+     * reports the moment it retires, not when its block ends).
+     * `completed` is strictly increasing and reaches `total` exactly
+     * once. Serialized internally — the callback never runs
      * concurrently with itself — but it may be invoked from worker
      * threads; keep it cheap and do not call back into the ensemble
      * API from inside it.
@@ -238,14 +276,21 @@ struct EnsembleOptions
 /**
  * Integrates N instances of one system concurrently, instance i
  * starting from initialStates[i]. Results are positionally ordered
- * and bit-identical to calling simulate(system, initialStates[i],
- * t0, t1, options.sim) serially, for every thread count and for both
- * the lane-batched and scalar paths.
+ * and deterministic for every thread count. Rk4 batches (and any
+ * batch with laneBatching off) are bit-identical to calling
+ * simulate(system, initialStates[i], t0, t1, options.sim) serially;
+ * lane-batched Dopri5 batches integrate on a shared voted step
+ * sequence and agree with the serial runs at tolerance level instead
+ * (see the file header). The voting sequence depends only on the
+ * block assignment, so batched adaptive results are still
+ * bit-identical across thread counts.
  *
  * Divergence no longer throws — the affected instance's result
  * carries a structured failure. If any instance throws (step budget,
  * step collapse), the remaining instances still run to completion and
- * the lowest-indexed error is rethrown.
+ * the lowest-indexed error is rethrown (a lane-batched Dopri5 block
+ * throws as a unit: step collapse on the shared step affects every
+ * member of the block).
  */
 std::vector<SimResult> simulateEnsemble(
     const compiler::OdeSystem &system,

@@ -171,6 +171,12 @@ TransientBatch::run(const std::vector<const Netlist *> &netlists,
                     try {
                         leaderStepper[leader].emplace(*systems[leader],
                                                       dt);
+                        // Non-divisible grids end on one fractional
+                        // step; factor its operator once here so
+                        // members share (or numerically refactor) it
+                        // instead of one-off-factoring per instance.
+                        leaderStepper[leader]->prepareFinalStep(
+                            *systems[leader], finalStepSize(t0, t1, dt));
                     } catch (...) {
                         // Leader factorization failed (singular, out
                         // of memory, ...): leave no shared stepper;

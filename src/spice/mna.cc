@@ -530,6 +530,48 @@ TransientStepper::TransientStepper(const SparseMnaSystem &system,
     }
 }
 
+double
+finalStepSize(double t0, double t1, double dt)
+{
+    // Mirror the stepping loop exactly: t accumulates by repeated
+    // addition, so the final remainder carries the same rounding the
+    // integrator will compute.
+    double t = t0;
+    double h = dt;
+    while (t < t1 - stepEndEpsilon(t1)) {
+        h = std::min(dt, t1 - t);
+        t += h;
+    }
+    return h;
+}
+
+void
+TransientStepper::prepareFinalStep(const SparseMnaSystem &system,
+                                   double h)
+{
+    finalLu_.reset();
+    finalA_ = support::SparseMatrix();
+    finalB_ = support::SparseMatrix();
+    finalH_ = 0.0;
+    if (!(h > 0.0) || h == dt_)
+        return; // no fractional final step on this grid
+    // A singular final companion is a per-run event on the one-off
+    // path; keep that contract by simply not preparing the operator.
+    try {
+        support::SparseMatrix a = system.companionA(h);
+        support::SparseMatrix b = system.companionB(h);
+        finalLu_.emplace(a);
+        finalA_ = std::move(a);
+        finalB_ = std::move(b);
+        finalH_ = h;
+    } catch (const support::ArkError &) {
+        finalLu_.reset();
+        finalA_ = support::SparseMatrix();
+        finalB_ = support::SparseMatrix();
+        finalH_ = 0.0;
+    }
+}
+
 void
 TransientStepper::rebind(const SparseMnaSystem &system)
 {
@@ -554,6 +596,10 @@ TransientStepper::rebind(const SparseMnaSystem &system)
         a_ = support::SparseMatrix();
         b_ = support::SparseMatrix();
         initA_ = support::SparseMatrix();
+        finalA_ = support::SparseMatrix();
+        finalB_ = support::SparseMatrix();
+        finalLu_.reset();
+        finalH_ = 0.0;
     };
 
     support::SparseMatrix a = system.companionA(dt_);
@@ -578,6 +624,27 @@ TransientStepper::rebind(const SparseMnaSystem &system)
                 throw;
             }
             initA_ = std::move(init);
+        }
+    }
+    if (finalLu_.has_value()) {
+        // The prepared fractional-final-step operator follows the
+        // main factors: numeric refactorization on the new values. A
+        // singular final companion is a per-run event on the one-off
+        // path, so here it just drops the prepared operator instead
+        // of poisoning the stepper.
+        support::SparseMatrix a = system.companionA(finalH_);
+        support::SparseMatrix b = system.companionB(finalH_);
+        if (!(a.sameValues(finalA_) && b.sameValues(finalB_))) {
+            try {
+                rebindFactor(*finalLu_, a);
+                finalA_ = std::move(a);
+                finalB_ = std::move(b);
+            } catch (const support::ArkError &) {
+                finalA_ = support::SparseMatrix();
+                finalB_ = support::SparseMatrix();
+                finalLu_.reset();
+                finalH_ = 0.0;
+            }
         }
     }
 }
@@ -629,6 +696,18 @@ TransientStepper::run(const SparseMnaSystem &system, double t0, double t1,
                     rhs[r] = u1[r];
             }
             lu_.solveInto(rhs.data(), xNext.data());
+        } else if (finalLu_.has_value() && h == finalH_) {
+            // Fractional final step through the prepared shared
+            // operator (prepareFinalStep): back-substitution only, no
+            // per-instance factorization.
+            finalB_.applyInto(x.data(), rhs.data());
+            for (std::size_t r = 0; r < n; ++r) {
+                if (system.rowIsDynamic(r))
+                    rhs[r] += u0[r] + u1[r];
+                else
+                    rhs[r] = u1[r];
+            }
+            finalLu_->solveInto(rhs.data(), xNext.data());
         } else {
             // Short final step: one-off companion operator at h. A
             // singular factorization here is a mid-run event — report

@@ -241,10 +241,32 @@ class TransientStepper
     double dt() const { return dt_; }
 
     /**
+     * Pre-factors the companion operator for a fractional final step
+     * of size `h` (a [t0, t1] range dt does not divide ends on one
+     * short step; see finalStepSize). Prepared once on a group
+     * leader, the factors are shared by every value-identical
+     * instance and refactored numerically by rebind() for the rest —
+     * without this, each instance one-off-factors the final step and
+     * bypasses the batch engine's factor sharing. `h == dt()` (or
+     * <= 0) clears the prepared operator instead; a singular final
+     * companion also leaves it unset, so run() falls back to the
+     * per-run one-off path (which reports the singularity as that
+     * instance's structured mid-run failure). `system` must be the
+     * one the main factors are bound to. Not thread-safe against
+     * concurrent run() calls — prepare before sharing.
+     */
+    void prepareFinalStep(const SparseMnaSystem &system, double h);
+
+    /** Step size the prepared final-step operator was built for, or
+     *  0 when none is prepared. */
+    double preparedFinalStep() const { return finalH_; }
+
+    /**
      * Rebinds the factors to `system`'s matrix values (which must
-     * share the bound structure): numeric refactorization only. Falls
-     * back to a fresh pivot search when the reused pivot order
-     * collapses on the new values.
+     * share the bound structure): numeric refactorization only — the
+     * prepared final-step operator, when present, is refactored
+     * alongside the main companion. Falls back to a fresh pivot
+     * search when the reused pivot order collapses on the new values.
      * @throws ArkError (Sim) when the instance matrix is singular; on
      *         throw the stepper holds no valid factors — discard it
      *         or rebind successfully before calling run().
@@ -273,6 +295,13 @@ class TransientStepper
      *  companion factors. Absent when every row is dynamic. */
     support::SparseMatrix initA_;
     std::optional<support::SparseLu> initLu_;
+    /** Optional pre-factored fractional-final-step operator
+     *  (prepareFinalStep); absent means run() one-off-factors any
+     *  short final step it encounters. */
+    double finalH_ = 0.0;
+    support::SparseMatrix finalA_;
+    support::SparseMatrix finalB_;
+    std::optional<support::SparseLu> finalLu_;
 };
 
 /**
@@ -293,6 +322,17 @@ TransientResult transient(const MnaSystem &system, double t0, double t1,
 TransientResult transient(const SparseMnaSystem &system, double t0,
                           double t1, double dt,
                           const std::vector<double> &x0 = {});
+
+/**
+ * Size of the last step a trapezoidal transient over [t0, t1] with
+ * nominal step dt takes — dt when the grid divides the range (or the
+ * range is empty), the fractional remainder otherwise. Computed with
+ * the integrator's own time-accumulation loop so the result is
+ * bit-identical to the `h` the stepper sees on its final iteration
+ * (a closed-form remainder would round differently). Used by
+ * TransientBatch to pre-factor a group leader's final-step operator.
+ */
+double finalStepSize(double t0, double t1, double dt);
 
 /** Convenience: assemble + simulate + return one node's voltage. */
 std::vector<double> transientNodeVoltage(const Netlist &netlist,

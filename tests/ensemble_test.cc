@@ -69,6 +69,11 @@ expectIdenticalResults(const SimResult &a, const SimResult &b)
 
 TEST(EnsembleTest, MatchesSerialSimulateBitForBit)
 {
+    // The bit-for-bit ensemble contract covers the fixed-step lane
+    // path and the scalar adaptive path (laneBatching off). The
+    // lane-batched Dopri5 driver integrates on a shared voted grid
+    // and is only tolerance-level equivalent to serial — covered in
+    // dopri5_batch_test, not here.
     lang::LanguageRegistry registry;
     OdeSystem system = decaySystem(registry, 2.0, 1.0);
     std::vector<std::vector<double>> initials;
@@ -76,16 +81,24 @@ TEST(EnsembleTest, MatchesSerialSimulateBitForBit)
         initials.push_back({0.25 * (i + 1)});
 
     for (unsigned threads : {1u, 2u, 4u, 8u}) {
-        EnsembleOptions options;
-        options.numThreads = threads;
-        std::vector<SimResult> batch =
-            sim::simulateEnsemble(system, initials, 0.0, 2.0, options);
-        ASSERT_EQ(batch.size(), initials.size());
-        for (std::size_t i = 0; i < initials.size(); ++i) {
-            SimResult serial =
-                sim::simulate(system, initials[i], 0.0, 2.0,
-                              options.sim);
-            expectIdenticalResults(batch[i], serial);
+        for (bool rk4 : {true, false}) {
+            EnsembleOptions options;
+            options.numThreads = threads;
+            if (rk4) {
+                options.sim.method = sim::Method::Rk4;
+                options.sim.dt = 1e-3;
+            } else {
+                options.laneBatching = false; // scalar Dopri5
+            }
+            std::vector<SimResult> batch = sim::simulateEnsemble(
+                system, initials, 0.0, 2.0, options);
+            ASSERT_EQ(batch.size(), initials.size());
+            for (std::size_t i = 0; i < initials.size(); ++i) {
+                SimResult serial =
+                    sim::simulate(system, initials[i], 0.0, 2.0,
+                                  options.sim);
+                expectIdenticalResults(batch[i], serial);
+            }
         }
     }
 }

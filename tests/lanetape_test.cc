@@ -286,4 +286,39 @@ TEST_P(LaneEquivalence, RandomCnnSystem)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LaneEquivalence, ::testing::Range(0, 4));
 
+TEST(LaneTapeTest, FusedMulAddExecutesLanewiseBitIdentical)
+{
+    // An FMA-contracted Kuramoto program across lanes: both executors
+    // call std::fma per lane, so every lane must reproduce the scalar
+    // FMA tape bit for bit, exactly like the plain opcodes.
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    support::Rng rng(4242);
+    paradigms::obc::MaxcutInstance instance;
+    instance.numVertices = 5;
+    for (int a = 0; a < instance.numVertices; ++a)
+        for (int b = a + 1; b < instance.numVertices; ++b)
+            instance.edges.emplace_back(a, b);
+    paradigms::obc::MaxcutSpec spec;
+    for (int v = 0; v < instance.numVertices; ++v)
+        spec.initPhases.push_back(0.2 * v);
+    const lang::Language &obc = registry.language("obc");
+    compiler::OdeSystem system = compiler::compile(
+        paradigms::obc::buildMaxcut(obc, instance, spec), obc);
+    const FusedTape &fma = system.fusedTapeFma();
+    ASSERT_GT(fma.fmaContractions(), 0u);
+
+    for (std::size_t lanes : {2u, 4u, 8u}) {
+        LaneTape lane = LaneTape::broadcast(fma, lanes);
+        std::vector<const FusedTape *> tapes(lanes, &fma);
+        std::vector<std::vector<double>> states;
+        for (std::size_t l = 0; l < lanes; ++l) {
+            std::vector<double> state;
+            for (std::size_t i = 0; i < system.size(); ++i)
+                state.push_back(rng.uniform(-2.0, 2.0));
+            states.push_back(std::move(state));
+        }
+        expectLanesMatchScalar(lane, tapes, states, 1e-8);
+    }
+}
+
 } // namespace

@@ -353,6 +353,62 @@ TEST_F(SpiceBatchTest, ShortFinalStepMatchesDense)
     EXPECT_LE(maxRelDeviation(viaDense, batched[0]), 1e-12);
 }
 
+TEST_F(SpiceBatchTest, LeaderSharedFinalStepOperator)
+{
+    // Non-divisible grids end on one fractional step. The leader can
+    // pre-factor that operator (prepareFinalStep) so the group shares
+    // it like the main companion factors, instead of each instance
+    // one-off-factoring it.
+    const double dt = 1e-11;
+    const double t1 = 10.5 * dt;
+    const double hFinal = finalStepSize(0.0, t1, dt);
+    EXPECT_GT(hFinal, 0.0);
+    EXPECT_LT(hFinal, dt); // genuinely fractional on this grid
+
+    // Prepared-vs-one-off bit identity on one instance: both factor
+    // the identical final companion matrix, so the shared operator
+    // must not change a single bit of the trajectory.
+    MappedTln leader = sharedStructureLine(3);
+    SparseMnaSystem system(leader.netlist);
+    TransientStepper oneOff(system, dt);
+    TransientStepper prepared(system, dt);
+    prepared.prepareFinalStep(system, hFinal);
+    EXPECT_EQ(prepared.preparedFinalStep(), hFinal);
+    TransientResult viaOneOff = oneOff.run(system, 0.0, t1);
+    TransientResult viaPrepared = prepared.run(system, 0.0, t1);
+    ASSERT_TRUE(viaOneOff.ok());
+    ASSERT_TRUE(viaPrepared.ok());
+    expectBitIdentical(viaOneOff, viaPrepared);
+    // A divisible-grid request clears the prepared operator.
+    prepared.prepareFinalStep(system, dt);
+    EXPECT_EQ(prepared.preparedFinalStep(), 0.0);
+
+    // Through the batch engine: mismatch members ride the refactored
+    // final operator, a value-identical duplicate shares the leader's
+    // factors outright; each must match its serial sparse transient
+    // to rounding and land its last sample exactly on t1.
+    std::vector<MappedTln> mapped;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        mapped.push_back(sharedStructureLine(seed));
+    mapped.push_back(sharedStructureLine(1)); // value-identical twin
+    std::vector<const Netlist *> netlists;
+    for (const MappedTln &map : mapped)
+        netlists.push_back(&map.netlist);
+    std::vector<TransientResult> batched =
+        TransientBatch().run(netlists, 0.0, t1, dt);
+    ASSERT_EQ(batched.size(), netlists.size());
+    for (std::size_t i = 0; i < netlists.size(); ++i) {
+        ASSERT_TRUE(batched[i].ok()) << "instance " << i;
+        EXPECT_DOUBLE_EQ(batched[i].time(batched[i].size() - 1), t1);
+        SparseMnaSystem serial(*netlists[i]);
+        TransientResult reference = transient(serial, 0.0, t1, dt);
+        EXPECT_LE(maxRelDeviation(reference, batched[i]), 1e-12)
+            << "instance " << i;
+    }
+    // The duplicate pair shares every factor, final step included.
+    expectBitIdentical(batched[0], batched[4]);
+}
+
 TEST_F(SpiceBatchTest, BatchLevelBadArgumentsThrow)
 {
     MappedTln mapped = sharedStructureLine(1);

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf.json snapshots produced by bench_smoke.
+
+Usage:
+    tools/bench_diff.py OLD.json NEW.json [--threshold PCT] [--no-fail]
+
+For every benchmark present in both snapshots the script compares
+items_per_second when the benchmark reports it (higher is better) and
+wall time otherwise (lower is better), prints a human-readable table,
+and flags changes worse than --threshold percent (default 10) as
+regressions. Exits 1 when any regression is flagged unless --no-fail
+is given, so it can gate CI without blocking exploratory runs.
+
+Benchmarks that appear in only one snapshot are listed as added or
+removed but never flagged: renames and new coverage are routine
+between PRs. A binary recorded with "ok": false contributes nothing —
+bench_smoke is non-gating by design, and this script follows suit.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    """Maps (binary, benchmark name) -> benchmark record."""
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    entries = {}
+    for binary in snapshot.get("benchmarks", []):
+        if not binary.get("ok") or "report" not in binary:
+            continue
+        for bench in binary["report"].get("benchmarks", []):
+            # Aggregate rows (mean/median/stddev) would double-count.
+            if bench.get("run_type") == "aggregate":
+                continue
+            entries[(binary["binary"], bench["name"])] = bench
+    return entries
+
+
+def metric_of(bench):
+    """Returns (value, unit, higher_is_better) for one record."""
+    if "items_per_second" in bench:
+        return bench["items_per_second"], "items/s", True
+    unit = bench.get("time_unit", "ns")
+    return bench["real_time"], unit, False
+
+
+def fmt(value):
+    if value >= 1e6:
+        return f"{value:.4g}"
+    return f"{value:.6g}"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two bench_smoke BENCH_perf.json snapshots.")
+    parser.add_argument("old", help="baseline snapshot")
+    parser.add_argument("new", help="candidate snapshot")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent "
+                             "(default: 10)")
+    parser.add_argument("--no-fail", action="store_true",
+                        help="always exit 0, even with regressions")
+    args = parser.parse_args()
+
+    old = load_entries(args.old)
+    new = load_entries(args.new)
+
+    rows = []
+    regressions = []
+    for key in sorted(old.keys() & new.keys()):
+        old_value, unit, higher_better = metric_of(old[key])
+        new_value, new_unit, new_higher = metric_of(new[key])
+        if unit != new_unit or higher_better != new_higher:
+            rows.append((key, "metric changed", ""))
+            continue
+        if old_value == 0:
+            rows.append((key, "baseline is 0", ""))
+            continue
+        # Positive delta = improvement in both metric directions.
+        if higher_better:
+            delta = (new_value / old_value - 1.0) * 100.0
+        else:
+            delta = (old_value / new_value - 1.0) * 100.0
+        flag = ""
+        if delta <= -args.threshold:
+            flag = "REGRESSION"
+            regressions.append(key)
+        elif delta >= args.threshold:
+            flag = "improved"
+        rows.append(
+            (key,
+             f"{fmt(old_value)} -> {fmt(new_value)} {unit} "
+             f"({delta:+.1f}%)",
+             flag))
+
+    name_width = max((len(f"{b}:{n}") for b, n in
+                      old.keys() | new.keys()), default=20)
+    for (binary, name), summary, flag in rows:
+        label = f"{binary}:{name}"
+        print(f"{label:<{name_width}}  {summary:<44}  {flag}")
+    for key in sorted(new.keys() - old.keys()):
+        print(f"{key[0]}:{key[1]:<{name_width - len(key[0])}}  (added)")
+    for key in sorted(old.keys() - new.keys()):
+        print(f"{key[0]}:{key[1]:<{name_width - len(key[0])}}  (removed)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%:")
+        for binary, name in regressions:
+            print(f"  {binary}:{name}")
+        if not args.no_fail:
+            return 1
+    else:
+        print(f"\nNo regressions beyond {args.threshold:.0f}%.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
