@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Content-addressed engine benchmarks on the paper's §7 CRP-dataset
+ * workload: a 64-challenge x 8-chip PUF battery over a 4-bit
+ * challenge space (so the 64 draws revisit each of the 16 distinct
+ * challenges about four times — the repeated-evaluation shape the
+ * engine exists for).
+ *
+ * BM_PufCrpMatrixCold is the historical compile-per-challenge loop:
+ * a fresh TlnPuf with caching disabled calls responseBatch once per
+ * challenge, so every challenge rebuilds, ILP-revalidates, and
+ * recompiles all nine systems (8 chips + the nominal device) and
+ * re-simulates every chip even when the challenge repeats.
+ * BM_PufCrpMatrixWarm runs the same battery through the cached
+ * responseMatrix front door: distinct (challenge, chip) systems
+ * compile once per process, repeated challenges replicate the
+ * simulated waveform, and the whole battery integrates as one
+ * ensemble dispatch. items/sec == chip responses produced per second;
+ * the warm/cold ratio is the acceptance metric (>= 2x).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/puf.h"
+#include "engine/cache.h"
+#include "engine/session.h"
+#include "lang/registry.h"
+#include "paradigms/standard.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace ark;
+
+constexpr int kChips = 8;
+constexpr int kChallenges = 64;
+
+const lang::Language &
+gmcTln()
+{
+    static const lang::LanguageRegistry *registry =
+        new lang::LanguageRegistry(paradigms::makeStandardRegistry());
+    return registry->language("gmc-tln");
+}
+
+apps::PufDesign
+crpDesign()
+{
+    apps::PufDesign design;
+    design.mainSections = 8;
+    design.numBranches = 4; // 16 distinct challenges
+    design.stubSections = 2;
+    design.responseBits = 32;
+    return design;
+}
+
+/** 64 challenge draws over the 16-challenge space (fixed seed). */
+const std::vector<std::uint32_t> &
+crpChallenges()
+{
+    static const std::vector<std::uint32_t> challenges = [] {
+        support::Rng rng(2024);
+        std::vector<std::uint32_t> draws;
+        draws.reserve(kChallenges);
+        for (int i = 0; i < kChallenges; ++i)
+            draws.push_back(
+                static_cast<std::uint32_t>(rng.uniformInt(0, 15)));
+        return draws;
+    }();
+    return challenges;
+}
+
+std::vector<std::uint64_t>
+crpChips()
+{
+    std::vector<std::uint64_t> chips;
+    for (std::uint64_t seed = 1; seed <= kChips; ++seed)
+        chips.push_back(seed);
+    return chips;
+}
+
+/**
+ * Compile-per-challenge baseline: every iteration is a cold CRP
+ * sweep — fresh TlnPuf (empty nominal cache), caching disabled, one
+ * responseBatch call per challenge draw. Single-thread so the ratio
+ * isolates artifact reuse from pool parallelism.
+ */
+void
+BM_PufCrpMatrixCold(benchmark::State &state)
+{
+    const std::vector<std::uint32_t> &challenges = crpChallenges();
+    const std::vector<std::uint64_t> chips = crpChips();
+    for (auto _ : state) {
+        apps::TlnPuf puf(gmcTln(), crpDesign(),
+                         engine::Session(
+                             engine::SessionOptions{.caching = false}));
+        for (std::uint32_t challenge : challenges) {
+            auto responses = puf.responseBatch(challenge, chips, 0.0,
+                                               {}, 1);
+            benchmark::DoNotOptimize(responses.size());
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * kChallenges * kChips));
+}
+BENCHMARK(BM_PufCrpMatrixCold)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
+ * Cached responseMatrix battery on a persistent TlnPuf: compiled
+ * systems stay warm in a dedicated ArtifactCache across iterations
+ * and repeated challenges share one simulated waveform per chip.
+ */
+void
+BM_PufCrpMatrixWarm(benchmark::State &state)
+{
+    static engine::ArtifactCache *cache = new engine::ArtifactCache();
+    static const apps::TlnPuf *puf = new apps::TlnPuf(
+        gmcTln(), crpDesign(),
+        engine::Session(
+            engine::SessionOptions{.caching = true, .cache = cache}));
+    const std::vector<std::uint32_t> &challenges = crpChallenges();
+    const std::vector<std::uint64_t> chips = crpChips();
+
+    // One untimed pass fills the cache (and the nominal waveforms),
+    // so the loop below measures the steady warm state a CRP-dataset
+    // generator lives in.
+    auto warmup = puf->responseMatrix(challenges, chips, 0.0, {}, 1);
+    benchmark::DoNotOptimize(warmup.size());
+
+    for (auto _ : state) {
+        auto responses = puf->responseMatrix(challenges, chips, 0.0,
+                                             {}, 1);
+        benchmark::DoNotOptimize(responses.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * kChallenges * kChips));
+}
+BENCHMARK(BM_PufCrpMatrixWarm)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+} // namespace

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "compiler/compiler.h"
+#include "engine/session.h"
 #include "sim/sim.h"
 #include "spice/batch.h"
 #include "spice/map_tln.h"
@@ -234,13 +235,16 @@ runMaxcutSims(const lang::Language &language, bool withOffset, int trials,
               std::uint64_t seedBase)
 {
     const double pi = std::numbers::pi;
-    // Random restarts: build and compile every trial's oscillator
-    // network first, then integrate the whole batch concurrently
-    // through the ensemble engine. Per-trial results are identical to
-    // the serial loop (the RNG draws happen in build order, and each
-    // instance integrates independently).
+    // Random restarts: resolve every trial's oscillator network
+    // through the engine session (compiled programs are shared and
+    // content-addressed — repeated restart sweeps over the same seeds
+    // skip validation and compilation), then integrate the whole
+    // batch concurrently through the ensemble engine. Per-trial
+    // results are identical to the serial loop (the RNG draws happen
+    // in build order, and each instance integrates independently).
+    engine::Session session;
     std::vector<MaxcutOutcome> outcomes;
-    std::vector<compiler::OdeSystem> systems;
+    std::vector<engine::SystemPtr> systems;
     outcomes.reserve(static_cast<std::size_t>(trials));
     systems.reserve(static_cast<std::size_t>(trials));
     for (int trial = 0; trial < trials; ++trial) {
@@ -258,21 +262,16 @@ runMaxcutSims(const lang::Language &language, bool withOffset, int trials,
         for (int v = 0; v < 4; ++v)
             spec.initPhases.push_back(rng.uniform(0.0, 2.0 * pi));
 
-        dg::Graph graph =
-            pobc::buildMaxcut(language, outcome.instance, spec);
-        validator::validateOrThrow(graph, language);
-        systems.push_back(compiler::compile(graph, language));
+        systems.push_back(session.compile(
+            pobc::buildMaxcut(language, outcome.instance, spec),
+            language));
         outcomes.push_back(std::move(outcome));
     }
 
-    std::vector<const compiler::OdeSystem *> pointers;
-    pointers.reserve(systems.size());
-    for (const compiler::OdeSystem &system : systems)
-        pointers.push_back(&system);
     sim::EnsembleOptions options;
     options.sim.recordDt = 1e-9;
     std::vector<sim::SimResult> results =
-        sim::simulateEnsemble(pointers, 0.0, 5e-8, options);
+        session.runEnsemble(systems, 0.0, 5e-8, options);
 
     for (std::size_t trial = 0; trial < results.size(); ++trial) {
         if (!results[trial].ok()) {
@@ -285,7 +284,7 @@ runMaxcutSims(const lang::Language &language, bool withOffset, int trials,
         for (int v = 0; v < 4; ++v) {
             outcomes[trial].phases.push_back(
                 final[static_cast<std::size_t>(
-                    systems[trial].stateIndex(pobc::oscName(v), 0))]);
+                    systems[trial]->stateIndex(pobc::oscName(v), 0))]);
         }
     }
     return outcomes;
@@ -324,7 +323,12 @@ runSpiceValidation(const lang::Language &gmcTln, int trials,
     // graph, compile the ODE system, and map the netlist. Per-trial
     // RNGs make the draw order identical to the historical serial
     // loop, so the sweep's statistics are reproducible bit-for-bit.
-    std::vector<compiler::OdeSystem> systems;
+    // Compilation goes through the engine session: a repeated sweep
+    // (same seeds -> same graph contents) hits the artifact cache and
+    // skips ILP validation + lowering per trial.
+    engine::Session session(
+        engine::SessionOptions{.caching = options.cache});
+    std::vector<engine::SystemPtr> systems;
     std::vector<spice::MappedTln> mapped;
     systems.reserve(static_cast<std::size_t>(trials));
     mapped.reserve(static_cast<std::size_t>(trials));
@@ -353,8 +357,7 @@ runSpiceValidation(const lang::Language &gmcTln, int trials,
             }
             return ptln::buildLine(gmcTln, spec);
         }();
-        validator::validateOrThrow(graph, gmcTln);
-        systems.push_back(compiler::compile(graph, gmcTln));
+        systems.push_back(session.compile(graph, gmcTln));
         mapped.push_back(spice::mapTlnToSpice(graph, gmcTln));
         ++report.mapped;
     }
@@ -374,7 +377,6 @@ runSpiceValidation(const lang::Language &gmcTln, int trials,
     spice::TransientBatchOptions batchOptions;
     batchOptions.sparse = options.sparse;
     batchOptions.numThreads = options.numThreads;
-    spice::TransientBatch batch(batchOptions);
 
     // Phases 2-4, chunked: each block runs the DG side as one
     // adaptive-ODE ensemble and the SPICE side as one transient batch
@@ -390,13 +392,20 @@ runSpiceValidation(const lang::Language &gmcTln, int trials,
         odeSlice.reserve(static_cast<std::size_t>(end - base));
         netSlice.reserve(static_cast<std::size_t>(end - base));
         for (int trial = base; trial < end; ++trial) {
-            odeSlice.push_back(&systems[static_cast<std::size_t>(trial)]);
+            odeSlice.push_back(
+                systems[static_cast<std::size_t>(trial)].get());
             netSlice.push_back(netlists[static_cast<std::size_t>(trial)]);
         }
         std::vector<sim::SimResult> dgResults =
             sim::simulateEnsemble(odeSlice, 0.0, tEnd, odeOptions);
+        engine::SweepStats sweepStats;
         std::vector<spice::TransientResult> spiceResults =
-            batch.run(netSlice, 0.0, tEnd, spiceDt);
+            session.runSweep(netSlice, 0.0, tEnd, spiceDt, batchOptions,
+                             &sweepStats);
+        report.spiceFactorHits +=
+            static_cast<int>(sweepStats.factorHits);
+        report.spiceFactorMisses +=
+            static_cast<int>(sweepStats.factorMisses);
 
         // Paired per-trial RMSE statistics at OUT_V.
         for (int trial = base; trial < end; ++trial) {
@@ -415,8 +424,8 @@ runSpiceValidation(const lang::Language &gmcTln, int trials,
             }
             std::vector<double> dgSeries =
                 dgResults[local].trajectory.resample(
-                    systems[idx].stateIndex(ptln::outputNode(), 0), 0.0,
-                    tEnd, compareGrid);
+                    systems[idx]->stateIndex(ptln::outputNode(), 0),
+                    0.0, tEnd, compareGrid);
             std::vector<double> spiceAll = spiceResults[local].series(
                 static_cast<std::size_t>(
                     mapped[idx].circuitNodeOf.at(ptln::outputNode())));

@@ -130,6 +130,13 @@ struct SpiceValidation
     /** Distinct netlist structures in the sweep (each costs the
      *  sparse batch one symbolic factorization). */
     int spiceGroups = 0;
+    /** Companion factorizations served warm from the engine's
+     *  artifact cache (0 on a cold first sweep or with caching off;
+     *  a repeated sweep is served entirely from warm factors). */
+    int spiceFactorHits = 0;
+    /** Companion factorizations built (symbolic or numeric) by this
+     *  sweep's SPICE side. */
+    int spiceFactorMisses = 0;
 };
 
 /** Execution controls for the cross-validation sweep. */
@@ -149,6 +156,16 @@ struct SpiceValidationOptions
      * thread count.
      */
     unsigned numThreads = 0;
+
+    /**
+     * Serve compiled ODE systems and companion factorizations through
+     * the engine's shared content-addressed ArtifactCache, so a
+     * repeated sweep (same seedBase) skips validation/compilation on
+     * the DG side and reuses warm factors on the SPICE side
+     * (spiceFactorHits reports how many). Off rebuilds everything per
+     * call; results and statistics are bit-identical either way.
+     */
+    bool cache = true;
 };
 
 /**

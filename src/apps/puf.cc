@@ -1,12 +1,12 @@
 #include "apps/puf.h"
 
-#include "compiler/compiler.h"
+#include <unordered_map>
+
 #include "lang/func.h"
 #include "sim/sim.h"
 #include "support/error.h"
 #include "support/logging.h"
 #include "support/rng.h"
-#include "validator/validator.h"
 
 namespace ark::apps {
 
@@ -14,8 +14,9 @@ using lang::GraphBuilder;
 using support::cat;
 using support::SemaError;
 
-TlnPuf::TlnPuf(const lang::Language &gmcTln, PufDesign design)
-    : lang_(gmcTln), design_(design)
+TlnPuf::TlnPuf(const lang::Language &gmcTln, PufDesign design,
+               engine::Session session)
+    : lang_(gmcTln), design_(design), session_(session)
 {
     if (!gmcTln.types().hasEdgeType("Em"))
         throw SemaError("TlnPuf needs the gmc-tln language");
@@ -24,7 +25,10 @@ TlnPuf::TlnPuf(const lang::Language &gmcTln, PufDesign design)
     if (design_.mainSections < design_.numBranches + 1)
         throw SemaError("PUF main line too short for its branches");
     nominalCache_.resize(1u << design_.numBranches);
-    nominalCached_.assign(1u << design_.numBranches, false);
+    nominalOnce_ =
+        std::make_unique<std::once_flag[]>(1u << design_.numBranches);
+    nominalReady_ =
+        std::make_unique<std::atomic<bool>[]>(1u << design_.numBranches);
 }
 
 dg::Graph
@@ -114,34 +118,41 @@ TlnPuf::waveform(std::uint32_t challenge, std::uint64_t chipSeed) const
     return std::move(waveformBatch(challenge, {chipSeed}, 1).front());
 }
 
+namespace {
+
+/** The ensemble controls every PUF battery integrates under. */
+sim::EnsembleOptions
+batteryOptions(const PufDesign &design, unsigned numThreads)
+{
+    sim::EnsembleOptions options;
+    options.sim.method = design.simMethod;
+    options.sim.dt = design.simDt > 0 ? design.simDt
+                                      : design.windowEnd / 4000.0;
+    options.sim.recordDt = design.windowEnd / 4000.0;
+    options.numThreads = numThreads;
+    return options;
+}
+
+} // namespace
+
 std::vector<std::vector<double>>
 TlnPuf::waveformBatch(std::uint32_t challenge,
                       const std::vector<std::uint64_t> &chipSeeds,
                       unsigned numThreads) const
 {
-    // Build + validate + compile every chip's graph up front (cheap
-    // relative to integration), then hand the whole battery to the
-    // ensemble engine.
-    std::vector<compiler::OdeSystem> systems;
+    // Resolve every chip's compiled system through the session's
+    // content-addressed cache (a warm battery skips build + ILP
+    // validation + compile), then hand the battery to the ensemble
+    // engine as shared immutable programs.
+    std::vector<engine::SystemPtr> systems;
     systems.reserve(chipSeeds.size());
-    for (std::uint64_t chipSeed : chipSeeds) {
-        dg::Graph graph = buildGraph(challenge, chipSeed);
-        validator::validateOrThrow(graph, lang_);
-        systems.push_back(compiler::compile(graph, lang_));
-    }
-    std::vector<const compiler::OdeSystem *> pointers;
-    pointers.reserve(systems.size());
-    for (const compiler::OdeSystem &system : systems)
-        pointers.push_back(&system);
+    for (std::uint64_t chipSeed : chipSeeds)
+        systems.push_back(
+            session_.compile(buildGraph(challenge, chipSeed), lang_));
 
-    sim::EnsembleOptions options;
-    options.sim.method = design_.simMethod;
-    options.sim.dt = design_.simDt > 0 ? design_.simDt
-                                       : design_.windowEnd / 4000.0;
-    options.sim.recordDt = design_.windowEnd / 4000.0;
-    options.numThreads = numThreads;
-    std::vector<sim::SimResult> results =
-        sim::simulateEnsemble(pointers, 0.0, design_.windowEnd, options);
+    std::vector<sim::SimResult> results = session_.runEnsemble(
+        systems, 0.0, design_.windowEnd,
+        batteryOptions(design_, numThreads));
 
     std::vector<std::vector<double>> waveforms;
     waveforms.reserve(results.size());
@@ -151,7 +162,7 @@ TlnPuf::waveformBatch(std::uint32_t challenge,
                                         " simulation failed: ",
                                         results[i].failure->message));
         }
-        int out = systems[i].stateIndex("OUT_V", 0);
+        int out = systems[i]->stateIndex("OUT_V", 0);
         waveforms.push_back(results[i].trajectory.resample(
             out, design_.windowStart, design_.windowEnd,
             static_cast<std::size_t>(design_.responseBits)));
@@ -162,10 +173,17 @@ TlnPuf::waveformBatch(std::uint32_t challenge,
 const std::vector<double> &
 TlnPuf::nominalWaveform(std::uint32_t challenge) const
 {
-    if (!nominalCached_[challenge]) {
+    if (challenge >= (1u << design_.numBranches))
+        throw SemaError(cat("challenge ", challenge, " exceeds ",
+                            design_.numBranches, " bits"));
+    // call_once keeps concurrent response() callers safe: exactly one
+    // thread simulates the nominal device, everyone else blocks until
+    // the waveform is published (a failed attempt rethrows and leaves
+    // the flag unset, so a later call may retry).
+    std::call_once(nominalOnce_[challenge], [&] {
         nominalCache_[challenge] = waveform(challenge, 0);
-        nominalCached_[challenge] = true;
-    }
+        nominalReady_[challenge].store(true, std::memory_order_release);
+    });
     return nominalCache_[challenge];
 }
 
@@ -188,27 +206,130 @@ TlnPuf::responseBatch(std::uint32_t challenge,
     support::panicIf(!noiseSeeds.empty() &&
                          noiseSeeds.size() != chipSeeds.size(),
                      "responseBatch: need one noise seed per chip");
+    // One-challenge special case of the CRP matrix (a single-entry
+    // challenge list is challenge-major trivially).
+    return std::move(responseMatrix({challenge}, chipSeeds, noiseSigma,
+                                    noiseSeeds, numThreads)
+                         .front());
+}
+
+std::vector<std::vector<std::vector<std::uint8_t>>>
+TlnPuf::responseMatrix(const std::vector<std::uint32_t> &challenges,
+                       const std::vector<std::uint64_t> &chipSeeds,
+                       double noiseSigma,
+                       const std::vector<std::uint64_t> &noiseSeeds,
+                       unsigned numThreads) const
+{
+    const std::size_t numChips = chipSeeds.size();
+    support::panicIf(!noiseSeeds.empty() &&
+                         noiseSeeds.size() !=
+                             challenges.size() * numChips,
+                     "responseMatrix: need one noise seed per "
+                     "(challenge, chip)");
     // Per the contract, empty noiseSeeds means no noise: sharing one
     // implicit seed across chips would correlate every chip's noise
     // and bias any uniqueness metric computed from the batch.
     const bool applyNoise = noiseSigma > 0 && !noiseSeeds.empty();
-    const std::vector<double> &nominal = nominalWaveform(challenge);
-    std::vector<std::vector<double>> measured =
-        waveformBatch(challenge, chipSeeds, numThreads);
+    for (std::uint32_t challenge : challenges) {
+        if (challenge >= (1u << design_.numBranches))
+            throw SemaError(cat("challenge ", challenge, " exceeds ",
+                                design_.numBranches, " bits"));
+    }
 
-    std::vector<std::vector<std::uint8_t>> responses;
-    responses.reserve(measured.size());
-    for (std::size_t chip = 0; chip < measured.size(); ++chip) {
-        support::Rng noise(applyNoise ? noiseSeeds[chip] : 0);
-        std::vector<std::uint8_t> bits;
-        bits.reserve(measured[chip].size());
-        for (std::size_t i = 0; i < measured[chip].size(); ++i) {
-            double sample = measured[chip][i];
-            if (applyNoise)
-                sample += noise.gaussian(0.0, noiseSigma);
-            bits.push_back(sample > nominal[i] ? 1 : 0);
+    // Deduplicate the challenge list (first-occurrence order): a CRP
+    // battery that revisits a challenge replicates the deterministic
+    // waveform instead of re-simulating it — measurement noise is
+    // applied per occurrence below, so repeated challenges still
+    // yield independent noisy measurements.
+    std::vector<std::uint32_t> distinct;
+    std::unordered_map<std::uint32_t, std::size_t> distinctOf;
+    for (std::uint32_t challenge : challenges)
+        if (distinctOf.emplace(challenge, distinct.size()).second)
+            distinct.push_back(challenge);
+
+    // Compile every distinct (challenge, chip) system through the
+    // cache, then integrate the whole battery — all challenges, all
+    // chips, plus any nominal reference devices not yet cached — as
+    // ONE ensemble dispatch. Chips of one challenge share a program
+    // structure and lane-batch; distinct challenges form their own
+    // lane groups within the same dispatch. Nominal devices are
+    // structural singletons (ideal E edges), so they integrate on
+    // the scalar path — bit-identical to a standalone waveform()
+    // call, which is what publishes them below.
+    std::vector<engine::SystemPtr> systems;
+    systems.reserve(distinct.size() * numChips);
+    for (std::uint32_t challenge : distinct)
+        for (std::uint64_t chipSeed : chipSeeds)
+            systems.push_back(
+                session_.compile(buildGraph(challenge, chipSeed),
+                                 lang_));
+    const std::size_t numChipInstances = systems.size();
+    std::vector<std::uint32_t> nominalNeeded;
+    for (std::uint32_t challenge : distinct) {
+        if (!nominalReady_[challenge].load(std::memory_order_relaxed)) {
+            nominalNeeded.push_back(challenge);
+            systems.push_back(
+                session_.compile(buildGraph(challenge, 0), lang_));
         }
-        responses.push_back(std::move(bits));
+    }
+
+    std::vector<sim::SimResult> results = session_.runEnsemble(
+        systems, 0.0, design_.windowEnd,
+        batteryOptions(design_, numThreads));
+
+    std::vector<std::vector<double>> waveforms(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok()) {
+            std::string who =
+                i < numChipInstances
+                    ? cat("chip ", chipSeeds[i % numChips],
+                          " (challenge ", distinct[i / numChips], ")")
+                    : cat("nominal device (challenge ",
+                          nominalNeeded[i - numChipInstances], ")");
+            throw support::SimError(cat("PUF ", who,
+                                        " simulation failed: ",
+                                        results[i].failure->message));
+        }
+        int out = systems[i]->stateIndex("OUT_V", 0);
+        waveforms[i] = results[i].trajectory.resample(
+            out, design_.windowStart, design_.windowEnd,
+            static_cast<std::size_t>(design_.responseBits));
+    }
+
+    // Publish the batch-simulated nominals; a concurrent caller that
+    // beat us through nominalWaveform() wins the call_once and our
+    // copy is simply dropped.
+    for (std::size_t k = 0; k < nominalNeeded.size(); ++k) {
+        std::uint32_t challenge = nominalNeeded[k];
+        std::call_once(nominalOnce_[challenge], [&] {
+            nominalCache_[challenge] =
+                std::move(waveforms[numChipInstances + k]);
+            nominalReady_[challenge].store(true,
+                                           std::memory_order_release);
+        });
+    }
+
+    std::vector<std::vector<std::vector<std::uint8_t>>> responses(
+        challenges.size());
+    for (std::size_t c = 0; c < challenges.size(); ++c) {
+        const std::vector<double> &nominal =
+            nominalWaveform(challenges[c]);
+        const std::size_t base = distinctOf.at(challenges[c]) * numChips;
+        responses[c].reserve(numChips);
+        for (std::size_t chip = 0; chip < numChips; ++chip) {
+            const std::vector<double> &measured = waveforms[base + chip];
+            support::Rng noise(
+                applyNoise ? noiseSeeds[c * numChips + chip] : 0);
+            std::vector<std::uint8_t> bits;
+            bits.reserve(measured.size());
+            for (std::size_t i = 0; i < measured.size(); ++i) {
+                double sample = measured[i];
+                if (applyNoise)
+                    sample += noise.gaussian(0.0, noiseSigma);
+                bits.push_back(sample > nominal[i] ? 1 : 0);
+            }
+            responses[c].push_back(std::move(bits));
+        }
     }
     return responses;
 }
@@ -239,15 +360,15 @@ evaluatePuf(const TlnPuf &puf, int numChips, int numChallenges,
     }
 
     // Responses per (challenge, chip); chip seeds start at 1 (0 is
-    // the nominal reference device). Each challenge's chip battery
-    // integrates concurrently through the ensemble engine.
+    // the nominal reference device). The whole CRP matrix runs as one
+    // cached battery: distinct challenges compile once each and the
+    // full (challenge, chip) ensemble integrates in a single
+    // dispatch — repeated challenge draws cost nothing extra.
     std::vector<std::uint64_t> chipSeeds;
     for (int chip = 1; chip <= numChips; ++chip)
         chipSeeds.push_back(static_cast<std::uint64_t>(chip));
-    std::vector<std::vector<std::vector<std::uint8_t>>> responses(
-        challenges.size());
-    for (std::size_t ci = 0; ci < challenges.size(); ++ci)
-        responses[ci] = puf.responseBatch(challenges[ci], chipSeeds);
+    std::vector<std::vector<std::vector<std::uint8_t>>> responses =
+        puf.responseMatrix(challenges, chipSeeds);
 
     double interSum = 0.0;
     int interCount = 0;
@@ -262,21 +383,25 @@ evaluatePuf(const TlnPuf &puf, int numChips, int numChallenges,
         }
     }
 
+    // Re-measurement pass as one noisy CRP matrix. Noise seeds are
+    // drawn per (challenge, chip) in the same serial order as the
+    // historical per-challenge loop — responseMatrix's flattened
+    // contract is exactly that challenge-major order — so the metrics
+    // are unchanged by the batched evaluation.
     double intraSum = 0.0;
     int intraCount = 0;
-    for (std::size_t ci = 0; ci < challenges.size(); ++ci) {
-        // Seeds drawn per (challenge, chip) in the serial order, so
-        // metrics are unchanged by the batched evaluation.
-        std::vector<std::uint64_t> noiseSeeds;
-        noiseSeeds.reserve(chipSeeds.size());
+    std::vector<std::uint64_t> noiseSeeds;
+    noiseSeeds.reserve(challenges.size() * chipSeeds.size());
+    for (std::size_t ci = 0; ci < challenges.size(); ++ci)
         for (int chip = 1; chip <= numChips; ++chip)
             noiseSeeds.push_back(rng.deriveSeed());
-        auto remeasured = puf.responseBatch(challenges[ci], chipSeeds,
-                                            noiseSigma, noiseSeeds);
+    auto remeasured = puf.responseMatrix(challenges, chipSeeds,
+                                         noiseSigma, noiseSeeds);
+    for (std::size_t ci = 0; ci < challenges.size(); ++ci) {
         for (int chip = 1; chip <= numChips; ++chip) {
             intraSum += hammingFraction(
                 responses[ci][static_cast<std::size_t>(chip - 1)],
-                remeasured[static_cast<std::size_t>(chip - 1)]);
+                remeasured[ci][static_cast<std::size_t>(chip - 1)]);
             ++intraCount;
         }
     }

@@ -17,10 +17,14 @@
  * under measurement noise, ideal 0%), and challenge sensitivity.
  */
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "dg/graph.h"
+#include "engine/session.h"
 #include "lang/language.h"
 #include "sim/sim.h"
 
@@ -61,14 +65,27 @@ struct PufDesign
 
 /**
  * A reconfigurable TLN PUF design bound to the gmc-tln language.
- * Thread-compatible; each call builds, validates and simulates a
- * fresh dynamical graph.
+ * Thread-safe: concurrent response()/waveform() calls are supported
+ * (the nominal-waveform cache is populated once per challenge under
+ * a per-challenge once-flag).
+ *
+ * Compiled chip systems are served through the engine session's
+ * content-addressed ArtifactCache: a (challenge, chipSeed) pair is
+ * built, ILP-validated, and compiled at most once per cache lifetime,
+ * so challenge batteries that revisit challenges (CRP-dataset
+ * generation, evaluatePuf's re-measurement pass) skip compilation
+ * entirely. Pass a Session with caching disabled to reproduce the
+ * historical rebuild-per-call behavior (results are bit-identical
+ * either way).
  */
 class TlnPuf
 {
   public:
-    /** @param gmcTln The gmc-tln language (mismatch types needed). */
-    TlnPuf(const lang::Language &gmcTln, PufDesign design);
+    /** @param gmcTln The gmc-tln language (mismatch types needed).
+     *  @param session Engine front door used for compilation and
+     *         ensemble execution (defaults to the shared cache). */
+    TlnPuf(const lang::Language &gmcTln, PufDesign design,
+           engine::Session session = engine::Session{});
 
     const PufDesign &design() const { return design_; }
 
@@ -118,6 +135,35 @@ class TlnPuf
         unsigned numThreads = 0) const;
 
     /**
+     * Multi-challenge CRP battery: responses[c][chip] is chip
+     * `chipSeeds[chip]`'s response to `challenges[c]`. This is the
+     * cached front door for CRP-dataset generation: each distinct
+     * (challenge, chip) system is compiled once (content-addressed,
+     * warm across calls) and simulated once per call even when the
+     * challenge list repeats entries — repeated challenges replicate
+     * the simulated waveform and differ only in measurement noise.
+     * The whole battery (all distinct challenges x chips) integrates
+     * as ONE ensemble dispatch, so lane batching and the worker pool
+     * amortize across challenges, not just within one.
+     *
+     * `noiseSeeds` must be empty (no noise) or hold one seed per
+     * (challenge, chip) pair, challenge-major
+     * (noiseSeeds[c * chipSeeds.size() + chip]); noise is applied
+     * only when noiseSigma is positive AND seeds are given. With the
+     * default fixed-step design, responses are bit-identical to
+     * calling responseBatch once per challenge; an adaptive Dopri5
+     * design lane-batches across challenges on voted step grids, so
+     * responses match per-challenge calls at tolerance level instead.
+     * @throws ark::support::SimError if any chip simulation fails.
+     */
+    std::vector<std::vector<std::vector<std::uint8_t>>> responseMatrix(
+        const std::vector<std::uint32_t> &challenges,
+        const std::vector<std::uint64_t> &chipSeeds,
+        double noiseSigma = 0.0,
+        const std::vector<std::uint64_t> &noiseSeeds = {},
+        unsigned numThreads = 0) const;
+
+    /**
      * Challenge response: one bit per sample, set when the chip's
      * waveform exceeds the nominal device's waveform at that sample.
      * Additive Gaussian measurement noise models re-measurement.
@@ -130,8 +176,16 @@ class TlnPuf
   private:
     const lang::Language &lang_;
     PufDesign design_;
+    engine::Session session_;
+    /** Nominal waveform per challenge, filled at most once under the
+     *  matching once-flag — safe against concurrent response() calls.
+     *  nominalReady_ flips true after publication; responseMatrix
+     *  probes it to decide whether to fold the nominal device into
+     *  its ensemble dispatch (a stale false only costs a redundant
+     *  instance, never correctness). */
     mutable std::vector<std::vector<double>> nominalCache_;
-    mutable std::vector<bool> nominalCached_;
+    std::unique_ptr<std::once_flag[]> nominalOnce_;
+    std::unique_ptr<std::atomic<bool>[]> nominalReady_;
 
     const std::vector<double> &nominalWaveform(std::uint32_t challenge) const;
 };

@@ -1,0 +1,206 @@
+#include "engine/cache.h"
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "compiler/compiler.h"
+#include "support/logging.h"
+#include "validator/validator.h"
+
+namespace ark::engine {
+
+using support::cat;
+
+std::string
+CacheStats::str() const
+{
+    return cat("systems ", systemHits, " hit / ", systemMisses,
+               " miss / ", systemEvictions, " evicted (", systemsCached,
+               " cached); steppers ", stepperHits, " hit / ",
+               stepperMisses, " miss / ", stepperEvictions, " evicted (",
+               steppersCached, " cached)");
+}
+
+namespace {
+
+/**
+ * One bounded LRU map from Fingerprint to a type-erased shared
+ * artifact. Callers hold the owning mutex; Shard itself is not
+ * synchronized.
+ */
+class Shard
+{
+  public:
+    explicit Shard(std::size_t capacity) : capacity_(capacity) {}
+
+    std::shared_ptr<const void> get(const Fingerprint &key)
+    {
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            ++misses;
+            return nullptr;
+        }
+        ++hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+        return it->second.value;
+    }
+
+    /** Inserts and returns the canonical stored pointer (the
+     *  incumbent when another thread won the build race). */
+    std::shared_ptr<const void> put(const Fingerprint &key,
+                                    std::shared_ptr<const void> value)
+    {
+        if (capacity_ == 0)
+            return value;
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            // Lost race: another thread built the same artifact
+            // first. Keep the incumbent (equal bits by contract).
+            lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+            return it->second.value;
+        }
+        lru_.push_front(key);
+        it = map_.emplace(key, Entry{std::move(value), lru_.begin()})
+                 .first;
+        std::shared_ptr<const void> stored = it->second.value;
+        while (map_.size() > capacity_) {
+            map_.erase(lru_.back());
+            lru_.pop_back();
+            ++evictions;
+        }
+        return stored;
+    }
+
+    void clear()
+    {
+        map_.clear();
+        lru_.clear();
+    }
+
+    std::size_t size() const { return map_.size(); }
+
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const void> value;
+        std::list<Fingerprint>::iterator lruPos;
+    };
+
+    std::size_t capacity_;
+    std::unordered_map<Fingerprint, Entry, FingerprintHash> map_;
+    std::list<Fingerprint> lru_;
+};
+
+} // namespace
+
+struct ArtifactCache::Impl
+{
+    explicit Impl(const CacheConfig &config)
+        : systems(config.maxSystems), steppers(config.maxSteppers)
+    {
+    }
+
+    mutable std::mutex mutex;
+    Shard systems;
+    Shard steppers;
+};
+
+ArtifactCache::ArtifactCache(CacheConfig config)
+    : config_(config), impl_(std::make_unique<Impl>(config))
+{
+}
+
+ArtifactCache::~ArtifactCache() = default;
+
+SystemPtr
+ArtifactCache::system(const dg::Graph &graph, const lang::Language &lang)
+{
+    return system(fingerprintGraph(graph, lang), graph, lang);
+}
+
+SystemPtr
+ArtifactCache::system(const GraphFingerprint &fp, const dg::Graph &graph,
+                      const lang::Language &lang)
+{
+    {
+        std::lock_guard lock(impl_->mutex);
+        if (auto cached = impl_->systems.get(fp.combined))
+            return std::static_pointer_cast<const compiler::OdeSystem>(
+                cached);
+    }
+    // Build outside the lock: validation (ILP) and lowering are the
+    // expensive steps the cache exists to amortize, and holding the
+    // mutex through them would serialize concurrent misses on
+    // *different* graphs. A race on the same graph builds twice;
+    // both results are bit-identical and the first insert wins.
+    validator::validateOrThrow(graph, lang);
+    auto built = std::make_shared<const compiler::OdeSystem>(
+        compiler::compile(graph, lang));
+    std::lock_guard lock(impl_->mutex);
+    return std::static_pointer_cast<const compiler::OdeSystem>(
+        impl_->systems.put(fp.combined, built));
+}
+
+StepperPtr
+ArtifactCache::stepper(const Fingerprint &key,
+                       const std::function<StepperPtr()> &build,
+                       bool *hit)
+{
+    {
+        std::lock_guard lock(impl_->mutex);
+        if (auto cached = impl_->steppers.get(key)) {
+            if (hit)
+                *hit = true;
+            return std::static_pointer_cast<
+                const spice::TransientStepper>(cached);
+        }
+    }
+    if (hit)
+        *hit = false;
+    StepperPtr built = build();
+    support::panicIf(built == nullptr,
+                     "ArtifactCache: stepper build returned null");
+    std::lock_guard lock(impl_->mutex);
+    return std::static_pointer_cast<const spice::TransientStepper>(
+        impl_->steppers.put(key, built));
+}
+
+CacheStats
+ArtifactCache::stats() const
+{
+    std::lock_guard lock(impl_->mutex);
+    CacheStats stats;
+    stats.systemHits = impl_->systems.hits;
+    stats.systemMisses = impl_->systems.misses;
+    stats.systemEvictions = impl_->systems.evictions;
+    stats.stepperHits = impl_->steppers.hits;
+    stats.stepperMisses = impl_->steppers.misses;
+    stats.stepperEvictions = impl_->steppers.evictions;
+    stats.systemsCached = impl_->systems.size();
+    stats.steppersCached = impl_->steppers.size();
+    return stats;
+}
+
+void
+ArtifactCache::clear()
+{
+    std::lock_guard lock(impl_->mutex);
+    impl_->systems.clear();
+    impl_->steppers.clear();
+}
+
+ArtifactCache &
+ArtifactCache::shared()
+{
+    // Leaked intentionally: ensembles may still hold artifacts during
+    // static destruction, and the OS reclaims the memory anyway.
+    static ArtifactCache *instance = new ArtifactCache();
+    return *instance;
+}
+
+} // namespace ark::engine

@@ -1,0 +1,228 @@
+#include "engine/session.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "compiler/compiler.h"
+#include "sim/batch.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "validator/validator.h"
+
+namespace ark::engine {
+
+using support::cat;
+using support::SimError;
+
+SystemPtr
+Session::compile(const dg::Graph &graph, const lang::Language &lang) const
+{
+    if (!options_.caching) {
+        validator::validateOrThrow(graph, lang);
+        return std::make_shared<const compiler::OdeSystem>(
+            compiler::compile(graph, lang));
+    }
+    return cache().system(graph, lang);
+}
+
+std::vector<sim::SimResult>
+Session::runEnsemble(const std::vector<SystemPtr> &systems, double t0,
+                     double t1, const sim::EnsembleOptions &options) const
+{
+    std::vector<const compiler::OdeSystem *> pointers;
+    pointers.reserve(systems.size());
+    for (const SystemPtr &system : systems) {
+        support::panicIf(system == nullptr,
+                         "Session::runEnsemble: null system");
+        pointers.push_back(system.get());
+    }
+    return sim::simulateEnsemble(pointers, t0, t1, options);
+}
+
+std::vector<spice::TransientResult>
+Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
+                  double t0, double t1, double dt,
+                  const spice::TransientBatchOptions &options,
+                  SweepStats *stats) const
+{
+    if (stats)
+        *stats = SweepStats{};
+    if (!options_.caching || !options.sparse) {
+        // Dense path and the caching=false ablation delegate to the
+        // in-sweep engine: factor sharing within the sweep (sparse)
+        // but nothing carried across sweeps.
+        spice::TransientBatch batch(options);
+        spice::TransientBatchStats batchStats;
+        std::vector<spice::TransientResult> results =
+            batch.run(netlists, t0, t1, dt, &batchStats);
+        if (stats)
+            stats->structureGroups = batchStats.structureGroups;
+        return results;
+    }
+
+    if (dt <= 0.0)
+        throw SimError(cat("Session sweep: dt must be positive, got ",
+                           dt));
+    if (t1 < t0)
+        throw SimError(cat("Session sweep: t1 (", t1, ") precedes t0 (",
+                           t0, ")"));
+    const std::size_t count = netlists.size();
+    std::vector<spice::TransientResult> results(count);
+    if (count == 0)
+        return results;
+    for (const spice::Netlist *netlist : netlists)
+        support::panicIf(netlist == nullptr,
+                         "Session sweep: null netlist");
+
+    // Phase 1: assemble + fingerprint every netlist. Assembly rejects
+    // land as structured BadInput failures, exactly like
+    // TransientBatch.
+    std::vector<std::unique_ptr<spice::SparseMnaSystem>> systems(count);
+    std::vector<MnaFingerprint> fps(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        try {
+            systems[i] =
+                std::make_unique<spice::SparseMnaSystem>(*netlists[i]);
+            fps[i] = fingerprintMna(*systems[i]);
+        } catch (const support::ArkError &error) {
+            results[i].failure = spice::detail::errorFailure(error, t0);
+        }
+    }
+
+    // Phase 2: group by structural fingerprint — O(n) against the
+    // quadratic sharesStructure scan — re-verifying each bucket match
+    // with sharesStructure so a hash collision can only split a
+    // group, never merge distinct structures.
+    std::vector<std::size_t> leaderOf(count, count);
+    std::vector<std::size_t> leaders;
+    std::unordered_map<Fingerprint, std::vector<std::size_t>,
+                       FingerprintHash>
+        buckets;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!systems[i])
+            continue;
+        std::vector<std::size_t> &bucket = buckets[fps[i].pattern];
+        for (std::size_t leader : bucket) {
+            if (systems[leader]->sharesStructure(*systems[i])) {
+                leaderOf[i] = leader;
+                break;
+            }
+        }
+        if (leaderOf[i] == count) {
+            leaders.push_back(i);
+            bucket.push_back(i);
+            leaderOf[i] = i;
+        }
+    }
+    if (stats)
+        stats->structureGroups = leaders.size();
+
+    // Phase 3 + 4: resolve each group's factored operators through
+    // the artifact cache and run the transients on the shared pool.
+    // Leader resolution is lazy under a per-leader once-flag so
+    // heterogeneous sweeps factor concurrently; a leader whose values
+    // are singular leaves no shared stepper and members fall back to
+    // standalone (self-pivot-sourced, still cached) factorizations.
+    const double finalH = spice::finalStepSize(t0, t1, dt);
+    ArtifactCache &artifacts = cache();
+    std::atomic<std::size_t> factorHits{0};
+    std::atomic<std::size_t> factorMisses{0};
+    std::vector<StepperPtr> leaderStepper(count);
+    std::vector<std::unique_ptr<std::once_flag>> leaderOnce(count);
+    for (std::size_t leader : leaders)
+        leaderOnce[leader] = std::make_unique<std::once_flag>();
+
+    auto cachedStepper = [&](const Fingerprint &key,
+                             const std::function<StepperPtr()> &build) {
+        bool hit = false;
+        StepperPtr stepper = artifacts.stepper(key, build, &hit);
+        if (hit)
+            ++factorHits;
+        else
+            ++factorMisses;
+        return stepper;
+    };
+
+    std::vector<std::exception_ptr> errors(count);
+    sim::BatchRunner::shared().parallelFor(
+        count, options.numThreads, [&](std::size_t i) {
+            if (results[i].failure.has_value())
+                return; // assembly already failed
+            const spice::SparseMnaSystem &system = *systems[i];
+            const std::size_t leader = leaderOf[i];
+            try {
+                std::call_once(*leaderOnce[leader], [&] {
+                    try {
+                        leaderStepper[leader] = cachedStepper(
+                            stepperKey(fps[leader], fps[leader].values,
+                                       fps[leader].values, dt, finalH),
+                            [&]() -> StepperPtr {
+                                auto built = std::make_shared<
+                                    spice::TransientStepper>(
+                                    *systems[leader], dt);
+                                built->prepareFinalStep(*systems[leader],
+                                                        finalH);
+                                return built;
+                            });
+                    } catch (...) {
+                        // Leader factorization failed; members factor
+                        // standalone and report whatever recurs.
+                    }
+                });
+                StepperPtr stepper;
+                if (leaderStepper[leader] != nullptr &&
+                    system.sharesMatrixValues(*systems[leader])) {
+                    // Bit-identical matrices: share the leader's
+                    // factors outright.
+                    stepper = leaderStepper[leader];
+                } else if (leaderStepper[leader] != nullptr) {
+                    // Same structure, different values: the leader's
+                    // pivot order numerically rebound to this
+                    // instance — the exact factors TransientBatch
+                    // computes, addressed by (pattern, leader values,
+                    // instance values).
+                    stepper = cachedStepper(
+                        stepperKey(fps[i], fps[leader].values,
+                                   fps[i].values, dt, finalH),
+                        [&]() -> StepperPtr {
+                            auto rebound = std::make_shared<
+                                spice::TransientStepper>(
+                                *leaderStepper[leader]);
+                            rebound->rebind(system);
+                            return rebound;
+                        });
+                } else {
+                    stepper = cachedStepper(
+                        stepperKey(fps[i], fps[i].values, fps[i].values,
+                                   dt, finalH),
+                        [&]() -> StepperPtr {
+                            auto built = std::make_shared<
+                                spice::TransientStepper>(system, dt);
+                            built->prepareFinalStep(system, finalH);
+                            return built;
+                        });
+                }
+                results[i] = stepper->run(system, t0, t1);
+            } catch (const support::ArkError &error) {
+                results[i].failure =
+                    spice::detail::errorFailure(error, t0);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    for (std::exception_ptr &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+
+    if (stats) {
+        stats->factorHits = factorHits.load();
+        stats->factorMisses = factorMisses.load();
+    }
+    return results;
+}
+
+} // namespace ark::engine

@@ -1,0 +1,133 @@
+#ifndef ARK_ENGINE_SESSION_H
+#define ARK_ENGINE_SESSION_H
+
+/**
+ * @file
+ * The engine session: one cache-backed front door for repeated
+ * simulation workloads.
+ *
+ * Session unifies the two batch tiers behind content-addressed
+ * artifacts (engine/cache.h):
+ *
+ *  - ODE side: compile() resolves a dynamical graph to a shared
+ *    immutable OdeSystem through the ArtifactCache (ILP validation +
+ *    compiler lowering run once per distinct content), and
+ *    runEnsemble() integrates a batch of such systems on
+ *    sim::BatchRunner::shared() — lane batching, step voting, and
+ *    thread-pool reuse all apply as documented in sim/batch.h.
+ *
+ *  - SPICE side: runSweep() is the cache-backed twin of
+ *    spice::TransientBatch::run. Instances group by structural
+ *    fingerprint (verified with sharesStructure, so hash collisions
+ *    cannot merge distinct structures), each group's factored
+ *    TransientStepper operators are fetched from the cache under
+ *    stepperKey(pattern, leader values, instance values, dt, finalH),
+ *    and transients execute on the shared worker pool. A repeated
+ *    sweep (challenge batteries, re-validation) hits warm factors:
+ *    zero symbolic analyses, zero numeric refactorizations. Results
+ *    are bit-identical to the uncached TransientBatch path because
+ *    cached factors carry their pivot-source in the key — a member
+ *    stepper is always the leader's factors numerically rebound to
+ *    the member's values, exactly what the uncached path computes.
+ *
+ * Sessions are cheap value objects (an options struct and a cache
+ * pointer); copy them freely. All methods are const and thread-safe.
+ * SessionOptions::caching = false bypasses the cache entirely and
+ * reproduces the historical per-call build paths bit-for-bit —
+ * ablation benchmarks and differential tests toggle only that flag.
+ */
+
+#include <vector>
+
+#include "engine/cache.h"
+#include "sim/sim.h"
+#include "spice/batch.h"
+
+namespace ark::engine {
+
+/** Session configuration. */
+struct SessionOptions
+{
+    /**
+     * Serve artifacts through the ArtifactCache. Off rebuilds every
+     * artifact per call (validate + compile, factor per sweep) —
+     * results are bit-identical either way.
+     */
+    bool caching = true;
+
+    /** Cache to use; nullptr selects ArtifactCache::shared(). */
+    ArtifactCache *cache = nullptr;
+};
+
+/** What a cache-backed SPICE sweep did. */
+struct SweepStats
+{
+    /** Distinct netlist structures (same notion as
+     *  spice::TransientBatchStats::structureGroups). */
+    std::size_t structureGroups = 0;
+    /** Factored steppers served from the cache this sweep. */
+    std::size_t factorHits = 0;
+    /** Factored steppers built (symbolic or numeric factorization
+     *  work) this sweep. Hit/miss counters stay 0 on the delegated
+     *  paths (caching off, or the dense ablation), which do not
+     *  address factors by content. */
+    std::size_t factorMisses = 0;
+};
+
+class Session
+{
+  public:
+    Session() = default;
+    explicit Session(SessionOptions options) : options_(options) {}
+
+    const SessionOptions &options() const { return options_; }
+
+    /** The cache this session resolves artifacts against. */
+    ArtifactCache &cache() const
+    {
+        return options_.cache ? *options_.cache
+                              : ArtifactCache::shared();
+    }
+
+    /**
+     * Validates and compiles `graph`, served through the cache (a hit
+     * skips both steps). With caching off, always builds fresh.
+     * @throws ark::support::SemaError / CompileError as the direct
+     *         validate+compile path would.
+     */
+    SystemPtr compile(const dg::Graph &graph,
+                      const lang::Language &lang) const;
+
+    /**
+     * Integrates a batch of shared systems over [t0, t1] on the
+     * process-wide BatchRunner. Contract (ordering, determinism,
+     * structured failures, lane batching) is sim::simulateEnsemble's.
+     */
+    std::vector<sim::SimResult> runEnsemble(
+        const std::vector<SystemPtr> &systems, double t0, double t1,
+        const sim::EnsembleOptions &options = sim::EnsembleOptions{}) const;
+
+    /**
+     * Batched SPICE transient sweep over [t0, t1] with step dt from
+     * zero initial states, sampling every step — the cache-backed
+     * equivalent of spice::TransientBatch::run with identical result
+     * semantics (positional ordering, structured per-instance
+     * failures, SimError on batch-level misconfiguration) and
+     * bit-identical samples. options.sparse = false delegates to the
+     * dense ablation path (never cached — dense factorizations are
+     * not reusable artifacts).
+     */
+    std::vector<spice::TransientResult>
+    runSweep(const std::vector<const spice::Netlist *> &netlists,
+             double t0, double t1, double dt,
+             const spice::TransientBatchOptions &options =
+                 spice::TransientBatchOptions{},
+             SweepStats *stats = nullptr) const;
+
+  private:
+    SessionOptions options_;
+};
+
+} // namespace ark::engine
+
+#endif // ARK_ENGINE_SESSION_H

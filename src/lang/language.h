@@ -13,7 +13,11 @@
  * sema.h enforces when lowering a parsed LangDecl into a Language.
  */
 
+#include <array>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -105,6 +109,23 @@ class Language
      *  (reflexive). */
     bool isDescendantOf(const std::string &ancestor) const;
 
+    /**
+     * One-shot memo slot for a derived 128-bit digest of this
+     * (immutable, never-moved — registry-owned behind a unique_ptr)
+     * language. The first caller's `compute` result is cached; later
+     * calls return it without invoking `compute`. Thread-safe; used
+     * by the engine layer so content fingerprinting hashes each
+     * language's rules and types once per process instead of once
+     * per compiled graph.
+     */
+    std::array<std::uint64_t, 2> memoizedDigest(
+        const std::function<std::array<std::uint64_t, 2>()> &compute)
+        const
+    {
+        std::call_once(digestOnce_, [&] { digest_ = compute(); });
+        return digest_;
+    }
+
   private:
     friend std::unique_ptr<Language> buildLanguage(const LangDecl &,
                                                    const Language *);
@@ -117,6 +138,8 @@ class Language
     std::vector<ProdRule> prodRules_;
     std::vector<Cstr> cstrs_;
     std::vector<std::string> externFuncs_;
+    mutable std::once_flag digestOnce_;
+    mutable std::array<std::uint64_t, 2> digest_{};
 };
 
 /**

@@ -14,9 +14,8 @@ namespace ark::spice {
 using support::cat;
 using support::SimError;
 
-namespace {
+namespace detail {
 
-/** Maps an assembly/factorization exception to a structured failure. */
 TransientFailure
 errorFailure(const support::ArkError &error, double t0)
 {
@@ -25,6 +24,12 @@ errorFailure(const support::ArkError &error, double t0)
                                 : TransientAbort::BadInput;
     return TransientFailure{reason, 0, t0, error.message()};
 }
+
+} // namespace detail
+
+namespace {
+
+using detail::errorFailure;
 
 void
 rethrowFirst(std::vector<std::exception_ptr> &errors)
@@ -135,8 +140,7 @@ TransientBatch::run(const std::vector<const Netlist *> &netlists,
         try {
             systems[i] = std::make_unique<SparseMnaSystem>(*netlists[i]);
         } catch (const support::ArkError &error) {
-            results[i].failure = TransientFailure{
-                TransientAbort::BadInput, 0, t0, error.message()};
+            results[i].failure = errorFailure(error, t0);
         }
     }
 
@@ -160,6 +164,10 @@ TransientBatch::run(const std::vector<const Netlist *> &netlists,
         leaderOnce[leader] = std::make_unique<std::once_flag>();
 
     // Phase 4: per-instance transient on the shared worker pool.
+    // NOTE: engine::Session::runSweep mirrors this leader/share/
+    // rebind/standalone resolution against its artifact cache and
+    // must keep reporting bit-identical results and failures —
+    // parity is pinned by engine_test; change both together.
     sim::BatchRunner::shared().parallelFor(
         count, options_.numThreads, [&](std::size_t i) {
             if (results[i].failure.has_value())

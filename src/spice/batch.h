@@ -39,8 +39,24 @@
 
 #include "spice/mna.h"
 #include "spice/netlist.h"
+#include "support/error.h"
 
 namespace ark::spice {
+
+namespace detail {
+
+/**
+ * Maps an assembly/factorization error to the structured per-instance
+ * failure a sweep reports: ErrorKind::Sim (singular companion) ->
+ * SingularMatrix, everything else -> BadInput. Shared between
+ * TransientBatch and the engine layer's cache-backed sweep
+ * (engine::Session::runSweep) so both report byte-identical failures
+ * for the same event — their result parity is regression-tested in
+ * engine_test.
+ */
+TransientFailure errorFailure(const support::ArkError &error, double t0);
+
+} // namespace detail
 
 /** Controls for a batched transient sweep. */
 struct TransientBatchOptions

@@ -149,6 +149,13 @@ class SparseMnaSystem
      *  factors themselves can be shared (no per-instance refactor). */
     bool sharesMatrixValues(const SparseMnaSystem &other) const;
 
+    /** Assembled u(t) contributions (rows, signs, dc, waveform) —
+     *  exposed for the engine layer's structural fingerprinting. */
+    const std::vector<detail::SourceEntry> &sources() const
+    {
+        return sources_;
+    }
+
   private:
     std::size_t numNodes_;
     std::size_t size_;

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <thread>
+#include <vector>
+
 #include "apps/image.h"
 #include "apps/puf.h"
 #include "paradigms/standard.h"
@@ -172,6 +176,54 @@ TEST_F(PufTest, MetricsAreWellBehaved)
     EXPECT_LT(metrics.uniqueness, 0.75);
     EXPECT_LT(metrics.reliability, metrics.uniqueness);
     EXPECT_GT(metrics.challengeSensitivity, 0.0);
+}
+
+TEST_F(PufTest, ConcurrentResponsesAreSafeAndDeterministic)
+{
+    // Regression: the nominal-waveform cache used to be populated
+    // with unsynchronized writes, so concurrent response() calls on a
+    // fresh TlnPuf raced on it. A fresh instance (empty nominal
+    // cache) is hammered from many threads across challenges that
+    // collide on the nominal entry; every response must equal the
+    // serial reference.
+    apps::PufDesign design;
+    design.mainSections = 6;
+    design.numBranches = 2;
+    design.stubSections = 2;
+    design.responseBits = 16;
+    apps::TlnPuf fresh(registry_->language("gmc-tln"), design);
+
+    const std::vector<std::uint32_t> challenges{1, 2, 1, 3, 2, 1, 3, 2};
+    std::vector<std::vector<std::uint8_t>> expected;
+    for (std::size_t i = 0; i < challenges.size(); ++i)
+        expected.push_back(fresh.response(
+            challenges[i], 1 + (i % 3)));
+
+    apps::TlnPuf hammered(registry_->language("gmc-tln"), design);
+    std::vector<std::vector<std::uint8_t>> got(challenges.size());
+    {
+        std::vector<std::jthread> threads;
+        for (std::size_t i = 0; i < challenges.size(); ++i) {
+            threads.emplace_back([&, i] {
+                got[i] = hammered.response(challenges[i], 1 + (i % 3));
+            });
+        }
+    }
+    for (std::size_t i = 0; i < challenges.size(); ++i)
+        EXPECT_EQ(got[i], expected[i]) << "call " << i;
+}
+
+TEST_F(PufTest, ResponseMatrixSharesSimulationsAcrossRepeats)
+{
+    // The CRP matrix battery must agree with per-challenge batches
+    // while compiling each distinct (challenge, chip) only once.
+    const std::vector<std::uint32_t> challenges{5, 2, 5};
+    const std::vector<std::uint64_t> chips{1, 2};
+    auto matrix = puf_->responseMatrix(challenges, chips);
+    ASSERT_EQ(matrix.size(), 3u);
+    EXPECT_EQ(matrix[0], matrix[2]); // same challenge, no noise
+    for (std::size_t c = 0; c < challenges.size(); ++c)
+        EXPECT_EQ(matrix[c], puf_->responseBatch(challenges[c], chips));
 }
 
 TEST_F(PufTest, DesignValidation)

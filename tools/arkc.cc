@@ -15,6 +15,10 @@
  * `true`/`false`. Built-in languages (tln, gmc-tln, cnn, hw-cnn, obc,
  * ofs-obc, intercon-obc) are preloaded, so user .ark files can extend
  * them directly.
+ *
+ * Compilation runs through the engine's content-addressed artifact
+ * cache (ark::engine::Session); `--cache-stats` on equations/run
+ * prints the hit/miss counters to stderr after the command.
  */
 
 #include <fstream>
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "compiler/compiler.h"
+#include "engine/session.h"
 #include "lang/parser.h"
 #include "lang/registry.h"
 #include "paradigms/cnn.h"
@@ -34,7 +39,6 @@
 #include "support/error.h"
 #include "support/strings.h"
 #include "support/table.h"
-#include "validator/validator.h"
 
 namespace {
 
@@ -49,7 +53,10 @@ usage()
         "  arkc parse <file.ark>...\n"
         "  arkc equations <file.ark> <func> [args...]\n"
         "  arkc run <file.ark> <func> [args...] [--seed N] [--t-end T]\n"
-        "       [--record-dt D] [--observe node1,node2,...]\n";
+        "       [--record-dt D] [--observe node1,node2,...]\n"
+        "\n"
+        "equations/run compile through the engine artifact cache;\n"
+        "--cache-stats prints its hit/miss counters to stderr.\n";
     return 2;
 }
 
@@ -97,6 +104,7 @@ struct RunOptions
     double tEnd = 1.0;
     double recordDt = 0.0;
     std::vector<std::string> observe;
+    bool cacheStats = false;
 };
 
 RunOptions
@@ -122,6 +130,8 @@ parseRunArgs(int argc, char **argv, int first)
             options.recordDt = std::stod(next());
         } else if (arg == "--observe") {
             options.observe = support::split(next(), ',');
+        } else if (arg == "--cache-stats") {
+            options.cacheStats = true;
         } else {
             options.args.push_back(parseArgValue(arg));
         }
@@ -165,7 +175,8 @@ cmdParse(int argc, char **argv)
     return 0;
 }
 
-/** Shared invoke + validate path for equations/run. */
+/** Shared invoke path for equations/run (validation happens inside
+ *  the engine session's cached compile). */
 dg::Graph
 buildGraph(lang::LanguageRegistry &registry, const RunOptions &options,
            const lang::Language **langOut)
@@ -173,10 +184,17 @@ buildGraph(lang::LanguageRegistry &registry, const RunOptions &options,
     registry.addProgram(readFile(options.file));
     dg::Graph graph =
         registry.invoke(options.func, options.args, options.seed);
-    const lang::Language &lang = registry.language(graph.langName());
-    validator::validateOrThrow(graph, lang);
-    *langOut = &lang;
+    *langOut = &registry.language(graph.langName());
     return graph;
+}
+
+/** Prints the engine cache counters when --cache-stats was given. */
+void
+reportCacheStats(const RunOptions &options, const engine::Session &session)
+{
+    if (options.cacheStats)
+        std::cerr << "arkc: cache: " << session.cache().stats().str()
+                  << "\n";
 }
 
 int
@@ -186,8 +204,10 @@ cmdEquations(int argc, char **argv)
     lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
     const lang::Language *lang = nullptr;
     dg::Graph graph = buildGraph(registry, options, &lang);
-    compiler::OdeSystem system = compiler::compile(graph, *lang);
-    std::cout << system.equationsStr();
+    engine::Session session;
+    engine::SystemPtr system = session.compile(graph, *lang);
+    std::cout << system->equationsStr();
+    reportCacheStats(options, session);
     return 0;
 }
 
@@ -198,7 +218,9 @@ cmdRun(int argc, char **argv)
     lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
     const lang::Language *lang = nullptr;
     dg::Graph graph = buildGraph(registry, options, &lang);
-    compiler::OdeSystem system = compiler::compile(graph, *lang);
+    engine::Session session;
+    engine::SystemPtr systemPtr = session.compile(graph, *lang);
+    const compiler::OdeSystem &system = *systemPtr;
 
     sim::SimOptions simOptions;
     simOptions.recordDt = options.recordDt > 0
@@ -235,6 +257,7 @@ cmdRun(int argc, char **argv)
                               [static_cast<std::size_t>(idx)]);
         csv.writeRow(row);
     }
+    reportCacheStats(options, session);
     return 0;
 }
 

@@ -23,9 +23,20 @@ import sys
 
 
 def load_entries(path):
-    """Maps (binary, benchmark name) -> benchmark record."""
-    with open(path, "r", encoding="utf-8") as handle:
-        snapshot = json.load(handle)
+    """Maps (binary, benchmark name) -> benchmark record.
+
+    Exits with a clean diagnostic (code 2) for unreadable or malformed
+    snapshots instead of a traceback, so CI logs stay legible.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except OSError as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"bench_diff: {path} is not valid JSON: {err}")
+    if not isinstance(snapshot, dict):
+        sys.exit(f"bench_diff: {path} is not a bench_smoke snapshot")
     entries = {}
     for binary in snapshot.get("benchmarks", []):
         if not binary.get("ok") or "report" not in binary:
@@ -34,16 +45,21 @@ def load_entries(path):
             # Aggregate rows (mean/median/stddev) would double-count.
             if bench.get("run_type") == "aggregate":
                 continue
-            entries[(binary["binary"], bench["name"])] = bench
+            if "name" not in bench:
+                continue
+            entries[(binary.get("binary", "?"), bench["name"])] = bench
     return entries
 
 
 def metric_of(bench):
-    """Returns (value, unit, higher_is_better) for one record."""
+    """Returns (value, unit, higher_is_better), or None when the
+    record carries no comparable metric."""
     if "items_per_second" in bench:
         return bench["items_per_second"], "items/s", True
-    unit = bench.get("time_unit", "ns")
-    return bench["real_time"], unit, False
+    if "real_time" in bench:
+        unit = bench.get("time_unit", "ns")
+        return bench["real_time"], unit, False
+    return None
 
 
 def fmt(value):
@@ -70,13 +86,18 @@ def main():
     rows = []
     regressions = []
     for key in sorted(old.keys() & new.keys()):
-        old_value, unit, higher_better = metric_of(old[key])
-        new_value, new_unit, new_higher = metric_of(new[key])
+        old_metric = metric_of(old[key])
+        new_metric = metric_of(new[key])
+        if old_metric is None or new_metric is None:
+            rows.append((key, "no comparable metric", ""))
+            continue
+        old_value, unit, higher_better = old_metric
+        new_value, new_unit, new_higher = new_metric
         if unit != new_unit or higher_better != new_higher:
             rows.append((key, "metric changed", ""))
             continue
-        if old_value == 0:
-            rows.append((key, "baseline is 0", ""))
+        if old_value == 0 or new_value == 0:
+            rows.append((key, "zero-valued metric", ""))
             continue
         # Positive delta = improvement in both metric directions.
         if higher_better:
