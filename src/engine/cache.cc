@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "compiler/compiler.h"
+#include "support/faultinject.h"
 #include "support/logging.h"
 #include "validator/validator.h"
 
@@ -36,6 +37,14 @@ class Shard
 
     std::shared_ptr<const void> get(const Fingerprint &key)
     {
+        // Deterministic fault injection: a forced miss makes the
+        // caller rebuild even when the artifact is resident — tests
+        // use it to prove rebuilds are bit-identical to cached serves.
+        if (support::FaultInjector::shouldFire(
+                support::FaultSite::CacheMiss)) {
+            ++misses;
+            return nullptr;
+        }
         auto it = map_.find(key);
         if (it == map_.end()) {
             ++misses;
@@ -68,6 +77,18 @@ class Shard
             map_.erase(lru_.back());
             lru_.pop_back();
             ++evictions;
+        }
+        // Deterministic fault injection: evict the entry we just
+        // inserted, as capacity pressure would — the caller still
+        // gets the built artifact; the next lookup must rebuild.
+        if (support::FaultInjector::shouldFire(
+                support::FaultSite::CacheEvict)) {
+            auto inserted = map_.find(key);
+            if (inserted != map_.end()) {
+                lru_.erase(inserted->second.lruPos);
+                map_.erase(inserted);
+                ++evictions;
+            }
         }
         return stored;
     }

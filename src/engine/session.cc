@@ -1,11 +1,13 @@
 #include "engine/session.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "compiler/compiler.h"
 #include "sim/batch.h"
@@ -17,6 +19,92 @@ namespace ark::engine {
 
 using support::cat;
 using support::SimError;
+
+namespace {
+
+bool
+deadlinePassed(
+    const std::optional<std::chrono::steady_clock::time_point> &deadline)
+{
+    return deadline &&
+           std::chrono::steady_clock::now() >= *deadline;
+}
+
+/** Serialized (completed, total) dispatcher; free when callback empty
+ *  (same contract as the TransientBatch-internal ticker — the cached
+ *  sweep must report progress identically to the uncached one). */
+class ProgressTicker
+{
+  public:
+    ProgressTicker(
+        const std::function<void(std::size_t, std::size_t)> &callback,
+        std::size_t total)
+        : callback_(callback), total_(total)
+    {
+    }
+
+    void
+    tick()
+    {
+        if (!callback_)
+            return;
+        std::lock_guard lock(mutex_);
+        callback_(++completed_, total_);
+    }
+
+  private:
+    const std::function<void(std::size_t, std::size_t)> &callback_;
+    std::size_t total_;
+    std::mutex mutex_;
+    std::size_t completed_ = 0;
+};
+
+/** True when a supervised ensemble retry can change the outcome. */
+bool
+retryableSimFailure(const sim::SimFailure &failure)
+{
+    return failure.reason == sim::AbortReason::Diverged ||
+           failure.reason == sim::AbortReason::Fault ||
+           failure.reason == sim::AbortReason::BudgetExhausted;
+}
+
+/** Tallies the terminal failure mix of a finished batch. */
+void
+countSimOutcomes(const std::vector<sim::SimResult> &results,
+                 RunReport &report)
+{
+    for (const sim::SimResult &result : results) {
+        if (!result.failure)
+            continue;
+        switch (result.failure->reason) {
+        case sim::AbortReason::BudgetExhausted: ++report.budgetHits; break;
+        case sim::AbortReason::DeadlineExceeded:
+            ++report.deadlineHits;
+            break;
+        case sim::AbortReason::Cancelled: ++report.cancelled; break;
+        default: break;
+        }
+    }
+}
+
+void
+countSweepOutcomes(const std::vector<spice::TransientResult> &results,
+                   RunReport &report)
+{
+    for (const spice::TransientResult &result : results) {
+        if (!result.failure)
+            continue;
+        switch (result.failure->reason) {
+        case spice::TransientAbort::DeadlineExceeded:
+            ++report.deadlineHits;
+            break;
+        case spice::TransientAbort::Cancelled: ++report.cancelled; break;
+        default: break;
+        }
+    }
+}
+
+} // namespace
 
 SystemPtr
 Session::compile(const dg::Graph &graph, const lang::Language &lang) const
@@ -148,10 +236,25 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
     };
 
     std::vector<std::exception_ptr> errors(count);
+    ProgressTicker progress(options.progress, count);
+    const spice::TransientControl control{options.stop, options.deadline};
     sim::BatchRunner::shared().parallelFor(
         count, options.numThreads, [&](std::size_t i) {
-            if (results[i].failure.has_value())
-                return; // assembly already failed
+            if (results[i].failure.has_value()) {
+                progress.tick(); // assembly already failed
+                return;
+            }
+            if (options.stop.stop_requested()) {
+                // Skipped before starting: no samples at all.
+                results[i].failure = spice::detail::cancelledFailure(t0, 0);
+                progress.tick();
+                return;
+            }
+            if (deadlinePassed(options.deadline)) {
+                results[i].failure = spice::detail::deadlineFailure(t0, 0);
+                progress.tick();
+                return;
+            }
             const spice::SparseMnaSystem &system = *systems[i];
             const std::size_t leader = leaderOf[i];
             try {
@@ -206,13 +309,14 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
                             return built;
                         });
                 }
-                results[i] = stepper->run(system, t0, t1);
+                results[i] = stepper->run(system, t0, t1, {}, control);
             } catch (const support::ArkError &error) {
                 results[i].failure =
                     spice::detail::errorFailure(error, t0);
             } catch (...) {
                 errors[i] = std::current_exception();
             }
+            progress.tick();
         });
     for (std::exception_ptr &error : errors)
         if (error)
@@ -222,6 +326,242 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
         stats->factorHits = factorHits.load();
         stats->factorMisses = factorMisses.load();
     }
+    return results;
+}
+
+std::vector<sim::SimResult>
+Session::runEnsemble(const std::vector<SystemPtr> &systems, double t0,
+                     double t1, const sim::EnsembleOptions &options,
+                     const RunPolicy &policy, RunReport *report) const
+{
+    RunReport local;
+    RunReport &rep = report ? *report : local;
+    rep = RunReport{};
+    rep.instances = systems.size();
+
+    if (policy.maxAttempts <= 1) {
+        // Supervisor off: bit-identical to the plain overload,
+        // including the exception-rethrow contract.
+        std::vector<sim::SimResult> results =
+            runEnsemble(systems, t0, t1, options);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (results[i].ok())
+                continue;
+            ++rep.firstAttemptFailures;
+            ++rep.unrecovered;
+            RunReport::InstanceRecord record;
+            record.index = i;
+            record.finalError = results[i].failure->message;
+            rep.records.push_back(std::move(record));
+        }
+        countSimOutcomes(results, rep);
+        return results;
+    }
+
+    // First attempt: the normal batch, but with faults captured as
+    // structured failures so they become retryable data.
+    sim::EnsembleOptions firstOptions = options;
+    firstOptions.structuredFaults = true;
+    std::vector<sim::SimResult> results =
+        runEnsemble(systems, t0, t1, firstOptions);
+
+    // One record per first-attempt failure; only the retryable subset
+    // climbs the ladder.
+    std::vector<std::size_t> recordOf(results.size(), results.size());
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].ok())
+            continue;
+        ++rep.firstAttemptFailures;
+        recordOf[i] = rep.records.size();
+        RunReport::InstanceRecord record;
+        record.index = i;
+        rep.records.push_back(std::move(record));
+        if (retryableSimFailure(*results[i].failure))
+            pending.push_back(i);
+    }
+
+    const double baseDt =
+        options.sim.dt > 0.0 ? options.sim.dt : (t1 - t0) / 1000.0;
+    for (int attempt = 2;
+         attempt <= policy.maxAttempts && !pending.empty(); ++attempt) {
+        if (options.stop.stop_requested() ||
+            deadlinePassed(options.deadline))
+            break; // the caller asked for the stop: no more attempts
+
+        // Rung 0 is the pure scalar re-run (when retryScalar); each
+        // further rung degrades dt and tolerances cumulatively.
+        const int rung = policy.retryScalar ? attempt - 2 : attempt - 1;
+        const bool relaxed = policy.relaxOnRetry && rung >= 1;
+        sim::EnsembleOptions retryOptions = options;
+        retryOptions.structuredFaults = true;
+        retryOptions.progress = {}; // progress ticked on attempt 1
+        if (policy.retryScalar)
+            retryOptions.laneBatching = false;
+        if (relaxed) {
+            double dtScale = 1.0, tolScale = 1.0;
+            for (int r = 0; r < rung; ++r) {
+                dtScale *= policy.dtFactor;
+                tolScale *= policy.tolFactor;
+            }
+            retryOptions.sim.dt = baseDt * dtScale;
+            retryOptions.sim.absTol = options.sim.absTol * tolScale;
+            retryOptions.sim.relTol = options.sim.relTol * tolScale;
+        }
+
+        std::vector<SystemPtr> retrySystems;
+        retrySystems.reserve(pending.size());
+        for (std::size_t index : pending)
+            retrySystems.push_back(systems[index]);
+        std::vector<sim::SimResult> retried =
+            runEnsemble(retrySystems, t0, t1, retryOptions);
+
+        std::vector<std::size_t> still;
+        for (std::size_t j = 0; j < pending.size(); ++j) {
+            const std::size_t index = pending[j];
+            RunReport::InstanceRecord &record =
+                rep.records[recordOf[index]];
+            ++record.attempts;
+            if (relaxed) {
+                record.actions.push_back(
+                    RunReport::Action::RelaxedRetry);
+                ++rep.relaxedRetries;
+            } else {
+                record.actions.push_back(RunReport::Action::ScalarRetry);
+                ++rep.scalarRetries;
+            }
+            results[index] = std::move(retried[j]);
+            if (!results[index].ok() &&
+                retryableSimFailure(*results[index].failure))
+                still.push_back(index);
+        }
+        pending = std::move(still);
+    }
+
+    for (RunReport::InstanceRecord &record : rep.records) {
+        record.recovered = results[record.index].ok();
+        if (record.recovered)
+            ++rep.recovered;
+        else {
+            ++rep.unrecovered;
+            record.finalError = results[record.index].failure->message;
+        }
+    }
+    countSimOutcomes(results, rep);
+    return results;
+}
+
+std::vector<spice::TransientResult>
+Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
+                  double t0, double t1, double dt,
+                  const spice::TransientBatchOptions &options,
+                  const RunPolicy &policy, RunReport *report,
+                  SweepStats *stats) const
+{
+    RunReport local;
+    RunReport &rep = report ? *report : local;
+    rep = RunReport{};
+    rep.instances = netlists.size();
+
+    std::vector<spice::TransientResult> results =
+        runSweep(netlists, t0, t1, dt, options, stats);
+
+    if (policy.maxAttempts <= 1) {
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (!results[i].failure)
+                continue;
+            ++rep.firstAttemptFailures;
+            ++rep.unrecovered;
+            RunReport::InstanceRecord record;
+            record.index = i;
+            record.finalError = results[i].failure->message;
+            rep.records.push_back(std::move(record));
+        }
+        countSweepOutcomes(results, rep);
+        return results;
+    }
+
+    // SingularMatrix falls back to the dense transient (partial
+    // pivoting succeeds where the sparse static-order refactorization
+    // collapsed); NonfiniteState re-runs sparse at a degraded dt when
+    // relaxOnRetry allows it. Retries are rare, so they run serially
+    // on the calling thread.
+    auto sweepRetryable = [&](const spice::TransientFailure &failure) {
+        if (failure.reason == spice::TransientAbort::SingularMatrix)
+            return policy.denseFallback;
+        if (failure.reason == spice::TransientAbort::NonfiniteState)
+            return policy.relaxOnRetry;
+        return false;
+    };
+
+    std::vector<std::size_t> recordOf(results.size(), results.size());
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].failure)
+            continue;
+        ++rep.firstAttemptFailures;
+        recordOf[i] = rep.records.size();
+        RunReport::InstanceRecord record;
+        record.index = i;
+        rep.records.push_back(std::move(record));
+        if (sweepRetryable(*results[i].failure))
+            pending.push_back(i);
+    }
+
+    const spice::TransientControl control{options.stop, options.deadline};
+    for (int attempt = 2;
+         attempt <= policy.maxAttempts && !pending.empty(); ++attempt) {
+        if (options.stop.stop_requested() ||
+            deadlinePassed(options.deadline))
+            break;
+        double relaxedDt = dt;
+        for (int r = 0; r < attempt - 1; ++r)
+            relaxedDt *= policy.dtFactor;
+
+        std::vector<std::size_t> still;
+        for (std::size_t index : pending) {
+            RunReport::InstanceRecord &record =
+                rep.records[recordOf[index]];
+            ++record.attempts;
+            const spice::TransientAbort reason =
+                results[index].failure->reason;
+            try {
+                if (reason == spice::TransientAbort::SingularMatrix) {
+                    record.actions.push_back(
+                        RunReport::Action::DenseFallback);
+                    ++rep.denseFallbacks;
+                    spice::MnaSystem dense(*netlists[index]);
+                    results[index] = spice::transient(dense, t0, t1, dt,
+                                                      {}, control);
+                } else {
+                    record.actions.push_back(
+                        RunReport::Action::RelaxedRetry);
+                    ++rep.relaxedRetries;
+                    spice::SparseMnaSystem sparse(*netlists[index]);
+                    results[index] = spice::transient(
+                        sparse, t0, t1, relaxedDt, {}, control);
+                }
+            } catch (const support::ArkError &error) {
+                results[index].failure =
+                    spice::detail::errorFailure(error, t0);
+            }
+            if (results[index].failure &&
+                sweepRetryable(*results[index].failure))
+                still.push_back(index);
+        }
+        pending = std::move(still);
+    }
+
+    for (RunReport::InstanceRecord &record : rep.records) {
+        record.recovered = !results[record.index].failure.has_value();
+        if (record.recovered)
+            ++rep.recovered;
+        else {
+            ++rep.unrecovered;
+            record.finalError = results[record.index].failure->message;
+        }
+    }
+    countSweepOutcomes(results, rep);
     return results;
 }
 

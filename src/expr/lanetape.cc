@@ -2,9 +2,11 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "expr/builtins.h"
 #include "expr/fusedtape.h"
+#include "support/faultinject.h"
 #include "support/logging.h"
 
 namespace ark::expr {
@@ -291,19 +293,26 @@ LaneTape::evalInto(const double *state, double t, double *out,
     switch (width_) {
       case 1:
         evalIntoT<1>(state, t, out, regs);
-        return;
+        break;
       case 2:
         evalIntoT<2>(state, t, out, regs);
-        return;
+        break;
       case 4:
         evalIntoT<4>(state, t, out, regs);
-        return;
+        break;
       case 8:
         evalIntoT<8>(state, t, out, regs);
-        return;
+        break;
       default:
         support::panic("LaneTape: bad width");
     }
+    // Deterministic fault injection: poison output 0 of lane 0 (the
+    // lane-minor layout puts it at out[0]) — a single-lane numerical
+    // fault, so tests can watch one lane retire while its block-mates
+    // keep integrating. Zero cost disarmed.
+    if (support::FaultInjector::shouldFire(support::FaultSite::TapeNan) &&
+        numOutputs_ > 0)
+        out[0] = std::numeric_limits<double>::quiet_NaN();
 }
 
 } // namespace ark::expr

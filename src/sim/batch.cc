@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdint>
@@ -14,6 +15,7 @@
 #include "expr/lanetape.h"
 #include "sim/dopri5.h"
 #include "support/error.h"
+#include "support/faultinject.h"
 #include "support/logging.h"
 
 namespace ark::sim {
@@ -22,6 +24,8 @@ using support::cat;
 using support::SimError;
 
 namespace {
+
+using Deadline = std::optional<std::chrono::steady_clock::time_point>;
 
 /** Lazily-grown pool cap; parked workers are cheap but not free. */
 constexpr unsigned kMaxPoolThreads = 64;
@@ -34,6 +38,34 @@ cancelledResult(double t)
     return result;
 }
 
+SimResult
+deadlineResult(double t)
+{
+    SimResult result;
+    result.failure = detail::deadlineFailure(t, 0);
+    return result;
+}
+
+bool
+deadlinePassed(const Deadline &deadline)
+{
+    return deadline &&
+           std::chrono::steady_clock::now() >= *deadline;
+}
+
+/** Message for an in-flight exception (structured fault capture). */
+std::string
+currentExceptionMessage()
+{
+    try {
+        throw;
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown exception";
+    }
+}
+
 /**
  * Lane-batched fixed-step RK4 over one block. Mirrors the scalar RK4
  * driver in sim.cc operation-for-operation — same stage expressions,
@@ -42,13 +74,17 @@ cancelledResult(double t)
  * A lane whose state goes nonfinite is masked out with a structured
  * failure (recording stops, its columns keep computing ignored
  * garbage; lanes never mix, so the rest of the block is unaffected).
+ * Budget exhaustion is likewise structural: all lanes share one fixed
+ * grid, so when the step budget runs out every still-active lane
+ * retires with a BudgetExhausted failure — exactly what each would
+ * have reported in a serial run.
  */
 std::vector<SimResult>
 runLaneRk4(const expr::LaneTape &tape,
            const std::vector<const std::vector<double> *> &initials,
            const std::vector<const compiler::OdeSystem *> &systems,
            double t0, double t1, const SimOptions &options,
-           const std::stop_token &stop,
+           const std::stop_token &stop, const Deadline &deadline,
            const std::function<void(std::size_t)> &laneDone)
 {
     const std::size_t lanes = tape.lanes();
@@ -130,14 +166,25 @@ runLaneRk4(const expr::LaneTape &tape,
 
     while (t < t1 - 1e-15 * std::max(1.0, std::fabs(t1))) {
         double h = std::min(dt, t1 - t);
-        if (steps >= options.maxSteps)
-            throw SimError("step budget exhausted (RK4)");
-        if (stop.stop_requested()) {
+        if (steps >= options.maxSteps) {
             for (std::size_t l = 0; l < lanes; ++l) {
                 if (!alive[l])
                     continue;
                 results[l].steps = steps;
-                results[l].failure = detail::cancelledFailure(t, steps);
+                results[l].failure = detail::budgetFailure(t, steps);
+            }
+            laneDone(aliveCount);
+            return results;
+        }
+        if (stop.stop_requested() || deadlinePassed(deadline)) {
+            const bool cancel = stop.stop_requested();
+            for (std::size_t l = 0; l < lanes; ++l) {
+                if (!alive[l])
+                    continue;
+                results[l].steps = steps;
+                results[l].failure =
+                    cancel ? detail::cancelledFailure(t, steps)
+                           : detail::deadlineFailure(t, steps);
             }
             laneDone(aliveCount);
             return results;
@@ -211,9 +258,12 @@ runLaneRk4(const expr::LaneTape &tape,
  * equivalent to scalar Dopri5 (every accepted step satisfied every
  * lane's error test), not bitwise; the voting sequence depends only
  * on the block membership, so results are bit-identical across
- * thread counts. Step collapse or budget exhaustion on the shared
- * step throws for the block as a unit, mirroring the scalar throw
- * semantics per instance.
+ * thread counts. Step collapse on the shared step still throws for
+ * the block as a unit (a tolerance/step-floor misconfiguration, not a
+ * per-instance property); budget exhaustion is charged per lane — a
+ * lane retires with a structured BudgetExhausted failure once the
+ * shared accepted steps plus ITS OWN voted-down rejections reach
+ * maxSteps, and the healthy lanes integrate on.
  */
 class LaneDopri5
 {
@@ -222,10 +272,10 @@ class LaneDopri5
                const std::vector<const std::vector<double> *> &initials,
                const std::vector<const compiler::OdeSystem *> &systems,
                double t0, double t1, const SimOptions &options,
-               const std::stop_token &stop,
+               const std::stop_token &stop, const Deadline &deadline,
                const std::function<void(std::size_t)> &laneDone)
         : tapes_(tapes), systems_(systems), options_(options),
-          stop_(stop), laneDone_(laneDone),
+          stop_(stop), deadline_(deadline), laneDone_(laneDone),
           n_(tapes.front()->numOutputs()), t1_(t1),
           end_(t1 - 1e-15 * std::max(1.0, std::fabs(t1))),
           hMax_(options.maxDt > 0 ? options.maxDt : (t1 - t0) / 10.0),
@@ -383,16 +433,42 @@ class LaneDopri5
             h_ = std::min(h_, hMax_);
             if (h_ < 1e-18 * std::max(1.0, std::fabs(t_)))
                 throw SimError(cat("step size collapsed at t=", t_));
-            if (steps_ + rejectedShared_ >= options_.maxSteps)
-                throw SimError("step budget exhausted (DOPRI5)");
-            if (stop_.stop_requested()) {
+            // Per-lane budget: shared accepted steps plus the lane's
+            // own voted-down rejections — the same accounting the
+            // scalar driver applies to steps + rejectedSteps. Only
+            // the exhausted lane retires; its block-mates vote on.
+            bool budgetRetired = false;
+            for (std::size_t s = 0; s < L; ++s) {
+                if (!alive[s] ||
+                    steps_ + active_[s].rejected < options_.maxSteps)
+                    continue;
+                SimResult &r = results_[active_[s].member];
+                r.steps = steps_;
+                r.rejectedSteps = active_[s].rejected;
+                r.failure = detail::budgetFailure(t_, steps_);
+                alive[s] = 0;
+                --aliveCount;
+                laneDone_(1);
+                budgetRetired = true;
+            }
+            if (aliveCount == 0)
+                return Status::Done;
+            if (budgetRetired &&
+                (aliveCount == 1 || aliveCount <= W / 2)) {
+                compactInto(state, k1, alive, W);
+                return Status::Compact;
+            }
+            if (stop_.stop_requested() || deadlinePassed(deadline_)) {
+                const bool cancel = stop_.stop_requested();
                 for (std::size_t s = 0; s < L; ++s) {
                     if (!alive[s])
                         continue;
                     SimResult &r = results_[active_[s].member];
                     r.steps = steps_;
                     r.rejectedSteps = active_[s].rejected;
-                    r.failure = detail::cancelledFailure(t_, steps_);
+                    r.failure =
+                        cancel ? detail::cancelledFailure(t_, steps_)
+                               : detail::deadlineFailure(t_, steps_);
                 }
                 laneDone_(aliveCount);
                 return Status::Done;
@@ -615,12 +691,19 @@ class LaneDopri5
             h_ = std::min(h_, hMax_);
             if (h_ < 1e-18 * std::max(1.0, std::fabs(t_)))
                 throw SimError(cat("step size collapsed at t=", t_));
-            if (steps_ + rejectedShared_ >= options_.maxSteps)
-                throw SimError("step budget exhausted (DOPRI5)");
-            if (stop_.stop_requested()) {
+            if (steps_ + lane.rejected >= options_.maxSteps) {
                 r.steps = steps_;
                 r.rejectedSteps = lane.rejected;
-                r.failure = detail::cancelledFailure(t_, steps_);
+                r.failure = detail::budgetFailure(t_, steps_);
+                laneDone_(1);
+                return;
+            }
+            if (stop_.stop_requested() || deadlinePassed(deadline_)) {
+                r.steps = steps_;
+                r.rejectedSteps = lane.rejected;
+                r.failure = stop_.stop_requested()
+                                ? detail::cancelledFailure(t_, steps_)
+                                : detail::deadlineFailure(t_, steps_);
                 laneDone_(1);
                 return;
             }
@@ -745,6 +828,7 @@ class LaneDopri5
     const std::vector<const compiler::OdeSystem *> &systems_;
     const SimOptions &options_;
     const std::stop_token &stop_;
+    const Deadline &deadline_;
     const std::function<void(std::size_t)> &laneDone_;
 
     const std::size_t n_;  ///< State variables per instance.
@@ -1056,10 +1140,17 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
                 instanceDone(done);
             };
         try {
+            if (support::FaultInjector::shouldFire(
+                    support::FaultSite::WorkerTask))
+                throw SimError("fault injection: worker task fault");
             if (options.stop.stop_requested()) {
                 // Skipped before starting: no samples at all.
                 for (std::size_t member : job.members)
                     results[member] = cancelledResult(t0);
+                laneDone(job.members.size());
+            } else if (deadlinePassed(options.deadline)) {
+                for (std::size_t member : job.members)
+                    results[member] = deadlineResult(t0);
                 laneDone(job.members.size());
             } else if (job.lane) {
                 std::vector<const expr::FusedTape *> tapes;
@@ -1083,11 +1174,11 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
                                      "BatchRunner: lane merge failed");
                     block = runLaneRk4(*tape, inits, blockSystems, t0,
                                        t1, options.sim, options.stop,
-                                       laneDone);
+                                       options.deadline, laneDone);
                 } else {
                     block = LaneDopri5(tapes, inits, blockSystems, t0,
                                        t1, options.sim, options.stop,
-                                       laneDone)
+                                       options.deadline, laneDone)
                                 .run();
                 }
                 for (std::size_t k = 0; k < job.members.size(); ++k)
@@ -1096,12 +1187,24 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
                 std::size_t member = job.members.front();
                 results[member] = detail::simulateWithStop(
                     systemOf(member), initialOf(member), t0, t1,
-                    options.sim, options.stop);
+                    options.sim, options.stop, options.deadline);
                 laneDone(1);
             }
         } catch (...) {
-            for (std::size_t member : job.members)
-                errors[member] = std::current_exception();
+            if (options.structuredFaults) {
+                // Capture the escape as a per-instance Fault failure:
+                // the retry supervisor treats it as data, and the
+                // batch as a whole no longer throws for it.
+                std::string what = currentExceptionMessage();
+                for (std::size_t member : job.members) {
+                    SimResult faulted;
+                    faulted.failure = detail::faultFailure(t0, what);
+                    results[member] = std::move(faulted);
+                }
+            } else {
+                for (std::size_t member : job.members)
+                    errors[member] = std::current_exception();
+            }
         }
         // A thrown block (step collapse, budget) still accounts for
         // every member so `completed` reaches `total` exactly once.

@@ -23,9 +23,13 @@
  *    to the lanes whose error exceeded 1 (per-lane rejection
  *    masking). A diverging lane (nonfinite error estimate or
  *    accepted state) retires on the spot with a structured failure
- *    while the rest keep integrating; when survivors fit a narrower
- *    SoA width the block compacts, and a single survivor spills to a
- *    scalar continuation of the exact sim.cc recurrence. The shared
+ *    while the rest keep integrating, and so does a lane whose step
+ *    budget runs out (shared accepted steps plus the lane's own
+ *    rejections reaching maxSteps retires THAT lane with
+ *    BudgetExhausted — a stiff instance cannot take down its
+ *    lane-mates); when survivors fit a narrower SoA width the block
+ *    compacts, and a single survivor spills to a scalar continuation
+ *    of the exact sim.cc recurrence. The shared
  *    voted grid makes batched adaptive trajectories tolerance-level
  *    equivalent to serial Dopri5 (every accepted step satisfied
  *    every lane's error test; empirically the voted grid, being the
@@ -54,6 +58,16 @@
  * the total. SimOptions::tapeFma routes every driver (scalar and
  * lane) through the FMA-contracted tape variant uniformly, so the
  * lane-vs-scalar identity contracts above hold for either setting.
+ *
+ * Failure discipline (the arkd-prerequisite contract): divergence,
+ * budget exhaustion, cancellation, and deadline expiry are always
+ * structured per-instance failures — never exceptions — on every
+ * path (scalar, lane RK4, voted Dopri5, spill). Exceptions are
+ * reserved for caller errors and step-size collapse; with
+ * EnsembleOptions::structuredFaults even those are captured as
+ * AbortReason::Fault failures on the affected instances instead of
+ * rethrowing, which is how the engine::Session retry supervisor
+ * turns faults into retryable work.
  */
 
 #include <memory>

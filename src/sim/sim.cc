@@ -137,6 +137,7 @@ struct Driver
     const compiler::OdeSystem &system;
     const SimOptions &options;
     const std::stop_token &stop;
+    const std::optional<std::chrono::steady_clock::time_point> &deadline;
     /** The RHS program: the plain fused tape, or its FMA-contracted
      *  variant when options.tapeFma is set. */
     const expr::FusedTape &tape;
@@ -146,10 +147,12 @@ struct Driver
     double recordDt;
 
     Driver(const compiler::OdeSystem &sys, const SimOptions &opts,
-           const std::stop_token &stopToken)
+           const std::stop_token &stopToken,
+           const std::optional<std::chrono::steady_clock::time_point>
+               &deadlinePoint)
         : system(sys), options(opts), stop(stopToken),
-          tape(sys.rhsTape(opts.tapeFma)), scratch(sys.scratchSize()),
-          recordDt(opts.recordDt)
+          deadline(deadlinePoint), tape(sys.rhsTape(opts.tapeFma)),
+          scratch(sys.scratchSize()), recordDt(opts.recordDt)
     {
     }
 
@@ -178,14 +181,30 @@ struct Driver
             detail::divergedFailure(system, var, t, result.steps);
     }
 
-    /** True when the stop token fired; records the cancellation. */
+    /** Records a budget-exhaustion abort; the integrator must return. */
+    void
+    failBudget(double t)
+    {
+        result.failure = detail::budgetFailure(t, result.steps);
+    }
+
+    /**
+     * True when the stop token fired or the wall-clock deadline
+     * passed; records the matching structured failure.
+     */
     bool
     cancelled(double t)
     {
-        if (!stop.stop_requested())
-            return false;
-        result.failure = detail::cancelledFailure(t, result.steps);
-        return true;
+        if (stop.stop_requested()) {
+            result.failure = detail::cancelledFailure(t, result.steps);
+            return true;
+        }
+        if (deadline &&
+            std::chrono::steady_clock::now() >= *deadline) {
+            result.failure = detail::deadlineFailure(t, result.steps);
+            return true;
+        }
+        return false;
     }
 };
 
@@ -205,8 +224,10 @@ runRk4(Driver &driver, std::vector<double> &state, double t0, double t1,
     driver.record(t, state, true, &k1);
     while (t < t1 - 1e-15 * std::max(1.0, std::fabs(t1))) {
         double h = std::min(dt, t1 - t);
-        if (driver.result.steps >= driver.options.maxSteps)
-            throw SimError("step budget exhausted (RK4)");
+        if (driver.result.steps >= driver.options.maxSteps) {
+            driver.failBudget(t);
+            return;
+        }
         if (driver.cancelled(t))
             return;
         for (std::size_t i = 0; i < n; ++i)
@@ -277,7 +298,8 @@ runDopri5(Driver &driver, std::vector<double> &state, double t0, double t1,
             throw SimError(cat("step size collapsed at t=", t));
         if (driver.result.steps + driver.result.rejectedSteps >=
             driver.options.maxSteps) {
-            throw SimError("step budget exhausted (DOPRI5)");
+            driver.failBudget(t);
+            return;
         }
         if (driver.cancelled(t))
             return;
@@ -406,11 +428,45 @@ detail::cancelledFailure(double t, std::size_t steps)
     return failure;
 }
 
+SimFailure
+detail::budgetFailure(double t, std::size_t steps)
+{
+    SimFailure failure;
+    failure.reason = AbortReason::BudgetExhausted;
+    failure.step = steps;
+    failure.time = t;
+    failure.message =
+        cat("step budget exhausted after step ", steps, " at t=", t);
+    return failure;
+}
+
+SimFailure
+detail::deadlineFailure(double t, std::size_t steps)
+{
+    SimFailure failure;
+    failure.reason = AbortReason::DeadlineExceeded;
+    failure.step = steps;
+    failure.time = t;
+    failure.message = cat("deadline exceeded at t=", t);
+    return failure;
+}
+
+SimFailure
+detail::faultFailure(double t, const std::string &what)
+{
+    SimFailure failure;
+    failure.reason = AbortReason::Fault;
+    failure.time = t;
+    failure.message = cat("internal fault: ", what);
+    return failure;
+}
+
 SimResult
-detail::simulateWithStop(const compiler::OdeSystem &system,
-                         const std::vector<double> &initial, double t0,
-                         double t1, const SimOptions &options,
-                         const std::stop_token &stop)
+detail::simulateWithStop(
+    const compiler::OdeSystem &system, const std::vector<double> &initial,
+    double t0, double t1, const SimOptions &options,
+    const std::stop_token &stop,
+    const std::optional<std::chrono::steady_clock::time_point> &deadline)
 {
     if (t1 <= t0)
         throw SimError("simulate: t1 must exceed t0");
@@ -419,7 +475,7 @@ detail::simulateWithStop(const compiler::OdeSystem &system,
                            initial.size(), " entries, system has ",
                            system.size()));
     }
-    Driver driver(system, options, stop);
+    Driver driver(system, options, stop, deadline);
     std::vector<double> state = initial;
     if (int bad = firstNonfinite(state); bad >= 0) {
         driver.failDiverged(bad, t0);

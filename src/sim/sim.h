@@ -52,6 +52,7 @@
  * worker pool and honor EnsembleOptions::progress/stop.
  */
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -168,10 +169,24 @@ class Trajectory
     bool derivsDropped_ = false;
 };
 
-/** Why an instance stopped before reaching t1. */
+/**
+ * Why an instance stopped before reaching t1.
+ *
+ * Failure taxonomy (the arkd admission-control contract): every entry
+ * here is an *instance-level* outcome — it is reported as a structured
+ * SimResult::failure on exactly the affected instance, never as an
+ * exception that poisons co-batched neighbors. Exceptions remain
+ * reserved for caller errors (bad time range, wrong state dimension)
+ * and for step-size collapse, which indicates a misconfigured
+ * tolerance/step floor rather than a property of one instance's data.
+ */
 enum class AbortReason : std::uint8_t {
     Diverged,  ///< A state variable went NaN/Inf.
     Cancelled, ///< The ensemble's stop token was triggered.
+    BudgetExhausted,  ///< SimOptions::maxSteps spent before reaching t1.
+    DeadlineExceeded, ///< EnsembleOptions::deadline passed mid-run.
+    Fault, ///< An internal exception was captured as a structured
+           ///< failure (EnsembleOptions::structuredFaults).
 };
 
 /**
@@ -180,7 +195,10 @@ enum class AbortReason : std::uint8_t {
  * and aborts the instance right there — it is never integrated onward
  * toward maxSteps — recording which step and which state variable
  * went bad. The trajectory keeps every sample recorded before the
- * failure.
+ * failure. Budget exhaustion and deadline expiry are reported the same
+ * way: the instance stops at the step where the budget ran out (or the
+ * wall clock passed the deadline) and keeps everything recorded so
+ * far.
  */
 struct SimFailure
 {
@@ -207,11 +225,11 @@ struct SimResult
 
 /**
  * Integrates the system from t0 to t1. A diverging state (NaN/Inf)
- * stops the run early and reports a structured SimResult::failure;
- * configuration errors (bad time range, step collapse, exhausted step
- * budget) still throw.
- * @throws ark::support::SimError on step collapse or step budget
- *         exhaustion.
+ * stops the run early and reports a structured SimResult::failure, and
+ * so does an exhausted step budget (AbortReason::BudgetExhausted, with
+ * every sample recorded up to the stop); configuration errors (bad
+ * time range, step collapse) still throw.
+ * @throws ark::support::SimError on step-size collapse.
  */
 SimResult simulate(const compiler::OdeSystem &system, double t0, double t1,
                    const SimOptions &options = SimOptions{});
@@ -271,6 +289,28 @@ struct EnsembleOptions
      * never requests stop.
      */
     std::stop_token stop;
+
+    /**
+     * Wall-clock deadline, checked cooperatively at the same step
+     * granularity as `stop`. Once steady_clock passes it, running
+     * instances abort at their next step check and instances not yet
+     * started are skipped; all affected results carry an
+     * AbortReason::DeadlineExceeded failure, and everything that
+     * completed before the cutoff is returned untouched (bit-identical
+     * to the same run without a deadline). Unset = no deadline.
+     */
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+
+    /**
+     * When true, an exception escaping an instance (or a lane block)
+     * is captured as an AbortReason::Fault failure on the affected
+     * result(s) instead of being rethrown after the batch drains —
+     * simulateEnsemble then never throws for per-instance causes. Off
+     * by default to preserve the historical rethrow contract; the
+     * engine::Session retry supervisor turns it on so faults become
+     * retryable data instead of control flow.
+     */
+    bool structuredFaults = false;
 };
 
 /**
@@ -285,12 +325,16 @@ struct EnsembleOptions
  * block assignment, so batched adaptive results are still
  * bit-identical across thread counts.
  *
- * Divergence no longer throws — the affected instance's result
- * carries a structured failure. If any instance throws (step budget,
- * step collapse), the remaining instances still run to completion and
- * the lowest-indexed error is rethrown (a lane-batched Dopri5 block
- * throws as a unit: step collapse on the shared step affects every
- * member of the block).
+ * Divergence, budget exhaustion, deadline expiry, and cancellation
+ * never throw — the affected instance's result carries a structured
+ * failure, and healthy lane-mates in the same block keep integrating
+ * (an exhausted or diverged lane retires alone). If an instance still
+ * throws (step collapse, internal fault), the remaining instances run
+ * to completion and the lowest-indexed error is rethrown (a
+ * lane-batched Dopri5 block throws as a unit: step collapse on the
+ * shared step affects every member of the block) — unless
+ * options.structuredFaults is set, in which case the capture becomes
+ * an AbortReason::Fault failure on the affected result(s) instead.
  */
 std::vector<SimResult> simulateEnsemble(
     const compiler::OdeSystem &system,
@@ -318,14 +362,16 @@ SimResult simulateToSteadyState(const compiler::OdeSystem &system,
 namespace detail {
 
 /**
- * simulate() with a cooperative stop token checked once per step —
- * the scalar-path workhorse behind BatchRunner. Not part of the
- * public API.
+ * simulate() with a cooperative stop token and optional wall-clock
+ * deadline checked once per step — the scalar-path workhorse behind
+ * BatchRunner. Not part of the public API.
  */
-SimResult simulateWithStop(const compiler::OdeSystem &system,
-                           const std::vector<double> &initial, double t0,
-                           double t1, const SimOptions &options,
-                           const std::stop_token &stop);
+SimResult simulateWithStop(
+    const compiler::OdeSystem &system, const std::vector<double> &initial,
+    double t0, double t1, const SimOptions &options,
+    const std::stop_token &stop,
+    const std::optional<std::chrono::steady_clock::time_point> &deadline =
+        {});
 
 /**
  * Shared failure constructors: the scalar and lane integrators must
@@ -336,6 +382,9 @@ SimResult simulateWithStop(const compiler::OdeSystem &system,
 SimFailure divergedFailure(const compiler::OdeSystem &system, int var,
                            double t, std::size_t steps);
 SimFailure cancelledFailure(double t, std::size_t steps);
+SimFailure budgetFailure(double t, std::size_t steps);
+SimFailure deadlineFailure(double t, std::size_t steps);
+SimFailure faultFailure(double t, const std::string &what);
 
 } // namespace detail
 

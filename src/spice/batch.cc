@@ -31,6 +31,44 @@ namespace {
 
 using detail::errorFailure;
 
+bool
+deadlinePassed(
+    const std::optional<std::chrono::steady_clock::time_point> &deadline)
+{
+    return deadline &&
+           std::chrono::steady_clock::now() >= *deadline;
+}
+
+/**
+ * Serialized (completed, total) progress dispatcher shared by both
+ * batch paths; a default-constructed callback makes every tick free.
+ */
+class ProgressTicker
+{
+  public:
+    ProgressTicker(
+        const std::function<void(std::size_t, std::size_t)> &callback,
+        std::size_t total)
+        : callback_(callback), total_(total)
+    {
+    }
+
+    void
+    tick()
+    {
+        if (!callback_)
+            return;
+        std::lock_guard lock(mutex_);
+        callback_(++completed_, total_);
+    }
+
+  private:
+    const std::function<void(std::size_t, std::size_t)> &callback_;
+    std::size_t total_;
+    std::mutex mutex_;
+    std::size_t completed_ = 0;
+};
+
 void
 rethrowFirst(std::vector<std::exception_ptr> &errors)
 {
@@ -114,20 +152,31 @@ TransientBatch::run(const std::vector<const Netlist *> &netlists,
                          "TransientBatch: null netlist");
 
     std::vector<std::exception_ptr> errors(count);
+    ProgressTicker progress(options_.progress, count);
+    const TransientControl control{options_.stop, options_.deadline};
 
     if (!options_.sparse) {
         // Dense ablation path: independent assembly + transient per
         // instance, parallelized but with no factor sharing.
         sim::BatchRunner::shared().parallelFor(
             count, options_.numThreads, [&](std::size_t i) {
-                try {
-                    MnaSystem system(*netlists[i]);
-                    results[i] = transient(system, t0, t1, dt);
-                } catch (const support::ArkError &error) {
-                    results[i].failure = errorFailure(error, t0);
-                } catch (...) {
-                    errors[i] = std::current_exception();
+                if (options_.stop.stop_requested()) {
+                    // Skipped before starting: no samples at all.
+                    results[i].failure = detail::cancelledFailure(t0, 0);
+                } else if (deadlinePassed(options_.deadline)) {
+                    results[i].failure = detail::deadlineFailure(t0, 0);
+                } else {
+                    try {
+                        MnaSystem system(*netlists[i]);
+                        results[i] =
+                            transient(system, t0, t1, dt, {}, control);
+                    } catch (const support::ArkError &error) {
+                        results[i].failure = errorFailure(error, t0);
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
                 }
+                progress.tick();
             });
         rethrowFirst(errors);
         return results;
@@ -170,8 +219,21 @@ TransientBatch::run(const std::vector<const Netlist *> &netlists,
     // parity is pinned by engine_test; change both together.
     sim::BatchRunner::shared().parallelFor(
         count, options_.numThreads, [&](std::size_t i) {
-            if (results[i].failure.has_value())
-                return; // assembly already failed
+            if (results[i].failure.has_value()) {
+                progress.tick(); // assembly already failed
+                return;
+            }
+            if (options_.stop.stop_requested()) {
+                // Skipped before starting: no samples at all.
+                results[i].failure = detail::cancelledFailure(t0, 0);
+                progress.tick();
+                return;
+            }
+            if (deadlinePassed(options_.deadline)) {
+                results[i].failure = detail::deadlineFailure(t0, 0);
+                progress.tick();
+                return;
+            }
             const SparseMnaSystem &system = *systems[i];
             const std::size_t leader = leaderOf[i];
             try {
@@ -209,12 +271,13 @@ TransientBatch::run(const std::vector<const Netlist *> &netlists,
                     own.emplace(system, dt);
                     stepper = &*own;
                 }
-                results[i] = stepper->run(system, t0, t1);
+                results[i] = stepper->run(system, t0, t1, {}, control);
             } catch (const support::ArkError &error) {
                 results[i].failure = errorFailure(error, t0);
             } catch (...) {
                 errors[i] = std::current_exception();
             }
+            progress.tick();
         });
     rethrowFirst(errors);
     return results;

@@ -35,9 +35,11 @@
  * before the failure.
  */
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stop_token>
 #include <string>
 #include <vector>
 
@@ -166,11 +168,21 @@ class SparseMnaSystem
     std::vector<detail::SourceEntry> sources_;
 };
 
-/** Why a transient run stopped before t1. */
+/**
+ * Why a transient run stopped before t1.
+ *
+ * Failure taxonomy (mirroring sim::AbortReason on the ODE side):
+ * every entry is an instance-level outcome reported as a structured
+ * TransientResult::failure on exactly the affected instance, so one
+ * bad sweep member can never abort its batch. Exceptions remain
+ * reserved for caller errors on the single-instance entry points.
+ */
 enum class TransientAbort : std::uint8_t {
     BadInput,        ///< Rejected configuration (batch path only).
     SingularMatrix,  ///< Companion factorization failed (batch path only).
     NonfiniteState,  ///< An unknown went NaN/Inf mid-run.
+    Cancelled,        ///< The batch's stop token was triggered.
+    DeadlineExceeded, ///< The wall-clock deadline passed mid-run.
 };
 
 /** Structured early-stop report for a transient run. */
@@ -181,6 +193,34 @@ struct TransientFailure
     double time = 0.0;    ///< Integration time reached.
     std::string message;  ///< Human-readable summary.
 };
+
+/**
+ * Cooperative execution controls for a transient run, checked once
+ * per step — the SPICE-side counterpart of the stop/deadline pair in
+ * sim::EnsembleOptions. A triggered stop token aborts the run with a
+ * Cancelled failure at the next step boundary; a passed deadline
+ * aborts with DeadlineExceeded (stop wins when both hold). Samples
+ * recorded before the abort are kept. Default-constructed controls
+ * never fire.
+ */
+struct TransientControl
+{
+    std::stop_token stop;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+namespace detail {
+
+/**
+ * Shared failure constructors for cancellation and deadline expiry:
+ * the transient drivers and both sweep engines (TransientBatch,
+ * engine::Session::runSweep) must report byte-identical failures for
+ * the same event, so all of them build the failure here.
+ */
+TransientFailure cancelledFailure(double t, std::size_t step);
+TransientFailure deadlineFailure(double t, std::size_t step);
+
+} // namespace detail
 
 /**
  * Transient result: times plus all unknowns per sample in one flat
@@ -285,12 +325,14 @@ class TransientStepper
      * currently bound values) from x0 (zeros when empty) over
      * [t0, t1], sampling every step. Thread-safe: run() is const and
      * touches no shared mutable state, so one stepper may serve
-     * concurrent value-identical instances.
+     * concurrent value-identical instances. `control` adds
+     * cooperative cancellation/deadline checks at step granularity
+     * (see TransientControl); the defaults never fire.
      * @throws support::SimError for invalid t0/t1/x0.
      */
     TransientResult run(const SparseMnaSystem &system, double t0,
-                        double t1,
-                        const std::vector<double> &x0 = {}) const;
+                        double t1, const std::vector<double> &x0 = {},
+                        const TransientControl &control = {}) const;
 
   private:
     double dt_;
@@ -322,13 +364,14 @@ class TransientStepper
  *         samples recorded before the event.
  */
 TransientResult transient(const MnaSystem &system, double t0, double t1,
-                          double dt,
-                          const std::vector<double> &x0 = {});
+                          double dt, const std::vector<double> &x0 = {},
+                          const TransientControl &control = {});
 
 /** Sparse-path transient; same contract and (to rounding) results. */
 TransientResult transient(const SparseMnaSystem &system, double t0,
                           double t1, double dt,
-                          const std::vector<double> &x0 = {});
+                          const std::vector<double> &x0 = {},
+                          const TransientControl &control = {});
 
 /**
  * Size of the last step a trapezoidal transient over [t0, t1] with

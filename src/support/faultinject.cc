@@ -1,0 +1,76 @@
+#include "support/faultinject.h"
+
+#include <cstddef>
+
+namespace ark::support {
+
+namespace {
+
+struct SiteState
+{
+    std::atomic<bool> armed{false};
+    std::atomic<std::uint64_t> skip{0};
+    std::atomic<std::uint64_t> fires{0};
+    std::atomic<std::uint64_t> seen{0};
+    std::atomic<std::uint64_t> fired{0};
+};
+
+constexpr std::size_t kSiteCount =
+    static_cast<std::size_t>(FaultSite::kSiteCount_);
+
+SiteState &stateOf(FaultSite site)
+{
+    static SiteState states[kSiteCount];
+    return states[static_cast<std::size_t>(site)];
+}
+
+} // namespace
+
+std::atomic<bool> FaultInjector::anyArmed_{false};
+
+void FaultInjector::arm(FaultSite site, std::uint64_t skip,
+                        std::uint64_t fires)
+{
+    auto &s = stateOf(site);
+    s.seen.store(0, std::memory_order_relaxed);
+    s.fired.store(0, std::memory_order_relaxed);
+    s.skip.store(skip, std::memory_order_relaxed);
+    s.fires.store(fires, std::memory_order_relaxed);
+    s.armed.store(true, std::memory_order_relaxed);
+    anyArmed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarmAll()
+{
+    for (std::size_t i = 0; i < kSiteCount; ++i)
+        stateOf(static_cast<FaultSite>(i))
+            .armed.store(false, std::memory_order_relaxed);
+    anyArmed_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::seen(FaultSite site)
+{
+    return stateOf(site).seen.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fired(FaultSite site)
+{
+    return stateOf(site).fired.load(std::memory_order_relaxed);
+}
+
+bool FaultInjector::fireSlow(FaultSite site)
+{
+    auto &s = stateOf(site);
+    if (!s.armed.load(std::memory_order_relaxed))
+        return false;
+    auto n = s.seen.fetch_add(1, std::memory_order_relaxed);
+    if (n < s.skip.load(std::memory_order_relaxed))
+        return false;
+    if (n >= s.skip.load(std::memory_order_relaxed) +
+                 s.fires.load(std::memory_order_relaxed))
+        return false;
+    s.fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+} // namespace ark::support

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/error.h"
+#include "support/faultinject.h"
 #include "support/logging.h"
 
 namespace ark::support {
@@ -117,6 +118,13 @@ SparseLu::SparseLu(const SparseMatrix &a)
     : n_(a.rows()), aRowPtr_(a.rowPtr()), aCol_(a.colIndex())
 {
     panicIf(a.rows() != a.cols(), "SparseLu requires a square matrix");
+
+    // Deterministic fault injection: present as the singular-pivot
+    // failure a numerically degenerate matrix would raise, so tests
+    // can drive the sparse->dense fallback ladder on demand.
+    if (FaultInjector::shouldFire(FaultSite::SparseLuPivot))
+        throw ArkError(ErrorKind::Sim,
+                       "fault injection: forced pivot failure");
 
     // CSC view of A keeping each entry's CSR value index, so refactor
     // can scatter a new instance's values without re-walking the CSR.
@@ -282,6 +290,9 @@ SparseLu::refactor(const SparseMatrix &a)
                        "SparseLu::refactor: matrix pattern differs from "
                        "the factored structure");
     }
+    if (FaultInjector::shouldFire(FaultSite::SparseLuPivot))
+        throw ArkError(ErrorKind::Sim,
+                       "fault injection: forced pivot failure");
     const std::vector<double> &aVal = a.values();
     std::vector<double> w(n_, 0.0);
     for (std::size_t j = 0; j < n_; ++j) {

@@ -338,6 +338,87 @@ TEST(Dopri5BatchTest, StiffLaneSetsTheSharedPace)
                 serialSlow.trajectory.sampleAt(0, 1.0), 1e-4);
 }
 
+/** x'' = -w^2 x^3: amplitude-dependent stiffness, so the stiffest
+ *  lane keeps failing proposed steps (charged to it alone) while its
+ *  block-mates pass — the per-lane step-budget accounting fixture. */
+OdeSystem
+duffingSystem(lang::LanguageRegistry &registry, double w)
+{
+    if (!registry.findLanguage("duff5")) {
+        registry.addProgram(R"(
+            lang duff5 {
+                ntyp(2,sum) X {attr w2=real[0,100000],
+                               init(0) real[-10,10],
+                               init(1) real[-10,10]};
+                etyp E {};
+                prod(e:E,s:X->s:X) s <= -s.w2*var(s)*var(s)*var(s);
+            }
+        )");
+    }
+    GraphBuilder builder(registry.language("duff5"), 0);
+    builder.node("x", "X");
+    builder.attr("x", "w2", w * w);
+    builder.edge("self", "E", "x", "x");
+    builder.init("x", 0, 1.0);
+    builder.init("x", 1, 0.0);
+    return compiler::compile(builder.take(), registry.language("duff5"));
+}
+
+TEST(Dopri5BatchTest, BudgetExhaustionRetiresOnlyTheExhaustedLane)
+{
+    // Regression: an exhausted step budget on the voted lane path
+    // used to throw SimError for the whole block. It must instead be
+    // charged to the exhausted lane (steps + that lane's rejections)
+    // as a structured BudgetExhausted failure while the healthy
+    // lane-mates keep integrating to t1. One 100x-stiffer Duffing
+    // lane accrues all the rejections in the block (~20 at these
+    // tolerances; its mates none), so with the budget set between the
+    // shared accepted-step count and the stiff lane's charged total,
+    // only the stiff lane trips.
+    lang::LanguageRegistry registry;
+    std::vector<OdeSystem> systems;
+    for (double w : {1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 200.0})
+        systems.push_back(duffingSystem(registry, w));
+    std::vector<const OdeSystem *> pointers;
+    for (const OdeSystem &system : systems)
+        pointers.push_back(&system);
+
+    EnsembleOptions options;
+    options.numThreads = 1;
+    options.sim.maxSteps = 1000;
+    std::vector<std::pair<std::size_t, std::size_t>> calls;
+    std::mutex m;
+    options.progress = [&](std::size_t done, std::size_t total) {
+        std::lock_guard lock(m);
+        calls.emplace_back(done, total);
+    };
+    std::vector<SimResult> batch =
+        sim::simulateEnsemble(pointers, 0.0, 1.0, options);
+    ASSERT_EQ(batch.size(), 8u);
+
+    for (std::size_t i = 0; i + 1 < batch.size(); ++i) {
+        ASSERT_TRUE(batch[i].ok()) << "instance " << i;
+        EXPECT_NEAR(batch[i].trajectory.times().back(), 1.0, 1e-9);
+    }
+    const SimResult &stiff = batch.back();
+    ASSERT_FALSE(stiff.ok());
+    EXPECT_EQ(stiff.failure->reason, sim::AbortReason::BudgetExhausted);
+    // The lane is charged its shared accepted steps plus its own
+    // rejections, exactly like scalar simulate().
+    EXPECT_GE(stiff.steps + stiff.rejectedSteps, options.sim.maxSteps);
+    EXPECT_GT(stiff.rejectedSteps, 0u);
+    EXPECT_LT(stiff.failure->time, 1.0);
+    // The retirement surfaced through progress, which still reaches
+    // the total exactly once.
+    std::size_t prev = 0;
+    for (auto [done, total] : calls) {
+        EXPECT_EQ(total, batch.size());
+        EXPECT_GT(done, prev);
+        prev = done;
+    }
+    EXPECT_EQ(prev, batch.size());
+}
+
 TEST(Dopri5BatchTest, DivergingLanesRetireThroughCompactionAndSpill)
 {
     // Eight instances of one drain system with staggered zero

@@ -430,7 +430,15 @@ TEST(SimTest, StepBudgetGuards)
     options.method = Method::Rk4;
     options.dt = 1e-9; // would need 1e9 steps
     options.maxSteps = 1000;
-    EXPECT_THROW(sim::simulate(system, 0.0, 1.0, options), SimError);
+    // Budget exhaustion is an instance-level outcome, not an error:
+    // the run stops with a structured BudgetExhausted failure and
+    // keeps everything integrated up to the stop.
+    SimResult result = sim::simulate(system, 0.0, 1.0, options);
+    ASSERT_TRUE(result.failure.has_value());
+    EXPECT_EQ(result.failure->reason, sim::AbortReason::BudgetExhausted);
+    EXPECT_EQ(result.steps, 1000u);
+    EXPECT_LT(result.failure->time, 1.0);
+    EXPECT_FALSE(result.trajectory.times().empty());
 }
 
 TEST(SimTest, FinalTimeRecorded)
