@@ -6,12 +6,20 @@
  * design space, interrogates three simulated "fabricated chips" with
  * the same challenges, and prints their responses — device-unique
  * because each chip carries its own Gm mismatch.
+ *
+ * `tln_puf --trace out.json` records the battery as a Chrome trace
+ * (compile, lane-block, and cache spans; load in chrome://tracing or
+ * Perfetto); `--metrics` dumps the engine telemetry counters to
+ * stderr afterwards.
  */
 
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "apps/puf.h"
 #include "paradigms/standard.h"
+#include "support/telemetry.h"
 
 namespace {
 
@@ -28,9 +36,24 @@ bitsToString(const std::vector<std::uint8_t> &bits)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ark;
+
+    bool metrics = false;
+    std::optional<telemetry::TraceSession> trace;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--metrics") {
+            metrics = true;
+            telemetry::setMetricsEnabled(true);
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace.emplace(argv[++i]);
+        } else {
+            std::cerr << "usage: tln_puf [--metrics] [--trace out.json]\n";
+            return 2;
+        }
+    }
 
     lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
     const lang::Language &gmc = registry.language("gmc-tln");
@@ -77,5 +100,8 @@ main()
     std::cout << "  intra-chip distance: "
               << apps::hammingFraction(r1, noisy) << "\n";
     std::cout << "\n(ideal PUF: inter-chip ~0.5, intra-chip ~0)\n";
+
+    if (metrics)
+        std::cerr << puf.session().metricsSnapshot().str();
     return 0;
 }

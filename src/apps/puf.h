@@ -89,6 +89,9 @@ class TlnPuf
 
     const PufDesign &design() const { return design_; }
 
+    /** The engine session this PUF compiles and simulates through. */
+    const engine::Session &session() const { return session_; }
+
     /**
      * Builds the PUF dynamical graph for one chip and challenge.
      * @param challenge Bit b enables stub b (must fit numBranches).

@@ -6,6 +6,7 @@
 #include "expr/fold.h"
 #include "support/error.h"
 #include "support/logging.h"
+#include "support/telemetry.h"
 
 namespace ark::compiler {
 
@@ -246,6 +247,14 @@ class Compilation
 OdeSystem
 compile(const dg::Graph &graph, const lang::Language &lang)
 {
+    static telemetry::Counter &systems =
+        telemetry::Registry::shared().counter("ark.compile.systems");
+    static telemetry::Histogram &lowerNs =
+        telemetry::Registry::shared().histogram("ark.compile.lower_ns");
+    telemetry::ScopedSpan span("ark.compile.lower", graph.numNodes());
+    telemetry::ScopedTimer timer(lowerNs);
+    systems.add();
+
     Compilation session(graph, lang);
     return session.run();
 }

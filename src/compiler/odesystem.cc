@@ -5,6 +5,7 @@
 #include "expr/eval.h"
 #include "support/error.h"
 #include "support/logging.h"
+#include "support/telemetry.h"
 
 namespace ark::compiler {
 
@@ -29,6 +30,14 @@ OdeSystem::OdeSystem(std::vector<StateVar> vars,
     support::panicIf(vars_.size() != initial_.size() ||
                      vars_.size() != rhs_.size(),
                      "OdeSystem: inconsistent component sizes");
+    static telemetry::Histogram &tapesNs =
+        telemetry::Registry::shared().histogram("ark.compile.tapes_ns");
+    static telemetry::Counter &tapeOps =
+        telemetry::Registry::shared().counter("ark.compile.tape_ops");
+    static telemetry::Counter &tapeRegs =
+        telemetry::Registry::shared().counter("ark.compile.tape_regs");
+    telemetry::ScopedSpan span("ark.compile.tapes", rhs_.size());
+    telemetry::ScopedTimer timer(tapesNs);
     tapes_.reserve(rhs_.size());
     for (const auto &e : rhs_)
         tapes_.push_back(expr::Tape::compile(e));
@@ -50,6 +59,9 @@ OdeSystem::OdeSystem(std::vector<StateVar> vars,
         scratchSize_ = std::max(
             scratchSize_, static_cast<std::size_t>(tape.numRegs()));
     }
+
+    tapeOps.add(fused_.size());
+    tapeRegs.add(static_cast<std::uint64_t>(fused_.numRegs()));
 }
 
 int

@@ -7,6 +7,7 @@
 #include "compiler/compiler.h"
 #include "support/faultinject.h"
 #include "support/logging.h"
+#include "support/telemetry.h"
 #include "validator/validator.h"
 
 namespace ark::engine {
@@ -33,7 +34,21 @@ namespace {
 class Shard
 {
   public:
-    explicit Shard(std::size_t capacity) : capacity_(capacity) {}
+    /**
+     * The three telemetry counters mirror the member tallies: every
+     * ++hits/++misses/++evictions below also bumps its registry twin,
+     * so CacheStats, the metrics registry, and (through the hit
+     * out-param) SweepStats all count by one definition — in
+     * particular, a FaultInjector-forced miss or evict is a miss or
+     * evict in every ledger.
+     */
+    Shard(std::size_t capacity, telemetry::Counter &hitCounter,
+          telemetry::Counter &missCounter,
+          telemetry::Counter &evictionCounter)
+        : hitCounter_(hitCounter), missCounter_(missCounter),
+          evictionCounter_(evictionCounter), capacity_(capacity)
+    {
+    }
 
     std::shared_ptr<const void> get(const Fingerprint &key)
     {
@@ -43,14 +58,17 @@ class Shard
         if (support::FaultInjector::shouldFire(
                 support::FaultSite::CacheMiss)) {
             ++misses;
+            missCounter_.add();
             return nullptr;
         }
         auto it = map_.find(key);
         if (it == map_.end()) {
             ++misses;
+            missCounter_.add();
             return nullptr;
         }
         ++hits;
+        hitCounter_.add();
         lru_.splice(lru_.begin(), lru_, it->second.lruPos);
         return it->second.value;
     }
@@ -77,6 +95,7 @@ class Shard
             map_.erase(lru_.back());
             lru_.pop_back();
             ++evictions;
+            evictionCounter_.add();
         }
         // Deterministic fault injection: evict the entry we just
         // inserted, as capacity pressure would — the caller still
@@ -88,6 +107,7 @@ class Shard
                 lru_.erase(inserted->second.lruPos);
                 map_.erase(inserted);
                 ++evictions;
+                evictionCounter_.add();
             }
         }
         return stored;
@@ -112,6 +132,9 @@ class Shard
         std::list<Fingerprint>::iterator lruPos;
     };
 
+    telemetry::Counter &hitCounter_;
+    telemetry::Counter &missCounter_;
+    telemetry::Counter &evictionCounter_;
     std::size_t capacity_;
     std::unordered_map<Fingerprint, Entry, FingerprintHash> map_;
     std::list<Fingerprint> lru_;
@@ -122,7 +145,20 @@ class Shard
 struct ArtifactCache::Impl
 {
     explicit Impl(const CacheConfig &config)
-        : systems(config.maxSystems), steppers(config.maxSteppers)
+        : systems(config.maxSystems,
+                  telemetry::Registry::shared().counter(
+                      "ark.cache.system_hits"),
+                  telemetry::Registry::shared().counter(
+                      "ark.cache.system_misses"),
+                  telemetry::Registry::shared().counter(
+                      "ark.cache.system_evictions")),
+          steppers(config.maxSteppers,
+                   telemetry::Registry::shared().counter(
+                       "ark.cache.stepper_hits"),
+                   telemetry::Registry::shared().counter(
+                       "ark.cache.stepper_misses"),
+                   telemetry::Registry::shared().counter(
+                       "ark.cache.stepper_evictions"))
     {
     }
 
@@ -148,11 +184,15 @@ SystemPtr
 ArtifactCache::system(const GraphFingerprint &fp, const dg::Graph &graph,
                       const lang::Language &lang)
 {
+    // Span arg: 1 = served from cache, 0 = built.
+    telemetry::ScopedSpan span("ark.cache.system", 0);
     {
         std::lock_guard lock(impl_->mutex);
-        if (auto cached = impl_->systems.get(fp.combined))
+        if (auto cached = impl_->systems.get(fp.combined)) {
+            span.setArg(1);
             return std::static_pointer_cast<const compiler::OdeSystem>(
                 cached);
+        }
     }
     // Build outside the lock: validation (ILP) and lowering are the
     // expensive steps the cache exists to amortize, and holding the
@@ -172,11 +212,14 @@ ArtifactCache::stepper(const Fingerprint &key,
                        const std::function<StepperPtr()> &build,
                        bool *hit)
 {
+    // Span arg: 1 = served from cache, 0 = built.
+    telemetry::ScopedSpan span("ark.cache.stepper", 0);
     {
         std::lock_guard lock(impl_->mutex);
         if (auto cached = impl_->steppers.get(key)) {
             if (hit)
                 *hit = true;
+            span.setArg(1);
             return std::static_pointer_cast<
                 const spice::TransientStepper>(cached);
         }

@@ -104,7 +104,58 @@ countSweepOutcomes(const std::vector<spice::TransientResult> &results,
     }
 }
 
+/**
+ * Publishes a supervised run's final tallies to the registry. The
+ * report is the source of truth (exactly one increment per action
+ * taken), so the registry counters inherit its definitions.
+ */
+void
+flushReportCounters(const RunReport &report)
+{
+    if (!telemetry::metricsEnabled())
+        return;
+    static telemetry::Counter &scalarRetries =
+        telemetry::Registry::shared().counter(
+            "ark.session.scalar_retries");
+    static telemetry::Counter &relaxedRetries =
+        telemetry::Registry::shared().counter(
+            "ark.session.relaxed_retries");
+    static telemetry::Counter &denseFallbacks =
+        telemetry::Registry::shared().counter(
+            "ark.session.dense_fallbacks");
+    static telemetry::Counter &budgetHits =
+        telemetry::Registry::shared().counter("ark.session.budget_hits");
+    static telemetry::Counter &deadlineHits =
+        telemetry::Registry::shared().counter(
+            "ark.session.deadline_hits");
+    static telemetry::Counter &cancelled =
+        telemetry::Registry::shared().counter("ark.session.cancelled");
+    scalarRetries.add(report.scalarRetries);
+    relaxedRetries.add(report.relaxedRetries);
+    denseFallbacks.add(report.denseFallbacks);
+    budgetHits.add(report.budgetHits);
+    deadlineHits.add(report.deadlineHits);
+    cancelled.add(report.cancelled);
+}
+
 } // namespace
+
+telemetry::MetricsSnapshot
+Session::metricsSnapshot() const
+{
+    telemetry::Registry &registry = telemetry::Registry::shared();
+    // Residency gauges come from CacheStats at snapshot time (the
+    // cache cannot publish sizes itself without registry writes under
+    // its own lock on every mutation).
+    static telemetry::Gauge &systemsCached =
+        registry.gauge("ark.cache.systems_cached");
+    static telemetry::Gauge &steppersCached =
+        registry.gauge("ark.cache.steppers_cached");
+    const CacheStats cacheStats = cache().stats();
+    systemsCached.set(static_cast<double>(cacheStats.systemsCached));
+    steppersCached.set(static_cast<double>(cacheStats.steppersCached));
+    return registry.snapshot();
+}
 
 SystemPtr
 Session::compile(const dg::Graph &graph, const lang::Language &lang) const
@@ -121,6 +172,10 @@ std::vector<sim::SimResult>
 Session::runEnsemble(const std::vector<SystemPtr> &systems, double t0,
                      double t1, const sim::EnsembleOptions &options) const
 {
+    static telemetry::Histogram &ensembleNs =
+        telemetry::Registry::shared().histogram("ark.session.ensemble_ns");
+    telemetry::ScopedSpan span("ark.session.ensemble", systems.size());
+    telemetry::ScopedTimer timer(ensembleNs);
     std::vector<const compiler::OdeSystem *> pointers;
     pointers.reserve(systems.size());
     for (const SystemPtr &system : systems) {
@@ -137,6 +192,10 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
                   const spice::TransientBatchOptions &options,
                   SweepStats *stats) const
 {
+    static telemetry::Histogram &sweepNs =
+        telemetry::Registry::shared().histogram("ark.session.sweep_ns");
+    telemetry::ScopedSpan span("ark.session.sweep", netlists.size());
+    telemetry::ScopedTimer timer(sweepNs);
     if (stats)
         *stats = SweepStats{};
     if (!options_.caching || !options.sparse) {
@@ -355,6 +414,7 @@ Session::runEnsemble(const std::vector<SystemPtr> &systems, double t0,
             rep.records.push_back(std::move(record));
         }
         countSimOutcomes(results, rep);
+        flushReportCounters(rep);
         return results;
     }
 
@@ -448,6 +508,7 @@ Session::runEnsemble(const std::vector<SystemPtr> &systems, double t0,
         }
     }
     countSimOutcomes(results, rep);
+    flushReportCounters(rep);
     return results;
 }
 
@@ -478,6 +539,7 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
             rep.records.push_back(std::move(record));
         }
         countSweepOutcomes(results, rep);
+        flushReportCounters(rep);
         return results;
     }
 
@@ -562,6 +624,7 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
         }
     }
     countSweepOutcomes(results, rep);
+    flushReportCounters(rep);
     return results;
 }
 

@@ -44,6 +44,7 @@
 #include "engine/cache.h"
 #include "sim/sim.h"
 #include "spice/batch.h"
+#include "support/telemetry.h"
 
 namespace ark::engine {
 
@@ -246,6 +247,16 @@ class Session
              const spice::TransientBatchOptions &options,
              const RunPolicy &policy, RunReport *report = nullptr,
              SweepStats *stats = nullptr) const;
+
+    /**
+     * Snapshot of the process-wide telemetry registry, with this
+     * session's cache residency published to the ark.cache.*_cached
+     * gauges first. Values are zero until
+     * telemetry::setMetricsEnabled(true); see support/telemetry.h for
+     * the naming scheme and MetricsSnapshot::str()/json() for the
+     * dump formats.
+     */
+    telemetry::MetricsSnapshot metricsSnapshot() const;
 
   private:
     SessionOptions options_;

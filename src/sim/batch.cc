@@ -17,6 +17,7 @@
 #include "support/error.h"
 #include "support/faultinject.h"
 #include "support/logging.h"
+#include "support/telemetry.h"
 
 namespace ark::sim {
 
@@ -24,6 +25,42 @@ using support::cat;
 using support::SimError;
 
 namespace {
+
+/**
+ * Step-voting and retirement tallies, accumulated locally by the
+ * drivers (which already track steps/rejections for SimResult) and
+ * flushed to the registry once per block — per-step instrumentation
+ * would violate the telemetry overhead budget.
+ */
+struct VoteStats
+{
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    std::size_t retirements = 0;
+    std::size_t spills = 0;
+
+    ~VoteStats() { flush(); }
+
+    void
+    flush() const
+    {
+        if (!telemetry::metricsEnabled())
+            return;
+        static telemetry::Counter &acceptedVotes =
+            telemetry::Registry::shared().counter("ark.sim.vote.accepted");
+        static telemetry::Counter &rejectedVotes =
+            telemetry::Registry::shared().counter("ark.sim.vote.rejected");
+        static telemetry::Counter &laneRetirements =
+            telemetry::Registry::shared().counter(
+                "ark.sim.lane_retirements");
+        static telemetry::Counter &scalarSpills =
+            telemetry::Registry::shared().counter("ark.sim.spills");
+        acceptedVotes.add(accepted);
+        rejectedVotes.add(rejected);
+        laneRetirements.add(retirements);
+        scalarSpills.add(spills);
+    }
+};
 
 using Deadline = std::optional<std::chrono::steady_clock::time_point>;
 
@@ -92,12 +129,14 @@ runLaneRk4(const expr::LaneTape &tape,
     const std::size_t n = tape.numOutputs();
     const std::size_t m = n * width;
     std::vector<SimResult> results(lanes);
+    VoteStats stats;
 
     auto failDiverged = [&](std::size_t lane, int var, double t,
                             std::size_t steps) {
         results[lane].steps = steps;
         results[lane].failure =
             detail::divergedFailure(*systems[lane], var, t, steps);
+        ++stats.retirements;
         laneDone(1);
     };
 
@@ -204,6 +243,7 @@ runLaneRk4(const expr::LaneTape &tape,
         }
         t += h;
         ++steps;
+        stats.accepted = steps;
         for (std::size_t l = 0; l < lanes; ++l) {
             if (!alive[l])
                 continue;
@@ -303,6 +343,13 @@ class LaneDopri5
         estimate = std::min<std::size_t>(estimate, std::size_t{1} << 20);
         for (const Lane &lane : active_)
             results_[lane.member].trajectory.reserve(estimate, n_);
+    }
+
+    ~LaneDopri5()
+    {
+        stats_.accepted = steps_;
+        stats_.rejected = rejectedShared_;
+        // stats_'s own destructor flushes to the registry.
     }
 
     std::vector<SimResult>
@@ -419,6 +466,7 @@ class LaneDopri5
                                                 var, t_, steps_);
             alive[s] = 0;
             --aliveCount;
+            ++stats_.retirements;
             laneDone_(1);
         };
 
@@ -448,6 +496,7 @@ class LaneDopri5
                 r.failure = detail::budgetFailure(t_, steps_);
                 alive[s] = 0;
                 --aliveCount;
+                ++stats_.retirements;
                 laneDone_(1);
                 budgetRetired = true;
             }
@@ -659,6 +708,8 @@ class LaneDopri5
     spill(bool initial)
     {
         using detail::Dopri5;
+        ++stats_.spills;
+        telemetry::ScopedSpan span("ark.sim.scalar_spill");
         Lane lane = std::move(active_.front());
         active_.clear();
         const expr::FusedTape &tape = *tapes_[lane.member];
@@ -842,6 +893,7 @@ class LaneDopri5
     double recordDt_;
     std::size_t steps_ = 0;          ///< Shared accepted steps.
     std::size_t rejectedShared_ = 0; ///< Shared rejected block steps.
+    VoteStats stats_;                ///< Registry tallies, flushed once.
     std::vector<Lane> active_;
     std::vector<SimResult> results_;
 };
@@ -922,7 +974,7 @@ class BatchRunner::Pool
             next_.store(0, std::memory_order_relaxed);
         }
         cv_.notify_all();
-        drain(&job, count);
+        drain(&job, count, /*stolen=*/false);
         std::unique_lock lock(m_);
         doneCv_.wait(lock, [&] {
             return finished_ == count_ && draining_ == 0;
@@ -932,10 +984,18 @@ class BatchRunner::Pool
 
   private:
     void
-    drain(const std::function<void(std::size_t)> *job, std::size_t count)
+    drain(const std::function<void(std::size_t)> *job, std::size_t count,
+          bool stolen)
     {
+        static telemetry::Counter &tasks =
+            telemetry::Registry::shared().counter("ark.sim.pool.tasks");
+        static telemetry::Counter &steals =
+            telemetry::Registry::shared().counter("ark.sim.pool.steals");
         for (std::size_t i = next_.fetch_add(1); i < count;
              i = next_.fetch_add(1)) {
+            tasks.add();
+            if (stolen)
+                steals.add();
             (*job)(i);
             std::lock_guard lock(m_);
             if (++finished_ == count_)
@@ -946,24 +1006,39 @@ class BatchRunner::Pool
     void
     workerLoop(std::stop_token st, unsigned index)
     {
+        static telemetry::Counter &parks =
+            telemetry::Registry::shared().counter("ark.sim.pool.parks");
+        static telemetry::Counter &wakes =
+            telemetry::Registry::shared().counter("ark.sim.pool.wakes");
+        static telemetry::Counter &busyNs =
+            telemetry::Registry::shared().counter("ark.sim.pool.busy_ns");
         std::uint64_t seen = 0;
         while (true) {
             const std::function<void(std::size_t)> *job;
             std::size_t count;
             {
                 std::unique_lock lock(m_);
+                parks.add();
                 bool live = cv_.wait(lock, st, [&] {
                     return job_ != nullptr && generation_ != seen &&
                            index < active_;
                 });
                 if (!live)
                     return; // stop requested (pool teardown)
+                wakes.add();
                 seen = generation_;
                 job = job_;
                 count = count_;
                 ++draining_;
             }
-            drain(job, count);
+            // Busy time covers the whole drain (jobs claimed by this
+            // worker); the clock is only read when collection is on.
+            const bool timed = telemetry::metricsEnabled();
+            const std::uint64_t begin =
+                timed ? telemetry::detail::nowNs() : 0;
+            drain(job, count, /*stolen=*/true);
+            if (timed)
+                busyNs.add(telemetry::detail::nowNs() - begin);
             std::lock_guard lock(m_);
             if (--draining_ == 0 && finished_ == count_)
                 doneCv_.notify_all();
@@ -1113,6 +1188,42 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
         }
     }
 
+    telemetry::ScopedSpan ensembleSpan("ark.sim.ensemble", count);
+    if (telemetry::metricsEnabled()) {
+        static telemetry::Counter &ensembles =
+            telemetry::Registry::shared().counter("ark.sim.ensembles");
+        static telemetry::Counter &instances =
+            telemetry::Registry::shared().counter("ark.sim.instances");
+        // Occupancy: lanes carried vs. SoA width paid, by width class.
+        static telemetry::Counter &blockLanes =
+            telemetry::Registry::shared().counter("ark.sim.block_lanes");
+        static telemetry::Counter &blockWidth =
+            telemetry::Registry::shared().counter("ark.sim.block_width");
+        static telemetry::Counter *blocksByWidth[4] = {
+            &telemetry::Registry::shared().counter(
+                "ark.sim.lane_blocks_w1"),
+            &telemetry::Registry::shared().counter(
+                "ark.sim.lane_blocks_w2"),
+            &telemetry::Registry::shared().counter(
+                "ark.sim.lane_blocks_w4"),
+            &telemetry::Registry::shared().counter(
+                "ark.sim.lane_blocks_w8"),
+        };
+        ensembles.add();
+        instances.add(count);
+        for (const Job &job : jobs) {
+            const std::size_t lanes = job.members.size();
+            std::size_t width = 1, widthClass = 0;
+            while (width < lanes) {
+                width *= 2;
+                ++widthClass;
+            }
+            blockLanes.add(lanes);
+            blockWidth.add(width);
+            blocksByWidth[widthClass]->add();
+        }
+    }
+
     std::vector<SimResult> results(count);
     std::vector<std::exception_ptr> errors(count);
     std::mutex progressMutex;
@@ -1153,6 +1264,8 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
                     results[member] = deadlineResult(t0);
                 laneDone(job.members.size());
             } else if (job.lane) {
+                telemetry::ScopedSpan span("ark.sim.lane_block",
+                                           job.members.size());
                 std::vector<const expr::FusedTape *> tapes;
                 std::vector<const std::vector<double> *> inits;
                 std::vector<const compiler::OdeSystem *> blockSystems;
@@ -1184,6 +1297,7 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
                 for (std::size_t k = 0; k < job.members.size(); ++k)
                     results[job.members[k]] = std::move(block[k]);
             } else {
+                telemetry::ScopedSpan span("ark.sim.scalar");
                 std::size_t member = job.members.front();
                 results[member] = detail::simulateWithStop(
                     systemOf(member), initialOf(member), t0, t1,

@@ -8,6 +8,7 @@
 #include "sim/batch.h"
 #include "support/error.h"
 #include "support/logging.h"
+#include "support/telemetry.h"
 
 namespace ark::spice {
 
@@ -198,6 +199,29 @@ TransientBatch::run(const std::vector<const Netlist *> &netlists,
     groupByStructure(systems, leaderOf, leaders);
     if (stats)
         stats->structureGroups = leaders.size();
+    if (telemetry::metricsEnabled()) {
+        static telemetry::Counter &sweeps =
+            telemetry::Registry::shared().counter("ark.spice.sweeps");
+        static telemetry::Counter &sweepInstances =
+            telemetry::Registry::shared().counter(
+                "ark.spice.sweep_instances");
+        static telemetry::Counter &groups =
+            telemetry::Registry::shared().counter("ark.spice.groups");
+        static telemetry::Histogram &groupSize =
+            telemetry::Registry::shared().histogram(
+                "ark.spice.group_size");
+        sweeps.add();
+        sweepInstances.add(count);
+        groups.add(leaders.size());
+        for (std::size_t leader : leaders) {
+            std::uint64_t members = 0;
+            for (std::size_t i = 0; i < count; ++i)
+                if (leaderOf[i] == leader)
+                    ++members;
+            groupSize.record(members);
+        }
+    }
+    telemetry::ScopedSpan sweepSpan("ark.spice.sweep", count);
 
     // Phase 3: each group leader's companion matrix is factored
     // exactly once — the symbolic analysis (and, for value-identical

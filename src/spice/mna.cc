@@ -5,6 +5,7 @@
 
 #include "support/error.h"
 #include "support/logging.h"
+#include "support/telemetry.h"
 
 namespace ark::spice {
 
@@ -560,10 +561,29 @@ transient(const MnaSystem &system, double t0, double t1, double dt,
     return result;
 }
 
+namespace {
+
+/** Counted, timed full factorization of a companion matrix. */
+support::SparseLu
+timedFactor(const support::SparseMatrix &a)
+{
+    static telemetry::Counter &factors =
+        telemetry::Registry::shared().counter("ark.spice.factors");
+    static telemetry::Histogram &factorNs =
+        telemetry::Registry::shared().histogram("ark.spice.factor_ns");
+    telemetry::ScopedSpan span("ark.spice.factor");
+    telemetry::ScopedTimer timer(factorNs);
+    factors.add();
+    return support::SparseLu(a);
+}
+
+} // namespace
+
 TransientStepper::TransientStepper(const SparseMnaSystem &system,
                                    double dt)
     : dt_((checkTransientArgs(system.size(), 0.0, 0.0, dt, {}), dt)),
-      a_(system.companionA(dt)), b_(system.companionB(dt)), lu_(a_)
+      a_(system.companionA(dt)), b_(system.companionB(dt)),
+      lu_(timedFactor(a_))
 {
     if (system.anyAlgebraicRow()) {
         initA_ = initMatrixOf(system);
@@ -623,9 +643,18 @@ TransientStepper::rebind(const SparseMnaSystem &system)
     auto rebindFactor = [](support::SparseLu &lu,
                            const support::SparseMatrix &matrix) {
         try {
+            static telemetry::Counter &refactors =
+                telemetry::Registry::shared().counter(
+                    "ark.spice.refactors");
+            static telemetry::Histogram &refactorNs =
+                telemetry::Registry::shared().histogram(
+                    "ark.spice.refactor_ns");
+            telemetry::ScopedSpan span("ark.spice.refactor");
+            telemetry::ScopedTimer timer(refactorNs);
+            refactors.add();
             lu.refactor(matrix);
         } catch (const support::ArkError &) {
-            lu = support::SparseLu(matrix);
+            lu = timedFactor(matrix);
         }
     };
 

@@ -28,6 +28,7 @@
 #include "spice/netlist.h"
 #include "support/error.h"
 #include "support/faultinject.h"
+#include "support/telemetry.h"
 #include "validator/validator.h"
 
 namespace {
@@ -547,6 +548,65 @@ TEST_F(FaultInjectTest, ForcedEvictionKeepsResultsAndCounts)
     engine::CacheStats stats = cache.stats();
     EXPECT_GT(stats.stepperEvictions, 0u);
     EXPECT_EQ(stats.steppersCached, 0u);
+}
+
+TEST_F(FaultInjectTest, ForcedMissCountsIdenticallyInEveryLedger)
+{
+    // Three ledgers account for cache misses: CacheStats member
+    // tallies, the ark.cache.* registry counters, and SweepStats
+    // factorMisses. A FaultInjector-forced miss is a miss in all
+    // three — the increments sit at the same program points, so the
+    // deltas must agree exactly.
+    std::vector<spice::Netlist> cells;
+    for (double r : {0.5e3, 1.0e3, 2.0e3})
+        cells.push_back(rcCell(r));
+    std::vector<const spice::Netlist *> netlists;
+    for (const spice::Netlist &cell : cells)
+        netlists.push_back(&cell);
+
+    engine::ArtifactCache cache;
+    engine::SessionOptions sessionOptions;
+    sessionOptions.cache = &cache;
+    Session session(sessionOptions);
+    const double t1 = 5e-6, dt = 1e-8;
+
+    // Warm the cache so every armed-run lookup would hit without the
+    // fault — all misses below are forced ones.
+    std::vector<spice::TransientResult> warm =
+        session.runSweep(netlists, 0.0, t1, dt);
+
+    const bool metricsWere = telemetry::metricsEnabled();
+    telemetry::setMetricsEnabled(true);
+    const telemetry::MetricsSnapshot before =
+        telemetry::Registry::shared().snapshot();
+    const engine::CacheStats statsBefore = cache.stats();
+
+    FaultInjector::arm(FaultSite::CacheMiss, 0, 1u << 20);
+    engine::SweepStats sweepStats;
+    std::vector<spice::TransientResult> forced =
+        session.runSweep(netlists, 0.0, t1, dt,
+                         spice::TransientBatchOptions{}, &sweepStats);
+    FaultInjector::disarmAll();
+
+    const telemetry::MetricsSnapshot after =
+        telemetry::Registry::shared().snapshot();
+    const engine::CacheStats statsAfter = cache.stats();
+    telemetry::setMetricsEnabled(metricsWere);
+
+    const std::uint64_t statsDelta =
+        statsAfter.stepperMisses - statsBefore.stepperMisses;
+    const double registryDelta =
+        after.value("ark.cache.stepper_misses") -
+        before.value("ark.cache.stepper_misses");
+    EXPECT_GT(statsDelta, 0u);
+    EXPECT_EQ(registryDelta, static_cast<double>(statsDelta));
+    EXPECT_EQ(sweepStats.factorMisses, statsDelta);
+    EXPECT_EQ(sweepStats.factorHits, 0u);
+    EXPECT_EQ(statsAfter.stepperHits, statsBefore.stepperHits);
+
+    ASSERT_EQ(forced.size(), warm.size());
+    for (std::size_t i = 0; i < forced.size(); ++i)
+        expectIdenticalTransients(forced[i], warm[i]);
 }
 
 TEST_F(FaultInjectTest, DefaultPolicyIsBitIdenticalToPlainRun)

@@ -1,0 +1,517 @@
+/**
+ * @file
+ * Tests for the telemetry subsystem: counter/histogram correctness
+ * under concurrent writers, span nesting and thread attribution,
+ * Chrome-trace JSON validity, the non-interference contract
+ * (collection on vs. off is bit-identical), and the timestamped
+ * log-sink path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "lang/registry.h"
+#include "sim/sim.h"
+#include "support/logging.h"
+#include "support/telemetry.h"
+
+namespace {
+
+using namespace ark;
+using telemetry::Registry;
+
+/** Restores both collection switches and clears the trace on exit so
+ *  tests cannot leak enabled telemetry into each other. */
+struct TelemetryGuard
+{
+    TelemetryGuard()
+        : metrics_(telemetry::metricsEnabled()),
+          tracing_(telemetry::tracingEnabled())
+    {
+    }
+
+    ~TelemetryGuard()
+    {
+        telemetry::setMetricsEnabled(metrics_);
+        telemetry::setTracingEnabled(tracing_);
+        telemetry::clearTrace();
+    }
+
+    bool metrics_;
+    bool tracing_;
+};
+
+/**
+ * Minimal recursive-descent JSON syntax checker: accepts exactly the
+ * JSON grammar (objects, arrays, strings, numbers, true/false/null).
+ * Used to round-trip-validate the Chrome trace export without a JSON
+ * library dependency.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t len = std::string_view(word).size();
+        if (text_.compare(pos_, len, word) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    string()
+    {
+        if (!consume('"'))
+            return false;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return false;
+                ++pos_;
+            }
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    value()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            if (consume('}'))
+                return true;
+            do {
+                if (!string() || !consume(':') || !value())
+                    return false;
+            } while (consume(','));
+            return consume('}');
+        }
+        if (c == '[') {
+            ++pos_;
+            if (consume(']'))
+                return true;
+            do {
+                if (!value())
+                    return false;
+            } while (consume(','));
+            return consume(']');
+        }
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+TEST(TelemetryTest, CounterConcurrentWritersAreExact)
+{
+    TelemetryGuard guard;
+    telemetry::setMetricsEnabled(true);
+    telemetry::Counter &counter =
+        Registry::shared().counter("ark.test.concurrent_counter");
+    const std::uint64_t before = counter.value();
+
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kAddsPerThread = 100000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&counter] {
+            for (std::uint64_t i = 0; i < kAddsPerThread; ++i)
+                counter.add();
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(counter.value() - before, kThreads * kAddsPerThread);
+}
+
+TEST(TelemetryTest, HistogramConcurrentWritersAreExact)
+{
+    TelemetryGuard guard;
+    telemetry::setMetricsEnabled(true);
+    telemetry::Histogram &hist =
+        Registry::shared().histogram("ark.test.concurrent_hist");
+    const std::uint64_t countBefore = hist.count();
+    const std::uint64_t sumBefore = hist.sum();
+
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kSamplesPerThread = 50000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&hist, t] {
+            for (std::uint64_t i = 0; i < kSamplesPerThread; ++i)
+                hist.record(i % 1000 + static_cast<std::uint64_t>(t));
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(hist.count() - countBefore, kThreads * kSamplesPerThread);
+    EXPECT_GT(hist.sum(), sumBefore);
+
+    std::uint64_t bucketTotal = 0;
+    for (std::uint64_t b : hist.bucketCounts())
+        bucketTotal += b;
+    EXPECT_EQ(bucketTotal, hist.count());
+}
+
+TEST(TelemetryTest, BucketOfMatchesBitWidth)
+{
+    using telemetry::Histogram;
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(1023), 10u);
+    EXPECT_EQ(Histogram::bucketOf(1024), 11u);
+    EXPECT_EQ(Histogram::bucketOf(~0ull), Histogram::kBuckets - 1);
+}
+
+TEST(TelemetryTest, DisabledCollectionIsInert)
+{
+    TelemetryGuard guard;
+    telemetry::setMetricsEnabled(false);
+    telemetry::setTracingEnabled(false);
+
+    telemetry::Counter &counter =
+        Registry::shared().counter("ark.test.inert_counter");
+    telemetry::Gauge &gauge =
+        Registry::shared().gauge("ark.test.inert_gauge");
+    telemetry::Histogram &hist =
+        Registry::shared().histogram("ark.test.inert_hist");
+    const std::uint64_t counterBefore = counter.value();
+    const std::uint64_t histBefore = hist.count();
+
+    counter.add(42);
+    gauge.set(3.5);
+    hist.record(7);
+    {
+        telemetry::ScopedSpan span("ark.test.inert_span", 1);
+    }
+
+    EXPECT_EQ(counter.value(), counterBefore);
+    EXPECT_EQ(gauge.value(), 0.0);
+    EXPECT_EQ(hist.count(), histBefore);
+
+    std::ostringstream trace;
+    telemetry::writeChromeTrace(trace);
+    EXPECT_EQ(trace.str().find("ark.test.inert_span"), std::string::npos);
+}
+
+TEST(TelemetryTest, SpanNestingAndThreadAttribution)
+{
+    TelemetryGuard guard;
+    telemetry::clearTrace();
+    telemetry::setTracingEnabled(true);
+
+    {
+        telemetry::ScopedSpan outer("ark.test.outer", 2);
+        telemetry::ScopedSpan inner("ark.test.inner");
+    }
+    std::thread([] {
+        telemetry::ScopedSpan span("ark.test.other_thread");
+    }).join();
+    telemetry::setTracingEnabled(false);
+
+    std::ostringstream out;
+    telemetry::writeChromeTrace(out);
+    const std::string trace = out.str();
+
+    // Pull (name, ts, dur, tid) out of the trace via the event regex.
+    struct Event
+    {
+        std::string name;
+        double ts;
+        double dur;
+        int tid;
+    };
+    std::regex eventRe("\\{\"name\":\"([^\"]+)\",\"cat\":\"ark\","
+                       "\"ph\":\"X\",\"ts\":([0-9.eE+-]+),"
+                       "\"dur\":([0-9.eE+-]+),\"pid\":1,"
+                       "\"tid\":([0-9]+)");
+    std::vector<Event> events;
+    for (std::sregex_iterator it(trace.begin(), trace.end(), eventRe),
+         end;
+         it != end; ++it) {
+        events.push_back({(*it)[1], std::stod((*it)[2]),
+                          std::stod((*it)[3]), std::stoi((*it)[4])});
+    }
+
+    const Event *outer = nullptr;
+    const Event *inner = nullptr;
+    const Event *other = nullptr;
+    for (const Event &event : events) {
+        if (event.name == "ark.test.outer")
+            outer = &event;
+        else if (event.name == "ark.test.inner")
+            inner = &event;
+        else if (event.name == "ark.test.other_thread")
+            other = &event;
+    }
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    ASSERT_NE(other, nullptr);
+
+    // The inner span nests within the outer interval.
+    EXPECT_GE(inner->ts, outer->ts);
+    EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur + 1e-3);
+    EXPECT_EQ(inner->tid, outer->tid);
+    // The second thread records under its own tid.
+    EXPECT_NE(other->tid, outer->tid);
+    // The outer span exports its argument.
+    EXPECT_NE(trace.find("\"args\":{\"v\":2}"), std::string::npos);
+}
+
+TEST(TelemetryTest, ChromeTraceJsonRoundTrips)
+{
+    TelemetryGuard guard;
+    telemetry::clearTrace();
+    telemetry::setTracingEnabled(true);
+    {
+        telemetry::ScopedSpan a("ark.test.json_a", 7);
+        telemetry::ScopedSpan b("ark.test.json_b");
+    }
+    telemetry::setTracingEnabled(false);
+
+    std::ostringstream out;
+    telemetry::writeChromeTrace(out);
+    std::string trace = out.str();
+
+    JsonChecker checker(trace);
+    EXPECT_TRUE(checker.valid()) << trace;
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("ark.test.json_a"), std::string::npos);
+    EXPECT_NE(trace.find("ark.test.json_b"), std::string::npos);
+
+    // The metrics snapshot JSON round-trips too.
+    telemetry::setMetricsEnabled(true);
+    Registry::shared().counter("ark.test.json_counter").add(3);
+    Registry::shared().histogram("ark.test.json_hist").record(12);
+    std::string snapshot = Registry::shared().snapshot().json();
+    telemetry::setMetricsEnabled(false);
+    JsonChecker snapshotChecker(snapshot);
+    EXPECT_TRUE(snapshotChecker.valid()) << snapshot;
+}
+
+TEST(TelemetryTest, TraceSessionWritesFile)
+{
+    TelemetryGuard guard;
+    const std::string path =
+        testing::TempDir() + "/telemetry_test.trace.json";
+    {
+        telemetry::TraceSession session(path);
+        telemetry::ScopedSpan span("ark.test.session_span");
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string content = buffer.str();
+    JsonChecker checker(content);
+    EXPECT_TRUE(checker.valid()) << content;
+    EXPECT_NE(content.find("ark.test.session_span"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TelemetryTest, MetricsSnapshotLookupAndNaming)
+{
+    TelemetryGuard guard;
+    telemetry::setMetricsEnabled(true);
+    telemetry::Counter &counter =
+        Registry::shared().counter("ark.test.lookup");
+    const std::uint64_t before = counter.value();
+    counter.add(5);
+
+    telemetry::MetricsSnapshot snap = Registry::shared().snapshot();
+    EXPECT_EQ(snap.value("ark.test.lookup"),
+              static_cast<double>(before + 5));
+    EXPECT_EQ(snap.value("ark.test.no_such_metric", -1.0), -1.0);
+
+    // Every registered metric follows the ark.<area>.<name> scheme.
+    for (const telemetry::MetricsSnapshot::Entry &entry : snap.entries) {
+        EXPECT_EQ(entry.name.rfind("ark.", 0), 0u)
+            << "metric '" << entry.name
+            << "' violates the naming scheme";
+        EXPECT_GT(entry.name.find('.', 4), 4u) << entry.name;
+    }
+
+    EXPECT_NE(snap.str().find("ark.test.lookup"), std::string::npos);
+}
+
+/** dx/dt = -k x through the full pipeline (ensemble_test's system). */
+compiler::OdeSystem
+decaySystem(lang::LanguageRegistry &registry, double k, double x0)
+{
+    if (!registry.findLanguage("decay")) {
+        registry.addProgram(R"(
+            lang decay {
+                ntyp(1,sum) X {attr k=real[0,100],
+                               init(0) real[-100,100]};
+                etyp E {};
+                prod(e:E,s:X->s:X) s <= -s.k*var(s);
+            }
+        )");
+    }
+    lang::GraphBuilder builder(registry.language("decay"), 0);
+    builder.node("x", "X");
+    builder.attr("x", "k", k);
+    builder.edge("self", "E", "x", "x");
+    builder.init("x", 0, x0);
+    return compiler::compile(builder.take(),
+                             registry.language("decay"));
+}
+
+TEST(TelemetryTest, EnsembleBitIdenticalOnVsOff)
+{
+    TelemetryGuard guard;
+    lang::LanguageRegistry registry;
+    std::vector<compiler::OdeSystem> systems;
+    for (int i = 0; i < 6; ++i)
+        systems.push_back(decaySystem(registry, 1.0 + i, 2.0 + i));
+    std::vector<const compiler::OdeSystem *> pointers;
+    for (const compiler::OdeSystem &system : systems)
+        pointers.push_back(&system);
+
+    sim::EnsembleOptions options;
+    options.sim.dt = 1e-3;
+
+    telemetry::setMetricsEnabled(false);
+    telemetry::setTracingEnabled(false);
+    std::vector<sim::SimResult> plain =
+        sim::simulateEnsemble(pointers, 0.0, 1.0, options);
+
+    telemetry::setMetricsEnabled(true);
+    telemetry::setTracingEnabled(true);
+    std::vector<sim::SimResult> instrumented =
+        sim::simulateEnsemble(pointers, 0.0, 1.0, options);
+    telemetry::setMetricsEnabled(false);
+    telemetry::setTracingEnabled(false);
+
+    ASSERT_EQ(plain.size(), instrumented.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        const sim::SimResult &a = plain[i];
+        const sim::SimResult &b = instrumented[i];
+        ASSERT_TRUE(a.ok());
+        ASSERT_TRUE(b.ok());
+        EXPECT_EQ(a.steps, b.steps);
+        ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+        for (std::size_t s = 0; s < a.trajectory.size(); ++s) {
+            EXPECT_EQ(a.trajectory.time(s), b.trajectory.time(s));
+            auto stateA = a.trajectory.state(s);
+            auto stateB = b.trajectory.state(s);
+            ASSERT_EQ(stateA.size(), stateB.size());
+            for (std::size_t v = 0; v < stateA.size(); ++v)
+                EXPECT_EQ(stateA[v], stateB[v])
+                    << "instance " << i << " sample " << s;
+        }
+    }
+}
+
+TEST(TelemetryTest, LogSinkCapturesTimestampedLines)
+{
+    std::vector<std::string> lines;
+    support::setLogSink(
+        [&lines](support::LogSeverity, const std::string &line) {
+            lines.push_back(line);
+        });
+
+    constexpr int kThreads = 4;
+    constexpr int kLinesPerThread = 50;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < kLinesPerThread; ++i)
+                support::warn(support::cat("sink-test t", t, " line ", i));
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    support::setLogSink(nullptr);
+
+    ASSERT_EQ(lines.size(),
+              static_cast<std::size_t>(kThreads * kLinesPerThread));
+    // Each captured line is whole — "HH:MM:SS.mmm warn: sink-test tN
+    // line M" — never an interleaved fragment.
+    std::regex lineRe("[0-9]{2}:[0-9]{2}:[0-9]{2}\\.[0-9]{3} warn: "
+                      "sink-test t[0-9]+ line [0-9]+");
+    for (const std::string &line : lines)
+        EXPECT_TRUE(std::regex_match(line, lineRe)) << line;
+}
+
+} // namespace

@@ -19,10 +19,15 @@
  * Compilation runs through the engine's content-addressed artifact
  * cache (ark::engine::Session); `--cache-stats` on equations/run
  * prints the hit/miss counters to stderr after the command.
+ * `--metrics` prints the engine telemetry registry to stderr, and
+ * `--trace out.json` records the command as Chrome trace-event JSON
+ * (load it in chrome://tracing or Perfetto).
  */
 
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -39,6 +44,7 @@
 #include "support/error.h"
 #include "support/strings.h"
 #include "support/table.h"
+#include "support/telemetry.h"
 
 namespace {
 
@@ -56,7 +62,9 @@ usage()
         "       [--record-dt D] [--observe node1,node2,...]\n"
         "\n"
         "equations/run compile through the engine artifact cache;\n"
-        "--cache-stats prints its hit/miss counters to stderr.\n";
+        "--cache-stats prints its hit/miss counters to stderr.\n"
+        "--metrics prints engine telemetry counters to stderr;\n"
+        "--trace FILE writes a Chrome trace (chrome://tracing).\n";
     return 2;
 }
 
@@ -105,6 +113,8 @@ struct RunOptions
     double recordDt = 0.0;
     std::vector<std::string> observe;
     bool cacheStats = false;
+    bool metrics = false;
+    std::string tracePath; ///< Empty = no trace recording.
 };
 
 RunOptions
@@ -132,6 +142,10 @@ parseRunArgs(int argc, char **argv, int first)
             options.observe = support::split(next(), ',');
         } else if (arg == "--cache-stats") {
             options.cacheStats = true;
+        } else if (arg == "--metrics") {
+            options.metrics = true;
+        } else if (arg == "--trace") {
+            options.tracePath = next();
         } else {
             options.args.push_back(parseArgValue(arg));
         }
@@ -188,19 +202,40 @@ buildGraph(lang::LanguageRegistry &registry, const RunOptions &options,
     return graph;
 }
 
-/** Prints the engine cache counters when --cache-stats was given. */
+/**
+ * Arms telemetry per the CLI flags for the duration of a command:
+ * --metrics turns on metric collection, --trace records spans and
+ * writes the Chrome trace file when the scope ends.
+ */
+struct TelemetryScope
+{
+    explicit TelemetryScope(const RunOptions &options)
+    {
+        if (options.metrics)
+            telemetry::setMetricsEnabled(true);
+        if (!options.tracePath.empty())
+            trace.emplace(options.tracePath);
+    }
+
+    std::optional<telemetry::TraceSession> trace;
+};
+
+/** Prints cache counters / telemetry metrics when requested. */
 void
 reportCacheStats(const RunOptions &options, const engine::Session &session)
 {
     if (options.cacheStats)
         std::cerr << "arkc: cache: " << session.cache().stats().str()
                   << "\n";
+    if (options.metrics)
+        std::cerr << session.metricsSnapshot().str();
 }
 
 int
 cmdEquations(int argc, char **argv)
 {
     RunOptions options = parseRunArgs(argc, argv, 2);
+    TelemetryScope telemetryScope(options);
     lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
     const lang::Language *lang = nullptr;
     dg::Graph graph = buildGraph(registry, options, &lang);
@@ -215,6 +250,7 @@ int
 cmdRun(int argc, char **argv)
 {
     RunOptions options = parseRunArgs(argc, argv, 2);
+    TelemetryScope telemetryScope(options);
     lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
     const lang::Language *lang = nullptr;
     dg::Graph graph = buildGraph(registry, options, &lang);

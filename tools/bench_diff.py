@@ -15,6 +15,12 @@ Benchmarks that appear in only one snapshot are listed as added or
 removed but never flagged: renames and new coverage are routine
 between PRs. A binary recorded with "ok": false contributes nothing —
 bench_smoke is non-gating by design, and this script follows suit.
+
+Snapshots may carry a top-level "metrics" block (cache hit rate, mean
+lane occupancy, refactor share — embedded by bench_smoke when the
+metrics probe is available). Metric deltas are printed informationally
+but never flagged as regressions, and snapshots with and without the
+block diff cleanly against each other.
 """
 
 import argparse
@@ -22,12 +28,10 @@ import json
 import sys
 
 
-def load_entries(path):
-    """Maps (binary, benchmark name) -> benchmark record.
-
-    Exits with a clean diagnostic (code 2) for unreadable or malformed
-    snapshots instead of a traceback, so CI logs stay legible.
-    """
+def load_snapshot(path):
+    """Loads one BENCH_perf.json, with clean diagnostics (code 2) for
+    unreadable or malformed snapshots instead of a traceback, so CI
+    logs stay legible."""
     try:
         with open(path, "r", encoding="utf-8") as handle:
             snapshot = json.load(handle)
@@ -37,6 +41,11 @@ def load_entries(path):
         sys.exit(f"bench_diff: {path} is not valid JSON: {err}")
     if not isinstance(snapshot, dict):
         sys.exit(f"bench_diff: {path} is not a bench_smoke snapshot")
+    return snapshot
+
+
+def load_entries(snapshot):
+    """Maps (binary, benchmark name) -> benchmark record."""
     entries = {}
     for binary in snapshot.get("benchmarks", []):
         if not binary.get("ok") or "report" not in binary:
@@ -49,6 +58,33 @@ def load_entries(path):
                 continue
             entries[(binary.get("binary", "?"), bench["name"])] = bench
     return entries
+
+
+def diff_metrics(old_snapshot, new_snapshot):
+    """Prints informational deltas for the telemetry metrics block.
+
+    Purely advisory: older snapshots predate the block, a failed probe
+    drops it, and ratio drift is workload-dependent — so nothing here
+    is ever flagged as a regression.
+    """
+    old_metrics = old_snapshot.get("metrics")
+    new_metrics = new_snapshot.get("metrics")
+    if not isinstance(old_metrics, dict):
+        old_metrics = {}
+    if not isinstance(new_metrics, dict):
+        new_metrics = {}
+    keys = ("cache_hit_rate", "mean_lane_occupancy", "refactor_share")
+    shown = [key for key in keys
+             if key in old_metrics or key in new_metrics]
+    if not shown:
+        return
+    print("\ntelemetry metrics (informational):")
+    for key in shown:
+        old_value = old_metrics.get(key)
+        new_value = new_metrics.get(key)
+        old_text = "n/a" if old_value is None else f"{old_value:.4f}"
+        new_text = "n/a" if new_value is None else f"{new_value:.4f}"
+        print(f"  {key}: {old_text} -> {new_text}")
 
 
 def metric_of(bench):
@@ -80,8 +116,10 @@ def main():
                         help="always exit 0, even with regressions")
     args = parser.parse_args()
 
-    old = load_entries(args.old)
-    new = load_entries(args.new)
+    old_snapshot = load_snapshot(args.old)
+    new_snapshot = load_snapshot(args.new)
+    old = load_entries(old_snapshot)
+    new = load_entries(new_snapshot)
 
     rows = []
     regressions = []
@@ -125,6 +163,8 @@ def main():
         print(f"{key[0]}:{key[1]:<{name_width - len(key[0])}}  (added)")
     for key in sorted(old.keys() - new.keys()):
         print(f"{key[0]}:{key[1]:<{name_width - len(key[0])}}  (removed)")
+
+    diff_metrics(old_snapshot, new_snapshot)
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "

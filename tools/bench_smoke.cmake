@@ -6,7 +6,13 @@
 #
 # Usage:
 #   cmake -DBENCH_BINARIES="bin1;bin2" -DOUTPUT_JSON=out.json \
+#         [-DMETRICS_PROBE=path/to/ark_metrics_probe] \
 #         -P bench_smoke.cmake
+#
+# When METRICS_PROBE is set, its JSON summary (cache hit rate, mean
+# lane occupancy, refactor share, raw counters) is embedded as the
+# top-level "metrics" key. A failing probe only drops the key — the
+# report stays valid JSON.
 
 if(NOT DEFINED BENCH_BINARIES OR NOT DEFINED OUTPUT_JSON)
   message(STATUS "bench_smoke: BENCH_BINARIES/OUTPUT_JSON not set; no-op")
@@ -54,5 +60,24 @@ foreach(bench_bin ${BENCH_BINARIES})
 endforeach()
 
 string(REGEX REPLACE ",\n$" "\n" entries "${entries}")
-file(WRITE ${OUTPUT_JSON} "{\n  \"benchmarks\": [\n${entries}  ]\n}\n")
+
+set(metrics_block "")
+if(DEFINED METRICS_PROBE AND EXISTS ${METRICS_PROBE})
+  set(metrics_json ${OUTPUT_JSON}.metrics.part.json)
+  execute_process(
+    COMMAND ${METRICS_PROBE} --out ${metrics_json}
+    RESULT_VARIABLE probe_rc
+    OUTPUT_QUIET ERROR_VARIABLE probe_err)
+  if(probe_rc EQUAL 0 AND EXISTS ${metrics_json})
+    file(READ ${metrics_json} metrics_content)
+    string(STRIP "${metrics_content}" metrics_content)
+    set(metrics_block ",\n  \"metrics\": ${metrics_content}")
+  else()
+    message(STATUS "bench_smoke: metrics probe failed (rc=${probe_rc})")
+  endif()
+  file(REMOVE ${metrics_json})
+endif()
+
+file(WRITE ${OUTPUT_JSON}
+     "{\n  \"benchmarks\": [\n${entries}  ]${metrics_block}\n}\n")
 message(STATUS "bench_smoke: wrote ${OUTPUT_JSON}")

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * metrics_probe — tiny end-to-end telemetry workload for CI and
+ * bench_smoke.
+ *
+ * Runs a small PUF challenge battery (compile ladder + lane-batched
+ * ensemble + artifact cache, twice so the second pass hits warm
+ * artifacts) and a small SPICE parameter sweep (structure grouping +
+ * factor/refactor + stepper cache, also cold then warm) with metric
+ * collection enabled, then emits a JSON summary:
+ *
+ *   {"cache_hit_rate": ..., "mean_lane_occupancy": ...,
+ *    "refactor_share": ..., "counters": { <registry snapshot> }}
+ *
+ * bench_smoke embeds this object as the "metrics" block of
+ * BENCH_perf.json; the CI tier-1 job additionally passes --trace to
+ * produce the sample Chrome trace artifact it validates. Exits
+ * nonzero only when the workload itself fails — metric values are
+ * data, not assertions.
+ *
+ * Usage: metrics_probe [--out summary.json] [--trace out.trace.json]
+ */
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/puf.h"
+#include "engine/session.h"
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+#include "spice/map_tln.h"
+#include "support/error.h"
+#include "support/telemetry.h"
+#include "validator/validator.h"
+
+namespace {
+
+using namespace ark;
+
+/** The PUF battery: compile + cache + lane-batched ensemble. */
+void
+runPufWorkload(const lang::LanguageRegistry &registry,
+               const engine::Session &session)
+{
+    const lang::Language &gmc = registry.language("gmc-tln");
+    apps::PufDesign design;
+    design.mainSections = 8;
+    design.numBranches = 2;
+    design.stubSections = 2;
+    design.responseBits = 8;
+    apps::TlnPuf puf(gmc, design, session);
+
+    const std::vector<std::uint32_t> challenges = {0, 1, 2, 3};
+    const std::vector<std::uint64_t> chips = {1, 2, 3, 4};
+    // Twice: the first battery builds every artifact, the second is
+    // served from warm cache — so the probe exercises both cache
+    // outcomes deterministically.
+    puf.responseMatrix(challenges, chips);
+    puf.responseMatrix(challenges, chips);
+}
+
+/** The SPICE sweep: grouping + factor/refactor + stepper cache. */
+void
+runSpiceWorkload(const lang::LanguageRegistry &registry,
+                 const engine::Session &session)
+{
+    const lang::Language &gmc = registry.language("gmc-tln");
+    std::vector<spice::MappedTln> mapped;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        paradigms::tln::LineSpec spec;
+        spec.sections = 8;
+        spec.mismatchC = true;
+        spec.mismatchGm = true;
+        spec.seed = seed;
+        dg::Graph graph = paradigms::tln::buildLine(gmc, spec);
+        validator::validateOrThrow(graph, gmc);
+        mapped.push_back(spice::mapTlnToSpice(graph, gmc));
+    }
+    std::vector<const spice::Netlist *> netlists;
+    for (const spice::MappedTln &m : mapped)
+        netlists.push_back(&m.netlist);
+    // Cold factors, then warm (cached steppers).
+    session.runSweep(netlists, 0.0, 1e-9, 1e-11);
+    session.runSweep(netlists, 0.0, 1e-9, 1e-11);
+}
+
+double
+ratio(double numerator, double denominator)
+{
+    return denominator > 0.0 ? numerator / denominator : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath;
+    std::optional<telemetry::TraceSession> trace;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace.emplace(argv[++i]);
+        } else {
+            std::cerr << "usage: metrics_probe [--out summary.json]"
+                         " [--trace out.trace.json]\n";
+            return 2;
+        }
+    }
+
+    telemetry::setMetricsEnabled(true);
+    // A private cache isolates the probe's hit/miss arithmetic from
+    // anything else the process ran.
+    engine::ArtifactCache cache;
+    engine::SessionOptions sessionOptions;
+    sessionOptions.cache = &cache;
+    engine::Session session(sessionOptions);
+
+    try {
+        lang::LanguageRegistry registry =
+            paradigms::makeStandardRegistry();
+        runPufWorkload(registry, session);
+        runSpiceWorkload(registry, session);
+    } catch (const support::ArkError &error) {
+        std::cerr << "metrics_probe: " << error.what() << "\n";
+        return 1;
+    }
+
+    const telemetry::MetricsSnapshot snap = session.metricsSnapshot();
+    const double hits = snap.value("ark.cache.system_hits") +
+                        snap.value("ark.cache.stepper_hits");
+    const double misses = snap.value("ark.cache.system_misses") +
+                          snap.value("ark.cache.stepper_misses");
+    const double cacheHitRate = ratio(hits, hits + misses);
+    const double occupancy = ratio(snap.value("ark.sim.block_lanes"),
+                                   snap.value("ark.sim.block_width"));
+    const double factors = snap.value("ark.spice.factors");
+    const double refactors = snap.value("ark.spice.refactors");
+    const double refactorShare = ratio(refactors, factors + refactors);
+
+    std::string json = "{\"cache_hit_rate\": " +
+                       std::to_string(cacheHitRate) +
+                       ",\n \"mean_lane_occupancy\": " +
+                       std::to_string(occupancy) +
+                       ",\n \"refactor_share\": " +
+                       std::to_string(refactorShare) +
+                       ",\n \"counters\": " + snap.json() + "}\n";
+
+    if (outPath.empty()) {
+        std::cout << json;
+    } else {
+        std::ofstream out(outPath);
+        if (!out) {
+            std::cerr << "metrics_probe: cannot write '" << outPath
+                      << "'\n";
+            return 1;
+        }
+        out << json;
+    }
+    return 0;
+}
