@@ -10,15 +10,21 @@
  * `tln_puf --trace out.json` records the battery as a Chrome trace
  * (compile, lane-block, and cache spans; load in chrome://tracing or
  * Perfetto); `--metrics` dumps the engine telemetry counters to
- * stderr afterwards.
+ * stderr afterwards; `--ledger [out.json]` records per-instance
+ * flight-recorder provenance (tier, lane width, block, steps) for
+ * every ensemble the battery dispatches, written to the given file
+ * or dumped to stderr.
  */
 
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 
 #include "apps/puf.h"
+#include "engine/session.h"
 #include "paradigms/standard.h"
+#include "support/ledger.h"
 #include "support/telemetry.h"
 
 namespace {
@@ -41,6 +47,8 @@ main(int argc, char **argv)
     using namespace ark;
 
     bool metrics = false;
+    bool recordLedger = false;
+    std::string ledgerPath;
     std::optional<telemetry::TraceSession> trace;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -49,8 +57,13 @@ main(int argc, char **argv)
             telemetry::setMetricsEnabled(true);
         } else if (arg == "--trace" && i + 1 < argc) {
             trace.emplace(argv[++i]);
+        } else if (arg == "--ledger") {
+            recordLedger = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                ledgerPath = argv[++i];
         } else {
-            std::cerr << "usage: tln_puf [--metrics] [--trace out.json]\n";
+            std::cerr << "usage: tln_puf [--metrics] [--trace out.json]"
+                         " [--ledger [out.json]]\n";
             return 2;
         }
     }
@@ -63,7 +76,13 @@ main(int argc, char **argv)
     design.numBranches = 4;
     design.stubSections = 4;
     design.responseBits = 32;
-    apps::TlnPuf puf(gmc, design);
+    // The session-level ledger captures every ensemble the battery
+    // dispatches (results are bit-identical with and without it).
+    telemetry::RunLedger ledger;
+    engine::SessionOptions sessionOptions;
+    if (recordLedger)
+        sessionOptions.ledger = &ledger;
+    apps::TlnPuf puf(gmc, design, engine::Session(sessionOptions));
 
     std::cout << "TLN PUF: " << design.mainSections
               << "-section line, " << design.numBranches
@@ -103,5 +122,20 @@ main(int argc, char **argv)
 
     if (metrics)
         std::cerr << puf.session().metricsSnapshot().str();
+    if (recordLedger) {
+        if (ledgerPath.empty()) {
+            std::cerr << ledger.json() << "\n";
+        } else {
+            std::ofstream out(ledgerPath);
+            if (!out) {
+                std::cerr << "tln_puf: cannot write '" << ledgerPath
+                          << "'\n";
+                return 1;
+            }
+            out << ledger.json() << "\n";
+            std::cerr << "tln_puf: ledger written to " << ledgerPath
+                      << "\n";
+        }
+    }
     return 0;
 }

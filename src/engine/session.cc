@@ -13,6 +13,7 @@
 #include "sim/batch.h"
 #include "support/error.h"
 #include "support/logging.h"
+#include "support/watchdog.h"
 #include "validator/validator.h"
 
 namespace ark::engine {
@@ -38,14 +39,16 @@ class ProgressTicker
   public:
     ProgressTicker(
         const std::function<void(std::size_t, std::size_t)> &callback,
-        std::size_t total)
-        : callback_(callback), total_(total)
+        std::size_t total, telemetry::StallWatchdog::Run *watchdog)
+        : callback_(callback), total_(total), watchdog_(watchdog)
     {
     }
 
     void
     tick()
     {
+        if (watchdog_ != nullptr)
+            watchdog_->heartbeat();
         if (!callback_)
             return;
         std::lock_guard lock(mutex_);
@@ -55,6 +58,7 @@ class ProgressTicker
   private:
     const std::function<void(std::size_t, std::size_t)> &callback_;
     std::size_t total_;
+    telemetry::StallWatchdog::Run *watchdog_;
     std::mutex mutex_;
     std::size_t completed_ = 0;
 };
@@ -183,7 +187,12 @@ Session::runEnsemble(const std::vector<SystemPtr> &systems, double t0,
                          "Session::runEnsemble: null system");
         pointers.push_back(system.get());
     }
-    return sim::simulateEnsemble(pointers, t0, t1, options);
+    // The session-level flight recorder applies unless the per-run
+    // options brought their own (observation-only either way).
+    sim::EnsembleOptions effective = options;
+    if (effective.ledger == nullptr)
+        effective.ledger = options_.ledger;
+    return sim::simulateEnsemble(pointers, t0, t1, effective);
 }
 
 std::vector<spice::TransientResult>
@@ -198,11 +207,16 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
     telemetry::ScopedTimer timer(sweepNs);
     if (stats)
         *stats = SweepStats{};
-    if (!options_.caching || !options.sparse) {
+    // The session-level flight recorder applies unless the per-run
+    // options brought their own (observation-only either way).
+    spice::TransientBatchOptions effective = options;
+    if (effective.ledger == nullptr)
+        effective.ledger = options_.ledger;
+    if (!options_.caching || !effective.sparse) {
         // Dense path and the caching=false ablation delegate to the
         // in-sweep engine: factor sharing within the sweep (sparse)
         // but nothing carried across sweeps.
-        spice::TransientBatch batch(options);
+        spice::TransientBatch batch(effective);
         spice::TransientBatchStats batchStats;
         std::vector<spice::TransientResult> results =
             batch.run(netlists, t0, t1, dt, &batchStats);
@@ -283,33 +297,57 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
     for (std::size_t leader : leaders)
         leaderOnce[leader] = std::make_unique<std::once_flag>();
 
+    // Per-instance cache provenance for the flight recorder. A member
+    // that shares its leader's factors outright inherits the leader's
+    // outcome — the factors it runs with were resolved once for the
+    // whole group. 0 = no cache consult (slot failed before lookup).
+    constexpr std::uint8_t kNoLookup = 0, kHit = 1, kMiss = 2;
+    std::vector<std::uint8_t> cacheOutcome(
+        effective.ledger != nullptr ? count : 0, kNoLookup);
+    std::vector<std::uint8_t> leaderOutcome(
+        effective.ledger != nullptr ? count : 0, kNoLookup);
+
     auto cachedStepper = [&](const Fingerprint &key,
-                             const std::function<StepperPtr()> &build) {
+                             const std::function<StepperPtr()> &build,
+                             std::uint8_t *outcome) {
         bool hit = false;
         StepperPtr stepper = artifacts.stepper(key, build, &hit);
         if (hit)
             ++factorHits;
         else
             ++factorMisses;
+        if (outcome != nullptr)
+            *outcome = hit ? kHit : kMiss;
         return stepper;
+    };
+    auto outcomeSlot = [&](std::vector<std::uint8_t> &slots,
+                           std::size_t i) -> std::uint8_t * {
+        return effective.ledger != nullptr ? &slots[i] : nullptr;
     };
 
     std::vector<std::exception_ptr> errors(count);
-    ProgressTicker progress(options.progress, count);
-    const spice::TransientControl control{options.stop, options.deadline};
+    telemetry::StallWatchdog::Run watchdogRun("spice_sweep", count);
+    ProgressTicker progress(effective.progress, count, &watchdogRun);
+    const spice::TransientControl control{effective.stop,
+                                          effective.deadline};
+    const std::uint64_t ledgerRun =
+        effective.ledger != nullptr
+            ? effective.ledger->beginRun(
+                  telemetry::RunLedger::Workload::Spice, count)
+            : 0;
     sim::BatchRunner::shared().parallelFor(
-        count, options.numThreads, [&](std::size_t i) {
+        count, effective.numThreads, [&](std::size_t i) {
             if (results[i].failure.has_value()) {
                 progress.tick(); // assembly already failed
                 return;
             }
-            if (options.stop.stop_requested()) {
+            if (effective.stop.stop_requested()) {
                 // Skipped before starting: no samples at all.
                 results[i].failure = spice::detail::cancelledFailure(t0, 0);
                 progress.tick();
                 return;
             }
-            if (deadlinePassed(options.deadline)) {
+            if (deadlinePassed(effective.deadline)) {
                 results[i].failure = spice::detail::deadlineFailure(t0, 0);
                 progress.tick();
                 return;
@@ -329,7 +367,8 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
                                 built->prepareFinalStep(*systems[leader],
                                                         finalH);
                                 return built;
-                            });
+                            },
+                            outcomeSlot(leaderOutcome, leader));
                     } catch (...) {
                         // Leader factorization failed; members factor
                         // standalone and report whatever recurs.
@@ -341,6 +380,8 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
                     // Bit-identical matrices: share the leader's
                     // factors outright.
                     stepper = leaderStepper[leader];
+                    if (effective.ledger != nullptr)
+                        cacheOutcome[i] = leaderOutcome[leader];
                 } else if (leaderStepper[leader] != nullptr) {
                     // Same structure, different values: the leader's
                     // pivot order numerically rebound to this
@@ -356,7 +397,8 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
                                 *leaderStepper[leader]);
                             rebound->rebind(system);
                             return rebound;
-                        });
+                        },
+                        outcomeSlot(cacheOutcome, i));
                 } else {
                     stepper = cachedStepper(
                         stepperKey(fps[i], fps[i].values, fps[i].values,
@@ -366,7 +408,8 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
                                 spice::TransientStepper>(system, dt);
                             built->prepareFinalStep(system, finalH);
                             return built;
-                        });
+                        },
+                        outcomeSlot(cacheOutcome, i));
                 }
                 results[i] = stepper->run(system, t0, t1, {}, control);
             } catch (const support::ArkError &error) {
@@ -377,6 +420,44 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
             }
             progress.tick();
         });
+    if (effective.ledger != nullptr) {
+        // Same flush point and record shape as TransientBatch's
+        // sparse path, plus the cache outcome only this path has.
+        std::vector<std::size_t> groupSize(count, 0);
+        for (std::size_t i = 0; i < count; ++i)
+            if (leaderOf[i] < count)
+                ++groupSize[leaderOf[i]];
+        for (std::size_t i = 0; i < count; ++i) {
+            if (errors[i])
+                continue;
+            const spice::TransientResult &result = results[i];
+            telemetry::RunLedger::Record record;
+            record.runId = ledgerRun;
+            record.index = i;
+            record.workload = telemetry::RunLedger::Workload::Spice;
+            record.tier = telemetry::RunLedger::Tier::Sparse;
+            record.blockId = leaderOf[i] < count ? leaderOf[i] : i;
+            record.lanes =
+                leaderOf[i] < count ? groupSize[leaderOf[i]] : 1;
+            record.stepsAccepted =
+                result.ok()
+                    ? (result.size() > 0 ? result.size() - 1 : 0)
+                    : result.failure->step;
+            record.cache =
+                cacheOutcome[i] == kHit
+                    ? telemetry::RunLedger::CacheOutcome::Hit
+                    : cacheOutcome[i] == kMiss
+                          ? telemetry::RunLedger::CacheOutcome::Miss
+                          : telemetry::RunLedger::CacheOutcome::None;
+            record.ok = result.ok();
+            if (result.failure.has_value()) {
+                record.failureReason =
+                    spice::transientAbortName(result.failure->reason);
+                record.failureMessage = result.failure->message;
+            }
+            effective.ledger->append(std::move(record));
+        }
+    }
     for (std::exception_ptr &error : errors)
         if (error)
             std::rethrow_exception(error);
@@ -398,11 +479,24 @@ Session::runEnsemble(const std::vector<SystemPtr> &systems, double t0,
     rep = RunReport{};
     rep.instances = systems.size();
 
+    // Flight-recorder resolution: an explicitly configured ledger
+    // (run options first, then the session) captures the records;
+    // otherwise a reporting supervised run gets its own, attached to
+    // the report so callers can export it without pre-wiring one.
+    sim::EnsembleOptions opts = options;
+    if (opts.ledger == nullptr)
+        opts.ledger = options_.ledger;
+    if (opts.ledger == nullptr && report != nullptr) {
+        rep.ledger = std::make_shared<telemetry::RunLedger>();
+        opts.ledger = rep.ledger.get();
+    }
+    telemetry::RunLedger *ledger = opts.ledger;
+
     if (policy.maxAttempts <= 1) {
         // Supervisor off: bit-identical to the plain overload,
         // including the exception-rethrow contract.
         std::vector<sim::SimResult> results =
-            runEnsemble(systems, t0, t1, options);
+            runEnsemble(systems, t0, t1, opts);
         for (std::size_t i = 0; i < results.size(); ++i) {
             if (results[i].ok())
                 continue;
@@ -420,7 +514,7 @@ Session::runEnsemble(const std::vector<SystemPtr> &systems, double t0,
 
     // First attempt: the normal batch, but with faults captured as
     // structured failures so they become retryable data.
-    sim::EnsembleOptions firstOptions = options;
+    sim::EnsembleOptions firstOptions = opts;
     firstOptions.structuredFaults = true;
     std::vector<sim::SimResult> results =
         runEnsemble(systems, t0, t1, firstOptions);
@@ -453,9 +547,14 @@ Session::runEnsemble(const std::vector<SystemPtr> &systems, double t0,
         // further rung degrades dt and tolerances cumulatively.
         const int rung = policy.retryScalar ? attempt - 2 : attempt - 1;
         const bool relaxed = policy.relaxOnRetry && rung >= 1;
-        sim::EnsembleOptions retryOptions = options;
+        sim::EnsembleOptions retryOptions = opts;
         retryOptions.structuredFaults = true;
         retryOptions.progress = {}; // progress ticked on attempt 1
+        // Retry batches record into a scratch ledger whose records are
+        // remapped below: the batch engine indexes the compacted retry
+        // batch, the ledger speaks original batch positions.
+        telemetry::RunLedger retryLedger;
+        retryOptions.ledger = ledger != nullptr ? &retryLedger : nullptr;
         if (policy.retryScalar)
             retryOptions.laneBatching = false;
         if (relaxed) {
@@ -475,6 +574,24 @@ Session::runEnsemble(const std::vector<SystemPtr> &systems, double t0,
             retrySystems.push_back(systems[index]);
         std::vector<sim::SimResult> retried =
             runEnsemble(retrySystems, t0, t1, retryOptions);
+
+        if (ledger != nullptr) {
+            // Re-home the scratch records: original batch position,
+            // the main run's id, and the rung that produced them.
+            // Tier/width/block provenance stays as the engine wrote
+            // it.
+            for (telemetry::RunLedger::Record rec :
+                 retryLedger.records()) {
+                rec.runId = ledger->lastRunId();
+                rec.index = pending[rec.index];
+                rec.attempt = attempt;
+                rec.action =
+                    relaxed
+                        ? telemetry::RunLedger::RetryAction::RelaxedRetry
+                        : telemetry::RunLedger::RetryAction::ScalarRetry;
+                ledger->append(std::move(rec));
+            }
+        }
 
         std::vector<std::size_t> still;
         for (std::size_t j = 0; j < pending.size(); ++j) {
@@ -524,8 +641,19 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
     rep = RunReport{};
     rep.instances = netlists.size();
 
+    // Flight-recorder resolution: same precedence as the supervised
+    // ensemble (run options, session, then a report-owned ledger).
+    spice::TransientBatchOptions opts = options;
+    if (opts.ledger == nullptr)
+        opts.ledger = options_.ledger;
+    if (opts.ledger == nullptr && report != nullptr) {
+        rep.ledger = std::make_shared<telemetry::RunLedger>();
+        opts.ledger = rep.ledger.get();
+    }
+    telemetry::RunLedger *ledger = opts.ledger;
+
     std::vector<spice::TransientResult> results =
-        runSweep(netlists, t0, t1, dt, options, stats);
+        runSweep(netlists, t0, t1, dt, opts, stats);
 
     if (policy.maxAttempts <= 1) {
         for (std::size_t i = 0; i < results.size(); ++i) {
@@ -587,8 +715,10 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
             ++record.attempts;
             const spice::TransientAbort reason =
                 results[index].failure->reason;
+            const bool denseRetry =
+                reason == spice::TransientAbort::SingularMatrix;
             try {
-                if (reason == spice::TransientAbort::SingularMatrix) {
+                if (denseRetry) {
                     record.actions.push_back(
                         RunReport::Action::DenseFallback);
                     ++rep.denseFallbacks;
@@ -606,6 +736,36 @@ Session::runSweep(const std::vector<const spice::Netlist *> &netlists,
             } catch (const support::ArkError &error) {
                 results[index].failure =
                     spice::detail::errorFailure(error, t0);
+            }
+            if (ledger != nullptr) {
+                // Serial retries bypass the batch engines, so the
+                // supervisor writes their records itself: standalone
+                // block, no cache consult, tier per the rung taken.
+                const spice::TransientResult &result = results[index];
+                telemetry::RunLedger::Record rec;
+                rec.runId = ledger->lastRunId();
+                rec.index = index;
+                rec.workload = telemetry::RunLedger::Workload::Spice;
+                rec.tier = denseRetry
+                               ? telemetry::RunLedger::Tier::Dense
+                               : telemetry::RunLedger::Tier::Sparse;
+                rec.blockId = index;
+                rec.attempt = attempt;
+                rec.action =
+                    denseRetry
+                        ? telemetry::RunLedger::RetryAction::DenseFallback
+                        : telemetry::RunLedger::RetryAction::RelaxedRetry;
+                rec.stepsAccepted =
+                    result.ok()
+                        ? (result.size() > 0 ? result.size() - 1 : 0)
+                        : result.failure->step;
+                rec.ok = result.ok();
+                if (result.failure.has_value()) {
+                    rec.failureReason = spice::transientAbortName(
+                        result.failure->reason);
+                    rec.failureMessage = result.failure->message;
+                }
+                ledger->append(std::move(rec));
             }
             if (results[index].failure &&
                 sweepRetryable(*results[index].failure))

@@ -41,9 +41,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "engine/cache.h"
 #include "sim/sim.h"
 #include "spice/batch.h"
+#include "support/ledger.h"
 #include "support/telemetry.h"
 
 namespace ark::engine {
@@ -60,6 +63,16 @@ struct SessionOptions
 
     /** Cache to use; nullptr selects ArtifactCache::shared(). */
     ArtifactCache *cache = nullptr;
+
+    /**
+     * Session-level flight recorder: every runEnsemble/runSweep
+     * dispatched through this session appends its per-instance
+     * provenance records here unless the per-run options carry their
+     * own ledger. Observation-only (results are bit-identical with
+     * and without it); the pointed-to ledger must outlive the
+     * session's runs. Null = no session ledger.
+     */
+    telemetry::RunLedger *ledger = nullptr;
 };
 
 /**
@@ -149,6 +162,17 @@ struct RunReport
     std::size_t deadlineHits = 0; ///< Final results with DeadlineExceeded.
     std::size_t cancelled = 0;    ///< Final results with Cancelled.
     std::vector<InstanceRecord> records; ///< One per failed instance.
+
+    /**
+     * Flight recorder attached by the supervisor: per-instance,
+     * per-attempt provenance records (tier, lane width, block, step
+     * counts, cache outcome, retry action, structured failure),
+     * exportable with RunLedger::json(). Created by the supervised
+     * overloads when neither the run options nor the session carry
+     * their own ledger; null when an external ledger captured the
+     * records instead.
+     */
+    std::shared_ptr<telemetry::RunLedger> ledger;
 };
 
 /** What a cache-backed SPICE sweep did. */

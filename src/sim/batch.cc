@@ -16,8 +16,10 @@
 #include "sim/dopri5.h"
 #include "support/error.h"
 #include "support/faultinject.h"
+#include "support/ledger.h"
 #include "support/logging.h"
 #include "support/telemetry.h"
+#include "support/watchdog.h"
 
 namespace ark::sim {
 
@@ -1188,6 +1190,17 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
         }
     }
 
+    // Flight recorder and stall watchdog are observation-only: the
+    // ledger gets one record per instance after the pool drains, the
+    // watchdog a heartbeat per completed instance. Cost when off: one
+    // null-pointer check / one relaxed load.
+    const std::uint64_t ledgerRun =
+        options.ledger != nullptr
+            ? options.ledger->beginRun(
+                  telemetry::RunLedger::Workload::Ode, count)
+            : 0;
+    telemetry::StallWatchdog::Run watchdogRun("ode_ensemble", count);
+
     telemetry::ScopedSpan ensembleSpan("ark.sim.ensemble", count);
     if (telemetry::metricsEnabled()) {
         static telemetry::Counter &ensembles =
@@ -1235,6 +1248,7 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
     // scalar and batched paths and stays strictly increasing under
     // lane retirement.
     auto instanceDone = [&](std::size_t done) {
+        watchdogRun.heartbeat();
         if (done == 0 || !options.progress)
             return;
         std::lock_guard lock(progressMutex);
@@ -1339,6 +1353,44 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
     } else {
         pool_->ensure(effective - 1);
         pool_->run(jobs.size(), effective - 1, runJob);
+    }
+
+    if (options.ledger != nullptr) {
+        // One pass at the flush point the metrics block already uses:
+        // per-job tier/width/block plus each result's step counters
+        // and structured failure. Instances about to rethrow have no
+        // result to describe and are skipped.
+        for (std::size_t jobIndex = 0; jobIndex < jobs.size();
+             ++jobIndex) {
+            const Job &job = jobs[jobIndex];
+            std::size_t width = 1;
+            while (width < job.members.size())
+                width *= 2;
+            for (std::size_t member : job.members) {
+                if (errors[member])
+                    continue;
+                const SimResult &result = results[member];
+                telemetry::RunLedger::Record record;
+                record.runId = ledgerRun;
+                record.index = member;
+                record.workload = telemetry::RunLedger::Workload::Ode;
+                record.tier = job.lane
+                                  ? telemetry::RunLedger::Tier::Lane
+                                  : telemetry::RunLedger::Tier::Scalar;
+                record.laneWidth = job.lane ? width : 1;
+                record.lanes = job.members.size();
+                record.blockId = jobIndex;
+                record.stepsAccepted = result.steps;
+                record.stepsRejected = result.rejectedSteps;
+                record.ok = result.ok();
+                if (result.failure.has_value()) {
+                    record.failureReason =
+                        abortReasonName(result.failure->reason);
+                    record.failureMessage = result.failure->message;
+                }
+                options.ledger->append(std::move(record));
+            }
+        }
     }
 
     for (std::exception_ptr &error : errors)

@@ -399,6 +399,24 @@ simulate(const compiler::OdeSystem &system,
                                     std::stop_token{});
 }
 
+const char *
+abortReasonName(AbortReason reason)
+{
+    switch (reason) {
+    case AbortReason::Diverged:
+        return "diverged";
+    case AbortReason::Cancelled:
+        return "cancelled";
+    case AbortReason::BudgetExhausted:
+        return "budget_exhausted";
+    case AbortReason::DeadlineExceeded:
+        return "deadline_exceeded";
+    case AbortReason::Fault:
+        return "fault";
+    }
+    return "unknown";
+}
+
 SimFailure
 detail::divergedFailure(const compiler::OdeSystem &system, int var,
                         double t, std::size_t steps)

@@ -63,6 +63,10 @@
 
 #include "compiler/odesystem.h"
 
+namespace ark::telemetry {
+class RunLedger;
+}
+
 namespace ark::sim {
 
 /** Integration method selection. */
@@ -189,6 +193,9 @@ enum class AbortReason : std::uint8_t {
            ///< failure (EnsembleOptions::structuredFaults).
 };
 
+/** Stable lower-case spelling for logs and ledger exports. */
+const char *abortReasonName(AbortReason reason);
+
 /**
  * Structured early-stop report. Divergence is detected the moment a
  * nonfinite value appears (accepted state or Dopri5 error estimate)
@@ -311,6 +318,15 @@ struct EnsembleOptions
      * retryable data instead of control flow.
      */
     bool structuredFaults = false;
+
+    /**
+     * Optional flight recorder: when set, the batch appends one
+     * telemetry::RunLedger::Record per instance at the end of the run
+     * (tier, lane width, block id, step counts, structured failure).
+     * Observation-only — results are bit-identical with and without a
+     * ledger — and the pointer must outlive the call. Null = off.
+     */
+    telemetry::RunLedger *ledger = nullptr;
 };
 
 /**

@@ -7,8 +7,10 @@
 
 #include "sim/batch.h"
 #include "support/error.h"
+#include "support/ledger.h"
 #include "support/logging.h"
 #include "support/telemetry.h"
+#include "support/watchdog.h"
 
 namespace ark::spice {
 
@@ -49,14 +51,16 @@ class ProgressTicker
   public:
     ProgressTicker(
         const std::function<void(std::size_t, std::size_t)> &callback,
-        std::size_t total)
-        : callback_(callback), total_(total)
+        std::size_t total, telemetry::StallWatchdog::Run *watchdog)
+        : callback_(callback), total_(total), watchdog_(watchdog)
     {
     }
 
     void
     tick()
     {
+        if (watchdog_ != nullptr)
+            watchdog_->heartbeat();
         if (!callback_)
             return;
         std::lock_guard lock(mutex_);
@@ -66,6 +70,7 @@ class ProgressTicker
   private:
     const std::function<void(std::size_t, std::size_t)> &callback_;
     std::size_t total_;
+    telemetry::StallWatchdog::Run *watchdog_;
     std::mutex mutex_;
     std::size_t completed_ = 0;
 };
@@ -153,8 +158,53 @@ TransientBatch::run(const std::vector<const Netlist *> &netlists,
                          "TransientBatch: null netlist");
 
     std::vector<std::exception_ptr> errors(count);
-    ProgressTicker progress(options_.progress, count);
+    telemetry::StallWatchdog::Run watchdogRun("spice_sweep", count);
+    ProgressTicker progress(options_.progress, count, &watchdogRun);
     const TransientControl control{options_.stop, options_.deadline};
+    const std::uint64_t ledgerRun =
+        options_.ledger != nullptr
+            ? options_.ledger->beginRun(
+                  telemetry::RunLedger::Workload::Spice, count)
+            : 0;
+    // Per-instance ledger flush shared by both solve paths: sample
+    // counts stand in for accepted steps (one sample per step plus
+    // the initial state), the structure-group leader is the block id
+    // on the sparse path, and failures carry their structured reason.
+    auto flushLedger = [&](telemetry::RunLedger::Tier tier,
+                           const std::vector<std::size_t> *leaderOf,
+                           const std::vector<std::size_t> *groupSize) {
+        if (options_.ledger == nullptr)
+            return;
+        for (std::size_t i = 0; i < count; ++i) {
+            if (errors[i])
+                continue;
+            const TransientResult &result = results[i];
+            telemetry::RunLedger::Record record;
+            record.runId = ledgerRun;
+            record.index = i;
+            record.workload = telemetry::RunLedger::Workload::Spice;
+            record.tier = tier;
+            record.blockId =
+                leaderOf != nullptr && (*leaderOf)[i] < count
+                    ? (*leaderOf)[i]
+                    : i; // unassemblable slots stand alone
+            record.lanes =
+                groupSize != nullptr && (*leaderOf)[i] < count
+                    ? (*groupSize)[(*leaderOf)[i]]
+                    : 1;
+            record.stepsAccepted =
+                result.ok()
+                    ? (result.size() > 0 ? result.size() - 1 : 0)
+                    : result.failure->step;
+            record.ok = result.ok();
+            if (result.failure.has_value()) {
+                record.failureReason =
+                    transientAbortName(result.failure->reason);
+                record.failureMessage = result.failure->message;
+            }
+            options_.ledger->append(std::move(record));
+        }
+    };
 
     if (!options_.sparse) {
         // Dense ablation path: independent assembly + transient per
@@ -179,6 +229,7 @@ TransientBatch::run(const std::vector<const Netlist *> &netlists,
                 }
                 progress.tick();
             });
+        flushLedger(telemetry::RunLedger::Tier::Dense, nullptr, nullptr);
         rethrowFirst(errors);
         return results;
     }
@@ -303,6 +354,14 @@ TransientBatch::run(const std::vector<const Netlist *> &netlists,
             }
             progress.tick();
         });
+    if (options_.ledger != nullptr) {
+        std::vector<std::size_t> groupSize(count, 0);
+        for (std::size_t i = 0; i < count; ++i)
+            if (leaderOf[i] < count)
+                ++groupSize[leaderOf[i]];
+        flushLedger(telemetry::RunLedger::Tier::Sparse, &leaderOf,
+                    &groupSize);
+    }
     rethrowFirst(errors);
     return results;
 }

@@ -51,6 +51,10 @@
 #include "spice/netlist.h"
 #include "support/error.h"
 
+namespace ark::telemetry {
+class RunLedger;
+}
+
 namespace ark::spice {
 
 namespace detail {
@@ -112,6 +116,15 @@ struct TransientBatchOptions
      * bit-identical to an unbounded run. Unset = no deadline.
      */
     std::optional<std::chrono::steady_clock::time_point> deadline;
+
+    /**
+     * Optional flight recorder (sim::EnsembleOptions::ledger parity):
+     * one telemetry::RunLedger::Record per instance at the flush
+     * points the sweep already has — solve path (dense/sparse),
+     * structure group as the block id, sample count, and the
+     * structured failure. Observation-only; must outlive the call.
+     */
+    telemetry::RunLedger *ledger = nullptr;
 };
 
 /** What a batch run did, beyond the per-instance results. */

@@ -411,6 +411,24 @@ TransientResult::series(std::size_t unknown) const
     return out;
 }
 
+const char *
+transientAbortName(TransientAbort reason)
+{
+    switch (reason) {
+    case TransientAbort::BadInput:
+        return "bad_input";
+    case TransientAbort::SingularMatrix:
+        return "singular_matrix";
+    case TransientAbort::NonfiniteState:
+        return "nonfinite_state";
+    case TransientAbort::Cancelled:
+        return "cancelled";
+    case TransientAbort::DeadlineExceeded:
+        return "deadline_exceeded";
+    }
+    return "unknown";
+}
+
 TransientFailure
 detail::cancelledFailure(double t, std::size_t step)
 {

@@ -185,6 +185,9 @@ enum class TransientAbort : std::uint8_t {
     DeadlineExceeded, ///< The wall-clock deadline passed mid-run.
 };
 
+/** Stable lower-case spelling for logs and ledger exports. */
+const char *transientAbortName(TransientAbort reason);
+
 /** Structured early-stop report for a transient run. */
 struct TransientFailure
 {

@@ -1,0 +1,159 @@
+#include "support/ledger.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace ark::telemetry {
+
+namespace {
+
+// Minimal JSON string escaping (mirrors telemetry.cc): ledger
+// payloads carry failure messages that may contain quotes/newlines.
+std::string escapeJson(const std::string &text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\n': out += "\\n"; break;
+    case '\r': out += "\\r"; break;
+    case '\t': out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+  }
+  return out;
+}
+
+} // namespace
+
+RunLedger::RunLedger(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::uint64_t RunLedger::beginRun(Workload, std::size_t) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++runs_;
+  return nextRunId_++;
+}
+
+std::uint64_t RunLedger::lastRunId() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nextRunId_ - 1;
+}
+
+void RunLedger::append(Record record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(std::move(record));
+}
+
+std::size_t RunLedger::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::uint64_t RunLedger::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<RunLedger::Record> RunLedger::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+void RunLedger::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+  dropped_ = 0;
+}
+
+const char *RunLedger::name(Workload workload) {
+  switch (workload) {
+  case Workload::Ode: return "ode";
+  case Workload::Spice: return "spice";
+  }
+  return "unknown";
+}
+
+const char *RunLedger::name(Tier tier) {
+  switch (tier) {
+  case Tier::Scalar: return "scalar";
+  case Tier::Lane: return "lane";
+  case Tier::Dense: return "dense";
+  case Tier::Sparse: return "sparse";
+  }
+  return "unknown";
+}
+
+const char *RunLedger::name(CacheOutcome outcome) {
+  switch (outcome) {
+  case CacheOutcome::None: return "none";
+  case CacheOutcome::Hit: return "hit";
+  case CacheOutcome::Miss: return "miss";
+  }
+  return "unknown";
+}
+
+const char *RunLedger::name(RetryAction action) {
+  switch (action) {
+  case RetryAction::None: return "none";
+  case RetryAction::ScalarRetry: return "scalar_retry";
+  case RetryAction::RelaxedRetry: return "relaxed_retry";
+  case RetryAction::DenseFallback: return "dense_fallback";
+  }
+  return "unknown";
+}
+
+std::string RunLedger::json() const {
+  std::vector<Record> copy;
+  std::uint64_t runs = 0;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    copy = records_;
+    runs = runs_;
+    dropped = dropped_;
+  }
+  std::ostringstream out;
+  out << "{\"runs\": " << runs << ", \"dropped\": " << dropped
+      << ", \"records\": [";
+  bool first = true;
+  for (const Record &r : copy) {
+    if (!first)
+      out << ", ";
+    first = false;
+    out << "{\"run\": " << r.runId << ", \"index\": " << r.index
+        << ", \"workload\": \"" << name(r.workload) << "\""
+        << ", \"tier\": \"" << name(r.tier) << "\""
+        << ", \"lane_width\": " << r.laneWidth
+        << ", \"lanes\": " << r.lanes << ", \"block\": " << r.blockId
+        << ", \"attempt\": " << r.attempt
+        << ", \"action\": \"" << name(r.action) << "\""
+        << ", \"steps_accepted\": " << r.stepsAccepted
+        << ", \"steps_rejected\": " << r.stepsRejected
+        << ", \"cache\": \"" << name(r.cache) << "\""
+        << ", \"ok\": " << (r.ok ? "true" : "false");
+    if (!r.ok) {
+      out << ", \"failure_reason\": \"" << escapeJson(r.failureReason)
+          << "\", \"failure_message\": \""
+          << escapeJson(r.failureMessage) << "\"";
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+} // namespace ark::telemetry

@@ -1,0 +1,156 @@
+#include "support/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ark::support {
+
+namespace {
+
+bool setNonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0)
+    return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string errnoText(const char *what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+void OwnedFd::reset(int fd) {
+  if (fd_ >= 0)
+    ::close(fd_);
+  fd_ = fd;
+}
+
+bool TcpListener::open(std::uint16_t port, std::string *error) {
+  close();
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error)
+      *error = errnoText("socket failed");
+    return false;
+  }
+  // Loopback-only by construction: the telemetry plane never binds a
+  // routable address. SO_REUSEADDR keeps quick restart cycles from
+  // tripping over TIME_WAIT, but a live listener on the port still
+  // fails bind() with EADDRINUSE — the structured error callers test.
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+             sizeof(addr)) != 0) {
+    if (error)
+      *error = errnoText("bind failed");
+    return false;
+  }
+  if (::listen(fd.get(), 16) != 0) {
+    if (error)
+      *error = errnoText("listen failed");
+    return false;
+  }
+  if (!setNonblocking(fd.get())) {
+    if (error)
+      *error = errnoText("fcntl failed");
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&bound),
+                    &len) != 0) {
+    if (error)
+      *error = errnoText("getsockname failed");
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  fd_ = std::move(fd);
+  return true;
+}
+
+OwnedFd TcpListener::accept() {
+  if (!fd_.valid())
+    return OwnedFd();
+  int client = ::accept(fd_.get(), nullptr, nullptr);
+  if (client < 0)
+    return OwnedFd();
+  if (!setNonblocking(client)) {
+    ::close(client);
+    return OwnedFd();
+  }
+  return OwnedFd(client);
+}
+
+void TcpListener::close() {
+  fd_.reset();
+  port_ = 0;
+}
+
+int readAvailable(int fd, std::string *buffer) {
+  char chunk[4096];
+  ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+  if (n > 0) {
+    buffer->append(chunk, static_cast<std::size_t>(n));
+    return static_cast<int>(n);
+  }
+  if (n == 0)
+    return 0; // orderly shutdown
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+    return -1;
+  return 0; // hard error: treat as closed
+}
+
+bool writeAll(int fd, const char *data, std::size_t size) {
+  // Responses are small (a metrics page); 2s of total poll budget is
+  // generous for loopback and bounds a stuck peer.
+  int budgetMs = 2000;
+  std::size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                  errno == EINTR)) {
+      if (budgetMs <= 0)
+        return false;
+      pollfd pfd{fd, POLLOUT, 0};
+      int step = 50;
+      ::poll(&pfd, 1, step);
+      budgetMs -= step;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool makeWakePipe(OwnedFd *readEnd, OwnedFd *writeEnd) {
+  int fds[2];
+  if (::pipe(fds) != 0)
+    return false;
+  if (!setNonblocking(fds[0]) || !setNonblocking(fds[1])) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  readEnd->reset(fds[0]);
+  writeEnd->reset(fds[1]);
+  return true;
+}
+
+} // namespace ark::support

@@ -1,0 +1,91 @@
+// Thin nonblocking-socket wrapper for the loopback telemetry plane.
+//
+// Deliberately minimal: a loopback-only TCP listener plus the few
+// nonblocking read/write helpers the stats server needs. Everything
+// here is plain POSIX (the pattern ponyc's runtime uses for its
+// asio sockets): sockets are switched to O_NONBLOCK at creation,
+// callers multiplex with poll(), and short writes are completed with
+// a bounded poll-retry loop. No global state, no signals (SIGPIPE is
+// avoided with MSG_NOSIGNAL), and every descriptor is owned by RAII.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ark::support {
+
+// Owning file descriptor with close-on-destroy semantics.
+class OwnedFd {
+public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() { reset(); }
+
+  OwnedFd(const OwnedFd &) = delete;
+  OwnedFd &operator=(const OwnedFd &) = delete;
+  OwnedFd(OwnedFd &&other) noexcept : fd_(other.release()) {}
+  OwnedFd &operator=(OwnedFd &&other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+private:
+  int fd_ = -1;
+};
+
+// Nonblocking TCP listener bound to 127.0.0.1. Port 0 asks the kernel
+// for an ephemeral port; port() reports the one actually bound.
+class TcpListener {
+public:
+  TcpListener() = default;
+
+  // Opens, binds, and listens. Returns false with a structured
+  // message in *error (e.g. "bind failed: Address already in use")
+  // on failure; the listener is left closed.
+  bool open(std::uint16_t port, std::string *error);
+
+  // Accepts one pending connection as a nonblocking fd, or returns an
+  // invalid OwnedFd when none is ready (or on transient error).
+  OwnedFd accept();
+
+  bool listening() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+  std::uint16_t port() const { return port_; }
+  void close();
+
+private:
+  OwnedFd fd_;
+  std::uint16_t port_ = 0;
+};
+
+// Reads whatever is available without blocking. Returns the number of
+// bytes appended to *buffer, 0 when the peer closed the connection,
+// or -1 when nothing is available right now (EAGAIN) — transient
+// errors are folded into -1, hard errors into 0 (treat as closed).
+int readAvailable(int fd, std::string *buffer);
+
+// Writes the whole payload, polling briefly for writability on short
+// writes. Returns false when the peer vanished or the per-call
+// deadline (~2s) expired; the telemetry plane treats either as a
+// dropped scrape, never an error that propagates into the engines.
+bool writeAll(int fd, const char *data, std::size_t size);
+
+// Creates a nonblocking self-pipe (read end first). Used to wake a
+// poll() loop from another thread. Returns false on failure.
+bool makeWakePipe(OwnedFd *readEnd, OwnedFd *writeEnd);
+
+} // namespace ark::support

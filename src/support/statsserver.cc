@@ -1,0 +1,331 @@
+#include "support/statsserver.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "support/logging.h"
+#include "support/socket.h"
+#include "support/telemetry.h"
+#include "support/watchdog.h"
+
+namespace ark::telemetry {
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+// scheme maps onto it by swapping every other character for '_'.
+std::string promName(const std::string &name) {
+  std::string out = name;
+  for (char &c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok)
+      c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string formatValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Upper bound of power-of-two bucket b: bucket 0 holds {0}, bucket b
+// holds [2^(b-1), 2^b - 1].
+std::uint64_t bucketUpperBound(std::size_t b) {
+  if (b == 0)
+    return 0;
+  if (b >= 64)
+    return ~0ull;
+  return (1ull << b) - 1;
+}
+
+std::string renderPrometheus(const MetricsSnapshot &snap) {
+  std::ostringstream out;
+  for (const auto &entry : snap.entries) {
+    const std::string name = promName(entry.name);
+    switch (entry.kind) {
+    case MetricsSnapshot::Kind::Counter:
+      out << "# TYPE " << name << " counter\n"
+          << name << " " << formatValue(entry.value) << "\n";
+      break;
+    case MetricsSnapshot::Kind::Gauge:
+      out << "# TYPE " << name << " gauge\n"
+          << name << " " << formatValue(entry.value) << "\n";
+      break;
+    case MetricsSnapshot::Kind::Histogram: {
+      out << "# TYPE " << name << " histogram\n";
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < entry.buckets.size(); ++b) {
+        cumulative += entry.buckets[b];
+        out << name << "_bucket{le=\"" << bucketUpperBound(b)
+            << "\"} " << cumulative << "\n";
+      }
+      out << name << "_bucket{le=\"+Inf\"} " << entry.count << "\n"
+          << name << "_sum " << entry.sum << "\n"
+          << name << "_count " << entry.count << "\n";
+      break;
+    }
+    }
+  }
+  return out.str();
+}
+
+std::string httpResponse(int status, const char *reason,
+                         const char *contentType,
+                         const std::string &body) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << " " << reason << "\r\n"
+      << "Content-Type: " << contentType << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+} // namespace
+
+struct StatsServer::Impl {
+  support::TcpListener listener;
+  support::OwnedFd wakeRead;
+  support::OwnedFd wakeWrite;
+  std::thread worker;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stopRequested{false};
+  std::atomic<std::uint64_t> scrapes{0};
+
+  // Previous /stats.json snapshot, for counter rates. Only the
+  // exporter thread touches these.
+  std::unordered_map<std::string, double> lastCounters;
+  std::uint64_t lastSnapshotNs = 0;
+
+  struct Client {
+    support::OwnedFd fd;
+    std::string request;
+    std::uint64_t acceptedNs = 0;
+  };
+  std::vector<Client> clients;
+
+  std::string statsJson() {
+    const std::uint64_t now = detail::nowNs();
+    MetricsSnapshot snap = Registry::shared().snapshot();
+    std::ostringstream out;
+    out << "{\"uptime_ns\": " << now;
+    if (lastSnapshotNs != 0 && now > lastSnapshotNs) {
+      const double intervalS =
+          static_cast<double>(now - lastSnapshotNs) / 1e9;
+      out << ", \"interval_s\": " << formatValue(intervalS);
+      out << ", \"rates\": {";
+      bool first = true;
+      for (const auto &entry : snap.entries) {
+        if (entry.kind != MetricsSnapshot::Kind::Counter)
+          continue;
+        auto it = lastCounters.find(entry.name);
+        const double prev =
+            it == lastCounters.end() ? 0.0 : it->second;
+        const double rate = (entry.value - prev) / intervalS;
+        if (!first)
+          out << ", ";
+        first = false;
+        out << "\"" << entry.name
+            << "\": " << formatValue(rate < 0.0 ? 0.0 : rate);
+      }
+      out << "}";
+    } else {
+      out << ", \"interval_s\": 0, \"rates\": {}";
+    }
+    out << ", \"metrics\": " << snap.json() << "}";
+    lastCounters.clear();
+    for (const auto &entry : snap.entries)
+      if (entry.kind == MetricsSnapshot::Kind::Counter)
+        lastCounters[entry.name] = entry.value;
+    lastSnapshotNs = now;
+    return out.str();
+  }
+
+  // Returns the full HTTP response for one complete request header.
+  std::string respond(const std::string &request) {
+    const std::size_t lineEnd = request.find("\r\n");
+    const std::string line =
+        lineEnd == std::string::npos ? request
+                                     : request.substr(0, lineEnd);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+      return httpResponse(400, "Bad Request", "text/plain",
+                          "malformed request\n");
+    }
+    const std::string method = line.substr(0, sp1);
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos)
+      path.resize(query);
+    if (method != "GET")
+      return httpResponse(405, "Method Not Allowed", "text/plain",
+                          "GET only\n");
+    if (path == "/metrics") {
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+      return httpResponse(
+          200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+          renderPrometheus(Registry::shared().snapshot()));
+    }
+    if (path == "/stats.json" || path == "/json") {
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+      return httpResponse(200, "OK", "application/json",
+                          statsJson());
+    }
+    if (path == "/healthz" || path == "/") {
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+      return httpResponse(200, "OK", "text/plain", "ok\n");
+    }
+    return httpResponse(404, "Not Found", "text/plain",
+                        "unknown path\n");
+  }
+
+  void serveLoop() {
+    constexpr std::size_t kMaxRequestBytes = 8192;
+    constexpr std::uint64_t kClientIdleNs = 5000000000ull; // 5s
+    while (!stopRequested.load(std::memory_order_acquire)) {
+      std::vector<pollfd> fds;
+      fds.push_back({listener.fd(), POLLIN, 0});
+      fds.push_back({wakeRead.get(), POLLIN, 0});
+      for (const Client &client : clients)
+        fds.push_back({client.fd.get(), POLLIN, 0});
+      ::poll(fds.data(), fds.size(), 100);
+
+      if (fds[1].revents & POLLIN) {
+        char drain[64];
+        while (::read(wakeRead.get(), drain, sizeof(drain)) > 0) {
+        }
+      }
+      if (fds[0].revents & POLLIN) {
+        // Accept everything pending; the loop stays nonblocking.
+        for (;;) {
+          support::OwnedFd client = listener.accept();
+          if (!client.valid())
+            break;
+          clients.push_back(
+              {std::move(client), std::string(), detail::nowNs()});
+        }
+      }
+
+      const std::uint64_t now = detail::nowNs();
+      for (std::size_t i = 0; i < clients.size();) {
+        Client &client = clients[i];
+        bool drop = false;
+        const std::size_t fdIndex = 2 + i;
+        if (fdIndex < fds.size() &&
+            (fds[fdIndex].revents & (POLLIN | POLLHUP | POLLERR))) {
+          const int got =
+              support::readAvailable(client.fd.get(), &client.request);
+          if (got == 0) {
+            drop = true; // closed (possibly mid-request): just drop
+          }
+        }
+        if (!drop &&
+            client.request.find("\r\n\r\n") != std::string::npos) {
+          const std::string response = respond(client.request);
+          support::writeAll(client.fd.get(), response.data(),
+                            response.size());
+          drop = true;
+        } else if (!drop && client.request.size() > kMaxRequestBytes) {
+          const std::string response = httpResponse(
+              400, "Bad Request", "text/plain", "request too large\n");
+          support::writeAll(client.fd.get(), response.data(),
+                            response.size());
+          drop = true;
+        } else if (!drop && now - client.acceptedNs > kClientIdleNs) {
+          drop = true; // partial request that never completed
+        }
+        if (drop)
+          clients.erase(clients.begin() + i);
+        else
+          ++i;
+      }
+    }
+    clients.clear();
+  }
+};
+
+StatsServer::StatsServer() : impl_(new Impl) {}
+
+StatsServer::~StatsServer() {
+  stop();
+  delete impl_;
+}
+
+bool StatsServer::start(std::uint16_t port, std::string *error) {
+  if (impl_->running.load(std::memory_order_acquire)) {
+    if (error)
+      *error = "stats server already running";
+    return false;
+  }
+  if (!impl_->listener.open(port, error))
+    return false;
+  if (!support::makeWakePipe(&impl_->wakeRead, &impl_->wakeWrite)) {
+    if (error)
+      *error = "failed to create wake pipe";
+    impl_->listener.close();
+    return false;
+  }
+  // Make sure the health family is registered before the first
+  // scrape, even when no engine has run yet.
+  StallWatchdog::shared();
+  impl_->stopRequested.store(false, std::memory_order_release);
+  impl_->lastCounters.clear();
+  impl_->lastSnapshotNs = 0;
+  impl_->worker = std::thread([this] { impl_->serveLoop(); });
+  impl_->running.store(true, std::memory_order_release);
+  return true;
+}
+
+void StatsServer::stop() {
+  if (!impl_->running.load(std::memory_order_acquire))
+    return;
+  impl_->stopRequested.store(true, std::memory_order_release);
+  if (impl_->wakeWrite.valid()) {
+    const char byte = 'x';
+    [[maybe_unused]] ssize_t n =
+        ::write(impl_->wakeWrite.get(), &byte, 1);
+  }
+  if (impl_->worker.joinable())
+    impl_->worker.join();
+  impl_->listener.close();
+  impl_->wakeRead.reset();
+  impl_->wakeWrite.reset();
+  impl_->running.store(false, std::memory_order_release);
+}
+
+bool StatsServer::running() const {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+std::uint16_t StatsServer::port() const {
+  return impl_->listener.port();
+}
+
+std::uint64_t StatsServer::scrapes() const {
+  return impl_->scrapes.load(std::memory_order_relaxed);
+}
+
+} // namespace ark::telemetry

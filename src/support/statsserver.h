@@ -1,0 +1,63 @@
+// Live metrics endpoint: a background exporter thread serving
+// registry snapshots over a nonblocking loopback TCP socket.
+//
+// Endpoints (HTTP/1.1, GET only, Connection: close):
+//   /metrics     Prometheus text exposition (version 0.0.4). Metric
+//                names swap the registry's dots for underscores
+//                (ark.cache.system_hits -> ark_cache_system_hits);
+//                histograms export cumulative `_bucket{le=...}`
+//                series on the power-of-two boundaries plus _sum and
+//                _count.
+//   /stats.json  JSON snapshot: the registry's json() payload plus
+//                per-second rates for every counter, computed as the
+//                delta against the previous /stats.json scrape served
+//                by this server instance.
+//   /healthz     200 "ok" liveness probe.
+//
+// One thread, one poll() loop, loopback only. start() binds the
+// listener (port 0 = ephemeral; port() reports the bound port) and
+// spawns the thread; a failure to bind (e.g. port in use) is a
+// structured error, not an exception. stop() — also run by the
+// destructor — wakes the loop via a self-pipe, joins the thread, and
+// closes the listener. The server only reads the metrics registry;
+// it can never affect engine results. See docs/TELEMETRY.md.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ark::telemetry {
+
+class StatsServer {
+public:
+  StatsServer();
+  ~StatsServer();
+
+  StatsServer(const StatsServer &) = delete;
+  StatsServer &operator=(const StatsServer &) = delete;
+
+  // Binds 127.0.0.1:port and starts the exporter thread. Returns
+  // false (with a message in *error, e.g. "bind failed: Address
+  // already in use") when the socket cannot be opened or the server
+  // is already running.
+  bool start(std::uint16_t port, std::string *error = nullptr);
+
+  // Graceful shutdown: joins the thread, closes the listener. Safe
+  // to call when not running.
+  void stop();
+
+  bool running() const;
+
+  // Bound port while running (resolves port 0), 0 otherwise.
+  std::uint16_t port() const;
+
+  // Requests answered with 200 so far (diagnostics and tests).
+  std::uint64_t scrapes() const;
+
+private:
+  struct Impl;
+  Impl *impl_;
+};
+
+} // namespace ark::telemetry

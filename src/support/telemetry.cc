@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -175,6 +176,9 @@ Registry::snapshot() const
             entry.buckets = h.bucketCounts();
             while (!entry.buckets.empty() && entry.buckets.back() == 0)
                 entry.buckets.pop_back();
+            entry.p50 = histogramQuantile(entry.buckets, 0.50);
+            entry.p95 = histogramQuantile(entry.buckets, 0.95);
+            entry.p99 = histogramQuantile(entry.buckets, 0.99);
             break;
         }
         }
@@ -250,6 +254,37 @@ escapeJson(const std::string &s)
 } // namespace
 
 double
+histogramQuantile(const std::vector<std::uint64_t> &buckets, double q)
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : buckets)
+        total += c;
+    if (total == 0)
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    const double rank = q * static_cast<double>(total);
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] == 0)
+            continue;
+        const double before = cumulative;
+        cumulative += static_cast<double>(buckets[b]);
+        if (cumulative >= rank) {
+            // Bucket 0 holds exactly {0}; bucket b holds
+            // [2^(b-1), 2^b - 1].
+            const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+            const double hi = b == 0 ? 0.0 : std::ldexp(1.0, b) - 1.0;
+            double frac = (rank - before) /
+                          static_cast<double>(buckets[b]);
+            frac = std::min(std::max(frac, 0.0), 1.0);
+            return lo + (hi - lo) * frac;
+        }
+    }
+    // Unreachable when the counts sum to `total`, but stay defined.
+    return std::ldexp(1.0, static_cast<int>(buckets.size())) - 1.0;
+}
+
+double
 MetricsSnapshot::value(std::string_view name, double fallback) const
 {
     for (const auto &entry : entries)
@@ -276,7 +311,9 @@ MetricsSnapshot::str() const
                     : static_cast<double>(entry.sum) /
                           static_cast<double>(entry.count);
             oss << entry.count << " samples, sum " << entry.sum << ", mean "
-                << formatNumber(mean);
+                << formatNumber(mean) << ", p50 " << formatNumber(entry.p50)
+                << ", p95 " << formatNumber(entry.p95) << ", p99 "
+                << formatNumber(entry.p99);
             break;
         }
         }
@@ -308,7 +345,11 @@ MetricsSnapshot::json() const
                     : static_cast<double>(entry.sum) /
                           static_cast<double>(entry.count);
             oss << "{\"count\":" << entry.count << ",\"sum\":" << entry.sum
-                << ",\"mean\":" << formatNumber(mean) << ",\"buckets\":[";
+                << ",\"mean\":" << formatNumber(mean)
+                << ",\"p50\":" << formatNumber(entry.p50)
+                << ",\"p95\":" << formatNumber(entry.p95)
+                << ",\"p99\":" << formatNumber(entry.p99)
+                << ",\"buckets\":[";
             for (std::size_t i = 0; i < entry.buckets.size(); ++i) {
                 if (i != 0)
                     oss << ",";

@@ -26,26 +26,13 @@
  *    trace-event JSON that chrome://tracing and Perfetto load
  *    directly ("ph":"X" complete events).
  *
- * Metric naming scheme
- * --------------------
- * Every metric is `ark.<area>.<name>`, where <area> is one of
- * `compile` (validation + lowering), `sim` (ensemble engine: pool,
- * lane blocks, step voting), `spice` (MNA factorization and sweeps),
- * `cache` (ArtifactCache), `session` (engine::Session front door,
- * retry supervisor). Histograms that record durations carry a `_ns`
- * suffix and hold nanoseconds. Span names reuse the same scheme.
- *
- * Overhead budget
- * ---------------
- * The discipline is support::FaultInjector's disarmed fast path:
- * with collection off, every instrumentation site costs exactly one
- * relaxed atomic load (and a predicted branch) — the bench_smoke
- * contract is < 2% throughput change vs. an uninstrumented build.
- * With collection on, sites sit at block/task/factorization
- * granularity, never inside per-opcode tape loops; per-step counters
- * in the integrators accumulate locally and flush once per block.
- * Telemetry never touches numerics: collection on vs. off is
- * bit-identical by construction (regression-tested in
+ * Metric names follow the `ark.<area>.<name>` scheme and every
+ * instrumentation site costs one relaxed atomic load when collection
+ * is off; docs/TELEMETRY.md is the authoritative reference for the
+ * naming scheme, the exposition formats served by
+ * telemetry::StatsServer, the RunLedger JSON schema, and the full
+ * overhead contract. Telemetry never touches numerics: collection on
+ * vs. off is bit-identical by construction (regression-tested in
  * telemetry_test).
  */
 
@@ -195,9 +182,19 @@ class Histogram
 };
 
 /**
+ * Interpolated quantile estimate (q in [0, 1]) from power-of-two
+ * bucket counts (Histogram::bucketOf layout). The estimate is exact
+ * at bucket boundaries and linearly interpolated within a bucket's
+ * [2^(b-1), 2^b - 1] span; 0 when the histogram is empty.
+ */
+double histogramQuantile(const std::vector<std::uint64_t> &buckets,
+                         double q);
+
+/**
  * Point-in-time copy of every registered metric, in registration
  * order. `value` is the counter value, the gauge value, or the
- * histogram count; histograms additionally carry sum/mean/buckets.
+ * histogram count; histograms additionally carry sum/mean/buckets
+ * and interpolated p50/p95/p99 estimates.
  */
 struct MetricsSnapshot
 {
@@ -212,6 +209,9 @@ struct MetricsSnapshot
         std::uint64_t sum = 0;   ///< Histogram sample sum.
         std::vector<std::uint64_t> buckets; ///< Histogram shape
                                             ///< (trailing zeros trimmed).
+        double p50 = 0.0; ///< Histogram quantile estimates
+        double p95 = 0.0; ///< (histogramQuantile over `buckets`).
+        double p99 = 0.0;
     };
 
     std::vector<Entry> entries;

@@ -1,0 +1,215 @@
+#include "support/watchdog.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/logging.h"
+#include "support/telemetry.h"
+
+namespace ark::telemetry {
+
+namespace detail {
+
+struct WatchdogRunState {
+  const char *kind = "run";
+  std::size_t instances = 0;
+  std::atomic<std::uint64_t> lastBeatNs{0};
+  bool stalled = false; // monitor-owned, guarded by Impl::mutex
+};
+
+} // namespace detail
+
+namespace {
+
+Gauge &stalledGauge() {
+  static Gauge &g =
+      Registry::shared().gauge("ark.health.stalled_runs");
+  return g;
+}
+
+Gauge &activeGauge() {
+  static Gauge &g = Registry::shared().gauge("ark.health.active_runs");
+  return g;
+}
+
+Counter &stallEvents() {
+  static Counter &c =
+      Registry::shared().counter("ark.health.stall_events");
+  return c;
+}
+
+} // namespace
+
+struct StallWatchdog::Impl {
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::shared_ptr<detail::WatchdogRunState>> runs;
+  std::atomic<std::int64_t> intervalMs{0};
+  bool running = false;
+  std::thread monitor;
+  std::uint64_t lastWarnNs = 0;
+  std::size_t stalledCount = 0;
+
+  void sweepLocked(std::uint64_t nowNs) {
+    const std::int64_t intervalMsNow =
+        intervalMs.load(std::memory_order_relaxed);
+    if (intervalMsNow <= 0)
+      return;
+    const std::uint64_t stallNs =
+        static_cast<std::uint64_t>(intervalMsNow) * 1000000ull;
+    std::size_t stalled = 0;
+    for (auto &run : runs) {
+      const std::uint64_t beat =
+          run->lastBeatNs.load(std::memory_order_relaxed);
+      const std::uint64_t idle = nowNs > beat ? nowNs - beat : 0;
+      if (idle > stallNs) {
+        if (!run->stalled) {
+          run->stalled = true;
+          stallEvents().add();
+          // One log per stall episode, and globally at most one per
+          // second, so a wedged 64-run battery cannot flood the log.
+          if (nowNs - lastWarnNs > 1000000000ull || lastWarnNs == 0) {
+            lastWarnNs = nowNs;
+            support::warn(support::cat(
+                "watchdog: ", run->kind, " run (", run->instances,
+                " instances) made no progress for ",
+                idle / 1000000ull, " ms"));
+          }
+        }
+        ++stalled;
+      } else if (run->stalled) {
+        run->stalled = false;
+        support::inform(support::cat("watchdog: ", run->kind,
+                                     " run resumed after stall"));
+      }
+    }
+    stalledCount = stalled;
+    stalledGauge().set(static_cast<double>(stalled));
+    activeGauge().set(static_cast<double>(runs.size()));
+  }
+
+  void monitorLoop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (running) {
+      sweepLocked(telemetry::detail::nowNs());
+      const std::int64_t ms =
+          intervalMs.load(std::memory_order_relaxed);
+      // Sweep at half the stall interval, clamped to [10ms, 1s].
+      const std::int64_t sleepMs =
+          std::clamp<std::int64_t>(ms / 2, 10, 1000);
+      cv.wait_for(lock, std::chrono::milliseconds(sleepMs),
+                  [this] { return !running; });
+    }
+  }
+};
+
+StallWatchdog::StallWatchdog() : impl_(new Impl) {
+  // Touch the health family so it exists in scrapes even before the
+  // first sweep (the registry registers idempotently by name).
+  stalledGauge();
+  activeGauge();
+  stallEvents();
+}
+
+StallWatchdog::~StallWatchdog() {
+  setStallInterval(std::chrono::milliseconds(0));
+  delete impl_;
+}
+
+StallWatchdog &StallWatchdog::shared() {
+  // Leaked on purpose, like the telemetry Registry: engine threads
+  // may still beat during static destruction.
+  static StallWatchdog *instance = new StallWatchdog;
+  return *instance;
+}
+
+void StallWatchdog::setStallInterval(std::chrono::milliseconds interval) {
+  const std::int64_t ms = std::max<std::int64_t>(interval.count(), 0);
+  std::thread toJoin;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->intervalMs.store(ms, std::memory_order_relaxed);
+    if (ms > 0 && !impl_->running) {
+      impl_->running = true;
+      impl_->monitor = std::thread([this] { impl_->monitorLoop(); });
+    } else if (ms == 0 && impl_->running) {
+      impl_->running = false;
+      toJoin = std::move(impl_->monitor);
+    }
+  }
+  impl_->cv.notify_all();
+  if (toJoin.joinable())
+    toJoin.join();
+  if (ms == 0) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (auto &run : impl_->runs)
+      run->stalled = false;
+    impl_->stalledCount = 0;
+    stalledGauge().set(0.0);
+  }
+}
+
+std::chrono::milliseconds StallWatchdog::stallInterval() const {
+  return std::chrono::milliseconds(
+      impl_->intervalMs.load(std::memory_order_relaxed));
+}
+
+bool StallWatchdog::enabled() const {
+  return impl_->intervalMs.load(std::memory_order_relaxed) > 0;
+}
+
+std::size_t StallWatchdog::activeRuns() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->runs.size();
+}
+
+std::size_t StallWatchdog::stalledRuns() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stalledCount;
+}
+
+void StallWatchdog::pollNow() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->sweepLocked(telemetry::detail::nowNs());
+}
+
+StallWatchdog::Run::Run(const char *kind, std::size_t instances) {
+  StallWatchdog &dog = shared();
+  if (!dog.enabled())
+    return;
+  state_ = std::make_shared<detail::WatchdogRunState>();
+  state_->kind = kind;
+  state_->instances = instances;
+  state_->lastBeatNs.store(telemetry::detail::nowNs(),
+                           std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(dog.impl_->mutex);
+  dog.impl_->runs.push_back(state_);
+}
+
+StallWatchdog::Run::~Run() {
+  if (!state_)
+    return;
+  StallWatchdog &dog = shared();
+  std::lock_guard<std::mutex> lock(dog.impl_->mutex);
+  auto &runs = dog.impl_->runs;
+  runs.erase(std::remove(runs.begin(), runs.end(), state_),
+             runs.end());
+  if (state_->stalled && dog.impl_->stalledCount > 0) {
+    --dog.impl_->stalledCount;
+    stalledGauge().set(static_cast<double>(dog.impl_->stalledCount));
+  }
+  activeGauge().set(static_cast<double>(runs.size()));
+}
+
+void StallWatchdog::Run::heartbeat() {
+  if (!state_)
+    return;
+  state_->lastBeatNs.store(telemetry::detail::nowNs(),
+                           std::memory_order_relaxed);
+}
+
+} // namespace ark::telemetry

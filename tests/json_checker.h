@@ -1,0 +1,143 @@
+#ifndef ARK_TESTS_JSON_CHECKER_H
+#define ARK_TESTS_JSON_CHECKER_H
+
+/**
+ * @file
+ * Minimal recursive-descent JSON syntax checker shared by the test
+ * suite: accepts exactly the JSON grammar (objects, arrays, strings,
+ * numbers, true/false/null). Used to round-trip-validate the Chrome
+ * trace export, metrics snapshots, ledger dumps, and the stats
+ * endpoint's JSON payload without a JSON library dependency.
+ */
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace ark::testutil {
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t len = std::string_view(word).size();
+        if (text_.compare(pos_, len, word) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    string()
+    {
+        if (!consume('"'))
+            return false;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return false;
+                ++pos_;
+            }
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    value()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            if (consume('}'))
+                return true;
+            do {
+                if (!string() || !consume(':') || !value())
+                    return false;
+            } while (consume(','));
+            return consume('}');
+        }
+        if (c == '[') {
+            ++pos_;
+            if (consume(']'))
+                return true;
+            do {
+                if (!value())
+                    return false;
+            } while (consume(','));
+            return consume(']');
+        }
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace ark::testutil
+
+#endif // ARK_TESTS_JSON_CHECKER_H

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Tests for the per-run flight recorder (telemetry::RunLedger) and
+ * the stall watchdog: bounded append semantics, JSON export, the
+ * provenance records the ODE ensemble and SPICE sweep engines flush
+ * (tier, lane width, block, structured failures), the cache outcomes
+ * only the session's cache-backed sweep can report, the supervised
+ * retry ladder's remapped records, and watchdog stall detection and
+ * clearing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "engine/session.h"
+#include "lang/registry.h"
+#include "paradigms/standard.h"
+#include "paradigms/tln.h"
+#include "sim/sim.h"
+#include "spice/batch.h"
+#include "spice/map_tln.h"
+#include "support/ledger.h"
+#include "support/telemetry.h"
+#include "support/watchdog.h"
+#include "validator/validator.h"
+
+#include "json_checker.h"
+
+namespace {
+
+using namespace ark;
+using telemetry::RunLedger;
+
+namespace ptln = paradigms::tln;
+
+/** dx/dt = k x: decays for k < 0, diverges to +/-inf for large k. */
+compiler::OdeSystem
+feedbackSystem(lang::LanguageRegistry &registry, double k, double x0)
+{
+    if (!registry.findLanguage("feedback")) {
+        registry.addProgram(R"(
+            lang feedback {
+                ntyp(1,sum) X {attr k=real[-1000,1000],
+                               init(0) real[-100,100]};
+                etyp E {};
+                prod(e:E,s:X->s:X) s <= s.k*var(s);
+            }
+        )");
+    }
+    lang::GraphBuilder builder(registry.language("feedback"), 0);
+    builder.node("x", "X");
+    builder.attr("x", "k", k);
+    builder.edge("self", "E", "x", "x");
+    builder.init("x", 0, x0);
+    return compiler::compile(builder.take(),
+                             registry.language("feedback"));
+}
+
+/** Same TLN topology per seed: only the mismatch values vary. */
+spice::MappedTln
+sharedStructureLine(const lang::LanguageRegistry &registry,
+                    std::uint64_t seed, int sections = 5)
+{
+    const lang::Language &gmc = registry.language("gmc-tln");
+    ptln::LineSpec spec;
+    spec.sections = sections;
+    spec.mismatchC = true;
+    spec.mismatchGm = true;
+    spec.seed = seed;
+    dg::Graph graph = ptln::buildLine(gmc, spec);
+    validator::validateOrThrow(graph, gmc);
+    return spice::mapTlnToSpice(graph, gmc);
+}
+
+TEST(LedgerTest, BoundedAppendCountsDrops)
+{
+    RunLedger ledger(4);
+    EXPECT_EQ(ledger.capacity(), 4u);
+    const std::uint64_t run = ledger.beginRun(RunLedger::Workload::Ode, 6);
+    EXPECT_EQ(run, 1u);
+    EXPECT_EQ(ledger.lastRunId(), 1u);
+    for (std::size_t i = 0; i < 6; ++i) {
+        RunLedger::Record record;
+        record.runId = run;
+        record.index = i;
+        ledger.append(std::move(record));
+    }
+    EXPECT_EQ(ledger.size(), 4u);
+    EXPECT_EQ(ledger.dropped(), 2u);
+    ledger.clear();
+    EXPECT_EQ(ledger.size(), 0u);
+    EXPECT_EQ(ledger.dropped(), 0u);
+    EXPECT_EQ(ledger.beginRun(RunLedger::Workload::Spice, 1), 2u);
+}
+
+TEST(LedgerTest, EnumSpellingsAreStable)
+{
+    EXPECT_STREQ(RunLedger::name(RunLedger::Workload::Ode), "ode");
+    EXPECT_STREQ(RunLedger::name(RunLedger::Workload::Spice), "spice");
+    EXPECT_STREQ(RunLedger::name(RunLedger::Tier::Scalar), "scalar");
+    EXPECT_STREQ(RunLedger::name(RunLedger::Tier::Lane), "lane");
+    EXPECT_STREQ(RunLedger::name(RunLedger::Tier::Dense), "dense");
+    EXPECT_STREQ(RunLedger::name(RunLedger::Tier::Sparse), "sparse");
+    EXPECT_STREQ(RunLedger::name(RunLedger::CacheOutcome::None), "none");
+    EXPECT_STREQ(RunLedger::name(RunLedger::CacheOutcome::Hit), "hit");
+    EXPECT_STREQ(RunLedger::name(RunLedger::CacheOutcome::Miss), "miss");
+    EXPECT_STREQ(RunLedger::name(RunLedger::RetryAction::None), "none");
+    EXPECT_STREQ(RunLedger::name(RunLedger::RetryAction::ScalarRetry),
+                 "scalar_retry");
+    EXPECT_STREQ(RunLedger::name(RunLedger::RetryAction::RelaxedRetry),
+                 "relaxed_retry");
+    EXPECT_STREQ(RunLedger::name(RunLedger::RetryAction::DenseFallback),
+                 "dense_fallback");
+}
+
+TEST(LedgerTest, JsonRoundTripsAndEscapes)
+{
+    RunLedger ledger;
+    const std::uint64_t run =
+        ledger.beginRun(RunLedger::Workload::Spice, 2);
+    RunLedger::Record good;
+    good.runId = run;
+    good.index = 0;
+    good.workload = RunLedger::Workload::Spice;
+    good.tier = RunLedger::Tier::Sparse;
+    good.cache = RunLedger::CacheOutcome::Hit;
+    good.stepsAccepted = 100;
+    ledger.append(std::move(good));
+    RunLedger::Record bad;
+    bad.runId = run;
+    bad.index = 1;
+    bad.workload = RunLedger::Workload::Spice;
+    bad.ok = false;
+    bad.failureReason = "singular_matrix";
+    bad.failureMessage = "pivot \"G7\"\n\tcollapsed \\ here";
+    ledger.append(std::move(bad));
+
+    const std::string json = ledger.json();
+    testutil::JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+    EXPECT_NE(json.find("\"records\""), std::string::npos);
+    EXPECT_NE(json.find("\"cache\": \"hit\""), std::string::npos);
+    EXPECT_NE(json.find("singular_matrix"), std::string::npos);
+}
+
+TEST(LedgerTest, OdeEnsembleLaneAndScalarProvenance)
+{
+    lang::LanguageRegistry registry;
+    std::vector<compiler::OdeSystem> systems;
+    // k stays clear of +/-1 and 0: those fold to shorter tapes
+    // (multiply-by-one elision), which would split the lane class.
+    for (int i = 0; i < 6; ++i)
+        systems.push_back(feedbackSystem(registry, -2.0 - i, 2.0 + i));
+    std::vector<const compiler::OdeSystem *> pointers;
+    for (const compiler::OdeSystem &system : systems)
+        pointers.push_back(&system);
+
+    RunLedger ledger;
+    sim::EnsembleOptions options;
+    options.sim.dt = 1e-3;
+    options.ledger = &ledger;
+    sim::simulateEnsemble(pointers, 0.0, 1.0, options);
+
+    std::vector<RunLedger::Record> records = ledger.records();
+    ASSERT_EQ(records.size(), pointers.size());
+    std::vector<bool> seen(pointers.size(), false);
+    for (const RunLedger::Record &record : records) {
+        EXPECT_EQ(record.runId, 1u);
+        EXPECT_EQ(record.workload, RunLedger::Workload::Ode);
+        EXPECT_EQ(record.tier, RunLedger::Tier::Lane);
+        EXPECT_EQ(record.lanes, 6u);
+        EXPECT_EQ(record.laneWidth, 8u); // 6 lanes pad to width 8
+        EXPECT_EQ(record.attempt, 1);
+        EXPECT_EQ(record.action, RunLedger::RetryAction::None);
+        EXPECT_GT(record.stepsAccepted, 0u);
+        EXPECT_TRUE(record.ok);
+        ASSERT_LT(record.index, seen.size());
+        seen[record.index] = true;
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_TRUE(seen[i]) << "no record for instance " << i;
+
+    // The scalar ablation path reports scalar-tier records.
+    options.laneBatching = false;
+    sim::simulateEnsemble(pointers, 0.0, 1.0, options);
+    records = ledger.records();
+    ASSERT_EQ(records.size(), 2 * pointers.size());
+    for (std::size_t r = pointers.size(); r < records.size(); ++r) {
+        EXPECT_EQ(records[r].runId, 2u);
+        EXPECT_EQ(records[r].tier, RunLedger::Tier::Scalar);
+        EXPECT_EQ(records[r].laneWidth, 1u);
+        EXPECT_EQ(records[r].lanes, 1u);
+    }
+}
+
+TEST(LedgerTest, OdeFailureRecordsCarryStructuredReason)
+{
+    lang::LanguageRegistry registry;
+    compiler::OdeSystem healthy = feedbackSystem(registry, -1.0, 2.0);
+    compiler::OdeSystem diverging = feedbackSystem(registry, 900.0, 2.0);
+    std::vector<const compiler::OdeSystem *> pointers{&healthy,
+                                                      &diverging};
+
+    RunLedger ledger;
+    sim::EnsembleOptions options;
+    options.sim.dt = 1e-3;
+    options.ledger = &ledger;
+    std::vector<sim::SimResult> results =
+        sim::simulateEnsemble(pointers, 0.0, 2.0, options);
+    ASSERT_TRUE(results[0].ok());
+    ASSERT_FALSE(results[1].ok());
+
+    std::vector<RunLedger::Record> records = ledger.records();
+    ASSERT_EQ(records.size(), 2u);
+    for (const RunLedger::Record &record : records) {
+        if (record.index == 0) {
+            EXPECT_TRUE(record.ok);
+            EXPECT_TRUE(record.failureReason.empty());
+        } else {
+            EXPECT_FALSE(record.ok);
+            EXPECT_EQ(record.failureReason, "diverged");
+            EXPECT_FALSE(record.failureMessage.empty());
+        }
+    }
+}
+
+TEST(LedgerTest, SpiceSweepRecordsStructureGroups)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    std::vector<spice::MappedTln> mapped;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        mapped.push_back(sharedStructureLine(registry, seed));
+    std::vector<const spice::Netlist *> netlists;
+    for (const spice::MappedTln &m : mapped)
+        netlists.push_back(&m.netlist);
+
+    RunLedger ledger;
+    spice::TransientBatchOptions options;
+    options.ledger = &ledger;
+    spice::TransientBatch batch(options);
+    std::vector<spice::TransientResult> results =
+        batch.run(netlists, 0.0, 1e-9, 1e-11);
+    for (const spice::TransientResult &result : results)
+        ASSERT_TRUE(result.ok());
+
+    std::vector<RunLedger::Record> records = ledger.records();
+    ASSERT_EQ(records.size(), netlists.size());
+    const std::size_t block = records.front().blockId;
+    for (const RunLedger::Record &record : records) {
+        EXPECT_EQ(record.workload, RunLedger::Workload::Spice);
+        EXPECT_EQ(record.tier, RunLedger::Tier::Sparse);
+        EXPECT_EQ(record.blockId, block); // one structure group
+        EXPECT_EQ(record.lanes, netlists.size());
+        EXPECT_GT(record.stepsAccepted, 0u);
+        EXPECT_EQ(record.cache, RunLedger::CacheOutcome::None);
+        EXPECT_TRUE(record.ok);
+    }
+
+    // The dense ablation reports dense-tier standalone records.
+    options.sparse = false;
+    spice::TransientBatch dense(options);
+    dense.run(netlists, 0.0, 1e-9, 1e-11);
+    records = ledger.records();
+    ASSERT_EQ(records.size(), 2 * netlists.size());
+    for (std::size_t r = netlists.size(); r < records.size(); ++r) {
+        EXPECT_EQ(records[r].tier, RunLedger::Tier::Dense);
+        EXPECT_EQ(records[r].lanes, 1u);
+    }
+}
+
+TEST(LedgerTest, SessionSweepRecordsCacheOutcomes)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    std::vector<spice::MappedTln> mapped;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        mapped.push_back(sharedStructureLine(registry, seed));
+    std::vector<const spice::Netlist *> netlists;
+    for (const spice::MappedTln &m : mapped)
+        netlists.push_back(&m.netlist);
+
+    engine::ArtifactCache cache;
+    RunLedger ledger;
+    engine::SessionOptions sessionOptions;
+    sessionOptions.cache = &cache;
+    sessionOptions.ledger = &ledger; // session-level default ledger
+    engine::Session session(sessionOptions);
+
+    session.runSweep(netlists, 0.0, 1e-9, 1e-11); // cold factors
+    session.runSweep(netlists, 0.0, 1e-9, 1e-11); // warm factors
+
+    std::vector<RunLedger::Record> records = ledger.records();
+    ASSERT_EQ(records.size(), 2 * netlists.size());
+    for (const RunLedger::Record &record : records) {
+        EXPECT_EQ(record.workload, RunLedger::Workload::Spice);
+        EXPECT_EQ(record.tier, RunLedger::Tier::Sparse);
+        const RunLedger::CacheOutcome expected =
+            record.runId == 1 ? RunLedger::CacheOutcome::Miss
+                              : RunLedger::CacheOutcome::Hit;
+        EXPECT_EQ(record.cache, expected)
+            << "run " << record.runId << " instance " << record.index;
+    }
+}
+
+TEST(LedgerTest, SupervisedEnsembleAttachesReportLedger)
+{
+    lang::LanguageRegistry registry;
+    compiler::OdeSystem healthy = feedbackSystem(registry, -1.0, 2.0);
+    compiler::OdeSystem diverging = feedbackSystem(registry, 900.0, 2.0);
+    std::vector<engine::SystemPtr> systems;
+    systems.push_back(std::make_shared<const compiler::OdeSystem>(healthy));
+    systems.push_back(
+        std::make_shared<const compiler::OdeSystem>(diverging));
+
+    engine::Session session;
+    sim::EnsembleOptions options;
+    options.sim.dt = 1e-3;
+    engine::RunPolicy policy;
+    policy.maxAttempts = 3;
+    policy.retryScalar = true;
+    engine::RunReport report;
+    session.runEnsemble(systems, 0.0, 2.0, options, policy, &report);
+
+    // No ledger was configured anywhere, so the supervisor attached
+    // its own to the report.
+    ASSERT_NE(report.ledger, nullptr);
+    std::vector<RunLedger::Record> records = report.ledger->records();
+    // 2 first-attempt records + 2 retry rungs for the diverging
+    // instance (retries are deterministic, so both fail too).
+    ASSERT_EQ(records.size(), 4u);
+    std::size_t retries = 0;
+    for (const RunLedger::Record &record : records) {
+        if (record.action == RunLedger::RetryAction::None) {
+            EXPECT_EQ(record.attempt, 1);
+            continue;
+        }
+        ++retries;
+        EXPECT_EQ(record.index, 1u); // remapped to the original slot
+        EXPECT_EQ(record.action, RunLedger::RetryAction::ScalarRetry);
+        EXPECT_GE(record.attempt, 2);
+        EXPECT_LE(record.attempt, 3);
+        EXPECT_EQ(record.tier, RunLedger::Tier::Scalar);
+        EXPECT_FALSE(record.ok);
+        EXPECT_EQ(record.failureReason, "diverged");
+    }
+    EXPECT_EQ(retries, 2u);
+
+    // An explicitly configured ledger wins and the report gets none.
+    RunLedger external;
+    options.ledger = &external;
+    engine::RunReport second;
+    session.runEnsemble(systems, 0.0, 2.0, options, policy, &second);
+    EXPECT_EQ(second.ledger, nullptr);
+    EXPECT_EQ(external.records().size(), 4u);
+}
+
+TEST(LedgerTest, WatchdogFlagsAndClearsStalls)
+{
+    telemetry::StallWatchdog &watchdog =
+        telemetry::StallWatchdog::shared();
+    watchdog.setStallInterval(std::chrono::milliseconds(5));
+    ASSERT_TRUE(watchdog.enabled());
+    {
+        telemetry::StallWatchdog::Run run("ledger_test", 4);
+        EXPECT_TRUE(run.active());
+        EXPECT_EQ(watchdog.activeRuns(), 1u);
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        watchdog.pollNow();
+        EXPECT_EQ(watchdog.stalledRuns(), 1u);
+        run.heartbeat(); // progress resumes
+        watchdog.pollNow();
+        EXPECT_EQ(watchdog.stalledRuns(), 0u);
+    }
+    EXPECT_EQ(watchdog.activeRuns(), 0u);
+    watchdog.setStallInterval(std::chrono::milliseconds(0));
+    EXPECT_FALSE(watchdog.enabled());
+
+    // Disabled watchdog: Run scopes are inert.
+    telemetry::StallWatchdog::Run inert("ledger_test", 1);
+    EXPECT_FALSE(inert.active());
+    EXPECT_EQ(watchdog.activeRuns(), 0u);
+}
+
+} // namespace

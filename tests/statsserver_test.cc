@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the live stats endpoint (telemetry::StatsServer): start/
+ * stop lifecycle, Prometheus and JSON payload shape, concurrent
+ * scrapes during an active ensemble, malformed and partial HTTP
+ * requests, and the structured port-in-use start failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "lang/registry.h"
+#include "sim/sim.h"
+#include "support/statsserver.h"
+#include "support/telemetry.h"
+
+#include "json_checker.h"
+
+namespace {
+
+using namespace ark;
+using telemetry::Registry;
+using telemetry::StatsServer;
+
+/** Restores the metrics switch on exit. */
+struct MetricsGuard
+{
+    MetricsGuard() : was_(telemetry::metricsEnabled()) {}
+    ~MetricsGuard() { telemetry::setMetricsEnabled(was_); }
+    bool was_;
+};
+
+/** Blocking loopback client: sends `request` bytes, reads to EOF. */
+std::string
+rawRequest(std::uint16_t port, const std::string &request,
+           bool halfRequest = false)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n =
+            ::send(fd, request.data() + sent, request.size() - sent, 0);
+        if (n <= 0)
+            break;
+        sent += static_cast<std::size_t>(n);
+    }
+    if (halfRequest) {
+        // Abandon the connection mid-request; the server must carry
+        // on serving others (verified by the caller's next scrape).
+        ::close(fd);
+        return "";
+    }
+    std::string response;
+    char buffer[4096];
+    while (true) {
+        const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0)
+            break;
+        response.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+std::string
+httpGet(std::uint16_t port, const std::string &path)
+{
+    return rawRequest(port, "GET " + path +
+                                " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                                "Connection: close\r\n\r\n");
+}
+
+/** Response body (after the blank line). */
+std::string
+bodyOf(const std::string &response)
+{
+    const std::size_t split = response.find("\r\n\r\n");
+    return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+/** dx/dt = -k x (the telemetry test's pipeline system). */
+compiler::OdeSystem
+decaySystem(lang::LanguageRegistry &registry, double k, double x0)
+{
+    if (!registry.findLanguage("decay")) {
+        registry.addProgram(R"(
+            lang decay {
+                ntyp(1,sum) X {attr k=real[0,100],
+                               init(0) real[-100,100]};
+                etyp E {};
+                prod(e:E,s:X->s:X) s <= -s.k*var(s);
+            }
+        )");
+    }
+    lang::GraphBuilder builder(registry.language("decay"), 0);
+    builder.node("x", "X");
+    builder.attr("x", "k", k);
+    builder.edge("self", "E", "x", "x");
+    builder.init("x", 0, x0);
+    return compiler::compile(builder.take(),
+                             registry.language("decay"));
+}
+
+TEST(StatsServerTest, StartServeStopLifecycle)
+{
+    MetricsGuard guard;
+    telemetry::setMetricsEnabled(true);
+    Registry::shared().counter("ark.test.ss_counter").add(7);
+    Registry::shared().histogram("ark.test.ss_hist").record(100);
+
+    StatsServer server;
+    EXPECT_FALSE(server.running());
+    EXPECT_EQ(server.port(), 0);
+    std::string error;
+    ASSERT_TRUE(server.start(0, &error)) << error;
+    EXPECT_TRUE(server.running());
+    ASSERT_GT(server.port(), 0);
+
+    const std::string metrics = httpGet(server.port(), "/metrics");
+    EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_NE(metrics.find("text/plain"), std::string::npos);
+    const std::string body = bodyOf(metrics);
+    // Dots become underscores; counters and histograms both export.
+    EXPECT_NE(body.find("# TYPE ark_test_ss_counter counter"),
+              std::string::npos);
+    EXPECT_NE(body.find("ark_test_ss_counter 7"), std::string::npos);
+    EXPECT_NE(body.find("# TYPE ark_test_ss_hist histogram"),
+              std::string::npos);
+    EXPECT_NE(body.find("ark_test_ss_hist_bucket{le=\"+Inf\"}"),
+              std::string::npos);
+    EXPECT_NE(body.find("ark_test_ss_hist_count"), std::string::npos);
+    // The health family registers with the server itself.
+    EXPECT_NE(body.find("ark_health_stalled_runs"), std::string::npos);
+
+    // JSON endpoint: parses, carries uptime/rates/metrics; a second
+    // scrape has a previous snapshot to compute rates against.
+    for (int scrape = 0; scrape < 2; ++scrape) {
+        const std::string stats =
+            httpGet(server.port(), "/stats.json");
+        EXPECT_NE(stats.find("HTTP/1.1 200"), std::string::npos);
+        std::string statsBody = bodyOf(stats);
+        testutil::JsonChecker checker(statsBody);
+        EXPECT_TRUE(checker.valid()) << statsBody;
+        EXPECT_NE(statsBody.find("\"uptime_ns\""), std::string::npos);
+        EXPECT_NE(statsBody.find("\"rates\""), std::string::npos);
+        EXPECT_NE(statsBody.find("\"metrics\""), std::string::npos);
+    }
+
+    const std::string health = httpGet(server.port(), "/healthz");
+    EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_GE(server.scrapes(), 4u);
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+    EXPECT_EQ(server.port(), 0);
+    // Restartable after stop.
+    ASSERT_TRUE(server.start(0, &error)) << error;
+    EXPECT_NE(httpGet(server.port(), "/healthz").find("200"),
+              std::string::npos);
+    server.stop();
+}
+
+TEST(StatsServerTest, MalformedAndPartialRequestsAreHarmless)
+{
+    MetricsGuard guard;
+    telemetry::setMetricsEnabled(true);
+    StatsServer server;
+    ASSERT_TRUE(server.start(0));
+
+    EXPECT_NE(rawRequest(server.port(), "NOT-HTTP AT ALL\r\n\r\n")
+                  .find("HTTP/1.1 400"),
+              std::string::npos);
+    EXPECT_NE(rawRequest(server.port(),
+                         "POST /metrics HTTP/1.1\r\n\r\n")
+                  .find("HTTP/1.1 405"),
+              std::string::npos);
+    EXPECT_NE(httpGet(server.port(), "/no/such/endpoint")
+                  .find("HTTP/1.1 404"),
+              std::string::npos);
+    // A connection abandoned mid-request must not wedge the server.
+    rawRequest(server.port(), "GET /metr", /*halfRequest=*/true);
+    EXPECT_NE(httpGet(server.port(), "/healthz")
+                  .find("HTTP/1.1 200"),
+              std::string::npos);
+    server.stop();
+}
+
+TEST(StatsServerTest, PortInUseIsStructuredError)
+{
+    StatsServer first;
+    ASSERT_TRUE(first.start(0));
+    StatsServer second;
+    std::string error;
+    EXPECT_FALSE(second.start(first.port(), &error));
+    EXPECT_FALSE(second.running());
+    EXPECT_NE(error.find("bind failed"), std::string::npos) << error;
+
+    // Double-start of a running server is also a structured error.
+    error.clear();
+    EXPECT_FALSE(first.start(0, &error));
+    EXPECT_FALSE(error.empty());
+    first.stop();
+}
+
+TEST(StatsServerTest, ConcurrentScrapeDuringActiveEnsemble)
+{
+    MetricsGuard guard;
+    telemetry::setMetricsEnabled(true);
+    StatsServer server;
+    ASSERT_TRUE(server.start(0));
+
+    lang::LanguageRegistry registry;
+    std::vector<compiler::OdeSystem> systems;
+    for (int i = 0; i < 6; ++i)
+        systems.push_back(decaySystem(registry, 1.0 + i, 2.0 + i));
+    std::vector<const compiler::OdeSystem *> pointers;
+    for (const compiler::OdeSystem &system : systems)
+        pointers.push_back(&system);
+    sim::EnsembleOptions options;
+    options.sim.dt = 1e-4;
+
+    // Scrape continuously while ensembles run: every response must be
+    // well-formed, and the sim family must be present once the
+    // ensembles have executed with metrics on.
+    std::thread worker([&] {
+        for (int pass = 0; pass < 5; ++pass)
+            sim::simulateEnsemble(pointers, 0.0, 1.0, options);
+    });
+    std::vector<std::string> bodies;
+    for (int scrape = 0; scrape < 8; ++scrape) {
+        const std::string response =
+            httpGet(server.port(), "/metrics");
+        EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+        bodies.push_back(bodyOf(response));
+    }
+    worker.join();
+    const std::string final = bodyOf(httpGet(server.port(), "/metrics"));
+    EXPECT_NE(final.find("ark_sim_"), std::string::npos);
+    for (const std::string &body : bodies)
+        EXPECT_NE(body.find("# TYPE"), std::string::npos);
+    server.stop();
+}
+
+} // namespace

@@ -21,13 +21,19 @@
 #include "compiler/compiler.h"
 #include "lang/registry.h"
 #include "sim/sim.h"
+#include "support/ledger.h"
 #include "support/logging.h"
+#include "support/statsserver.h"
 #include "support/telemetry.h"
+#include "support/watchdog.h"
+
+#include "json_checker.h"
 
 namespace {
 
 using namespace ark;
 using telemetry::Registry;
+using testutil::JsonChecker;
 
 /** Restores both collection switches and clears the trace on exit so
  *  tests cannot leak enabled telemetry into each other. */
@@ -48,133 +54,6 @@ struct TelemetryGuard
 
     bool metrics_;
     bool tracing_;
-};
-
-/**
- * Minimal recursive-descent JSON syntax checker: accepts exactly the
- * JSON grammar (objects, arrays, strings, numbers, true/false/null).
- * Used to round-trip-validate the Chrome trace export without a JSON
- * library dependency.
- */
-class JsonChecker
-{
-  public:
-    explicit JsonChecker(const std::string &text) : text_(text) {}
-
-    bool
-    valid()
-    {
-        pos_ = 0;
-        if (!value())
-            return false;
-        skipSpace();
-        return pos_ == text_.size();
-    }
-
-  private:
-    void
-    skipSpace()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    bool
-    consume(char c)
-    {
-        skipSpace();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        std::size_t len = std::string_view(word).size();
-        if (text_.compare(pos_, len, word) == 0) {
-            pos_ += len;
-            return true;
-        }
-        return false;
-    }
-
-    bool
-    string()
-    {
-        if (!consume('"'))
-            return false;
-        while (pos_ < text_.size()) {
-            char c = text_[pos_++];
-            if (c == '"')
-                return true;
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    return false;
-                ++pos_;
-            }
-        }
-        return false;
-    }
-
-    bool
-    number()
-    {
-        std::size_t start = pos_;
-        if (pos_ < text_.size() && text_[pos_] == '-')
-            ++pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E' || text_[pos_] == '+' ||
-                text_[pos_] == '-'))
-            ++pos_;
-        return pos_ > start;
-    }
-
-    bool
-    value()
-    {
-        skipSpace();
-        if (pos_ >= text_.size())
-            return false;
-        char c = text_[pos_];
-        if (c == '{') {
-            ++pos_;
-            if (consume('}'))
-                return true;
-            do {
-                if (!string() || !consume(':') || !value())
-                    return false;
-            } while (consume(','));
-            return consume('}');
-        }
-        if (c == '[') {
-            ++pos_;
-            if (consume(']'))
-                return true;
-            do {
-                if (!value())
-                    return false;
-            } while (consume(','));
-            return consume(']');
-        }
-        if (c == '"')
-            return string();
-        if (c == 't')
-            return literal("true");
-        if (c == 'f')
-            return literal("false");
-        if (c == 'n')
-            return literal("null");
-        return number();
-    }
-
-    const std::string &text_;
-    std::size_t pos_ = 0;
 };
 
 TEST(TelemetryTest, CounterConcurrentWritersAreExact)
@@ -456,12 +335,26 @@ TEST(TelemetryTest, EnsembleBitIdenticalOnVsOff)
     std::vector<sim::SimResult> plain =
         sim::simulateEnsemble(pointers, 0.0, 1.0, options);
 
+    // The instrumented pass arms the whole telemetry plane: metrics,
+    // tracing, the flight recorder, a live stats server, and the
+    // stall watchdog. All of it is observation-only by contract.
     telemetry::setMetricsEnabled(true);
     telemetry::setTracingEnabled(true);
+    telemetry::RunLedger ledger;
+    sim::EnsembleOptions instrumentedOptions = options;
+    instrumentedOptions.ledger = &ledger;
+    telemetry::StatsServer server;
+    ASSERT_TRUE(server.start(0));
+    telemetry::StallWatchdog::shared().setStallInterval(
+        std::chrono::minutes(1));
     std::vector<sim::SimResult> instrumented =
-        sim::simulateEnsemble(pointers, 0.0, 1.0, options);
+        sim::simulateEnsemble(pointers, 0.0, 1.0, instrumentedOptions);
+    telemetry::StallWatchdog::shared().setStallInterval(
+        std::chrono::milliseconds(0));
+    server.stop();
     telemetry::setMetricsEnabled(false);
     telemetry::setTracingEnabled(false);
+    EXPECT_EQ(ledger.size(), pointers.size());
 
     ASSERT_EQ(plain.size(), instrumented.size());
     for (std::size_t i = 0; i < plain.size(); ++i) {

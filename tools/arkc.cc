@@ -19,9 +19,13 @@
  * Compilation runs through the engine's content-addressed artifact
  * cache (ark::engine::Session); `--cache-stats` on equations/run
  * prints the hit/miss counters to stderr after the command.
- * `--metrics` prints the engine telemetry registry to stderr, and
+ * `--metrics` prints the engine telemetry registry to stderr,
  * `--trace out.json` records the command as Chrome trace-event JSON
- * (load it in chrome://tracing or Perfetto).
+ * (load it in chrome://tracing or Perfetto), `--ledger out.json`
+ * writes the run's per-instance flight-recorder records, and
+ * `--stats-port N` serves live Prometheus/JSON metrics on
+ * 127.0.0.1:N for the duration of the command (0 = ephemeral port,
+ * printed to stderr). See docs/TELEMETRY.md.
  */
 
 #include <fstream>
@@ -42,6 +46,8 @@
 #include "paradigms/tln.h"
 #include "sim/sim.h"
 #include "support/error.h"
+#include "support/ledger.h"
+#include "support/statsserver.h"
 #include "support/strings.h"
 #include "support/table.h"
 #include "support/telemetry.h"
@@ -64,7 +70,10 @@ usage()
         "equations/run compile through the engine artifact cache;\n"
         "--cache-stats prints its hit/miss counters to stderr.\n"
         "--metrics prints engine telemetry counters to stderr;\n"
-        "--trace FILE writes a Chrome trace (chrome://tracing).\n";
+        "--trace FILE writes a Chrome trace (chrome://tracing);\n"
+        "--ledger FILE writes the run's flight-recorder JSON;\n"
+        "--stats-port N serves /metrics + /stats.json on\n"
+        "127.0.0.1:N while the command runs (0 = ephemeral).\n";
     return 2;
 }
 
@@ -114,7 +123,9 @@ struct RunOptions
     std::vector<std::string> observe;
     bool cacheStats = false;
     bool metrics = false;
-    std::string tracePath; ///< Empty = no trace recording.
+    std::string tracePath;  ///< Empty = no trace recording.
+    std::string ledgerPath; ///< Empty = no flight recorder.
+    int statsPort = -1;     ///< -1 = no stats server; 0 = ephemeral.
 };
 
 RunOptions
@@ -146,6 +157,10 @@ parseRunArgs(int argc, char **argv, int first)
             options.metrics = true;
         } else if (arg == "--trace") {
             options.tracePath = next();
+        } else if (arg == "--ledger") {
+            options.ledgerPath = next();
+        } else if (arg == "--stats-port") {
+            options.statsPort = std::stoi(next());
         } else {
             options.args.push_back(parseArgValue(arg));
         }
@@ -205,19 +220,32 @@ buildGraph(lang::LanguageRegistry &registry, const RunOptions &options,
 /**
  * Arms telemetry per the CLI flags for the duration of a command:
  * --metrics turns on metric collection, --trace records spans and
- * writes the Chrome trace file when the scope ends.
+ * writes the Chrome trace file when the scope ends, and
+ * --stats-port starts the live exporter (which needs collection on
+ * to have anything to serve). The server's destructor joins its
+ * thread before main returns.
  */
 struct TelemetryScope
 {
     explicit TelemetryScope(const RunOptions &options)
     {
-        if (options.metrics)
+        if (options.metrics || options.statsPort >= 0)
             telemetry::setMetricsEnabled(true);
         if (!options.tracePath.empty())
             trace.emplace(options.tracePath);
+        if (options.statsPort >= 0) {
+            std::string error;
+            if (!server.start(
+                    static_cast<std::uint16_t>(options.statsPort),
+                    &error))
+                throw support::IoError("stats server: " + error);
+            std::cerr << "arkc: stats listening on 127.0.0.1:"
+                      << server.port() << "\n";
+        }
     }
 
     std::optional<telemetry::TraceSession> trace;
+    telemetry::StatsServer server;
 };
 
 /** Prints cache counters / telemetry metrics when requested. */
@@ -262,8 +290,26 @@ cmdRun(int argc, char **argv)
     simOptions.recordDt = options.recordDt > 0
                               ? options.recordDt
                               : options.tEnd / 500.0;
-    sim::SimResult result =
-        sim::simulate(system, 0.0, options.tEnd, simOptions);
+    // A single-system ensemble runs the scalar per-instance path,
+    // bit-identical to serial sim::simulate — dispatched through the
+    // session so the flight recorder sees it.
+    telemetry::RunLedger ledger;
+    sim::EnsembleOptions ensembleOptions;
+    ensembleOptions.sim = simOptions;
+    if (!options.ledgerPath.empty())
+        ensembleOptions.ledger = &ledger;
+    std::vector<sim::SimResult> results = session.runEnsemble(
+        {systemPtr}, 0.0, options.tEnd, ensembleOptions);
+    sim::SimResult result = std::move(results.front());
+    if (!options.ledgerPath.empty()) {
+        std::ofstream out(options.ledgerPath);
+        if (!out)
+            throw support::IoError("cannot open '" +
+                                   options.ledgerPath + "'");
+        out << ledger.json() << "\n";
+        std::cerr << "arkc: ledger written to " << options.ledgerPath
+                  << "\n";
+    }
     if (!result.ok()) {
         std::cerr << "warning: " << result.failure->message
                   << " (emitting the partial trajectory)\n";

@@ -17,10 +17,12 @@ between PRs. A binary recorded with "ok": false contributes nothing —
 bench_smoke is non-gating by design, and this script follows suit.
 
 Snapshots may carry a top-level "metrics" block (cache hit rate, mean
-lane occupancy, refactor share — embedded by bench_smoke when the
-metrics probe is available). Metric deltas are printed informationally
+lane occupancy, refactor share, and per-histogram p50/p95/p99
+quantiles — embedded by bench_smoke when the metrics probe is
+available). Metric and quantile deltas are printed informationally
 but never flagged as regressions, and snapshots with and without the
-block diff cleanly against each other.
+block (or with the older block that predates quantiles) diff cleanly
+against each other.
 """
 
 import argparse
@@ -76,15 +78,47 @@ def diff_metrics(old_snapshot, new_snapshot):
     keys = ("cache_hit_rate", "mean_lane_occupancy", "refactor_share")
     shown = [key for key in keys
              if key in old_metrics or key in new_metrics]
-    if not shown:
+    if shown:
+        print("\ntelemetry metrics (informational):")
+        for key in shown:
+            old_value = old_metrics.get(key)
+            new_value = new_metrics.get(key)
+            old_text = "n/a" if old_value is None else f"{old_value:.4f}"
+            new_text = "n/a" if new_value is None else f"{new_value:.4f}"
+            print(f"  {key}: {old_text} -> {new_text}")
+    diff_quantiles(old_metrics, new_metrics)
+
+
+def diff_quantiles(old_metrics, new_metrics):
+    """Prints per-histogram p50/p95/p99 deltas from the "quantiles"
+    block. Tolerant by construction: snapshots that predate the block
+    (or carry a malformed one) contribute nothing, and histograms
+    present on only one side print with n/a placeholders."""
+    old_q = old_metrics.get("quantiles")
+    new_q = new_metrics.get("quantiles")
+    if not isinstance(old_q, dict):
+        old_q = {}
+    if not isinstance(new_q, dict):
+        new_q = {}
+    names = sorted(set(old_q) | set(new_q))
+    if not names:
         return
-    print("\ntelemetry metrics (informational):")
-    for key in shown:
-        old_value = old_metrics.get(key)
-        new_value = new_metrics.get(key)
-        old_text = "n/a" if old_value is None else f"{old_value:.4f}"
-        new_text = "n/a" if new_value is None else f"{new_value:.4f}"
-        print(f"  {key}: {old_text} -> {new_text}")
+    print("\nlatency quantiles (informational):")
+    for name in names:
+        old_hist = old_q.get(name)
+        new_hist = new_q.get(name)
+        if not isinstance(old_hist, dict):
+            old_hist = {}
+        if not isinstance(new_hist, dict):
+            new_hist = {}
+        parts = []
+        for quantile in ("p50", "p95", "p99"):
+            old_value = old_hist.get(quantile)
+            new_value = new_hist.get(quantile)
+            old_text = "n/a" if old_value is None else f"{old_value:.3g}"
+            new_text = "n/a" if new_value is None else f"{new_value:.3g}"
+            parts.append(f"{quantile} {old_text} -> {new_text}")
+        print(f"  {name}: {', '.join(parts)}")
 
 
 def metric_of(bench):

@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Validate the Ark stats endpoint's Prometheus and JSON payloads.
+
+Two modes, shared validation:
+
+  tools/check_prometheus.py --probe PATH/TO/metrics_probe
+      Spawns the probe with an ephemeral stats port, parses the
+      "listening on 127.0.0.1:PORT" line from its stderr, scrapes
+      /metrics and /stats.json live while the probe holds the
+      endpoint open, validates both payloads, and terminates the
+      probe. This is what the telemetry ctest and the CI tier-1 job
+      run.
+
+  tools/check_prometheus.py --metrics-file F [--json-file F]
+      Validates payloads previously saved to files (CI artifact
+      checking, offline debugging).
+
+Prometheus validation covers the text-exposition grammar (version
+0.0.4): well-formed sample and # TYPE/# HELP lines, legal metric
+names, a TYPE line preceding every family, histogram bucket series
+that are cumulative with a +Inf bound matching _count, and the
+presence of the ark_cache_ / ark_sim_ / ark_health_ families the
+engine always registers. JSON validation checks that the payload
+parses and carries the uptime/rates/metrics keys documented in
+docs/TELEMETRY.md.
+
+Exits 0 when every check passes, 1 with a diagnostic per failure
+otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+\d+)?$")
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<type>counter|gauge|histogram|summary|untyped)$")
+REQUIRED_FAMILY_PREFIXES = ("ark_cache_", "ark_sim_", "ark_health_")
+LISTENING_RE = re.compile(r"listening on 127\.0\.0\.1:(\d+)")
+
+
+def base_family(name, declared_types):
+    """Maps a sample name to its declared family, honouring the
+    histogram suffixes."""
+    if name in declared_types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[:-len(suffix)] in declared_types:
+            return name[:-len(suffix)]
+    return None
+
+
+def parse_float(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def check_prometheus(text, errors):
+    """Validates one exposition payload, appending diagnostics to
+    `errors`. Returns the {family: type} map for further checks."""
+    declared = {}
+    samples = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE "):
+                match = TYPE_RE.match(line)
+                if not match:
+                    errors.append(f"line {lineno}: malformed TYPE: {line!r}")
+                    continue
+                name = match.group("name")
+                if name in declared:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                declared[name] = match.group("type")
+            elif not line.startswith("# HELP "):
+                # Other comments are legal; nothing to check.
+                pass
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        try:
+            value = parse_float(match.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value: {line!r}")
+            continue
+        samples.append((match.group("name"), match.group("labels"), value))
+
+    by_family = {}
+    for name, labels, value in samples:
+        family = base_family(name, declared)
+        if family is None:
+            errors.append(f"sample {name} has no preceding # TYPE line")
+            continue
+        by_family.setdefault(family, []).append((name, labels, value))
+
+    for family, ftype in declared.items():
+        rows = by_family.get(family, [])
+        if not rows:
+            errors.append(f"family {family} declared but has no samples")
+            continue
+        if ftype != "histogram":
+            continue
+        buckets = []
+        count = None
+        for name, labels, value in rows:
+            if name == family + "_bucket":
+                le = None
+                for label in (labels or "").split(","):
+                    key, _, raw = label.partition("=")
+                    if key.strip() == "le":
+                        le = parse_float(raw.strip().strip('"'))
+                if le is None:
+                    errors.append(f"{family}: bucket sample without le label")
+                    continue
+                buckets.append((le, value))
+            elif name == family + "_count":
+                count = value
+        if not buckets:
+            errors.append(f"{family}: histogram with no _bucket samples")
+            continue
+        bounds = [le for le, _ in buckets]
+        if bounds != sorted(bounds):
+            errors.append(f"{family}: bucket bounds are not increasing")
+        if bounds and bounds[-1] != float("inf"):
+            errors.append(f"{family}: missing +Inf bucket")
+        values = [v for _, v in buckets]
+        if any(b > a for a, b in zip(values[1:], values)):
+            errors.append(f"{family}: bucket counts are not cumulative")
+        if count is None:
+            errors.append(f"{family}: missing _count sample")
+        elif buckets and buckets[-1][1] != count:
+            errors.append(
+                f"{family}: +Inf bucket {buckets[-1][1]} != _count {count}")
+
+    for prefix in REQUIRED_FAMILY_PREFIXES:
+        if not any(family.startswith(prefix) for family in declared):
+            errors.append(f"no {prefix}* family in the exposition")
+    return declared
+
+
+def check_stats_json(text, errors):
+    """Validates one /stats.json payload."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as err:
+        errors.append(f"stats.json does not parse: {err}")
+        return
+    if not isinstance(payload, dict):
+        errors.append("stats.json is not an object")
+        return
+    for key in ("uptime_ns", "rates", "metrics"):
+        if key not in payload:
+            errors.append(f"stats.json missing key {key!r}")
+    if not isinstance(payload.get("rates", {}), dict):
+        errors.append("stats.json rates is not an object")
+    if not isinstance(payload.get("metrics", {}), dict):
+        errors.append("stats.json metrics is not an object")
+
+
+def scrape(port, path):
+    url = f"http://127.0.0.1:{port}{path}"
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.read().decode("utf-8", "replace")
+
+
+def run_probe_mode(probe, errors):
+    """Spawns the probe, scrapes it live, and terminates it."""
+    process = subprocess.Popen(
+        [probe, "--stats-port", "0", "--stats-hold", "60"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
+    port = None
+    try:
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = process.stderr.readline()
+            if not line:
+                break
+            match = LISTENING_RE.search(line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            errors.append("probe never reported a listening port")
+            return
+        # The probe serves while its workload runs, so early scrapes
+        # may precede the workload's first instrumented event (metric
+        # families register lazily at their instrumentation sites).
+        # Poll until the required families appear — every intermediate
+        # payload is still a live concurrent scrape — then validate
+        # the final payload in full.
+        text = ""
+        while time.monotonic() < deadline:
+            text = scrape(port, "/metrics")
+            if all(f"# TYPE {prefix}" in text
+                   for prefix in REQUIRED_FAMILY_PREFIXES):
+                break
+            time.sleep(0.2)
+        check_prometheus(text, errors)
+        check_stats_json(scrape(port, "/stats.json"), errors)
+        # A second JSON scrape gives the server a previous snapshot
+        # to compute rates against; it must still be well-formed.
+        check_stats_json(scrape(port, "/stats.json"), errors)
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate Ark Prometheus/JSON stats payloads.")
+    parser.add_argument("--probe",
+                        help="metrics_probe binary to spawn and scrape")
+    parser.add_argument("--metrics-file",
+                        help="saved /metrics payload to validate")
+    parser.add_argument("--json-file",
+                        help="saved /stats.json payload to validate")
+    args = parser.parse_args()
+    if not args.probe and not args.metrics_file and not args.json_file:
+        parser.error("one of --probe / --metrics-file / --json-file "
+                     "is required")
+
+    errors = []
+    if args.probe:
+        run_probe_mode(args.probe, errors)
+    if args.metrics_file:
+        with open(args.metrics_file, "r", encoding="utf-8") as handle:
+            check_prometheus(handle.read(), errors)
+    if args.json_file:
+        with open(args.json_file, "r", encoding="utf-8") as handle:
+            check_stats_json(handle.read(), errors)
+
+    for error in errors:
+        print(f"check_prometheus: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    print("check_prometheus: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

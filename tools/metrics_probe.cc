@@ -10,21 +10,33 @@
  * collection enabled, then emits a JSON summary:
  *
  *   {"cache_hit_rate": ..., "mean_lane_occupancy": ...,
- *    "refactor_share": ..., "counters": { <registry snapshot> }}
+ *    "refactor_share": ..., "quantiles": {<histogram>: {p50/p95/p99}},
+ *    "counters": { <registry snapshot> }}
  *
  * bench_smoke embeds this object as the "metrics" block of
  * BENCH_perf.json; the CI tier-1 job additionally passes --trace to
- * produce the sample Chrome trace artifact it validates. Exits
- * nonzero only when the workload itself fails — metric values are
- * data, not assertions.
+ * produce the sample Chrome trace artifact it validates, and uses
+ * --stats-port/--stats-hold to scrape the live Prometheus/JSON
+ * endpoint while the probe idles after its workload. Exits nonzero
+ * only when the workload itself fails — metric values are data, not
+ * assertions.
  *
  * Usage: metrics_probe [--out summary.json] [--trace out.trace.json]
+ *                      [--ledger ledger.json]
+ *                      [--stats-port N] [--stats-hold SECONDS]
+ *
+ * --stats-port prints "metrics_probe: stats listening on
+ * 127.0.0.1:PORT" to stderr once bound (port 0 = ephemeral), so a
+ * harness can parse the port; --stats-hold keeps the process (and
+ * the endpoint) alive that many seconds after the workload.
  */
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/puf.h"
@@ -33,6 +45,8 @@
 #include "paradigms/tln.h"
 #include "spice/map_tln.h"
 #include "support/error.h"
+#include "support/ledger.h"
+#include "support/statsserver.h"
 #include "support/telemetry.h"
 #include "validator/validator.h"
 
@@ -93,12 +107,36 @@ ratio(double numerator, double denominator)
     return denominator > 0.0 ? numerator / denominator : 0.0;
 }
 
+/** {"<histogram>": {"p50": ..., "p95": ..., "p99": ...}, ...} */
+std::string
+quantilesJson(const telemetry::MetricsSnapshot &snap)
+{
+    std::string json = "{";
+    bool first = true;
+    for (const telemetry::MetricsSnapshot::Entry &entry : snap.entries) {
+        if (entry.kind != telemetry::MetricsSnapshot::Kind::Histogram)
+            continue;
+        if (!first)
+            json += ", ";
+        first = false;
+        json += "\"" + entry.name +
+                "\": {\"p50\": " + std::to_string(entry.p50) +
+                ", \"p95\": " + std::to_string(entry.p95) +
+                ", \"p99\": " + std::to_string(entry.p99) + "}";
+    }
+    json += "}";
+    return json;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string outPath;
+    std::string ledgerPath;
+    int statsPort = -1;
+    double statsHold = 0.0;
     std::optional<telemetry::TraceSession> trace;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -106,19 +144,42 @@ main(int argc, char **argv)
             outPath = argv[++i];
         } else if (arg == "--trace" && i + 1 < argc) {
             trace.emplace(argv[++i]);
+        } else if (arg == "--ledger" && i + 1 < argc) {
+            ledgerPath = argv[++i];
+        } else if (arg == "--stats-port" && i + 1 < argc) {
+            statsPort = std::stoi(argv[++i]);
+        } else if (arg == "--stats-hold" && i + 1 < argc) {
+            statsHold = std::stod(argv[++i]);
         } else {
             std::cerr << "usage: metrics_probe [--out summary.json]"
-                         " [--trace out.trace.json]\n";
+                         " [--trace out.trace.json]"
+                         " [--ledger ledger.json]"
+                         " [--stats-port N] [--stats-hold SECONDS]\n";
             return 2;
         }
     }
 
     telemetry::setMetricsEnabled(true);
+    telemetry::StatsServer server;
+    if (statsPort >= 0) {
+        std::string error;
+        if (!server.start(static_cast<std::uint16_t>(statsPort),
+                          &error)) {
+            std::cerr << "metrics_probe: stats server: " << error
+                      << "\n";
+            return 1;
+        }
+        std::cerr << "metrics_probe: stats listening on 127.0.0.1:"
+                  << server.port() << std::endl;
+    }
     // A private cache isolates the probe's hit/miss arithmetic from
     // anything else the process ran.
     engine::ArtifactCache cache;
+    telemetry::RunLedger ledger;
     engine::SessionOptions sessionOptions;
     sessionOptions.cache = &cache;
+    if (!ledgerPath.empty())
+        sessionOptions.ledger = &ledger;
     engine::Session session(sessionOptions);
 
     try {
@@ -129,6 +190,16 @@ main(int argc, char **argv)
     } catch (const support::ArkError &error) {
         std::cerr << "metrics_probe: " << error.what() << "\n";
         return 1;
+    }
+
+    if (!ledgerPath.empty()) {
+        std::ofstream out(ledgerPath);
+        if (!out) {
+            std::cerr << "metrics_probe: cannot write '" << ledgerPath
+                      << "'\n";
+            return 1;
+        }
+        out << ledger.json() << "\n";
     }
 
     const telemetry::MetricsSnapshot snap = session.metricsSnapshot();
@@ -149,6 +220,7 @@ main(int argc, char **argv)
                        std::to_string(occupancy) +
                        ",\n \"refactor_share\": " +
                        std::to_string(refactorShare) +
+                       ",\n \"quantiles\": " + quantilesJson(snap) +
                        ",\n \"counters\": " + snap.json() + "}\n";
 
     if (outPath.empty()) {
@@ -162,5 +234,11 @@ main(int argc, char **argv)
         }
         out << json;
     }
+
+    // Keep the endpoint alive for external scrapers (CI parses the
+    // listening line, scrapes, then kills the probe early).
+    if (statsPort >= 0 && statsHold > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(statsHold));
     return 0;
 }
