@@ -13,6 +13,10 @@
  * parallelism). The BM_EnsembleDopri5{Scalar,Lanes} pair does the
  * same for the adaptive default: the scalar per-instance Dopri5 path
  * vs the lane-synchronized step-voting driver on one voted grid.
+ * BM_PufBatteryRhsJit and BM_EnsembleDopri5Jit are the tier-5 twins:
+ * the same RHS blocks served by runtime-compiled native kernels, and
+ * the same adaptive battery with SimOptions::jit on — each reads
+ * against its interpreted counterpart above.
  * BM_MaxcutRhsFma measures the FusedMulAdd tape ISA on a
  * sum-of-products Kuramoto RHS, FMA off vs on, scalar and 8-lane —
  * on baseline ISAs std::fma routes through libm soft-fma (expected
@@ -28,6 +32,8 @@
 
 #include "apps/puf.h"
 #include "compiler/compiler.h"
+#include "engine/jit.h"
+#include "expr/cjit.h"
 #include "expr/lanetape.h"
 #include "paradigms/obc.h"
 #include "paradigms/standard.h"
@@ -222,6 +228,97 @@ BM_EnsembleDopri5Lanes(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * kChips);
 }
 BENCHMARK(BM_EnsembleDopri5Lanes)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
+ * RHS throughput through tier-5 native kernels: the same battery and
+ * block shapes as BM_PufBatteryRhsLanes, with each block's program
+ * compiled to a native kernel and evaluated through its function
+ * pointer. The ratio to the same-width interpreted run is the JIT
+ * acceptance metric (the issue targets >= 2x over interpreted W=8).
+ * Skipped (with an error) on hosts without a C toolchain.
+ */
+void
+BM_PufBatteryRhsJit(benchmark::State &state)
+{
+    const auto width = static_cast<std::size_t>(state.range(0));
+    const std::vector<compiler::OdeSystem> &systems = batterySystems();
+    const std::size_t n = systems.front().size();
+
+    support::Rng rng(99);
+    std::vector<expr::LaneTape> blocks;
+    std::vector<expr::JitKernelPtr> kernels;
+    std::vector<std::vector<double>> soaStates;
+    for (std::size_t base = 0; base < kChips; base += width) {
+        std::optional<expr::LaneTape> lane;
+        if (width == 1) {
+            lane = expr::LaneTape::broadcast(systems[base].fusedTape(),
+                                             1);
+        } else {
+            std::vector<const expr::FusedTape *> tapes;
+            for (std::size_t l = 0; l < width; ++l)
+                tapes.push_back(&systems[base + l].fusedTape());
+            lane = expr::LaneTape::merge(tapes);
+            if (!lane) {
+                state.SkipWithError("PUF chips failed to lane-merge");
+                return;
+            }
+        }
+        expr::JitKernelPtr kernel = engine::jitKernel(*lane);
+        if (kernel == nullptr) {
+            state.SkipWithError("no host C toolchain for the JIT");
+            return;
+        }
+        std::vector<double> soa(n * lane->width());
+        for (double &v : soa)
+            v = rng.uniform(-1.0, 1.0);
+        blocks.push_back(*std::move(lane));
+        kernels.push_back(std::move(kernel));
+        soaStates.push_back(std::move(soa));
+    }
+    std::vector<double> out(n * width);
+    for (auto _ : state) {
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+            kernels[b]->call(soaStates[b].data(), 1e-8, out.data(),
+                             blocks[b].constants().data());
+            benchmark::DoNotOptimize(out.data());
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kChips);
+}
+BENCHMARK(BM_PufBatteryRhsJit)->Arg(1)->Arg(8);
+
+/**
+ * Adaptive battery with tier-5 kernels serving the step-voting
+ * driver's RHS (SimOptions::jit on, lane batching on). Compare with
+ * BM_EnsembleDopri5Lanes for the kernel win and with
+ * BM_EnsembleDopri5Scalar for the full tier-3 -> tier-5 climb; falls
+ * back to the interpreted driver (and measures it) without a
+ * toolchain.
+ */
+void
+BM_EnsembleDopri5Jit(benchmark::State &state)
+{
+    const std::vector<compiler::OdeSystem> &systems = batterySystems();
+    std::vector<const compiler::OdeSystem *> pointers;
+    for (const compiler::OdeSystem &system : systems)
+        pointers.push_back(&system);
+    const apps::PufDesign design = batteryDesign();
+    sim::EnsembleOptions options; // Dopri5 default tolerances
+    options.numThreads = 1;
+    options.laneBatching = true;
+    options.sim.jit = true;
+    for (auto _ : state) {
+        std::vector<sim::SimResult> results = sim::simulateEnsemble(
+            pointers, 0.0, design.windowEnd, options);
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kChips);
+}
+BENCHMARK(BM_EnsembleDopri5Jit)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

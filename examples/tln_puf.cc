@@ -13,7 +13,9 @@
  * stderr afterwards; `--ledger [out.json]` records per-instance
  * flight-recorder provenance (tier, lane width, block, steps) for
  * every ensemble the battery dispatches, written to the given file
- * or dumped to stderr.
+ * or dumped to stderr; `--jit` serves the battery RHS from tier-5
+ * native kernels (bit-identical responses; silently interpreted when
+ * the host has no C toolchain).
  */
 
 #include <fstream>
@@ -47,6 +49,7 @@ main(int argc, char **argv)
     using namespace ark;
 
     bool metrics = false;
+    bool jit = false;
     bool recordLedger = false;
     std::string ledgerPath;
     std::optional<telemetry::TraceSession> trace;
@@ -57,13 +60,15 @@ main(int argc, char **argv)
             telemetry::setMetricsEnabled(true);
         } else if (arg == "--trace" && i + 1 < argc) {
             trace.emplace(argv[++i]);
+        } else if (arg == "--jit") {
+            jit = true;
         } else if (arg == "--ledger") {
             recordLedger = true;
             if (i + 1 < argc && argv[i + 1][0] != '-')
                 ledgerPath = argv[++i];
         } else {
             std::cerr << "usage: tln_puf [--metrics] [--trace out.json]"
-                         " [--ledger [out.json]]\n";
+                         " [--jit] [--ledger [out.json]]\n";
             return 2;
         }
     }
@@ -76,6 +81,7 @@ main(int argc, char **argv)
     design.numBranches = 4;
     design.stubSections = 4;
     design.responseBits = 32;
+    design.jit = jit;
     // The session-level ledger captures every ensemble the battery
     // dispatches (results are bit-identical with and without it).
     telemetry::RunLedger ledger;

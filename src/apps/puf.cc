@@ -129,6 +129,7 @@ batteryOptions(const PufDesign &design, unsigned numThreads)
     options.sim.dt = design.simDt > 0 ? design.simDt
                                       : design.windowEnd / 4000.0;
     options.sim.recordDt = design.windowEnd / 4000.0;
+    options.sim.jit = design.jit;
     options.numThreads = numThreads;
     return options;
 }

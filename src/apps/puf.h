@@ -61,6 +61,14 @@ struct PufDesign
      * cross-validation runs at (<1% RMSE on these lines).
      */
     double simDt = 0.0;
+
+    /**
+     * Serve battery RHS evaluations from tier-5 native kernels
+     * (sim::SimOptions::jit). Bit-identical to the interpreted tiers
+     * and falls back to them silently when no host toolchain exists,
+     * so response bits never depend on this knob.
+     */
+    bool jit = false;
 };
 
 /**

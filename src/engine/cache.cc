@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "compiler/compiler.h"
+#include "expr/cjit.h"
 #include "support/faultinject.h"
 #include "support/logging.h"
 #include "support/telemetry.h"
@@ -21,7 +22,9 @@ CacheStats::str() const
                " miss / ", systemEvictions, " evicted (", systemsCached,
                " cached); steppers ", stepperHits, " hit / ",
                stepperMisses, " miss / ", stepperEvictions, " evicted (",
-               steppersCached, " cached)");
+               steppersCached, " cached); kernels ", kernelHits,
+               " hit / ", kernelMisses, " miss / ", kernelEvictions,
+               " evicted (", kernelsCached, " cached)");
 }
 
 namespace {
@@ -158,13 +161,21 @@ struct ArtifactCache::Impl
                    telemetry::Registry::shared().counter(
                        "ark.cache.stepper_misses"),
                    telemetry::Registry::shared().counter(
-                       "ark.cache.stepper_evictions"))
+                       "ark.cache.stepper_evictions")),
+          kernels(config.maxKernels,
+                  telemetry::Registry::shared().counter(
+                      "ark.cache.kernel_hits"),
+                  telemetry::Registry::shared().counter(
+                      "ark.cache.kernel_misses"),
+                  telemetry::Registry::shared().counter(
+                      "ark.cache.kernel_evictions"))
     {
     }
 
     mutable std::mutex mutex;
     Shard systems;
     Shard steppers;
+    Shard kernels;
 };
 
 ArtifactCache::ArtifactCache(CacheConfig config)
@@ -234,6 +245,37 @@ ArtifactCache::stepper(const Fingerprint &key,
         impl_->steppers.put(key, built));
 }
 
+KernelPtr
+ArtifactCache::kernel(const Fingerprint &key,
+                      const std::function<KernelPtr()> &build, bool *hit)
+{
+    // Span arg: 1 = served from cache, 0 = built (or build failed).
+    telemetry::ScopedSpan span("ark.cache.kernel", 0);
+    {
+        std::lock_guard lock(impl_->mutex);
+        if (auto cached = impl_->kernels.get(key)) {
+            if (hit)
+                *hit = true;
+            span.setArg(1);
+            return std::static_pointer_cast<const expr::JitKernel>(
+                cached);
+        }
+    }
+    if (hit)
+        *hit = false;
+    // Build (emit + compile + dlopen) outside the lock, like the
+    // other kinds. A null build is a graceful compile failure — the
+    // caller falls back to the interpreted tier — and is not cached:
+    // negative results are cheap to rediscover and may heal (e.g. a
+    // disarmed fault site or a freed-up disk).
+    KernelPtr built = build();
+    if (built == nullptr)
+        return nullptr;
+    std::lock_guard lock(impl_->mutex);
+    return std::static_pointer_cast<const expr::JitKernel>(
+        impl_->kernels.put(key, built));
+}
+
 CacheStats
 ArtifactCache::stats() const
 {
@@ -245,8 +287,12 @@ ArtifactCache::stats() const
     stats.stepperHits = impl_->steppers.hits;
     stats.stepperMisses = impl_->steppers.misses;
     stats.stepperEvictions = impl_->steppers.evictions;
+    stats.kernelHits = impl_->kernels.hits;
+    stats.kernelMisses = impl_->kernels.misses;
+    stats.kernelEvictions = impl_->kernels.evictions;
     stats.systemsCached = impl_->systems.size();
     stats.steppersCached = impl_->steppers.size();
+    stats.kernelsCached = impl_->kernels.size();
     return stats;
 }
 
@@ -256,6 +302,7 @@ ArtifactCache::clear()
     std::lock_guard lock(impl_->mutex);
     impl_->systems.clear();
     impl_->steppers.clear();
+    impl_->kernels.clear();
 }
 
 ArtifactCache &

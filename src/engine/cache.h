@@ -18,6 +18,12 @@
  *    trajectories (engine_test regression-tests this at several
  *    thread counts).
  *
+ *  - kernelKey(laneTape) -> shared_ptr<const expr::JitKernel>: a
+ *    tier-5 native kernel (expr/cjit.h). Keyed by tape structure
+ *    only — per-lane constants are call-time data — so one compiled
+ *    kernel serves every parameter draw of a structure class, and a
+ *    PUF battery's worth of chips share a single compilation.
+ *
  *  - stepperKey(pattern, pivot source, values, dt, finalH) ->
  *    shared_ptr<const spice::TransientStepper>: a factored trapezoidal
  *    companion operator. Keys carry the values of the instance whose
@@ -48,6 +54,10 @@
 #include "engine/fingerprint.h"
 #include "spice/mna.h"
 
+namespace ark::expr {
+class JitKernel;
+}
+
 namespace ark::engine {
 
 /** Capacity bounds (entries, not bytes). */
@@ -64,6 +74,11 @@ struct CacheConfig
     /** Factored TransientSteppers kept (each is a few pivot/fill
      *  vectors — far smaller than a compiled system). */
     std::size_t maxSteppers = 1024;
+
+    /** Loaded tier-5 JIT kernels kept (each pins one small dlopened
+     *  object). Distinct (structure, width) pairs are few even in
+     *  large batteries, so this rarely evicts. */
+    std::size_t maxKernels = 256;
 };
 
 /** Monotonic hit/miss/eviction counters plus current occupancy. */
@@ -75,8 +90,12 @@ struct CacheStats
     std::uint64_t stepperHits = 0;
     std::uint64_t stepperMisses = 0;
     std::uint64_t stepperEvictions = 0;
+    std::uint64_t kernelHits = 0;
+    std::uint64_t kernelMisses = 0;
+    std::uint64_t kernelEvictions = 0;
     std::size_t systemsCached = 0;
     std::size_t steppersCached = 0;
+    std::size_t kernelsCached = 0;
 
     /** One-line summary ("systems 3 hit / 1 miss ..."). */
     std::string str() const;
@@ -87,6 +106,9 @@ using SystemPtr = std::shared_ptr<const compiler::OdeSystem>;
 
 /** Shared immutable factored companion operator. */
 using StepperPtr = std::shared_ptr<const spice::TransientStepper>;
+
+/** Shared immutable loaded tier-5 kernel (expr/cjit.h). */
+using KernelPtr = std::shared_ptr<const expr::JitKernel>;
 
 class ArtifactCache
 {
@@ -128,6 +150,19 @@ class ArtifactCache
     StepperPtr stepper(const Fingerprint &key,
                        const std::function<StepperPtr()> &build,
                        bool *hit = nullptr);
+
+    /**
+     * The loaded tier-5 kernel for `key` (see engine::kernelKey). On
+     * miss, invokes `build` outside the cache lock. Unlike the other
+     * kinds, `build` may return null — kernel compilation fails
+     * gracefully (no toolchain, forced fault) — in which case nothing
+     * is cached and null is returned; the caller falls back to the
+     * interpreted tier. `hit` reports whether the kernel came from
+     * the cache.
+     */
+    KernelPtr kernel(const Fingerprint &key,
+                     const std::function<KernelPtr()> &build,
+                     bool *hit = nullptr);
 
     /** Counters snapshot (monotonic apart from occupancy). */
     CacheStats stats() const;

@@ -5,6 +5,8 @@
 #include <bit>
 
 #include "expr/expr.h"
+#include "expr/lanetape.h"
+#include "expr/tape.h"
 #include "support/logging.h"
 
 namespace ark::engine {
@@ -450,6 +452,39 @@ stepperKey(const MnaFingerprint &pattern,
     h.absorb(boundValues.lo);
     h.absorb(dt);
     h.absorb(finalH);
+    return h.finish();
+}
+
+Fingerprint
+kernelKey(const expr::LaneTape &tape)
+{
+    // Bump on any change to the emitted C (expr::emitKernelC), the
+    // kernel ABI, or the compile flags: the version is hashed into
+    // every key, so old disk-cache entries become unreachable rather
+    // than stale.
+    constexpr std::uint64_t kEmitterVersion = 2;
+
+    const auto index = [](std::int32_t i) {
+        return static_cast<std::uint64_t>(static_cast<std::uint32_t>(i));
+    };
+    Hasher h;
+    h.absorb(kEmitterVersion);
+    h.absorb(static_cast<std::uint64_t>(tape.width()));
+    h.absorb(static_cast<std::uint64_t>(tape.numOutputs()));
+    h.absorb(index(tape.numRegs()));
+    h.absorb(static_cast<std::uint64_t>(tape.size()));
+    for (const expr::TapeOp &op : tape.ops()) {
+        h.absorb(static_cast<std::uint64_t>(op.op));
+        h.absorb(static_cast<std::uint64_t>(
+            op.op == expr::OpCode::CallB ? op.builtin
+                                         : expr::Builtin::Sin));
+        h.absorb(index(op.dst));
+        h.absorb(index(op.a));
+        h.absorb(index(op.b));
+        h.absorb(index(op.c));
+        // op.imm is call-time data (the per-lane constant table) and
+        // is deliberately not hashed.
+    }
     return h.finish();
 }
 

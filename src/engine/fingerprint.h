@@ -49,6 +49,10 @@
 #include "lang/language.h"
 #include "spice/mna.h"
 
+namespace ark::expr {
+class LaneTape;
+}
+
 namespace ark::engine {
 
 /** A 128-bit content hash. Value type; equality is content equality. */
@@ -143,6 +147,19 @@ Fingerprint stepperKey(const MnaFingerprint &pattern,
                        const Fingerprint &pivotSourceValues,
                        const Fingerprint &boundValues, double dt,
                        double finalH);
+
+/**
+ * Cache key for a tier-5 JIT kernel: the lane tape's structure —
+ * opcode stream (operands, destinations, builtins), lane width, and
+ * register/output counts — plus the emitter version, so a codegen
+ * change invalidates every cached kernel (in memory and on disk).
+ * Const immediates are deliberately excluded: they are call-time data
+ * (the per-lane constant table), which is what lets one kernel serve
+ * every parameter draw of a structure class. FMA needs no separate
+ * flag — contracted tapes carry FusedMulAdd opcodes, so their streams
+ * already differ.
+ */
+Fingerprint kernelKey(const expr::LaneTape &tape);
 
 } // namespace ark::engine
 

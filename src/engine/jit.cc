@@ -1,0 +1,28 @@
+#include "engine/jit.h"
+
+#include "engine/cache.h"
+#include "engine/fingerprint.h"
+#include "support/telemetry.h"
+
+namespace ark::engine {
+
+expr::JitKernelPtr
+jitKernel(const expr::LaneTape &tape, ArtifactCache *cache)
+{
+    if (!expr::jitToolchainAvailable())
+        return nullptr;
+    static telemetry::Counter &hits =
+        telemetry::Registry::shared().counter("ark.compile.jit_hits");
+    ArtifactCache &served = cache != nullptr ? *cache
+                                             : ArtifactCache::shared();
+    const Fingerprint key = kernelKey(tape);
+    bool hit = false;
+    expr::JitKernelPtr kernel = served.kernel(
+        key, [&] { return expr::compileKernel(tape, key.str()); },
+        &hit);
+    if (hit)
+        hits.add();
+    return kernel;
+}
+
+} // namespace ark::engine

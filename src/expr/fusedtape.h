@@ -41,10 +41,11 @@
  * contraction. SimOptions::tapeFma selects the variant on the
  * simulation hot paths.
  *
- * FusedTape is the third of four execution tiers (see sim/sim.h for
+ * FusedTape is the third of five execution tiers (see sim/sim.h for
  * the full ladder): tree interpreter -> per-variable Tape -> fused
- * whole-system tape -> lane-parallel LaneTape. The compiled program
- * (ops()) is the exchange format between the last two tiers:
+ * whole-system tape -> lane-parallel LaneTape -> JIT native kernels
+ * (expr/cjit.h, compiled from the LaneTape program). The compiled
+ * program (ops()) is the exchange format between the upper tiers:
  * expr::LaneTape re-executes the exact instruction stream over a
  * structure-of-arrays block of instance states, with Const immediates
  * lifted into per-lane constant tables so ensembles that share the

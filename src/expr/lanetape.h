@@ -5,8 +5,9 @@
  * @file
  * Lane-parallel batch execution of fused whole-system tapes.
  *
- * LaneTape is the fourth execution tier (interpreter -> per-variable
- * Tape -> FusedTape -> LaneTape): it re-executes a compiled FusedTape
+ * LaneTape is the fourth of five execution tiers (interpreter ->
+ * per-variable Tape -> FusedTape -> LaneTape -> JIT native kernels,
+ * expr/cjit.h): it re-executes a compiled FusedTape
  * program over a structure-of-arrays block of N instance states — one
  * instruction stream, W lanes wide. Each instruction's inner loop runs
  * lanewise over a compile-time width W in {1, 2, 4, 8} (runtime
@@ -94,6 +95,17 @@ class LaneTape
 
     /** Instruction count, including WriteOutput ops. */
     std::size_t size() const { return ops_.size(); }
+
+    /** The program; Const ops hold a constant-table slot in `a`.
+     *  Exposed for the tier-5 JIT emitter and its cache key. */
+    const std::vector<TapeOp> &ops() const { return ops_; }
+
+    /** Per-lane constant table, slot-major (slot * width() + lane);
+     *  the `consts` argument a JIT kernel is called with. */
+    const std::vector<double> &constants() const { return constants_; }
+
+    /** Scratch registers per lane (scratchSize() / width()). */
+    int numRegs() const { return numRegs_; }
 
     /**
      * Evaluates the whole block: `state` and `out` are SoA blocks of

@@ -8,10 +8,13 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <thread>
 
+#include "engine/jit.h"
+#include "expr/cjit.h"
 #include "expr/lanetape.h"
 #include "sim/dopri5.h"
 #include "support/error.h"
@@ -92,6 +95,46 @@ deadlinePassed(const Deadline &deadline)
            std::chrono::steady_clock::now() >= *deadline;
 }
 
+/**
+ * One lane block's RHS, routed through the tier-5 native kernel when
+ * one resolves and the tier-4 interpreter otherwise. Resolution
+ * happens once per block (a cache hit after the first compile); every
+ * failure mode — jit off, no toolchain, compile failure — leaves
+ * kernel_ null and the block runs interpreted with identical results.
+ * The kernel path replays the interpreter's deterministic TapeNan
+ * poison site so fault-injection tests see one behavior on both tiers.
+ */
+class BlockEvaluator
+{
+  public:
+    BlockEvaluator(const expr::LaneTape &tape, bool jitOn)
+        : tape_(tape),
+          kernel_(jitOn ? engine::jitKernel(tape) : nullptr)
+    {
+    }
+
+    bool jitted() const { return kernel_ != nullptr; }
+
+    void
+    eval(const double *state, double t, double *out, double *regs) const
+    {
+        if (kernel_ != nullptr) {
+            kernel_->call(state, t, out, tape_.constants().data());
+            if (support::FaultInjector::shouldFire(
+                    support::FaultSite::TapeNan) &&
+                tape_.numOutputs() > 0) {
+                out[0] = std::numeric_limits<double>::quiet_NaN();
+            }
+            return;
+        }
+        tape_.evalInto(state, t, out, regs);
+    }
+
+  private:
+    const expr::LaneTape &tape_;
+    expr::JitKernelPtr kernel_;
+};
+
 /** Message for an in-flight exception (structured fault capture). */
 std::string
 currentExceptionMessage()
@@ -119,7 +162,7 @@ currentExceptionMessage()
  * have reported in a serial run.
  */
 std::vector<SimResult>
-runLaneRk4(const expr::LaneTape &tape,
+runLaneRk4(const expr::LaneTape &tape, const BlockEvaluator &rhs,
            const std::vector<const std::vector<double> *> &initials,
            const std::vector<const compiler::OdeSystem *> &systems,
            double t0, double t1, const SimOptions &options,
@@ -202,7 +245,7 @@ runLaneRk4(const expr::LaneTape &tape,
     std::size_t steps = 0;
     // As in the scalar driver, k1 is both the recorded slope and the
     // next step's first stage — four block evaluations per step.
-    tape.evalInto(state.data(), t, k1.data(), regs.data());
+    rhs.eval(state.data(), t, k1.data(), regs.data());
     record(t, true);
 
     while (t < t1 - 1e-15 * std::max(1.0, std::fabs(t1))) {
@@ -232,13 +275,13 @@ runLaneRk4(const expr::LaneTape &tape,
         }
         for (std::size_t j = 0; j < m; ++j)
             tmp[j] = state[j] + 0.5 * h * k1[j];
-        tape.evalInto(tmp.data(), t + 0.5 * h, k2.data(), regs.data());
+        rhs.eval(tmp.data(), t + 0.5 * h, k2.data(), regs.data());
         for (std::size_t j = 0; j < m; ++j)
             tmp[j] = state[j] + 0.5 * h * k2[j];
-        tape.evalInto(tmp.data(), t + 0.5 * h, k3.data(), regs.data());
+        rhs.eval(tmp.data(), t + 0.5 * h, k3.data(), regs.data());
         for (std::size_t j = 0; j < m; ++j)
             tmp[j] = state[j] + h * k3[j];
-        tape.evalInto(tmp.data(), t + h, k4.data(), regs.data());
+        rhs.eval(tmp.data(), t + h, k4.data(), regs.data());
         for (std::size_t j = 0; j < m; ++j) {
             state[j] += h / 6.0 *
                         (k1[j] + 2.0 * k2[j] + 2.0 * k3[j] + k4[j]);
@@ -260,7 +303,7 @@ runLaneRk4(const expr::LaneTape &tape,
         }
         if (aliveCount == 0)
             return results;
-        tape.evalInto(state.data(), t, k1.data(), regs.data());
+        rhs.eval(state.data(), t, k1.data(), regs.data());
         record(t, false);
     }
     record(t, true);
@@ -315,9 +358,11 @@ class LaneDopri5
                const std::vector<const compiler::OdeSystem *> &systems,
                double t0, double t1, const SimOptions &options,
                const std::stop_token &stop, const Deadline &deadline,
-               const std::function<void(std::size_t)> &laneDone)
+               const std::function<void(std::size_t)> &laneDone,
+               bool jitOn)
         : tapes_(tapes), systems_(systems), options_(options),
           stop_(stop), deadline_(deadline), laneDone_(laneDone),
+          jitOn_(jitOn),
           n_(tapes.front()->numOutputs()), t1_(t1),
           end_(t1 - 1e-15 * std::max(1.0, std::fabs(t1))),
           hMax_(options.maxDt > 0 ? options.maxDt : (t1 - t0) / 10.0),
@@ -353,6 +398,10 @@ class LaneDopri5
         stats_.rejected = rejectedShared_;
         // stats_'s own destructor flushes to the registry.
     }
+
+    /** True when any block (or the scalar spill) ran a tier-5
+     *  kernel — drives the run ledger's tier attribution. */
+    bool usedJit() const { return usedJit_; }
 
     std::vector<SimResult>
     run()
@@ -420,6 +469,9 @@ class LaneDopri5
         support::panicIf(!merged.has_value(),
                          "LaneDopri5: block merge failed");
         const expr::LaneTape &tape = *merged;
+        const BlockEvaluator rhs(tape, jitOn_);
+        if (rhs.jitted())
+            usedJit_ = true;
         const std::size_t L = active_.size();
         const std::size_t W = tape.width();
         const std::size_t m = n_ * W;
@@ -473,7 +525,7 @@ class LaneDopri5
         };
 
         if (initial) {
-            tape.evalInto(state.data(), t_, k1.data(), regs.data());
+            rhs.eval(state.data(), t_, k1.data(), regs.data());
             record(t_, true);
         }
 
@@ -528,42 +580,42 @@ class LaneDopri5
             const double h = h_;
             for (std::size_t j = 0; j < m; ++j)
                 tmp[j] = state[j] + h * Dopri5::a21 * k1[j];
-            tape.evalInto(tmp.data(), t_ + Dopri5::c2 * h, k2.data(),
-                          regs.data());
+            rhs.eval(tmp.data(), t_ + Dopri5::c2 * h, k2.data(),
+                     regs.data());
             for (std::size_t j = 0; j < m; ++j) {
                 tmp[j] = state[j] +
                          h * (Dopri5::a31 * k1[j] + Dopri5::a32 * k2[j]);
             }
-            tape.evalInto(tmp.data(), t_ + Dopri5::c3 * h, k3.data(),
-                          regs.data());
+            rhs.eval(tmp.data(), t_ + Dopri5::c3 * h, k3.data(),
+                     regs.data());
             for (std::size_t j = 0; j < m; ++j) {
                 tmp[j] = state[j] +
                          h * (Dopri5::a41 * k1[j] + Dopri5::a42 * k2[j] +
                               Dopri5::a43 * k3[j]);
             }
-            tape.evalInto(tmp.data(), t_ + Dopri5::c4 * h, k4.data(),
-                          regs.data());
+            rhs.eval(tmp.data(), t_ + Dopri5::c4 * h, k4.data(),
+                     regs.data());
             for (std::size_t j = 0; j < m; ++j) {
                 tmp[j] = state[j] +
                          h * (Dopri5::a51 * k1[j] + Dopri5::a52 * k2[j] +
                               Dopri5::a53 * k3[j] + Dopri5::a54 * k4[j]);
             }
-            tape.evalInto(tmp.data(), t_ + Dopri5::c5 * h, k5.data(),
-                          regs.data());
+            rhs.eval(tmp.data(), t_ + Dopri5::c5 * h, k5.data(),
+                     regs.data());
             for (std::size_t j = 0; j < m; ++j) {
                 tmp[j] = state[j] +
                          h * (Dopri5::a61 * k1[j] + Dopri5::a62 * k2[j] +
                               Dopri5::a63 * k3[j] + Dopri5::a64 * k4[j] +
                               Dopri5::a65 * k5[j]);
             }
-            tape.evalInto(tmp.data(), t_ + h, k6.data(), regs.data());
+            rhs.eval(tmp.data(), t_ + h, k6.data(), regs.data());
             for (std::size_t j = 0; j < m; ++j) {
                 next[j] = state[j] +
                           h * (Dopri5::b1 * k1[j] + Dopri5::b3 * k3[j] +
                                Dopri5::b4 * k4[j] + Dopri5::b5 * k5[j] +
                                Dopri5::b6 * k6[j]);
             }
-            tape.evalInto(next.data(), t_ + h, k7.data(), regs.data());
+            rhs.eval(next.data(), t_ + h, k7.data(), regs.data());
 
             // Per-lane scaled error norms (5th vs embedded 4th).
             for (std::size_t s = 0; s < L; ++s) {
@@ -727,6 +779,26 @@ class LaneDopri5
             static_cast<std::size_t>(tape.numRegs()));
         double prevErr = lane.prevErr;
 
+        // Tier-5 on the spill too: a width-1 broadcast of the lane's
+        // program. No TapeNan replay here — the interpreted baseline
+        // is FusedTape::evalInto, which has no poison site.
+        std::optional<expr::LaneTape> jitTape;
+        expr::JitKernelPtr jitKernel;
+        if (jitOn_) {
+            jitTape = expr::LaneTape::broadcast(tape, 1);
+            jitKernel = engine::jitKernel(*jitTape);
+            if (jitKernel != nullptr)
+                usedJit_ = true;
+        }
+        auto evalRhs = [&](const double *s, double t, double *out) {
+            if (jitKernel != nullptr) {
+                jitKernel->call(s, t, out,
+                                jitTape->constants().data());
+                return;
+            }
+            tape.evalInto(s, t, out, regs.data());
+        };
+
         auto record = [&](double t, bool force) {
             if (!recordGateOpen(t, force))
                 return;
@@ -735,7 +807,7 @@ class LaneDopri5
         };
 
         if (initial) {
-            tape.evalInto(state.data(), t_, k1.data(), regs.data());
+            evalRhs(state.data(), t_, k1.data());
             record(t_, true);
         }
 
@@ -764,42 +836,38 @@ class LaneDopri5
             const double h = h_;
             for (std::size_t i = 0; i < n; ++i)
                 tmp[i] = state[i] + h * Dopri5::a21 * k1[i];
-            tape.evalInto(tmp.data(), t_ + Dopri5::c2 * h, k2.data(),
-                          regs.data());
+            evalRhs(tmp.data(), t_ + Dopri5::c2 * h, k2.data());
             for (std::size_t i = 0; i < n; ++i) {
                 tmp[i] = state[i] +
                          h * (Dopri5::a31 * k1[i] + Dopri5::a32 * k2[i]);
             }
-            tape.evalInto(tmp.data(), t_ + Dopri5::c3 * h, k3.data(),
-                          regs.data());
+            evalRhs(tmp.data(), t_ + Dopri5::c3 * h, k3.data());
             for (std::size_t i = 0; i < n; ++i) {
                 tmp[i] = state[i] +
                          h * (Dopri5::a41 * k1[i] + Dopri5::a42 * k2[i] +
                               Dopri5::a43 * k3[i]);
             }
-            tape.evalInto(tmp.data(), t_ + Dopri5::c4 * h, k4.data(),
-                          regs.data());
+            evalRhs(tmp.data(), t_ + Dopri5::c4 * h, k4.data());
             for (std::size_t i = 0; i < n; ++i) {
                 tmp[i] = state[i] +
                          h * (Dopri5::a51 * k1[i] + Dopri5::a52 * k2[i] +
                               Dopri5::a53 * k3[i] + Dopri5::a54 * k4[i]);
             }
-            tape.evalInto(tmp.data(), t_ + Dopri5::c5 * h, k5.data(),
-                          regs.data());
+            evalRhs(tmp.data(), t_ + Dopri5::c5 * h, k5.data());
             for (std::size_t i = 0; i < n; ++i) {
                 tmp[i] = state[i] +
                          h * (Dopri5::a61 * k1[i] + Dopri5::a62 * k2[i] +
                               Dopri5::a63 * k3[i] + Dopri5::a64 * k4[i] +
                               Dopri5::a65 * k5[i]);
             }
-            tape.evalInto(tmp.data(), t_ + h, k6.data(), regs.data());
+            evalRhs(tmp.data(), t_ + h, k6.data());
             for (std::size_t i = 0; i < n; ++i) {
                 next[i] = state[i] +
                           h * (Dopri5::b1 * k1[i] + Dopri5::b3 * k3[i] +
                                Dopri5::b4 * k4[i] + Dopri5::b5 * k5[i] +
                                Dopri5::b6 * k6[i]);
             }
-            tape.evalInto(next.data(), t_ + h, k7.data(), regs.data());
+            evalRhs(next.data(), t_ + h, k7.data());
 
             double errNorm = 0.0;
             for (std::size_t i = 0; i < n; ++i) {
@@ -883,6 +951,8 @@ class LaneDopri5
     const std::stop_token &stop_;
     const Deadline &deadline_;
     const std::function<void(std::size_t)> &laneDone_;
+    const bool jitOn_;     ///< Try tier-5 kernels per block.
+    bool usedJit_ = false; ///< Any block/spill actually ran one.
 
     const std::size_t n_;  ///< State variables per instance.
     const double t1_;
@@ -1156,6 +1226,10 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
     // Dopri5 blocks the step-voting adaptive driver.
     const bool laneEligible = options.laneBatching;
     const bool fma = options.sim.tapeFma;
+    // Resolved once per batch: the option gated by the ARK_JIT_FORCE
+    // override. Kernel resolution itself stays per block (per merged
+    // structure), so a mixed batch jits what it can.
+    const bool jitOn = expr::jitEnabled(options.sim.jit);
     std::vector<std::vector<std::size_t>> classes;
     for (std::size_t i = 0; i < count; ++i) {
         if (laneEligible) {
@@ -1239,6 +1313,9 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
 
     std::vector<SimResult> results(count);
     std::vector<std::exception_ptr> errors(count);
+    // Per-job tier-5 provenance for the ledger flush below: a job is
+    // "jit" only when a kernel actually ran (not merely requested).
+    std::vector<char> jitUsed(jobs.size(), 0);
     std::mutex progressMutex;
     std::size_t completed = 0;
 
@@ -1299,23 +1376,41 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
                     // Partitioning already verified compatibility.
                     support::panicIf(!tape.has_value(),
                                      "BatchRunner: lane merge failed");
-                    block = runLaneRk4(*tape, inits, blockSystems, t0,
-                                       t1, options.sim, options.stop,
+                    const BlockEvaluator rhs(*tape, jitOn);
+                    jitUsed[jobIndex] = rhs.jitted();
+                    block = runLaneRk4(*tape, rhs, inits, blockSystems,
+                                       t0, t1, options.sim, options.stop,
                                        options.deadline, laneDone);
                 } else {
-                    block = LaneDopri5(tapes, inits, blockSystems, t0,
-                                       t1, options.sim, options.stop,
-                                       options.deadline, laneDone)
-                                .run();
+                    LaneDopri5 driver(tapes, inits, blockSystems, t0,
+                                      t1, options.sim, options.stop,
+                                      options.deadline, laneDone, jitOn);
+                    block = driver.run();
+                    jitUsed[jobIndex] = driver.usedJit();
                 }
                 for (std::size_t k = 0; k < job.members.size(); ++k)
                     results[job.members[k]] = std::move(block[k]);
             } else {
                 telemetry::ScopedSpan span("ark.sim.scalar");
                 std::size_t member = job.members.front();
+                // Tier-5 for the scalar path: a width-1 broadcast of
+                // the instance's program, handed to the serial driver
+                // as a drop-in RHS (null means interpret as before).
+                std::optional<expr::JitScalarRhs> jitRhs;
+                if (jitOn) {
+                    expr::LaneTape tape = expr::LaneTape::broadcast(
+                        systemOf(member).rhsTape(fma), 1);
+                    expr::JitKernelPtr kernel = engine::jitKernel(tape);
+                    if (kernel != nullptr) {
+                        jitRhs.emplace(expr::JitScalarRhs{
+                            std::move(tape), std::move(kernel)});
+                    }
+                }
+                jitUsed[jobIndex] = jitRhs.has_value();
                 results[member] = detail::simulateWithStop(
                     systemOf(member), initialOf(member), t0, t1,
-                    options.sim, options.stop, options.deadline);
+                    options.sim, options.stop, options.deadline,
+                    jitRhs.has_value() ? &*jitRhs : nullptr);
                 laneDone(1);
             }
         } catch (...) {
@@ -1374,9 +1469,11 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
                 record.runId = ledgerRun;
                 record.index = member;
                 record.workload = telemetry::RunLedger::Workload::Ode;
-                record.tier = job.lane
-                                  ? telemetry::RunLedger::Tier::Lane
-                                  : telemetry::RunLedger::Tier::Scalar;
+                record.tier =
+                    jitUsed[jobIndex]
+                        ? telemetry::RunLedger::Tier::Jit
+                        : (job.lane ? telemetry::RunLedger::Tier::Lane
+                                    : telemetry::RunLedger::Tier::Scalar);
                 record.laneWidth = job.lane ? width : 1;
                 record.lanes = job.members.size();
                 record.blockId = jobIndex;

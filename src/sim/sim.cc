@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "expr/cjit.h"
 #include "sim/batch.h"
 #include "sim/dopri5.h"
 #include "support/error.h"
@@ -141,6 +142,10 @@ struct Driver
     /** The RHS program: the plain fused tape, or its FMA-contracted
      *  variant when options.tapeFma is set. */
     const expr::FusedTape &tape;
+    /** Tier-5 override: when non-null, evalRhs calls this width-1
+     *  native kernel instead of interpreting `tape` (bit-identical —
+     *  same instruction stream, same IEEE ops). */
+    const expr::JitScalarRhs *jit;
     SimResult result;
     std::vector<double> scratch;
     double lastRecord = -1.0;
@@ -149,16 +154,23 @@ struct Driver
     Driver(const compiler::OdeSystem &sys, const SimOptions &opts,
            const std::stop_token &stopToken,
            const std::optional<std::chrono::steady_clock::time_point>
-               &deadlinePoint)
+               &deadlinePoint,
+           const expr::JitScalarRhs *jitRhs)
         : system(sys), options(opts), stop(stopToken),
           deadline(deadlinePoint), tape(sys.rhsTape(opts.tapeFma)),
-          scratch(sys.scratchSize()), recordDt(opts.recordDt)
+          jit(jitRhs), scratch(sys.scratchSize()),
+          recordDt(opts.recordDt)
     {
     }
 
     void
     evalRhs(const double *state, double t, double *dstate)
     {
+        if (jit != nullptr) {
+            jit->kernel->call(state, t, dstate,
+                              jit->tape.constants().data());
+            return;
+        }
         tape.evalInto(state, t, dstate, scratch.data());
     }
 
@@ -484,7 +496,8 @@ detail::simulateWithStop(
     const compiler::OdeSystem &system, const std::vector<double> &initial,
     double t0, double t1, const SimOptions &options,
     const std::stop_token &stop,
-    const std::optional<std::chrono::steady_clock::time_point> &deadline)
+    const std::optional<std::chrono::steady_clock::time_point> &deadline,
+    const expr::JitScalarRhs *jit)
 {
     if (t1 <= t0)
         throw SimError("simulate: t1 must exceed t0");
@@ -493,7 +506,7 @@ detail::simulateWithStop(
                            initial.size(), " entries, system has ",
                            system.size()));
     }
-    Driver driver(system, options, stop, deadline);
+    Driver driver(system, options, stop, deadline, jit);
     std::vector<double> state = initial;
     if (int bad = firstNonfinite(state); bad >= 0) {
         driver.failDiverged(bad, t0);

@@ -11,7 +11,7 @@
  * control (default; handles the nanosecond-scale TLN/OBC dynamics and
  * the CNN's piecewise-linear saturations efficiently).
  *
- * RHS evaluation has four execution tiers, each a strict speedup over
+ * RHS evaluation has five execution tiers, each a strict speedup over
  * the previous at identical semantics:
  *
  *  1. tree interpreter (OdeSystem::evalRhsInterpreted) — ground truth
@@ -25,7 +25,13 @@
  *     sim/batch.h) — the fused program executed over a
  *     structure-of-arrays block of up to 8 ensemble instances at
  *     once, amortizing instruction dispatch and autovectorizing the
- *     lane loops.
+ *     lane loops;
+ *  5. JIT native kernels (expr/cjit.h, SimOptions::jit) — the lane
+ *     program lowered to straight-line C, compiled at runtime, and
+ *     called through one function pointer per evaluation. Results
+ *     are bit-identical to tiers 3/4 (same IEEE ops in the same
+ *     order); any compile problem silently falls back to the
+ *     interpreted tier.
  *
  * Tier 4 is selected automatically by simulateEnsemble for ensembles
  * whose instances share one program structure — one system with many
@@ -65,6 +71,10 @@
 
 namespace ark::telemetry {
 class RunLedger;
+}
+
+namespace ark::expr {
+struct JitScalarRhs;
 }
 
 namespace ark::sim {
@@ -107,6 +117,27 @@ struct SimOptions
      * slower than Mul+Add.
      */
     bool tapeFma = false;
+
+    /**
+     * Serve RHS evaluation from tier-5 JIT-compiled native kernels
+     * (expr/cjit.h): the ensemble engine lowers each lane block's
+     * program (and each scalar instance's width-1 broadcast) to C,
+     * compiles it once per structure through the engine's
+     * ArtifactCache and an on-disk object cache, and evaluates
+     * through the resolved function pointer. Results are
+     * bit-identical to the interpreted tiers — the emitted code
+     * replays the exact instruction stream with the same IEEE
+     * semantics (-fno-fast-math, -ffp-contract=off, same libm) —
+     * regression-tested in tests/jit_test.cc. Off by default: the
+     * tier needs a working C compiler at runtime, and hosts without
+     * one must never pay a probe on the default path. When enabled
+     * without a usable toolchain (or when compilation fails, or
+     * FaultSite::JitCompile is armed) execution silently falls back
+     * to the interpreted tier. The ARK_JIT_FORCE environment variable
+     * overrides this flag in both directions (the non-gating CI job
+     * runs tier-1 with it set).
+     */
+    bool jit = false;
 };
 
 /**
@@ -380,14 +411,18 @@ namespace detail {
 /**
  * simulate() with a cooperative stop token and optional wall-clock
  * deadline checked once per step — the scalar-path workhorse behind
- * BatchRunner. Not part of the public API.
+ * BatchRunner. Not part of the public API. `jit`, when non-null,
+ * routes RHS evaluation through a tier-5 native kernel (a width-1
+ * broadcast of the system's tape; bit-identical to the fused
+ * interpreter).
  */
 SimResult simulateWithStop(
     const compiler::OdeSystem &system, const std::vector<double> &initial,
     double t0, double t1, const SimOptions &options,
     const std::stop_token &stop,
     const std::optional<std::chrono::steady_clock::time_point> &deadline =
-        {});
+        {},
+    const expr::JitScalarRhs *jit = nullptr);
 
 /**
  * Shared failure constructors: the scalar and lane integrators must

@@ -1,0 +1,113 @@
+#include "support/dl.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include <dlfcn.h>
+
+namespace ark::support {
+
+DynamicLibrary::~DynamicLibrary()
+{
+    if (handle_ != nullptr)
+        dlclose(handle_);
+}
+
+DynamicLibrary::DynamicLibrary(DynamicLibrary &&other) noexcept
+    : handle_(std::exchange(other.handle_, nullptr)),
+      path_(std::move(other.path_))
+{
+}
+
+DynamicLibrary &
+DynamicLibrary::operator=(DynamicLibrary &&other) noexcept
+{
+    if (this != &other) {
+        if (handle_ != nullptr)
+            dlclose(handle_);
+        handle_ = std::exchange(other.handle_, nullptr);
+        path_ = std::move(other.path_);
+    }
+    return *this;
+}
+
+DynamicLibrary
+DynamicLibrary::open(const std::string &path, std::string *error)
+{
+    DynamicLibrary lib;
+    // Clear any stale dlerror before the call, per the dlopen contract.
+    dlerror();
+    lib.handle_ = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (lib.handle_ == nullptr) {
+        if (error != nullptr) {
+            const char *msg = dlerror();
+            *error = msg != nullptr ? msg : "dlopen failed";
+        }
+        return lib;
+    }
+    lib.path_ = path;
+    return lib;
+}
+
+void *
+DynamicLibrary::symbol(const char *name) const
+{
+    if (handle_ == nullptr)
+        return nullptr;
+    return dlsym(handle_, name);
+}
+
+TempDir::~TempDir()
+{
+    if (!path_.empty()) {
+        std::error_code ec; // best-effort; never throws on teardown
+        std::filesystem::remove_all(path_, ec);
+    }
+}
+
+TempDir::TempDir(TempDir &&other) noexcept
+    : path_(std::exchange(other.path_, std::string{}))
+{
+}
+
+TempDir &
+TempDir::operator=(TempDir &&other) noexcept
+{
+    if (this != &other) {
+        if (!path_.empty()) {
+            std::error_code ec;
+            std::filesystem::remove_all(path_, ec);
+        }
+        path_ = std::exchange(other.path_, std::string{});
+    }
+    return *this;
+}
+
+TempDir
+TempDir::create(const std::string &prefix, std::string *error)
+{
+    TempDir dir;
+    const char *base = std::getenv("TMPDIR");
+    std::string pattern = (base != nullptr && base[0] != '\0')
+                              ? std::string(base)
+                              : std::string("/tmp");
+    if (pattern.back() != '/')
+        pattern += '/';
+    pattern += prefix + "XXXXXX";
+    std::vector<char> buf(pattern.begin(), pattern.end());
+    buf.push_back('\0');
+    if (mkdtemp(buf.data()) == nullptr) {
+        if (error != nullptr)
+            *error = std::strerror(errno);
+        return dir;
+    }
+    dir.path_ = buf.data();
+    return dir;
+}
+
+} // namespace ark::support

@@ -41,6 +41,8 @@ enum class FaultSite : std::uint8_t
     CacheMiss,     ///< ArtifactCache lookup reports a miss.
     CacheEvict,    ///< ArtifactCache evicts an entry right after insert.
     WorkerTask,    ///< BatchRunner worker task throws mid-job.
+    JitCompile,    ///< Tier-5 kernel compilation fails (forces the
+                   ///< interpreted-tier fallback path).
     kSiteCount_,   ///< Sentinel; not a site.
 };
 

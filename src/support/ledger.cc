@@ -93,6 +93,7 @@ const char *RunLedger::name(Tier tier) {
   case Tier::Lane: return "lane";
   case Tier::Dense: return "dense";
   case Tier::Sparse: return "sparse";
+  case Tier::Jit: return "jit";
   }
   return "unknown";
 }

@@ -40,9 +40,11 @@ public:
   // Which engine produced the record.
   enum class Workload : std::uint8_t { Ode, Spice };
 
-  // Execution tier that actually ran the instance. Scalar/Lane are
-  // the ODE ensemble tiers; Dense/Sparse are the SPICE solve paths.
-  enum class Tier : std::uint8_t { Scalar, Lane, Dense, Sparse };
+  // Execution tier that actually ran the instance. Scalar/Lane/Jit
+  // are the ODE ensemble tiers (Jit = a tier-5 native kernel served
+  // the RHS, at any lane width); Dense/Sparse are the SPICE solve
+  // paths.
+  enum class Tier : std::uint8_t { Scalar, Lane, Dense, Sparse, Jit };
 
   // Whether the instance's compiled artifact (stepper factors, cached
   // system) was served from the ArtifactCache. None = the path does

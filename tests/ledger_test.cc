@@ -18,6 +18,7 @@
 
 #include "compiler/compiler.h"
 #include "engine/session.h"
+#include "expr/cjit.h"
 #include "lang/registry.h"
 #include "paradigms/standard.h"
 #include "paradigms/tln.h"
@@ -37,6 +38,19 @@ using namespace ark;
 using telemetry::RunLedger;
 
 namespace ptln = paradigms::tln;
+
+/**
+ * The tier an ODE record should carry given its interpreted baseline:
+ * under ARK_JIT_FORCE=1 (the CI jit lane) every RHS that compiles is
+ * served by a tier-5 kernel, so provenance legitimately reads "jit".
+ */
+RunLedger::Tier
+expectedTier(RunLedger::Tier interpreted)
+{
+    if (expr::jitEnabled(false) && expr::jitToolchainAvailable())
+        return RunLedger::Tier::Jit;
+    return interpreted;
+}
 
 /** dx/dt = k x: decays for k < 0, diverges to +/-inf for large k. */
 compiler::OdeSystem
@@ -106,6 +120,7 @@ TEST(LedgerTest, EnumSpellingsAreStable)
     EXPECT_STREQ(RunLedger::name(RunLedger::Tier::Lane), "lane");
     EXPECT_STREQ(RunLedger::name(RunLedger::Tier::Dense), "dense");
     EXPECT_STREQ(RunLedger::name(RunLedger::Tier::Sparse), "sparse");
+    EXPECT_STREQ(RunLedger::name(RunLedger::Tier::Jit), "jit");
     EXPECT_STREQ(RunLedger::name(RunLedger::CacheOutcome::None), "none");
     EXPECT_STREQ(RunLedger::name(RunLedger::CacheOutcome::Hit), "hit");
     EXPECT_STREQ(RunLedger::name(RunLedger::CacheOutcome::Miss), "miss");
@@ -172,7 +187,7 @@ TEST(LedgerTest, OdeEnsembleLaneAndScalarProvenance)
     for (const RunLedger::Record &record : records) {
         EXPECT_EQ(record.runId, 1u);
         EXPECT_EQ(record.workload, RunLedger::Workload::Ode);
-        EXPECT_EQ(record.tier, RunLedger::Tier::Lane);
+        EXPECT_EQ(record.tier, expectedTier(RunLedger::Tier::Lane));
         EXPECT_EQ(record.lanes, 6u);
         EXPECT_EQ(record.laneWidth, 8u); // 6 lanes pad to width 8
         EXPECT_EQ(record.attempt, 1);
@@ -192,7 +207,7 @@ TEST(LedgerTest, OdeEnsembleLaneAndScalarProvenance)
     ASSERT_EQ(records.size(), 2 * pointers.size());
     for (std::size_t r = pointers.size(); r < records.size(); ++r) {
         EXPECT_EQ(records[r].runId, 2u);
-        EXPECT_EQ(records[r].tier, RunLedger::Tier::Scalar);
+        EXPECT_EQ(records[r].tier, expectedTier(RunLedger::Tier::Scalar));
         EXPECT_EQ(records[r].laneWidth, 1u);
         EXPECT_EQ(records[r].lanes, 1u);
     }
@@ -343,7 +358,7 @@ TEST(LedgerTest, SupervisedEnsembleAttachesReportLedger)
         EXPECT_EQ(record.action, RunLedger::RetryAction::ScalarRetry);
         EXPECT_GE(record.attempt, 2);
         EXPECT_LE(record.attempt, 3);
-        EXPECT_EQ(record.tier, RunLedger::Tier::Scalar);
+        EXPECT_EQ(record.tier, expectedTier(RunLedger::Tier::Scalar));
         EXPECT_FALSE(record.ok);
         EXPECT_EQ(record.failureReason, "diverged");
     }

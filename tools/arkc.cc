@@ -8,7 +8,7 @@
  *   arkc equations <file> <func> [args...]
  *                                     invoke + validate + print ODEs
  *   arkc run <file> <func> [args...] [--seed N] [--t-end T]
- *            [--record-dt D] [--observe n1,n2,...]
+ *            [--record-dt D] [--observe n1,n2,...] [--jit|--no-jit]
  *                                     simulate and emit CSV
  *
  * Function arguments are positional literals: integers, reals, or
@@ -66,7 +66,10 @@ usage()
         "  arkc equations <file.ark> <func> [args...]\n"
         "  arkc run <file.ark> <func> [args...] [--seed N] [--t-end T]\n"
         "       [--record-dt D] [--observe node1,node2,...]\n"
+        "       [--jit|--no-jit]\n"
         "\n"
+        "--jit compiles the RHS to a native kernel (bit-identical to\n"
+        "the interpreter; falls back silently without a toolchain).\n"
         "equations/run compile through the engine artifact cache;\n"
         "--cache-stats prints its hit/miss counters to stderr.\n"
         "--metrics prints engine telemetry counters to stderr;\n"
@@ -121,6 +124,7 @@ struct RunOptions
     double tEnd = 1.0;
     double recordDt = 0.0;
     std::vector<std::string> observe;
+    bool jit = false;
     bool cacheStats = false;
     bool metrics = false;
     std::string tracePath;  ///< Empty = no trace recording.
@@ -151,6 +155,10 @@ parseRunArgs(int argc, char **argv, int first)
             options.recordDt = std::stod(next());
         } else if (arg == "--observe") {
             options.observe = support::split(next(), ',');
+        } else if (arg == "--jit") {
+            options.jit = true;
+        } else if (arg == "--no-jit") {
+            options.jit = false;
         } else if (arg == "--cache-stats") {
             options.cacheStats = true;
         } else if (arg == "--metrics") {
@@ -290,6 +298,7 @@ cmdRun(int argc, char **argv)
     simOptions.recordDt = options.recordDt > 0
                               ? options.recordDt
                               : options.tEnd / 500.0;
+    simOptions.jit = options.jit;
     // A single-system ensemble runs the scalar per-instance path,
     // bit-identical to serial sim::simulate — dispatched through the
     // session so the flight recorder sees it.

@@ -5,12 +5,16 @@
  *
  * Runs a small PUF challenge battery (compile ladder + lane-batched
  * ensemble + artifact cache, twice so the second pass hits warm
- * artifacts) and a small SPICE parameter sweep (structure grouping +
- * factor/refactor + stepper cache, also cold then warm) with metric
- * collection enabled, then emits a JSON summary:
+ * artifacts), a small SPICE parameter sweep (structure grouping +
+ * factor/refactor + stepper cache, also cold then warm), and — when a
+ * host toolchain is available — a tier-5 JIT ensemble (cold kernel
+ * compile, then warm kernel-cache serves) with metric collection
+ * enabled, then emits a JSON summary:
  *
  *   {"cache_hit_rate": ..., "mean_lane_occupancy": ...,
- *    "refactor_share": ..., "quantiles": {<histogram>: {p50/p95/p99}},
+ *    "refactor_share": ..., "jit_hit_rate": ..., "jit_compiles": ...,
+ *    "jit_compile_ns_p95": ...,
+ *    "quantiles": {<histogram>: {p50/p95/p99}},
  *    "counters": { <registry snapshot> }}
  *
  * bench_smoke embeds this object as the "metrics" block of
@@ -41,6 +45,7 @@
 
 #include "apps/puf.h"
 #include "engine/session.h"
+#include "expr/cjit.h"
 #include "paradigms/standard.h"
 #include "paradigms/tln.h"
 #include "spice/map_tln.h"
@@ -76,6 +81,36 @@ runPufWorkload(const lang::LanguageRegistry &registry,
     puf.responseMatrix(challenges, chips);
 }
 
+/**
+ * The tier-5 JIT: a lane-batched mismatch ensemble with native
+ * kernels requested, twice — the first pass pays the kernel compiles,
+ * the second is served from the warm kernel cache. Skipped (the
+ * summary reports zero JIT coverage) when the host has no toolchain.
+ */
+void
+runJitWorkload(const lang::LanguageRegistry &registry,
+               const engine::Session &session)
+{
+    if (!expr::jitToolchainAvailable())
+        return;
+    const lang::Language &gmc = registry.language("gmc-tln");
+    std::vector<engine::SystemPtr> systems;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        paradigms::tln::LineSpec spec;
+        spec.sections = 8;
+        spec.mismatchC = true;
+        spec.mismatchGm = true;
+        spec.seed = seed;
+        dg::Graph graph = paradigms::tln::buildLine(gmc, spec);
+        systems.push_back(session.compile(graph, gmc));
+    }
+    sim::EnsembleOptions options;
+    options.sim.jit = true;
+    options.sim.recordDt = 1e-10;
+    session.runEnsemble(systems, 0.0, 1e-9, options);
+    session.runEnsemble(systems, 0.0, 1e-9, options);
+}
+
 /** The SPICE sweep: grouping + factor/refactor + stepper cache. */
 void
 runSpiceWorkload(const lang::LanguageRegistry &registry,
@@ -105,6 +140,19 @@ double
 ratio(double numerator, double denominator)
 {
     return denominator > 0.0 ? numerator / denominator : 0.0;
+}
+
+/** A named histogram's p95, or 0 when it never recorded. */
+double
+histogramP95(const telemetry::MetricsSnapshot &snap,
+             const std::string &name)
+{
+    for (const telemetry::MetricsSnapshot::Entry &entry : snap.entries) {
+        if (entry.kind == telemetry::MetricsSnapshot::Kind::Histogram &&
+            entry.name == name)
+            return entry.p95;
+    }
+    return 0.0;
 }
 
 /** {"<histogram>": {"p50": ..., "p95": ..., "p99": ...}, ...} */
@@ -187,6 +235,7 @@ main(int argc, char **argv)
             paradigms::makeStandardRegistry();
         runPufWorkload(registry, session);
         runSpiceWorkload(registry, session);
+        runJitWorkload(registry, session);
     } catch (const support::ArkError &error) {
         std::cerr << "metrics_probe: " << error.what() << "\n";
         return 1;
@@ -213,6 +262,14 @@ main(int argc, char **argv)
     const double factors = snap.value("ark.spice.factors");
     const double refactors = snap.value("ark.spice.refactors");
     const double refactorShare = ratio(refactors, factors + refactors);
+    // Tier-5 coverage: kernel-cache hit rate, compiles paid, and the
+    // p95 compile latency (all zero on hosts without a toolchain).
+    const double jitHits = snap.value("ark.cache.kernel_hits");
+    const double jitMisses = snap.value("ark.cache.kernel_misses");
+    const double jitHitRate = ratio(jitHits, jitHits + jitMisses);
+    const double jitCompiles = snap.value("ark.compile.jit_compiles");
+    const double jitCompileP95 =
+        histogramP95(snap, "ark.compile.jit_compile_ns");
 
     std::string json = "{\"cache_hit_rate\": " +
                        std::to_string(cacheHitRate) +
@@ -220,6 +277,12 @@ main(int argc, char **argv)
                        std::to_string(occupancy) +
                        ",\n \"refactor_share\": " +
                        std::to_string(refactorShare) +
+                       ",\n \"jit_hit_rate\": " +
+                       std::to_string(jitHitRate) +
+                       ",\n \"jit_compiles\": " +
+                       std::to_string(jitCompiles) +
+                       ",\n \"jit_compile_ns_p95\": " +
+                       std::to_string(jitCompileP95) +
                        ",\n \"quantiles\": " + quantilesJson(snap) +
                        ",\n \"counters\": " + snap.json() + "}\n";
 
