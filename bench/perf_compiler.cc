@@ -7,9 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "compiler/compiler.h"
+#include "engine/session.h"
 #include "paradigms/standard.h"
 #include "paradigms/tln.h"
+#include "support/rng.h"
 
 namespace {
 
@@ -56,6 +61,122 @@ BM_CompileLine(benchmark::State &state)
     state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_CompileLine)->Range(4, 256)->Complexity();
+
+/** A single 32-section ideal TLN (the paper's Figure 4 size). */
+std::vector<dg::Graph>
+tln32Graphs(const lang::Language &tln)
+{
+    paradigms::tln::LineSpec spec;
+    spec.sections = 32;
+    std::vector<dg::Graph> graphs;
+    graphs.push_back(paradigms::tln::buildLine(tln, spec));
+    return graphs;
+}
+
+/**
+ * The §4.5 SPICE-validation sweep population: 218 random GmC-TLN
+ * structures, drawn exactly like apps/experiments.cc
+ * runSpiceValidation (per-trial RNG, 3-12 sections, mismatch on, 50%
+ * branched) minus the netlist mapping.
+ */
+std::vector<dg::Graph>
+sweep218Graphs(const lang::Language &gmcTln)
+{
+    constexpr int kTrials = 218;
+    constexpr std::uint64_t kSeedBase = 1234;
+    std::vector<dg::Graph> graphs;
+    graphs.reserve(kTrials);
+    for (int trial = 0; trial < kTrials; ++trial) {
+        support::Rng rng(kSeedBase + static_cast<std::uint64_t>(trial));
+        paradigms::tln::LineSpec spec;
+        spec.sections = static_cast<int>(rng.uniformInt(3, 12));
+        spec.inductance = rng.uniform(0.5e-9, 2e-9);
+        spec.capacitance = rng.uniform(0.5e-9, 2e-9);
+        spec.sourceConductance = rng.uniform(0.5, 2.0);
+        spec.termConductance = rng.uniform(0.5, 2.0);
+        spec.pulseWidth = rng.uniform(0.5e-8, 2e-8);
+        spec.mismatchC = true;
+        spec.mismatchGm = true;
+        spec.seed = rng.deriveSeed();
+        if (rng.bernoulli(0.5)) {
+            paradigms::tln::BranchSpec branch;
+            branch.line = spec;
+            branch.stubSections = static_cast<int>(rng.uniformInt(1, 4));
+            branch.attachAt = static_cast<int>(
+                rng.uniformInt(1, spec.sections - 1));
+            graphs.push_back(
+                paradigms::tln::buildBranched(gmcTln, branch));
+        } else {
+            graphs.push_back(paradigms::tln::buildLine(gmcTln, spec));
+        }
+    }
+    return graphs;
+}
+
+using GraphSetBuilder =
+    std::vector<dg::Graph> (*)(const lang::Language &);
+
+/**
+ * Cold compile: every iteration lowers the whole population through
+ * uncached compiler::compile (graph validation excluded — graphs are
+ * prebuilt; validation is benchmarked by perf_validator). This is the
+ * ISSUE acceptance metric for the hash-consing/single-pass-instantiate
+ * work: time per iteration = cold compile of the full sweep.
+ */
+void
+BM_CompileCold(benchmark::State &state, const char *langName,
+               GraphSetBuilder build)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &lang = registry.language(langName);
+    std::vector<dg::Graph> graphs = build(lang);
+    std::size_t stateVars = 0;
+    for (auto _ : state) {
+        stateVars = 0;
+        for (const dg::Graph &graph : graphs) {
+            compiler::OdeSystem system = compiler::compile(graph, lang);
+            stateVars += system.size();
+        }
+        benchmark::DoNotOptimize(stateVars);
+    }
+    state.counters["structures"] =
+        static_cast<double>(graphs.size());
+    state.counters["state_vars"] = static_cast<double>(stateVars);
+}
+BENCHMARK_CAPTURE(BM_CompileCold, tln32, "tln", tln32Graphs)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_CompileCold, sweep218, "gmc-tln", sweep218Graphs)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Warm compile: the same population through an engine::Session whose
+ * artifact cache was primed by one pass — per-iteration cost is
+ * fingerprint + cache hit per structure (the repeated-sweep path of
+ * §4.5).
+ */
+void
+BM_CompileWarm(benchmark::State &state, const char *langName,
+               GraphSetBuilder build)
+{
+    lang::LanguageRegistry registry = paradigms::makeStandardRegistry();
+    const lang::Language &lang = registry.language(langName);
+    std::vector<dg::Graph> graphs = build(lang);
+    engine::Session session;
+    for (const dg::Graph &graph : graphs)
+        benchmark::DoNotOptimize(session.compile(graph, lang));
+    for (auto _ : state) {
+        std::size_t stateVars = 0;
+        for (const dg::Graph &graph : graphs)
+            stateVars += session.compile(graph, lang)->size();
+        benchmark::DoNotOptimize(stateVars);
+    }
+    state.counters["structures"] =
+        static_cast<double>(graphs.size());
+}
+BENCHMARK_CAPTURE(BM_CompileWarm, tln32, "tln", tln32Graphs)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_CompileWarm, sweep218, "gmc-tln", sweep218Graphs)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_InvokeBrFunc(benchmark::State &state)

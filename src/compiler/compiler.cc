@@ -19,63 +19,6 @@ using support::CompileError;
 
 namespace {
 
-/**
- * Recursively beta-reduces calls whose callee resolved to a lambda
- * literal (attribute substitution turns `s.fn(times)` into one).
- */
-ExprPtr
-inlineLambdaCalls(const ExprPtr &e)
-{
-    switch (e->kind()) {
-      case ExprKind::Literal:
-      case ExprKind::Var:
-      case ExprKind::Attr:
-      case ExprKind::Time:
-      case ExprKind::NodeVar:
-      case ExprKind::StateVar:
-        return e;
-      case ExprKind::Unary: {
-        ExprPtr a = inlineLambdaCalls(e->operand());
-        return a == e->operand() ? e : Expr::unary(e->unOp(), a);
-      }
-      case ExprKind::Binary: {
-        ExprPtr a = inlineLambdaCalls(e->lhs());
-        ExprPtr b = inlineLambdaCalls(e->rhs());
-        if (a == e->lhs() && b == e->rhs())
-            return e;
-        return Expr::binary(e->binOp(), a, b);
-      }
-      case ExprKind::If: {
-        ExprPtr c = inlineLambdaCalls(e->cond());
-        ExprPtr a = inlineLambdaCalls(e->thenBranch());
-        ExprPtr b = inlineLambdaCalls(e->elseBranch());
-        if (c == e->cond() && a == e->thenBranch() &&
-            b == e->elseBranch()) {
-            return e;
-        }
-        return Expr::ifThenElse(c, a, b);
-      }
-      case ExprKind::Call: {
-        std::vector<ExprPtr> args;
-        args.reserve(e->args().size());
-        for (const auto &arg : e->args())
-            args.push_back(inlineLambdaCalls(arg));
-        if (e->calleeExpr()) {
-            ExprPtr callee = inlineLambdaCalls(e->calleeExpr());
-            if (callee->kind() == ExprKind::Literal &&
-                callee->literalValue().isFunction()) {
-                ExprPtr body = expr::applyLambda(
-                    callee->literalValue().asFunction(), args);
-                return inlineLambdaCalls(body);
-            }
-            return Expr::callExpr(callee, std::move(args));
-        }
-        return Expr::call(e->callee(), std::move(args));
-    }
-    }
-    return e;
-}
-
 /** One compilation session over a (graph, language) pair. */
 class Compilation
 {
@@ -101,7 +44,7 @@ class Compilation
                     Expr::stateVar(stateIndex(name, d + 1));
             }
             rhs[static_cast<std::size_t>(stateIndex(name, type.order - 1))] =
-                expr::fold(nodeDynamics(id));
+                nodeDynamics(id);
         }
         return OdeSystem(vars_, initial_, std::move(rhs));
     }
@@ -122,7 +65,7 @@ class Compilation
                                    "' participates in a pure-function "
                                    "cycle"));
         }
-        ExprPtr value = expr::fold(nodeDynamics(id));
+        ExprPtr value = nodeDynamics(id);
         inProgress_.erase(node.name);
         order0Cache_.emplace(node.name, value);
         return value;
@@ -193,52 +136,109 @@ class Compilation
                        ? Expr::real(0.0)
                        : Expr::real(1.0);
         }
+        // Terms arrive folded from instantiate(); folding each chain
+        // link as it is built keeps the whole dynamics expression
+        // folded without a second walk over the tree.
         ExprPtr acc = terms.front();
         for (std::size_t i = 1; i < terms.size(); ++i) {
-            acc = Expr::binary(type.reduction == dg::Reduction::Sum
-                                   ? expr::BinOp::Add
-                                   : expr::BinOp::Mul,
-                               acc, terms[i]);
+            acc = expr::foldBinaryOf(type.reduction == dg::Reduction::Sum
+                                         ? expr::BinOp::Add
+                                         : expr::BinOp::Mul,
+                                     acc, terms[i]);
         }
         return acc;
     }
 
-    /** The paper's Rewrite: rule expression onto concrete elements. */
+    /**
+     * The paper's Rewrite: rule expression onto concrete elements.
+     * One bottom-up walk substitutes attribute values, resolves
+     * var(s)/var(t), beta-reduces lambda calls, and constant-folds as
+     * it rebuilds — the fused equivalent of the former
+     * substituteAttrs → substituteNodeVars → inlineLambdaCalls →
+     * fold pipeline (4 tree walks), producing the identical
+     * (interned) result.
+     */
     ExprPtr instantiate(const ProdRule &rule, dg::EdgeId edgeId)
     {
-        const dg::Edge &edge = graph_.edge(edgeId);
+        return substFold(rule.expr, rule, edgeId, graph_.edge(edgeId));
+    }
 
-        // Attribute references: e.x / s.x / t.x -> attribute values.
-        ExprPtr withAttrs = expr::substituteAttrs(
-            rule.expr,
-            [&](const std::string &base,
-                const std::string &attr) -> ExprPtr {
-                if (base == rule.edgeVar) {
-                    return Expr::literal(graph_.edgeAttr(edgeId, attr));
+    ExprPtr substFold(const ExprPtr &e, const ProdRule &rule,
+                      dg::EdgeId edgeId, const dg::Edge &edge)
+    {
+        switch (e->kind()) {
+          case ExprKind::Literal:
+          case ExprKind::Time:
+          case ExprKind::StateVar:
+          case ExprKind::Var:
+            return e;
+          case ExprKind::Attr: {
+            // e.x / s.x / t.x -> attribute values.
+            const std::string &base = e->attrBase();
+            if (base == rule.edgeVar) {
+                return Expr::literal(
+                    graph_.edgeAttr(edgeId, e->attrName()));
+            }
+            if (base == rule.srcVar) {
+                return Expr::literal(
+                    graph_.nodeAttr(edge.src, e->attrName()));
+            }
+            if (base == rule.dstVar) {
+                return Expr::literal(
+                    graph_.nodeAttr(edge.dst, e->attrName()));
+            }
+            throw CompileError(cat("production rule references "
+                                   "unbound name '", base, "'"));
+          }
+          case ExprKind::NodeVar: {
+            // var(s) / var(t): state or inlined function value
+            // (valueOf returns folded expressions).
+            const std::string &name = e->nodeName();
+            if (name == rule.srcVar)
+                return valueOf(edge.src);
+            if (name == rule.dstVar)
+                return valueOf(edge.dst);
+            throw CompileError(cat("var(", name,
+                                   ") references an unbound rule "
+                                   "name"));
+          }
+          case ExprKind::Unary:
+            return expr::foldUnaryOf(
+                e->unOp(), substFold(e->operand(), rule, edgeId, edge));
+          case ExprKind::Binary:
+            return expr::foldBinaryOf(
+                e->binOp(), substFold(e->lhs(), rule, edgeId, edge),
+                substFold(e->rhs(), rule, edgeId, edge));
+          case ExprKind::If: {
+            ExprPtr c = substFold(e->cond(), rule, edgeId, edge);
+            ExprPtr a = substFold(e->thenBranch(), rule, edgeId, edge);
+            ExprPtr b = substFold(e->elseBranch(), rule, edgeId, edge);
+            return expr::foldIfOf(c, a, b);
+          }
+          case ExprKind::Call: {
+            std::vector<ExprPtr> args;
+            args.reserve(e->args().size());
+            for (const auto &arg : e->args())
+                args.push_back(substFold(arg, rule, edgeId, edge));
+            if (e->calleeExpr()) {
+                ExprPtr callee =
+                    substFold(e->calleeExpr(), rule, edgeId, edge);
+                if (callee->kind() == ExprKind::Literal &&
+                    callee->literalValue().isFunction()) {
+                    // Beta-reduce and keep walking: the body may
+                    // contain further lambda calls; the substituted
+                    // argument subtrees are already processed, so
+                    // revisiting them is a no-op.
+                    ExprPtr body = expr::applyLambda(
+                        callee->literalValue().asFunction(), args);
+                    return substFold(body, rule, edgeId, edge);
                 }
-                if (base == rule.srcVar) {
-                    return Expr::literal(graph_.nodeAttr(edge.src, attr));
-                }
-                if (base == rule.dstVar) {
-                    return Expr::literal(graph_.nodeAttr(edge.dst, attr));
-                }
-                throw CompileError(cat("production rule references "
-                                       "unbound name '", base, "'"));
-            });
-
-        // var(s) / var(t): state or inlined function value.
-        ExprPtr withVars = expr::substituteNodeVars(
-            withAttrs, [&](const std::string &name) -> ExprPtr {
-                if (name == rule.srcVar)
-                    return valueOf(edge.src);
-                if (name == rule.dstVar)
-                    return valueOf(edge.dst);
-                throw CompileError(cat("var(", name,
-                                       ") references an unbound rule "
-                                       "name"));
-            });
-
-        return inlineLambdaCalls(withVars);
+                return Expr::callExpr(callee, std::move(args));
+            }
+            return expr::foldCallOf(e->callee(), std::move(args));
+          }
+        }
+        return e;
     }
 };
 
@@ -267,7 +267,8 @@ nodeValueExpr(const dg::Graph &graph, const lang::Language &lang,
     if (!id)
         throw CompileError(cat("unknown node '", nodeName, "'"));
     Compilation session(graph, lang);
-    return expr::fold(session.valueOf(*id));
+    // valueOf returns folded expressions (instantiate folds inline).
+    return session.valueOf(*id);
 }
 
 } // namespace ark::compiler

@@ -1,5 +1,6 @@
 #include "compiler/odesystem.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "expr/eval.h"
@@ -11,6 +12,22 @@ namespace ark::compiler {
 
 using support::cat;
 using support::CompileError;
+
+namespace {
+
+/** Lock-free fetch_max for the scratch high-water mark. */
+void
+raiseScratch(std::atomic<std::size_t> &scratch, std::size_t want)
+{
+    std::size_t cur = scratch.load(std::memory_order_relaxed);
+    while (cur < want &&
+           !scratch.compare_exchange_weak(cur, want,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
 
 std::string
 StateVar::label() const
@@ -25,7 +42,7 @@ OdeSystem::OdeSystem(std::vector<StateVar> vars,
                      std::vector<double> initial,
                      std::vector<expr::ExprPtr> rhs)
     : vars_(std::move(vars)), initial_(std::move(initial)),
-      rhs_(std::move(rhs))
+      rhs_(std::move(rhs)), lazy_(std::make_unique<LazyTapes>())
 {
     support::panicIf(vars_.size() != initial_.size() ||
                      vars_.size() != rhs_.size(),
@@ -38,30 +55,28 @@ OdeSystem::OdeSystem(std::vector<StateVar> vars,
         telemetry::Registry::shared().counter("ark.compile.tape_regs");
     telemetry::ScopedSpan span("ark.compile.tapes", rhs_.size());
     telemetry::ScopedTimer timer(tapesNs);
-    tapes_.reserve(rhs_.size());
-    for (const auto &e : rhs_)
-        tapes_.push_back(expr::Tape::compile(e));
     fused_ = expr::FusedTape::compile(rhs_);
-    // The FMA variant is compiled eagerly so runtime tape selection
-    // (sim::SimOptions::tapeFma) is just a pointer pick, the shared
-    // scratch below can cover its (possibly larger) register file,
-    // and the class stays immutable/movable — a lazily built variant
-    // would need synchronization against concurrent ensemble workers.
-    // Cost: ~90us on a 32-section line vs ~700us for the surrounding
-    // graph compile.
-    fusedFma_ = expr::FusedTape::compile(rhs_, /*fuseMulAdd=*/true);
-
-    // One scratch block serves every evaluation path.
-    scratchSize_ = static_cast<std::size_t>(fused_.numRegs());
-    scratchSize_ = std::max(
-        scratchSize_, static_cast<std::size_t>(fusedFma_.numRegs()));
-    for (const auto &tape : tapes_) {
-        scratchSize_ = std::max(
-            scratchSize_, static_cast<std::size_t>(tape.numRegs()));
-    }
+    lazy_->scratch.store(static_cast<std::size_t>(fused_.numRegs()),
+                         std::memory_order_release);
 
     tapeOps.add(fused_.size());
     tapeRegs.add(static_cast<std::uint64_t>(fused_.numRegs()));
+}
+
+OdeSystem::OdeSystem(const OdeSystem &other)
+    : vars_(other.vars_), initial_(other.initial_), rhs_(other.rhs_),
+      fused_(other.fused_), lazy_(std::make_unique<LazyTapes>())
+{
+    lazy_->scratch.store(static_cast<std::size_t>(fused_.numRegs()),
+                         std::memory_order_release);
+}
+
+OdeSystem &
+OdeSystem::operator=(const OdeSystem &other)
+{
+    if (this != &other)
+        *this = OdeSystem(other);
+    return *this;
 }
 
 int
@@ -75,12 +90,62 @@ OdeSystem::stateIndex(const std::string &node, int derivative) const
                            "' derivative ", derivative));
 }
 
+const expr::FusedTape &
+OdeSystem::fusedTapeFma() const
+{
+    std::call_once(lazy_->fmaOnce, [this] {
+        lazy_->fma = expr::FusedTape::compile(rhs_, /*fuseMulAdd=*/true);
+        raiseScratch(lazy_->scratch,
+                     static_cast<std::size_t>(lazy_->fma.numRegs()));
+    });
+    return lazy_->fma;
+}
+
+const expr::FusedTape &
+OdeSystem::fusedTapeReassoc() const
+{
+    std::call_once(lazy_->reassocOnce, [this] {
+        std::vector<expr::ExprPtr> rewritten =
+            expr::reassociate(rhs_, &lazy_->reassocStats);
+        lazy_->reassoc =
+            expr::FusedTape::compile(rewritten, /*fuseMulAdd=*/true);
+        raiseScratch(lazy_->scratch,
+                     static_cast<std::size_t>(lazy_->reassoc.numRegs()));
+    });
+    return lazy_->reassoc;
+}
+
+const expr::RewriteStats &
+OdeSystem::reassocStats() const
+{
+    fusedTapeReassoc();
+    return lazy_->reassocStats;
+}
+
+const std::vector<expr::Tape> &
+OdeSystem::tapes() const
+{
+    std::call_once(lazy_->perVarOnce, [this] {
+        std::vector<expr::Tape> tapes;
+        tapes.reserve(rhs_.size());
+        std::size_t regs = 0;
+        for (const auto &e : rhs_) {
+            tapes.push_back(expr::Tape::compile(e));
+            regs = std::max(
+                regs, static_cast<std::size_t>(tapes.back().numRegs()));
+        }
+        raiseScratch(lazy_->scratch, regs);
+        lazy_->perVar = std::move(tapes);
+    });
+    return lazy_->perVar;
+}
+
 void
 OdeSystem::evalRhs(const double *state, double t, double *dstate,
                    std::vector<double> &scratch) const
 {
-    if (scratch.size() < scratchSize_)
-        scratch.resize(scratchSize_);
+    if (scratch.size() < scratchSize())
+        scratch.resize(scratchSize());
     fused_.evalInto(state, t, dstate, scratch.data());
 }
 
@@ -88,11 +153,12 @@ void
 OdeSystem::evalRhsPerTape(const double *state, double t, double *dstate,
                           std::vector<double> &scratch) const
 {
-    if (scratch.size() < scratchSize_)
-        scratch.resize(scratchSize_);
+    const std::vector<expr::Tape> &perVar = tapes();
+    if (scratch.size() < scratchSize())
+        scratch.resize(scratchSize());
     double *regs = scratch.data();
-    for (std::size_t i = 0; i < tapes_.size(); ++i)
-        dstate[i] = tapes_[i].eval(state, t, regs);
+    for (std::size_t i = 0; i < perVar.size(); ++i)
+        dstate[i] = perVar[i].eval(state, t, regs);
 }
 
 void

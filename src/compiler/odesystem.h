@@ -10,27 +10,45 @@
  * (LowOrdEqs chain dq_i/dt = q_{i+1}); order-0 nodes are inlined as
  * pure functions and own no state.
  *
- * The RHS is compiled twice: into one expr::FusedTape covering the
- * whole system (the hot path — cross-equation common subexpressions
- * are computed once and one pass fills all of dstate) and into
- * per-variable expr::Tapes (reference path for ablation benchmarks
- * and equivalence tests). Scratch is sized once per system
- * (scratchSize()); evalRhs* only grow an undersized caller buffer on
- * the first call, keeping resizes out of the integration loop.
+ * Construction compiles exactly one program: the fused whole-system
+ * expr::FusedTape (the default hot path — cross-equation common
+ * subexpressions are computed once and one pass fills all of dstate).
+ * The other programs are compiled lazily on first request, so the
+ * cold compile path (218 distinct structures in the §4.5 sweep) never
+ * pays for variants it doesn't run:
  *
- * The fused program is also the unit of ensemble batching: fusedTape()
+ *  - per-variable expr::Tapes (reference path for ablation benchmarks
+ *    and equivalence tests);
+ *  - the FMA-contracted variant (SimOptions::tapeFma);
+ *  - the reassociated variant (SimOptions::tapeReassoc — the
+ *    expr/rewrite.h pass over the RHS, then FMA contraction).
+ *
+ * Laziness is invisible to callers: variants build under
+ * std::call_once (safe against concurrent ensemble workers), and
+ * scratchSize() is an atomic high-water mark that each newly built
+ * variant raises before it is ever evaluated. Integration drivers
+ * size their scratch after selecting the tape, so a lazily built
+ * variant can never see an undersized buffer; evalRhs* additionally
+ * grow an undersized caller buffer on first call, keeping resizes out
+ * of the integration loop.
+ *
+ * The fused program is also the unit of ensemble batching: rhsTape()
  * exposes the compiled layout so sim::BatchRunner can merge
  * structurally identical systems (same stream, different constants —
  * e.g. per-chip mismatch) into one expr::LaneTape and integrate many
  * instances per instruction dispatch. See sim/sim.h for the full
- * four-tier execution ladder.
+ * five-tier execution ladder.
  */
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "expr/expr.h"
 #include "expr/fusedtape.h"
+#include "expr/rewrite.h"
 #include "expr/tape.h"
 
 namespace ark::compiler {
@@ -47,13 +65,22 @@ struct StateVar
 
 /**
  * A system of first-order ODEs dq/dt = f(q, t) produced by the Ark
- * compiler. Immutable after construction.
+ * compiler. Logically immutable after construction; the lazily
+ * compiled tape variants are memoized derived data (thread-safe,
+ * value-independent), not state.
  */
 class OdeSystem
 {
   public:
     OdeSystem(std::vector<StateVar> vars, std::vector<double> initial,
               std::vector<expr::ExprPtr> rhs);
+
+    /** Copies share the (interned) RHS and fused tape; the lazy
+     *  variant cache starts empty in the copy. */
+    OdeSystem(const OdeSystem &other);
+    OdeSystem &operator=(const OdeSystem &other);
+    OdeSystem(OdeSystem &&) noexcept = default;
+    OdeSystem &operator=(OdeSystem &&) noexcept = default;
 
     std::size_t size() const { return vars_.size(); }
     const std::vector<StateVar> &vars() const { return vars_; }
@@ -77,7 +104,8 @@ class OdeSystem
 
     /**
      * Per-variable tape evaluation (the pre-fusion hot path); kept
-     * for ablation benchmarks and equivalence tests.
+     * for ablation benchmarks and equivalence tests. Compiles the
+     * per-variable tapes on first call.
      */
     void evalRhsPerTape(const double *state, double t, double *dstate,
                         std::vector<double> &scratch) const;
@@ -86,13 +114,20 @@ class OdeSystem
     void evalRhsInterpreted(const double *state, double t,
                             double *dstate) const;
 
-    /** Scratch doubles evalRhs/evalRhsPerTape require. */
-    std::size_t scratchSize() const { return scratchSize_; }
+    /**
+     * Scratch doubles evalRhs/evalRhsPerTape require. A lazily
+     * compiled variant raises this before it can be selected, so
+     * sizing scratch after picking a tape is always sufficient.
+     */
+    std::size_t scratchSize() const
+    {
+        return lazy_->scratch.load(std::memory_order_acquire);
+    }
 
     /** A correctly sized scratch buffer for evalRhs*. */
     std::vector<double> makeScratch() const
     {
-        return std::vector<double>(scratchSize_);
+        return std::vector<double>(scratchSize());
     }
 
     /** The fused whole-system tape (introspection, benchmarks). */
@@ -101,32 +136,69 @@ class OdeSystem
     /**
      * The FMA-contracted variant of the fused tape (single-use
      * Mul+Add pairs folded into FusedMulAdd, one std::fma rounding
-     * per pair). Same outputs and register file; agrees with
+     * per pair), compiled on first request. Same outputs; agrees with
      * fusedTape() to rounding, not bitwise. Selected on the
      * simulation hot paths by sim::SimOptions::tapeFma.
      */
-    const expr::FusedTape &fusedTapeFma() const { return fusedFma_; }
+    const expr::FusedTape &fusedTapeFma() const;
 
-    /** The RHS tape a simulation driver should execute. */
-    const expr::FusedTape &rhsTape(bool fma) const
+    /**
+     * The reassociated variant: the expr/rewrite.h pass over the RHS
+     * (Div-by-constant → reciprocal multiply, coefficient gathering)
+     * followed by FMA contraction, compiled on first request. Agrees
+     * with fusedTape() at tolerance level only; selected by
+     * sim::SimOptions::tapeReassoc. Every tier executes this same
+     * program under the flag, so lane-vs-scalar bit identity holds.
+     */
+    const expr::FusedTape &fusedTapeReassoc() const;
+
+    /** What the reassociation pass changed (builds the variant). */
+    const expr::RewriteStats &reassocStats() const;
+
+    /**
+     * The RHS tape a simulation driver should execute. `reassoc`
+     * selects the reassociated (and FMA-contracted) variant
+     * regardless of `fma`; otherwise `fma` picks the contracted or
+     * plain fused tape.
+     */
+    const expr::FusedTape &rhsTape(bool fma, bool reassoc = false) const
     {
-        return fma ? fusedFma_ : fused_;
+        if (reassoc)
+            return fusedTapeReassoc();
+        return fma ? fusedTapeFma() : fused_;
     }
 
-    /** The per-variable tapes (introspection, benchmarks). */
-    const std::vector<expr::Tape> &tapes() const { return tapes_; }
+    /** The per-variable tapes (introspection, benchmarks); compiled
+     *  on first call. */
+    const std::vector<expr::Tape> &tapes() const;
 
     /** Pretty-printed equations, one per line ("d name/dt = ..."). */
     std::string equationsStr() const;
 
   private:
+    /**
+     * Lazily compiled tape variants. Heap-allocated so OdeSystem
+     * stays movable (std::once_flag and std::atomic are not); the
+     * pointer never changes after construction, so concurrent readers
+     * race only on the call_once/atomic members, which are safe.
+     */
+    struct LazyTapes
+    {
+        std::once_flag fmaOnce;
+        std::once_flag perVarOnce;
+        std::once_flag reassocOnce;
+        expr::FusedTape fma;
+        std::vector<expr::Tape> perVar;
+        expr::FusedTape reassoc;
+        expr::RewriteStats reassocStats;
+        std::atomic<std::size_t> scratch{0};
+    };
+
     std::vector<StateVar> vars_;
     std::vector<double> initial_;
     std::vector<expr::ExprPtr> rhs_;
-    std::vector<expr::Tape> tapes_;
     expr::FusedTape fused_;
-    expr::FusedTape fusedFma_;
-    std::size_t scratchSize_ = 0;
+    std::unique_ptr<LazyTapes> lazy_;
 };
 
 } // namespace ark::compiler

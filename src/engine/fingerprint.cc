@@ -103,56 +103,14 @@ Hasher::absorb(const expr::Value &v)
 void
 Hasher::absorb(const expr::Expr &e)
 {
-    // Structural serialization with bit-exact literals. Value::str()
-    // would be simpler but rounds reals; two lambdas differing past
-    // the printed precision must not collide.
-    absorb(static_cast<std::uint64_t>(e.kind()));
-    switch (e.kind()) {
-    case expr::ExprKind::Literal:
-        absorb(e.literalValue());
-        break;
-    case expr::ExprKind::Var:
-        absorb(e.varName());
-        break;
-    case expr::ExprKind::Attr:
-        absorb(e.attrBase());
-        absorb(e.attrName());
-        break;
-    case expr::ExprKind::Time:
-        break;
-    case expr::ExprKind::Unary:
-        absorb(static_cast<std::uint64_t>(e.unOp()));
-        absorb(*e.operand());
-        break;
-    case expr::ExprKind::Binary:
-        absorb(static_cast<std::uint64_t>(e.binOp()));
-        absorb(*e.lhs());
-        absorb(*e.rhs());
-        break;
-    case expr::ExprKind::Call:
-        absorb(e.callee());
-        if (e.calleeExpr()) {
-            absorb(std::uint64_t{1});
-            absorb(*e.calleeExpr());
-        } else {
-            absorb(std::uint64_t{0});
-        }
-        absorb(static_cast<std::uint64_t>(e.args().size()));
-        for (const expr::ExprPtr &arg : e.args())
-            absorb(*arg);
-        break;
-    case expr::ExprKind::If:
-        absorb(*e.cond());
-        absorb(*e.thenBranch());
-        absorb(*e.elseBranch());
-        break;
-    case expr::ExprKind::NodeVar:
-        absorb(e.nodeName());
-        break;
-    case expr::ExprKind::StateVar:
-        absorb(static_cast<std::uint64_t>(e.stateIndex()));
-        break;
-    }
+    // Expressions are hash-consed (expr/expr.h): every node carries
+    // the 128-bit structural digest of its subtree (bit-exact
+    // literals), computed once at intern time. Absorbing the two
+    // digest words is equivalent to the structural walk this used to
+    // do — structurally equal subtrees have equal digests — at O(1)
+    // instead of O(subtree).
+    absorb(e.digestHi());
+    absorb(e.digestLo());
 }
 
 Fingerprint

@@ -88,7 +88,8 @@ class Hasher
     void absorb(double x);
     void absorb(bool x) { absorb(static_cast<std::uint64_t>(x ? 1 : 2)); }
     void absorb(const std::string &s);
-    /** Absorbs an expression tree structurally (bit-exact literals). */
+    /** Absorbs an expression tree: O(1) via the node's interned
+     *  structural digest (bit-exact literals; see expr/expr.h). */
     void absorb(const expr::Expr &e);
     /** Absorbs a runtime value (kind tag + bit-exact payload). */
     void absorb(const expr::Value &v);

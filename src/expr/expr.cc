@@ -1,12 +1,15 @@
 #include "expr/expr.h"
 
 #include <algorithm>
+#include <bit>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "support/error.h"
 #include "support/logging.h"
 #include "support/strings.h"
+#include "support/telemetry.h"
 
 namespace ark::expr {
 
@@ -75,15 +78,291 @@ makeNode()
     return std::make_shared<Access>();
 }
 
+/** splitmix64 finalizer (same diffusion step the engine hasher uses). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Incremental 128-bit digest accumulator for intern keys. Children
+ * contribute their memoized digests, so absorbing a node is O(size of
+ * its immediate fields), not O(subtree).
+ */
+struct Digester
+{
+    std::uint64_t a = 0x9e3779b97f4a7c15ull;
+    std::uint64_t b = 0x6a09e667f3bcc909ull;
+
+    void word(std::uint64_t x)
+    {
+        a = mix64(a ^ x);
+        b = mix64(b + std::rotl(x, 29) + 0xff51afd7ed558ccdull);
+    }
+
+    void str(const std::string &s)
+    {
+        word(s.size());
+        std::uint64_t w = 0;
+        int inWord = 0;
+        for (unsigned char c : s) {
+            w = (w << 8) | c;
+            if (++inWord == 8) {
+                word(w);
+                w = 0;
+                inWord = 0;
+            }
+        }
+        if (inWord > 0)
+            word(w);
+    }
+
+    void child(const ExprPtr &e)
+    {
+        word(e->digestHi());
+        word(e->digestLo());
+    }
+
+    void value(const Value &v)
+    {
+        word(static_cast<std::uint64_t>(v.kind()));
+        switch (v.kind()) {
+          case ValueKind::Real:
+            // Bit-exact: -0.0 != 0.0, NaN payloads distinguish.
+            word(std::bit_cast<std::uint64_t>(v.asReal()));
+            break;
+          case ValueKind::Int:
+            word(static_cast<std::uint64_t>(v.asInt()));
+            break;
+          case ValueKind::Bool:
+            word(v.asBool() ? 1 : 2);
+            break;
+          case ValueKind::Function: {
+            const Lambda &fn = v.asFunction();
+            word(fn.params.size());
+            for (const std::string &p : fn.params)
+                str(p);
+            panicIf(!fn.body, "intern: lambda without body");
+            child(fn.body);
+            break;
+          }
+        }
+    }
+
+    std::pair<std::uint64_t, std::uint64_t> finish() const
+    {
+        return {mix64(a ^ std::rotl(b, 32)), mix64(b ^ a)};
+    }
+};
+
+/**
+ * Bit-exact literal equality for interning. Value::operator== is the
+ * wrong relation here: it treats -0.0 == 0.0 and NaN != NaN, either
+ * of which would break the "equal digest ⇒ one pointer" invariant.
+ * Lambda bodies are themselves interned, so pointer comparison is
+ * exact for them.
+ */
+bool
+literalEq(const Value &x, const Value &y)
+{
+    if (x.kind() != y.kind())
+        return false;
+    switch (x.kind()) {
+      case ValueKind::Real:
+        return std::bit_cast<std::uint64_t>(x.asReal()) ==
+               std::bit_cast<std::uint64_t>(y.asReal());
+      case ValueKind::Int:
+        return x.asInt() == y.asInt();
+      case ValueKind::Bool:
+        return x.asBool() == y.asBool();
+      case ValueKind::Function: {
+        const Lambda &fx = x.asFunction();
+        const Lambda &fy = y.asFunction();
+        return fx.params == fy.params && fx.body == fy.body;
+      }
+    }
+    return false;
+}
+
+struct InternKey
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    bool operator==(const InternKey &) const = default;
+};
+
+struct InternKeyHash
+{
+    std::size_t operator()(const InternKey &k) const
+    {
+        return static_cast<std::size_t>(
+            k.hi ^ (k.lo * 0x9e3779b97f4a7c15ull));
+    }
+};
+
+/**
+ * The process-wide intern table. Digest-keyed buckets hold short
+ * chains (a chain longer than one means a 128-bit collision — the
+ * shallow verification below keeps even that case correct). Entries
+ * are strong references; crossing the high-water mark sweeps nodes
+ * whose only owner is the table, cascading so dead subtrees drain
+ * fully. A single mutex guards everything: interning sits on the
+ * compile path, not the integration hot loop.
+ */
+class InternTable
+{
+  public:
+    static InternTable &instance()
+    {
+        static InternTable table;
+        return table;
+    }
+
+    /**
+     * `verify(e)` is the shallow structural check against a chain
+     * entry; `build(id)` constructs and fully stamps a new node
+     * (the build lambdas live inside Expr's factories, which is what
+     * grants them access to the private fields).
+     */
+    template <typename Verify, typename Build>
+    ExprPtr intern(std::uint64_t hi, std::uint64_t lo,
+                   const Verify &verify, const Build &build)
+    {
+        static telemetry::Counter &internHits =
+            telemetry::Registry::shared().counter(
+                "ark.compile.intern_hits");
+        static telemetry::Counter &internNodes =
+            telemetry::Registry::shared().counter(
+                "ark.compile.intern_nodes");
+
+        std::lock_guard<std::mutex> lock(mu_);
+        auto [it, inserted] =
+            map_.try_emplace(InternKey{hi, lo});
+        if (!inserted) {
+            for (const ExprPtr &e : it->second) {
+                if (verify(*e)) {
+                    ++hits_;
+                    internHits.add();
+                    return e;
+                }
+            }
+        }
+        ExprPtr canonical = build(nextId_++);
+        it->second.push_back(canonical);
+        ++liveEntries_;
+        internNodes.add();
+        if (liveEntries_ >= purgeThreshold_)
+            purgeLocked();
+        return canonical;
+    }
+
+    InternStats stats()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        InternStats out;
+        out.liveNodes = liveEntries_;
+        out.internedTotal = nextId_ - 1;
+        out.hits = hits_;
+        out.purged = purged_;
+        return out;
+    }
+
+    std::size_t purge()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return purgeLocked();
+    }
+
+  private:
+    /** Sweeps table-only entries to a fixpoint (parents release their
+     *  children's table refs as they drop, so one pass isn't enough). */
+    std::size_t purgeLocked()
+    {
+        std::size_t dropped = 0;
+        std::size_t droppedThisRound;
+        do {
+            droppedThisRound = 0;
+            for (auto it = map_.begin(); it != map_.end();) {
+                auto &chain = it->second;
+                std::erase_if(chain, [&](const ExprPtr &e) {
+                    if (e.use_count() == 1) {
+                        ++droppedThisRound;
+                        return true;
+                    }
+                    return false;
+                });
+                if (chain.empty())
+                    it = map_.erase(it);
+                else
+                    ++it;
+            }
+            dropped += droppedThisRound;
+        } while (droppedThisRound > 0);
+        liveEntries_ -= dropped;
+        purged_ += dropped;
+        purgeThreshold_ =
+            std::max<std::size_t>(kMinPurgeThreshold, liveEntries_ * 2);
+        return dropped;
+    }
+
+    static constexpr std::size_t kMinPurgeThreshold = 1u << 17;
+
+    std::mutex mu_;
+    std::unordered_map<InternKey, std::vector<ExprPtr>, InternKeyHash>
+        map_;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t hits_ = 0;
+    std::uint64_t purged_ = 0;
+    std::size_t liveEntries_ = 0;
+    std::size_t purgeThreshold_ = kMinPurgeThreshold;
+};
+
+/** Digest seed per kind; every node digest starts with its kind tag. */
+Digester
+kindDigester(ExprKind kind)
+{
+    Digester d;
+    d.word(static_cast<std::uint64_t>(kind));
+    return d;
+}
+
 } // namespace
+
+InternStats
+internStats()
+{
+    return InternTable::instance().stats();
+}
+
+std::size_t
+internPurge()
+{
+    return InternTable::instance().purge();
+}
 
 ExprPtr
 Expr::literal(Value v)
 {
-    auto n = makeNode();
-    n->kind_ = ExprKind::Literal;
-    n->value_ = std::move(v);
-    return n;
+    Digester d = kindDigester(ExprKind::Literal);
+    d.value(v);
+    auto [hi, lo] = d.finish();
+    return InternTable::instance().intern(
+        hi, lo,
+        [&](const Expr &e) {
+            return e.kind_ == ExprKind::Literal &&
+                   literalEq(e.value_, v);
+        },
+        [&](std::uint64_t id) {
+            auto n = makeNode();
+            n->kind_ = ExprKind::Literal;
+            n->value_ = std::move(v);
+            stamp(*n, id, hi, lo);
+            return n;
+        });
 }
 
 ExprPtr
@@ -107,51 +386,161 @@ Expr::boolean(bool v)
 ExprPtr
 Expr::var(std::string name)
 {
-    auto n = makeNode();
-    n->kind_ = ExprKind::Var;
-    n->name_ = std::move(name);
-    return n;
+    Digester d = kindDigester(ExprKind::Var);
+    d.str(name);
+    auto [hi, lo] = d.finish();
+    return InternTable::instance().intern(
+        hi, lo,
+        [&](const Expr &e) {
+            return e.kind_ == ExprKind::Var && e.name_ == name;
+        },
+        [&](std::uint64_t id) {
+            auto n = makeNode();
+            n->kind_ = ExprKind::Var;
+            n->name_ = std::move(name);
+            stamp(*n, id, hi, lo);
+            return n;
+        });
 }
 
 ExprPtr
 Expr::attr(std::string base, std::string name)
 {
-    auto n = makeNode();
-    n->kind_ = ExprKind::Attr;
-    n->name_ = std::move(base);
-    n->attr_ = std::move(name);
-    return n;
+    Digester d = kindDigester(ExprKind::Attr);
+    d.str(base);
+    d.str(name);
+    auto [hi, lo] = d.finish();
+    return InternTable::instance().intern(
+        hi, lo,
+        [&](const Expr &e) {
+            return e.kind_ == ExprKind::Attr && e.name_ == base &&
+                   e.attr_ == name;
+        },
+        [&](std::uint64_t id) {
+            auto n = makeNode();
+            n->kind_ = ExprKind::Attr;
+            n->name_ = std::move(base);
+            n->attr_ = std::move(name);
+            stamp(*n, id, hi, lo);
+            return n;
+        });
 }
 
 ExprPtr
 Expr::time()
 {
-    auto n = makeNode();
-    n->kind_ = ExprKind::Time;
-    return n;
+    auto [hi, lo] = kindDigester(ExprKind::Time).finish();
+    return InternTable::instance().intern(
+        hi, lo,
+        [&](const Expr &e) { return e.kind_ == ExprKind::Time; },
+        [&](std::uint64_t id) {
+            auto n = makeNode();
+            n->kind_ = ExprKind::Time;
+            stamp(*n, id, hi, lo);
+            return n;
+        });
 }
 
 ExprPtr
 Expr::unary(UnOp op, ExprPtr operand)
 {
     panicIf(!operand, "unary with null operand");
-    auto n = makeNode();
-    n->kind_ = ExprKind::Unary;
-    n->unOp_ = op;
-    n->a_ = std::move(operand);
-    return n;
+    Digester d = kindDigester(ExprKind::Unary);
+    d.word(static_cast<std::uint64_t>(op));
+    d.child(operand);
+    auto [hi, lo] = d.finish();
+    return InternTable::instance().intern(
+        hi, lo,
+        [&](const Expr &e) {
+            return e.kind_ == ExprKind::Unary && e.unOp_ == op &&
+                   e.a_ == operand;
+        },
+        [&](std::uint64_t id) {
+            auto n = makeNode();
+            n->kind_ = ExprKind::Unary;
+            n->unOp_ = op;
+            n->a_ = std::move(operand);
+            stamp(*n, id, hi, lo);
+            return n;
+        });
 }
 
 ExprPtr
 Expr::binary(BinOp op, ExprPtr lhs, ExprPtr rhs)
 {
     panicIf(!lhs || !rhs, "binary with null operand");
-    auto n = makeNode();
-    n->kind_ = ExprKind::Binary;
-    n->binOp_ = op;
-    n->a_ = std::move(lhs);
-    n->b_ = std::move(rhs);
-    return n;
+    Digester d = kindDigester(ExprKind::Binary);
+    d.word(static_cast<std::uint64_t>(op));
+    d.child(lhs);
+    d.child(rhs);
+    auto [hi, lo] = d.finish();
+    return InternTable::instance().intern(
+        hi, lo,
+        [&](const Expr &e) {
+            return e.kind_ == ExprKind::Binary && e.binOp_ == op &&
+                   e.a_ == lhs && e.b_ == rhs;
+        },
+        [&](std::uint64_t id) {
+            auto n = makeNode();
+            n->kind_ = ExprKind::Binary;
+            n->binOp_ = op;
+            n->a_ = std::move(lhs);
+            n->b_ = std::move(rhs);
+            stamp(*n, id, hi, lo);
+            return n;
+        });
+}
+
+namespace {
+
+/** Shared shallow check for the two Call factory forms. */
+bool
+callMatches(const Expr &e, const std::string &name,
+            const ExprPtr &calleeExpr, const std::vector<ExprPtr> &args)
+{
+    if (e.kind() != ExprKind::Call || e.callee() != name ||
+        e.calleeExpr() != calleeExpr ||
+        e.args().size() != args.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < args.size(); ++i)
+        if (e.args()[i] != args[i])
+            return false;
+    return true;
+}
+
+} // namespace
+
+ExprPtr
+Expr::internCall(std::string name, ExprPtr calleeExpr,
+                 std::vector<ExprPtr> args)
+{
+    Digester d = kindDigester(ExprKind::Call);
+    d.str(name);
+    if (calleeExpr) {
+        d.word(1);
+        d.child(calleeExpr);
+    } else {
+        d.word(0);
+    }
+    d.word(args.size());
+    for (const ExprPtr &a : args)
+        d.child(a);
+    auto [hi, lo] = d.finish();
+    return InternTable::instance().intern(
+        hi, lo,
+        [&](const Expr &e) {
+            return callMatches(e, name, calleeExpr, args);
+        },
+        [&](std::uint64_t id) {
+            auto n = makeNode();
+            n->kind_ = ExprKind::Call;
+            n->name_ = std::move(name);
+            n->calleeExpr_ = std::move(calleeExpr);
+            n->args_ = std::move(args);
+            stamp(*n, id, hi, lo);
+            return n;
+        });
 }
 
 ExprPtr
@@ -159,11 +548,7 @@ Expr::call(std::string callee, std::vector<ExprPtr> args)
 {
     for (const auto &a : args)
         panicIf(!a, "call with null argument");
-    auto n = makeNode();
-    n->kind_ = ExprKind::Call;
-    n->name_ = std::move(callee);
-    n->args_ = std::move(args);
-    return n;
+    return internCall(std::move(callee), nullptr, std::move(args));
 }
 
 ExprPtr
@@ -172,42 +557,75 @@ Expr::callExpr(ExprPtr callee, std::vector<ExprPtr> args)
     panicIf(!callee, "callExpr with null callee");
     for (const auto &a : args)
         panicIf(!a, "callExpr with null argument");
-    auto n = makeNode();
-    n->kind_ = ExprKind::Call;
-    n->calleeExpr_ = std::move(callee);
-    n->args_ = std::move(args);
-    return n;
+    return internCall(std::string(), std::move(callee), std::move(args));
 }
 
 ExprPtr
 Expr::ifThenElse(ExprPtr cond, ExprPtr then, ExprPtr other)
 {
     panicIf(!cond || !then || !other, "if with null operand");
-    auto n = makeNode();
-    n->kind_ = ExprKind::If;
-    n->c_ = std::move(cond);
-    n->a_ = std::move(then);
-    n->b_ = std::move(other);
-    return n;
+    Digester d = kindDigester(ExprKind::If);
+    d.child(cond);
+    d.child(then);
+    d.child(other);
+    auto [hi, lo] = d.finish();
+    return InternTable::instance().intern(
+        hi, lo,
+        [&](const Expr &e) {
+            return e.kind_ == ExprKind::If && e.c_ == cond &&
+                   e.a_ == then && e.b_ == other;
+        },
+        [&](std::uint64_t id) {
+            auto n = makeNode();
+            n->kind_ = ExprKind::If;
+            n->c_ = std::move(cond);
+            n->a_ = std::move(then);
+            n->b_ = std::move(other);
+            stamp(*n, id, hi, lo);
+            return n;
+        });
 }
 
 ExprPtr
 Expr::nodeVar(std::string node)
 {
-    auto n = makeNode();
-    n->kind_ = ExprKind::NodeVar;
-    n->name_ = std::move(node);
-    return n;
+    Digester d = kindDigester(ExprKind::NodeVar);
+    d.str(node);
+    auto [hi, lo] = d.finish();
+    return InternTable::instance().intern(
+        hi, lo,
+        [&](const Expr &e) {
+            return e.kind_ == ExprKind::NodeVar && e.name_ == node;
+        },
+        [&](std::uint64_t id) {
+            auto n = makeNode();
+            n->kind_ = ExprKind::NodeVar;
+            n->name_ = std::move(node);
+            stamp(*n, id, hi, lo);
+            return n;
+        });
 }
 
 ExprPtr
 Expr::stateVar(int index)
 {
     panicIf(index < 0, "stateVar with negative index");
-    auto n = makeNode();
-    n->kind_ = ExprKind::StateVar;
-    n->stateIndex_ = index;
-    return n;
+    Digester d = kindDigester(ExprKind::StateVar);
+    d.word(static_cast<std::uint64_t>(index));
+    auto [hi, lo] = d.finish();
+    return InternTable::instance().intern(
+        hi, lo,
+        [&](const Expr &e) {
+            return e.kind_ == ExprKind::StateVar &&
+                   e.stateIndex_ == index;
+        },
+        [&](std::uint64_t id) {
+            auto n = makeNode();
+            n->kind_ = ExprKind::StateVar;
+            n->stateIndex_ = index;
+            stamp(*n, id, hi, lo);
+            return n;
+        });
 }
 
 const Value &
@@ -374,11 +792,17 @@ Expr::str() const
 bool
 Expr::equals(const Expr &other) const
 {
+    // Interned: live structurally-equal nodes are one pointer. The
+    // deep walk below (bit-exact literals, matching the intern
+    // relation) is kept as a fallback so the predicate stays total
+    // and self-evident.
+    if (this == &other)
+        return true;
     if (kind_ != other.kind_)
         return false;
     switch (kind_) {
       case ExprKind::Literal:
-        return value_ == other.value_;
+        return literalEq(value_, other.value_);
       case ExprKind::Var:
       case ExprKind::NodeVar:
         return name_ == other.name_;

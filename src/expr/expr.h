@@ -3,7 +3,8 @@
 
 /**
  * @file
- * Immutable expression AST for Ark math and boolean expressions.
+ * Immutable, hash-consed expression IR for Ark math and boolean
+ * expressions.
  *
  * Expressions appear in production rules (node dynamics terms), in
  * lambda attribute bodies, and in set-switch conditions. Nodes are
@@ -16,6 +17,51 @@
  * lambda-valued variables/attributes, and var(n) node-state references.
  * StateVar is a post-compilation form: an index into the flattened
  * simulation state vector.
+ *
+ * ## Hash-consing
+ *
+ * Every factory interns the node it would build in a process-wide
+ * table keyed by a memoized 128-bit structural digest, so
+ * **structurally equal live subtrees are one pointer**. That single
+ * invariant is what the layers above build on:
+ *
+ *  - structural equality is pointer equality (`equals()` keeps a deep
+ *    fallback for robustness, but live interned nodes never need it);
+ *  - cross-equation CSE in expr::FusedTape's value numbering becomes
+ *    a pointer-keyed memo hit instead of a structural re-hash;
+ *  - `engine::Hasher::absorb(Expr)` is O(1): it absorbs the memoized
+ *    digest instead of re-walking the tree, so graph fingerprints stop
+ *    paying a full serialization per compile;
+ *  - `id()` is a process-unique, monotonically assigned node id
+ *    (never reused, even after table purges), usable as a memo key
+ *    that can't suffer ABA.
+ *
+ * Interning compares literals **bit-exactly** (`-0.0` and `0.0` are
+ * distinct nodes; two NaN literals with equal payloads are the same
+ * node), matching the engine's bit-identical cache contracts. The
+ * table holds strong references and sweeps entries whose only owner
+ * is the table itself when a high-water mark is crossed, so the
+ * sharing invariant above always holds for nodes a caller can still
+ * reach.
+ *
+ * ## Rewrite-soundness contract
+ *
+ * Passes over this IR are staged by rounding behavior:
+ *
+ *  - **Exact, always-on** (expr/fold.h, run by the compiler on every
+ *    lowering): constant folding and field identities (x+0, x*1,
+ *    -(-x), literal branch pruning). These never change the IEEE
+ *    value of any result and shrink every execution tier.
+ *  - **Rounding-changing, opt-in only** (expr/rewrite.h,
+ *    sim::SimOptions::tapeReassoc; same contract as tapeFma):
+ *    reassociation/reciprocal rewrites that stay within tolerance but
+ *    are not bit-identical to the tree. Never applied on the default
+ *    path; lane-vs-scalar bit identity still holds under the flag
+ *    because every tier executes the same rewritten program.
+ *
+ * Factories themselves never simplify (`(0 * x)` prints as written —
+ * parser and golden tests rely on source-shaped trees); all rewriting
+ * lives in the passes.
  */
 
 #include <cstdint>
@@ -67,7 +113,8 @@ class Expr;
 using ExprPtr = std::shared_ptr<const Expr>;
 
 /**
- * One expression tree node. Construct through the static factories;
+ * One interned expression node. Construct through the static
+ * factories (each returns the canonical node for its structure);
  * fields not applicable to the node's kind are empty/zero.
  */
 class Expr : public std::enable_shared_from_this<Expr>
@@ -91,6 +138,25 @@ class Expr : public std::enable_shared_from_this<Expr>
     static ExprPtr stateVar(int index);
 
     ExprKind kind() const { return kind_; }
+
+    /**
+     * Process-unique node id, assigned monotonically at intern time
+     * and never reused (table purges retire ids permanently). Two
+     * live nodes have equal ids iff they are the same pointer, so ids
+     * are safe memo/cache keys.
+     */
+    std::uint64_t id() const { return id_; }
+
+    /** @name Memoized 128-bit structural digest.
+     * Computed bottom-up at intern time (O(1) per node — children are
+     * already interned). Equal digests ⇔ equal structure with
+     * bit-exact literals; engine fingerprints absorb these words
+     * instead of re-walking the tree.
+     */
+    /// @{
+    std::uint64_t digestHi() const { return digestHi_; }
+    std::uint64_t digestLo() const { return digestLo_; }
+    /// @}
 
     /** @name Kind-specific accessors (panic on kind mismatch). */
     /// @{
@@ -116,7 +182,11 @@ class Expr : public std::enable_shared_from_this<Expr>
     /** Parenthesized source-like rendering. */
     std::string str() const;
 
-    /** Structural equality. */
+    /**
+     * Structural equality with bit-exact literals. Live interned
+     * nodes make this pointer equality; the deep walk remains as a
+     * documented fallback.
+     */
     bool equals(const Expr &other) const;
 
     /** Applies fn to every node in the tree (preorder). */
@@ -132,6 +202,19 @@ class Expr : public std::enable_shared_from_this<Expr>
     Expr() = default;
 
   private:
+    /** Shared intern path for the two Call factory forms. */
+    static ExprPtr internCall(std::string callee, ExprPtr calleeExpr,
+                              std::vector<ExprPtr> args);
+
+    /** Stamps intern-time identity onto a freshly built node. */
+    static void stamp(Expr &e, std::uint64_t id, std::uint64_t hi,
+                      std::uint64_t lo)
+    {
+        e.id_ = id;
+        e.digestHi_ = hi;
+        e.digestLo_ = lo;
+    }
+
     ExprKind kind_ = ExprKind::Literal;
     Value value_;
     std::string name_;       // Var name, Attr base, Call builtin, NodeVar
@@ -142,7 +225,36 @@ class Expr : public std::enable_shared_from_this<Expr>
     ExprPtr calleeExpr_;
     std::vector<ExprPtr> args_;
     int stateIndex_ = -1;
+    std::uint64_t id_ = 0;
+    std::uint64_t digestHi_ = 0;
+    std::uint64_t digestLo_ = 0;
 };
+
+/** @name Intern-table introspection (arkc --ir-stats, tests). */
+/// @{
+
+/** Counters of the process-wide intern table. */
+struct InternStats
+{
+    std::uint64_t liveNodes = 0;   ///< Entries currently in the table.
+    std::uint64_t internedTotal = 0; ///< Nodes ever interned (= max id).
+    std::uint64_t hits = 0;        ///< Factory calls answered by an
+                                   ///< existing node.
+    std::uint64_t purged = 0;      ///< Entries swept at high-water marks.
+};
+
+/** Snapshot of the intern-table counters. */
+InternStats internStats();
+
+/**
+ * Sweeps table entries whose only remaining owner is the table
+ * itself (normally triggered automatically at a high-water mark).
+ * Returns the number of entries dropped. Nodes still reachable by
+ * callers always survive, preserving the one-pointer invariant.
+ */
+std::size_t internPurge();
+
+/// @}
 
 /** @name Rewriting
  * Each returns a new tree sharing unmodified subtrees.

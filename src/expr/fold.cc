@@ -32,29 +32,24 @@ evalClosed(const ExprPtr &e)
     return Expr::literal(eval(e, ctx));
 }
 
+} // namespace
+
 ExprPtr
-foldUnary(const ExprPtr &e)
+foldUnaryOf(UnOp op, const ExprPtr &a)
 {
-    ExprPtr a = fold(e->operand());
     if (isLiteral(a))
-        return evalClosed(Expr::unary(e->unOp(), a));
+        return evalClosed(Expr::unary(op, a));
     // -(-x) == x
-    if (e->unOp() == UnOp::Neg && a->kind() == ExprKind::Unary &&
+    if (op == UnOp::Neg && a->kind() == ExprKind::Unary &&
         a->unOp() == UnOp::Neg) {
         return a->operand();
     }
-    if (a == e->operand())
-        return e;
-    return Expr::unary(e->unOp(), a);
+    return Expr::unary(op, a);
 }
 
 ExprPtr
-foldBinary(const ExprPtr &e)
+foldBinaryOf(BinOp op, const ExprPtr &a, const ExprPtr &b)
 {
-    ExprPtr a = fold(e->lhs());
-    ExprPtr b = fold(e->rhs());
-    BinOp op = e->binOp();
-
     if (isLiteral(a) && isLiteral(b))
         return evalClosed(Expr::binary(op, a, b));
 
@@ -69,7 +64,7 @@ foldBinary(const ExprPtr &e)
         if (isRealLiteral(b, 0.0))
             return a;
         if (isRealLiteral(a, 0.0))
-            return fold(Expr::unary(UnOp::Neg, b));
+            return foldUnaryOf(UnOp::Neg, b);
         break;
       case BinOp::Mul:
         if (isRealLiteral(a, 0.0) || isRealLiteral(b, 0.0))
@@ -79,9 +74,9 @@ foldBinary(const ExprPtr &e)
         if (isRealLiteral(b, 1.0))
             return a;
         if (isRealLiteral(a, -1.0))
-            return fold(Expr::unary(UnOp::Neg, b));
+            return foldUnaryOf(UnOp::Neg, b);
         if (isRealLiteral(b, -1.0))
-            return fold(Expr::unary(UnOp::Neg, a));
+            return foldUnaryOf(UnOp::Neg, a);
         break;
       case BinOp::Div:
         if (isRealLiteral(a, 0.0))
@@ -110,51 +105,29 @@ foldBinary(const ExprPtr &e)
       default:
         break;
     }
-    if (a == e->lhs() && b == e->rhs())
-        return e;
     return Expr::binary(op, a, b);
 }
 
 ExprPtr
-foldCall(const ExprPtr &e)
+foldCallOf(const std::string &callee, std::vector<ExprPtr> args)
 {
-    bool changed = false;
     bool allLit = true;
-    std::vector<ExprPtr> args;
-    args.reserve(e->args().size());
-    for (const auto &arg : e->args()) {
-        ExprPtr fa = fold(arg);
-        changed |= (fa != arg);
-        allLit &= isLiteral(fa);
-        args.push_back(fa);
-    }
+    for (const auto &arg : args)
+        allLit &= isLiteral(arg);
     // Only named builtins fold; lambda-callee calls are inlined earlier
     // by the compiler, and unknown names must keep failing at eval time.
-    if (!e->calleeExpr() && allLit && findBuiltin(e->callee()))
-        return evalClosed(Expr::call(e->callee(), std::move(args)));
-    if (!changed)
-        return e;
-    if (e->calleeExpr())
-        return Expr::callExpr(e->calleeExpr(), std::move(args));
-    return Expr::call(e->callee(), std::move(args));
+    if (allLit && findBuiltin(callee))
+        return evalClosed(Expr::call(callee, std::move(args)));
+    return Expr::call(callee, std::move(args));
 }
 
 ExprPtr
-foldIf(const ExprPtr &e)
+foldIfOf(const ExprPtr &c, const ExprPtr &a, const ExprPtr &b)
 {
-    ExprPtr c = fold(e->cond());
-    if (isLiteral(c)) {
-        return c->literalValue().asBool() ? fold(e->thenBranch())
-                                          : fold(e->elseBranch());
-    }
-    ExprPtr a = fold(e->thenBranch());
-    ExprPtr b = fold(e->elseBranch());
-    if (c == e->cond() && a == e->thenBranch() && b == e->elseBranch())
-        return e;
+    if (isLiteral(c))
+        return c->literalValue().asBool() ? a : b;
     return Expr::ifThenElse(c, a, b);
 }
-
-} // namespace
 
 ExprPtr
 fold(const ExprPtr &e)
@@ -168,13 +141,29 @@ fold(const ExprPtr &e)
       case ExprKind::StateVar:
         return e;
       case ExprKind::Unary:
-        return foldUnary(e);
+        return foldUnaryOf(e->unOp(), fold(e->operand()));
       case ExprKind::Binary:
-        return foldBinary(e);
-      case ExprKind::Call:
-        return foldCall(e);
-      case ExprKind::If:
-        return foldIf(e);
+        return foldBinaryOf(e->binOp(), fold(e->lhs()), fold(e->rhs()));
+      case ExprKind::Call: {
+        std::vector<ExprPtr> args;
+        args.reserve(e->args().size());
+        for (const auto &arg : e->args())
+            args.push_back(fold(arg));
+        // Lambda-callee calls just fold their arguments.
+        if (e->calleeExpr())
+            return Expr::callExpr(e->calleeExpr(), std::move(args));
+        return foldCallOf(e->callee(), std::move(args));
+      }
+      case ExprKind::If: {
+        ExprPtr c = fold(e->cond());
+        // Literal conditions prune: only the taken branch is folded.
+        if (c->kind() == ExprKind::Literal) {
+            return c->literalValue().asBool() ? fold(e->thenBranch())
+                                              : fold(e->elseBranch());
+        }
+        return foldIfOf(c, fold(e->thenBranch()),
+                        fold(e->elseBranch()));
+      }
     }
     return e;
 }

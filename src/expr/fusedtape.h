@@ -15,7 +15,10 @@
  *    across equations (Const, LoadTime, LoadState, every operator and
  *    builtin call) are computed once, so shared terms like TLN
  *    neighbor coupling and Kuramoto coupling sums stop being
- *    re-evaluated per equation;
+ *    re-evaluated per equation. Expressions are hash-consed
+ *    (expr/expr.h), so structurally equal inputs arrive as one
+ *    pointer and memoized numbering hits before any structural
+ *    comparison;
  *  - constant folding and exact algebraic identities (x+0, x*1, x/1)
  *    over the value graph;
  *  - liveness-based register allocation: SSA values are mapped onto a

@@ -16,6 +16,7 @@
 #include "engine/jit.h"
 #include "expr/cjit.h"
 #include "expr/lanetape.h"
+#include "expr/rewrite.h"
 #include "sim/dopri5.h"
 #include "support/error.h"
 #include "support/faultinject.h"
@@ -1226,6 +1227,9 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
     // Dopri5 blocks the step-voting adaptive driver.
     const bool laneEligible = options.laneBatching;
     const bool fma = options.sim.tapeFma;
+    // Resolved once per batch (ARK_TAPE_REASSOC override folded in)
+    // so every member of a lane class selects the same tape variant.
+    const bool reassoc = expr::reassocEnabled(options.sim.tapeReassoc);
     // Resolved once per batch: the option gated by the ARK_JIT_FORCE
     // override. Kernel resolution itself stays per block (per merged
     // structure), so a mixed batch jits what it can.
@@ -1239,7 +1243,8 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
                     systemOf(cls.front());
                 if (&systemOf(i) == &leader ||
                     expr::LaneTape::compatible(
-                        leader.rhsTape(fma), systemOf(i).rhsTape(fma))) {
+                        leader.rhsTape(fma, reassoc),
+                        systemOf(i).rhsTape(fma, reassoc))) {
                     cls.push_back(i);
                     placed = true;
                     break;
@@ -1365,7 +1370,7 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
                 blockSystems.reserve(job.members.size());
                 for (std::size_t member : job.members) {
                     tapes.push_back(
-                        &systemOf(member).rhsTape(options.sim.tapeFma));
+                        &systemOf(member).rhsTape(fma, reassoc));
                     inits.push_back(&initialOf(member));
                     blockSystems.push_back(&systemOf(member));
                 }
@@ -1399,7 +1404,7 @@ BatchRunner::runImpl(const compiler::OdeSystem *homogeneous,
                 std::optional<expr::JitScalarRhs> jitRhs;
                 if (jitOn) {
                     expr::LaneTape tape = expr::LaneTape::broadcast(
-                        systemOf(member).rhsTape(fma), 1);
+                        systemOf(member).rhsTape(fma, reassoc), 1);
                     expr::JitKernelPtr kernel = engine::jitKernel(tape);
                     if (kernel != nullptr) {
                         jitRhs.emplace(expr::JitScalarRhs{

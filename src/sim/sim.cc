@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "expr/cjit.h"
+#include "expr/rewrite.h"
 #include "sim/batch.h"
 #include "sim/dopri5.h"
 #include "support/error.h"
@@ -139,8 +140,11 @@ struct Driver
     const SimOptions &options;
     const std::stop_token &stop;
     const std::optional<std::chrono::steady_clock::time_point> &deadline;
-    /** The RHS program: the plain fused tape, or its FMA-contracted
-     *  variant when options.tapeFma is set. */
+    /** The RHS program: the plain fused tape, its FMA-contracted
+     *  variant when options.tapeFma is set, or the reassociated
+     *  variant when options.tapeReassoc is set (rhsTape builds lazy
+     *  variants and raises scratchSize before returning, so the
+     *  member order tape-then-scratch below is load-bearing). */
     const expr::FusedTape &tape;
     /** Tier-5 override: when non-null, evalRhs calls this width-1
      *  native kernel instead of interpreting `tape` (bit-identical —
@@ -157,7 +161,9 @@ struct Driver
                &deadlinePoint,
            const expr::JitScalarRhs *jitRhs)
         : system(sys), options(opts), stop(stopToken),
-          deadline(deadlinePoint), tape(sys.rhsTape(opts.tapeFma)),
+          deadline(deadlinePoint),
+          tape(sys.rhsTape(opts.tapeFma,
+                           expr::reassocEnabled(opts.tapeReassoc))),
           jit(jitRhs), scratch(sys.scratchSize()),
           recordDt(opts.recordDt)
     {

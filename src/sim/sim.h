@@ -119,6 +119,25 @@ struct SimOptions
     bool tapeFma = false;
 
     /**
+     * Evaluate the RHS through the reassociated tape variant
+     * (expr/rewrite.h then FMA contraction): division by a constant
+     * becomes multiplication by its reciprocal and literal
+     * coefficients gather at the head of each product, exposing
+     * FusedMulAdd contractions the plain matcher cannot see through
+     * intervening Div/Neg nodes (GmC-TLN terms like `w*var(t)/c`
+     * contract 0% without it). Same contract as tapeFma — the
+     * rewritten program agrees with the default tape only to
+     * tolerance level, never reorders sums, and never touches
+     * branch-deciding subtrees — so it is off by default and all
+     * tiers honor the flag identically (lane-vs-scalar bit identity
+     * holds under the flag). Takes precedence over tapeFma when both
+     * are set (the reassociated variant is always FMA-contracted).
+     * The ARK_TAPE_REASSOC environment variable overrides this flag
+     * in both directions (expr::reassocEnabled).
+     */
+    bool tapeReassoc = false;
+
+    /**
      * Serve RHS evaluation from tier-5 JIT-compiled native kernels
      * (expr/cjit.h): the ensemble engine lowers each lane block's
      * program (and each scalar instance's width-1 broadcast) to C,

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "expr/builtins.h"
 #include "expr/eval.h"
@@ -513,6 +515,111 @@ TEST(FoldTest, DoesNotFoldUnknownCalls)
     // folded away.
     ExprPtr e = Expr::call("mystery", {Expr::real(1)});
     EXPECT_EQ(expr::fold(e)->kind(), ExprKind::Call);
+}
+
+// --- hash-consing ------------------------------------------------------
+
+namespace {
+
+ExprPtr
+sampleTree(double k)
+{
+    return Expr::binary(
+        BinOp::Add,
+        Expr::binary(BinOp::Mul, Expr::real(k), Expr::stateVar(3)),
+        Expr::call("sin", {Expr::binary(BinOp::Div, Expr::time(),
+                                        Expr::attr("e", "tau"))}));
+}
+
+} // namespace
+
+TEST(InternTest, StructurallyEqualTreesAreOnePointer)
+{
+    ExprPtr a = sampleTree(2.5);
+    ExprPtr b = sampleTree(2.5);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(a->id(), b->id());
+    EXPECT_NE(a->id(), 0u);
+    // Shared subtrees are the same node too.
+    EXPECT_EQ(a->lhs().get(), b->lhs().get());
+}
+
+TEST(InternTest, DistinctTreesAreDistinctNodes)
+{
+    ExprPtr a = sampleTree(2.5);
+    ExprPtr b = sampleTree(2.5000001);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(a->id(), b->id());
+    EXPECT_TRUE(a->digestHi() != b->digestHi() ||
+                a->digestLo() != b->digestLo());
+}
+
+TEST(InternTest, DigestIsStableAcrossReconstruction)
+{
+    ExprPtr a = sampleTree(7.0);
+    std::uint64_t hi = a->digestHi();
+    std::uint64_t lo = a->digestLo();
+    std::uint64_t id = a->id();
+    a.reset();
+    // The node may have been purged meanwhile; rebuilding must yield
+    // the same digest either way (it is structural, not identity).
+    ExprPtr b = sampleTree(7.0);
+    EXPECT_EQ(b->digestHi(), hi);
+    EXPECT_EQ(b->digestLo(), lo);
+    // Ids are never reused: same node -> same id; a re-interned node
+    // gets a fresh one.
+    EXPECT_GE(b->id(), id);
+}
+
+TEST(InternTest, LiteralsAreBitExact)
+{
+    // -0.0 and 0.0 compare equal as doubles but are different
+    // programs (1/x diverges to opposite infinities), so they must be
+    // different nodes.
+    ExprPtr pos = Expr::real(0.0);
+    ExprPtr neg = Expr::real(-0.0);
+    EXPECT_NE(pos.get(), neg.get());
+    EXPECT_FALSE(pos->equals(*neg));
+
+    // Equal-payload NaNs are one node (and equal), even though
+    // NaN != NaN as doubles.
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    ExprPtr a = Expr::real(nan);
+    ExprPtr b = Expr::real(nan);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_TRUE(a->equals(*b));
+}
+
+TEST(InternTest, StatsCountHitsAndNodes)
+{
+    expr::InternStats before = expr::internStats();
+    ExprPtr a = Expr::binary(BinOp::Pow, Expr::var("intern_stats_x"),
+                             Expr::real(41.0));
+    ExprPtr b = Expr::binary(BinOp::Pow, Expr::var("intern_stats_x"),
+                             Expr::real(41.0));
+    expr::InternStats after = expr::internStats();
+    EXPECT_EQ(a.get(), b.get());
+    // First build interned fresh nodes; the duplicate was served from
+    // the table.
+    EXPECT_GT(after.internedTotal, before.internedTotal);
+    EXPECT_GT(after.hits, before.hits);
+    EXPECT_GE(after.liveNodes, 1u);
+}
+
+TEST(InternTest, PurgeDropsOnlyUnreferencedNodes)
+{
+    ExprPtr keep = Expr::binary(BinOp::Add, Expr::var("intern_keep"),
+                                Expr::real(17.25));
+    {
+        ExprPtr drop = Expr::binary(
+            BinOp::Sub, Expr::var("intern_drop"), Expr::real(18.75));
+        (void)drop;
+    }
+    expr::internPurge();
+    // The kept node survives a purge and is still the canonical one.
+    ExprPtr again = Expr::binary(BinOp::Add, Expr::var("intern_keep"),
+                                 Expr::real(17.25));
+    EXPECT_EQ(keep.get(), again.get());
 }
 
 } // namespace

@@ -19,6 +19,11 @@
  * Compilation runs through the engine's content-addressed artifact
  * cache (ark::engine::Session); `--cache-stats` on equations/run
  * prints the hit/miss counters to stderr after the command.
+ * `--ir-stats` prints compiler IR statistics to stderr: RHS tree vs.
+ * unique (hash-consed) node counts and the sharing ratio, the
+ * process-wide intern table counters, the reassociation pass's
+ * rewrite deltas, and the FMA contraction share of the plain and
+ * reassociated tape variants.
  * `--metrics` prints the engine telemetry registry to stderr,
  * `--trace out.json` records the command as Chrome trace-event JSON
  * (load it in chrome://tracing or Perfetto), `--ledger out.json`
@@ -34,6 +39,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "compiler/compiler.h"
@@ -72,6 +78,8 @@ usage()
         "the interpreter; falls back silently without a toolchain).\n"
         "equations/run compile through the engine artifact cache;\n"
         "--cache-stats prints its hit/miss counters to stderr.\n"
+        "--ir-stats prints IR statistics (node/sharing counts,\n"
+        "rewrite deltas, FMA contraction share) to stderr.\n"
         "--metrics prints engine telemetry counters to stderr;\n"
         "--trace FILE writes a Chrome trace (chrome://tracing);\n"
         "--ledger FILE writes the run's flight-recorder JSON;\n"
@@ -126,6 +134,7 @@ struct RunOptions
     std::vector<std::string> observe;
     bool jit = false;
     bool cacheStats = false;
+    bool irStats = false;
     bool metrics = false;
     std::string tracePath;  ///< Empty = no trace recording.
     std::string ledgerPath; ///< Empty = no flight recorder.
@@ -161,6 +170,8 @@ parseRunArgs(int argc, char **argv, int first)
             options.jit = false;
         } else if (arg == "--cache-stats") {
             options.cacheStats = true;
+        } else if (arg == "--ir-stats") {
+            options.irStats = true;
         } else if (arg == "--metrics") {
             options.metrics = true;
         } else if (arg == "--trace") {
@@ -256,7 +267,62 @@ struct TelemetryScope
     telemetry::StatsServer server;
 };
 
-/** Prints cache counters / telemetry metrics when requested. */
+/**
+ * Prints the compiled system's IR statistics to stderr: how much the
+ * hash-consed IR shares (tree nodes counted as if expanded vs. unique
+ * interned nodes), what the opt-in reassociation pass would change,
+ * and how many tape instructions contract to FusedMulAdd with and
+ * without it. Builds the lazy FMA/reassoc variants as a side effect —
+ * acceptable for a diagnostics flag.
+ */
+void
+reportIrStats(const compiler::OdeSystem &system)
+{
+    std::uint64_t treeNodes = 0;
+    std::unordered_set<const expr::Expr *> unique;
+    for (const expr::ExprPtr &e : system.rhsExprs()) {
+        e->visit([&](const expr::Expr &node) {
+            ++treeNodes;
+            unique.insert(&node);
+        });
+    }
+    const double sharing =
+        unique.empty() ? 1.0
+                       : static_cast<double>(treeNodes) /
+                             static_cast<double>(unique.size());
+
+    const expr::FusedTape &plain = system.fusedTape();
+    const expr::FusedTape &fma = system.fusedTapeFma();
+    const expr::FusedTape &reassoc = system.fusedTapeReassoc();
+    const expr::RewriteStats &rw = system.reassocStats();
+    auto share = [](std::uint64_t contractions, std::size_t plainOps) {
+        return plainOps == 0 ? 0.0
+                             : 100.0 * static_cast<double>(contractions) /
+                                   static_cast<double>(plainOps);
+    };
+    expr::InternStats intern = expr::internStats();
+
+    std::ostream &out = std::cerr;
+    out << "arkc: ir: rhs tree nodes " << treeNodes << ", unique "
+        << unique.size() << " (sharing x" << sharing << ")\n";
+    out << "arkc: ir: intern table: live " << intern.liveNodes
+        << ", interned " << intern.internedTotal << ", hits "
+        << intern.hits << ", purged " << intern.purged << "\n";
+    out << "arkc: ir: reassoc rewrite: nodes " << rw.nodesBefore
+        << " -> " << rw.nodesAfter << " (div->recip "
+        << rw.divReciprocals << ", const-folds " << rw.mulConstFolds
+        << ", neg-folds " << rw.negFolds << ", sub->add "
+        << rw.subToAdd << ")\n";
+    out << "arkc: ir: fma contraction: plain "
+        << fma.fmaContractions() << "/" << plain.size() << " ops ("
+        << share(fma.fmaContractions(), plain.size())
+        << "%), reassoc " << reassoc.fmaContractions() << "/"
+        << plain.size() << " ops ("
+        << share(reassoc.fmaContractions(), plain.size()) << "%)\n";
+}
+
+/** Prints cache counters / IR stats / telemetry metrics when
+ *  requested. */
 void
 reportCacheStats(const RunOptions &options, const engine::Session &session)
 {
@@ -278,6 +344,8 @@ cmdEquations(int argc, char **argv)
     engine::Session session;
     engine::SystemPtr system = session.compile(graph, *lang);
     std::cout << system->equationsStr();
+    if (options.irStats)
+        reportIrStats(*system);
     reportCacheStats(options, session);
     return 0;
 }
@@ -348,6 +416,8 @@ cmdRun(int argc, char **argv)
                               [static_cast<std::size_t>(idx)]);
         csv.writeRow(row);
     }
+    if (options.irStats)
+        reportIrStats(system);
     reportCacheStats(options, session);
     return 0;
 }
